@@ -1,0 +1,71 @@
+"""Ablation — constant versus linear leakage-current elements.
+
+The paper's Galerkin formulation admits different trial/test families
+(Section 4.2); the examples use linear (nodal) elements.  This ablation runs
+the Balaidos model-A analysis with both element types, comparing the number of
+unknowns, the assembly cost and the computed design values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bem.formulation import GroundingAnalysis
+from repro.cad.report import format_table
+from repro.experiments.balaidos import balaidos_case
+
+_RESULTS: dict[str, object] = {}
+
+
+def _analyse(element_type: str):
+    grid, soil, gpr = balaidos_case("A")
+    results = GroundingAnalysis(grid, soil, gpr=gpr, element_type=element_type).run()
+    _RESULTS[element_type] = results
+    return results
+
+
+@pytest.mark.parametrize("element_type", ["linear", "constant"])
+def test_ablation_element_type(benchmark, element_type):
+    results = benchmark.pedantic(_analyse, args=(element_type,), rounds=1, iterations=1)
+    assert results.equivalent_resistance > 0.0
+
+
+def test_ablation_element_type_summary(benchmark, record_table):
+    def summarise():
+        for element_type in ("linear", "constant"):
+            if element_type not in _RESULTS:
+                _analyse(element_type)
+        return dict(_RESULTS)
+
+    results = benchmark.pedantic(summarise, rounds=1, iterations=1)
+
+    linear = results["linear"]
+    constant = results["constant"]
+    # Both discretisations solve the same physics: design values within a few %.
+    assert constant.equivalent_resistance == pytest.approx(
+        linear.equivalent_resistance, rel=0.05
+    )
+
+    rows = [
+        [
+            name,
+            res.dof_manager.n_dofs,
+            res.equivalent_resistance,
+            res.total_current_ka,
+            res.timings["matrix_generation"],
+            res.timings["linear_system_solving"],
+        ]
+        for name, res in results.items()
+    ]
+    table = format_table(
+        [
+            "element type",
+            "unknowns",
+            "Req [ohm]",
+            "I [kA]",
+            "matrix generation [s]",
+            "solve [s]",
+        ],
+        rows,
+    )
+    record_table("ablation_element_type", table)

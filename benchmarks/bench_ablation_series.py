@@ -1,0 +1,81 @@
+"""Ablation — truncation tolerance of the layered-soil image series.
+
+The two-layer kernels are infinite series "numerically added up until a
+tolerance is fulfilled or an upper limit of summands is achieved" (Section 4.3).
+This ablation sweeps the relative truncation tolerance on the Balaidos model-C
+case (the one with the slowest-converging, cross-layer series) and records the
+accuracy/cost trade-off: number of image terms, matrix-generation time, and the
+drift of the equivalent resistance with respect to the tightest truncation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cad.report import format_table
+from repro.experiments.balaidos import run_balaidos
+from repro.kernels.series import SeriesControl
+
+TOLERANCES = (1e-2, 1e-4, 1e-6, 1e-8)
+
+_RESULTS: dict[float, object] = {}
+
+
+def _analyse(tolerance: float):
+    results = run_balaidos("C", series_control=SeriesControl(tolerance=tolerance))
+    _RESULTS[tolerance] = results
+    return results
+
+
+@pytest.mark.parametrize("tolerance", TOLERANCES)
+def test_ablation_series_tolerance(benchmark, tolerance):
+    results = benchmark.pedantic(_analyse, args=(tolerance,), rounds=1, iterations=1)
+    assert results.equivalent_resistance > 0.0
+
+
+def test_ablation_series_summary(benchmark, record_table):
+    def summarise():
+        for tolerance in TOLERANCES:
+            if tolerance not in _RESULTS:
+                _analyse(tolerance)
+        return {tol: _RESULTS[tol] for tol in TOLERANCES}
+
+    results = benchmark.pedantic(summarise, rounds=1, iterations=1)
+    reference = results[min(TOLERANCES)]
+
+    rows = []
+    for tolerance, res in results.items():
+        drift = abs(
+            res.equivalent_resistance - reference.equivalent_resistance
+        ) / reference.equivalent_resistance
+        rows.append(
+            [
+                tolerance,
+                res.kernel.series_length(1, 1),
+                res.kernel.series_length(1, 2),
+                res.timings["matrix_generation"],
+                res.equivalent_resistance,
+                drift * 100.0,
+            ]
+        )
+        # Loosening the truncation must never change the resistance by more
+        # than a fraction of a percent at 1e-4 and below.
+        if tolerance <= 1e-4:
+            assert drift < 5e-3
+
+    # Cost grows with tighter tolerances (more image terms).
+    assert results[1e-8].kernel.series_length(1, 1) > results[1e-2].kernel.series_length(1, 1)
+
+    table = format_table(
+        [
+            "series tolerance",
+            "k11 terms",
+            "k12 terms",
+            "matrix generation [s]",
+            "Req [ohm]",
+            "drift vs tightest [%]",
+        ],
+        rows,
+        float_format="{:.4g}",
+    )
+    record_table("ablation_series_tolerance", table)

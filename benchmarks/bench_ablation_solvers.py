@@ -1,0 +1,75 @@
+"""Ablation — linear solvers for the dense Galerkin system.
+
+The paper argues (Section 4.3) that the diagonally preconditioned conjugate
+gradient is the right solver for large grounding systems because its cost stays
+negligible next to the matrix generation.  This ablation assembles the Barberá
+two-layer system once and benchmarks every solver on it, recording iteration
+counts, residuals and timings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bem.assembly import assemble_system
+from repro.cad.report import format_table
+from repro.experiments.barbera import barbera_case
+from repro.geometry.discretize import discretize_grid
+from repro.solvers import SOLVER_NAMES, solve_system
+
+
+@pytest.fixture(scope="module")
+def barbera_system():
+    grid, soil, gpr = barbera_case("two_layer")
+    mesh = discretize_grid(grid, soil=soil)
+    return assemble_system(mesh, soil, gpr=gpr)
+
+
+_RESULTS: dict[str, object] = {}
+
+
+@pytest.mark.parametrize("method", SOLVER_NAMES)
+def test_ablation_solver(benchmark, barbera_system, method):
+    result = benchmark(solve_system, barbera_system.matrix, barbera_system.rhs, method)
+    _RESULTS[method] = result
+    assert result.converged
+    assert result.residual < 1e-8
+
+
+def test_ablation_solver_summary(benchmark, record_table, barbera_system):
+    def summarise():
+        for method in SOLVER_NAMES:
+            if method not in _RESULTS:
+                _RESULTS[method] = solve_system(
+                    barbera_system.matrix, barbera_system.rhs, method
+                )
+        return dict(_RESULTS)
+
+    results = benchmark.pedantic(summarise, rounds=1, iterations=1)
+
+    reference = results["cholesky"].solution
+    rows = []
+    for method, result in results.items():
+        deviation = float(
+            np.linalg.norm(result.solution - reference) / np.linalg.norm(reference)
+        )
+        assert deviation < 1e-6
+        rows.append(
+            [
+                method,
+                result.iterations,
+                result.residual,
+                result.elapsed_seconds,
+                deviation,
+            ]
+        )
+    # The preconditioned CG needs no more iterations than the plain CG.
+    assert results["pcg"].iterations <= results["cg"].iterations
+
+    table = format_table(
+        ["solver", "iterations", "relative residual", "seconds", "deviation vs Cholesky"],
+        rows,
+        float_format="{:.3g}",
+    )
+    record_table("ablation_solvers", table)

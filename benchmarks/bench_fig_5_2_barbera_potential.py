@@ -1,0 +1,91 @@
+"""Section 5.1 numbers and Fig. 5.2 — the Barberá analysis.
+
+Regenerates, for the uniform and the two-layer soil model:
+
+* the equivalent resistance and total surge current quoted in the text
+  (0.3128 Ω / 31.97 kA and 0.3704 Ω / 26.99 kA at GPR = 10 kV),
+* the earth-surface potential distribution of Fig. 5.2 (summarised here by the
+  map extrema and a mid-grid profile, since the benchmark has no plotting
+  backend).
+
+Each benchmark round runs the full pipeline (discretisation, matrix
+generation, solve); the potential raster is evaluated once outside the timed
+section.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cad.contours import potential_map
+from repro.cad.report import format_table
+from repro.experiments.barbera import BARBERA_PAPER_RESULTS, run_barbera
+
+_RESULTS: dict[str, object] = {}
+
+
+def _analyse(case: str):
+    results = run_barbera(case)
+    _RESULTS[case] = results
+    return results
+
+
+@pytest.mark.parametrize("case", ["uniform", "two_layer"])
+def test_fig_5_2_barbera_analysis(benchmark, record_table, case):
+    results = benchmark.pedantic(_analyse, args=(case,), rounds=1, iterations=1)
+    paper = BARBERA_PAPER_RESULTS[case]
+
+    # Shape check: same ballpark as the paper (the grid is a reconstruction).
+    assert results.equivalent_resistance == pytest.approx(
+        paper["equivalent_resistance_ohm"], rel=0.15
+    )
+
+    surface = potential_map(results, margin=20.0, n_x=41, n_y=41)
+    profile_x, profile_v = surface.profile_along_y(x_value=30.0)
+
+    table = format_table(
+        ["quantity", "measured", "paper"],
+        [
+            ["equivalent resistance [ohm]", results.equivalent_resistance,
+             paper["equivalent_resistance_ohm"]],
+            ["total current [kA]", results.total_current_ka, paper["total_current_ka"]],
+            ["GPR [kV]", results.gpr / 1e3, 10.0],
+            ["matrix generation [s]", results.timings["matrix_generation"], float("nan")],
+            ["surface potential max [V]", surface.max_value, float("nan")],
+            ["surface potential max / GPR", surface.max_value / results.gpr, float("nan")],
+            ["surface potential at grid centre [V]",
+             float(np.interp(60.0, profile_x, profile_v)), float("nan")],
+            ["surface potential 20 m outside [V]",
+             float(np.interp(-20.0, profile_x, profile_v)), float("nan")],
+        ],
+    )
+    record_table(f"fig_5_2_barbera_{case}", table)
+
+
+def test_fig_5_2_soil_model_comparison(benchmark, record_table):
+    """The paper's key observation: the two-layer model changes the design values."""
+
+    def compare():
+        uniform = _RESULTS.get("uniform") or _analyse("uniform")
+        two_layer = _RESULTS.get("two_layer") or _analyse("two_layer")
+        return uniform, two_layer
+
+    uniform, two_layer = benchmark.pedantic(compare, rounds=1, iterations=1)
+
+    assert two_layer.equivalent_resistance > uniform.equivalent_resistance
+    assert two_layer.total_current < uniform.total_current
+
+    ratio = two_layer.equivalent_resistance / uniform.equivalent_resistance
+    table = format_table(
+        ["quantity", "measured", "paper"],
+        [
+            ["Req(two-layer) / Req(uniform)", ratio, 0.3704 / 0.3128],
+            ["I(two-layer) / I(uniform)", two_layer.total_current / uniform.total_current,
+             26.99 / 31.97],
+            ["matrix-generation cost ratio (two-layer / uniform)",
+             two_layer.timings["matrix_generation"] / uniform.timings["matrix_generation"],
+             float("nan")],
+        ],
+    )
+    record_table("fig_5_2_barbera_comparison", table)

@@ -1,0 +1,64 @@
+"""Fig. 5.4 — Balaidos earth-surface potential for soil models A, B and C.
+
+The benchmark measures the surface-potential evaluation (the post-processing
+step the paper singles out as potentially expensive when drawing contours) for
+each soil model, and records the map statistics that characterise the figure:
+the maximum and minimum of V / GPR over the site and the potential right above
+the grid centre versus outside the fence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cad.contours import extract_contours, potential_map
+from repro.cad.report import format_table
+
+_SUMMARY_ROWS: list[list] = []
+
+
+@pytest.mark.parametrize("model", ["A", "B", "C"])
+def test_fig_5_4_surface_potential(benchmark, balaidos_results_all, model, record_table):
+    results = balaidos_results_all[model]
+
+    surface = benchmark.pedantic(
+        potential_map,
+        kwargs=dict(results=results, margin=15.0, n_x=31, n_y=31),
+        rounds=1,
+        iterations=1,
+    )
+    contours = extract_contours(surface, n_levels=8)
+
+    centre = results.evaluator().potential_at(np.array([40.0, 27.0, 0.0]))
+    outside = results.evaluator().potential_at(np.array([-15.0, 27.0, 0.0]))
+
+    _SUMMARY_ROWS.append(
+        [
+            model,
+            surface.max_value / results.gpr,
+            surface.min_value / results.gpr,
+            float(centre) / results.gpr,
+            float(outside) / results.gpr,
+            contours.n_levels,
+        ]
+    )
+
+    # Inside the grid the surface potential approaches the GPR; far outside it
+    # must fall well below it (this is what creates touch-voltage exposure).
+    assert centre > 0.5 * results.gpr
+    assert outside < centre
+
+    if len(_SUMMARY_ROWS) == 3:
+        table = format_table(
+            [
+                "Soil Model",
+                "max V/GPR",
+                "min V/GPR",
+                "V/GPR at grid centre",
+                "V/GPR 15 m outside",
+                "contour levels",
+            ],
+            _SUMMARY_ROWS,
+        )
+        record_table("fig_5_4_balaidos_surface_potential", table)

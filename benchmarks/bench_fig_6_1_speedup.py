@@ -1,0 +1,74 @@
+"""Fig. 6.1 — speed-up versus processor count, outer vs inner loop.
+
+The workload is the Barberá two-layer matrix generation.  Its measured
+per-column costs (session fixture) are replayed in the Origin-2000-like machine
+simulator for 1–64 processors with the ``Dynamic,1`` schedule — producing both
+curves of the paper's figure — and the outer-loop curve is validated against
+real process-pool runs on the cores available locally.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.cad.report import format_table
+from repro.experiments.scaling import figure_6_1_curves, measure_real_speedups
+
+PROCESSORS = (1, 2, 4, 8, 12, 16, 24, 32, 48, 64)
+
+
+def test_fig_6_1_simulated_curves(benchmark, record_table, barbera_two_layer_column_costs):
+    column_costs, total_seconds = barbera_two_layer_column_costs
+
+    curves = benchmark(
+        figure_6_1_curves, column_costs, processor_counts=PROCESSORS, schedule="Dynamic,1"
+    )
+
+    outer = {row["n_processors"]: row["speedup"] for row in curves["outer"]}
+    inner = {row["n_processors"]: row["speedup"] for row in curves["inner"]}
+
+    # Shape of the paper's figure: the outer-loop parallelisation is always at
+    # least as good as the inner-loop one, with a widening gap, and stays close
+    # to the ideal line.
+    for count in PROCESSORS:
+        assert outer[count] >= inner[count] - 1e-6
+    assert outer[64] > 55.0
+    assert inner[64] < outer[64]
+    assert outer[64] - inner[64] > outer[2] - inner[2]
+
+    rows = [[p, outer[p], inner[p]] for p in PROCESSORS]
+    table = format_table(
+        ["processors", "outer-loop speed-up", "inner-loop speed-up"],
+        rows,
+        float_format="{:.2f}",
+    )
+    record_table(
+        "fig_6_1_speedup_simulated",
+        table + f"\n(sequential matrix generation: {total_seconds:.2f} s on this host)",
+    )
+
+
+def test_fig_6_1_real_outer_loop(benchmark, record_table):
+    available = os.cpu_count() or 1
+    counts = [p for p in (1, 2, 4, 8) if p <= available]
+
+    rows = benchmark.pedantic(
+        measure_real_speedups,
+        kwargs=dict(case="barbera/two_layer", processor_counts=counts, schedule="Dynamic,1"),
+        rounds=1,
+        iterations=1,
+    )
+
+    speedups = {row["n_processors"]: row["speedup"] for row in rows}
+    # More workers never slow the real assembly down on this workload.
+    ordered = [speedups[p] for p in counts]
+    assert all(b >= 0.8 * a for a, b in zip(ordered, ordered[1:]))
+
+    table = format_table(
+        ["processors", "wall seconds", "speed-up (vs sequential)"],
+        [[row["n_processors"], row["cpu_seconds"], row["speedup"]] for row in rows],
+        float_format="{:.2f}",
+    )
+    record_table("fig_6_1_speedup_real_process_pool", table)

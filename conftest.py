@@ -1,0 +1,14 @@
+"""Repository-level pytest configuration.
+
+Ensures ``src/`` is importable even when the package has not been installed
+(e.g. on offline machines where ``pip install -e .`` cannot resolve its build
+dependencies).  When the package *is* installed this is a harmless no-op that
+merely shadows the installed copy with the in-tree sources.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

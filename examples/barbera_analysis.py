@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Example 1 of the paper: the Barberá substation grounding grid (Section 5.1).
+
+Reconstructs the 408-segment right-triangle grid, analyses it at a 10 kV GPR
+under the uniform and the two-layer soil model, and compares the equivalent
+resistance and total surge current with the values reported in the paper
+(0.3128 Ω / 31.97 kA and 0.3704 Ω / 26.99 kA).  It finishes with the surface
+potential distribution behind Fig. 5.2.
+
+Run with::
+
+    python examples/barbera_analysis.py          # full-size grid (~15 s)
+    python examples/barbera_analysis.py --coarse # quarter-size grid (~2 s)
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cad.contours import extract_contours, potential_map
+from repro.cad.report import format_table
+from repro.experiments.barbera import BARBERA_PAPER_RESULTS, run_barbera
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--coarse", action="store_true", help="use a coarser grid for a quick demonstration"
+    )
+    parser.add_argument(
+        "--raster", type=int, default=41, help="surface potential raster resolution per axis"
+    )
+    args = parser.parse_args()
+
+    rows = []
+    results_by_case = {}
+    for case in ("uniform", "two_layer"):
+        results = run_barbera(case, coarse=args.coarse)
+        results_by_case[case] = results
+        paper = BARBERA_PAPER_RESULTS[case]
+        rows.append(
+            [
+                case,
+                results.equivalent_resistance,
+                paper["equivalent_resistance_ohm"],
+                results.total_current_ka,
+                paper["total_current_ka"],
+                results.timings["matrix_generation"],
+            ]
+        )
+        print(
+            f"{case:10s}: Req = {results.equivalent_resistance:.4f} ohm "
+            f"(paper {paper['equivalent_resistance_ohm']:.4f}), "
+            f"I = {results.total_current_ka:.2f} kA (paper {paper['total_current_ka']:.2f})"
+        )
+
+    print("\nSection 5.1 summary")
+    print(
+        format_table(
+            [
+                "soil model",
+                "Req [ohm]",
+                "paper Req",
+                "I [kA]",
+                "paper I",
+                "matrix gen [s]",
+            ],
+            rows,
+        )
+    )
+
+    ratio = (
+        results_by_case["two_layer"].equivalent_resistance
+        / results_by_case["uniform"].equivalent_resistance
+    )
+    paper_ratio = 0.3704 / 0.3128
+    print(
+        f"\nTwo-layer / uniform resistance ratio: {ratio:.3f} "
+        f"(paper {paper_ratio:.3f}) — the two-layer model predicts a noticeably "
+        "higher resistance, which is the paper's main engineering point."
+    )
+
+    # Fig. 5.2: the earth-surface potential distribution of both models.
+    print("\nSurface potential distribution (Fig. 5.2):")
+    for case, results in results_by_case.items():
+        surface = potential_map(results, margin=20.0, n_x=args.raster, n_y=args.raster)
+        contours = extract_contours(surface, n_levels=8)
+        print(
+            f"  {case:10s}: V_surface in [{surface.min_value:8.1f}, {surface.max_value:8.1f}] V, "
+            f"{contours.n_levels} contour levels extracted"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Touch/step voltage verification of a grounding design (IEEE Std 80).
+
+The end goal of grounding analysis (paper, Section 1) is to keep the step,
+touch and mesh voltages below the tolerable limits.  This example analyses a
+substation-like grid in a two-layer soil, samples the earth-surface potential,
+derives the touch- and step-voltage maps and profiles, and checks them against
+the IEEE Std 80 limits for a 0.5 s fault and a 70 kg person, with and without a
+crushed-rock surface layer.
+
+Run with::
+
+    python examples/safety_assessment.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import GridBuilder, GroundingAnalysis, SafetyAssessment, TwoLayerSoil
+from repro.cad.profiles import step_voltage_profile, touch_voltage_profile
+from repro.cad.report import format_table
+
+
+def main() -> None:
+    builder = GridBuilder(
+        depth=0.8, conductor_radius=5.64e-3, rod_radius=7.0e-3, rod_length=2.5, name="demo-substation"
+    )
+    grid = builder.rectangular_mesh(70.0, 50.0, 7, 5)
+    builder.add_rods(grid, GridBuilder.perimeter_node_positions(grid)[::2, :2])
+    soil = TwoLayerSoil.from_resistivities(250.0, 90.0, 1.2)
+
+    results = GroundingAnalysis(grid, soil, gpr=10_000.0).run()
+    print(f"Equivalent resistance: {results.equivalent_resistance:.4f} ohm")
+    print(f"Total surge current  : {results.total_current_ka:.2f} kA")
+
+    surface = results.evaluator().surface_potential_over_grid(margin=20.0, n_x=51, n_y=51)
+
+    rows = []
+    for label, surface_resistivity in (("bare soil", None), ("10 cm crushed rock", 3000.0)):
+        assessment = SafetyAssessment.from_surface(
+            surface,
+            gpr=results.gpr,
+            equivalent_resistance=results.equivalent_resistance,
+            total_current=results.total_current,
+            soil_resistivity=250.0,
+            fault_duration_s=0.5,
+            body_weight_kg=70.0,
+            surface_resistivity=surface_resistivity,
+            surface_thickness=0.10,
+        )
+        rows.append(
+            [
+                label,
+                assessment.max_touch_voltage,
+                assessment.tolerable_touch_voltage,
+                "OK" if assessment.touch_voltage_ok else "EXCEEDED",
+                assessment.max_step_voltage,
+                assessment.tolerable_step_voltage,
+                "OK" if assessment.step_voltage_ok else "EXCEEDED",
+            ]
+        )
+
+    print("\nIEEE Std 80 verification (0.5 s fault, 70 kg person):")
+    print(
+        format_table(
+            [
+                "surface finish",
+                "max touch [V]",
+                "tolerable touch [V]",
+                "touch",
+                "max step [V]",
+                "tolerable step [V]",
+                "step",
+            ],
+            rows,
+        )
+    )
+
+    # Walking profile across the fence line: where is the worst exposure?
+    touch = touch_voltage_profile(results, (-15.0, 25.0), (85.0, 25.0), n_points=101)
+    step = step_voltage_profile(results, (-15.0, 25.0), (85.0, 25.0), n_points=101)
+    worst_touch_at = touch.stations[int(np.argmax(touch.values))]
+    worst_step_at = step.stations[int(np.argmax(step.values))]
+    print(
+        f"\nAlong the west-east walking profile: worst touch voltage "
+        f"{touch.max_value:.0f} V at {worst_touch_at:.1f} m, worst step voltage "
+        f"{step.max_value:.0f} V at {worst_step_at:.1f} m from the profile start."
+    )
+    print(
+        "The touch voltage peaks outside the grid edge while the step voltage peaks "
+        "right above the perimeter conductors — the classical behaviour grounding "
+        "designers mitigate with perimeter rods and crushed-rock surfacing."
+    )
+
+
+if __name__ == "__main__":
+    main()

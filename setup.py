@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file only exists so
+that legacy editable installs (``pip install -e . --no-use-pep517``) work on
+offline machines where the PEP 517 build isolation cannot download its build
+dependencies.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,140 @@
+"""repro — parallel BEM analysis of substation earthing systems in layered soils.
+
+A Python reproduction of *"Parallel Computing Aided Design of Earthing Systems
+for Electrical Substations in Non-Homogeneous Soil Models"* (Colominas, Gómez,
+Navarrina, Casteleiro, Cela — ICPP 2000): a 1D Galerkin boundary-element solver
+for grounding grids embedded in uniform and two-layer soils, the CAD workflow
+built on it, and the parallelisation study of its dense matrix generation
+(OpenMP-style schedules, real process pools plus a shared-memory machine
+simulator).
+
+Quick start::
+
+    from repro import GroundingAnalysis, UniformSoil, GridBuilder
+
+    grid = GridBuilder(depth=0.8, conductor_radius=6e-3).rectangular_mesh(60, 40, 6, 4)
+    results = GroundingAnalysis(grid, UniformSoil(0.01), gpr=10_000.0).run()
+    print(results.equivalent_resistance, "ohm")
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro._version import __version__
+from repro.constants import DEFAULT_GPR
+from repro.exceptions import ReproError
+
+# Geometry
+from repro.geometry import (
+    Conductor,
+    ConductorKind,
+    GroundingGrid,
+    GridBuilder,
+    Mesh,
+    discretize_grid,
+    barbera_grid,
+    balaidos_grid,
+    validate_grid,
+)
+
+# Soil models
+from repro.soil import (
+    SoilModel,
+    UniformSoil,
+    TwoLayerSoil,
+    MultiLayerSoil,
+    WennerSurvey,
+    fit_two_layer_model,
+)
+
+# Kernels
+from repro.kernels import (
+    SeriesControl,
+    UniformSoilKernel,
+    TwoLayerSoilKernel,
+    HankelKernel,
+    kernel_for_soil,
+)
+
+# BEM core
+from repro.bem import (
+    ElementType,
+    GroundingAnalysis,
+    AnalysisResults,
+    PotentialEvaluator,
+    SurfaceGrid,
+    SafetyAssessment,
+)
+
+# Parallel machinery
+from repro.parallel import (
+    ParallelOptions,
+    Schedule,
+    ScheduleKind,
+    Backend,
+    LoopLevel,
+    MachineModel,
+    ScheduleSimulator,
+)
+
+# CAD layer
+from repro.cad import GroundingProject
+
+# Design-support layer
+from repro.design import (
+    FaultScenario,
+    ground_potential_rise,
+    minimum_conductor_section,
+    optimize_grid_design,
+)
+
+__all__ = [
+    "__version__",
+    "DEFAULT_GPR",
+    "ReproError",
+    # geometry
+    "Conductor",
+    "ConductorKind",
+    "GroundingGrid",
+    "GridBuilder",
+    "Mesh",
+    "discretize_grid",
+    "barbera_grid",
+    "balaidos_grid",
+    "validate_grid",
+    # soil
+    "SoilModel",
+    "UniformSoil",
+    "TwoLayerSoil",
+    "MultiLayerSoil",
+    "WennerSurvey",
+    "fit_two_layer_model",
+    # kernels
+    "SeriesControl",
+    "UniformSoilKernel",
+    "TwoLayerSoilKernel",
+    "HankelKernel",
+    "kernel_for_soil",
+    # bem
+    "ElementType",
+    "GroundingAnalysis",
+    "AnalysisResults",
+    "PotentialEvaluator",
+    "SurfaceGrid",
+    "SafetyAssessment",
+    # parallel
+    "ParallelOptions",
+    "Schedule",
+    "ScheduleKind",
+    "Backend",
+    "LoopLevel",
+    "MachineModel",
+    "ScheduleSimulator",
+    # cad
+    "GroundingProject",
+    # design
+    "FaultScenario",
+    "ground_potential_rise",
+    "minimum_conductor_section",
+    "optimize_grid_design",
+]

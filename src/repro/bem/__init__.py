@@ -1,0 +1,47 @@
+"""Boundary-element core: the paper's primary contribution.
+
+This sub-package implements the approximated 1D Galerkin boundary element
+formulation of Section 4 of the paper:
+
+* :mod:`repro.bem.segment_integrals` — analytic integration of the ``1/r``
+  image contributions along straight source elements (the "highly efficient
+  analytical integration techniques" the paper refers to);
+* :mod:`repro.bem.elements` — constant and linear leakage-current elements and
+  the mapping from elements to global degrees of freedom;
+* :mod:`repro.bem.influence` — element-pair and element-column influence
+  coefficients ``R_βα`` including every image term of the layered-soil kernel;
+* :mod:`repro.bem.assembly` — sequential assembly of the dense, symmetric
+  Galerkin matrix and of the right-hand side (the paper's equation (4.4));
+* :mod:`repro.bem.potential` — evaluation of the earth-surface (or arbitrary
+  point) potential once the leakage density is known (equation (4.2));
+* :mod:`repro.bem.safety` — equivalent resistance, touch/step/mesh voltages and
+  the IEEE Std 80 tolerable limits;
+* :mod:`repro.bem.formulation` — the high-level :class:`GroundingAnalysis`
+  facade tying everything together.
+"""
+
+from repro.bem.elements import ElementType, DofManager
+from repro.bem.quadrature import gauss_legendre_rule
+from repro.bem.system import LinearSystem
+from repro.bem.assembly import assemble_system, assemble_rhs, AssemblyOptions
+from repro.bem.potential import PotentialEvaluator, SurfaceGrid
+from repro.bem.results import AnalysisResults
+from repro.bem.formulation import GroundingAnalysis
+from repro.bem.safety import SafetyAssessment, ieee80_tolerable_touch, ieee80_tolerable_step
+
+__all__ = [
+    "ElementType",
+    "DofManager",
+    "gauss_legendre_rule",
+    "LinearSystem",
+    "AssemblyOptions",
+    "assemble_system",
+    "assemble_rhs",
+    "PotentialEvaluator",
+    "SurfaceGrid",
+    "AnalysisResults",
+    "GroundingAnalysis",
+    "SafetyAssessment",
+    "ieee80_tolerable_touch",
+    "ieee80_tolerable_step",
+]

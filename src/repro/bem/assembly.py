@@ -1,0 +1,228 @@
+"""Sequential assembly of the Galerkin boundary-element system.
+
+Following Section 6.2 of the paper, the matrix generation is organised as a
+loop over the ``M (M + 1) / 2`` element pairs arranged as a *triangle of M
+columns*: the column of source element α couples it with every element
+``β ≥ α``.  :func:`assemble_system` runs those columns sequentially and
+scatters the resulting elemental blocks into the global matrix; the parallel
+backends of :mod:`repro.parallel.parallel_assembly` reuse exactly the same
+column tasks and the same scatter step (computation of elemental matrices in
+parallel, assembly performed afterwards — the scheme the paper adopts to break
+the assembly dependency between threads).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.bem.elements import DofManager, ElementType
+from repro.bem.influence import ColumnAssembler
+from repro.bem.system import LinearSystem
+from repro.constants import DEFAULT_GAUSS_POINTS, DEFAULT_GPR
+from repro.exceptions import AssemblyError
+from repro.geometry.discretize import Mesh
+from repro.kernels.base import LayeredKernel, kernel_for_soil
+from repro.kernels.series import SeriesControl
+from repro.soil.base import SoilModel
+
+__all__ = ["AssemblyOptions", "assemble_rhs", "assemble_system", "scatter_column", "ColumnResult"]
+
+
+@dataclass(frozen=True)
+class AssemblyOptions:
+    """Parameters of the Galerkin assembly.
+
+    Parameters
+    ----------
+    element_type:
+        Constant or linear leakage elements.
+    n_gauss:
+        Gauss points of the outer (test) integral.
+    series_control:
+        Truncation of the layered-soil image series.
+    """
+
+    element_type: ElementType = ElementType.LINEAR
+    n_gauss: int = DEFAULT_GAUSS_POINTS
+    series_control: SeriesControl = field(default_factory=SeriesControl)
+
+    def __post_init__(self) -> None:
+        if self.n_gauss < 1:
+            raise AssemblyError("n_gauss must be at least 1")
+        if not isinstance(self.element_type, ElementType):
+            object.__setattr__(self, "element_type", ElementType(self.element_type))
+
+
+@dataclass
+class ColumnResult:
+    """Elemental blocks of one assembly column (one outer-loop cycle)."""
+
+    #: Index of the source element (the column).
+    source_index: int
+    #: Indices of the target elements of the column.
+    targets: np.ndarray
+    #: Blocks of shape ``(len(targets), nb, nb)``.
+    blocks: np.ndarray
+    #: Wall-clock seconds spent computing the column (used by the scheduler
+    #: simulator and the timing tables).
+    elapsed_seconds: float = 0.0
+
+
+def assemble_rhs(dof_manager: DofManager, gpr: float = DEFAULT_GPR) -> np.ndarray:
+    """Right-hand side ``ν_j = GPR ∫ w_j dΓ`` of the Galerkin system."""
+    if gpr <= 0.0:
+        raise AssemblyError(f"the Ground Potential Rise must be positive, got {gpr}")
+    return float(gpr) * dof_manager.assemble_basis_integrals()
+
+
+def scatter_column(
+    matrix: np.ndarray,
+    dof_matrix: np.ndarray,
+    column: ColumnResult,
+) -> None:
+    """Scatter-add the blocks of one column into the global matrix.
+
+    The source column couples element α with every target ``β >= α``; symmetry
+    of the Galerkin formulation is exploited by also adding the transposed
+    block at the mirrored position (except for the diagonal pair, which is
+    symmetrised in place), exactly as the paper discards "approximately half"
+    of the contributions.
+    """
+    alpha = column.source_index
+    cols = dof_matrix[alpha]
+    for target, block in zip(column.targets, column.blocks):
+        rows = dof_matrix[int(target)]
+        if int(target) == alpha:
+            symmetric_block = 0.5 * (block + block.T)
+            matrix[np.ix_(rows, cols)] += symmetric_block
+        else:
+            matrix[np.ix_(rows, cols)] += block
+            matrix[np.ix_(cols, rows)] += block.T
+
+
+def compute_column(assembler: ColumnAssembler, source_index: int) -> ColumnResult:
+    """Compute (and time) the elemental blocks of one column."""
+    start = time.perf_counter()
+    targets, blocks = assembler.column_blocks(source_index)
+    elapsed = time.perf_counter() - start
+    return ColumnResult(
+        source_index=source_index, targets=targets, blocks=blocks, elapsed_seconds=elapsed
+    )
+
+
+def assemble_system(
+    mesh: Mesh,
+    soil: SoilModel,
+    gpr: float = DEFAULT_GPR,
+    options: AssemblyOptions | None = None,
+    kernel: LayeredKernel | None = None,
+    column_order: Sequence[int] | None = None,
+    collect_column_times: bool = False,
+) -> LinearSystem:
+    """Assemble the dense Galerkin system sequentially.
+
+    Parameters
+    ----------
+    mesh:
+        Discretised grounding grid.
+    soil:
+        Layered soil model (one or two layers for the analytic kernels).
+    gpr:
+        Ground Potential Rise [V].
+    options:
+        Element type, quadrature order and series truncation.
+    kernel:
+        Pre-built kernel; by default one is created for ``soil`` with the
+        options' series control.
+    column_order:
+        Optional explicit ordering of the columns (used by tests and by the
+        deterministic replay of parallel schedules); default ``0..M-1``.
+    collect_column_times:
+        When ``True`` the per-column wall-clock times are stored in the system
+        metadata under ``"column_seconds"`` — this is the task-cost profile
+        consumed by the scheduler simulator of :mod:`repro.parallel.simulator`.
+
+    Returns
+    -------
+    LinearSystem
+        The assembled system with assembly metadata.
+    """
+    options = options or AssemblyOptions()
+    if kernel is None:
+        kernel = kernel_for_soil(soil, options.series_control)
+    dof_manager = DofManager(mesh, options.element_type)
+    assembler = ColumnAssembler(mesh, kernel, dof_manager, options.n_gauss)
+    dof_matrix = dof_manager.element_dof_matrix()
+
+    n = dof_manager.n_dofs
+    matrix = np.zeros((n, n))
+    columns = range(mesh.n_elements) if column_order is None else column_order
+
+    start = time.perf_counter()
+    column_seconds = np.zeros(mesh.n_elements)
+    for source_index in columns:
+        column = compute_column(assembler, int(source_index))
+        scatter_column(matrix, dof_matrix, column)
+        column_seconds[column.source_index] = column.elapsed_seconds
+    generation_seconds = time.perf_counter() - start
+
+    rhs = assemble_rhs(dof_manager, gpr)
+
+    metadata: dict = {
+        "matrix_generation_seconds": generation_seconds,
+        "n_elements": mesh.n_elements,
+        "n_dofs": n,
+        "element_type": options.element_type.value,
+        "n_gauss": options.n_gauss,
+        "soil_layers": soil.n_layers,
+        "kernel_terms": {
+            f"k{b}{c}": kernel.series_length(b, c)
+            for b in range(1, soil.n_layers + 1)
+            for c in range(1, soil.n_layers + 1)
+        },
+        "backend": "sequential",
+    }
+    if collect_column_times:
+        metadata["column_seconds"] = column_seconds
+
+    return LinearSystem(
+        matrix=matrix, rhs=rhs, dof_manager=dof_manager, gpr=float(gpr), metadata=metadata
+    )
+
+
+def assemble_from_columns(
+    columns: Iterable[ColumnResult],
+    dof_manager: DofManager,
+    gpr: float = DEFAULT_GPR,
+    metadata: dict | None = None,
+) -> LinearSystem:
+    """Build a :class:`LinearSystem` from pre-computed column blocks.
+
+    This is the sequential "assembly" stage that follows the (possibly
+    parallel) computation of the elemental matrices, mirroring the paper's
+    scheme of taking the assembly out of the parallel loop.
+    """
+    dof_matrix = dof_manager.element_dof_matrix()
+    n = dof_manager.n_dofs
+    matrix = np.zeros((n, n))
+    seen: set[int] = set()
+    for column in columns:
+        if column.source_index in seen:
+            raise AssemblyError(f"column {column.source_index} provided twice")
+        seen.add(column.source_index)
+        scatter_column(matrix, dof_matrix, column)
+    if len(seen) != dof_manager.n_elements:
+        missing = sorted(set(range(dof_manager.n_elements)) - seen)
+        raise AssemblyError(f"missing columns in assembly: {missing[:10]} ...")
+    rhs = assemble_rhs(dof_manager, gpr)
+    return LinearSystem(
+        matrix=matrix,
+        rhs=rhs,
+        dof_manager=dof_manager,
+        gpr=float(gpr),
+        metadata=dict(metadata or {}),
+    )

@@ -1,0 +1,139 @@
+"""Boundary-element types and degree-of-freedom management.
+
+The paper's Galerkin formulation supports different families of trial/test
+functions; this module implements the two used in practice:
+
+* ``ElementType.CONSTANT`` — one degree of freedom per element, the leakage
+  current per unit length is uniform along the element;
+* ``ElementType.LINEAR`` — degrees of freedom at the mesh nodes, the leakage
+  density varies linearly along each element and is continuous across nodes
+  (these are the "linear leakage current elements" of the Barberá example,
+  where 408 elements give 238 nodal unknowns).
+
+:class:`DofManager` maps (element, local basis function) pairs to global
+unknown indices and provides the exact integrals of the basis functions used
+for the right-hand side and for the total leaked current.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.exceptions import AssemblyError
+from repro.geometry.discretize import Mesh, MeshElement
+
+__all__ = ["ElementType", "DofManager"]
+
+
+class ElementType(str, enum.Enum):
+    """Trial/test function family of the 1D Galerkin formulation."""
+
+    #: Piecewise-constant leakage density, one unknown per element.
+    CONSTANT = "constant"
+    #: Piecewise-linear, nodally continuous leakage density.
+    LINEAR = "linear"
+
+    @property
+    def basis_per_element(self) -> int:
+        """Number of local basis functions supported on one element."""
+        return 1 if self is ElementType.CONSTANT else 2
+
+
+class DofManager:
+    """Mapping between elements, local basis functions and global unknowns."""
+
+    def __init__(self, mesh: Mesh, element_type: ElementType = ElementType.LINEAR) -> None:
+        if not isinstance(element_type, ElementType):
+            element_type = ElementType(element_type)
+        self.mesh = mesh
+        self.element_type = element_type
+        if element_type is ElementType.CONSTANT:
+            self._n_dofs = mesh.n_elements
+        else:
+            self._n_dofs = mesh.n_nodes
+
+    # -- sizes --------------------------------------------------------------------
+
+    @property
+    def n_dofs(self) -> int:
+        """Number of global unknowns (the paper's ``N``)."""
+        return self._n_dofs
+
+    @property
+    def n_elements(self) -> int:
+        """Number of elements (the paper's ``M``)."""
+        return self.mesh.n_elements
+
+    # -- per-element views ----------------------------------------------------------
+
+    def element_dofs(self, element: MeshElement) -> np.ndarray:
+        """Global dof indices of the element's local basis functions."""
+        if self.element_type is ElementType.CONSTANT:
+            return np.array([element.index], dtype=int)
+        return np.array(element.node_ids, dtype=int)
+
+    def element_dof_matrix(self) -> np.ndarray:
+        """All element dof indices, shape ``(n_elements, basis_per_element)``."""
+        return np.array(
+            [self.element_dofs(element) for element in self.mesh.elements], dtype=int
+        )
+
+    def basis_integrals(self, element: MeshElement) -> np.ndarray:
+        """Integrals ``∫ N_i dl`` of the local basis functions over the element.
+
+        For constant elements this is ``[L]``; for linear elements
+        ``[L/2, L/2]``.  These integrals define the right-hand side of the
+        Galerkin system and the weights turning nodal leakage densities into
+        the total leaked current.
+        """
+        length = element.length
+        if self.element_type is ElementType.CONSTANT:
+            return np.array([length], dtype=float)
+        return np.array([0.5 * length, 0.5 * length], dtype=float)
+
+    def shape_values(self, local_coords: np.ndarray) -> np.ndarray:
+        """Basis function values at normalised coordinates ``l / L`` in [0, 1].
+
+        Returns an array of shape ``(len(local_coords), basis_per_element)``.
+        """
+        t = np.asarray(local_coords, dtype=float)
+        if np.any(t < -1e-12) or np.any(t > 1.0 + 1e-12):
+            raise AssemblyError("local coordinates must lie in [0, 1]")
+        if self.element_type is ElementType.CONSTANT:
+            return np.ones((*t.shape, 1))
+        return np.stack((1.0 - t, t), axis=-1)
+
+    # -- global helpers ---------------------------------------------------------------
+
+    def assemble_basis_integrals(self) -> np.ndarray:
+        """Global vector ``g`` with ``g_j = ∫ N_j dl`` over the whole electrode.
+
+        Multiplying the solved leakage densities by this vector gives the total
+        current leaked into the ground, ``I_Γ = Σ_j g_j q_j``.
+        """
+        g = np.zeros(self.n_dofs)
+        for element in self.mesh.elements:
+            dofs = self.element_dofs(element)
+            np.add.at(g, dofs, self.basis_integrals(element))
+        return g
+
+    def element_mean_density(self, dof_values: np.ndarray) -> np.ndarray:
+        """Average leakage density per element from the global dof values."""
+        values = np.asarray(dof_values, dtype=float)
+        if values.shape != (self.n_dofs,):
+            raise AssemblyError(
+                f"dof vector has shape {values.shape}, expected ({self.n_dofs},)"
+            )
+        means = np.empty(self.n_elements)
+        for element in self.mesh.elements:
+            dofs = self.element_dofs(element)
+            means[element.index] = float(values[dofs].mean())
+        return means
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DofManager(element_type={self.element_type.value!r}, "
+            f"n_elements={self.n_elements}, n_dofs={self.n_dofs})"
+        )

@@ -1,0 +1,192 @@
+"""High-level facade running a complete grounding analysis.
+
+:class:`GroundingAnalysis` wires the whole pipeline together in the order the
+paper's CAD program uses (Table 6.1): data input, data pre-processing
+(discretisation and dof numbering), matrix generation, linear-system solving
+and results storage.  Every phase is timed individually so the pipeline-cost
+table of the paper can be reproduced.
+
+Matrix generation — by far the dominant phase — can be executed sequentially or
+handed to one of the parallel backends of :mod:`repro.parallel` by passing a
+:class:`repro.parallel.ParallelOptions` instance.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.bem.assembly import AssemblyOptions, assemble_system
+from repro.bem.elements import DofManager, ElementType
+from repro.bem.results import AnalysisResults
+from repro.constants import DEFAULT_GAUSS_POINTS, DEFAULT_GPR
+from repro.exceptions import ReproError
+from repro.geometry.discretize import Mesh, discretize_grid
+from repro.geometry.grid import GroundingGrid
+from repro.geometry.validation import validate_grid
+from repro.kernels.base import kernel_for_soil
+from repro.kernels.series import SeriesControl
+from repro.soil.base import SoilModel
+from repro.solvers import solve_system
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parallel.options import ParallelOptions
+
+__all__ = ["GroundingAnalysis"]
+
+
+@dataclass
+class GroundingAnalysis:
+    """Complete BEM analysis of a grounding grid in a layered soil.
+
+    Parameters
+    ----------
+    grid:
+        The grounding grid geometry.
+    soil:
+        Uniform or two-layer soil model.
+    gpr:
+        Ground Potential Rise applied to the electrode [V] (10 kV in the
+        paper's case studies; results scale linearly with it).
+    element_type:
+        Constant or linear leakage elements.
+    n_gauss:
+        Gauss points of the outer Galerkin integral.
+    series_control:
+        Truncation of the layered-soil image series.
+    solver:
+        ``"pcg"`` (default, the paper's diagonally preconditioned CG),
+        ``"cg"``, ``"cholesky"`` or ``"lu"``.
+    max_element_length:
+        Optional subdivision of long conductors for refinement studies [m].
+    parallel:
+        Optional :class:`repro.parallel.ParallelOptions`; ``None`` runs the
+        matrix generation sequentially.
+    validate:
+        Whether to run the geometric validation rules before analysing.
+    collect_column_times:
+        Record the per-column assembly times in the result metadata (needed by
+        the scheduler simulator and by the parallel benchmarks).
+    """
+
+    grid: GroundingGrid
+    soil: SoilModel
+    gpr: float = DEFAULT_GPR
+    element_type: ElementType = ElementType.LINEAR
+    n_gauss: int = DEFAULT_GAUSS_POINTS
+    series_control: SeriesControl = field(default_factory=SeriesControl)
+    solver: str = "pcg"
+    max_element_length: float = float("inf")
+    parallel: "ParallelOptions | None" = None
+    validate: bool = True
+    collect_column_times: bool = False
+
+    def __post_init__(self) -> None:
+        if self.gpr <= 0.0:
+            raise ReproError(f"the GPR must be positive, got {self.gpr!r}")
+        if not isinstance(self.element_type, ElementType):
+            self.element_type = ElementType(self.element_type)
+
+    # ------------------------------------------------------------------ pipeline phases
+
+    def load(self) -> GroundingGrid:
+        """"Data input" phase: validate the grid and return it.
+
+        The quadratic conductor-overlap check is skipped here (it is an offline
+        design-review check, see :func:`repro.geometry.validation.validate_grid`)
+        so that the data-input phase stays negligible compared with the matrix
+        generation, as in the paper's Table 6.1.
+        """
+        if self.validate:
+            validate_grid(self.grid, soil=self.soil, check_overlaps=False, raise_on_error=True)
+        return self.grid
+
+    def preprocess(self) -> Mesh:
+        """"Data preprocessing" phase: discretise the grid into elements."""
+        return discretize_grid(
+            self.grid, soil=self.soil, max_element_length=self.max_element_length
+        )
+
+    # ------------------------------------------------------------------ full run
+
+    def run(self) -> AnalysisResults:
+        """Execute the whole pipeline and return the analysis results."""
+        timings: dict[str, float] = {}
+        metadata: dict[str, Any] = {}
+
+        start = time.perf_counter()
+        grid = self.load()
+        timings["data_input"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        mesh = self.preprocess()
+        kernel = kernel_for_soil(self.soil, self.series_control)
+        options = AssemblyOptions(
+            element_type=self.element_type,
+            n_gauss=self.n_gauss,
+            series_control=self.series_control,
+        )
+        timings["data_preprocessing"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        if self.parallel is None:
+            system = assemble_system(
+                mesh,
+                self.soil,
+                gpr=self.gpr,
+                options=options,
+                kernel=kernel,
+                collect_column_times=self.collect_column_times,
+            )
+        else:
+            # Imported lazily so the bem package has no hard dependency on the
+            # parallel machinery (and to avoid an import cycle).
+            from repro.parallel.parallel_assembly import assemble_system_parallel
+
+            system = assemble_system_parallel(
+                mesh,
+                self.soil,
+                gpr=self.gpr,
+                options=options,
+                kernel=kernel,
+                parallel=self.parallel,
+                collect_column_times=self.collect_column_times,
+            )
+        timings["matrix_generation"] = time.perf_counter() - start
+        metadata.update(
+            {
+                key: value
+                for key, value in system.metadata.items()
+                if key not in ("column_seconds",)
+            }
+        )
+        if "column_seconds" in system.metadata:
+            metadata["column_seconds"] = system.metadata["column_seconds"]
+
+        start = time.perf_counter()
+        solve_result = solve_system(system.matrix, system.rhs, method=self.solver)
+        timings["linear_system_solving"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        results = AnalysisResults(
+            mesh=mesh,
+            soil=self.soil,
+            kernel=kernel,
+            dof_manager=system.dof_manager,
+            gpr=self.gpr,
+            dof_values=solve_result.solution,
+            solver=solve_result,
+            timings=timings,
+            metadata=metadata,
+        )
+        timings["results_storage"] = time.perf_counter() - start
+        del grid
+        return results
+
+    # ------------------------------------------------------------------ helpers
+
+    def dof_count(self) -> int:
+        """Number of unknowns the analysis will solve for (without running it)."""
+        mesh = self.preprocess()
+        return DofManager(mesh, self.element_type).n_dofs

@@ -1,0 +1,242 @@
+"""Element-pair and element-column influence coefficients.
+
+This module computes the paper's Galerkin coefficients (equation (4.5))
+
+    ``R_ji = 1/(4 π γ_b) ∫_Γβ w_j(χ) ∫_Γα Σ_l k^l(χ, ξ) N_i(ξ) dΓα dΓβ``
+
+for the 1D approximated formulation: the outer (test) integral over the target
+element β is evaluated with a small Gauss–Legendre rule, while the inner
+(trial) integral over the source element α is evaluated *analytically* for
+every image term of the layered-soil kernel (the images of a straight segment
+are straight segments, see :mod:`repro.geometry.transforms`).
+
+Two entry points are provided:
+
+* :func:`element_pair_influence` — a clear, reference implementation working on
+  a single (target, source) pair; used by the unit tests and small problems;
+* :class:`ColumnAssembler` — a vectorised implementation that computes the
+  influence of one source element on *many* target elements at once.  One call
+  corresponds to one cycle of the paper's outer assembly loop (a "column" of
+  the triangular element-pair structure), which is exactly the task that
+  Section 6 distributes among processors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bem.elements import DofManager, ElementType
+from repro.bem.quadrature import gauss_legendre_rule
+from repro.bem.segment_integrals import line_integrals
+from repro.constants import DEFAULT_GAUSS_POINTS
+from repro.exceptions import AssemblyError
+from repro.geometry.discretize import Mesh, MeshElement
+from repro.kernels.base import LayeredKernel
+
+__all__ = ["element_pair_influence", "ColumnAssembler"]
+
+
+def element_pair_influence(
+    target: MeshElement,
+    source: MeshElement,
+    kernel: LayeredKernel,
+    dof_manager: DofManager,
+    n_gauss: int = DEFAULT_GAUSS_POINTS,
+) -> np.ndarray:
+    """Influence block of a single (target, source) element pair.
+
+    Returns
+    -------
+    numpy.ndarray
+        Block of shape ``(basis_per_element, basis_per_element)``; entry
+        ``[j, i]`` couples the ``j``-th test function on the target with the
+        ``i``-th trial function on the source.
+    """
+    series = kernel.image_series(source.layer, target.layer)
+    normalization = kernel.normalization(source.layer)
+
+    nodes, weights = gauss_legendre_rule(n_gauss)
+    gauss_points = target.p0[None, :] + nodes[:, None] * (target.p1 - target.p0)[None, :]
+    outer_weights = weights * target.length
+    test_values = dof_manager.shape_values(nodes)  # (G, nb)
+
+    # Image-transformed source end points, shape (L, 3).
+    q0 = np.broadcast_to(source.p0, (len(series), 3)).copy()
+    q1 = np.broadcast_to(source.p1, (len(series), 3)).copy()
+    q0[:, 2] = series.signs * source.p0[2] + series.offsets
+    q1[:, 2] = series.signs * source.p1[2] + series.offsets
+
+    # Inner analytic integrals for every (image, Gauss point): shape (L, G).
+    i0, i1 = line_integrals(
+        gauss_points[None, :, :], q0[:, None, :], q1[:, None, :], min_distance=source.radius
+    )
+    w0 = np.einsum("l,lg->g", series.weights, i0)
+    w1 = np.einsum("l,lg->g", series.weights, i1)
+
+    if dof_manager.element_type is ElementType.CONSTANT:
+        trial_integrals = w0[:, None]  # (G, 1)
+    else:
+        trial_integrals = np.stack((w0 - w1, w1), axis=-1)  # (G, 2)
+
+    block = normalization * np.einsum(
+        "g,gj,gi->ji", outer_weights, test_values, trial_integrals
+    )
+    return block
+
+
+class ColumnAssembler:
+    """Vectorised computation of the influence of one source element on many targets.
+
+    The assembler pre-computes, once per mesh, every per-element array needed by
+    the hot loop (Gauss points, lengths, layers, radii) so that each column
+    evaluation is a handful of NumPy einsum calls.  It is deliberately free of
+    any mutable shared state: the same instance can be used concurrently from
+    several threads, and it pickles cleanly for process-based parallel
+    assembly.
+    """
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        kernel: LayeredKernel,
+        dof_manager: DofManager,
+        n_gauss: int = DEFAULT_GAUSS_POINTS,
+    ) -> None:
+        if n_gauss < 1:
+            raise AssemblyError("the outer quadrature needs at least one Gauss point")
+        self.mesh = mesh
+        self.kernel = kernel
+        self.dof_manager = dof_manager
+        self.n_gauss = int(n_gauss)
+
+        nodes, weights = gauss_legendre_rule(self.n_gauss)
+        p0, p1 = mesh.element_endpoints()
+        self._p0 = p0
+        self._p1 = p1
+        self._lengths = mesh.element_lengths()
+        self._radii = mesh.element_radii()
+        self._layers = mesh.element_layers()
+        # Gauss points of every element, shape (M, G, 3).
+        self._gauss_points = p0[:, None, :] + nodes[None, :, None] * (p1 - p0)[:, None, :]
+        # Outer quadrature weights (including the element length), shape (M, G).
+        self._outer_weights = weights[None, :] * self._lengths[:, None]
+        # Test function values at the Gauss nodes, shape (G, nb).
+        self._test_values = dof_manager.shape_values(nodes)
+
+    # -- properties ------------------------------------------------------------------
+
+    @property
+    def n_elements(self) -> int:
+        """Number of mesh elements."""
+        return self.mesh.n_elements
+
+    @property
+    def basis_per_element(self) -> int:
+        """Local basis functions per element (1 or 2)."""
+        return self.dof_manager.element_type.basis_per_element
+
+    # -- the column kernel --------------------------------------------------------------
+
+    def column_blocks(
+        self, source_index: int, target_indices: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Influence blocks of one source element on a set of target elements.
+
+        Parameters
+        ----------
+        source_index:
+            Index of the source element (the paper's outer-loop cycle).
+        target_indices:
+            Indices of the target elements; defaults to ``source_index..M-1``,
+            i.e. the column of the lower triangle the paper assigns to this
+            cycle.
+
+        Returns
+        -------
+        (targets, blocks)
+            ``targets`` is the array of target indices actually used and
+            ``blocks`` has shape ``(len(targets), nb, nb)`` with the same
+            ``[j, i]`` convention as :func:`element_pair_influence`.
+        """
+        m = self.n_elements
+        if not 0 <= source_index < m:
+            raise AssemblyError(f"source element index {source_index} out of range 0..{m - 1}")
+        if target_indices is None:
+            targets = np.arange(source_index, m, dtype=int)
+        else:
+            targets = np.asarray(target_indices, dtype=int)
+            if targets.size and (targets.min() < 0 or targets.max() >= m):
+                raise AssemblyError("target element indices out of range")
+        if targets.size == 0:
+            nb = self.basis_per_element
+            return targets, np.zeros((0, nb, nb))
+
+        source_layer = int(self._layers[source_index])
+        normalization = self.kernel.normalization(source_layer)
+        source_p0 = self._p0[source_index]
+        source_p1 = self._p1[source_index]
+        source_radius = float(self._radii[source_index])
+
+        nb = self.basis_per_element
+        blocks = np.empty((targets.size, nb, nb))
+
+        # Targets may live in different layers (e.g. rods crossing the
+        # interface in the Balaidos model C); group them so each group uses a
+        # single image series.
+        target_layers = self._layers[targets]
+        for field_layer in np.unique(target_layers):
+            mask = target_layers == field_layer
+            group = targets[mask]
+            series = self.kernel.image_series(source_layer, int(field_layer))
+
+            # Image-transformed source segment end points, shape (L, 3).
+            q0 = np.broadcast_to(source_p0, (len(series), 3)).copy()
+            q1 = np.broadcast_to(source_p1, (len(series), 3)).copy()
+            q0[:, 2] = series.signs * source_p0[2] + series.offsets
+            q1[:, 2] = series.signs * source_p1[2] + series.offsets
+
+            gauss_points = self._gauss_points[group]  # (T, G, 3)
+            i0, i1 = line_integrals(
+                gauss_points[None, :, :, :],
+                q0[:, None, None, :],
+                q1[:, None, None, :],
+                min_distance=source_radius,
+            )  # each (L, T, G)
+            w0 = np.einsum("l,ltg->tg", series.weights, i0)
+            w1 = np.einsum("l,ltg->tg", series.weights, i1)
+
+            if self.dof_manager.element_type is ElementType.CONSTANT:
+                trial_integrals = w0[..., None]  # (T, G, 1)
+            else:
+                trial_integrals = np.stack((w0 - w1, w1), axis=-1)  # (T, G, 2)
+
+            outer = self._outer_weights[group]  # (T, G)
+            blocks[mask] = normalization * np.einsum(
+                "tg,gj,tgi->tji", outer, self._test_values, trial_integrals
+            )
+
+        return targets, blocks
+
+    # -- work decomposition helpers -------------------------------------------------------
+
+    def column_sizes(self) -> np.ndarray:
+        """Number of target elements of every column (linearly decreasing)."""
+        m = self.n_elements
+        return np.arange(m, 0, -1, dtype=int)
+
+    def column_cost_estimate(self) -> np.ndarray:
+        """Relative cost estimate of each column (targets x image terms).
+
+        Used by the parallel simulator when no measured timings are available.
+        """
+        m = self.n_elements
+        costs = np.zeros(m)
+        for source_index in range(m):
+            source_layer = int(self._layers[source_index])
+            remaining_layers = self._layers[source_index:]
+            terms = 0.0
+            for field_layer in np.unique(remaining_layers):
+                count = int((remaining_layers == field_layer).sum())
+                terms += count * self.kernel.series_length(source_layer, int(field_layer))
+            costs[source_index] = terms * self.n_gauss
+        return costs

@@ -1,0 +1,231 @@
+"""Evaluation of the potential created by the solved leakage current.
+
+Once the linear system has been solved, the paper's equation (4.2) gives the
+potential at any point of the ground (and in particular on the earth surface,
+where the step and touch voltages are defined) as a sum of element
+contributions:
+
+    ``V_c(x) = Σ_i σ_i V_{c,i}(x)``,
+    ``V_{c,i}(x) = 1/(4 π γ_b) Σ_α Σ_l ∫_Γα k^l(x, ξ) N_i(ξ) dΓ``.
+
+The element integrals are the same analytic ``1/r`` line integrals used for the
+matrix assembly, so the evaluator reuses :mod:`repro.bem.segment_integrals`.
+The cost is ``O(M · n_points · n_images)`` — negligible for a handful of points
+but, as the paper notes, "if it is necessary to compute potentials at a large
+number of points (i.e. to draw contours), computing time may be important";
+the evaluation is therefore vectorised over field points and exposed as a task
+list that the parallel executors can distribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.bem.elements import DofManager, ElementType
+from repro.bem.segment_integrals import line_integrals
+from repro.exceptions import AssemblyError
+from repro.geometry.discretize import Mesh
+from repro.kernels.base import LayeredKernel
+from repro.soil.base import SoilModel
+
+__all__ = ["PotentialEvaluator", "SurfaceGrid"]
+
+
+@dataclass
+class SurfaceGrid:
+    """Earth-surface potential sampled on a rectangular grid.
+
+    Attributes
+    ----------
+    x, y:
+        1D arrays of the grid coordinates [m].
+    values:
+        Potential values, shape ``(len(y), len(x))`` [V].
+    gpr:
+        Ground Potential Rise of the analysis [V]; useful to express values as
+        a fraction of the GPR as the paper's figures do (``×10 kV``).
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    values: np.ndarray
+    gpr: float = 1.0
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=float)
+        self.y = np.asarray(self.y, dtype=float)
+        self.values = np.asarray(self.values, dtype=float)
+        if self.values.shape != (self.y.size, self.x.size):
+            raise AssemblyError(
+                f"surface grid values shape {self.values.shape} does not match "
+                f"({self.y.size}, {self.x.size})"
+            )
+
+    @property
+    def normalized(self) -> np.ndarray:
+        """Values divided by the GPR (the per-unit representation of Fig. 5.2/5.4)."""
+        return self.values / self.gpr
+
+    @property
+    def max_value(self) -> float:
+        """Maximum surface potential [V]."""
+        return float(self.values.max())
+
+    @property
+    def min_value(self) -> float:
+        """Minimum surface potential [V]."""
+        return float(self.values.min())
+
+    def profile_along_x(self, y_value: float) -> tuple[np.ndarray, np.ndarray]:
+        """Potential profile along the row closest to ``y = y_value``."""
+        row = int(np.argmin(np.abs(self.y - y_value)))
+        return self.x.copy(), self.values[row, :].copy()
+
+    def profile_along_y(self, x_value: float) -> tuple[np.ndarray, np.ndarray]:
+        """Potential profile along the column closest to ``x = x_value``."""
+        col = int(np.argmin(np.abs(self.x - x_value)))
+        return self.y.copy(), self.values[:, col].copy()
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable representation (lists, not arrays)."""
+        return {
+            "x": self.x.tolist(),
+            "y": self.y.tolist(),
+            "values": self.values.tolist(),
+            "gpr": self.gpr,
+            "metadata": dict(self.metadata),
+        }
+
+
+class PotentialEvaluator:
+    """Evaluates ground potentials from the solved leakage-current densities."""
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        soil: SoilModel,
+        kernel: LayeredKernel,
+        dof_manager: DofManager,
+        dof_values: np.ndarray,
+        gpr: float = 1.0,
+    ) -> None:
+        dof_values = np.asarray(dof_values, dtype=float)
+        if dof_values.shape != (dof_manager.n_dofs,):
+            raise AssemblyError(
+                f"dof vector has shape {dof_values.shape}, expected ({dof_manager.n_dofs},)"
+            )
+        self.mesh = mesh
+        self.soil = soil
+        self.kernel = kernel
+        self.dof_manager = dof_manager
+        self.dof_values = dof_values
+        self.gpr = float(gpr)
+
+        self._p0, self._p1 = mesh.element_endpoints()
+        self._radii = mesh.element_radii()
+        self._layers = mesh.element_layers()
+        self._dof_matrix = dof_manager.element_dof_matrix()
+
+    # ------------------------------------------------------------------ evaluation
+
+    def potential_at(self, points: np.ndarray, batch_size: int = 4096) -> np.ndarray:
+        """Potential at arbitrary points of the ground (or on its surface).
+
+        Parameters
+        ----------
+        points:
+            Array of shape ``(n, 3)`` (or a single point of shape ``(3,)``);
+            depths must be non-negative.
+        batch_size:
+            Number of field points processed per vectorised batch (memory
+            control for dense contour maps).
+
+        Returns
+        -------
+        numpy.ndarray
+            Potentials in volts, shape ``(n,)`` (or a scalar for a single point).
+        """
+        pts = np.asarray(points, dtype=float)
+        single = pts.ndim == 1
+        pts = np.atleast_2d(pts)
+        if pts.shape[1] != 3:
+            raise AssemblyError("field points must have three coordinates")
+        if np.any(pts[:, 2] < -1e-12):
+            raise AssemblyError("field points must lie on or below the earth surface")
+
+        result = np.empty(pts.shape[0])
+        for start in range(0, pts.shape[0], int(batch_size)):
+            chunk = pts[start : start + int(batch_size)]
+            result[start : start + chunk.shape[0]] = self._potential_batch(chunk)
+        return result[0] if single else result
+
+    def _potential_batch(self, points: np.ndarray) -> np.ndarray:
+        field_layers = np.array(
+            [self.soil.layer_index(max(float(z), 0.0)) for z in points[:, 2]], dtype=int
+        )
+        values = np.zeros(points.shape[0])
+        nb = self.dof_manager.element_type.basis_per_element
+
+        for element_index in range(self.mesh.n_elements):
+            element_dofs = self._dof_matrix[element_index]
+            densities = self.dof_values[element_dofs]
+            if not np.any(densities):
+                continue
+            source_layer = int(self._layers[element_index])
+            normalization = self.kernel.normalization(source_layer)
+            p0 = self._p0[element_index]
+            p1 = self._p1[element_index]
+            radius = float(self._radii[element_index])
+
+            for field_layer in np.unique(field_layers):
+                mask = field_layers == field_layer
+                series = self.kernel.image_series(source_layer, int(field_layer))
+                q0 = np.broadcast_to(p0, (len(series), 3)).copy()
+                q1 = np.broadcast_to(p1, (len(series), 3)).copy()
+                q0[:, 2] = series.signs * p0[2] + series.offsets
+                q1[:, 2] = series.signs * p1[2] + series.offsets
+
+                i0, i1 = line_integrals(
+                    points[mask][None, :, :], q0[:, None, :], q1[:, None, :], min_distance=radius
+                )
+                w0 = np.einsum("l,ln->n", series.weights, i0)
+                w1 = np.einsum("l,ln->n", series.weights, i1)
+                if nb == 1:
+                    contribution = densities[0] * w0
+                else:
+                    contribution = densities[0] * (w0 - w1) + densities[1] * w1
+                values[mask] += normalization * contribution
+        return values
+
+    # ------------------------------------------------------------------ surface maps
+
+    def surface_potential(
+        self,
+        x: Sequence[float] | np.ndarray,
+        y: Sequence[float] | np.ndarray,
+        batch_size: int = 4096,
+    ) -> SurfaceGrid:
+        """Earth-surface potential on the tensor grid ``x × y`` (at ``z = 0``)."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        xx, yy = np.meshgrid(x, y)
+        points = np.column_stack((xx.ravel(), yy.ravel(), np.zeros(xx.size)))
+        values = self.potential_at(points, batch_size=batch_size)
+        return SurfaceGrid(x=x, y=y, values=values.reshape(y.size, x.size), gpr=self.gpr)
+
+    def surface_potential_over_grid(
+        self,
+        margin: float = 20.0,
+        n_x: int = 61,
+        n_y: int = 61,
+        batch_size: int = 4096,
+    ) -> SurfaceGrid:
+        """Surface potential over the grid's bounding box extended by ``margin`` [m]."""
+        lower, upper = self.mesh.grid.bounding_box()
+        x = np.linspace(lower[0] - margin, upper[0] + margin, int(n_x))
+        y = np.linspace(lower[1] - margin, upper[1] + margin, int(n_y))
+        return self.surface_potential(x, y, batch_size=batch_size)

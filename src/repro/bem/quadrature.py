@@ -1,0 +1,69 @@
+"""Gauss–Legendre quadrature rules for the outer (Galerkin) element integrals.
+
+The outer integral of the paper's coefficient ``R_βα`` runs over the target
+element; because the inner (source) integral is evaluated analytically, the
+outer integrand is smooth (at worst logarithmic near a shared node) and a small
+Gauss rule is sufficient.  Rules are cached since the assembly requests the
+same order millions of times.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.exceptions import AssemblyError
+
+__all__ = ["gauss_legendre_rule", "map_rule_to_segment"]
+
+
+@lru_cache(maxsize=64)
+def gauss_legendre_rule(n_points: int) -> tuple[np.ndarray, np.ndarray]:
+    """Nodes and weights of the ``n_points`` Gauss–Legendre rule on ``[0, 1]``.
+
+    Returns
+    -------
+    (nodes, weights)
+        Arrays of shape ``(n_points,)``; the weights sum to one.
+    """
+    if n_points < 1:
+        raise AssemblyError(f"a quadrature rule needs at least one point, got {n_points}")
+    nodes, weights = np.polynomial.legendre.leggauss(int(n_points))
+    # Map from [-1, 1] to [0, 1].
+    nodes = 0.5 * (nodes + 1.0)
+    weights = 0.5 * weights
+    nodes.setflags(write=False)
+    weights.setflags(write=False)
+    return nodes, weights
+
+
+def map_rule_to_segment(
+    p0: np.ndarray, p1: np.ndarray, n_points: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Quadrature points and weights on the straight segment ``p0 → p1``.
+
+    The returned weights integrate functions of arc length, i.e. they already
+    include the segment length (Jacobian).
+
+    Parameters
+    ----------
+    p0, p1:
+        Segment end points, shape ``(3,)`` or broadcastable batches ``(..., 3)``.
+    n_points:
+        Number of Gauss points.
+
+    Returns
+    -------
+    (points, weights)
+        ``points`` has shape ``(..., n_points, 3)`` and ``weights`` shape
+        ``(..., n_points)``.
+    """
+    nodes, base_weights = gauss_legendre_rule(n_points)
+    p0 = np.asarray(p0, dtype=float)
+    p1 = np.asarray(p1, dtype=float)
+    direction = p1 - p0
+    length = np.linalg.norm(direction, axis=-1)
+    points = p0[..., None, :] + nodes[:, None] * direction[..., None, :]
+    weights = base_weights * length[..., None]
+    return points, weights

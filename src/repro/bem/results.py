@@ -1,0 +1,143 @@
+"""Result container of a grounding analysis.
+
+Gathers everything a designer needs from one solve (the paper's equation (2.2)
+quantities plus diagnostics): the leakage current density on every element, the
+total surge current ``I_Γ``, the equivalent resistance ``R_eq = GPR / I_Γ``,
+timings of every pipeline phase and the solver report.  The heavy surface
+potential maps are *not* computed eagerly — :meth:`AnalysisResults.evaluator`
+returns the lazily-built :class:`~repro.bem.potential.PotentialEvaluator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.bem.elements import DofManager
+from repro.bem.potential import PotentialEvaluator
+from repro.exceptions import AssemblyError
+from repro.geometry.discretize import Mesh
+from repro.kernels.base import LayeredKernel
+from repro.soil.base import SoilModel
+from repro.solvers.result import SolveResult
+
+__all__ = ["AnalysisResults"]
+
+
+@dataclass
+class AnalysisResults:
+    """Outcome of one grounding-system analysis."""
+
+    #: Discretised grid that was analysed.
+    mesh: Mesh
+    #: Soil model used.
+    soil: SoilModel
+    #: Kernel used for assembly and post-processing.
+    kernel: LayeredKernel
+    #: Degree-of-freedom manager (element type, dof numbering).
+    dof_manager: DofManager
+    #: Ground Potential Rise applied to the electrode [V].
+    gpr: float
+    #: Solved leakage current per unit length at every dof [A/m].
+    dof_values: np.ndarray
+    #: Linear-solver diagnostics.
+    solver: SolveResult
+    #: Wall-clock seconds of every pipeline phase (Table 6.1 structure).
+    timings: dict[str, float] = field(default_factory=dict)
+    #: Free-form metadata (assembly backend, schedule, processor count ...).
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.dof_values = np.asarray(self.dof_values, dtype=float)
+        if self.dof_values.shape != (self.dof_manager.n_dofs,):
+            raise AssemblyError(
+                f"dof vector has shape {self.dof_values.shape}, expected "
+                f"({self.dof_manager.n_dofs},)"
+            )
+
+    # ------------------------------------------------------------------ key quantities
+
+    @property
+    def total_current(self) -> float:
+        """Total surge current leaked into the ground, ``I_Γ`` [A]."""
+        weights = self.dof_manager.assemble_basis_integrals()
+        return float(weights @ self.dof_values)
+
+    @property
+    def total_current_ka(self) -> float:
+        """Total surge current in kA (the unit used by the paper's tables)."""
+        return self.total_current / 1.0e3
+
+    @property
+    def equivalent_resistance(self) -> float:
+        """Equivalent resistance of the earthing system ``R_eq = GPR / I_Γ`` [Ω]."""
+        current = self.total_current
+        if current <= 0.0:
+            raise AssemblyError(
+                "the computed total current is not positive; the analysis looks invalid"
+            )
+        return self.gpr / current
+
+    @property
+    def ground_potential_rise(self) -> float:
+        """The applied GPR [V] (alias kept for readability in reports)."""
+        return self.gpr
+
+    def leakage_per_element(self) -> np.ndarray:
+        """Average leakage current per unit length of every element [A/m]."""
+        return self.dof_manager.element_mean_density(self.dof_values)
+
+    def element_currents(self) -> np.ndarray:
+        """Current leaked by each element [A] (density × element length)."""
+        return self.leakage_per_element() * self.mesh.element_lengths()
+
+    def current_by_layer(self) -> dict[int, float]:
+        """Total current leaked from the elements of each soil layer [A]."""
+        currents = self.element_currents()
+        layers = self.mesh.element_layers()
+        return {int(layer): float(currents[layers == layer].sum()) for layer in np.unique(layers)}
+
+    # ------------------------------------------------------------------ post-processing
+
+    def evaluator(self) -> PotentialEvaluator:
+        """Potential evaluator bound to this solution."""
+        return PotentialEvaluator(
+            mesh=self.mesh,
+            soil=self.soil,
+            kernel=self.kernel,
+            dof_manager=self.dof_manager,
+            dof_values=self.dof_values,
+            gpr=self.gpr,
+        )
+
+    # ------------------------------------------------------------------ reporting
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of all recorded phase timings [s]."""
+        return float(sum(self.timings.values()))
+
+    def summary(self) -> dict[str, Any]:
+        """Compact dictionary with the headline results."""
+        return {
+            "grid": self.mesh.grid.name,
+            "soil": self.soil.describe(),
+            "n_elements": self.mesh.n_elements,
+            "n_dofs": self.dof_manager.n_dofs,
+            "element_type": self.dof_manager.element_type.value,
+            "gpr_v": self.gpr,
+            "equivalent_resistance_ohm": self.equivalent_resistance,
+            "total_current_ka": self.total_current_ka,
+            "solver": self.solver.summary(),
+            "timings_s": {k: round(v, 6) for k, v in self.timings.items()},
+            **{k: v for k, v in self.metadata.items() if np.isscalar(v)},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AnalysisResults(grid={self.mesh.grid.name!r}, "
+            f"Req={self.equivalent_resistance:.4f} Ω, "
+            f"I={self.total_current_ka:.2f} kA)"
+        )

@@ -1,0 +1,237 @@
+"""Safety parameters of a grounding design: touch, step and mesh voltages.
+
+The whole point of grounding analysis (paper, Section 1) is to verify that
+"the values of electrical potentials between close points on earth surface that
+can be connected by a person [are] kept under certain maximum safe limits
+(step, touch and mesh voltages)".  This module computes those design
+quantities from an earth-surface potential map and compares them with the
+tolerable limits of IEEE Std 80 (reference [1] of the paper):
+
+* **touch voltage** — difference between the Ground Potential Rise of the
+  energised structure and the surface potential at a point a person can reach
+  while touching it (evaluated over the area covered by the grid);
+* **mesh voltage** — the worst touch voltage inside a grid mesh;
+* **step voltage** — the largest difference of surface potential between two
+  points one metre apart (a person's step).
+
+Tolerable limits follow the IEEE Std 80 body-current criterion for 50 kg and
+70 kg persons with an optional high-resistivity surface layer (crushed rock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.bem.potential import SurfaceGrid
+from repro.constants import DEFAULT_BODY_WEIGHT_KG, DEFAULT_FAULT_DURATION_S
+from repro.exceptions import ReproError
+
+__all__ = [
+    "surface_layer_derating",
+    "ieee80_tolerable_touch",
+    "ieee80_tolerable_step",
+    "touch_voltage_grid",
+    "step_voltage_grid",
+    "SafetyAssessment",
+]
+
+
+def surface_layer_derating(
+    soil_resistivity: float,
+    surface_resistivity: float | None,
+    surface_thickness: float,
+) -> float:
+    """IEEE Std 80 surface-layer derating factor ``C_s``.
+
+    Uses the standard's empirical expression
+    ``C_s = 1 − 0.09 (1 − ρ/ρ_s) / (2 h_s + 0.09)``; without a surface layer
+    (``surface_resistivity`` is ``None`` or equal to the soil resistivity) the
+    factor is 1.
+    """
+    if surface_resistivity is None:
+        return 1.0
+    if surface_resistivity <= 0.0 or soil_resistivity <= 0.0:
+        raise ReproError("resistivities must be positive")
+    if surface_thickness < 0.0:
+        raise ReproError("the surface-layer thickness cannot be negative")
+    if surface_thickness == 0.0:
+        return 1.0
+    return 1.0 - 0.09 * (1.0 - soil_resistivity / surface_resistivity) / (
+        2.0 * surface_thickness + 0.09
+    )
+
+
+def _body_current_factor(body_weight_kg: float) -> float:
+    """IEEE Std 80 body-current constant: 0.116 (50 kg) or 0.157 (70 kg)."""
+    if body_weight_kg not in (50.0, 70.0):
+        raise ReproError(
+            f"IEEE Std 80 defines tolerable-voltage formulas for 50 kg and 70 kg persons, "
+            f"got {body_weight_kg!r} kg"
+        )
+    return 0.116 if body_weight_kg == 50.0 else 0.157
+
+
+def ieee80_tolerable_touch(
+    soil_resistivity: float,
+    fault_duration_s: float = DEFAULT_FAULT_DURATION_S,
+    body_weight_kg: float = DEFAULT_BODY_WEIGHT_KG,
+    surface_resistivity: float | None = None,
+    surface_thickness: float = 0.1,
+) -> float:
+    """Tolerable touch voltage [V] per IEEE Std 80.
+
+    ``E_touch = (1000 + 1.5 C_s ρ_s) k / sqrt(t)`` with ``k`` the body-current
+    constant, ``ρ_s`` the surface-material resistivity (the native soil
+    resistivity when no surface layer is present) and ``t`` the fault duration.
+    """
+    if fault_duration_s <= 0.0:
+        raise ReproError("the fault duration must be positive")
+    k = _body_current_factor(body_weight_kg)
+    cs = surface_layer_derating(soil_resistivity, surface_resistivity, surface_thickness)
+    rho_s = surface_resistivity if surface_resistivity is not None else soil_resistivity
+    return (1000.0 + 1.5 * cs * rho_s) * k / np.sqrt(fault_duration_s)
+
+
+def ieee80_tolerable_step(
+    soil_resistivity: float,
+    fault_duration_s: float = DEFAULT_FAULT_DURATION_S,
+    body_weight_kg: float = DEFAULT_BODY_WEIGHT_KG,
+    surface_resistivity: float | None = None,
+    surface_thickness: float = 0.1,
+) -> float:
+    """Tolerable step voltage [V] per IEEE Std 80.
+
+    ``E_step = (1000 + 6 C_s ρ_s) k / sqrt(t)``.
+    """
+    if fault_duration_s <= 0.0:
+        raise ReproError("the fault duration must be positive")
+    k = _body_current_factor(body_weight_kg)
+    cs = surface_layer_derating(soil_resistivity, surface_resistivity, surface_thickness)
+    rho_s = surface_resistivity if surface_resistivity is not None else soil_resistivity
+    return (1000.0 + 6.0 * cs * rho_s) * k / np.sqrt(fault_duration_s)
+
+
+def touch_voltage_grid(surface: SurfaceGrid, gpr: float) -> np.ndarray:
+    """Touch-voltage map ``GPR − V_surface`` [V] over the sampled surface grid."""
+    if gpr <= 0.0:
+        raise ReproError("the GPR must be positive")
+    return float(gpr) - surface.values
+
+
+def step_voltage_grid(surface: SurfaceGrid, step_length: float = 1.0) -> np.ndarray:
+    """Step-voltage map: largest potential difference over ``step_length`` [V].
+
+    The step voltage at a sample is approximated by the surface-potential
+    gradient magnitude (central differences) multiplied by the step length —
+    accurate for grids sampled finer than the potential variation scale.
+    """
+    if step_length <= 0.0:
+        raise ReproError("the step length must be positive")
+    if surface.x.size < 2 or surface.y.size < 2:
+        raise ReproError("the surface grid needs at least two samples per direction")
+    grad_y, grad_x = np.gradient(surface.values, surface.y, surface.x)
+    magnitude = np.hypot(grad_x, grad_y)
+    return magnitude * float(step_length)
+
+
+@dataclass
+class SafetyAssessment:
+    """Comparison of computed design voltages against IEEE Std 80 limits."""
+
+    #: Ground Potential Rise [V].
+    gpr: float
+    #: Equivalent resistance of the earthing system [Ω].
+    equivalent_resistance: float
+    #: Total current leaked into the soil [A].
+    total_current: float
+    #: Worst touch voltage over the assessed area [V].
+    max_touch_voltage: float
+    #: Worst step voltage over the assessed area [V].
+    max_step_voltage: float
+    #: Tolerable touch voltage [V].
+    tolerable_touch_voltage: float
+    #: Tolerable step voltage [V].
+    tolerable_step_voltage: float
+    #: Extra information (fault duration, body weight, margins ...).
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def touch_voltage_ok(self) -> bool:
+        """Whether the worst touch voltage is below the tolerable limit."""
+        return self.max_touch_voltage <= self.tolerable_touch_voltage
+
+    @property
+    def step_voltage_ok(self) -> bool:
+        """Whether the worst step voltage is below the tolerable limit."""
+        return self.max_step_voltage <= self.tolerable_step_voltage
+
+    @property
+    def is_safe(self) -> bool:
+        """Whether both criteria are met."""
+        return self.touch_voltage_ok and self.step_voltage_ok
+
+    def summary(self) -> dict[str, Any]:
+        """Compact report dictionary."""
+        return {
+            "gpr_v": self.gpr,
+            "equivalent_resistance_ohm": self.equivalent_resistance,
+            "total_current_ka": self.total_current / 1e3,
+            "max_touch_voltage_v": self.max_touch_voltage,
+            "tolerable_touch_voltage_v": self.tolerable_touch_voltage,
+            "touch_ok": self.touch_voltage_ok,
+            "max_step_voltage_v": self.max_step_voltage,
+            "tolerable_step_voltage_v": self.tolerable_step_voltage,
+            "step_ok": self.step_voltage_ok,
+            "safe": self.is_safe,
+            **self.metadata,
+        }
+
+    @classmethod
+    def from_surface(
+        cls,
+        surface: SurfaceGrid,
+        gpr: float,
+        equivalent_resistance: float,
+        total_current: float,
+        soil_resistivity: float,
+        fault_duration_s: float = DEFAULT_FAULT_DURATION_S,
+        body_weight_kg: float = DEFAULT_BODY_WEIGHT_KG,
+        surface_resistivity: float | None = None,
+        surface_thickness: float = 0.1,
+        step_length: float = 1.0,
+    ) -> "SafetyAssessment":
+        """Build an assessment from a sampled earth-surface potential map."""
+        touch = touch_voltage_grid(surface, gpr)
+        step = step_voltage_grid(surface, step_length)
+        return cls(
+            gpr=float(gpr),
+            equivalent_resistance=float(equivalent_resistance),
+            total_current=float(total_current),
+            max_touch_voltage=float(touch.max()),
+            max_step_voltage=float(step.max()),
+            tolerable_touch_voltage=float(
+                ieee80_tolerable_touch(
+                    soil_resistivity,
+                    fault_duration_s,
+                    body_weight_kg,
+                    surface_resistivity,
+                    surface_thickness,
+                )
+            ),
+            tolerable_step_voltage=float(
+                ieee80_tolerable_step(
+                    soil_resistivity,
+                    fault_duration_s,
+                    body_weight_kg,
+                    surface_resistivity,
+                    surface_thickness,
+                )
+            ),
+            metadata={
+                "fault_duration_s": fault_duration_s,
+                "body_weight_kg": body_weight_kg,
+            },
+        )

@@ -1,0 +1,82 @@
+"""Container for the assembled Galerkin linear system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.bem.elements import DofManager
+from repro.exceptions import AssemblyError
+
+__all__ = ["LinearSystem"]
+
+
+@dataclass
+class LinearSystem:
+    """The dense symmetric system ``R q = ν`` of the paper's equation (4.4).
+
+    Attributes
+    ----------
+    matrix:
+        Coefficient matrix ``R`` (dense, symmetric, positive definite).
+    rhs:
+        Right-hand side ``ν`` (the GPR times the basis-function integrals).
+    dof_manager:
+        Mapping between mesh elements and global unknowns.
+    gpr:
+        Ground Potential Rise used to build the right-hand side [V].
+    metadata:
+        Free-form assembly information (timings, kernel sizes, backend...).
+    """
+
+    matrix: np.ndarray
+    rhs: np.ndarray
+    dof_manager: DofManager
+    gpr: float
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.matrix = np.asarray(self.matrix, dtype=float)
+        self.rhs = np.asarray(self.rhs, dtype=float)
+        n = self.dof_manager.n_dofs
+        if self.matrix.shape != (n, n):
+            raise AssemblyError(
+                f"matrix shape {self.matrix.shape} does not match {n} degrees of freedom"
+            )
+        if self.rhs.shape != (n,):
+            raise AssemblyError(
+                f"right-hand side shape {self.rhs.shape} does not match {n} degrees of freedom"
+            )
+
+    @property
+    def n_dofs(self) -> int:
+        """Number of unknowns."""
+        return self.dof_manager.n_dofs
+
+    def symmetry_error(self) -> float:
+        """Relative Frobenius asymmetry ``|R − Rᵀ| / |R|`` (should be ~0)."""
+        norm = float(np.linalg.norm(self.matrix))
+        if norm == 0.0:
+            return 0.0
+        return float(np.linalg.norm(self.matrix - self.matrix.T)) / norm
+
+    def diagonal_dominance_ratio(self) -> float:
+        """Smallest ratio of diagonal entry to off-diagonal row sum (diagnostic)."""
+        diag = np.abs(np.diag(self.matrix))
+        off = np.abs(self.matrix).sum(axis=1) - diag
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratios = np.where(off > 0.0, diag / off, np.inf)
+        return float(ratios.min())
+
+    def summary(self) -> dict[str, Any]:
+        """Compact description used by reports."""
+        return {
+            "n_dofs": self.n_dofs,
+            "n_elements": self.dof_manager.n_elements,
+            "element_type": self.dof_manager.element_type.value,
+            "gpr_v": self.gpr,
+            "symmetry_error": self.symmetry_error(),
+            **{k: v for k, v in self.metadata.items() if np.isscalar(v)},
+        }

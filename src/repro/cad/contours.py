@@ -1,0 +1,201 @@
+"""Earth-surface potential maps and iso-potential contour extraction.
+
+The paper presents its results as contour maps of the potential distribution on
+the earth surface (Figs. 5.2 and 5.4, values expressed as fractions of the
+10 kV GPR).  This module computes the sampled potential map from an analysis
+result and extracts iso-potential polylines with a small marching-squares
+implementation (dependency-free, adequate for the smooth potential fields of
+grounding problems).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.bem.potential import SurfaceGrid
+from repro.bem.results import AnalysisResults
+from repro.exceptions import ReproError
+
+__all__ = ["potential_map", "ContourSet", "extract_contours"]
+
+
+def potential_map(
+    results: AnalysisResults,
+    margin: float = 20.0,
+    n_x: int = 61,
+    n_y: int = 61,
+) -> SurfaceGrid:
+    """Earth-surface potential sampled over the grid footprint plus a margin.
+
+    This is the raw data behind the paper's Figs. 5.2 and 5.4.
+    """
+    evaluator = results.evaluator()
+    return evaluator.surface_potential_over_grid(margin=margin, n_x=n_x, n_y=n_y)
+
+
+@dataclass
+class ContourSet:
+    """Iso-potential polylines extracted from a surface potential map."""
+
+    #: Contour levels [V].
+    levels: np.ndarray
+    #: For every level, a list of polylines; each polyline is an ``(n, 2)`` array
+    #: of ``(x, y)`` coordinates.
+    polylines: dict[float, list[np.ndarray]] = field(default_factory=dict)
+    #: GPR used to normalise levels in reports [V].
+    gpr: float = 1.0
+
+    @property
+    def n_levels(self) -> int:
+        """Number of contour levels."""
+        return int(self.levels.size)
+
+    def total_polyline_length(self, level: float) -> float:
+        """Total length of the contour polylines of one level [m]."""
+        lines = self.polylines.get(float(level), [])
+        total = 0.0
+        for line in lines:
+            if line.shape[0] > 1:
+                total += float(np.sum(np.linalg.norm(np.diff(line, axis=0), axis=1)))
+        return total
+
+    def level_summary(self) -> list[dict]:
+        """One row per level: level, per-unit level, segment count, total length."""
+        rows = []
+        for level in self.levels:
+            lines = self.polylines.get(float(level), [])
+            rows.append(
+                {
+                    "level_v": float(level),
+                    "level_per_unit": float(level) / self.gpr if self.gpr else float("nan"),
+                    "n_polylines": len(lines),
+                    "total_length_m": self.total_polyline_length(float(level)),
+                }
+            )
+        return rows
+
+
+def extract_contours(
+    surface: SurfaceGrid,
+    levels: Sequence[float] | np.ndarray | None = None,
+    n_levels: int = 10,
+) -> ContourSet:
+    """Extract iso-potential contours from a sampled surface map.
+
+    Parameters
+    ----------
+    surface:
+        The sampled earth-surface potential.
+    levels:
+        Explicit contour levels [V]; by default ``n_levels`` levels are spread
+        uniformly between the minimum and maximum sampled values (excluding the
+        exact extremes).
+    n_levels:
+        Number of automatic levels when ``levels`` is not given.
+    """
+    if levels is None:
+        if n_levels < 1:
+            raise ReproError("n_levels must be at least 1")
+        lo, hi = surface.min_value, surface.max_value
+        if hi <= lo:
+            raise ReproError("the surface potential is constant; no contours exist")
+        levels_arr = np.linspace(lo, hi, n_levels + 2)[1:-1]
+    else:
+        levels_arr = np.asarray(list(levels), dtype=float)
+        if levels_arr.size == 0:
+            raise ReproError("at least one contour level is required")
+
+    polylines: dict[float, list[np.ndarray]] = {}
+    for level in levels_arr:
+        segments = _marching_squares(surface.x, surface.y, surface.values, float(level))
+        polylines[float(level)] = _join_segments(segments)
+    return ContourSet(levels=levels_arr, polylines=polylines, gpr=surface.gpr)
+
+
+# ----------------------------------------------------------------------------- internals
+
+
+def _interpolate(p1: np.ndarray, p2: np.ndarray, v1: float, v2: float, level: float) -> np.ndarray:
+    """Linear interpolation of the level crossing between two grid corners."""
+    if v2 == v1:
+        t = 0.5
+    else:
+        t = (level - v1) / (v2 - v1)
+    t = min(1.0, max(0.0, t))
+    return p1 + t * (p2 - p1)
+
+
+def _marching_squares(
+    x: np.ndarray, y: np.ndarray, values: np.ndarray, level: float
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Contour segments of one level (classic marching-squares, no ambiguity fix)."""
+    segments: list[tuple[np.ndarray, np.ndarray]] = []
+    n_y, n_x = values.shape
+    for j in range(n_y - 1):
+        for i in range(n_x - 1):
+            corners = np.array(
+                [
+                    [x[i], y[j]],
+                    [x[i + 1], y[j]],
+                    [x[i + 1], y[j + 1]],
+                    [x[i], y[j + 1]],
+                ]
+            )
+            corner_values = np.array(
+                [values[j, i], values[j, i + 1], values[j + 1, i + 1], values[j + 1, i]]
+            )
+            above = corner_values >= level
+            case = int(above[0]) | int(above[1]) << 1 | int(above[2]) << 2 | int(above[3]) << 3
+            if case in (0, 15):
+                continue
+            # Edge crossing points (edge k joins corner k and corner (k+1) % 4).
+            crossings = {}
+            for k in range(4):
+                a, b = k, (k + 1) % 4
+                if above[a] != above[b]:
+                    crossings[k] = _interpolate(
+                        corners[a], corners[b], corner_values[a], corner_values[b], level
+                    )
+            edges = sorted(crossings)
+            if len(edges) == 2:
+                segments.append((crossings[edges[0]], crossings[edges[1]]))
+            elif len(edges) == 4:
+                # Saddle cell: connect edge pairs consistently (0-1, 2-3).
+                segments.append((crossings[edges[0]], crossings[edges[1]]))
+                segments.append((crossings[edges[2]], crossings[edges[3]]))
+    return segments
+
+
+def _join_segments(
+    segments: list[tuple[np.ndarray, np.ndarray]], tol: float = 1.0e-9
+) -> list[np.ndarray]:
+    """Join raw segments into polylines by matching coincident end points."""
+    if not segments:
+        return []
+    remaining = [(np.asarray(a, dtype=float), np.asarray(b, dtype=float)) for a, b in segments]
+    polylines: list[np.ndarray] = []
+    while remaining:
+        a, b = remaining.pop()
+        line = [a, b]
+        extended = True
+        while extended and remaining:
+            extended = False
+            for index, (p, q) in enumerate(remaining):
+                if np.linalg.norm(p - line[-1]) <= tol:
+                    line.append(q)
+                elif np.linalg.norm(q - line[-1]) <= tol:
+                    line.append(p)
+                elif np.linalg.norm(p - line[0]) <= tol:
+                    line.insert(0, q)
+                elif np.linalg.norm(q - line[0]) <= tol:
+                    line.insert(0, p)
+                else:
+                    continue
+                remaining.pop(index)
+                extended = True
+                break
+        polylines.append(np.vstack(line))
+    return polylines

@@ -1,0 +1,122 @@
+"""Potential and touch-voltage profiles along surface lines.
+
+Designers routinely inspect the surface potential along walking paths (e.g.
+across the substation fence) to locate the worst touch and step exposures.
+These helpers evaluate the solved potential along an arbitrary straight line on
+the earth surface and derive the corresponding touch- and step-voltage
+profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.bem.results import AnalysisResults
+from repro.exceptions import ReproError
+
+__all__ = ["ProfileResult", "surface_profile", "touch_voltage_profile", "step_voltage_profile"]
+
+
+@dataclass
+class ProfileResult:
+    """Values sampled along a straight surface line."""
+
+    #: Distance along the line from its start [m].
+    stations: np.ndarray
+    #: Sampled values [V].
+    values: np.ndarray
+    #: Plan coordinates of the samples, shape ``(n, 2)``.
+    points: np.ndarray
+    #: What the values represent ("potential", "touch", "step").
+    kind: str = "potential"
+
+    @property
+    def max_value(self) -> float:
+        """Largest sampled value [V]."""
+        return float(self.values.max())
+
+    @property
+    def min_value(self) -> float:
+        """Smallest sampled value [V]."""
+        return float(self.values.min())
+
+    def value_at(self, station: float) -> float:
+        """Linear interpolation of the profile at an arbitrary station [V]."""
+        return float(np.interp(station, self.stations, self.values))
+
+
+def _sample_line(
+    start: Sequence[float], end: Sequence[float], n_points: int
+) -> tuple[np.ndarray, np.ndarray]:
+    start_arr = np.asarray(start, dtype=float)
+    end_arr = np.asarray(end, dtype=float)
+    if start_arr.shape != (2,) or end_arr.shape != (2,):
+        raise ReproError("profile end points must be plan coordinates (x, y)")
+    if n_points < 2:
+        raise ReproError("a profile needs at least two sample points")
+    t = np.linspace(0.0, 1.0, int(n_points))
+    points = start_arr[None, :] + t[:, None] * (end_arr - start_arr)[None, :]
+    stations = t * float(np.linalg.norm(end_arr - start_arr))
+    return stations, points
+
+
+def surface_profile(
+    results: AnalysisResults,
+    start: Sequence[float],
+    end: Sequence[float],
+    n_points: int = 101,
+) -> ProfileResult:
+    """Earth-surface potential along the straight line ``start → end``."""
+    stations, points = _sample_line(start, end, n_points)
+    field_points = np.column_stack((points, np.zeros(points.shape[0])))
+    values = results.evaluator().potential_at(field_points)
+    return ProfileResult(stations=stations, values=values, points=points, kind="potential")
+
+
+def touch_voltage_profile(
+    results: AnalysisResults,
+    start: Sequence[float],
+    end: Sequence[float],
+    n_points: int = 101,
+) -> ProfileResult:
+    """Touch voltage ``GPR − V_surface`` along the line ``start → end``."""
+    profile = surface_profile(results, start, end, n_points)
+    return ProfileResult(
+        stations=profile.stations,
+        values=results.gpr - profile.values,
+        points=profile.points,
+        kind="touch",
+    )
+
+
+def step_voltage_profile(
+    results: AnalysisResults,
+    start: Sequence[float],
+    end: Sequence[float],
+    n_points: int = 101,
+    step_length: float = 1.0,
+) -> ProfileResult:
+    """Step voltage along the line: ``|V(s) − V(s + step_length)|``.
+
+    The profile is evaluated at the stations of the sampled line; the last
+    stations (within one step length of the end) reuse the final sample, so the
+    array lengths match the other profiles.
+    """
+    if step_length <= 0.0:
+        raise ReproError("the step length must be positive")
+    profile = surface_profile(results, start, end, n_points)
+    shifted = np.interp(
+        profile.stations + step_length,
+        profile.stations,
+        profile.values,
+        right=float(profile.values[-1]),
+    )
+    return ProfileResult(
+        stations=profile.stations,
+        values=np.abs(profile.values - shifted),
+        points=profile.points,
+        kind="step",
+    )

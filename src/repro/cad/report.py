@@ -1,0 +1,125 @@
+"""Plain-text reports: design summaries, phase-cost tables and comparisons.
+
+The benchmark harness prints the same rows the paper reports (Tables 5.1, 6.1,
+6.2, 6.3); the small formatting helpers here keep that output consistent across
+the examples, the benchmarks and the CAD project layer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.bem.results import AnalysisResults
+from repro.bem.safety import SafetyAssessment
+
+__all__ = ["format_table", "phase_table", "comparison_table", "design_report"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render a fixed-width text table.
+
+    Floats are formatted with ``float_format``; every other value with ``str``.
+    """
+    def render(value: Any) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells)).rstrip()
+
+    separator = "  ".join("-" * w for w in widths)
+    return "\n".join([line(list(headers)), separator, *(line(row) for row in rendered)])
+
+
+def phase_table(timings: Mapping[str, float]) -> str:
+    """The per-phase CPU-time table of the paper's Table 6.1."""
+    pretty_names = {
+        "data_input": "Data Input",
+        "data_preprocessing": "Data Preprocessing",
+        "matrix_generation": "Matrix Generation",
+        "linear_system_solving": "Linear System Solving",
+        "results_storage": "Results Storage",
+    }
+    rows = [
+        [pretty_names.get(name, name), float(seconds)]
+        for name, seconds in timings.items()
+    ]
+    return format_table(["Process", "CPU time (s)"], rows, float_format="{:.3f}")
+
+
+def comparison_table(
+    results_by_case: Mapping[str, AnalysisResults],
+    headers: tuple[str, str, str] = ("Soil Model", "Equivalent Resistance (Ω)", "Total Current (kA)"),
+) -> str:
+    """The soil-model comparison table of the paper's Table 5.1."""
+    rows = [
+        [name, res.equivalent_resistance, res.total_current_ka]
+        for name, res in results_by_case.items()
+    ]
+    return format_table(list(headers), rows, float_format="{:.4f}")
+
+
+def design_report(
+    results: AnalysisResults,
+    safety: SafetyAssessment | None = None,
+    title: str | None = None,
+) -> str:
+    """A complete human-readable design report for one analysis."""
+    lines: list[str] = []
+    grid = results.mesh.grid
+    title = title or f"Grounding analysis report — {grid.name}"
+    lines.append(title)
+    lines.append("=" * len(title))
+    lines.append("")
+    lines.append("Grid")
+    lines.append("----")
+    summary = grid.summary()
+    for key, value in summary.items():
+        lines.append(f"  {key}: {value}")
+    lines.append("")
+    lines.append("Soil model")
+    lines.append("----------")
+    lines.append(f"  {results.soil.describe()}")
+    lines.append("")
+    lines.append("Discretisation")
+    lines.append("--------------")
+    lines.append(f"  elements: {results.mesh.n_elements}")
+    lines.append(f"  degrees of freedom: {results.dof_manager.n_dofs}")
+    lines.append(f"  element type: {results.dof_manager.element_type.value}")
+    lines.append("")
+    lines.append("Results")
+    lines.append("-------")
+    lines.append(f"  Ground Potential Rise: {results.gpr:.1f} V")
+    lines.append(f"  Equivalent resistance: {results.equivalent_resistance:.4f} Ω")
+    lines.append(f"  Total leaked current:  {results.total_current_ka:.2f} kA")
+    per_layer = results.current_by_layer()
+    if len(per_layer) > 1:
+        for layer, current in sorted(per_layer.items()):
+            lines.append(f"    current from layer {layer}: {current / 1e3:.2f} kA")
+    lines.append("")
+    lines.append("Pipeline cost")
+    lines.append("-------------")
+    lines.append(phase_table(results.timings))
+    if safety is not None:
+        lines.append("")
+        lines.append("Safety assessment (IEEE Std 80)")
+        lines.append("-------------------------------")
+        for key, value in safety.summary().items():
+            lines.append(f"  {key}: {value}")
+    lines.append("")
+    lines.append("Solver")
+    lines.append("------")
+    for key, value in results.solver.summary().items():
+        lines.append(f"  {key}: {value}")
+    return "\n".join(lines)

@@ -1,0 +1,199 @@
+"""Command-line interface of the grounding-analysis library.
+
+Four sub-commands cover the common workflows::
+
+    python -m repro analyze  --grid grid.json --rho1 400 --rho2 100 --h 1.5 --gpr 10000
+    python -m repro barbera  --case two_layer
+    python -m repro balaidos --model C
+    python -m repro scaling  --case barbera/two_layer --workers 1 2 4 8
+
+``analyze`` reads a grid saved with :func:`repro.geometry.io.save_grid`,
+builds a uniform or two-layer soil from the resistivity options, runs the BEM
+analysis (optionally in parallel) and prints the design report.  The
+``barbera`` / ``balaidos`` commands run the paper's case studies, and
+``scaling`` reproduces the parallel study on the local machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro._version import __version__
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and documentation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel BEM analysis of substation earthing systems in layered soils.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser("analyze", help="analyse a grid file")
+    analyze.add_argument("--grid", required=True, help="path to a grid JSON file")
+    analyze.add_argument("--gpr", type=float, default=10_000.0, help="ground potential rise [V]")
+    analyze.add_argument("--rho1", type=float, required=True, help="upper-layer resistivity [ohm*m]")
+    analyze.add_argument(
+        "--rho2", type=float, default=None, help="lower-layer resistivity [ohm*m] (omit for uniform soil)"
+    )
+    analyze.add_argument("--h", type=float, default=None, help="upper-layer thickness [m]")
+    analyze.add_argument("--solver", default="pcg", help="cholesky | lu | cg | pcg")
+    analyze.add_argument(
+        "--element-type", default="linear", choices=("linear", "constant"), help="trial functions"
+    )
+    analyze.add_argument("--workers", type=int, default=0, help="parallel workers (0 = sequential)")
+    analyze.add_argument("--schedule", default="Dynamic,1", help="loop schedule, e.g. Static,4")
+    analyze.add_argument("--workdir", default=None, help="directory for result files")
+
+    barbera = subparsers.add_parser("barbera", help="run the paper's Example 1 (Barberá)")
+    barbera.add_argument("--case", default="two_layer", choices=("uniform", "two_layer"))
+    barbera.add_argument("--coarse", action="store_true", help="use the reduced test-size grid")
+    barbera.add_argument("--workers", type=int, default=0)
+
+    balaidos = subparsers.add_parser("balaidos", help="run the paper's Example 2 (Balaidos)")
+    balaidos.add_argument("--model", default="A", choices=("A", "B", "C"))
+    balaidos.add_argument("--workers", type=int, default=0)
+
+    scaling = subparsers.add_parser("scaling", help="reproduce the parallel study (Section 6)")
+    scaling.add_argument("--case", default="barbera/two_layer")
+    scaling.add_argument("--coarse", action="store_true")
+    scaling.add_argument(
+        "--workers", type=int, nargs="+", default=[1, 2, 4, 8], help="processor counts to measure"
+    )
+    scaling.add_argument("--schedule", default="Dynamic,1")
+    scaling.add_argument(
+        "--simulate-up-to", type=int, default=64, help="largest simulated processor count"
+    )
+    return parser
+
+
+def _make_soil(rho1: float, rho2: float | None, h: float | None):
+    from repro.exceptions import ReproError
+    from repro.soil.two_layer import TwoLayerSoil
+    from repro.soil.uniform import UniformSoil
+
+    if rho2 is None:
+        return UniformSoil.from_resistivity(rho1)
+    if h is None:
+        raise ReproError("--h (upper-layer thickness) is required for a two-layer soil")
+    return TwoLayerSoil.from_resistivities(rho1, rho2, h)
+
+
+def _make_parallel(workers: int, schedule: str):
+    if workers and workers > 1:
+        from repro.parallel.options import ParallelOptions
+        from repro.parallel.schedule import Schedule
+
+        return ParallelOptions(n_workers=workers, schedule=Schedule.parse(schedule))
+    return None
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.cad.project import GroundingProject
+    from repro.cad.report import design_report
+
+    soil = _make_soil(args.rho1, args.rho2, args.h)
+    project = GroundingProject(
+        args.grid,
+        soil,
+        gpr=args.gpr,
+        element_type=args.element_type,
+        solver=args.solver,
+        parallel=_make_parallel(args.workers, args.schedule),
+        workdir=args.workdir,
+    )
+    results = project.run()
+    print(design_report(results))
+    return 0
+
+
+def _cmd_barbera(args: argparse.Namespace) -> int:
+    from repro.cad.report import design_report
+    from repro.experiments.barbera import BARBERA_PAPER_RESULTS, run_barbera
+
+    results = run_barbera(
+        args.case, coarse=args.coarse, parallel=_make_parallel(args.workers, "Dynamic,1")
+    )
+    print(design_report(results))
+    paper = BARBERA_PAPER_RESULTS[args.case]
+    print(
+        f"\npaper reference: Req = {paper['equivalent_resistance_ohm']} ohm, "
+        f"I = {paper['total_current_ka']} kA"
+    )
+    return 0
+
+
+def _cmd_balaidos(args: argparse.Namespace) -> int:
+    from repro.cad.report import design_report
+    from repro.experiments.balaidos import BALAIDOS_PAPER_RESULTS, run_balaidos
+
+    results = run_balaidos(args.model, parallel=_make_parallel(args.workers, "Dynamic,1"))
+    print(design_report(results))
+    paper = BALAIDOS_PAPER_RESULTS[args.model]
+    print(
+        f"\npaper reference (Table 5.1): Req = {paper['equivalent_resistance_ohm']} ohm, "
+        f"I = {paper['total_current_ka']} kA"
+    )
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.cad.report import format_table
+    from repro.experiments.scaling import (
+        figure_6_1_curves,
+        measure_column_costs,
+        measure_real_speedups,
+    )
+
+    column_costs, total = measure_column_costs(args.case, coarse=args.coarse)
+    print(f"sequential matrix generation: {total:.2f} s over {column_costs.size} columns")
+
+    rows = measure_real_speedups(
+        args.case, processor_counts=args.workers, schedule=args.schedule, coarse=args.coarse
+    )
+    print("\nreal process-pool measurements:")
+    print(
+        format_table(
+            ["processors", "wall seconds", "speed-up"],
+            [[r["n_processors"], r["cpu_seconds"], r["speedup"]] for r in rows],
+        )
+    )
+
+    counts = sorted({1, 2, 4, 8, 16, 32, args.simulate_up_to})
+    curves = figure_6_1_curves(column_costs, processor_counts=counts, schedule=args.schedule)
+    print("\nsimulated speed-up (outer vs inner loop):")
+    print(
+        format_table(
+            ["processors", "outer", "inner"],
+            [
+                [o["n_processors"], o["speedup"], i["speedup"]]
+                for o, i in zip(curves["outer"], curves["inner"])
+            ],
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "analyze": _cmd_analyze,
+    "barbera": _cmd_barbera,
+    "balaidos": _cmd_balaidos,
+    "scaling": _cmd_scaling,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point used by ``python -m repro`` (returns a process exit code)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Physical constants and library-wide default parameters.
+
+The defaults gathered here are the ones used throughout the paper's examples
+(Sections 5 and 6):
+
+* the Ground Potential Rise applied in both case studies is 10 kV,
+* grounding conductors are buried at 0.8 m,
+* the image series of the layered-soil kernels is truncated with a relative
+  tolerance (the paper: "numerically added up until a tolerance is fulfilled or
+  an upper limit of summands is achieved").
+"""
+
+from __future__ import annotations
+
+#: Ground Potential Rise used in the paper's two case studies [V].
+DEFAULT_GPR: float = 10_000.0
+
+#: Burial depth of horizontal grid conductors in both case studies [m].
+DEFAULT_BURIAL_DEPTH: float = 0.80
+
+#: Default relative tolerance for truncating the layered-soil image series.
+DEFAULT_SERIES_TOLERANCE: float = 1.0e-6
+
+#: Hard cap on the number of image *groups* (series index ``n``) per kernel.
+DEFAULT_MAX_IMAGE_GROUPS: int = 256
+
+#: Default number of Gauss-Legendre points for the outer (Galerkin) integral.
+DEFAULT_GAUSS_POINTS: int = 4
+
+#: Default element size used when discretising conductors [m].  The paper uses
+#: one element per physical grid segment; finer meshes are supported.
+DEFAULT_MAX_ELEMENT_LENGTH: float = float("inf")
+
+#: Conversion helpers.
+MM_TO_M: float = 1.0e-3
+KA_TO_A: float = 1.0e3
+A_TO_KA: float = 1.0e-3
+
+#: Numerical tolerance used in geometric predicates [m].
+GEOMETRIC_TOLERANCE: float = 1.0e-9
+
+#: Default body weight assumed by the IEEE Std 80 tolerable-voltage formulas [kg].
+DEFAULT_BODY_WEIGHT_KG: float = 70.0
+
+#: Default fault clearing time for the IEEE Std 80 tolerable-voltage formulas [s].
+DEFAULT_FAULT_DURATION_S: float = 0.5

@@ -1,0 +1,31 @@
+"""Design-support layer: fault data, conductor sizing and grid optimisation.
+
+The BEM solver answers "what are the resistance and the surface potentials of
+*this* grid in *this* soil"; a grounding designer also needs the surrounding
+workflow the paper's CAD system targets:
+
+* :mod:`repro.design.fault` — from the fault current and the system X/R ratio
+  to the Ground Potential Rise actually applied to the grid (split factor,
+  decrement factor);
+* :mod:`repro.design.sizing` — minimum conductor cross-section able to carry
+  the fault current without fusing (IEEE Std 80 thermal sizing);
+* :mod:`repro.design.optimizer` — a small design-space search that densifies a
+  reticulated grid (and adds rods) until the IEEE Std 80 touch/step limits are
+  met, reporting the cheapest compliant design.
+"""
+
+from repro.design.fault import FaultScenario, decrement_factor, ground_potential_rise
+from repro.design.sizing import ConductorMaterial, MATERIALS, minimum_conductor_section
+from repro.design.optimizer import DesignCandidate, DesignStudy, optimize_grid_design
+
+__all__ = [
+    "FaultScenario",
+    "decrement_factor",
+    "ground_potential_rise",
+    "ConductorMaterial",
+    "MATERIALS",
+    "minimum_conductor_section",
+    "DesignCandidate",
+    "DesignStudy",
+    "optimize_grid_design",
+]

@@ -1,0 +1,269 @@
+"""Grid design optimisation: find the cheapest compliant reticulated design.
+
+A simple but realistic design-space search on top of the BEM solver: candidate
+designs are rectangular grids of increasing mesh density, optionally reinforced
+with perimeter ground rods.  For every candidate the solver computes the
+equivalent resistance, the GPR produced by the fault scenario and the worst
+touch and step voltages over the protected area; the search returns all
+evaluated candidates plus the cheapest one (smallest buried conductor length)
+that meets the IEEE Std 80 limits.
+
+The search is deliberately exhaustive over a small, explicit candidate list —
+grounding designs are reviewed by humans and the full table of candidates is
+part of the deliverable, exactly like the soil-model comparison tables of the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.bem.formulation import GroundingAnalysis
+from repro.bem.safety import ieee80_tolerable_step, ieee80_tolerable_touch
+from repro.design.fault import FaultScenario, ground_potential_rise
+from repro.exceptions import ReproError
+from repro.geometry.builder import GridBuilder
+from repro.soil.base import SoilModel
+
+__all__ = ["DesignCandidate", "DesignStudy", "optimize_grid_design"]
+
+
+@dataclass
+class DesignCandidate:
+    """One evaluated grid design."""
+
+    #: Number of meshes along x and y.
+    nx: int
+    ny: int
+    #: Number of perimeter rods.
+    n_rods: int
+    #: Total buried conductor length (the cost proxy) [m].
+    total_length: float
+    #: Equivalent resistance [Ω].
+    equivalent_resistance: float
+    #: Ground Potential Rise produced by the fault scenario [V].
+    gpr: float
+    #: Worst touch voltage over the assessed area [V].
+    max_touch_voltage: float
+    #: Worst step voltage over the assessed area [V].
+    max_step_voltage: float
+    #: Tolerable limits used for the verdict [V].
+    tolerable_touch_voltage: float
+    tolerable_step_voltage: float
+    #: Extra data (timings, grid summary ...).
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def compliant(self) -> bool:
+        """Whether both IEEE Std 80 criteria are met."""
+        return (
+            self.max_touch_voltage <= self.tolerable_touch_voltage
+            and self.max_step_voltage <= self.tolerable_step_voltage
+        )
+
+    def summary(self) -> dict[str, Any]:
+        """Row used by reports."""
+        return {
+            "nx": self.nx,
+            "ny": self.ny,
+            "n_rods": self.n_rods,
+            "total_length_m": round(self.total_length, 1),
+            "Req_ohm": round(self.equivalent_resistance, 4),
+            "gpr_v": round(self.gpr, 1),
+            "max_touch_v": round(self.max_touch_voltage, 1),
+            "max_step_v": round(self.max_step_voltage, 1),
+            "compliant": self.compliant,
+        }
+
+
+@dataclass
+class DesignStudy:
+    """All evaluated candidates plus the selected design."""
+
+    candidates: list[DesignCandidate]
+    best: DesignCandidate | None
+
+    @property
+    def n_candidates(self) -> int:
+        """Number of evaluated designs."""
+        return len(self.candidates)
+
+    @property
+    def n_compliant(self) -> int:
+        """Number of designs meeting both limits."""
+        return sum(1 for c in self.candidates if c.compliant)
+
+    def table(self) -> list[dict[str, Any]]:
+        """Summary rows of every candidate (cheapest first)."""
+        ordered = sorted(self.candidates, key=lambda c: c.total_length)
+        return [c.summary() for c in ordered]
+
+
+def _evaluate_candidate(
+    width: float,
+    height: float,
+    nx: int,
+    ny: int,
+    with_rods: bool,
+    depth: float,
+    conductor_radius: float,
+    rod_length: float,
+    soil: SoilModel,
+    fault: FaultScenario,
+    surface_resistivity: float | None,
+    surface_thickness: float,
+    body_weight_kg: float,
+    raster: int,
+) -> DesignCandidate:
+    builder = GridBuilder(
+        depth=depth,
+        conductor_radius=conductor_radius,
+        rod_radius=conductor_radius * 1.2,
+        rod_length=rod_length,
+        name=f"design-{nx}x{ny}{'-rods' if with_rods else ''}",
+    )
+    grid = builder.rectangular_mesh(width, height, nx, ny)
+    n_rods = 0
+    if with_rods:
+        positions = GridBuilder.perimeter_node_positions(grid)[:, :2]
+        builder.add_rods(grid, positions)
+        n_rods = positions.shape[0]
+
+    # The solution scales linearly with the GPR, so solve once at a unit GPR
+    # and rescale with the GPR produced by the fault scenario.
+    results = GroundingAnalysis(grid, soil, gpr=1.0, validate=False).run()
+    resistance = results.equivalent_resistance
+    gpr = ground_potential_rise(resistance, fault)
+
+    surface = results.evaluator().surface_potential_over_grid(
+        margin=10.0, n_x=raster, n_y=raster
+    )
+    # Scale the unit-GPR surface potential to the GPR of the fault scenario.
+    scaled_values = surface.values * gpr
+    # Touch voltage is assessed over the area a person can reach while touching
+    # grounded structures: the grid footprint plus a one-metre reach margin.
+    # The step voltage is assessed over the whole sampled area (it also matters
+    # outside the fence).
+    lower, upper = grid.bounding_box()
+    reach = 1.0
+    in_reach_x = (surface.x >= lower[0] - reach) & (surface.x <= upper[0] + reach)
+    in_reach_y = (surface.y >= lower[1] - reach) & (surface.y <= upper[1] + reach)
+    touch_area = scaled_values[np.ix_(in_reach_y, in_reach_x)]
+    touch = float(gpr - touch_area.min())
+    grad_y, grad_x = np.gradient(scaled_values, surface.y, surface.x)
+    step = float(np.hypot(grad_x, grad_y).max())
+
+    soil_resistivity = 1.0 / soil.conductivities[0]
+    tolerable_touch = ieee80_tolerable_touch(
+        soil_resistivity,
+        fault.duration_s,
+        body_weight_kg,
+        surface_resistivity,
+        surface_thickness,
+    )
+    tolerable_step = ieee80_tolerable_step(
+        soil_resistivity,
+        fault.duration_s,
+        body_weight_kg,
+        surface_resistivity,
+        surface_thickness,
+    )
+    return DesignCandidate(
+        nx=nx,
+        ny=ny,
+        n_rods=n_rods,
+        total_length=grid.total_length,
+        equivalent_resistance=resistance,
+        gpr=gpr,
+        max_touch_voltage=touch,
+        max_step_voltage=step,
+        tolerable_touch_voltage=float(tolerable_touch),
+        tolerable_step_voltage=float(tolerable_step),
+        metadata={"grid": grid.summary()},
+    )
+
+
+def optimize_grid_design(
+    width: float,
+    height: float,
+    soil: SoilModel,
+    fault: FaultScenario,
+    mesh_densities: Sequence[int] = (2, 3, 4, 6, 8),
+    try_rods: bool = True,
+    depth: float = 0.8,
+    conductor_radius: float = 6.0e-3,
+    rod_length: float = 2.4,
+    surface_resistivity: float | None = None,
+    surface_thickness: float = 0.1,
+    body_weight_kg: float = 70.0,
+    raster: int = 25,
+) -> DesignStudy:
+    """Search rectangular designs until the IEEE Std 80 limits are met.
+
+    Parameters
+    ----------
+    width, height:
+        Plan dimensions of the area to protect [m].
+    soil:
+        Soil model (uniform or two-layer).
+    fault:
+        Fault scenario producing the grid current.
+    mesh_densities:
+        Candidate numbers of meshes along the longer side; the shorter side is
+        meshed proportionally (at least one mesh).
+    try_rods:
+        Also evaluate each density with perimeter rods.
+    depth, conductor_radius, rod_length:
+        Construction parameters.
+    surface_resistivity, surface_thickness, body_weight_kg:
+        IEEE Std 80 tolerable-voltage parameters.
+    raster:
+        Resolution of the surface-potential raster used for the touch/step
+        assessment.
+
+    Returns
+    -------
+    DesignStudy
+        Every evaluated candidate and the cheapest compliant one (``best`` is
+        ``None`` when no candidate meets the limits).
+    """
+    if width <= 0 or height <= 0:
+        raise ReproError("the protected area dimensions must be positive")
+    if not mesh_densities:
+        raise ReproError("at least one mesh density must be proposed")
+
+    long_side, short_side = max(width, height), min(width, height)
+    candidates: list[DesignCandidate] = []
+    for density in sorted(set(int(d) for d in mesh_densities)):
+        if density < 1:
+            raise ReproError("mesh densities must be >= 1")
+        n_long = density
+        n_short = max(1, int(round(density * short_side / long_side)))
+        nx, ny = (n_long, n_short) if width >= height else (n_short, n_long)
+        rod_options = (False, True) if try_rods else (False,)
+        for with_rods in rod_options:
+            candidates.append(
+                _evaluate_candidate(
+                    width,
+                    height,
+                    nx,
+                    ny,
+                    with_rods,
+                    depth,
+                    conductor_radius,
+                    rod_length,
+                    soil,
+                    fault,
+                    surface_resistivity,
+                    surface_thickness,
+                    body_weight_kg,
+                    raster,
+                )
+            )
+
+    compliant = [c for c in candidates if c.compliant]
+    best = min(compliant, key=lambda c: c.total_length) if compliant else None
+    return DesignStudy(candidates=candidates, best=best)

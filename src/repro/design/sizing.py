@@ -1,0 +1,141 @@
+"""Thermal sizing of grounding conductors (IEEE Std 80).
+
+The grid conductors must survive the fault current without approaching their
+fusing temperature.  IEEE Std 80 gives the minimum cross section as
+
+    ``A_mm² = I_kA · K_f · sqrt(t_c)``  (simplified form), or in full
+
+    ``A_mm² = I_kA / sqrt( (TCAP · 1e-4) / (t_c · α_r · ρ_r)
+                           · ln( (K_0 + T_m) / (K_0 + T_a) ) )``
+
+with the material constants tabulated by the standard.  Both forms are
+implemented; the full form is the default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+__all__ = ["ConductorMaterial", "MATERIALS", "minimum_conductor_section", "section_to_diameter"]
+
+
+@dataclass(frozen=True)
+class ConductorMaterial:
+    """Material constants of IEEE Std 80 Table 1 (hard-drawn values)."""
+
+    #: Material name.
+    name: str
+    #: Thermal coefficient of resistivity at the reference temperature [1/°C].
+    alpha_r: float
+    #: K0 = 1/alpha_0 [°C].
+    k0: float
+    #: Fusing temperature [°C].
+    fusing_temperature_c: float
+    #: Resistivity at the reference temperature [µΩ·cm].
+    rho_r: float
+    #: Thermal capacity per unit volume [J/(cm³·°C)].
+    tcap: float
+
+
+#: Common grounding conductor materials (IEEE Std 80-2000, Table 1).
+MATERIALS: dict[str, ConductorMaterial] = {
+    "copper-annealed": ConductorMaterial(
+        name="copper-annealed",
+        alpha_r=0.00393,
+        k0=234.0,
+        fusing_temperature_c=1083.0,
+        rho_r=1.72,
+        tcap=3.42,
+    ),
+    "copper-hard-drawn": ConductorMaterial(
+        name="copper-hard-drawn",
+        alpha_r=0.00381,
+        k0=242.0,
+        fusing_temperature_c=1084.0,
+        rho_r=1.78,
+        tcap=3.42,
+    ),
+    "copper-clad-steel": ConductorMaterial(
+        name="copper-clad-steel",
+        alpha_r=0.00378,
+        k0=245.0,
+        fusing_temperature_c=1084.0,
+        rho_r=4.40,
+        tcap=3.85,
+    ),
+    "aluminum": ConductorMaterial(
+        name="aluminum",
+        alpha_r=0.00403,
+        k0=228.0,
+        fusing_temperature_c=657.0,
+        rho_r=2.86,
+        tcap=2.56,
+    ),
+    "steel": ConductorMaterial(
+        name="steel",
+        alpha_r=0.00160,
+        k0=605.0,
+        fusing_temperature_c=1510.0,
+        rho_r=15.90,
+        tcap=3.28,
+    ),
+}
+
+
+def minimum_conductor_section(
+    fault_current_a: float,
+    fault_duration_s: float,
+    material: ConductorMaterial | str = "copper-hard-drawn",
+    ambient_temperature_c: float = 40.0,
+    maximum_temperature_c: float | None = None,
+) -> float:
+    """Minimum conductor cross-section [mm²] able to carry the fault current.
+
+    Parameters
+    ----------
+    fault_current_a:
+        RMS fault current carried by the conductor [A].
+    fault_duration_s:
+        Current duration [s].
+    material:
+        A :class:`ConductorMaterial` or one of the keys of :data:`MATERIALS`.
+    ambient_temperature_c:
+        Ambient (initial) temperature [°C].
+    maximum_temperature_c:
+        Maximum allowable temperature [°C]; defaults to the material's fusing
+        temperature (use a lower value for brazed or bolted joints).
+    """
+    if isinstance(material, str):
+        try:
+            material = MATERIALS[material]
+        except KeyError as exc:
+            raise ReproError(
+                f"unknown conductor material {material!r}; known: {sorted(MATERIALS)}"
+            ) from exc
+    if fault_current_a <= 0.0:
+        raise ReproError("the fault current must be positive")
+    if fault_duration_s <= 0.0:
+        raise ReproError("the fault duration must be positive")
+    t_max = material.fusing_temperature_c if maximum_temperature_c is None else float(
+        maximum_temperature_c
+    )
+    if t_max <= ambient_temperature_c:
+        raise ReproError("the maximum temperature must exceed the ambient temperature")
+
+    log_term = np.log((material.k0 + t_max) / (material.k0 + ambient_temperature_c))
+    denominator = (material.tcap * 1.0e-4) / (
+        fault_duration_s * material.alpha_r * material.rho_r
+    ) * log_term
+    section_mm2 = (fault_current_a / 1.0e3) / np.sqrt(denominator)
+    return float(section_mm2)
+
+
+def section_to_diameter(section_mm2: float) -> float:
+    """Diameter [m] of a solid round conductor of the given cross-section [mm²]."""
+    if section_mm2 <= 0.0:
+        raise ReproError("the cross-section must be positive")
+    return float(2.0 * np.sqrt(section_mm2 / np.pi) * 1.0e-3)

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers can
+catch every library-specific failure with a single ``except`` clause while still
+letting programming errors (``TypeError`` and friends) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GeometryError",
+    "DiscretizationError",
+    "SoilModelError",
+    "KernelError",
+    "AssemblyError",
+    "SolverError",
+    "ConvergenceError",
+    "ScheduleError",
+    "ParallelExecutionError",
+    "ExperimentError",
+    "ValidationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` library."""
+
+
+class GeometryError(ReproError):
+    """Raised for invalid grounding-grid geometry (degenerate segments, bad radii...)."""
+
+
+class ValidationError(GeometryError):
+    """Raised when a grid fails a validation rule (e.g. electrode above the surface)."""
+
+
+class DiscretizationError(ReproError):
+    """Raised when a conductor cannot be discretised into boundary elements."""
+
+
+class SoilModelError(ReproError):
+    """Raised for inconsistent soil models (non-positive conductivity, bad layering)."""
+
+
+class KernelError(ReproError):
+    """Raised when an integral kernel cannot be evaluated (unsupported layer pair...)."""
+
+
+class AssemblyError(ReproError):
+    """Raised when the BEM coefficient matrix cannot be assembled."""
+
+
+class SolverError(ReproError):
+    """Raised when the linear system cannot be solved."""
+
+
+class ConvergenceError(SolverError):
+    """Raised when an iterative solver fails to reach the requested tolerance."""
+
+
+class ScheduleError(ReproError):
+    """Raised for invalid loop-schedule specifications (unknown kind, chunk <= 0...)."""
+
+
+class ParallelExecutionError(ReproError):
+    """Raised when a parallel assembly/executor backend fails."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment drivers when a reproduction run is misconfigured."""

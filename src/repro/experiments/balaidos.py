@@ -1,0 +1,107 @@
+"""Example 2 of the paper: the Balaidos substation grounding system.
+
+Section 5.2 analyses a mesh of 107 conductors plus 67 vertical rods
+(GPR = 10 kV) under three soil models, reported in Table 5.1:
+
+=======  =============================================================  ========  ========
+model    soil                                                           R_eq [Ω]  I [kA]
+=======  =============================================================  ========  ========
+``A``    uniform, γ = 0.020 (Ω·m)⁻¹                                     0.3366    29.71
+``B``    two layers, γ₁ = 0.0025, γ₂ = 0.020 (Ω·m)⁻¹, h = 0.70 m        0.3522    28.39
+``C``    two layers, γ₁ = 0.0025, γ₂ = 0.020 (Ω·m)⁻¹, h = 1.00 m        0.4860    20.58
+=======  =============================================================  ========  ========
+
+In model B the whole grid lies in the lower layer; in model C the horizontal
+mesh lies in the upper layer while part of every rod reaches the lower one,
+which activates the slower-converging cross-layer kernels (the reason the
+paper's Table 6.3 shows model C costing five times more than model B).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.bem.formulation import GroundingAnalysis
+from repro.bem.results import AnalysisResults
+from repro.exceptions import ExperimentError
+from repro.geometry.grid import GroundingGrid
+from repro.geometry.substations import balaidos_grid
+from repro.kernels.series import SeriesControl
+from repro.parallel.options import ParallelOptions
+from repro.soil.base import SoilModel
+from repro.soil.two_layer import TwoLayerSoil
+from repro.soil.uniform import UniformSoil
+
+__all__ = [
+    "BALAIDOS_GPR",
+    "BALAIDOS_PAPER_RESULTS",
+    "BALAIDOS_MODELS",
+    "balaidos_soil",
+    "balaidos_case",
+    "run_balaidos",
+    "run_balaidos_all_models",
+]
+
+#: Ground Potential Rise of the study [V].
+BALAIDOS_GPR = 10_000.0
+
+#: The three soil models of the study.
+BALAIDOS_MODELS = ("A", "B", "C")
+
+#: Table 5.1 of the paper.
+BALAIDOS_PAPER_RESULTS: dict[str, dict[str, float]] = {
+    "A": {"equivalent_resistance_ohm": 0.3366, "total_current_ka": 29.71},
+    "B": {"equivalent_resistance_ohm": 0.3522, "total_current_ka": 28.39},
+    "C": {"equivalent_resistance_ohm": 0.4860, "total_current_ka": 20.58},
+}
+
+
+def balaidos_soil(model: str = "A") -> SoilModel:
+    """Soil model ``A``, ``B`` or ``C`` of the Balaidos study."""
+    model = str(model).upper()
+    if model == "A":
+        return UniformSoil(0.020)
+    if model == "B":
+        return TwoLayerSoil(0.0025, 0.020, 0.70)
+    if model == "C":
+        return TwoLayerSoil(0.0025, 0.020, 1.00)
+    raise ExperimentError(f"unknown Balaidos soil model {model!r}; expected 'A', 'B' or 'C'")
+
+
+def balaidos_case(model: str = "A") -> tuple[GroundingGrid, SoilModel, float]:
+    """Grid, soil model and GPR of a Balaidos case."""
+    return balaidos_grid(), balaidos_soil(model), BALAIDOS_GPR
+
+
+def run_balaidos(
+    model: str = "A",
+    parallel: ParallelOptions | None = None,
+    series_control: SeriesControl | None = None,
+    solver: str = "pcg",
+    collect_column_times: bool = False,
+    **analysis_kwargs: Any,
+) -> AnalysisResults:
+    """Run the Balaidos analysis for one soil model."""
+    grid, soil, gpr = balaidos_case(model)
+    analysis = GroundingAnalysis(
+        grid=grid,
+        soil=soil,
+        gpr=gpr,
+        solver=solver,
+        parallel=parallel,
+        collect_column_times=collect_column_times,
+        **({"series_control": series_control} if series_control is not None else {}),
+        **analysis_kwargs,
+    )
+    results = analysis.run()
+    results.metadata["case"] = f"balaidos/{model}"
+    results.metadata["paper"] = BALAIDOS_PAPER_RESULTS.get(model, {})
+    return results
+
+
+def run_balaidos_all_models(
+    parallel: ParallelOptions | None = None,
+    **kwargs: Any,
+) -> dict[str, AnalysisResults]:
+    """Run all three soil models (the rows of the paper's Table 5.1)."""
+    return {model: run_balaidos(model, parallel=parallel, **kwargs) for model in BALAIDOS_MODELS}

@@ -1,0 +1,130 @@
+"""Example 1 of the paper: the Barberá substation grounding system.
+
+Section 5.1 analyses a right-angled triangular grid (143 m × 89 m, 408
+conductor segments, GPR = 10 kV) under two soil models:
+
+===============  =======================================  ==========  ===========
+case             soil                                     R_eq [Ω]    I_Γ [kA]
+===============  =======================================  ==========  ===========
+``uniform``      γ = 0.016 (Ω·m)⁻¹                        0.3128      31.97
+``two_layer``    γ₁ = 0.005, γ₂ = 0.016 (Ω·m)⁻¹, h = 1 m  0.3704      26.99
+===============  =======================================  ==========  ===========
+
+The same case is the workload of the whole parallel study of Section 6.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.bem.formulation import GroundingAnalysis
+from repro.bem.results import AnalysisResults
+from repro.exceptions import ExperimentError
+from repro.geometry.grid import GroundingGrid
+from repro.geometry.substations import barbera_grid
+from repro.kernels.series import SeriesControl
+from repro.parallel.options import ParallelOptions
+from repro.soil.base import SoilModel
+from repro.soil.two_layer import TwoLayerSoil
+from repro.soil.uniform import UniformSoil
+
+__all__ = [
+    "BARBERA_GPR",
+    "BARBERA_PAPER_RESULTS",
+    "barbera_soil",
+    "barbera_case",
+    "run_barbera",
+]
+
+#: Ground Potential Rise of the study [V].
+BARBERA_GPR = 10_000.0
+
+#: Values reported by the paper (Section 5.1).
+BARBERA_PAPER_RESULTS: dict[str, dict[str, float]] = {
+    "uniform": {"equivalent_resistance_ohm": 0.3128, "total_current_ka": 31.97},
+    "two_layer": {"equivalent_resistance_ohm": 0.3704, "total_current_ka": 26.99},
+}
+
+#: Soil parameters of the study (Section 5.1).
+_UNIFORM_CONDUCTIVITY = 0.016
+_UPPER_CONDUCTIVITY = 0.005
+_LOWER_CONDUCTIVITY = 0.016
+_UPPER_THICKNESS = 1.0
+
+
+def barbera_soil(case: str = "two_layer") -> SoilModel:
+    """Soil model of the requested Barberá case (``"uniform"`` or ``"two_layer"``)."""
+    case = str(case).lower()
+    if case == "uniform":
+        return UniformSoil(_UNIFORM_CONDUCTIVITY)
+    if case in ("two_layer", "two-layer", "2layer"):
+        return TwoLayerSoil(_UPPER_CONDUCTIVITY, _LOWER_CONDUCTIVITY, _UPPER_THICKNESS)
+    raise ExperimentError(f"unknown Barberá case {case!r}; expected 'uniform' or 'two_layer'")
+
+
+def barbera_case(
+    case: str = "two_layer", coarse: bool = False
+) -> tuple[GroundingGrid, SoilModel, float]:
+    """Grid, soil model and GPR of a Barberá case.
+
+    Parameters
+    ----------
+    case:
+        ``"uniform"`` or ``"two_layer"``.
+    coarse:
+        Use a coarser reconstruction of the grid (about a quarter of the
+        segments).  The coarse variant is intended for unit tests and quick
+        demonstrations — the reproduction benchmarks always use the full grid.
+    """
+    if coarse:
+        grid = barbera_grid(spacing_x=89.0 / 7.0, spacing_y=143.0 / 12.0)
+    else:
+        grid = barbera_grid()
+    return grid, barbera_soil(case), BARBERA_GPR
+
+
+def run_barbera(
+    case: str = "two_layer",
+    parallel: ParallelOptions | None = None,
+    series_control: SeriesControl | None = None,
+    solver: str = "pcg",
+    coarse: bool = False,
+    collect_column_times: bool = False,
+    **analysis_kwargs: Any,
+) -> AnalysisResults:
+    """Run the Barberá analysis and return the results.
+
+    Parameters
+    ----------
+    case:
+        ``"uniform"`` or ``"two_layer"``.
+    parallel:
+        Optional parallel options for the matrix generation.
+    series_control:
+        Image-series truncation (default 1e-6 relative tolerance).
+    solver:
+        Linear solver name.
+    coarse:
+        Use the reduced test-size grid (see :func:`barbera_case`).
+    collect_column_times:
+        Store the per-column assembly times in the result metadata (needed for
+        the schedule simulation benchmarks).
+    analysis_kwargs:
+        Extra keyword arguments forwarded to
+        :class:`repro.bem.GroundingAnalysis`.
+    """
+    grid, soil, gpr = barbera_case(case, coarse=coarse)
+    analysis = GroundingAnalysis(
+        grid=grid,
+        soil=soil,
+        gpr=gpr,
+        solver=solver,
+        parallel=parallel,
+        collect_column_times=collect_column_times,
+        **({"series_control": series_control} if series_control is not None else {}),
+        **analysis_kwargs,
+    )
+    results = analysis.run()
+    results.metadata["case"] = f"barbera/{case}"
+    results.metadata["paper"] = BARBERA_PAPER_RESULTS.get(case, {})
+    return results

@@ -1,0 +1,282 @@
+"""Parallel-scaling experiment drivers (the paper's Section 6).
+
+The three artefacts of the paper's parallel study are driven from here:
+
+* :func:`measure_column_costs` — runs the sequential matrix generation of a
+  case study and returns the per-column task costs (the workload profile that
+  the OpenMP loop distributes);
+* :func:`figure_6_1_curves` — speed-up versus processor count for the outer-
+  and the inner-loop parallelisation (Fig. 6.1), obtained by replaying the
+  measured column costs in the machine simulator (and optionally validated
+  against real process-pool runs on the locally available cores);
+* :func:`table_6_2_speedups` — the schedule × chunk × processors speed-up table
+  (Table 6.2);
+* :func:`table_6_3_rows` — CPU time and speed-up of the Balaidos soil models
+  A/B/C for several processor counts (Table 6.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.bem.assembly import AssemblyOptions, assemble_system
+from repro.exceptions import ExperimentError
+from repro.experiments.balaidos import balaidos_case
+from repro.experiments.barbera import barbera_case
+from repro.geometry.discretize import discretize_grid
+from repro.kernels.base import kernel_for_soil
+from repro.parallel.machine import MachineModel
+from repro.parallel.options import Backend, LoopLevel, ParallelOptions
+from repro.parallel.parallel_assembly import assemble_system_parallel
+from repro.parallel.schedule import Schedule
+from repro.parallel.simulator import ScheduleSimulator
+
+__all__ = [
+    "PAPER_TABLE_6_2",
+    "PAPER_TABLE_6_3",
+    "measure_column_costs",
+    "figure_6_1_curves",
+    "table_6_2_speedups",
+    "table_6_3_rows",
+    "measure_real_speedups",
+]
+
+#: Schedules evaluated in the paper's Table 6.2 (label → Schedule spec).
+TABLE_6_2_SCHEDULES: tuple[str, ...] = (
+    "Static",
+    "Static,64",
+    "Static,16",
+    "Static,4",
+    "Static,1",
+    "Dynamic,64",
+    "Dynamic,16",
+    "Dynamic,4",
+    "Dynamic,1",
+    "Guided,64",
+    "Guided,16",
+    "Guided,4",
+    "Guided,1",
+)
+
+#: Speed-up factors reported in the paper's Table 6.2 (Barberá, two-layer).
+PAPER_TABLE_6_2: dict[str, dict[int, float]] = {
+    "Static": {1: 1.01, 2: 1.32, 4: 2.32, 8: 4.38},
+    "Static,64": {1: 1.02, 2: 1.76, 4: 1.86, 8: 3.55},
+    "Static,16": {1: 1.02, 2: 1.94, 4: 3.59, 8: 6.23},
+    "Static,4": {1: 1.01, 2: 2.01, 4: 3.96, 8: 7.36},
+    "Static,1": {1: 1.02, 2: 2.03, 4: 4.03, 8: 7.99},
+    "Dynamic,64": {1: 1.02, 2: 2.02, 4: 3.56, 8: 3.55},
+    "Dynamic,16": {1: 1.02, 2: 2.02, 4: 4.08, 8: 7.87},
+    "Dynamic,4": {1: 1.01, 2: 2.04, 4: 3.99, 8: 7.90},
+    "Dynamic,1": {1: 1.02, 2: 2.03, 4: 4.09, 8: 8.05},
+    "Guided,64": {1: 1.02, 2: 1.97, 4: 3.56, 8: 3.56},
+    "Guided,16": {1: 1.02, 2: 1.99, 4: 3.96, 8: 8.03},
+    "Guided,4": {1: 1.02, 2: 2.01, 4: 4.11, 8: 7.93},
+    "Guided,1": {1: 1.02, 2: 2.07, 4: 3.95, 8: 8.38},
+}
+
+#: CPU times (s) and speed-ups of the paper's Table 6.3 (Balaidos).
+PAPER_TABLE_6_3: dict[str, dict[int, tuple[float, float]]] = {
+    "A": {1: (2.44, 1.0)},
+    "B": {1: (81.26, 1.0), 2: (40.85, 1.98), 4: (20.41, 3.98), 8: (10.09, 8.05)},
+    "C": {1: (443.28, 1.0), 2: (218.10, 2.03), 4: (111.38, 3.98), 8: (53.53, 8.28)},
+}
+
+
+def _case(name: str, coarse: bool = False):
+    """Resolve a case name like ``"barbera/two_layer"`` or ``"balaidos/C"``."""
+    name = str(name).lower()
+    if name.startswith("barbera"):
+        _, _, case = name.partition("/")
+        return barbera_case(case or "two_layer", coarse=coarse)
+    if name.startswith("balaidos"):
+        _, _, model = name.partition("/")
+        return balaidos_case(model or "A")
+    raise ExperimentError(f"unknown case {name!r}; expected 'barbera/...' or 'balaidos/...'")
+
+
+def measure_column_costs(
+    case: str = "barbera/two_layer",
+    coarse: bool = False,
+    options: AssemblyOptions | None = None,
+) -> tuple[np.ndarray, float]:
+    """Sequential matrix generation of a case; returns (column costs, total seconds).
+
+    A single column is computed (and discarded) before the timed assembly so
+    that one-off warm-up costs (kernel series construction, NumPy buffers,
+    memory first-touch) do not inflate the first columns of the measured
+    profile — those columns are also the largest ones, and chunk-based
+    schedules (static blocks, guided) are sensitive to a biased head.
+    """
+    from repro.bem.elements import DofManager
+    from repro.bem.influence import ColumnAssembler
+
+    grid, soil, gpr = _case(case, coarse=coarse)
+    mesh = discretize_grid(grid, soil=soil)
+    options = options or AssemblyOptions()
+    kernel = kernel_for_soil(soil, options.series_control)
+
+    warmup = ColumnAssembler(
+        mesh, kernel, DofManager(mesh, options.element_type), options.n_gauss
+    )
+    warmup.column_blocks(0, target_indices=np.arange(min(8, mesh.n_elements)))
+
+    system = assemble_system(
+        mesh, soil, gpr=gpr, options=options, kernel=kernel, collect_column_times=True
+    )
+    return (
+        np.asarray(system.metadata["column_seconds"], dtype=float),
+        float(system.metadata["matrix_generation_seconds"]),
+    )
+
+
+def figure_6_1_curves(
+    column_seconds: Sequence[float],
+    processor_counts: Sequence[int] = tuple(range(1, 65)),
+    schedule: str | Schedule = "Dynamic,1",
+    machine: MachineModel | None = None,
+) -> dict[str, list[dict[str, Any]]]:
+    """Simulated outer-loop and inner-loop speed-up curves (Fig. 6.1)."""
+    schedule = schedule if isinstance(schedule, Schedule) else Schedule.parse(str(schedule))
+    machine = machine or MachineModel.origin2000(max(int(p) for p in processor_counts))
+    simulator = ScheduleSimulator(np.asarray(column_seconds, dtype=float), machine)
+    curves: dict[str, list[dict[str, Any]]] = {"outer": [], "inner": []}
+    for count in processor_counts:
+        curves["outer"].append(simulator.run(schedule, int(count)).summary())
+        curves["inner"].append(simulator.run_inner_loop(schedule, int(count)).summary())
+    return curves
+
+
+def table_6_2_speedups(
+    column_seconds: Sequence[float],
+    processor_counts: Sequence[int] = (1, 2, 4, 8),
+    schedules: Sequence[str] = TABLE_6_2_SCHEDULES,
+    machine: MachineModel | None = None,
+) -> dict[str, dict[int, float]]:
+    """Simulated speed-up table for every schedule of the paper's Table 6.2."""
+    machine = machine or MachineModel.origin2000(max(int(p) for p in processor_counts))
+    simulator = ScheduleSimulator(np.asarray(column_seconds, dtype=float), machine)
+    table: dict[str, dict[int, float]] = {}
+    for label in schedules:
+        schedule = Schedule.parse(label)
+        table[label] = {}
+        for count in processor_counts:
+            table[label][int(count)] = simulator.run(schedule, int(count)).speedup
+    return table
+
+
+def measure_real_speedups(
+    case: str = "barbera/two_layer",
+    processor_counts: Sequence[int] = (1, 2, 4, 8),
+    schedule: str | Schedule = "Dynamic,1",
+    backend: Backend | str = Backend.PROCESS,
+    loop: LoopLevel | str = LoopLevel.OUTER,
+    coarse: bool = False,
+    options: AssemblyOptions | None = None,
+) -> list[dict[str, Any]]:
+    """Real process/thread-pool speed-ups of the matrix generation on this host.
+
+    Returns one row per processor count with the measured wall time and the
+    speed-up referenced to the sequential run (the convention of the paper's
+    tables).  Processor counts larger than the host's CPU count are skipped.
+    """
+    import os
+
+    grid, soil, gpr = _case(case, coarse=coarse)
+    mesh = discretize_grid(grid, soil=soil)
+    options = options or AssemblyOptions()
+    kernel = kernel_for_soil(soil, options.series_control)
+    schedule = schedule if isinstance(schedule, Schedule) else Schedule.parse(str(schedule))
+
+    sequential = assemble_system(
+        mesh, soil, gpr=gpr, options=options, kernel=kernel, collect_column_times=True
+    )
+    reference = float(sequential.metadata["matrix_generation_seconds"])
+
+    rows: list[dict[str, Any]] = [
+        {
+            "case": case,
+            "n_processors": 1,
+            "schedule": schedule.label(),
+            "cpu_seconds": reference,
+            "speedup": 1.0,
+            "backend": "sequential",
+        }
+    ]
+    available = os.cpu_count() or 1
+    for count in processor_counts:
+        count = int(count)
+        if count == 1:
+            continue
+        if count > available:
+            continue
+        parallel = ParallelOptions(
+            n_workers=count, schedule=schedule, backend=backend, loop=loop
+        )
+        system = assemble_system_parallel(
+            mesh, soil, gpr=gpr, options=options, kernel=kernel, parallel=parallel
+        )
+        wall = float(system.metadata["parallel_wall_seconds"])
+        rows.append(
+            {
+                "case": case,
+                "n_processors": count,
+                "schedule": schedule.label(),
+                "cpu_seconds": wall,
+                "speedup": reference / wall if wall > 0 else float(count),
+                "backend": parallel.backend.value,
+            }
+        )
+    return rows
+
+
+def table_6_3_rows(
+    processor_counts: Sequence[int] = (1, 2, 4, 8),
+    models: Sequence[str] = ("A", "B", "C"),
+    schedule: str | Schedule = "Dynamic,1",
+    machine: MachineModel | None = None,
+    simulate: bool = True,
+) -> list[dict[str, Any]]:
+    """CPU time and speed-up of the Balaidos matrix generation (Table 6.3).
+
+    The sequential time of every soil model is measured on this host; the
+    speed-ups for the requested processor counts are obtained from the machine
+    simulator (``simulate=True``, default) or from real process-pool runs
+    (``simulate=False``, bounded by the host's core count).
+    """
+    schedule = schedule if isinstance(schedule, Schedule) else Schedule.parse(str(schedule))
+    rows: list[dict[str, Any]] = []
+    for model in models:
+        column_seconds, total = measure_column_costs(f"balaidos/{model}")
+        if simulate:
+            machine_model = machine or MachineModel.origin2000(
+                max(int(p) for p in processor_counts)
+            )
+            simulator = ScheduleSimulator(column_seconds, machine_model)
+            for count in processor_counts:
+                result = simulator.run(schedule, int(count))
+                rows.append(
+                    {
+                        "soil_model": model,
+                        "n_processors": int(count),
+                        # The simulated times cover the column computations (the
+                        # parallelised work); the measured wall time of the whole
+                        # matrix-generation phase is reported alongside for the
+                        # sequential row.
+                        "cpu_seconds": result.makespan,
+                        "speedup": result.speedup,
+                        "sequential_wall_seconds": total,
+                        "source": "simulated",
+                    }
+                )
+        else:
+            for row in measure_real_speedups(
+                f"balaidos/{model}", processor_counts, schedule=schedule
+            ):
+                row = dict(row)
+                row["soil_model"] = model
+                row["source"] = "measured"
+                rows.append(row)
+    return rows

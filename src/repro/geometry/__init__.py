@@ -1,0 +1,43 @@
+"""Geometric substrate: conductors, grounding grids, builders and discretisation.
+
+The grounding systems analysed by the paper are networks of thin cylindrical
+conductors: a horizontal mesh buried at a fixed depth, supplemented by vertical
+ground rods.  This sub-package provides
+
+* the primitive objects (:class:`~repro.geometry.conductors.Conductor`,
+  :class:`~repro.geometry.grid.GroundingGrid`),
+* constructors for realistic layouts (:class:`~repro.geometry.builder.GridBuilder`
+  and the two case-study reconstructions in :mod:`repro.geometry.substations`),
+* the discretiser that turns a grid into boundary elements and nodes
+  (:mod:`repro.geometry.discretize`), splitting elements at soil-layer
+  interfaces so every element lies inside a single layer,
+* connectivity and validation utilities.
+
+Coordinate convention
+---------------------
+``x`` and ``y`` are horizontal coordinates on the earth surface plane and ``z``
+is the **depth**, positive downwards; the earth surface is ``z = 0`` and every
+buried electrode has ``z > 0``.  This convention keeps the layered-soil image
+formulas free of sign gymnastics.
+"""
+
+from repro.geometry.conductors import Conductor, ConductorKind
+from repro.geometry.grid import GroundingGrid
+from repro.geometry.builder import GridBuilder
+from repro.geometry.discretize import Mesh, MeshElement, discretize_grid
+from repro.geometry.substations import barbera_grid, balaidos_grid
+from repro.geometry.validation import validate_grid, GridIssue
+
+__all__ = [
+    "Conductor",
+    "ConductorKind",
+    "GroundingGrid",
+    "GridBuilder",
+    "Mesh",
+    "MeshElement",
+    "discretize_grid",
+    "barbera_grid",
+    "balaidos_grid",
+    "validate_grid",
+    "GridIssue",
+]

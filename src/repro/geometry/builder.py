@@ -1,0 +1,395 @@
+"""Constructors for realistic grounding-grid layouts.
+
+The paper's two case studies are meshes of horizontal conductors laid out on a
+planar region (a right-angled triangle for the Barberá substation, a stepped
+quadrilateral for Balaidos) plus vertical ground rods.  :class:`GridBuilder`
+produces such layouts from a small set of parameters:
+
+* :meth:`GridBuilder.rectangular_mesh` — the classic ``nx x ny`` reticulated grid;
+* :meth:`GridBuilder.polygon_mesh` — grid lines clipped to an arbitrary convex
+  polygon, with the polygon boundary itself added as conductors (this is what
+  produces the triangular Barberá layout);
+* :meth:`GridBuilder.right_triangle_mesh` — convenience wrapper around
+  :meth:`polygon_mesh`;
+* :meth:`GridBuilder.add_rods` — vertical rods attached at chosen plan positions.
+
+All conductors produced by the meshers are already split at their mutual
+intersections, i.e. every returned :class:`~repro.geometry.conductors.Conductor`
+joins two adjacent grid nodes; this matches the paper's description of the
+Barberá grid as "408 segments of cylindrical conductor".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.constants import DEFAULT_BURIAL_DEPTH, GEOMETRIC_TOLERANCE
+from repro.exceptions import GeometryError
+from repro.geometry.conductors import Conductor, ConductorKind
+from repro.geometry.grid import GroundingGrid
+
+__all__ = ["GridBuilder"]
+
+
+def _canonical_segment_key(p: np.ndarray, q: np.ndarray, decimals: int = 6) -> tuple:
+    """Order-independent hashable key for a segment, used to deduplicate."""
+    a = tuple(np.round(np.asarray(p, dtype=float), decimals) + 0.0)
+    b = tuple(np.round(np.asarray(q, dtype=float), decimals) + 0.0)
+    return (a, b) if a <= b else (b, a)
+
+
+class GridBuilder:
+    """Factory of :class:`~repro.geometry.grid.GroundingGrid` objects.
+
+    Parameters
+    ----------
+    depth:
+        Burial depth of the horizontal mesh [m] (0.8 m in both case studies).
+    conductor_radius:
+        Radius of the horizontal conductors [m].
+    rod_radius:
+        Radius of the ground rods [m].
+    rod_length:
+        Length of the ground rods [m].
+    name:
+        Name given to the produced grids.
+    """
+
+    def __init__(
+        self,
+        depth: float = DEFAULT_BURIAL_DEPTH,
+        conductor_radius: float = 6.0e-3,
+        rod_radius: float = 7.0e-3,
+        rod_length: float = 1.5,
+        name: str = "grid",
+    ) -> None:
+        if depth <= 0.0:
+            raise GeometryError(f"burial depth must be positive, got {depth}")
+        if conductor_radius <= 0.0 or rod_radius <= 0.0:
+            raise GeometryError("conductor and rod radii must be positive")
+        if rod_length <= 0.0:
+            raise GeometryError("rod length must be positive")
+        self.depth = float(depth)
+        self.conductor_radius = float(conductor_radius)
+        self.rod_radius = float(rod_radius)
+        self.rod_length = float(rod_length)
+        self.name = name
+
+    # ------------------------------------------------------------------ meshes
+
+    def rectangular_mesh(
+        self,
+        width: float,
+        height: float,
+        nx: int,
+        ny: int,
+        origin: Sequence[float] = (0.0, 0.0),
+    ) -> GroundingGrid:
+        """A ``width x height`` grid with ``nx x ny`` meshes (cells).
+
+        The grid has ``nx + 1`` vertical and ``ny + 1`` horizontal conductor
+        lines; each line is split at every crossing, so the produced grid has
+        ``nx (ny + 1) + ny (nx + 1)`` conductors.
+        """
+        if nx < 1 or ny < 1:
+            raise GeometryError("a rectangular mesh needs at least one cell per direction")
+        xs = np.linspace(0.0, float(width), nx + 1) + float(origin[0])
+        ys = np.linspace(0.0, float(height), ny + 1) + float(origin[1])
+        polygon = [
+            (float(origin[0]), float(origin[1])),
+            (float(origin[0]) + float(width), float(origin[1])),
+            (float(origin[0]) + float(width), float(origin[1]) + float(height)),
+            (float(origin[0]), float(origin[1]) + float(height)),
+        ]
+        return self.polygon_mesh(polygon, xs, ys)
+
+    def right_triangle_mesh(
+        self,
+        leg_x: float,
+        leg_y: float,
+        spacing_x: float,
+        spacing_y: float,
+        origin: Sequence[float] = (0.0, 0.0),
+    ) -> GroundingGrid:
+        """A right-angled triangular grid (right angle at ``origin``).
+
+        This is the Barberá layout: the two legs lie along the coordinate axes
+        and the hypotenuse joins ``(leg_x, 0)`` to ``(0, leg_y)``.  Interior
+        grid lines are placed every ``spacing_x`` / ``spacing_y`` metres.
+        """
+        if leg_x <= 0 or leg_y <= 0:
+            raise GeometryError("triangle legs must be positive")
+        if spacing_x <= 0 or spacing_y <= 0:
+            raise GeometryError("grid spacings must be positive")
+        ox, oy = float(origin[0]), float(origin[1])
+        xs = ox + np.arange(0.0, leg_x + 0.5 * spacing_x, spacing_x)
+        ys = oy + np.arange(0.0, leg_y + 0.5 * spacing_y, spacing_y)
+        polygon = [(ox, oy), (ox + float(leg_x), oy), (ox, oy + float(leg_y))]
+        return self.polygon_mesh(polygon, xs, ys)
+
+    def polygon_mesh(
+        self,
+        polygon: Sequence[Sequence[float]],
+        xs: Iterable[float],
+        ys: Iterable[float],
+    ) -> GroundingGrid:
+        """Grid lines ``x = xs[i]`` and ``y = ys[j]`` clipped to a convex polygon.
+
+        The polygon boundary is added as conductors as well (subdivided at every
+        grid-line crossing).  All produced conductors join adjacent nodes.
+
+        Parameters
+        ----------
+        polygon:
+            Convex polygon vertices in counter-clockwise order, plan
+            coordinates ``(x, y)`` [m].
+        xs, ys:
+            Positions of the vertical (constant ``x``) and horizontal
+            (constant ``y``) grid lines [m].
+        """
+        poly = np.asarray(list(polygon), dtype=float)
+        if poly.ndim != 2 or poly.shape[1] != 2 or poly.shape[0] < 3:
+            raise GeometryError("polygon must be a sequence of at least three (x, y) vertices")
+        if not _is_convex_ccw(poly):
+            raise GeometryError("polygon_mesh requires a convex, counter-clockwise polygon")
+        xs_arr = np.unique(np.asarray(list(xs), dtype=float))
+        ys_arr = np.unique(np.asarray(list(ys), dtype=float))
+
+        segments: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+
+        def add_polyline(points_2d: np.ndarray) -> None:
+            """Add conductors joining consecutive distinct points of a polyline."""
+            for a, b in zip(points_2d[:-1], points_2d[1:]):
+                if np.linalg.norm(b - a) <= 1.0e-9:
+                    continue
+                p = np.array([a[0], a[1], self.depth])
+                q = np.array([b[0], b[1], self.depth])
+                segments.setdefault(_canonical_segment_key(p, q), (p, q))
+
+        # Vertical grid lines.
+        for x in xs_arr:
+            clip = _clip_line_to_polygon(poly, axis="x", value=float(x))
+            if clip is None:
+                continue
+            y_lo, y_hi = clip
+            if y_hi - y_lo <= 1.0e-9:
+                continue
+            interior = ys_arr[(ys_arr > y_lo + 1.0e-9) & (ys_arr < y_hi - 1.0e-9)]
+            stations = np.concatenate(([y_lo], interior, [y_hi]))
+            pts = np.column_stack((np.full_like(stations, x), stations))
+            add_polyline(pts)
+
+        # Horizontal grid lines.
+        for y in ys_arr:
+            clip = _clip_line_to_polygon(poly, axis="y", value=float(y))
+            if clip is None:
+                continue
+            x_lo, x_hi = clip
+            if x_hi - x_lo <= 1.0e-9:
+                continue
+            interior = xs_arr[(xs_arr > x_lo + 1.0e-9) & (xs_arr < x_hi - 1.0e-9)]
+            stations = np.concatenate(([x_lo], interior, [x_hi]))
+            pts = np.column_stack((stations, np.full_like(stations, y)))
+            add_polyline(pts)
+
+        # Polygon boundary edges, subdivided at every grid-line crossing.
+        n_vertices = poly.shape[0]
+        for k in range(n_vertices):
+            a = poly[k]
+            b = poly[(k + 1) % n_vertices]
+            direction = b - a
+            params = [0.0, 1.0]
+            if abs(direction[0]) > 1.0e-12:
+                params.extend(float((x - a[0]) / direction[0]) for x in xs_arr)
+            if abs(direction[1]) > 1.0e-12:
+                params.extend(float((y - a[1]) / direction[1]) for y in ys_arr)
+            ts = np.unique(np.clip(np.asarray(params, dtype=float), 0.0, 1.0))
+            pts = a[None, :] + ts[:, None] * direction[None, :]
+            add_polyline(pts)
+
+        grid = GroundingGrid(name=self.name)
+        for index, (p, q) in enumerate(segments.values()):
+            grid.add(
+                Conductor(
+                    start=p,
+                    end=q,
+                    radius=self.conductor_radius,
+                    kind=ConductorKind.GRID,
+                    label=f"{self.name}-c{index}",
+                )
+            )
+        grid.metadata["builder"] = {
+            "depth": self.depth,
+            "conductor_radius": self.conductor_radius,
+            "n_xlines": int(xs_arr.size),
+            "n_ylines": int(ys_arr.size),
+        }
+        return grid
+
+    # -------------------------------------------------------------------- rods
+
+    def add_rods(
+        self,
+        grid: GroundingGrid,
+        positions: Iterable[Sequence[float]],
+        length: float | None = None,
+        radius: float | None = None,
+        top_depth: float | None = None,
+    ) -> GroundingGrid:
+        """Attach vertical rods at the given plan positions (in place).
+
+        Each rod runs from ``top_depth`` (default: the builder's burial depth,
+        i.e. the rod is welded to the horizontal mesh) down to
+        ``top_depth + length``.
+
+        Returns the same grid object for chaining.
+        """
+        rod_length = float(length if length is not None else self.rod_length)
+        rod_radius = float(radius if radius is not None else self.rod_radius)
+        z_top = float(top_depth if top_depth is not None else self.depth)
+        if rod_length <= 0:
+            raise GeometryError("rod length must be positive")
+        for index, pos in enumerate(positions):
+            x, y = float(pos[0]), float(pos[1])
+            grid.add(
+                Conductor(
+                    start=np.array([x, y, z_top]),
+                    end=np.array([x, y, z_top + rod_length]),
+                    radius=rod_radius,
+                    kind=ConductorKind.ROD,
+                    label=f"{grid.name}-rod{index}",
+                )
+            )
+        return grid
+
+    # ---------------------------------------------------------------- utilities
+
+    @staticmethod
+    def merge(name: str, *grids: GroundingGrid) -> GroundingGrid:
+        """Merge several grids into one, removing duplicated conductors."""
+        merged = GroundingGrid(name=name)
+        seen: set[tuple] = set()
+        for grid in grids:
+            for conductor in grid:
+                key = _canonical_segment_key(conductor.start, conductor.end)
+                if key in seen:
+                    continue
+                seen.add(key)
+                merged.add(conductor)
+        return merged
+
+    @staticmethod
+    def node_positions(grid: GroundingGrid, decimals: int = 6) -> np.ndarray:
+        """Unique conductor end points of a grid, shape ``(n, 3)``."""
+        points = np.vstack([np.vstack((c.start, c.end)) for c in grid])
+        rounded = np.round(points, decimals)
+        _, index = np.unique(rounded, axis=0, return_index=True)
+        return points[np.sort(index)]
+
+    @staticmethod
+    def perimeter_node_positions(grid: GroundingGrid, decimals: int = 6) -> np.ndarray:
+        """Nodes lying on the convex hull boundary of the plan view."""
+        nodes = GridBuilder.node_positions(grid, decimals)
+        plan = nodes[:, :2]
+        hull = _convex_hull(plan)
+        if hull.shape[0] < 3:
+            return nodes
+        on_boundary = np.zeros(plan.shape[0], dtype=bool)
+        n_hull = hull.shape[0]
+        for k in range(n_hull):
+            a = hull[k]
+            b = hull[(k + 1) % n_hull]
+            ab = b - a
+            ab_len = np.linalg.norm(ab)
+            ap = plan - a[None, :]
+            cross = np.abs(ap[:, 0] * ab[1] - ap[:, 1] * ab[0]) / max(ab_len, 1e-12)
+            t = (ap @ ab) / max(ab_len**2, 1e-12)
+            on_boundary |= (cross <= 1.0e-6) & (t >= -1.0e-9) & (t <= 1.0 + 1.0e-9)
+        return nodes[on_boundary]
+
+
+# ---------------------------------------------------------------------------
+# Internal geometric helpers.
+# ---------------------------------------------------------------------------
+
+
+def _is_convex_ccw(poly: np.ndarray) -> bool:
+    """Whether the polygon is convex with counter-clockwise orientation."""
+    n = poly.shape[0]
+    signs = []
+    for i in range(n):
+        a, b, c = poly[i], poly[(i + 1) % n], poly[(i + 2) % n]
+        cross = (b[0] - a[0]) * (c[1] - b[1]) - (b[1] - a[1]) * (c[0] - b[0])
+        if abs(cross) > 1.0e-12:
+            signs.append(np.sign(cross))
+    return bool(signs) and all(s > 0 for s in signs)
+
+
+def _clip_line_to_polygon(
+    poly: np.ndarray, axis: str, value: float
+) -> tuple[float, float] | None:
+    """Clip an axis-parallel infinite line to a convex polygon.
+
+    Returns the interval of the *other* coordinate spanned inside the polygon,
+    or ``None`` when the line misses the polygon.
+    """
+    # Parameterise the line as p(t) = p0 + t * d with t unbounded.
+    if axis == "x":
+        p0 = np.array([value, 0.0])
+        d = np.array([0.0, 1.0])
+    elif axis == "y":
+        p0 = np.array([0.0, value])
+        d = np.array([1.0, 0.0])
+    else:  # pragma: no cover - guarded by callers
+        raise GeometryError(f"axis must be 'x' or 'y', got {axis!r}")
+
+    t_lo, t_hi = -np.inf, np.inf
+    n_vertices = poly.shape[0]
+    for k in range(n_vertices):
+        a = poly[k]
+        b = poly[(k + 1) % n_vertices]
+        edge = b - a
+        # Inward normal for a CCW polygon.
+        normal = np.array([-edge[1], edge[0]])
+        denom = float(np.dot(normal, d))
+        num = float(np.dot(normal, a - p0))
+        if abs(denom) < 1.0e-14:
+            # Line parallel to this edge: feasible only if it lies inside the
+            # half-plane, i.e. dot(normal, p0 - a) >= 0  <=>  num <= 0.
+            if num > 1.0e-9:
+                return None
+            continue
+        t = num / denom
+        if denom > 0:
+            t_lo = max(t_lo, t)
+        else:
+            t_hi = min(t_hi, t)
+    if not np.isfinite(t_lo) or not np.isfinite(t_hi) or t_hi - t_lo <= 1.0e-9:
+        return None
+    return (float(t_lo), float(t_hi))
+
+
+def _convex_hull(points: np.ndarray) -> np.ndarray:
+    """Convex hull (CCW) of 2D points via Andrew's monotone chain."""
+    pts = np.unique(np.round(np.asarray(points, dtype=float), 9), axis=0)
+    if pts.shape[0] < 3:
+        return pts
+    order = np.lexsort((pts[:, 1], pts[:, 0]))
+    pts = pts[order]
+
+    def cross(o, a, b):
+        return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+    lower: list[np.ndarray] = []
+    for p in pts:
+        while len(lower) >= 2 and cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+    upper: list[np.ndarray] = []
+    for p in pts[::-1]:
+        while len(upper) >= 2 and cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+    return np.array(lower[:-1] + upper[:-1])

@@ -1,0 +1,167 @@
+"""Physical conductors of a grounding system.
+
+A grounding grid (Section 1 of the paper) is "a mesh of interconnected
+cylindrical conductors, horizontally buried and supplemented by ground rods
+vertically thrusted in specific places of the installation site".  Both kinds
+are represented by :class:`Conductor`: a straight cylinder defined by the two
+end points of its axis and its radius.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.constants import GEOMETRIC_TOLERANCE
+from repro.exceptions import GeometryError
+from repro.geometry import point as pt
+
+__all__ = ["ConductorKind", "Conductor"]
+
+
+class ConductorKind(str, enum.Enum):
+    """Role of a conductor inside the grounding system."""
+
+    #: Horizontal conductor belonging to the buried mesh.
+    GRID = "grid"
+    #: Vertical ground rod.
+    ROD = "rod"
+    #: Any other auxiliary electrode (risers, connections ...).
+    AUXILIARY = "auxiliary"
+
+
+@dataclass(frozen=True)
+class Conductor:
+    """A straight cylindrical electrode.
+
+    Parameters
+    ----------
+    start, end:
+        End points of the conductor axis, ``(x, y, z)`` with ``z`` the depth
+        below the earth surface (positive downwards, metres).
+    radius:
+        Radius of the cylinder [m].  The paper quotes diameters
+        (e.g. 12.85 mm for the Barberá grid), i.e. ``radius = diameter / 2``.
+    kind:
+        Role of the conductor (grid bar, rod, auxiliary).
+    label:
+        Optional human readable identifier.
+    """
+
+    start: np.ndarray
+    end: np.ndarray
+    radius: float
+    kind: ConductorKind = ConductorKind.GRID
+    label: str = ""
+    _extra: Mapping[str, Any] = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        start = pt.as_point(self.start)
+        end = pt.as_point(self.end)
+        object.__setattr__(self, "start", start)
+        object.__setattr__(self, "end", end)
+        if not np.isfinite(self.radius) or self.radius <= 0.0:
+            raise GeometryError(f"conductor radius must be positive, got {self.radius!r}")
+        length = pt.distance(start, end)
+        if length <= GEOMETRIC_TOLERANCE:
+            raise GeometryError("conductor has (numerically) zero length")
+        if length <= 2.0 * self.radius:
+            raise GeometryError(
+                f"conductor length {length:.3g} m is not larger than its diameter "
+                f"{2 * self.radius:.3g} m; the thin-wire model does not apply"
+            )
+
+    # -- geometric properties -------------------------------------------------
+
+    @property
+    def length(self) -> float:
+        """Axis length [m]."""
+        return pt.distance(self.start, self.end)
+
+    @property
+    def diameter(self) -> float:
+        """Cylinder diameter [m]."""
+        return 2.0 * self.radius
+
+    @property
+    def direction(self) -> np.ndarray:
+        """Unit vector pointing from ``start`` to ``end``."""
+        return pt.unit_vector(self.end - self.start)
+
+    @property
+    def midpoint(self) -> np.ndarray:
+        """Midpoint of the axis."""
+        return pt.midpoint(self.start, self.end)
+
+    @property
+    def slenderness(self) -> float:
+        """Diameter-to-length ratio (the paper notes it is ~1e-3 in practice)."""
+        return self.diameter / self.length
+
+    @property
+    def is_horizontal(self) -> bool:
+        """True when both end points share the same depth."""
+        return abs(float(self.start[2]) - float(self.end[2])) <= GEOMETRIC_TOLERANCE
+
+    @property
+    def is_vertical(self) -> bool:
+        """True when the axis is parallel to the depth axis."""
+        horizontal_extent = float(np.linalg.norm((self.end - self.start)[:2]))
+        return horizontal_extent <= GEOMETRIC_TOLERANCE
+
+    @property
+    def surface_area(self) -> float:
+        """Lateral surface area of the cylinder [m^2]."""
+        return 2.0 * np.pi * self.radius * self.length
+
+    @property
+    def depth_range(self) -> tuple[float, float]:
+        """``(min_depth, max_depth)`` spanned by the axis [m]."""
+        z0 = float(self.start[2])
+        z1 = float(self.end[2])
+        return (min(z0, z1), max(z0, z1))
+
+    def point_at(self, t: float) -> np.ndarray:
+        """Point on the axis at normalised coordinate ``t`` in ``[0, 1]``."""
+        if not 0.0 <= t <= 1.0:
+            raise GeometryError(f"axis parameter must be in [0, 1], got {t}")
+        return self.start + t * (self.end - self.start)
+
+    def split_at(self, t: float) -> tuple["Conductor", "Conductor"]:
+        """Split the conductor at normalised coordinate ``t`` into two pieces."""
+        if not 0.0 < t < 1.0:
+            raise GeometryError(f"split parameter must lie strictly inside (0, 1), got {t}")
+        mid = self.point_at(t)
+        first = Conductor(self.start, mid, self.radius, self.kind, self.label, self._extra)
+        second = Conductor(mid, self.end, self.radius, self.kind, self.label, self._extra)
+        return first, second
+
+    def reversed(self) -> "Conductor":
+        """Same conductor with swapped end points."""
+        return Conductor(self.end, self.start, self.radius, self.kind, self.label, self._extra)
+
+    # -- (de)serialisation ----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable representation."""
+        return {
+            "start": [float(v) for v in self.start],
+            "end": [float(v) for v in self.end],
+            "radius": float(self.radius),
+            "kind": self.kind.value,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Conductor":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            start=np.asarray(data["start"], dtype=float),
+            end=np.asarray(data["end"], dtype=float),
+            radius=float(data["radius"]),
+            kind=ConductorKind(data.get("kind", "grid")),
+            label=str(data.get("label", "")),
+        )

@@ -1,0 +1,105 @@
+"""Connectivity analysis of discretised grounding grids.
+
+A physically meaningful grounding grid is a single connected network: every
+electrode must be galvanically bonded to the rest, otherwise the constant-GPR
+boundary condition of the paper (``V = V_Gamma`` on the whole electrode
+surface) would not hold.  This module builds a :mod:`networkx` graph from a
+:class:`~repro.geometry.discretize.Mesh` and provides the checks and counts
+used by validation, reports and tests (number of independent meshes, node
+degrees, ...).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.geometry.discretize import Mesh
+
+__all__ = [
+    "connectivity_graph",
+    "is_connected",
+    "connected_components",
+    "count_independent_meshes",
+    "node_degrees",
+    "isolated_nodes",
+    "graph_summary",
+]
+
+
+def connectivity_graph(mesh: Mesh) -> nx.Graph:
+    """Undirected graph whose vertices are mesh nodes and edges are elements.
+
+    Element indices are stored on the edges under the ``"elements"`` attribute
+    (a list, because two distinct elements may join the same node pair, e.g. a
+    rod discretised into several pieces stacked below a grid node).
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(range(mesh.n_nodes))
+    for element in mesh.elements:
+        a, b = element.node_ids
+        if graph.has_edge(a, b):
+            graph.edges[a, b]["elements"].append(element.index)
+            graph.edges[a, b]["length"] += element.length
+        else:
+            graph.add_edge(a, b, elements=[element.index], length=element.length)
+    return graph
+
+
+def is_connected(mesh: Mesh) -> bool:
+    """Whether every electrode of the mesh is galvanically connected."""
+    graph = connectivity_graph(mesh)
+    if graph.number_of_nodes() == 0:
+        return False
+    return nx.is_connected(graph)
+
+
+def connected_components(mesh: Mesh) -> list[set[int]]:
+    """Connected components as sets of node ids (largest first)."""
+    graph = connectivity_graph(mesh)
+    components = [set(c) for c in nx.connected_components(graph)]
+    return sorted(components, key=len, reverse=True)
+
+
+def count_independent_meshes(mesh: Mesh) -> int:
+    """Number of independent loops (circuit meshes) of the grid network.
+
+    For a graph with ``E`` edges, ``V`` vertices and ``C`` connected
+    components the cycle-space dimension is ``E - V + C``; for a healthy,
+    single-component reticulated grid this equals the number of visible
+    "meshes" of the grid plan.
+    """
+    graph = connectivity_graph(mesh)
+    n_edges = graph.number_of_edges()
+    n_vertices = graph.number_of_nodes()
+    n_components = nx.number_connected_components(graph) if n_vertices else 0
+    return int(n_edges - n_vertices + n_components)
+
+
+def node_degrees(mesh: Mesh) -> np.ndarray:
+    """Array of node degrees (number of incident elements per node)."""
+    degrees = np.zeros(mesh.n_nodes, dtype=int)
+    for element in mesh.elements:
+        degrees[element.node_ids[0]] += 1
+        degrees[element.node_ids[1]] += 1
+    return degrees
+
+
+def isolated_nodes(mesh: Mesh) -> np.ndarray:
+    """Ids of nodes not referenced by any element (should be empty)."""
+    return np.flatnonzero(node_degrees(mesh) == 0)
+
+
+def graph_summary(mesh: Mesh) -> dict:
+    """Aggregate connectivity statistics used by reports and tests."""
+    graph = connectivity_graph(mesh)
+    degrees = node_degrees(mesh)
+    return {
+        "n_nodes": mesh.n_nodes,
+        "n_elements": mesh.n_elements,
+        "n_graph_edges": graph.number_of_edges(),
+        "n_components": nx.number_connected_components(graph) if mesh.n_nodes else 0,
+        "n_independent_meshes": count_independent_meshes(mesh),
+        "max_degree": int(degrees.max()) if degrees.size else 0,
+        "mean_degree": float(degrees.mean()) if degrees.size else 0.0,
+    }

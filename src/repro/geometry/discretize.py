@@ -1,0 +1,321 @@
+"""Discretisation of a grounding grid into 1D boundary elements.
+
+The approximated BEM of Section 4.2 of the paper only discretises the *axial
+lines* of the electrodes.  :func:`discretize_grid` turns every conductor of a
+:class:`~repro.geometry.grid.GroundingGrid` into one or more straight
+:class:`MeshElement` objects and builds the global node table shared by
+adjacent elements (so that linear, nodal trial functions can be used).
+
+Two subdivision rules are applied:
+
+* an element never crosses a soil-layer interface — conductors are split at
+  every interface depth so each element lies entirely inside one layer (this is
+  what makes the Balaidos "model C" rods contribute cross-layer kernels in the
+  paper);
+* elements are optionally subdivided to honour ``max_element_length`` and
+  ``min_elements_per_conductor`` for mesh-refinement studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.exceptions import DiscretizationError
+from repro.geometry.conductors import Conductor, ConductorKind
+from repro.geometry.grid import GroundingGrid
+
+__all__ = ["LayeredMedium", "MeshElement", "Mesh", "discretize_grid"]
+
+
+class LayeredMedium(Protocol):
+    """Minimal soil-model interface needed by the discretiser.
+
+    Any :class:`repro.soil.base.SoilModel` satisfies it; the protocol keeps the
+    geometry package free of an import dependency on the soil package.
+    """
+
+    def interface_depths(self) -> Sequence[float]:
+        """Depths of the horizontal layer interfaces [m], strictly increasing."""
+        ...
+
+    def layer_index(self, depth: float) -> int:
+        """1-based index of the layer containing the given depth."""
+        ...
+
+
+@dataclass(frozen=True)
+class MeshElement:
+    """A straight boundary element on a conductor axis.
+
+    Attributes
+    ----------
+    index:
+        Position of the element in the mesh (0-based).
+    p0, p1:
+        End points of the element axis.
+    radius:
+        Radius of the parent conductor [m].
+    conductor_index:
+        Index of the parent conductor in the originating grid.
+    layer:
+        1-based index of the soil layer containing the element.
+    node_ids:
+        Global node ids of ``p0`` and ``p1``.
+    kind:
+        Kind of the parent conductor (grid bar / rod / auxiliary).
+    """
+
+    index: int
+    p0: np.ndarray
+    p1: np.ndarray
+    radius: float
+    conductor_index: int
+    layer: int
+    node_ids: tuple[int, int]
+    kind: ConductorKind = ConductorKind.GRID
+
+    @property
+    def length(self) -> float:
+        """Element length [m]."""
+        return float(np.linalg.norm(self.p1 - self.p0))
+
+    @property
+    def midpoint(self) -> np.ndarray:
+        """Element midpoint."""
+        return 0.5 * (self.p0 + self.p1)
+
+    @property
+    def direction(self) -> np.ndarray:
+        """Unit vector from ``p0`` to ``p1``."""
+        d = self.p1 - self.p0
+        return d / np.linalg.norm(d)
+
+    @property
+    def depth_range(self) -> tuple[float, float]:
+        """``(min_depth, max_depth)`` of the element."""
+        z0, z1 = float(self.p0[2]), float(self.p1[2])
+        return (min(z0, z1), max(z0, z1))
+
+
+class Mesh:
+    """Discretised grounding grid: elements plus the shared node table."""
+
+    def __init__(
+        self,
+        grid: GroundingGrid,
+        nodes: np.ndarray,
+        elements: list[MeshElement],
+    ) -> None:
+        self.grid = grid
+        self.nodes = np.asarray(nodes, dtype=float)
+        self.elements = list(elements)
+        if self.nodes.ndim != 2 or self.nodes.shape[1] != 3:
+            raise DiscretizationError("node table must have shape (n_nodes, 3)")
+        for element in self.elements:
+            for node_id in element.node_ids:
+                if not 0 <= node_id < self.nodes.shape[0]:
+                    raise DiscretizationError(
+                        f"element {element.index} references unknown node {node_id}"
+                    )
+
+    # -- sizes ----------------------------------------------------------------
+
+    @property
+    def n_elements(self) -> int:
+        """Number of boundary elements."""
+        return len(self.elements)
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of distinct nodes."""
+        return int(self.nodes.shape[0])
+
+    @property
+    def total_length(self) -> float:
+        """Total discretised axis length [m]."""
+        return float(sum(e.length for e in self.elements))
+
+    # -- vectorised views used by the assembly kernels -------------------------
+
+    def element_endpoints(self) -> tuple[np.ndarray, np.ndarray]:
+        """Arrays ``(p0, p1)`` of element end points, each of shape ``(m, 3)``."""
+        p0 = np.array([e.p0 for e in self.elements], dtype=float)
+        p1 = np.array([e.p1 for e in self.elements], dtype=float)
+        return p0, p1
+
+    def element_radii(self) -> np.ndarray:
+        """Array of element radii, shape ``(m,)``."""
+        return np.array([e.radius for e in self.elements], dtype=float)
+
+    def element_lengths(self) -> np.ndarray:
+        """Array of element lengths, shape ``(m,)``."""
+        return np.array([e.length for e in self.elements], dtype=float)
+
+    def element_layers(self) -> np.ndarray:
+        """Array of 1-based layer indices, shape ``(m,)``."""
+        return np.array([e.layer for e in self.elements], dtype=int)
+
+    def element_nodes(self) -> np.ndarray:
+        """Array of node-id pairs, shape ``(m, 2)``."""
+        return np.array([e.node_ids for e in self.elements], dtype=int)
+
+    # -- reporting -------------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Compact description of the mesh (used by reports and examples)."""
+        layers = self.element_layers()
+        return {
+            "grid": self.grid.name,
+            "n_elements": self.n_elements,
+            "n_nodes": self.n_nodes,
+            "total_length_m": round(self.total_length, 3),
+            "elements_per_layer": {
+                int(layer): int((layers == layer).sum()) for layer in np.unique(layers)
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Mesh(grid={self.grid.name!r}, n_elements={self.n_elements}, "
+            f"n_nodes={self.n_nodes})"
+        )
+
+
+class _NodeTable:
+    """Builds the global node numbering, merging coincident points."""
+
+    def __init__(self, decimals: int = 6) -> None:
+        self._decimals = decimals
+        self._ids: dict[tuple, int] = {}
+        self._points: list[np.ndarray] = []
+
+    def get(self, point: np.ndarray) -> int:
+        key = tuple(np.round(np.asarray(point, dtype=float), self._decimals) + 0.0)
+        node_id = self._ids.get(key)
+        if node_id is None:
+            node_id = len(self._points)
+            self._ids[key] = node_id
+            self._points.append(np.asarray(point, dtype=float))
+        return node_id
+
+    def as_array(self) -> np.ndarray:
+        if not self._points:
+            return np.zeros((0, 3))
+        return np.vstack(self._points)
+
+
+def _split_depths_for_conductor(
+    conductor: Conductor, interface_depths: Sequence[float]
+) -> list[float]:
+    """Axis parameters (in ``(0, 1)``) where the conductor crosses an interface."""
+    z0 = float(conductor.start[2])
+    z1 = float(conductor.end[2])
+    if abs(z1 - z0) <= 1.0e-12:
+        return []
+    params = []
+    for h in interface_depths:
+        t = (float(h) - z0) / (z1 - z0)
+        if 1.0e-9 < t < 1.0 - 1.0e-9:
+            params.append(t)
+    return sorted(params)
+
+
+def discretize_grid(
+    grid: GroundingGrid,
+    soil: LayeredMedium | None = None,
+    max_element_length: float = float("inf"),
+    min_elements_per_conductor: int = 1,
+    node_decimals: int = 6,
+) -> Mesh:
+    """Discretise a grounding grid into boundary elements.
+
+    Parameters
+    ----------
+    grid:
+        The grounding grid to discretise.
+    soil:
+        Optional layered soil model; when given, conductors are split at every
+        layer interface and each element is tagged with its layer index.
+    max_element_length:
+        Upper bound on the element length [m]; conductors longer than this are
+        subdivided uniformly.  The paper uses one element per grid segment,
+        i.e. the default (no subdivision).
+    min_elements_per_conductor:
+        Lower bound on the number of elements per conductor (before interface
+        splitting); useful for mesh-refinement studies.
+    node_decimals:
+        Rounding used to merge coincident end points into shared nodes.
+
+    Returns
+    -------
+    Mesh
+        The elements and the global node table.
+    """
+    if len(grid) == 0:
+        raise DiscretizationError("cannot discretise an empty grid")
+    if max_element_length <= 0:
+        raise DiscretizationError("max_element_length must be positive")
+    if min_elements_per_conductor < 1:
+        raise DiscretizationError("min_elements_per_conductor must be >= 1")
+
+    interface_depths: Sequence[float] = ()
+    if soil is not None:
+        interface_depths = tuple(float(h) for h in soil.interface_depths())
+
+    node_table = _NodeTable(decimals=node_decimals)
+    elements: list[MeshElement] = []
+
+    for conductor_index, conductor in enumerate(grid):
+        # 1. split at layer interfaces
+        ts = [0.0, *_split_depths_for_conductor(conductor, interface_depths), 1.0]
+        pieces: list[tuple[np.ndarray, np.ndarray]] = []
+        for t0, t1 in zip(ts[:-1], ts[1:]):
+            a = conductor.start + t0 * (conductor.end - conductor.start)
+            b = conductor.start + t1 * (conductor.end - conductor.start)
+            pieces.append((a, b))
+
+        # 2. uniform subdivision of each piece
+        conductor_length = conductor.length
+        target_elements = max(
+            min_elements_per_conductor,
+            int(np.ceil(conductor_length / max_element_length))
+            if np.isfinite(max_element_length)
+            else min_elements_per_conductor,
+        )
+        # Distribute the requested subdivision across pieces proportionally.
+        for a, b in pieces:
+            piece_length = float(np.linalg.norm(b - a))
+            if piece_length <= 1.0e-12:
+                continue
+            n_sub = max(1, int(round(target_elements * piece_length / conductor_length)))
+            if np.isfinite(max_element_length):
+                n_sub = max(n_sub, int(np.ceil(piece_length / max_element_length)))
+            for k in range(n_sub):
+                q0 = a + (k / n_sub) * (b - a)
+                q1 = a + ((k + 1) / n_sub) * (b - a)
+                mid_depth = 0.5 * (float(q0[2]) + float(q1[2]))
+                layer = soil.layer_index(mid_depth) if soil is not None else 1
+                node0 = node_table.get(q0)
+                node1 = node_table.get(q1)
+                if node0 == node1:
+                    raise DiscretizationError(
+                        f"conductor {conductor_index} produced a degenerate element "
+                        f"(increase node_decimals or check the geometry)"
+                    )
+                elements.append(
+                    MeshElement(
+                        index=len(elements),
+                        p0=np.asarray(q0, dtype=float),
+                        p1=np.asarray(q1, dtype=float),
+                        radius=conductor.radius,
+                        conductor_index=conductor_index,
+                        layer=int(layer),
+                        node_ids=(node0, node1),
+                        kind=conductor.kind,
+                    )
+                )
+
+    return Mesh(grid=grid, nodes=node_table.as_array(), elements=elements)

@@ -1,0 +1,225 @@
+"""The :class:`GroundingGrid` container.
+
+A grounding grid bundles all electrodes of an installation (horizontal mesh
+conductors and vertical rods) together with descriptive metadata.  It is a pure
+geometry object: soil properties, energisation and discretisation live in other
+sub-packages so that the same grid can be analysed under different soil models
+(exactly what Section 5.2 of the paper does with its models A, B and C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import GeometryError
+from repro.geometry.conductors import Conductor, ConductorKind
+
+__all__ = ["GroundingGrid"]
+
+
+@dataclass
+class GroundingGrid:
+    """A collection of grounding electrodes.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"Barberá"``.
+    conductors:
+        The electrodes.  The list may be empty at construction time and filled
+        with :meth:`add`.
+    metadata:
+        Free-form information (designer notes, substation data ...).
+    """
+
+    name: str = "grid"
+    conductors: list[Conductor] = field(default_factory=list)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    # -- collection protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.conductors)
+
+    def __iter__(self) -> Iterator[Conductor]:
+        return iter(self.conductors)
+
+    def __getitem__(self, index: int) -> Conductor:
+        return self.conductors[index]
+
+    def add(self, conductor: Conductor) -> None:
+        """Append a single conductor."""
+        if not isinstance(conductor, Conductor):
+            raise GeometryError(f"expected a Conductor, got {type(conductor).__name__}")
+        self.conductors.append(conductor)
+
+    def extend(self, conductors: Iterable[Conductor]) -> None:
+        """Append several conductors."""
+        for conductor in conductors:
+            self.add(conductor)
+
+    # -- selections -----------------------------------------------------------
+
+    def of_kind(self, kind: ConductorKind) -> list[Conductor]:
+        """All conductors of a given kind."""
+        return [c for c in self.conductors if c.kind is kind]
+
+    @property
+    def grid_conductors(self) -> list[Conductor]:
+        """The horizontal mesh conductors."""
+        return self.of_kind(ConductorKind.GRID)
+
+    @property
+    def rods(self) -> list[Conductor]:
+        """The vertical ground rods."""
+        return self.of_kind(ConductorKind.ROD)
+
+    @property
+    def n_conductors(self) -> int:
+        """Total number of electrodes."""
+        return len(self.conductors)
+
+    @property
+    def n_rods(self) -> int:
+        """Number of ground rods."""
+        return len(self.rods)
+
+    # -- aggregate geometric quantities ----------------------------------------
+
+    @property
+    def total_length(self) -> float:
+        """Sum of the axis lengths of all electrodes [m]."""
+        return float(sum(c.length for c in self.conductors))
+
+    @property
+    def total_surface_area(self) -> float:
+        """Sum of the lateral surface areas of all electrodes [m^2]."""
+        return float(sum(c.surface_area for c in self.conductors))
+
+    @property
+    def depth_range(self) -> tuple[float, float]:
+        """``(min_depth, max_depth)`` over all electrodes [m]."""
+        if not self.conductors:
+            raise GeometryError("grid is empty")
+        lows, highs = zip(*(c.depth_range for c in self.conductors))
+        return (min(lows), max(highs))
+
+    @property
+    def burial_depth(self) -> float:
+        """Depth of the shallowest electrode point [m]."""
+        return self.depth_range[0]
+
+    def bounding_box(self) -> tuple[np.ndarray, np.ndarray]:
+        """Axis-aligned bounding box ``(lower, upper)`` of all axis end points."""
+        if not self.conductors:
+            raise GeometryError("grid is empty")
+        points = np.vstack([np.vstack((c.start, c.end)) for c in self.conductors])
+        return points.min(axis=0), points.max(axis=0)
+
+    def plan_extent(self) -> tuple[float, float]:
+        """Horizontal extent ``(dx, dy)`` of the grid in plan view [m]."""
+        lower, upper = self.bounding_box()
+        return float(upper[0] - lower[0]), float(upper[1] - lower[1])
+
+    def covered_area(self) -> float:
+        """Area of the convex hull of the plan-view end points [m^2].
+
+        This is the "protected area" quoted by the paper for the Barberá grid
+        (6 600 m^2 for a right-angled triangle of 143 m x 89 m).
+        """
+        points = self.plan_points()
+        return _convex_hull_area(points)
+
+    def plan_points(self) -> np.ndarray:
+        """All axis end points projected on the surface plane, shape ``(n, 2)``."""
+        if not self.conductors:
+            raise GeometryError("grid is empty")
+        pts = np.vstack([np.vstack((c.start[:2], c.end[:2])) for c in self.conductors])
+        return pts
+
+    # -- (de)serialisation ----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable representation (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "metadata": dict(self.metadata),
+            "conductors": [c.to_dict() for c in self.conductors],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "GroundingGrid":
+        """Rebuild a grid from :meth:`to_dict` output."""
+        grid = cls(name=str(data.get("name", "grid")), metadata=dict(data.get("metadata", {})))
+        for item in data.get("conductors", []):
+            grid.add(Conductor.from_dict(item))
+        return grid
+
+    def copy(self) -> "GroundingGrid":
+        """Shallow copy (conductors are immutable, so sharing them is safe)."""
+        return GroundingGrid(
+            name=self.name,
+            conductors=list(self.conductors),
+            metadata=dict(self.metadata),
+        )
+
+    def translated(self, offset: Sequence[float]) -> "GroundingGrid":
+        """A copy of the grid rigidly translated by ``offset`` (3-vector)."""
+        off = np.asarray(offset, dtype=float)
+        if off.shape != (3,):
+            raise GeometryError("translation offset must be a 3-vector")
+        moved = [
+            Conductor(c.start + off, c.end + off, c.radius, c.kind, c.label)
+            for c in self.conductors
+        ]
+        return GroundingGrid(name=self.name, conductors=moved, metadata=dict(self.metadata))
+
+    def summary(self) -> dict[str, Any]:
+        """Compact description used by reports and examples."""
+        dx, dy = self.plan_extent() if self.conductors else (0.0, 0.0)
+        return {
+            "name": self.name,
+            "n_conductors": self.n_conductors,
+            "n_grid_conductors": len(self.grid_conductors),
+            "n_rods": self.n_rods,
+            "total_length_m": round(self.total_length, 3) if self.conductors else 0.0,
+            "plan_extent_m": (round(dx, 3), round(dy, 3)),
+            "covered_area_m2": round(self.covered_area(), 1) if self.conductors else 0.0,
+        }
+
+
+def _convex_hull_area(points: np.ndarray) -> float:
+    """Area of the convex hull of 2D points (shoelace on the hull polygon).
+
+    A tiny Andrew-monotone-chain implementation is used instead of
+    ``scipy.spatial.ConvexHull`` to keep this module dependency-light and to
+    handle the degenerate (collinear) case gracefully by returning ``0.0``.
+    """
+    pts = np.unique(np.round(np.asarray(points, dtype=float), 9), axis=0)
+    if pts.shape[0] < 3:
+        return 0.0
+    order = np.lexsort((pts[:, 1], pts[:, 0]))
+    pts = pts[order]
+
+    def cross(o: np.ndarray, a: np.ndarray, b: np.ndarray) -> float:
+        return float((a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0]))
+
+    lower: list[np.ndarray] = []
+    for p in pts:
+        while len(lower) >= 2 and cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+    upper: list[np.ndarray] = []
+    for p in pts[::-1]:
+        while len(upper) >= 2 and cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+    hull = np.array(lower[:-1] + upper[:-1])
+    if hull.shape[0] < 3:
+        return 0.0
+    x = hull[:, 0]
+    y = hull[:, 1]
+    return 0.5 * abs(float(np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1))))

@@ -1,0 +1,137 @@
+"""Serialisation of grounding grids.
+
+The CAD system described in the paper reads the grid description from a data
+file ("Data Input" phase of Table 6.1).  This module provides a small,
+dependency-free JSON format for :class:`~repro.geometry.grid.GroundingGrid`
+objects plus a CSV export convenient for spreadsheets and plotting tools.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import GeometryError
+from repro.geometry.conductors import Conductor
+from repro.geometry.grid import GroundingGrid
+
+__all__ = [
+    "grid_to_json",
+    "grid_from_json",
+    "save_grid",
+    "load_grid",
+    "grid_to_csv",
+    "grid_from_csv",
+]
+
+#: Format identifier embedded in saved files.
+_FORMAT = "repro-grounding-grid"
+_VERSION = 1
+
+
+def grid_to_json(grid: GroundingGrid, indent: int | None = 2) -> str:
+    """Serialise a grid to a JSON string."""
+    payload: dict[str, Any] = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "grid": grid.to_dict(),
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def grid_from_json(text: str) -> GroundingGrid:
+    """Rebuild a grid from a JSON string produced by :func:`grid_to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise GeometryError(f"invalid grid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
+        raise GeometryError("not a repro grounding-grid file")
+    version = payload.get("version", 0)
+    if version > _VERSION:
+        raise GeometryError(
+            f"grid file version {version} is newer than supported version {_VERSION}"
+        )
+    return GroundingGrid.from_dict(payload["grid"])
+
+
+def save_grid(grid: GroundingGrid, path: str | Path) -> Path:
+    """Write a grid to a JSON file and return the path."""
+    path = Path(path)
+    path.write_text(grid_to_json(grid), encoding="utf-8")
+    return path
+
+
+def load_grid(path: str | Path) -> GroundingGrid:
+    """Read a grid from a JSON file."""
+    path = Path(path)
+    if not path.exists():
+        raise GeometryError(f"grid file not found: {path}")
+    return grid_from_json(path.read_text(encoding="utf-8"))
+
+
+_CSV_HEADER = [
+    "label",
+    "kind",
+    "x0",
+    "y0",
+    "z0",
+    "x1",
+    "y1",
+    "z1",
+    "radius",
+]
+
+
+def grid_to_csv(grid: GroundingGrid) -> str:
+    """Serialise a grid to CSV text (one conductor per row)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(_CSV_HEADER)
+    for conductor in grid:
+        writer.writerow(
+            [
+                conductor.label,
+                conductor.kind.value,
+                *(f"{v:.9g}" for v in conductor.start),
+                *(f"{v:.9g}" for v in conductor.end),
+                f"{conductor.radius:.9g}",
+            ]
+        )
+    return buffer.getvalue()
+
+
+def grid_from_csv(text: str, name: str = "grid") -> GroundingGrid:
+    """Rebuild a grid from CSV text produced by :func:`grid_to_csv`."""
+    reader = csv.reader(io.StringIO(text))
+    rows = list(reader)
+    if not rows:
+        raise GeometryError("empty CSV grid file")
+    header = rows[0]
+    if header != _CSV_HEADER:
+        raise GeometryError(
+            f"unexpected CSV header {header!r}; expected {_CSV_HEADER!r}"
+        )
+    grid = GroundingGrid(name=name)
+    for line_number, row in enumerate(rows[1:], start=2):
+        if not row or all(not cell.strip() for cell in row):
+            continue
+        if len(row) != len(_CSV_HEADER):
+            raise GeometryError(f"CSV line {line_number} has {len(row)} fields")
+        try:
+            conductor = Conductor.from_dict(
+                {
+                    "label": row[0],
+                    "kind": row[1],
+                    "start": [float(row[2]), float(row[3]), float(row[4])],
+                    "end": [float(row[5]), float(row[6]), float(row[7])],
+                    "radius": float(row[8]),
+                }
+            )
+        except ValueError as exc:
+            raise GeometryError(f"CSV line {line_number}: {exc}") from exc
+        grid.add(conductor)
+    return grid

@@ -1,0 +1,191 @@
+"""Low-level operations on 3D points represented as NumPy arrays.
+
+Points are plain ``numpy.ndarray`` objects of shape ``(3,)`` (or ``(n, 3)`` for
+batches); no wrapper class is introduced so that the hot BEM loops can operate
+on contiguous arrays without boxing/unboxing overhead (see the "vectorizing for
+loops" guidance in the scientific-Python optimisation notes).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.constants import GEOMETRIC_TOLERANCE
+from repro.exceptions import GeometryError
+
+__all__ = [
+    "as_point",
+    "as_points",
+    "distance",
+    "norm",
+    "unit_vector",
+    "midpoint",
+    "is_close",
+    "collinear",
+    "point_segment_distance",
+    "segment_segment_distance",
+    "project_onto_segment",
+    "lexicographic_key",
+]
+
+
+def as_point(value: Sequence[float] | np.ndarray) -> np.ndarray:
+    """Coerce ``value`` into a float64 array of shape ``(3,)``.
+
+    Raises
+    ------
+    GeometryError
+        If the value does not have exactly three coordinates or contains
+        non-finite entries.
+    """
+    arr = np.asarray(value, dtype=float)
+    if arr.shape != (3,):
+        raise GeometryError(f"a 3D point must have shape (3,), got {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise GeometryError(f"point contains non-finite coordinates: {arr}")
+    return arr
+
+
+def as_points(values: Iterable[Sequence[float]] | np.ndarray) -> np.ndarray:
+    """Coerce an iterable of points into an array of shape ``(n, 3)``."""
+    arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=float)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2 or arr.shape[1] != 3:
+        raise GeometryError(f"expected an (n, 3) array of points, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise GeometryError("point array contains non-finite coordinates")
+    return arr
+
+
+def distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Euclidean distance between two points."""
+    return float(np.linalg.norm(np.asarray(a, dtype=float) - np.asarray(b, dtype=float)))
+
+
+def norm(v: np.ndarray) -> float:
+    """Euclidean norm of a vector."""
+    return float(np.linalg.norm(np.asarray(v, dtype=float)))
+
+
+def unit_vector(v: np.ndarray) -> np.ndarray:
+    """Return ``v`` normalised to unit length.
+
+    Raises
+    ------
+    GeometryError
+        If ``v`` has (numerically) zero length.
+    """
+    v = np.asarray(v, dtype=float)
+    n = np.linalg.norm(v)
+    if n <= GEOMETRIC_TOLERANCE:
+        raise GeometryError("cannot normalise a zero-length vector")
+    return v / n
+
+
+def midpoint(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Midpoint of the segment ``ab``."""
+    return 0.5 * (np.asarray(a, dtype=float) + np.asarray(b, dtype=float))
+
+
+def is_close(a: np.ndarray, b: np.ndarray, tol: float = GEOMETRIC_TOLERANCE) -> bool:
+    """Whether two points coincide within ``tol`` (absolute, in metres)."""
+    return distance(a, b) <= tol
+
+
+def collinear(a: np.ndarray, b: np.ndarray, c: np.ndarray, tol: float = 1.0e-9) -> bool:
+    """Whether the three points are collinear.
+
+    The test compares the area of the triangle ``abc`` (via the cross product)
+    with ``tol`` times the square of the largest side, making it scale
+    invariant.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    c = np.asarray(c, dtype=float)
+    ab = b - a
+    ac = c - a
+    cross = np.cross(ab, ac)
+    scale = max(np.dot(ab, ab), np.dot(ac, ac), 1.0e-300)
+    return float(np.linalg.norm(cross)) <= tol * scale
+
+
+def project_onto_segment(p: np.ndarray, a: np.ndarray, b: np.ndarray) -> tuple[float, np.ndarray]:
+    """Project point ``p`` onto segment ``ab``.
+
+    Returns
+    -------
+    (t, q)
+        ``t`` is the clamped parameter in ``[0, 1]`` along ``ab`` and ``q`` the
+        closest point on the segment.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    p = np.asarray(p, dtype=float)
+    d = b - a
+    dd = float(np.dot(d, d))
+    if dd <= GEOMETRIC_TOLERANCE**2:
+        return 0.0, a.copy()
+    t = float(np.dot(p - a, d) / dd)
+    t = min(1.0, max(0.0, t))
+    return t, a + t * d
+
+
+def point_segment_distance(p: np.ndarray, a: np.ndarray, b: np.ndarray) -> float:
+    """Shortest distance from point ``p`` to the segment ``ab``."""
+    _, q = project_onto_segment(p, a, b)
+    return distance(p, q)
+
+
+def segment_segment_distance(
+    a0: np.ndarray, a1: np.ndarray, b0: np.ndarray, b1: np.ndarray
+) -> float:
+    """Shortest distance between two segments ``a0a1`` and ``b0b1``.
+
+    Uses the standard closest-point-of-approach algorithm with clamping of the
+    two segment parameters.  Degenerate (zero-length) segments are handled by
+    falling back to point/segment distances.
+    """
+    a0 = np.asarray(a0, dtype=float)
+    a1 = np.asarray(a1, dtype=float)
+    b0 = np.asarray(b0, dtype=float)
+    b1 = np.asarray(b1, dtype=float)
+    u = a1 - a0
+    v = b1 - b0
+    w0 = a0 - b0
+    a = float(np.dot(u, u))
+    b = float(np.dot(u, v))
+    c = float(np.dot(v, v))
+    d = float(np.dot(u, w0))
+    e = float(np.dot(v, w0))
+
+    if a <= GEOMETRIC_TOLERANCE**2 and c <= GEOMETRIC_TOLERANCE**2:
+        return distance(a0, b0)
+    if a <= GEOMETRIC_TOLERANCE**2:
+        return point_segment_distance(a0, b0, b1)
+    if c <= GEOMETRIC_TOLERANCE**2:
+        return point_segment_distance(b0, a0, a1)
+
+    denom = a * c - b * b
+    if denom > GEOMETRIC_TOLERANCE * a * c:
+        s = (b * e - c * d) / denom
+    else:  # nearly parallel segments
+        s = 0.0
+    s = min(1.0, max(0.0, s))
+    # For the chosen s, the best t on the other segment:
+    t = (b * s + e) / c
+    t = min(1.0, max(0.0, t))
+    # Re-clamp s for the chosen t (one extra pass is enough for convex problem).
+    s = (b * t - d) / a
+    s = min(1.0, max(0.0, s))
+    p = a0 + s * u
+    q = b0 + t * v
+    return distance(p, q)
+
+
+def lexicographic_key(p: np.ndarray, decimals: int = 6) -> tuple[float, float, float]:
+    """A hashable, rounded key for a point, used to merge coincident nodes."""
+    arr = np.round(np.asarray(p, dtype=float), decimals=decimals) + 0.0  # normalise -0.0
+    return (float(arr[0]), float(arr[1]), float(arr[2]))

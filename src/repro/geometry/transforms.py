@@ -1,0 +1,68 @@
+"""Depth-axis affine transforms used by the method of images.
+
+Every image of a source point produced by the layered-soil Green's function is
+obtained from the original point by an affine map of its depth coordinate,
+
+    ``z_image = sign * z + offset``        (``sign`` is +1 or -1),
+
+with the horizontal coordinates unchanged: reflections about the earth surface
+(``z -> -z``), about a layer interface at depth ``h`` (``z -> 2 h - z``) and
+vertical translations by multiples of ``2 h`` all have this form.  Because the
+map is affine, the image of a straight segment is again a straight segment, so
+the analytic segment integrals of :mod:`repro.bem.segment_integrals` apply
+directly to image contributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DepthTransform", "reflect_surface", "reflect_interface", "identity_transform"]
+
+
+@dataclass(frozen=True)
+class DepthTransform:
+    """Affine transform of the depth coordinate, ``z -> sign * z + offset``."""
+
+    sign: float
+    offset: float
+
+    def __post_init__(self) -> None:
+        if self.sign not in (-1.0, 1.0):
+            raise ValueError(f"sign must be +1 or -1, got {self.sign!r}")
+
+    def apply_depth(self, z: np.ndarray | float) -> np.ndarray | float:
+        """Transform depths (scalar or array)."""
+        return self.sign * z + self.offset
+
+    def apply_points(self, points: np.ndarray) -> np.ndarray:
+        """Transform an ``(..., 3)`` array of points, returning a new array."""
+        pts = np.array(points, dtype=float, copy=True)
+        pts[..., 2] = self.sign * pts[..., 2] + self.offset
+        return pts
+
+    def compose(self, other: "DepthTransform") -> "DepthTransform":
+        """Return the transform equivalent to applying ``other`` then ``self``."""
+        return DepthTransform(self.sign * other.sign, self.sign * other.offset + self.offset)
+
+    @property
+    def is_identity(self) -> bool:
+        """Whether the transform leaves points unchanged."""
+        return self.sign == 1.0 and self.offset == 0.0
+
+
+def identity_transform() -> DepthTransform:
+    """The identity depth transform."""
+    return DepthTransform(1.0, 0.0)
+
+
+def reflect_surface() -> DepthTransform:
+    """Reflection about the earth surface ``z = 0``."""
+    return DepthTransform(-1.0, 0.0)
+
+
+def reflect_interface(depth: float) -> DepthTransform:
+    """Reflection about a horizontal plane at the given depth ``z = depth``."""
+    return DepthTransform(-1.0, 2.0 * float(depth))

@@ -1,0 +1,262 @@
+"""Validation rules for grounding-grid geometries.
+
+The checks codify the modelling assumptions of the paper's BEM formulation:
+
+* every electrode must be buried (``z > 0``) — the formulation models buried
+  conductors, not above-ground structures;
+* the thin-wire (circumferential uniformity) hypothesis of Section 4.2 needs
+  diameter/length ratios well below one;
+* the constant-GPR boundary condition needs a single galvanically connected
+  network;
+* distinct conductors must not overlap (two electrodes closer than the sum of
+  their radii would physically intersect).
+
+:func:`validate_grid` returns a list of :class:`GridIssue` objects rather than
+raising immediately, so CAD front-ends can display warnings while still
+refusing to run on hard errors (``raise_on_error=True``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.geometry import point as pt
+from repro.geometry.conductors import Conductor
+from repro.geometry.discretize import LayeredMedium, discretize_grid
+from repro.geometry.grid import GroundingGrid
+from repro.geometry import connectivity
+
+__all__ = ["GridIssue", "Severity", "validate_grid"]
+
+#: Maximum diameter/length ratio for which the thin-wire hypothesis is accepted
+#: without a warning (the paper quotes ~1e-3 for real grids).
+_SLENDERNESS_WARNING = 0.05
+
+#: Severity levels, ordered.
+ERROR = "error"
+WARNING = "warning"
+Severity = str
+
+
+@dataclass(frozen=True)
+class GridIssue:
+    """A single validation finding."""
+
+    severity: Severity
+    code: str
+    message: str
+    conductor_index: int | None = None
+
+    @property
+    def is_error(self) -> bool:
+        """Whether this finding should block an analysis."""
+        return self.severity == ERROR
+
+
+def validate_grid(
+    grid: GroundingGrid,
+    soil: LayeredMedium | None = None,
+    check_overlaps: bool = True,
+    max_overlap_pairs: int = 2_000_000,
+    raise_on_error: bool = False,
+) -> list[GridIssue]:
+    """Run every validation rule on a grid.
+
+    Parameters
+    ----------
+    grid:
+        The grid to validate.
+    soil:
+        Optional layered soil model; enables the depth-versus-layering checks.
+    check_overlaps:
+        Whether to run the (quadratic) conductor-overlap check.
+    max_overlap_pairs:
+        Safety cap on the number of conductor pairs examined by the overlap
+        check; larger grids skip it with a warning.
+    raise_on_error:
+        When ``True``, raise :class:`~repro.exceptions.ValidationError` if any
+        error-severity issue is found.
+
+    Returns
+    -------
+    list[GridIssue]
+        All findings (possibly empty).
+    """
+    issues: list[GridIssue] = []
+
+    if len(grid) == 0:
+        issues.append(GridIssue(ERROR, "empty-grid", "the grid contains no conductors"))
+        return _finalise(issues, raise_on_error)
+
+    issues.extend(_check_burial(grid))
+    issues.extend(_check_slenderness(grid))
+    issues.extend(_check_duplicates(grid))
+    if check_overlaps:
+        issues.extend(_check_overlaps(grid, max_overlap_pairs))
+    issues.extend(_check_connectivity(grid, soil))
+    if soil is not None:
+        issues.extend(_check_soil_consistency(grid, soil))
+
+    return _finalise(issues, raise_on_error)
+
+
+def _finalise(issues: list[GridIssue], raise_on_error: bool) -> list[GridIssue]:
+    if raise_on_error and any(issue.is_error for issue in issues):
+        messages = "; ".join(i.message for i in issues if i.is_error)
+        raise ValidationError(f"grid validation failed: {messages}")
+    return issues
+
+
+def _check_burial(grid: GroundingGrid) -> list[GridIssue]:
+    issues = []
+    for index, conductor in enumerate(grid):
+        min_depth, _ = conductor.depth_range
+        if min_depth <= 0.0:
+            issues.append(
+                GridIssue(
+                    ERROR,
+                    "not-buried",
+                    f"conductor {index} reaches depth {min_depth:.3g} m (must be > 0, "
+                    "i.e. strictly below the earth surface)",
+                    conductor_index=index,
+                )
+            )
+    return issues
+
+
+def _check_slenderness(grid: GroundingGrid) -> list[GridIssue]:
+    issues = []
+    for index, conductor in enumerate(grid):
+        ratio = conductor.slenderness
+        if ratio > _SLENDERNESS_WARNING:
+            issues.append(
+                GridIssue(
+                    WARNING,
+                    "thick-conductor",
+                    f"conductor {index} has diameter/length = {ratio:.3g}; the thin-wire "
+                    "(circumferential uniformity) hypothesis may lose accuracy",
+                    conductor_index=index,
+                )
+            )
+    return issues
+
+
+def _check_duplicates(grid: GroundingGrid) -> list[GridIssue]:
+    seen: dict[tuple, int] = {}
+    issues = []
+    for index, conductor in enumerate(grid):
+        a = tuple(np.round(conductor.start, 6) + 0.0)
+        b = tuple(np.round(conductor.end, 6) + 0.0)
+        key = (a, b) if a <= b else (b, a)
+        if key in seen:
+            issues.append(
+                GridIssue(
+                    ERROR,
+                    "duplicate-conductor",
+                    f"conductor {index} duplicates conductor {seen[key]}",
+                    conductor_index=index,
+                )
+            )
+        else:
+            seen[key] = index
+    return issues
+
+
+def _share_endpoint(a: Conductor, b: Conductor, tol: float = 1.0e-6) -> bool:
+    for p in (a.start, a.end):
+        for q in (b.start, b.end):
+            if pt.is_close(p, q, tol):
+                return True
+    return False
+
+
+def _check_overlaps(grid: GroundingGrid, max_pairs: int) -> list[GridIssue]:
+    n = len(grid)
+    n_pairs = n * (n - 1) // 2
+    if n_pairs > max_pairs:
+        return [
+            GridIssue(
+                WARNING,
+                "overlap-check-skipped",
+                f"overlap check skipped: {n_pairs} conductor pairs exceed the cap of "
+                f"{max_pairs}",
+            )
+        ]
+    issues = []
+    conductors = list(grid)
+    for i in range(n):
+        for j in range(i + 1, n):
+            a, b = conductors[i], conductors[j]
+            if _share_endpoint(a, b):
+                continue  # legitimately joined at a node
+            dist = pt.segment_segment_distance(a.start, a.end, b.start, b.end)
+            if dist < a.radius + b.radius:
+                issues.append(
+                    GridIssue(
+                        ERROR,
+                        "overlapping-conductors",
+                        f"conductors {i} and {j} are {dist:.4g} m apart, closer than the "
+                        f"sum of their radii ({a.radius + b.radius:.4g} m)",
+                        conductor_index=i,
+                    )
+                )
+    return issues
+
+
+def _check_connectivity(grid: GroundingGrid, soil: LayeredMedium | None) -> list[GridIssue]:
+    try:
+        mesh = discretize_grid(grid, soil=soil)
+    except Exception as exc:  # discretisation problems are reported as errors
+        return [GridIssue(ERROR, "discretisation-failed", f"cannot discretise grid: {exc}")]
+    if not connectivity.is_connected(mesh):
+        components = connectivity.connected_components(mesh)
+        return [
+            GridIssue(
+                ERROR,
+                "disconnected-grid",
+                f"the grid has {len(components)} galvanically separate parts; a grounding "
+                "system must be a single connected network",
+            )
+        ]
+    return []
+
+
+def _check_soil_consistency(grid: GroundingGrid, soil: LayeredMedium) -> list[GridIssue]:
+    issues = []
+    interfaces: Sequence[float] = tuple(soil.interface_depths())
+    if not interfaces:
+        return issues
+    deepest_interface = max(interfaces)
+    _, max_depth = grid.depth_range
+    min_depth, _ = grid.depth_range
+    # Purely informational: knowing which layers are energised is useful when
+    # interpreting results (cf. Balaidos models B and C in the paper).
+    layers_touched = set()
+    for conductor in grid:
+        lo, hi = conductor.depth_range
+        layers_touched.add(soil.layer_index(lo + 1e-9))
+        layers_touched.add(soil.layer_index(hi - 1e-9))
+    if len(layers_touched) > 1:
+        issues.append(
+            GridIssue(
+                WARNING,
+                "multi-layer-electrodes",
+                "electrodes span more than one soil layer; cross-layer kernels with "
+                "slower-converging series will be used (cf. Balaidos model C)",
+            )
+        )
+    if max_depth > 10.0 * deepest_interface:
+        issues.append(
+            GridIssue(
+                WARNING,
+                "deep-electrodes",
+                f"electrodes reach {max_depth:.3g} m, much deeper than the last interface at "
+                f"{deepest_interface:.3g} m; check the soil model is adequate",
+            )
+        )
+    del min_depth
+    return issues

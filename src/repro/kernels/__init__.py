@@ -1,0 +1,44 @@
+"""Integral kernels of the layered-soil grounding problem.
+
+Section 3 of the paper writes the potential created at a point ``x`` of layer
+``c`` by the leakage current density ``σ`` on the electrode surface (buried in
+layer ``b``) as
+
+    ``V_c(x) = 1/(4 π γ_b) ∫_Γ k_bc(x, ξ) σ(ξ) dΓ``,
+
+where the *weakly singular kernel* ``k_bc`` is an infinite series of ``1/r``
+terms: the contributions of the images of the source point with respect to the
+earth surface and the layer interfaces.  Every image position is an affine
+function of the source depth (``z_image = ± z_source + offset``), so the kernel
+of each layer pair is fully described by a list of ``(weight, sign, offset)``
+triples — the :class:`~repro.kernels.images.ImageSeries`.
+
+Provided kernels:
+
+* :class:`~repro.kernels.uniform.UniformSoilKernel` — two terms (source and its
+  mirror image above the surface);
+* :class:`~repro.kernels.two_layer.TwoLayerSoilKernel` — the four series
+  ``k_11``, ``k_12``, ``k_21``, ``k_22`` of the two-layer model, truncated with
+  a relative tolerance on the weights;
+* :class:`~repro.kernels.hankel.HankelKernel` — a numerically integrated
+  Hankel-transform kernel valid for any number of layers, used as an
+  independent cross-check of the image series and for multi-layer extensions.
+"""
+
+from repro.kernels.images import ImageSeries, ImageTerm
+from repro.kernels.series import SeriesControl
+from repro.kernels.base import LayeredKernel, kernel_for_soil
+from repro.kernels.uniform import UniformSoilKernel
+from repro.kernels.two_layer import TwoLayerSoilKernel
+from repro.kernels.hankel import HankelKernel
+
+__all__ = [
+    "ImageSeries",
+    "ImageTerm",
+    "SeriesControl",
+    "LayeredKernel",
+    "kernel_for_soil",
+    "UniformSoilKernel",
+    "TwoLayerSoilKernel",
+    "HankelKernel",
+]

@@ -1,0 +1,170 @@
+"""Common interface of the analytic (image-series) layered-soil kernels.
+
+A :class:`LayeredKernel` answers two questions for a given pair of layers
+``(b, c)`` — the layer ``b`` containing the source and the layer ``c``
+containing the field point:
+
+* :meth:`LayeredKernel.image_series` — the ``(weight, sign, offset)`` triples of
+  the truncated image expansion of the paper's kernel ``k_bc``;
+* :meth:`LayeredKernel.potential_coefficient` — the full Green's function
+  ``k_bc / (4 π γ_b)``, i.e. the potential created at the field points by a
+  unit point current injected at the source point.
+
+The BEM assembly only uses the first (it integrates the ``1/r`` images
+analytically over the source elements); post-processing and the verification
+tests use the second.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import KernelError
+from repro.kernels.images import ImageSeries
+from repro.kernels.series import SeriesControl
+from repro.soil.base import SoilModel
+from repro.soil.two_layer import TwoLayerSoil
+from repro.soil.uniform import UniformSoil
+
+__all__ = ["LayeredKernel", "kernel_for_soil"]
+
+
+class LayeredKernel(abc.ABC):
+    """Kernel of a horizontally stratified soil, expressed with point images."""
+
+    def __init__(self, soil: SoilModel, control: SeriesControl | None = None) -> None:
+        self._soil = soil
+        self._control = control if control is not None else SeriesControl()
+        self._cache: dict[tuple[int, int], ImageSeries] = {}
+
+    # -- descriptive properties ---------------------------------------------------
+
+    @property
+    def soil(self) -> SoilModel:
+        """The soil model this kernel describes."""
+        return self._soil
+
+    @property
+    def control(self) -> SeriesControl:
+        """Truncation parameters of the image series."""
+        return self._control
+
+    @property
+    def n_layers(self) -> int:
+        """Number of soil layers."""
+        return self._soil.n_layers
+
+    # -- abstract construction of the series ---------------------------------------
+
+    @abc.abstractmethod
+    def _build_series(self, source_layer: int, field_layer: int) -> ImageSeries:
+        """Construct the (truncated) image series of ``k_bc``."""
+
+    # -- public API -----------------------------------------------------------------
+
+    def image_series(self, source_layer: int, field_layer: int) -> ImageSeries:
+        """Truncated image series of the kernel ``k_bc`` (cached)."""
+        self._check_layer(source_layer)
+        self._check_layer(field_layer)
+        key = (int(source_layer), int(field_layer))
+        series = self._cache.get(key)
+        if series is None:
+            series = self._build_series(*key)
+            self._cache[key] = series
+        return series
+
+    def normalization(self, source_layer: int) -> float:
+        """The prefactor ``1 / (4 π γ_b)`` of the paper's integral expression."""
+        self._check_layer(source_layer)
+        gamma_b = self._soil.conductivity_of_layer(source_layer)
+        return 1.0 / (4.0 * np.pi * gamma_b)
+
+    def kernel_value(
+        self,
+        field_points: np.ndarray,
+        source_point: np.ndarray,
+        source_layer: int,
+        field_layer: int,
+    ) -> np.ndarray:
+        """The paper's kernel ``k_bc(x, ξ)`` at one or many field points."""
+        series = self.image_series(source_layer, field_layer)
+        return series.evaluate(field_points, source_point)
+
+    def potential_coefficient(
+        self,
+        field_points: np.ndarray,
+        source_point: np.ndarray,
+        source_layer: int | None = None,
+        field_layer: int | None = None,
+    ) -> np.ndarray:
+        """Potential per unit point current, ``k_bc / (4 π γ_b)``.
+
+        When the layer indices are omitted they are deduced from the depths of
+        the source point and of the field points (all field points must then
+        lie in the same layer).
+        """
+        source = np.asarray(source_point, dtype=float).reshape(3)
+        x = np.asarray(field_points, dtype=float)
+        if source_layer is None:
+            source_layer = self._soil.layer_index(float(source[2]))
+        if field_layer is None:
+            depths = np.atleast_2d(x)[:, 2]
+            layers = {self._soil.layer_index(float(z)) for z in depths}
+            if len(layers) != 1:
+                raise KernelError(
+                    "field points span several layers; pass field_layer explicitly or "
+                    "split the evaluation per layer"
+                )
+            field_layer = layers.pop()
+        value = self.kernel_value(x, source, source_layer, field_layer)
+        return self.normalization(source_layer) * value
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def _check_layer(self, layer: int) -> None:
+        if not 1 <= int(layer) <= self.n_layers:
+            raise KernelError(
+                f"layer index {layer} outside the valid range 1..{self.n_layers}"
+            )
+
+    def series_length(self, source_layer: int, field_layer: int) -> int:
+        """Number of image terms used for the layer pair (after truncation)."""
+        return len(self.image_series(source_layer, field_layer))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(soil={self._soil!r})"
+
+
+def kernel_for_soil(soil: SoilModel, control: SeriesControl | None = None) -> LayeredKernel:
+    """Factory returning the appropriate analytic kernel for a soil model.
+
+    * :class:`~repro.soil.uniform.UniformSoil` →
+      :class:`~repro.kernels.uniform.UniformSoilKernel`
+    * :class:`~repro.soil.two_layer.TwoLayerSoil` (or any 2-layer model) →
+      :class:`~repro.kernels.two_layer.TwoLayerSoilKernel`
+
+    Soils with three or more layers have no closed-form image expansion in this
+    library (the paper itself only parallelises the two-layer case); use
+    :class:`~repro.kernels.hankel.HankelKernel` for point-wise evaluations or
+    reduce the model first.
+    """
+    # Imports are local to avoid circular imports at module load time.
+    from repro.kernels.two_layer import TwoLayerSoilKernel
+    from repro.kernels.uniform import UniformSoilKernel
+
+    if soil.n_layers == 1:
+        if not isinstance(soil, UniformSoil):
+            soil = UniformSoil(soil.conductivities[0])
+        return UniformSoilKernel(soil, control)
+    if soil.n_layers == 2:
+        if not isinstance(soil, TwoLayerSoil):
+            soil = TwoLayerSoil(
+                soil.conductivities[0], soil.conductivities[1], soil.thicknesses[0]
+            )
+        return TwoLayerSoilKernel(soil, control)
+    raise KernelError(
+        f"no analytic image-series kernel is available for {soil.n_layers} layers; "
+        "use HankelKernel or a one/two-layer reduction of the soil model"
+    )

@@ -1,0 +1,158 @@
+"""Image-series representation of layered-soil kernels.
+
+Every kernel handled analytically by the BEM assembly is a finite (truncated)
+sum of point-image contributions
+
+    ``k(x, ξ) = Σ_l  w_l / | x − ξ_l |``,
+
+where the image position ``ξ_l`` has the same horizontal coordinates as the
+source point ``ξ`` and depth ``z_l = s_l · z_ξ + c_l`` with ``s_l ∈ {+1, −1}``.
+:class:`ImageSeries` stores the triples ``(w_l, s_l, c_l)`` as NumPy arrays so
+the hot assembly loops can evaluate all images of a source element at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import KernelError
+
+__all__ = ["ImageTerm", "ImageSeries"]
+
+
+@dataclass(frozen=True)
+class ImageTerm:
+    """A single image contribution ``weight / r(x, image(ξ))``."""
+
+    #: Multiplicative weight of the ``1/r`` contribution.
+    weight: float
+    #: Sign applied to the source depth (+1 keeps it, −1 mirrors it).
+    sign: float
+    #: Constant added to the (possibly mirrored) source depth [m].
+    offset: float
+
+    def __post_init__(self) -> None:
+        if self.sign not in (-1.0, 1.0):
+            raise KernelError(f"image sign must be +1 or -1, got {self.sign!r}")
+        if not np.isfinite(self.weight) or not np.isfinite(self.offset):
+            raise KernelError("image weight and offset must be finite")
+
+    def image_depth(self, source_depth: float | np.ndarray) -> float | np.ndarray:
+        """Depth of the image of a source at ``source_depth``."""
+        return self.sign * source_depth + self.offset
+
+
+class ImageSeries:
+    """An ordered collection of :class:`ImageTerm` stored as arrays."""
+
+    def __init__(self, terms: Iterable[ImageTerm] | Sequence[ImageTerm]) -> None:
+        terms = list(terms)
+        if not terms:
+            raise KernelError("an image series needs at least one term")
+        self._terms = tuple(terms)
+        self.weights = np.array([t.weight for t in terms], dtype=float)
+        self.signs = np.array([t.sign for t in terms], dtype=float)
+        self.offsets = np.array([t.offset for t in terms], dtype=float)
+
+    # -- container protocol -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __iter__(self) -> Iterator[ImageTerm]:
+        return iter(self._terms)
+
+    def __getitem__(self, index: int) -> ImageTerm:
+        return self._terms[index]
+
+    @property
+    def terms(self) -> tuple[ImageTerm, ...]:
+        """The individual terms."""
+        return self._terms
+
+    # -- evaluation helpers -----------------------------------------------------
+
+    def image_points(self, source_points: np.ndarray) -> np.ndarray:
+        """Positions of every image of every source point.
+
+        Parameters
+        ----------
+        source_points:
+            Array of shape ``(n, 3)`` (or ``(3,)``).
+
+        Returns
+        -------
+        numpy.ndarray
+            Array of shape ``(L, n, 3)`` where ``L = len(self)``: entry
+            ``[l, i]`` is the ``l``-th image of source point ``i``.
+        """
+        pts = np.asarray(source_points, dtype=float)
+        squeeze = False
+        if pts.ndim == 1:
+            pts = pts.reshape(1, 3)
+            squeeze = True
+        if pts.ndim != 2 or pts.shape[1] != 3:
+            raise KernelError(f"source points must have shape (n, 3), got {pts.shape}")
+        images = np.broadcast_to(pts, (len(self), *pts.shape)).copy()
+        images[..., 2] = self.signs[:, None] * pts[None, :, 2] + self.offsets[:, None]
+        if squeeze:
+            return images[:, 0, :]
+        return images
+
+    def evaluate(self, field_points: np.ndarray, source_point: np.ndarray) -> np.ndarray:
+        """Evaluate ``Σ_l w_l / |x − ξ_l|`` at one or many field points.
+
+        Parameters
+        ----------
+        field_points:
+            Array of shape ``(m, 3)`` (or ``(3,)``).
+        source_point:
+            Single source point of shape ``(3,)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Kernel values, shape ``(m,)`` (scalar array for a single point).
+        """
+        x = np.asarray(field_points, dtype=float)
+        squeeze = False
+        if x.ndim == 1:
+            x = x.reshape(1, 3)
+            squeeze = True
+        source = np.asarray(source_point, dtype=float).reshape(3)
+        images = self.image_points(source)  # (L, 3)
+        diff = x[None, :, :] - images[:, None, :]  # (L, m, 3)
+        r = np.sqrt(np.einsum("lmk,lmk->lm", diff, diff))
+        if np.any(r <= 0.0):
+            raise KernelError("field point coincides with an image source point")
+        values = (self.weights[:, None] / r).sum(axis=0)
+        return values[0] if squeeze else values
+
+    # -- algebra ------------------------------------------------------------------
+
+    def scaled(self, factor: float) -> "ImageSeries":
+        """A new series with every weight multiplied by ``factor``."""
+        return ImageSeries(
+            [ImageTerm(t.weight * float(factor), t.sign, t.offset) for t in self._terms]
+        )
+
+    def truncated(self, min_weight: float) -> "ImageSeries":
+        """Drop terms whose absolute weight is below ``min_weight``.
+
+        At least one term is always kept.
+        """
+        kept = [t for t in self._terms if abs(t.weight) >= min_weight]
+        if not kept:
+            kept = [max(self._terms, key=lambda t: abs(t.weight))]
+        return ImageSeries(kept)
+
+    @property
+    def total_absolute_weight(self) -> float:
+        """Sum of ``|w_l|`` over the series (used by truncation diagnostics)."""
+        return float(np.abs(self.weights).sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ImageSeries(n_terms={len(self)}, total_weight={self.weights.sum():.6g})"

@@ -1,0 +1,65 @@
+"""Truncation control for the layered-soil image series.
+
+The two-layer kernel is an infinite series whose ``n``-th group of images is
+weighted by ``κⁿ`` (|κ| < 1).  Following the paper, the series is "numerically
+added up until a tolerance is fulfilled or an upper limit of summands is
+achieved"; :class:`SeriesControl` carries those two knobs and computes the
+number of groups they imply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+from repro.constants import DEFAULT_MAX_IMAGE_GROUPS, DEFAULT_SERIES_TOLERANCE
+from repro.exceptions import KernelError
+
+__all__ = ["SeriesControl"]
+
+
+@dataclass(frozen=True)
+class SeriesControl:
+    """Image-series truncation parameters.
+
+    Parameters
+    ----------
+    tolerance:
+        Relative tolerance: groups are generated while ``|κ|ⁿ >= tolerance``.
+    max_groups:
+        Hard cap on the number of groups regardless of the tolerance.
+    """
+
+    tolerance: float = DEFAULT_SERIES_TOLERANCE
+    max_groups: int = DEFAULT_MAX_IMAGE_GROUPS
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.tolerance < 1.0:
+            raise KernelError(
+                f"series tolerance must lie strictly between 0 and 1, got {self.tolerance!r}"
+            )
+        if self.max_groups < 1:
+            raise KernelError(f"max_groups must be at least 1, got {self.max_groups!r}")
+
+    def n_groups(self, kappa: float) -> int:
+        """Number of series groups to evaluate for a reflection ratio ``κ``.
+
+        Returns the smallest ``n`` with ``|κ|ⁿ < tolerance`` (clamped to
+        ``[1, max_groups]``).  ``κ = 0`` (uniform soil) needs a single group.
+        """
+        kappa = abs(float(kappa))
+        if kappa >= 1.0:
+            raise KernelError(f"|kappa| must be < 1 for a physical soil, got {kappa}")
+        if kappa == 0.0:
+            return 1
+        needed = int(math.ceil(math.log(self.tolerance) / math.log(kappa)))
+        return int(min(self.max_groups, max(1, needed)))
+
+    def truncation_error_bound(self, kappa: float) -> float:
+        """Upper bound on the neglected relative weight ``Σ_{n>N} |κ|ⁿ``."""
+        kappa = abs(float(kappa))
+        if kappa == 0.0:
+            return 0.0
+        n = self.n_groups(kappa)
+        return kappa ** (n + 1) / (1.0 - kappa)

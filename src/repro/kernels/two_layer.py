@@ -1,0 +1,169 @@
+"""Image-series kernels of the two-layer soil model.
+
+Derivation
+----------
+Let layer 1 (conductivity ``γ₁``) occupy ``0 ≤ z ≤ h`` and layer 2
+(conductivity ``γ₂``) the half-space ``z ≥ h``; let ``κ = (γ₁−γ₂)/(γ₁+γ₂)``.
+Solving the layered Neumann problem of the paper's equation (2.3) with a unit
+point current at depth ``ζ`` by separation in the Hankel domain and expanding
+``1/(1 − κ e^{−2λh})`` as a geometric series turns every term into the
+potential of a point image (Weber–Lipschitz integral), giving the classical
+expansions (Tagg 1964; Colominas et al. 2002):
+
+``source and field point in layer 1``::
+
+    k₁₁ = 1/r(z−ζ) + 1/r(z+ζ)
+        + Σ_{n≥1} κⁿ [ 1/r(z+ζ+2nh) + 1/r(z−ζ+2nh)
+                     + 1/r(z+ζ−2nh) + 1/r(z−ζ−2nh) ]
+
+``source in layer 1, field point in layer 2``::
+
+    k₁₂ = (1+κ) Σ_{n≥0} κⁿ [ 1/r(z−ζ+2nh) + 1/r(z+ζ+2nh) ]
+
+``source in layer 2, field point in layer 1``::
+
+    k₂₁ = (1−κ) Σ_{n≥0} κⁿ [ 1/r(z+ζ+2nh) + 1/r(z−ζ−2nh) ]
+
+``source and field point in layer 2``::
+
+    k₂₂ = 1/r(z−ζ) − κ/r(z+ζ−2h) + (1−κ²) Σ_{n≥0} κⁿ 1/r(z+ζ+2nh)
+
+where ``r(a) = sqrt(ρ² + a²)`` and ``ρ`` is the horizontal distance.  Each
+argument ``z ∓ (±ζ + c)`` corresponds to an image at depth ``±ζ + c``, which is
+exactly the ``(weight, sign, offset)`` triple stored in the
+:class:`~repro.kernels.images.ImageSeries`.
+
+Consistency checks encoded in the test-suite:
+
+* ``κ → 0`` (equal conductivities) recovers the uniform-soil kernel;
+* the potential is continuous across the interface (``k₁₁ = k₁₂`` at ``z=h``);
+* the normal current density is continuous across the interface;
+* ``∂V/∂z = 0`` at the earth surface;
+* the series agree with the independent Hankel-quadrature kernel.
+
+Normalisation: the paper's potential integral carries the prefactor
+``1/(4π γ_b)`` with ``b`` the *source* layer; the weights above follow the same
+convention (e.g. ``k₂₂`` is normalised by ``γ₂``).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import KernelError
+from repro.kernels.base import LayeredKernel
+from repro.kernels.images import ImageSeries, ImageTerm
+from repro.kernels.series import SeriesControl
+from repro.soil.two_layer import TwoLayerSoil
+
+__all__ = ["TwoLayerSoilKernel"]
+
+
+class TwoLayerSoilKernel(LayeredKernel):
+    """Truncated image-series kernels ``k₁₁``, ``k₁₂``, ``k₂₁``, ``k₂₂``."""
+
+    def __init__(self, soil: TwoLayerSoil, control: SeriesControl | None = None) -> None:
+        if soil.n_layers != 2:
+            raise KernelError("TwoLayerSoilKernel requires a two-layer soil model")
+        if not isinstance(soil, TwoLayerSoil):
+            soil = TwoLayerSoil(
+                soil.conductivities[0], soil.conductivities[1], soil.thicknesses[0]
+            )
+        super().__init__(soil, control)
+
+    # -- convenience accessors ----------------------------------------------------
+
+    @property
+    def kappa(self) -> float:
+        """Reflection ratio κ of the soil model."""
+        return self._soil.kappa  # type: ignore[attr-defined]
+
+    @property
+    def thickness(self) -> float:
+        """Thickness h of the upper layer [m]."""
+        return self._soil.upper_thickness  # type: ignore[attr-defined]
+
+    # -- series construction --------------------------------------------------------
+
+    def _build_series(self, source_layer: int, field_layer: int) -> ImageSeries:
+        kappa = self.kappa
+        h = self.thickness
+        n_groups = self.control.n_groups(kappa)
+        tol = self.control.tolerance
+
+        builders = {
+            (1, 1): self._series_11,
+            (1, 2): self._series_12,
+            (2, 1): self._series_21,
+            (2, 2): self._series_22,
+        }
+        terms = builders[(source_layer, field_layer)](kappa, h, n_groups)
+        # Drop negligible terms but never produce an empty series.
+        series = ImageSeries(terms)
+        return series.truncated(min_weight=tol * 1.0e-3)
+
+    @staticmethod
+    def _series_11(kappa: float, h: float, n_groups: int) -> list[ImageTerm]:
+        terms = [
+            ImageTerm(weight=1.0, sign=+1.0, offset=0.0),
+            ImageTerm(weight=1.0, sign=-1.0, offset=0.0),
+        ]
+        for n in range(1, n_groups + 1):
+            weight = kappa**n
+            if weight == 0.0:
+                break
+            shift = 2.0 * n * h
+            terms.extend(
+                [
+                    ImageTerm(weight=weight, sign=-1.0, offset=-shift),
+                    ImageTerm(weight=weight, sign=+1.0, offset=-shift),
+                    ImageTerm(weight=weight, sign=+1.0, offset=+shift),
+                    ImageTerm(weight=weight, sign=-1.0, offset=+shift),
+                ]
+            )
+        return terms
+
+    @staticmethod
+    def _series_12(kappa: float, h: float, n_groups: int) -> list[ImageTerm]:
+        factor = 1.0 + kappa
+        terms: list[ImageTerm] = []
+        for n in range(0, n_groups + 1):
+            weight = factor * kappa**n
+            if weight == 0.0 and n > 0:
+                break
+            shift = 2.0 * n * h
+            terms.extend(
+                [
+                    ImageTerm(weight=weight, sign=+1.0, offset=-shift),
+                    ImageTerm(weight=weight, sign=-1.0, offset=-shift),
+                ]
+            )
+        return terms
+
+    @staticmethod
+    def _series_21(kappa: float, h: float, n_groups: int) -> list[ImageTerm]:
+        factor = 1.0 - kappa
+        terms: list[ImageTerm] = []
+        for n in range(0, n_groups + 1):
+            weight = factor * kappa**n
+            if weight == 0.0 and n > 0:
+                break
+            shift = 2.0 * n * h
+            terms.extend(
+                [
+                    ImageTerm(weight=weight, sign=-1.0, offset=-shift),
+                    ImageTerm(weight=weight, sign=+1.0, offset=+shift),
+                ]
+            )
+        return terms
+
+    @staticmethod
+    def _series_22(kappa: float, h: float, n_groups: int) -> list[ImageTerm]:
+        terms = [ImageTerm(weight=1.0, sign=+1.0, offset=0.0)]
+        if kappa != 0.0:
+            terms.append(ImageTerm(weight=-kappa, sign=-1.0, offset=+2.0 * h))
+        factor = 1.0 - kappa**2
+        for n in range(0, n_groups + 1):
+            weight = factor * kappa**n
+            if weight == 0.0 and n > 0:
+                break
+            terms.append(ImageTerm(weight=weight, sign=-1.0, offset=-2.0 * n * h))
+        return terms

@@ -1,0 +1,41 @@
+"""Kernel of the uniform (single-layer) soil model.
+
+With a homogeneous half-space the method of images gives exactly two
+contributions (paper, Section 3: "In the case of uniform soil, the series are
+reduced to only two summands, since there is only one image of the original
+grid"):
+
+    ``k(x, ξ) = 1 / |x − ξ| + 1 / |x − ξ'|``
+
+where ``ξ'`` is the mirror image of ``ξ`` above the earth surface.  The image
+guarantees the natural boundary condition ``σᵗ n = 0`` on the surface (the air
+is a perfect insulator).
+"""
+
+from __future__ import annotations
+
+from repro.kernels.base import LayeredKernel
+from repro.kernels.images import ImageSeries, ImageTerm
+from repro.kernels.series import SeriesControl
+from repro.soil.uniform import UniformSoil
+
+__all__ = ["UniformSoilKernel"]
+
+
+class UniformSoilKernel(LayeredKernel):
+    """Two-term image kernel of a homogeneous soil."""
+
+    def __init__(self, soil: UniformSoil, control: SeriesControl | None = None) -> None:
+        if soil.n_layers != 1:
+            raise ValueError("UniformSoilKernel requires a single-layer soil model")
+        super().__init__(soil, control)
+
+    def _build_series(self, source_layer: int, field_layer: int) -> ImageSeries:
+        # Both layer indices are necessarily 1; the series is the source plus
+        # its reflection about the earth surface.
+        return ImageSeries(
+            [
+                ImageTerm(weight=1.0, sign=+1.0, offset=0.0),
+                ImageTerm(weight=1.0, sign=-1.0, offset=0.0),
+            ]
+        )

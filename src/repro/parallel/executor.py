@@ -1,0 +1,268 @@
+"""Real scheduled execution of loop tasks on threads or worker processes.
+
+This is the executable counterpart of the OpenMP work-sharing loop the paper
+parallelises: a set of numbered tasks (loop cycles) is distributed over
+``n_workers`` workers according to a :class:`repro.parallel.schedule.Schedule`:
+
+* ``static`` schedules fix the task→worker mapping before execution starts;
+* ``dynamic`` and ``guided`` schedules let idle workers grab the next chunk of
+  the shared sequence, which balances the linearly decreasing column costs of
+  the BEM assembly at the price of more scheduling events.
+
+Backends:
+
+``process`` (default)
+    Worker processes created with the ``fork`` start method.  The task callable
+    and its captured state (mesh, kernel, assembler) are inherited by the
+    children through the fork, so no per-task pickling of the inputs occurs;
+    only the results travel back.  This mirrors the shared-memory setting of
+    the paper, where every processor reads the same element tables and only the
+    elemental matrices are written.
+``thread``
+    A thread pool.  NumPy releases the GIL inside its kernels, so moderate
+    speed-ups are possible, but the Python-level bookkeeping serialises;
+    provided mainly for comparison.
+``serial``
+    Runs everything in the calling thread (baseline and debugging).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ParallelExecutionError
+from repro.parallel.options import Backend
+from repro.parallel.schedule import Schedule, ScheduleKind
+
+__all__ = ["TaskRunResult", "ScheduledExecutor", "run_scheduled_tasks"]
+
+
+# --------------------------------------------------------------------------- worker side
+#
+# The task callable is stashed in a module-level slot *before* the worker
+# processes are forked, so the children inherit it via copy-on-write memory and
+# only chunk indices / results cross the process boundary.
+
+_WORKER_TASK_FN: Callable[[int], Any] | None = None
+
+
+def _set_worker_task(fn: Callable[[int], Any] | None) -> None:
+    global _WORKER_TASK_FN
+    _WORKER_TASK_FN = fn
+
+
+def _run_chunk(indices: Sequence[int]) -> list[tuple[int, Any, float]]:
+    """Execute a chunk of tasks, timing each one (runs inside a worker)."""
+    fn = _WORKER_TASK_FN
+    if fn is None:  # pragma: no cover - defensive
+        raise ParallelExecutionError("worker has no task function configured")
+    output = []
+    for index in indices:
+        start = time.perf_counter()
+        value = fn(int(index))
+        output.append((int(index), value, time.perf_counter() - start))
+    return output
+
+
+# --------------------------------------------------------------------------- results
+
+
+@dataclass
+class TaskRunResult:
+    """Results and timing of one scheduled loop execution."""
+
+    #: Task results indexed by task id.
+    results: dict[int, Any]
+    #: Wall-clock seconds of the whole parallel loop (as seen by the caller).
+    wall_seconds: float
+    #: Per-task execution seconds measured inside the workers.
+    task_seconds: np.ndarray
+    #: Number of chunks dispatched.
+    n_chunks: int
+    #: Number of workers used.
+    n_workers: int
+    #: Schedule label (e.g. ``"Dynamic,1"``).
+    schedule: str
+    #: Backend name.
+    backend: str
+    #: Extra information.
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def sequential_seconds(self) -> float:
+        """Sum of the per-task times (the sequential reference of the paper)."""
+        return float(self.task_seconds.sum())
+
+    @property
+    def speedup(self) -> float:
+        """Observed speed-up relative to the summed task times."""
+        if self.wall_seconds <= 0.0:
+            return float(self.n_workers)
+        return self.sequential_seconds / self.wall_seconds
+
+    def ordered_results(self) -> list[Any]:
+        """Results sorted by task id."""
+        return [self.results[key] for key in sorted(self.results)]
+
+
+# --------------------------------------------------------------------------- executor
+
+
+class ScheduledExecutor:
+    """Reusable scheduled-loop executor bound to one task callable.
+
+    Use as a context manager so worker pools are reliably torn down::
+
+        with ScheduledExecutor(task_fn, n_workers=8, backend=Backend.PROCESS) as ex:
+            outcome = ex.run(range(n_tasks), Schedule.parse("Dynamic,1"))
+    """
+
+    def __init__(
+        self,
+        task_fn: Callable[[int], Any],
+        n_workers: int,
+        backend: Backend | str = Backend.PROCESS,
+    ) -> None:
+        if n_workers < 1:
+            raise ParallelExecutionError(f"n_workers must be >= 1, got {n_workers}")
+        self.task_fn = task_fn
+        self.n_workers = int(n_workers)
+        self.backend = Backend(backend) if not isinstance(backend, Backend) else backend
+        self._pool: Any = None
+        self._thread_pool: ThreadPoolExecutor | None = None
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def __enter__(self) -> "ScheduledExecutor":
+        if self.backend is Backend.PROCESS:
+            _set_worker_task(self.task_fn)
+            context = mp.get_context("fork")
+            self._pool = context.Pool(processes=self.n_workers)
+        elif self.backend is Backend.THREAD:
+            _set_worker_task(self.task_fn)
+            self._thread_pool = ThreadPoolExecutor(max_workers=self.n_workers)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=True)
+            self._thread_pool = None
+        _set_worker_task(None)
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(self, task_indices: Sequence[int], schedule: Schedule) -> TaskRunResult:
+        """Execute the given tasks under the schedule and collect the results."""
+        indices = [int(i) for i in task_indices]
+        n_tasks = len(indices)
+        start = time.perf_counter()
+
+        if self.backend is Backend.SERIAL or self.n_workers == 1:
+            chunks = [indices] if indices else []
+            raw = [_run_chunk_with(self.task_fn, chunk) for chunk in chunks]
+        elif self.backend is Backend.PROCESS:
+            raw, chunks = self._run_process(indices, schedule)
+        else:
+            raw, chunks = self._run_thread(indices, schedule)
+
+        wall = time.perf_counter() - start
+        results: dict[int, Any] = {}
+        task_seconds = np.zeros(n_tasks)
+        position = {task: k for k, task in enumerate(indices)}
+        for chunk_output in raw:
+            for task_id, value, elapsed in chunk_output:
+                results[task_id] = value
+                task_seconds[position[task_id]] = elapsed
+        if len(results) != n_tasks:
+            raise ParallelExecutionError(
+                f"scheduled run returned {len(results)} results for {n_tasks} tasks"
+            )
+        return TaskRunResult(
+            results=results,
+            wall_seconds=wall,
+            task_seconds=task_seconds,
+            n_chunks=len(chunks),
+            n_workers=self.n_workers,
+            schedule=schedule.label(),
+            backend=self.backend.value,
+        )
+
+    # -- backend internals ------------------------------------------------------------
+
+    def _chunks_for(self, indices: list[int], schedule: Schedule) -> list[list[int]]:
+        """Translate the schedule into an ordered list of chunks of task ids."""
+        n_tasks = len(indices)
+        if schedule.kind is ScheduleKind.STATIC:
+            assignment = schedule.static_assignment(n_tasks, self.n_workers)
+            return [
+                [indices[i] for i in worker_tasks] for worker_tasks in assignment if worker_tasks
+            ]
+        sequence = schedule.chunk_sequence(n_tasks, self.n_workers)
+        return [[indices[i] for i in chunk] for chunk in sequence]
+
+    def _run_process(
+        self, indices: list[int], schedule: Schedule
+    ) -> tuple[list[list[tuple[int, Any, float]]], list[list[int]]]:
+        if self._pool is None:
+            raise ParallelExecutionError(
+                "the process backend must be used as a context manager (with ... as ex:)"
+            )
+        chunks = self._chunks_for(indices, schedule)
+        if not chunks:
+            return [], []
+        if schedule.kind is ScheduleKind.STATIC:
+            # One submission per worker: the partition is fixed up front.
+            async_results = [self._pool.apply_async(_run_chunk, (chunk,)) for chunk in chunks]
+            return [r.get() for r in async_results], chunks
+        # Dynamic / guided: workers pull the next chunk as they become idle.
+        raw = list(self._pool.imap_unordered(_run_chunk, chunks, chunksize=1))
+        return raw, chunks
+
+    def _run_thread(
+        self, indices: list[int], schedule: Schedule
+    ) -> tuple[list[list[tuple[int, Any, float]]], list[list[int]]]:
+        if self._thread_pool is None:
+            raise ParallelExecutionError(
+                "the thread backend must be used as a context manager (with ... as ex:)"
+            )
+        chunks = self._chunks_for(indices, schedule)
+        futures = [
+            self._thread_pool.submit(_run_chunk_with, self.task_fn, chunk) for chunk in chunks
+        ]
+        return [future.result() for future in futures], chunks
+
+
+def _run_chunk_with(
+    fn: Callable[[int], Any], indices: Sequence[int]
+) -> list[tuple[int, Any, float]]:
+    """Chunk runner used by the serial and thread backends (no globals needed)."""
+    output = []
+    for index in indices:
+        start = time.perf_counter()
+        value = fn(int(index))
+        output.append((int(index), value, time.perf_counter() - start))
+    return output
+
+
+def run_scheduled_tasks(
+    task_fn: Callable[[int], Any],
+    n_tasks: int,
+    schedule: Schedule,
+    n_workers: int,
+    backend: Backend | str = Backend.PROCESS,
+) -> TaskRunResult:
+    """One-shot convenience wrapper around :class:`ScheduledExecutor`."""
+    if n_tasks < 0:
+        raise ParallelExecutionError("n_tasks cannot be negative")
+    with ScheduledExecutor(task_fn, n_workers=n_workers, backend=backend) as executor:
+        return executor.run(range(n_tasks), schedule)

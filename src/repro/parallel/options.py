@@ -1,0 +1,81 @@
+"""User-facing options describing how to parallelise the matrix generation."""
+
+from __future__ import annotations
+
+import enum
+import os
+from dataclasses import dataclass, field
+
+from repro.exceptions import ScheduleError
+from repro.parallel.schedule import Schedule
+
+__all__ = ["Backend", "LoopLevel", "ParallelOptions"]
+
+
+class Backend(str, enum.Enum):
+    """Execution backend of the parallel loop."""
+
+    #: Run everything in the calling process (useful as a baseline / debugging).
+    SERIAL = "serial"
+    #: Python threads: low overhead, concurrency limited by the GIL except
+    #: inside NumPy kernels.
+    THREAD = "thread"
+    #: Worker processes (fork): true parallelism, the default.
+    PROCESS = "process"
+
+
+class LoopLevel(str, enum.Enum):
+    """Which loop of the triangular element-pair structure is parallelised.
+
+    The paper compares both options (Fig. 6.1): parallelising the *outer* loop
+    distributes whole columns (much larger granularity and better speed-ups),
+    parallelising the *inner* loop distributes the rows of one column at a time
+    and pays a synchronisation at every column.
+    """
+
+    OUTER = "outer"
+    INNER = "inner"
+
+
+@dataclass(frozen=True)
+class ParallelOptions:
+    """How to run the matrix-generation loop in parallel.
+
+    Parameters
+    ----------
+    n_workers:
+        Number of workers (processors); defaults to the machine's CPU count.
+    schedule:
+        Loop schedule (default ``Dynamic,1`` — the best performer in the
+        paper's Table 6.2).
+    backend:
+        ``process`` (default), ``thread`` or ``serial``.
+    loop:
+        ``outer`` (default) or ``inner`` loop parallelisation.
+    """
+
+    n_workers: int = 0
+    schedule: Schedule = field(default_factory=Schedule)
+    backend: Backend = Backend.PROCESS
+    loop: LoopLevel = LoopLevel.OUTER
+
+    def __post_init__(self) -> None:
+        workers = int(self.n_workers) if self.n_workers else (os.cpu_count() or 1)
+        if workers < 1:
+            raise ScheduleError(f"n_workers must be >= 1, got {self.n_workers!r}")
+        object.__setattr__(self, "n_workers", workers)
+        if not isinstance(self.schedule, Schedule):
+            object.__setattr__(self, "schedule", Schedule.parse(str(self.schedule)))
+        if not isinstance(self.backend, Backend):
+            object.__setattr__(self, "backend", Backend(str(self.backend).lower()))
+        if not isinstance(self.loop, LoopLevel):
+            object.__setattr__(self, "loop", LoopLevel(str(self.loop).lower()))
+
+    def describe(self) -> dict:
+        """Compact description stored in result metadata."""
+        return {
+            "n_workers": self.n_workers,
+            "schedule": self.schedule.label(),
+            "backend": self.backend.value,
+            "loop": self.loop.value,
+        }

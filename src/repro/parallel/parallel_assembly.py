@@ -1,0 +1,192 @@
+"""Parallel generation of the BEM matrix (the paper's Section 6.2).
+
+The sequential assembly couples the computation of each elemental matrix with
+its immediate scatter into the global matrix; that scatter creates a dependency
+between loop cycles.  The paper removes it by *first* computing and storing all
+elemental matrices (in parallel) and *then* assembling them sequentially —
+"this scheme requires approximately twice the memory space than the original
+one, but in any case this memory space is not very large".  This module follows
+exactly that structure:
+
+1. the column tasks of :class:`repro.bem.influence.ColumnAssembler` are
+   distributed over the workers according to the requested
+   :class:`~repro.parallel.schedule.Schedule` (outer-loop parallelisation), or
+   the rows of each column are distributed while the column loop stays
+   sequential (inner-loop parallelisation, kept for the comparison of
+   Fig. 6.1);
+2. the resulting blocks are assembled into the global matrix by the master
+   process.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bem.assembly import (
+    AssemblyOptions,
+    ColumnResult,
+    assemble_from_columns,
+)
+from repro.bem.elements import DofManager
+from repro.bem.influence import ColumnAssembler
+from repro.bem.system import LinearSystem
+from repro.constants import DEFAULT_GPR
+from repro.exceptions import ParallelExecutionError
+from repro.geometry.discretize import Mesh
+from repro.kernels.base import LayeredKernel, kernel_for_soil
+from repro.parallel.executor import ScheduledExecutor
+from repro.parallel.options import Backend, LoopLevel, ParallelOptions
+from repro.soil.base import SoilModel
+
+__all__ = ["assemble_system_parallel", "generate_columns_parallel"]
+
+
+def generate_columns_parallel(
+    assembler: ColumnAssembler,
+    parallel: ParallelOptions,
+) -> tuple[list[ColumnResult], dict]:
+    """Compute every assembly column under the requested parallel options.
+
+    Returns the column results (in column order) plus timing metadata:
+    ``parallel_wall_seconds`` (the wall-clock time of the scheduled loop) and
+    ``column_seconds`` (per-column execution times measured inside the
+    workers — the task-cost profile consumed by the schedule simulator).
+    """
+    n_columns = assembler.n_elements
+
+    if parallel.loop is LoopLevel.OUTER:
+        task_fn = _OuterColumnTask(assembler)
+        with ScheduledExecutor(
+            task_fn, n_workers=parallel.n_workers, backend=parallel.backend
+        ) as executor:
+            outcome = executor.run(range(n_columns), parallel.schedule)
+        columns = []
+        for index in range(n_columns):
+            targets, blocks = outcome.results[index]
+            columns.append(
+                ColumnResult(
+                    source_index=index,
+                    targets=targets,
+                    blocks=blocks,
+                    elapsed_seconds=float(outcome.task_seconds[index]),
+                )
+            )
+        metadata = {
+            "parallel_wall_seconds": outcome.wall_seconds,
+            "column_seconds": outcome.task_seconds.copy(),
+            "n_chunks": outcome.n_chunks,
+        }
+        return columns, metadata
+
+    # Inner-loop parallelisation: the column loop stays sequential, the rows of
+    # each column are distributed among the workers (fine granularity).
+    task_fn = _InnerPairTask(assembler)
+    columns = []
+    column_seconds = np.zeros(n_columns)
+    total_chunks = 0
+    start = time.perf_counter()
+    with ScheduledExecutor(
+        task_fn, n_workers=parallel.n_workers, backend=parallel.backend
+    ) as executor:
+        for source_index in range(n_columns):
+            targets = np.arange(source_index, n_columns, dtype=int)
+            encoded = [source_index * n_columns + int(t) for t in targets]
+            column_start = time.perf_counter()
+            outcome = executor.run(encoded, parallel.schedule)
+            column_seconds[source_index] = time.perf_counter() - column_start
+            total_chunks += outcome.n_chunks
+            blocks = np.stack(
+                [outcome.results[code] for code in encoded], axis=0
+            ) if encoded else np.zeros((0, 1, 1))
+            columns.append(
+                ColumnResult(
+                    source_index=source_index,
+                    targets=targets,
+                    blocks=blocks,
+                    elapsed_seconds=float(column_seconds[source_index]),
+                )
+            )
+    metadata = {
+        "parallel_wall_seconds": time.perf_counter() - start,
+        "column_seconds": column_seconds,
+        "n_chunks": total_chunks,
+    }
+    return columns, metadata
+
+
+class _OuterColumnTask:
+    """Callable computing one whole assembly column (outer-loop task)."""
+
+    def __init__(self, assembler: ColumnAssembler) -> None:
+        self.assembler = assembler
+
+    def __call__(self, column_index: int) -> tuple[np.ndarray, np.ndarray]:
+        return self.assembler.column_blocks(column_index)
+
+
+class _InnerPairTask:
+    """Callable computing a single element-pair block (inner-loop task).
+
+    Task ids encode the pair as ``source * M + target``.
+    """
+
+    def __init__(self, assembler: ColumnAssembler) -> None:
+        self.assembler = assembler
+        self.n_elements = assembler.n_elements
+
+    def __call__(self, encoded: int) -> np.ndarray:
+        source, target = divmod(int(encoded), self.n_elements)
+        _, blocks = self.assembler.column_blocks(source, target_indices=[target])
+        return blocks[0]
+
+
+def assemble_system_parallel(
+    mesh: Mesh,
+    soil: SoilModel,
+    gpr: float = DEFAULT_GPR,
+    options: AssemblyOptions | None = None,
+    kernel: LayeredKernel | None = None,
+    parallel: ParallelOptions | None = None,
+    collect_column_times: bool = True,
+) -> LinearSystem:
+    """Assemble the Galerkin system with parallel matrix generation.
+
+    Drop-in replacement for :func:`repro.bem.assembly.assemble_system`; the
+    returned system carries the parallel-execution metadata
+    (``parallel_wall_seconds``, ``schedule``, ``n_workers``, ...).
+    """
+    if parallel is None:
+        parallel = ParallelOptions(backend=Backend.SERIAL, n_workers=1)
+    options = options or AssemblyOptions()
+    if kernel is None:
+        kernel = kernel_for_soil(soil, options.series_control)
+    dof_manager = DofManager(mesh, options.element_type)
+    assembler = ColumnAssembler(mesh, kernel, dof_manager, options.n_gauss)
+
+    start = time.perf_counter()
+    columns, parallel_metadata = generate_columns_parallel(assembler, parallel)
+    generation_seconds = time.perf_counter() - start
+
+    metadata = {
+        "matrix_generation_seconds": generation_seconds,
+        "n_elements": mesh.n_elements,
+        "n_dofs": dof_manager.n_dofs,
+        "element_type": options.element_type.value,
+        "n_gauss": options.n_gauss,
+        "soil_layers": soil.n_layers,
+        "backend": parallel.backend.value,
+        "loop": parallel.loop.value,
+        "schedule": parallel.schedule.label(),
+        "n_workers": parallel.n_workers,
+        "parallel_wall_seconds": parallel_metadata["parallel_wall_seconds"],
+        "n_chunks": parallel_metadata["n_chunks"],
+    }
+    if collect_column_times:
+        metadata["column_seconds"] = parallel_metadata["column_seconds"]
+
+    system = assemble_from_columns(columns, dof_manager, gpr=gpr, metadata=metadata)
+    if system.dof_manager.n_dofs != dof_manager.n_dofs:  # pragma: no cover - defensive
+        raise ParallelExecutionError("inconsistent dof count after parallel assembly")
+    return system

@@ -1,0 +1,243 @@
+"""Discrete-event simulation of a scheduled parallel loop.
+
+The paper measures speed-ups on up to 64 processors of an SGI Origin 2000.
+This host has fewer cores, so beyond the real process-pool measurements the
+library can *simulate* the execution of the matrix-generation loop under any
+schedule and any processor count: the per-column task costs measured on the
+sequential run are replayed through an event-driven model of an OpenMP-style
+work-sharing loop (see :class:`repro.parallel.machine.MachineModel` for the
+overhead knobs).
+
+Because the simulator executes exactly the same chunk-assignment rules as the
+real executor (shared :class:`repro.parallel.schedule.Schedule` objects) the
+two agree on the processor counts where both can run — which is verified in the
+test-suite — and the simulator can then extend the curves to the paper's 64
+processors (Fig. 6.1, Tables 6.2 and 6.3).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ScheduleError
+from repro.parallel.machine import MachineModel
+from repro.parallel.schedule import Schedule, ScheduleKind
+
+__all__ = ["SimulationResult", "ScheduleSimulator", "rows_from_column_costs"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated parallel execution."""
+
+    #: Label of the schedule used (e.g. ``"Dynamic,1"``).
+    schedule: str
+    #: Number of processors simulated.
+    n_processors: int
+    #: Simulated wall-clock time of the parallel loop [s].
+    makespan: float
+    #: Sequential reference time (sum of all task costs, no overheads) [s].
+    sequential_time: float
+    #: Number of chunks dispatched.
+    n_chunks: int
+    #: Busy time of every processor (excluding idle waits) [s].
+    worker_busy: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    #: Finish time of every processor [s].
+    worker_finish: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    @property
+    def speedup(self) -> float:
+        """Speed-up factor referenced to the sequential time (as in the paper)."""
+        if self.makespan <= 0.0:
+            return float(self.n_processors)
+        return self.sequential_time / self.makespan
+
+    @property
+    def efficiency(self) -> float:
+        """Speed-up divided by the number of processors."""
+        return self.speedup / self.n_processors
+
+    @property
+    def load_imbalance(self) -> float:
+        """Relative difference between the busiest and the average processor."""
+        if self.worker_busy.size == 0 or self.worker_busy.max() <= 0.0:
+            return 0.0
+        return float(self.worker_busy.max() / self.worker_busy.mean() - 1.0)
+
+    def summary(self) -> dict:
+        """Compact dictionary used by the benchmark tables."""
+        return {
+            "schedule": self.schedule,
+            "n_processors": self.n_processors,
+            "makespan_s": self.makespan,
+            "speedup": self.speedup,
+            "efficiency": self.efficiency,
+            "n_chunks": self.n_chunks,
+            "load_imbalance": self.load_imbalance,
+        }
+
+
+def rows_from_column_costs(column_costs: Sequence[float]) -> list[np.ndarray]:
+    """Split each column cost evenly over its rows.
+
+    Column ``i`` of the triangular element-pair loop has ``M − i`` rows (element
+    pairs); in the absence of finer measurements each row is assigned an equal
+    share of the measured column cost.  Used to simulate the *inner-loop*
+    parallelisation of the paper's Fig. 6.1.
+    """
+    costs = np.asarray(column_costs, dtype=float)
+    m = costs.size
+    rows = []
+    for index in range(m):
+        n_rows = m - index
+        rows.append(np.full(n_rows, costs[index] / n_rows))
+    return rows
+
+
+class ScheduleSimulator:
+    """Replays measured task costs under a schedule and a machine model."""
+
+    def __init__(self, task_costs: Sequence[float], machine: MachineModel) -> None:
+        costs = np.asarray(task_costs, dtype=float)
+        if costs.ndim != 1 or costs.size == 0:
+            raise ScheduleError("task_costs must be a non-empty 1D sequence")
+        if np.any(costs < 0.0) or not np.all(np.isfinite(costs)):
+            raise ScheduleError("task costs must be finite and non-negative")
+        self.task_costs = costs
+        self.machine = machine
+
+    # ------------------------------------------------------------------ outer loop
+
+    def run(self, schedule: Schedule, n_processors: int | None = None) -> SimulationResult:
+        """Simulate the outer-loop parallelisation (one task = one column)."""
+        machine = self._machine_for(n_processors)
+        costs = self.task_costs * machine.relative_speed
+        sequential = float(costs.sum())
+        n_tasks = costs.size
+        p = machine.n_processors
+
+        if schedule.kind is ScheduleKind.STATIC:
+            assignment = schedule.static_assignment(n_tasks, p)
+            busy = np.zeros(p)
+            finish = np.zeros(p)
+            n_chunks = 0
+            for worker, tasks in enumerate(assignment):
+                if not tasks:
+                    finish[worker] = machine.fork_join_overhead
+                    continue
+                chunk_size = schedule.chunk or max(1, int(np.ceil(n_tasks / p)))
+                worker_chunks = int(np.ceil(len(tasks) / chunk_size))
+                n_chunks += worker_chunks
+                work = float(costs[tasks].sum()) + len(tasks) * machine.per_task_overhead
+                busy[worker] = work
+                finish[worker] = (
+                    machine.fork_join_overhead
+                    + work
+                    + worker_chunks * machine.chunk_dispatch_overhead
+                )
+            makespan = float(finish.max())
+            return SimulationResult(
+                schedule=schedule.label(),
+                n_processors=p,
+                makespan=makespan,
+                sequential_time=sequential,
+                n_chunks=n_chunks,
+                worker_busy=busy,
+                worker_finish=finish,
+            )
+
+        # Dynamic and guided schedules: idle workers grab the next chunk.
+        chunks = schedule.chunk_sequence(n_tasks, p)
+        busy = np.zeros(p)
+        ready: list[tuple[float, int]] = [(machine.fork_join_overhead, w) for w in range(p)]
+        heapq.heapify(ready)
+        finish = np.full(p, machine.fork_join_overhead)
+        for chunk in chunks:
+            available_at, worker = heapq.heappop(ready)
+            chunk_cost = float(costs[chunk].sum()) + len(chunk) * machine.per_task_overhead
+            busy[worker] += chunk_cost
+            completion = available_at + machine.chunk_dispatch_overhead + chunk_cost
+            finish[worker] = completion
+            heapq.heappush(ready, (completion, worker))
+        makespan = float(finish.max())
+        return SimulationResult(
+            schedule=schedule.label(),
+            n_processors=p,
+            makespan=makespan,
+            sequential_time=sequential,
+            n_chunks=len(chunks),
+            worker_busy=busy,
+            worker_finish=finish,
+        )
+
+    # ------------------------------------------------------------------ inner loop
+
+    def run_inner_loop(
+        self,
+        schedule: Schedule,
+        n_processors: int | None = None,
+        row_costs: Sequence[np.ndarray] | None = None,
+    ) -> SimulationResult:
+        """Simulate the inner-loop parallelisation of the paper's Fig. 6.1.
+
+        The outer loop over columns stays sequential; inside every column the
+        rows are distributed over the processors with the given schedule, and a
+        fork/join (team synchronisation) is paid per column.  Row costs default
+        to an even split of each measured column cost.
+        """
+        machine = self._machine_for(n_processors)
+        p = machine.n_processors
+        if row_costs is None:
+            row_costs = rows_from_column_costs(self.task_costs)
+        sequential = float(sum(float(np.sum(rows)) for rows in row_costs))
+        total_makespan = 0.0
+        total_chunks = 0
+        busy = np.zeros(p)
+        for rows in row_costs:
+            rows = np.asarray(rows, dtype=float) * machine.relative_speed
+            column_simulator = ScheduleSimulator(rows, machine)
+            column_result = column_simulator.run(schedule, p)
+            total_makespan += column_result.makespan
+            total_chunks += column_result.n_chunks
+            busy += column_result.worker_busy
+        finish = np.full(p, total_makespan)
+        return SimulationResult(
+            schedule=schedule.label(),
+            n_processors=p,
+            makespan=total_makespan,
+            sequential_time=sequential * machine.relative_speed,
+            n_chunks=total_chunks,
+            worker_busy=busy,
+            worker_finish=finish,
+        )
+
+    # ------------------------------------------------------------------ sweeps
+
+    def speedup_curve(
+        self,
+        schedule: Schedule,
+        processor_counts: Sequence[int],
+        loop: str = "outer",
+        row_costs: Sequence[np.ndarray] | None = None,
+    ) -> list[SimulationResult]:
+        """Simulate a range of processor counts (the x-axis of Fig. 6.1)."""
+        results = []
+        for count in processor_counts:
+            if loop == "outer":
+                results.append(self.run(schedule, int(count)))
+            elif loop == "inner":
+                results.append(self.run_inner_loop(schedule, int(count), row_costs))
+            else:
+                raise ScheduleError(f"loop must be 'outer' or 'inner', got {loop!r}")
+        return results
+
+    # ------------------------------------------------------------------ helpers
+
+    def _machine_for(self, n_processors: int | None) -> MachineModel:
+        if n_processors is None:
+            return self.machine
+        return self.machine.with_processors(int(n_processors))

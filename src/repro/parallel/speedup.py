@@ -1,0 +1,175 @@
+"""Speed-up studies: real measurements plus simulator extrapolation.
+
+The paper's parallel evaluation consists of three artefacts:
+
+* Fig. 6.1 — speed-up versus processor count (1–64) for the outer-loop and the
+  inner-loop parallelisation of the Barberá two-layer analysis;
+* Table 6.2 — speed-up of the outer-loop parallelisation for every OpenMP
+  schedule (static/dynamic/guided × chunk) on 1, 2, 4 and 8 processors;
+* Table 6.3 — CPU time and speed-up of the Balaidos analysis for soil models
+  A/B/C on 1, 2, 4 and 8 processors.
+
+:func:`measure_speedup` produces the real-execution version of those tables on
+this host (bounded by its core count), while :func:`simulate_speedup_curve`
+replays the measured per-column costs on a configurable machine model to reach
+arbitrary processor counts.  Speed-ups are referenced to the sequential CPU
+time, exactly as in the paper ("the speed-up factor has been referenced to the
+sequential CPU time").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.bem.assembly import AssemblyOptions, assemble_system
+from repro.exceptions import ParallelExecutionError
+from repro.geometry.discretize import Mesh
+from repro.kernels.base import kernel_for_soil
+from repro.parallel.machine import MachineModel
+from repro.parallel.options import Backend, LoopLevel, ParallelOptions
+from repro.parallel.parallel_assembly import assemble_system_parallel
+from repro.parallel.schedule import Schedule
+from repro.parallel.simulator import ScheduleSimulator, SimulationResult
+from repro.soil.base import SoilModel
+
+__all__ = ["SpeedupStudy", "measure_speedup", "simulate_speedup_curve"]
+
+
+@dataclass
+class SpeedupStudy:
+    """Collection of speed-up measurements for one problem."""
+
+    #: Description of the analysed problem (grid, soil, discretisation).
+    problem: str
+    #: Sequential reference time of the matrix generation [s].
+    reference_seconds: float
+    #: One row per (schedule, processor-count) configuration.
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    #: Measured per-column task costs of the sequential run [s].
+    column_seconds: np.ndarray | None = None
+
+    def add_row(self, **row: Any) -> None:
+        """Append a measurement row."""
+        self.rows.append(dict(row))
+
+    def table(self) -> list[dict[str, Any]]:
+        """All rows (copy)."""
+        return [dict(row) for row in self.rows]
+
+    def speedup_matrix(self) -> dict[str, dict[int, float]]:
+        """Speed-ups keyed by schedule label then processor count (Table 6.2 layout)."""
+        matrix: dict[str, dict[int, float]] = {}
+        for row in self.rows:
+            matrix.setdefault(str(row["schedule"]), {})[int(row["n_processors"])] = float(
+                row["speedup"]
+            )
+        return matrix
+
+    def best_schedule(self, n_processors: int) -> str:
+        """Schedule with the highest speed-up at the given processor count."""
+        candidates = [row for row in self.rows if int(row["n_processors"]) == n_processors]
+        if not candidates:
+            raise ParallelExecutionError(
+                f"no measurements recorded for {n_processors} processors"
+            )
+        return str(max(candidates, key=lambda row: row["speedup"])["schedule"])
+
+
+def measure_speedup(
+    mesh: Mesh,
+    soil: SoilModel,
+    options: AssemblyOptions | None = None,
+    processor_counts: Sequence[int] = (1, 2, 4, 8),
+    schedules: Sequence[Schedule] | None = None,
+    backend: Backend | str = Backend.PROCESS,
+    loop: LoopLevel | str = LoopLevel.OUTER,
+    gpr: float = 1.0,
+    problem: str = "",
+) -> SpeedupStudy:
+    """Measure real parallel speed-ups of the matrix generation on this host.
+
+    The sequential reference is measured once with the plain sequential
+    assembler; every (schedule, processor count) combination is then executed
+    with the process (or thread) backend and the wall-clock time of the
+    scheduled loop recorded.
+    """
+    options = options or AssemblyOptions()
+    schedules = list(schedules) if schedules is not None else [Schedule.parse("Dynamic,1")]
+    kernel = kernel_for_soil(soil, options.series_control)
+
+    reference_system = assemble_system(
+        mesh, soil, gpr=gpr, options=options, kernel=kernel, collect_column_times=True
+    )
+    reference_seconds = float(reference_system.metadata["matrix_generation_seconds"])
+    column_seconds = np.asarray(reference_system.metadata["column_seconds"], dtype=float)
+
+    study = SpeedupStudy(
+        problem=problem or mesh.grid.name,
+        reference_seconds=reference_seconds,
+        column_seconds=column_seconds,
+    )
+
+    for schedule in schedules:
+        for count in processor_counts:
+            if int(count) == 1:
+                # The 1-processor entry is the sequential run itself (speed-up ~1),
+                # as in the paper's tables.
+                study.add_row(
+                    schedule=schedule.label(),
+                    n_processors=1,
+                    wall_seconds=reference_seconds,
+                    speedup=1.0,
+                    backend="sequential",
+                    loop=str(LoopLevel(loop).value),
+                )
+                continue
+            parallel = ParallelOptions(
+                n_workers=int(count), schedule=schedule, backend=backend, loop=loop
+            )
+            system = assemble_system_parallel(
+                mesh, soil, gpr=gpr, options=options, kernel=kernel, parallel=parallel
+            )
+            wall = float(system.metadata["parallel_wall_seconds"])
+            study.add_row(
+                schedule=schedule.label(),
+                n_processors=int(count),
+                wall_seconds=wall,
+                speedup=reference_seconds / wall if wall > 0 else float(count),
+                backend=parallel.backend.value,
+                loop=parallel.loop.value,
+            )
+    return study
+
+
+def simulate_speedup_curve(
+    column_seconds: Sequence[float],
+    processor_counts: Sequence[int],
+    schedule: Schedule | str = "Dynamic,1",
+    machine: MachineModel | None = None,
+    loop: LoopLevel | str = LoopLevel.OUTER,
+) -> list[SimulationResult]:
+    """Simulate the speed-up curve of Fig. 6.1 from measured column costs.
+
+    Parameters
+    ----------
+    column_seconds:
+        Per-column task costs measured on a sequential (or 1-worker) run.
+    processor_counts:
+        Processor counts to simulate (e.g. ``range(1, 65)``).
+    schedule:
+        Loop schedule (``"Dynamic,1"`` in the paper's figure).
+    machine:
+        Machine model; defaults to :meth:`MachineModel.origin2000`.
+    loop:
+        ``outer`` or ``inner`` loop parallelisation.
+    """
+    schedule = schedule if isinstance(schedule, Schedule) else Schedule.parse(str(schedule))
+    loop_level = LoopLevel(loop) if not isinstance(loop, LoopLevel) else loop
+    machine = machine or MachineModel.origin2000(max(int(p) for p in processor_counts))
+    simulator = ScheduleSimulator(np.asarray(column_seconds, dtype=float), machine)
+    return simulator.speedup_curve(
+        schedule, [int(p) for p in processor_counts], loop=loop_level.value
+    )

@@ -1,0 +1,38 @@
+"""Soil models for grounding analysis.
+
+The paper analyses grounding grids embedded in *horizontally stratified* soils:
+the ground is modelled as ``C`` horizontal layers, each with a constant scalar
+conductivity, the last one extending to infinite depth.  This sub-package
+provides:
+
+* :class:`~repro.soil.uniform.UniformSoil` — the single-layer ("uniform") model
+  that runs in real time on conventional computers,
+* :class:`~repro.soil.two_layer.TwoLayerSoil` — the two-layer model that is the
+  paper's main subject (and the source of the heavy image series),
+* :class:`~repro.soil.multilayer.MultiLayerSoil` — an arbitrary number of
+  layers (the paper notes three- and four-layer models need double and triple
+  series; we expose them through a numerically integrated kernel),
+* a Wenner four-probe measurement forward model and a least-squares inversion
+  (:mod:`repro.soil.wenner`, :mod:`repro.soil.inversion`) — the field procedure
+  by which the layer parameters are obtained in practice.
+
+Conductivities are expressed in (Ω·m)⁻¹ as in the paper; resistivities in Ω·m.
+"""
+
+from repro.soil.base import SoilModel
+from repro.soil.uniform import UniformSoil
+from repro.soil.two_layer import TwoLayerSoil
+from repro.soil.multilayer import MultiLayerSoil
+from repro.soil.wenner import wenner_apparent_resistivity, WennerSurvey
+from repro.soil.inversion import fit_two_layer_model, TwoLayerFit
+
+__all__ = [
+    "SoilModel",
+    "UniformSoil",
+    "TwoLayerSoil",
+    "MultiLayerSoil",
+    "wenner_apparent_resistivity",
+    "WennerSurvey",
+    "fit_two_layer_model",
+    "TwoLayerFit",
+]

@@ -1,0 +1,100 @@
+"""General multi-layer soil model (three or more layers).
+
+The paper restricts its parallel study to two-layer models and notes that
+three- and four-layer models involve double and triple image series with an
+even poorer convergence rate.  This class describes the general stratification;
+the corresponding integral kernel is evaluated numerically from the
+Hankel-transform (recursive reflection coefficient) representation in
+:mod:`repro.kernels.multilayer_kernel` rather than from explicit nested image
+series.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import SoilModelError
+from repro.soil.base import SoilModel
+from repro.soil.two_layer import TwoLayerSoil
+from repro.soil.uniform import UniformSoil
+
+__all__ = ["MultiLayerSoil"]
+
+
+class MultiLayerSoil(SoilModel):
+    """Horizontally stratified soil with an arbitrary number of layers.
+
+    Parameters
+    ----------
+    conductivities:
+        Layer conductivities, top to bottom, in (Ω·m)⁻¹.
+    thicknesses:
+        Thicknesses of every layer except the last (which extends to infinite
+        depth), in metres.
+    """
+
+    def __init__(self, conductivities: Sequence[float], thicknesses: Sequence[float]) -> None:
+        conductivities = tuple(float(g) for g in conductivities)
+        thicknesses = tuple(float(t) for t in thicknesses)
+        self._validate(conductivities, thicknesses)
+        self._conductivities = conductivities
+        self._thicknesses = thicknesses
+
+    @classmethod
+    def from_resistivities(
+        cls, resistivities: Sequence[float], thicknesses: Sequence[float]
+    ) -> "MultiLayerSoil":
+        """Build the model from layer resistivities in Ω·m."""
+        resistivities = tuple(float(r) for r in resistivities)
+        if any(r <= 0.0 for r in resistivities):
+            raise SoilModelError("resistivities must be positive")
+        return cls(tuple(1.0 / r for r in resistivities), thicknesses)
+
+    # -- SoilModel interface ----------------------------------------------------
+
+    @property
+    def conductivities(self) -> tuple[float, ...]:
+        return self._conductivities
+
+    @property
+    def thicknesses(self) -> tuple[float, ...]:
+        return self._thicknesses
+
+    # -- conversions -------------------------------------------------------------
+
+    def simplify(self) -> SoilModel:
+        """Return the most specific model for the data.
+
+        * one layer  -> :class:`~repro.soil.uniform.UniformSoil`
+        * two layers -> :class:`~repro.soil.two_layer.TwoLayerSoil`
+        * otherwise  -> ``self``
+
+        Adjacent layers with (numerically) identical conductivities are merged
+        before deciding.
+        """
+        merged_gammas: list[float] = [self._conductivities[0]]
+        merged_thicknesses: list[float] = []
+        pending_thickness = list(self._thicknesses) + [float("inf")]
+        accumulated = pending_thickness[0]
+        for gamma, thickness in zip(self._conductivities[1:], pending_thickness[1:]):
+            if np.isclose(gamma, merged_gammas[-1], rtol=1e-12, atol=0.0):
+                accumulated += thickness
+            else:
+                merged_thicknesses.append(accumulated)
+                merged_gammas.append(gamma)
+                accumulated = thickness
+        if len(merged_gammas) == 1:
+            return UniformSoil(merged_gammas[0])
+        if len(merged_gammas) == 2:
+            return TwoLayerSoil(merged_gammas[0], merged_gammas[1], merged_thicknesses[0])
+        return MultiLayerSoil(tuple(merged_gammas), tuple(merged_thicknesses))
+
+    def reflection_coefficients(self) -> tuple[float, ...]:
+        """Interface reflection coefficients κ_c = (γ_c − γ_{c+1}) / (γ_c + γ_{c+1})."""
+        gammas = self._conductivities
+        return tuple(
+            (gammas[c] - gammas[c + 1]) / (gammas[c] + gammas[c + 1])
+            for c in range(len(gammas) - 1)
+        )

@@ -1,0 +1,96 @@
+"""Two-layer soil model.
+
+The paper's central soil model: an upper layer of conductivity ``γ_1`` and
+thickness ``h`` over a lower half-space of conductivity ``γ_2``.  The key
+parameter of the image-series kernels is the ratio (paper, Section 3)
+
+    ``κ = (γ_1 - γ_2) / (γ_1 + γ_2)``,
+
+whose absolute value is strictly below one for physical conductivities and
+controls the convergence rate of the series: the closer the two conductivities,
+the faster the series converges (κ → 0 recovers the uniform soil, where only
+two image terms remain).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import SoilModelError
+from repro.soil.base import SoilModel
+from repro.soil.uniform import UniformSoil
+
+__all__ = ["TwoLayerSoil"]
+
+
+class TwoLayerSoil(SoilModel):
+    """Upper layer over an infinite lower half-space.
+
+    Parameters
+    ----------
+    upper_conductivity:
+        Conductivity γ₁ of the top layer [(Ω·m)⁻¹].
+    lower_conductivity:
+        Conductivity γ₂ of the half-space below the interface [(Ω·m)⁻¹].
+    upper_thickness:
+        Thickness h of the top layer [m].
+    """
+
+    def __init__(
+        self,
+        upper_conductivity: float,
+        lower_conductivity: float,
+        upper_thickness: float,
+    ) -> None:
+        self._validate((upper_conductivity, lower_conductivity), (upper_thickness,))
+        self._gamma1 = float(upper_conductivity)
+        self._gamma2 = float(lower_conductivity)
+        self._thickness = float(upper_thickness)
+
+    @classmethod
+    def from_resistivities(
+        cls, upper_resistivity: float, lower_resistivity: float, upper_thickness: float
+    ) -> "TwoLayerSoil":
+        """Build the model from layer resistivities in Ω·m."""
+        if upper_resistivity <= 0.0 or lower_resistivity <= 0.0:
+            raise SoilModelError("resistivities must be positive")
+        return cls(1.0 / upper_resistivity, 1.0 / lower_resistivity, upper_thickness)
+
+    # -- named accessors ---------------------------------------------------------
+
+    @property
+    def upper_conductivity(self) -> float:
+        """Conductivity γ₁ of the top layer [(Ω·m)⁻¹]."""
+        return self._gamma1
+
+    @property
+    def lower_conductivity(self) -> float:
+        """Conductivity γ₂ of the lower half-space [(Ω·m)⁻¹]."""
+        return self._gamma2
+
+    @property
+    def upper_thickness(self) -> float:
+        """Thickness h of the top layer [m]."""
+        return self._thickness
+
+    @property
+    def kappa(self) -> float:
+        """Reflection ratio κ = (γ₁ - γ₂) / (γ₁ + γ₂) (paper, Section 3)."""
+        return (self._gamma1 - self._gamma2) / (self._gamma1 + self._gamma2)
+
+    @property
+    def resistivity_contrast(self) -> float:
+        """Ratio ρ₂ / ρ₁ = γ₁ / γ₂ of the layer resistivities."""
+        return self._gamma1 / self._gamma2
+
+    def as_uniform(self, layer: int = 1) -> UniformSoil:
+        """The uniform model obtained by keeping only one of the two layers."""
+        return UniformSoil(self.conductivity_of_layer(layer))
+
+    # -- SoilModel interface ----------------------------------------------------
+
+    @property
+    def conductivities(self) -> tuple[float, ...]:
+        return (self._gamma1, self._gamma2)
+
+    @property
+    def thicknesses(self) -> tuple[float, ...]:
+        return (self._thickness,)

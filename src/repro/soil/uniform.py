@@ -1,0 +1,56 @@
+"""Single-layer ("uniform") soil model.
+
+This is the model used by most classical grounding-analysis methods and the
+one for which the paper's BEM formulation "runs in real time in personal
+computers": the image series of the kernel collapses to just two terms (the
+source and its mirror image above the earth surface).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import SoilModelError
+from repro.soil.base import SoilModel
+
+__all__ = ["UniformSoil"]
+
+
+class UniformSoil(SoilModel):
+    """Homogeneous, isotropic soil of a single scalar conductivity.
+
+    Parameters
+    ----------
+    conductivity:
+        Apparent soil conductivity γ in (Ω·m)⁻¹ (the paper's Barberá uniform
+        model uses γ = 0.016 (Ω·m)⁻¹, i.e. ρ = 62.5 Ω·m).
+    """
+
+    def __init__(self, conductivity: float) -> None:
+        self._validate((conductivity,), ())
+        self._conductivity = float(conductivity)
+
+    @classmethod
+    def from_resistivity(cls, resistivity: float) -> "UniformSoil":
+        """Build the model from a resistivity ρ in Ω·m."""
+        if resistivity <= 0.0:
+            raise SoilModelError(f"resistivity must be positive, got {resistivity!r}")
+        return cls(1.0 / float(resistivity))
+
+    @property
+    def conductivity(self) -> float:
+        """Soil conductivity γ [(Ω·m)⁻¹]."""
+        return self._conductivity
+
+    @property
+    def resistivity(self) -> float:
+        """Soil resistivity ρ [Ω·m]."""
+        return 1.0 / self._conductivity
+
+    # -- SoilModel interface ----------------------------------------------------
+
+    @property
+    def conductivities(self) -> tuple[float, ...]:
+        return (self._conductivity,)
+
+    @property
+    def thicknesses(self) -> tuple[float, ...]:
+        return ()

@@ -1,0 +1,159 @@
+"""Wenner four-probe soil-resistivity sounding (forward model).
+
+The layer conductivities and thicknesses used by the paper "must be
+experimentally obtained" (Section 2).  In practice they come from a Wenner
+survey: four equally spaced probes are driven into the ground, a current is
+injected through the outer pair and the voltage across the inner pair gives an
+*apparent resistivity* for each probe spacing ``a``.  Short spacings sample the
+shallow soil, long spacings the deep soil; fitting the measured
+``ρ_a(a)`` curve yields the layered model (see :mod:`repro.soil.inversion`).
+
+For a two-layer soil the classical expression of the apparent resistivity is
+
+    ``ρ_a(a) = ρ₁ [ 1 + 4 Σ_{n≥1} κⁿ ( (1 + (2 n h / a)²)^{-1/2}
+                                        − (4 + (2 n h / a)²)^{-1/2} ) ]``
+
+with ``κ = (ρ₂ − ρ₁)/(ρ₂ + ρ₁) = (γ₁ − γ₂)/(γ₁ + γ₂)`` — the same reflection
+ratio that drives the BEM image series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import SoilModelError
+from repro.soil.base import SoilModel
+from repro.soil.two_layer import TwoLayerSoil
+from repro.soil.uniform import UniformSoil
+
+__all__ = ["wenner_apparent_resistivity", "WennerSurvey"]
+
+
+def wenner_apparent_resistivity(
+    soil: SoilModel,
+    spacings: Sequence[float] | np.ndarray,
+    tolerance: float = 1.0e-9,
+    max_terms: int = 10_000,
+) -> np.ndarray:
+    """Apparent resistivity measured by a Wenner array over a layered soil.
+
+    Parameters
+    ----------
+    soil:
+        A uniform or two-layer soil model (deeper stratifications are not
+        supported by the closed-form series).
+    spacings:
+        Probe spacings ``a`` [m]; must be strictly positive.
+    tolerance:
+        Relative truncation tolerance of the image series.
+    max_terms:
+        Hard cap on the number of series terms.
+
+    Returns
+    -------
+    numpy.ndarray
+        Apparent resistivities [Ω·m], one per spacing.
+    """
+    a = np.asarray(spacings, dtype=float)
+    if a.ndim == 0:
+        a = a.reshape(1)
+    if np.any(a <= 0.0) or not np.all(np.isfinite(a)):
+        raise SoilModelError("Wenner spacings must be positive and finite")
+
+    if isinstance(soil, UniformSoil) or soil.n_layers == 1:
+        return np.full_like(a, 1.0 / soil.conductivities[0])
+
+    if not isinstance(soil, TwoLayerSoil):
+        if soil.n_layers == 2:
+            soil = TwoLayerSoil(
+                soil.conductivities[0], soil.conductivities[1], soil.thicknesses[0]
+            )
+        else:
+            raise SoilModelError(
+                "the closed-form Wenner series only supports uniform and two-layer soils; "
+                f"got {soil.n_layers} layers"
+            )
+
+    rho1 = 1.0 / soil.upper_conductivity
+    kappa = soil.kappa
+    h = soil.upper_thickness
+
+    if abs(kappa) < 1.0e-15:
+        return np.full_like(a, rho1)
+
+    total = np.zeros_like(a)
+    for n in range(1, max_terms + 1):
+        ratio = 2.0 * n * h / a
+        term = kappa**n * (1.0 / np.sqrt(1.0 + ratio**2) - 1.0 / np.sqrt(4.0 + ratio**2))
+        total += term
+        # The term magnitude is bounded by |kappa|^n; stop when that bound is
+        # negligible relative to the accumulated series.
+        if abs(kappa) ** n < tolerance * max(1.0, float(np.abs(total).max())):
+            break
+    return rho1 * (1.0 + 4.0 * total)
+
+
+@dataclass
+class WennerSurvey:
+    """A set of Wenner measurements (spacing, apparent resistivity) pairs.
+
+    The class is a thin container used by the inversion routine and the
+    examples; it can also synthesise noisy measurements from a known soil model
+    for testing and demonstration purposes.
+    """
+
+    spacings: np.ndarray
+    apparent_resistivities: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.spacings = np.asarray(self.spacings, dtype=float)
+        self.apparent_resistivities = np.asarray(self.apparent_resistivities, dtype=float)
+        if self.spacings.shape != self.apparent_resistivities.shape:
+            raise SoilModelError("spacings and apparent resistivities must have equal shapes")
+        if self.spacings.ndim != 1 or self.spacings.size < 1:
+            raise SoilModelError("a survey needs at least one measurement")
+        if np.any(self.spacings <= 0.0):
+            raise SoilModelError("Wenner spacings must be positive")
+        if np.any(self.apparent_resistivities <= 0.0):
+            raise SoilModelError("apparent resistivities must be positive")
+
+    @property
+    def n_measurements(self) -> int:
+        """Number of (spacing, resistivity) pairs."""
+        return int(self.spacings.size)
+
+    @classmethod
+    def synthetic(
+        cls,
+        soil: SoilModel,
+        spacings: Sequence[float],
+        noise_fraction: float = 0.0,
+        seed: int | None = None,
+    ) -> "WennerSurvey":
+        """Generate measurements from a known soil model (optionally noisy).
+
+        Parameters
+        ----------
+        soil:
+            The true soil model.
+        spacings:
+            Probe spacings [m].
+        noise_fraction:
+            Standard deviation of multiplicative log-normal noise (0 = exact).
+        seed:
+            Seed of the random generator used for the noise.
+        """
+        spacings_arr = np.asarray(spacings, dtype=float)
+        rho = wenner_apparent_resistivity(soil, spacings_arr)
+        if noise_fraction > 0.0:
+            rng = np.random.default_rng(seed)
+            rho = rho * np.exp(rng.normal(0.0, noise_fraction, size=rho.shape))
+        return cls(
+            spacings=spacings_arr,
+            apparent_resistivities=rho,
+            metadata={"synthetic": True, "noise_fraction": noise_fraction},
+        )

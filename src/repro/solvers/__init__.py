@@ -1,0 +1,74 @@
+"""Linear solvers for the dense, symmetric positive definite Galerkin system.
+
+The paper (Section 4.3) notes that for small and medium problems the matrix
+generation dominates while for large ones the ``O(N³/3)`` direct solve would
+prevail, and that "the best results have been obtained by a diagonal
+preconditioned conjugate gradient algorithm with assembly of the global
+matrix".  Both families are provided:
+
+* :func:`repro.solvers.direct.solve_direct` — Cholesky (falling back to LU);
+* :func:`repro.solvers.cg.conjugate_gradient` — plain and Jacobi (diagonal)
+  preconditioned CG with full convergence diagnostics.
+
+:func:`solve_system` picks a solver by name, which is how the rest of the
+library requests one.
+"""
+
+from repro.solvers.result import SolveResult
+from repro.solvers.direct import solve_direct
+from repro.solvers.cg import conjugate_gradient
+from repro.solvers.preconditioners import jacobi_preconditioner, identity_preconditioner
+
+import numpy as np
+
+from repro.exceptions import SolverError
+
+__all__ = [
+    "SolveResult",
+    "solve_direct",
+    "conjugate_gradient",
+    "jacobi_preconditioner",
+    "identity_preconditioner",
+    "solve_system",
+    "SOLVER_NAMES",
+]
+
+#: Names accepted by :func:`solve_system`.
+SOLVER_NAMES = ("cholesky", "lu", "cg", "pcg")
+
+
+def solve_system(
+    matrix: np.ndarray,
+    rhs: np.ndarray,
+    method: str = "pcg",
+    tolerance: float = 1.0e-10,
+    max_iterations: int | None = None,
+) -> SolveResult:
+    """Solve ``matrix @ x = rhs`` with the requested method.
+
+    Parameters
+    ----------
+    matrix, rhs:
+        The dense symmetric system.
+    method:
+        One of ``"cholesky"``, ``"lu"``, ``"cg"`` (unpreconditioned) or
+        ``"pcg"`` (diagonal preconditioned conjugate gradient — the paper's
+        preferred solver and the default).
+    tolerance:
+        Relative residual tolerance for the iterative solvers.
+    max_iterations:
+        Iteration cap for the iterative solvers (defaults to ``10 n``).
+    """
+    method = str(method).lower()
+    if method not in SOLVER_NAMES:
+        raise SolverError(f"unknown solver {method!r}; expected one of {SOLVER_NAMES}")
+    if method in ("cholesky", "lu"):
+        return solve_direct(matrix, rhs, method=method)
+    preconditioner = jacobi_preconditioner(matrix) if method == "pcg" else None
+    return conjugate_gradient(
+        matrix,
+        rhs,
+        preconditioner=preconditioner,
+        tolerance=tolerance,
+        max_iterations=max_iterations,
+    )

@@ -1,0 +1,128 @@
+"""Conjugate-gradient solver with optional (diagonal) preconditioning.
+
+The paper reports that "the best results have been obtained by a diagonal
+preconditioned conjugate gradient algorithm with assembly of the global
+matrix", which for the dense symmetric positive definite grounding system
+"turned out to be extremely efficient ... with a very low computational cost in
+comparison with matrix generation".  The implementation below is a standard
+preconditioned CG on dense NumPy arrays, recording the residual history so
+tests and ablation benchmarks can inspect the convergence behaviour.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError, SolverError
+from repro.solvers.preconditioners import Preconditioner, identity_preconditioner
+from repro.solvers.result import SolveResult
+
+__all__ = ["conjugate_gradient"]
+
+
+def conjugate_gradient(
+    matrix: np.ndarray,
+    rhs: np.ndarray,
+    preconditioner: Preconditioner | None = None,
+    tolerance: float = 1.0e-10,
+    max_iterations: int | None = None,
+    raise_on_failure: bool = False,
+) -> SolveResult:
+    """Solve ``matrix @ x = rhs`` with (preconditioned) conjugate gradients.
+
+    Parameters
+    ----------
+    matrix:
+        Dense symmetric positive definite matrix.
+    rhs:
+        Right-hand side vector.
+    preconditioner:
+        Callable applying ``M⁻¹``; ``None`` means plain CG.
+    tolerance:
+        Convergence criterion on the relative residual ``|r| / |b|``.
+    max_iterations:
+        Iteration cap (default ``10 n``, generously above the theoretical
+        ``n``-step termination to absorb round-off).
+    raise_on_failure:
+        When ``True`` raise :class:`~repro.exceptions.ConvergenceError` instead
+        of returning a result flagged ``converged=False``.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    rhs = np.asarray(rhs, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise SolverError(f"the system matrix must be square, got shape {matrix.shape}")
+    n = matrix.shape[0]
+    if rhs.shape != (n,):
+        raise SolverError(f"right-hand side shape {rhs.shape} does not match matrix size {n}")
+    if tolerance <= 0.0:
+        raise SolverError("the CG tolerance must be positive")
+    if max_iterations is None:
+        max_iterations = 10 * n
+    if max_iterations < 1:
+        raise SolverError("max_iterations must be at least 1")
+    apply_preconditioner = preconditioner or identity_preconditioner()
+
+    start = time.perf_counter()
+    x = np.zeros(n)
+    r = rhs.copy()
+    rhs_norm = float(np.linalg.norm(rhs))
+    if rhs_norm == 0.0:
+        return SolveResult(
+            solution=x,
+            method="pcg" if preconditioner is not None else "cg",
+            iterations=0,
+            residual=0.0,
+            converged=True,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    z = apply_preconditioner(r)
+    p = z.copy()
+    rz = float(r @ z)
+    history: list[float] = []
+    iterations = 0
+    converged = False
+
+    for iteration in range(1, max_iterations + 1):
+        iterations = iteration
+        ap = matrix @ p
+        pap = float(p @ ap)
+        if pap <= 0.0:
+            raise SolverError(
+                "the matrix is not positive definite (p'Ap <= 0 encountered in CG)"
+            )
+        alpha = rz / pap
+        x += alpha * p
+        r -= alpha * ap
+        residual = float(np.linalg.norm(r)) / rhs_norm
+        history.append(residual)
+        if residual < tolerance:
+            converged = True
+            break
+        z = apply_preconditioner(r)
+        rz_new = float(r @ z)
+        beta = rz_new / rz
+        rz = rz_new
+        p = z + beta * p
+
+    elapsed = time.perf_counter() - start
+    final_residual = history[-1] if history else 0.0
+    if not converged and raise_on_failure:
+        raise ConvergenceError(
+            f"CG did not reach tolerance {tolerance:g} within {max_iterations} iterations "
+            f"(residual {final_residual:.3e})"
+        )
+    # ~ (2 n^2 + 10 n) flops per iteration: one mat-vec plus a few axpys/dots.
+    flops = iterations * (2.0 * n * n + 10.0 * n)
+    return SolveResult(
+        solution=x,
+        method="pcg" if preconditioner is not None else "cg",
+        iterations=iterations,
+        residual=final_residual,
+        converged=converged,
+        elapsed_seconds=elapsed,
+        estimated_flops=flops,
+        residual_history=history,
+    )

@@ -1,0 +1,53 @@
+"""Preconditioners for the conjugate-gradient solver.
+
+Only the diagonal (Jacobi) preconditioner is needed to reproduce the paper —
+it is the "diagonal preconditioned conjugate gradient algorithm" that the
+authors found most effective — but the interface accepts any callable applying
+``M⁻¹`` to a vector, so richer preconditioners can be plugged in.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import SolverError
+
+__all__ = ["identity_preconditioner", "jacobi_preconditioner", "Preconditioner"]
+
+#: A preconditioner is a callable applying ``M⁻¹`` to a residual vector.
+Preconditioner = Callable[[np.ndarray], np.ndarray]
+
+
+def identity_preconditioner(matrix: np.ndarray | None = None) -> Preconditioner:
+    """The do-nothing preconditioner (plain CG)."""
+
+    def apply(residual: np.ndarray) -> np.ndarray:
+        return residual
+
+    return apply
+
+
+def jacobi_preconditioner(matrix: np.ndarray) -> Preconditioner:
+    """Diagonal (Jacobi) preconditioner ``M = diag(A)``.
+
+    Raises
+    ------
+    SolverError
+        If the matrix has non-positive diagonal entries (the Galerkin matrix of
+        the grounding problem is positive definite, so its diagonal is
+        strictly positive).
+    """
+    diagonal = np.asarray(np.diag(matrix), dtype=float).copy()
+    if np.any(diagonal <= 0.0) or not np.all(np.isfinite(diagonal)):
+        raise SolverError(
+            "the Jacobi preconditioner requires a strictly positive diagonal; "
+            "the assembled system looks invalid"
+        )
+    inverse_diagonal = 1.0 / diagonal
+
+    def apply(residual: np.ndarray) -> np.ndarray:
+        return inverse_diagonal * residual
+
+    return apply

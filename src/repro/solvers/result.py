@@ -1,0 +1,47 @@
+"""Common result object returned by every linear solver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SolveResult"]
+
+
+@dataclass
+class SolveResult:
+    """Solution of a dense linear system plus solver diagnostics."""
+
+    #: Solution vector.
+    solution: np.ndarray
+    #: Name of the method that produced it ("cholesky", "lu", "cg", "pcg").
+    method: str
+    #: Number of iterations (0 for direct methods).
+    iterations: int = 0
+    #: Final relative residual ``|A x − b| / |b|``.
+    residual: float = 0.0
+    #: Whether the solver reached its convergence criterion.
+    converged: bool = True
+    #: Wall-clock seconds spent in the solver.
+    elapsed_seconds: float = 0.0
+    #: Estimated floating point operation count of the solve.
+    estimated_flops: float = 0.0
+    #: Relative residual after each iteration (iterative solvers only).
+    residual_history: list[float] = field(default_factory=list)
+
+    @property
+    def n_unknowns(self) -> int:
+        """Size of the solved system."""
+        return int(np.asarray(self.solution).shape[0])
+
+    def summary(self) -> dict:
+        """Compact dictionary used in reports and experiment logs."""
+        return {
+            "method": self.method,
+            "n_unknowns": self.n_unknowns,
+            "iterations": self.iterations,
+            "residual": self.residual,
+            "converged": self.converged,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+        }

@@ -1,0 +1,157 @@
+"""Tests for the sequential assembly of the Galerkin system."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bem.assembly import (
+    AssemblyOptions,
+    ColumnResult,
+    assemble_from_columns,
+    assemble_rhs,
+    assemble_system,
+    compute_column,
+)
+from repro.bem.elements import DofManager, ElementType
+from repro.bem.influence import ColumnAssembler
+from repro.exceptions import AssemblyError
+from repro.kernels.base import kernel_for_soil
+from repro.kernels.series import SeriesControl
+
+
+class TestAssemblyOptions:
+    def test_defaults(self):
+        options = AssemblyOptions()
+        assert options.element_type is ElementType.LINEAR
+        assert options.n_gauss >= 1
+
+    def test_string_element_type(self):
+        options = AssemblyOptions(element_type="constant")
+        assert options.element_type is ElementType.CONSTANT
+
+    def test_rejects_bad_gauss(self):
+        with pytest.raises(AssemblyError):
+            AssemblyOptions(n_gauss=0)
+
+
+class TestRhs:
+    def test_rhs_scales_with_gpr(self, small_dofs):
+        rhs_1 = assemble_rhs(small_dofs, gpr=1.0)
+        rhs_2 = assemble_rhs(small_dofs, gpr=2000.0)
+        assert np.allclose(rhs_2, 2000.0 * rhs_1)
+
+    def test_rhs_sum_is_gpr_times_length(self, small_dofs, small_mesh):
+        rhs = assemble_rhs(small_dofs, gpr=500.0)
+        assert rhs.sum() == pytest.approx(500.0 * small_mesh.total_length)
+
+    def test_rejects_bad_gpr(self, small_dofs):
+        with pytest.raises(AssemblyError):
+            assemble_rhs(small_dofs, gpr=0.0)
+
+
+class TestAssembledSystem:
+    def test_shapes_and_metadata(self, small_system, small_mesh):
+        assert small_system.matrix.shape == (small_mesh.n_nodes, small_mesh.n_nodes)
+        assert small_system.rhs.shape == (small_mesh.n_nodes,)
+        assert small_system.metadata["n_elements"] == small_mesh.n_elements
+        assert small_system.metadata["backend"] == "sequential"
+        assert "column_seconds" in small_system.metadata
+
+    def test_matrix_symmetric(self, small_system):
+        assert small_system.symmetry_error() < 1e-13
+
+    def test_matrix_positive_definite(self, small_system):
+        eigenvalues = np.linalg.eigvalsh(small_system.matrix)
+        assert eigenvalues.min() > 0.0
+
+    def test_matrix_entries_positive(self, small_system):
+        # The grounding kernel is positive, hence so are all Galerkin entries.
+        assert np.all(small_system.matrix > 0.0)
+
+    def test_column_times_recorded(self, small_system, small_mesh):
+        times = small_system.metadata["column_seconds"]
+        assert len(times) == small_mesh.n_elements
+        assert np.all(np.asarray(times) >= 0.0)
+
+    def test_column_order_does_not_change_matrix(self, small_mesh, uniform_soil):
+        forward = assemble_system(small_mesh, uniform_soil, gpr=100.0)
+        reversed_order = assemble_system(
+            small_mesh,
+            uniform_soil,
+            gpr=100.0,
+            column_order=list(reversed(range(small_mesh.n_elements))),
+        )
+        assert np.allclose(forward.matrix, reversed_order.matrix, rtol=1e-14)
+
+    def test_constant_elements_system(self, small_mesh, uniform_soil):
+        system = assemble_system(
+            small_mesh,
+            uniform_soil,
+            gpr=100.0,
+            options=AssemblyOptions(element_type=ElementType.CONSTANT),
+        )
+        assert system.matrix.shape == (small_mesh.n_elements, small_mesh.n_elements)
+        assert np.linalg.eigvalsh(system.matrix).min() > 0.0
+
+    def test_two_layer_system_spd(self, rodded_mesh, two_layer_soil):
+        system = assemble_system(
+            rodded_mesh,
+            two_layer_soil,
+            gpr=100.0,
+            options=AssemblyOptions(series_control=SeriesControl(tolerance=1e-6)),
+        )
+        assert system.symmetry_error() < 1e-13
+        assert np.linalg.eigvalsh(system.matrix).min() > 0.0
+        assert system.metadata["soil_layers"] == 2
+        assert system.metadata["kernel_terms"]["k11"] > 2
+
+
+class TestAssembleFromColumns:
+    def test_matches_direct_assembly(self, small_mesh, uniform_soil, small_system):
+        kernel = kernel_for_soil(uniform_soil)
+        dofs = DofManager(small_mesh, ElementType.LINEAR)
+        assembler = ColumnAssembler(small_mesh, kernel, dofs, n_gauss=4)
+        columns = [compute_column(assembler, i) for i in range(small_mesh.n_elements)]
+        system = assemble_from_columns(columns, dofs, gpr=1000.0)
+        assert np.allclose(system.matrix, small_system.matrix, rtol=1e-14)
+        assert np.allclose(system.rhs, small_system.rhs)
+
+    def test_rejects_duplicate_columns(self, small_mesh, uniform_soil):
+        kernel = kernel_for_soil(uniform_soil)
+        dofs = DofManager(small_mesh, ElementType.LINEAR)
+        assembler = ColumnAssembler(small_mesh, kernel, dofs, n_gauss=4)
+        column = compute_column(assembler, 0)
+        with pytest.raises(AssemblyError):
+            assemble_from_columns([column, column], dofs, gpr=1000.0)
+
+    def test_rejects_missing_columns(self, small_mesh, uniform_soil):
+        kernel = kernel_for_soil(uniform_soil)
+        dofs = DofManager(small_mesh, ElementType.LINEAR)
+        assembler = ColumnAssembler(small_mesh, kernel, dofs, n_gauss=4)
+        columns = [compute_column(assembler, 0)]
+        with pytest.raises(AssemblyError):
+            assemble_from_columns(columns, dofs, gpr=1000.0)
+
+    def test_column_result_records_time(self, small_mesh, uniform_soil):
+        kernel = kernel_for_soil(uniform_soil)
+        dofs = DofManager(small_mesh, ElementType.LINEAR)
+        assembler = ColumnAssembler(small_mesh, kernel, dofs, n_gauss=4)
+        column = compute_column(assembler, 0)
+        assert isinstance(column, ColumnResult)
+        assert column.elapsed_seconds >= 0.0
+        assert column.targets.size == small_mesh.n_elements
+
+
+class TestRefinementConvergence:
+    def test_resistance_converges_under_refinement(self, small_grid, uniform_soil):
+        """Mesh refinement changes Req by less than a few percent."""
+        from repro.bem.formulation import GroundingAnalysis
+
+        coarse = GroundingAnalysis(small_grid, uniform_soil, gpr=1000.0).run()
+        fine = GroundingAnalysis(
+            small_grid, uniform_soil, gpr=1000.0, max_element_length=3.0
+        ).run()
+        assert fine.equivalent_resistance == pytest.approx(
+            coarse.equivalent_resistance, rel=0.05
+        )

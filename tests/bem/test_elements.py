@@ -1,0 +1,115 @@
+"""Unit tests for element types and the dof manager."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bem.elements import DofManager, ElementType
+from repro.exceptions import AssemblyError
+
+
+class TestElementType:
+    def test_basis_counts(self):
+        assert ElementType.CONSTANT.basis_per_element == 1
+        assert ElementType.LINEAR.basis_per_element == 2
+
+    def test_from_string(self):
+        assert ElementType("linear") is ElementType.LINEAR
+        assert ElementType("constant") is ElementType.CONSTANT
+
+
+class TestDofCounts:
+    def test_linear_dofs_equal_nodes(self, small_mesh):
+        manager = DofManager(small_mesh, ElementType.LINEAR)
+        assert manager.n_dofs == small_mesh.n_nodes
+        assert manager.n_elements == small_mesh.n_elements
+
+    def test_constant_dofs_equal_elements(self, small_mesh):
+        manager = DofManager(small_mesh, ElementType.CONSTANT)
+        assert manager.n_dofs == small_mesh.n_elements
+
+    def test_string_element_type_accepted(self, small_mesh):
+        manager = DofManager(small_mesh, "constant")
+        assert manager.element_type is ElementType.CONSTANT
+
+
+class TestElementDofs:
+    def test_linear_dofs_are_node_ids(self, small_mesh):
+        manager = DofManager(small_mesh, ElementType.LINEAR)
+        element = small_mesh.elements[3]
+        assert manager.element_dofs(element).tolist() == list(element.node_ids)
+
+    def test_constant_dofs_are_element_index(self, small_mesh):
+        manager = DofManager(small_mesh, ElementType.CONSTANT)
+        element = small_mesh.elements[3]
+        assert manager.element_dofs(element).tolist() == [3]
+
+    def test_dof_matrix_shape(self, small_mesh):
+        linear = DofManager(small_mesh, ElementType.LINEAR)
+        constant = DofManager(small_mesh, ElementType.CONSTANT)
+        assert linear.element_dof_matrix().shape == (small_mesh.n_elements, 2)
+        assert constant.element_dof_matrix().shape == (small_mesh.n_elements, 1)
+
+
+class TestBasisIntegrals:
+    def test_linear_integrals(self, small_mesh):
+        manager = DofManager(small_mesh, ElementType.LINEAR)
+        element = small_mesh.elements[0]
+        integrals = manager.basis_integrals(element)
+        assert integrals.sum() == pytest.approx(element.length)
+        assert integrals[0] == pytest.approx(integrals[1])
+
+    def test_constant_integrals(self, small_mesh):
+        manager = DofManager(small_mesh, ElementType.CONSTANT)
+        element = small_mesh.elements[0]
+        assert manager.basis_integrals(element)[0] == pytest.approx(element.length)
+
+    def test_global_integrals_sum_to_total_length(self, small_mesh):
+        for element_type in ElementType:
+            manager = DofManager(small_mesh, element_type)
+            g = manager.assemble_basis_integrals()
+            assert g.shape == (manager.n_dofs,)
+            assert g.sum() == pytest.approx(small_mesh.total_length)
+            assert np.all(g > 0.0)
+
+
+class TestShapeValues:
+    def test_linear_partition_of_unity(self, small_mesh):
+        manager = DofManager(small_mesh, ElementType.LINEAR)
+        t = np.linspace(0.0, 1.0, 7)
+        values = manager.shape_values(t)
+        assert values.shape == (7, 2)
+        assert np.allclose(values.sum(axis=1), 1.0)
+        assert np.allclose(values[0], [1.0, 0.0])
+        assert np.allclose(values[-1], [0.0, 1.0])
+
+    def test_constant_shape_values(self, small_mesh):
+        manager = DofManager(small_mesh, ElementType.CONSTANT)
+        values = manager.shape_values(np.array([0.2, 0.9]))
+        assert np.allclose(values, 1.0)
+
+    def test_out_of_range_rejected(self, small_mesh):
+        manager = DofManager(small_mesh, ElementType.LINEAR)
+        with pytest.raises(AssemblyError):
+            manager.shape_values(np.array([1.5]))
+
+
+class TestDensityHelpers:
+    def test_element_mean_density_linear(self, small_mesh):
+        manager = DofManager(small_mesh, ElementType.LINEAR)
+        values = np.arange(manager.n_dofs, dtype=float)
+        means = manager.element_mean_density(values)
+        element = small_mesh.elements[0]
+        expected = 0.5 * (values[element.node_ids[0]] + values[element.node_ids[1]])
+        assert means[0] == pytest.approx(expected)
+
+    def test_element_mean_density_constant(self, small_mesh):
+        manager = DofManager(small_mesh, ElementType.CONSTANT)
+        values = np.arange(manager.n_dofs, dtype=float)
+        assert np.allclose(manager.element_mean_density(values), values)
+
+    def test_wrong_vector_size_rejected(self, small_mesh):
+        manager = DofManager(small_mesh, ElementType.LINEAR)
+        with pytest.raises(AssemblyError):
+            manager.element_mean_density(np.zeros(3))

@@ -1,0 +1,126 @@
+"""Tests of the potential evaluator and surface grids."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bem.potential import SurfaceGrid
+from repro.exceptions import AssemblyError
+
+
+@pytest.fixture(scope="module")
+def evaluator(small_results):
+    return small_results.evaluator()
+
+
+class TestPotentialAt:
+    def test_potential_on_electrode_surface_close_to_gpr(self, small_results, small_mesh):
+        """The Dirichlet condition V = GPR must be recovered on the conductors."""
+        evaluator = small_results.evaluator()
+        points = []
+        for element in small_mesh.elements[::5]:
+            mid = element.midpoint.copy()
+            mid[2] += element.radius  # a point on the conductor surface
+            points.append(mid)
+        values = evaluator.potential_at(np.array(points))
+        assert np.allclose(values, small_results.gpr, rtol=0.05)
+
+    def test_potential_positive_and_below_gpr_on_surface(self, evaluator, small_results):
+        points = np.array([[x, 9.0, 0.0] for x in np.linspace(-20.0, 40.0, 25)])
+        values = evaluator.potential_at(points)
+        assert np.all(values > 0.0)
+        assert np.all(values <= small_results.gpr * 1.0001)
+
+    def test_potential_decays_far_away(self, evaluator):
+        near = evaluator.potential_at(np.array([9.0, 9.0, 0.0]))
+        far = evaluator.potential_at(np.array([500.0, 500.0, 0.0]))
+        assert far < 0.1 * near
+
+    def test_far_field_matches_point_source(self, evaluator, small_results, uniform_soil):
+        """Far from the grid the potential tends to I / (2 π γ r)."""
+        distance = 2000.0
+        value = evaluator.potential_at(np.array([distance, 0.0, 0.0]))
+        expected = small_results.total_current / (
+            2.0 * np.pi * uniform_soil.conductivity * distance
+        )
+        assert value == pytest.approx(expected, rel=0.02)
+
+    def test_single_point_returns_scalar(self, evaluator):
+        value = evaluator.potential_at(np.array([1.0, 1.0, 0.0]))
+        assert np.ndim(value) == 0
+
+    def test_rejects_points_above_surface(self, evaluator):
+        with pytest.raises(AssemblyError):
+            evaluator.potential_at(np.array([0.0, 0.0, -1.0]))
+
+    def test_rejects_bad_shape(self, evaluator):
+        with pytest.raises(AssemblyError):
+            evaluator.potential_at(np.zeros((3, 2)))
+
+    def test_batched_evaluation_matches_unbatched(self, evaluator):
+        points = np.column_stack(
+            (np.linspace(-5, 25, 10), np.linspace(-5, 25, 10), np.zeros(10))
+        )
+        all_at_once = evaluator.potential_at(points, batch_size=1000)
+        batched = evaluator.potential_at(points, batch_size=3)
+        assert np.allclose(all_at_once, batched)
+
+    def test_potential_scales_linearly_with_solution(self, small_results):
+        from repro.bem.potential import PotentialEvaluator
+
+        doubled = PotentialEvaluator(
+            mesh=small_results.mesh,
+            soil=small_results.soil,
+            kernel=small_results.kernel,
+            dof_manager=small_results.dof_manager,
+            dof_values=2.0 * small_results.dof_values,
+            gpr=small_results.gpr,
+        )
+        point = np.array([3.0, 3.0, 0.0])
+        assert doubled.potential_at(point) == pytest.approx(
+            2.0 * small_results.evaluator().potential_at(point)
+        )
+
+
+class TestSurfaceGrids:
+    def test_surface_potential_shape(self, evaluator):
+        grid = evaluator.surface_potential(np.linspace(-5, 25, 7), np.linspace(-5, 25, 5))
+        assert grid.values.shape == (5, 7)
+        assert grid.max_value <= 1000.0 * 1.0001
+        assert grid.min_value > 0.0
+
+    def test_surface_potential_over_grid_margin(self, evaluator, small_grid):
+        surface = evaluator.surface_potential_over_grid(margin=10.0, n_x=9, n_y=9)
+        lower, upper = small_grid.bounding_box()
+        assert surface.x[0] == pytest.approx(lower[0] - 10.0)
+        assert surface.x[-1] == pytest.approx(upper[0] + 10.0)
+        assert surface.gpr == pytest.approx(1000.0)
+
+    def test_maximum_over_grid_centre(self, evaluator):
+        surface = evaluator.surface_potential(np.linspace(-20, 38, 30), np.linspace(-20, 38, 30))
+        j, i = np.unravel_index(np.argmax(surface.values), surface.values.shape)
+        # The hottest surface point must be above the grid footprint (0..18 m).
+        assert -1.0 <= surface.x[i] <= 19.0
+        assert -1.0 <= surface.y[j] <= 19.0
+
+    def test_profiles(self, evaluator):
+        surface = evaluator.surface_potential(np.linspace(0, 18, 10), np.linspace(0, 18, 11))
+        x, values_x = surface.profile_along_x(9.0)
+        assert x.shape == values_x.shape == (10,)
+        y, values_y = surface.profile_along_y(9.0)
+        assert y.shape == values_y.shape == (11,)
+
+    def test_normalised_values(self, evaluator):
+        surface = evaluator.surface_potential(np.linspace(0, 18, 5), np.linspace(0, 18, 5))
+        assert np.allclose(surface.normalized, surface.values / surface.gpr)
+
+    def test_to_dict_round_trip_shapes(self, evaluator):
+        surface = evaluator.surface_potential(np.linspace(0, 18, 4), np.linspace(0, 18, 3))
+        payload = surface.to_dict()
+        assert len(payload["x"]) == 4
+        assert len(payload["values"]) == 3
+
+    def test_shape_validation(self):
+        with pytest.raises(AssemblyError):
+            SurfaceGrid(x=np.arange(3), y=np.arange(4), values=np.zeros((3, 3)))

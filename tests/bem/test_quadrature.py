@@ -1,0 +1,76 @@
+"""Unit tests for the Gauss–Legendre quadrature helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bem.quadrature import gauss_legendre_rule, map_rule_to_segment
+from repro.exceptions import AssemblyError
+
+
+class TestGaussRule:
+    def test_weights_sum_to_one(self):
+        for n in (1, 2, 4, 8, 16):
+            _, weights = gauss_legendre_rule(n)
+            assert weights.sum() == pytest.approx(1.0)
+
+    def test_nodes_inside_unit_interval(self):
+        nodes, _ = gauss_legendre_rule(6)
+        assert np.all(nodes > 0.0)
+        assert np.all(nodes < 1.0)
+
+    def test_exactness_for_polynomials(self):
+        # An n-point rule integrates polynomials of degree 2n-1 exactly.
+        nodes, weights = gauss_legendre_rule(3)
+        for degree in range(6):
+            integral = float(np.sum(weights * nodes**degree))
+            assert integral == pytest.approx(1.0 / (degree + 1), rel=1e-12)
+
+    def test_rejects_zero_points(self):
+        with pytest.raises(AssemblyError):
+            gauss_legendre_rule(0)
+
+    def test_caching_returns_same_objects(self):
+        a = gauss_legendre_rule(4)
+        b = gauss_legendre_rule(4)
+        assert a[0] is b[0]
+
+    def test_returned_arrays_read_only(self):
+        nodes, weights = gauss_legendre_rule(5)
+        with pytest.raises(ValueError):
+            nodes[0] = 0.0
+        with pytest.raises(ValueError):
+            weights[0] = 0.0
+
+
+class TestMapToSegment:
+    def test_points_on_segment(self):
+        p0 = np.array([0.0, 0.0, 1.0])
+        p1 = np.array([4.0, 0.0, 1.0])
+        points, weights = map_rule_to_segment(p0, p1, 4)
+        assert points.shape == (4, 3)
+        assert np.all(points[:, 0] > 0.0)
+        assert np.all(points[:, 0] < 4.0)
+        assert np.allclose(points[:, 2], 1.0)
+
+    def test_weights_include_length(self):
+        p0 = np.array([0.0, 0.0, 1.0])
+        p1 = np.array([4.0, 0.0, 1.0])
+        _, weights = map_rule_to_segment(p0, p1, 4)
+        assert weights.sum() == pytest.approx(4.0)
+
+    def test_integrates_linear_function_exactly(self):
+        p0 = np.array([0.0, 0.0, 0.0])
+        p1 = np.array([2.0, 0.0, 0.0])
+        points, weights = map_rule_to_segment(p0, p1, 2)
+        # integral of x over the segment = L^2/2 = 2
+        assert float(np.sum(weights * points[:, 0])) == pytest.approx(2.0)
+
+    def test_batched_segments(self):
+        p0 = np.zeros((3, 3))
+        p1 = np.zeros((3, 3))
+        p1[:, 0] = [1.0, 2.0, 3.0]
+        points, weights = map_rule_to_segment(p0, p1, 4)
+        assert points.shape == (3, 4, 3)
+        assert np.allclose(weights.sum(axis=-1), [1.0, 2.0, 3.0])

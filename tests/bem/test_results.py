@@ -1,0 +1,107 @@
+"""Tests for the AnalysisResults container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bem.results import AnalysisResults
+from repro.exceptions import AssemblyError
+
+
+class TestKeyQuantities:
+    def test_total_current_positive(self, small_results):
+        assert small_results.total_current > 0.0
+        assert small_results.total_current_ka == pytest.approx(
+            small_results.total_current / 1e3
+        )
+
+    def test_equivalent_resistance_consistent(self, small_results):
+        assert small_results.equivalent_resistance == pytest.approx(
+            small_results.gpr / small_results.total_current
+        )
+
+    def test_current_equals_sum_of_element_currents(self, small_results):
+        assert small_results.element_currents().sum() == pytest.approx(
+            small_results.total_current, rel=1e-10
+        )
+
+    def test_current_by_layer_sums_to_total(self, two_layer_results):
+        per_layer = two_layer_results.current_by_layer()
+        assert set(per_layer) == {1, 2}
+        assert sum(per_layer.values()) == pytest.approx(
+            two_layer_results.total_current, rel=1e-10
+        )
+
+    def test_leakage_per_element_shape(self, small_results):
+        leakage = small_results.leakage_per_element()
+        assert leakage.shape == (small_results.mesh.n_elements,)
+        assert np.all(leakage > 0.0)
+
+    def test_edge_elements_leak_more_than_centre(self, small_results):
+        """Current crowds toward the grid edges (classical grounding result)."""
+        leakage = small_results.leakage_per_element()
+        mesh = small_results.mesh
+        centre = np.array([9.0, 9.0, 0.6])
+        distances = np.array([np.linalg.norm(e.midpoint - centre) for e in mesh.elements])
+        outer_mean = leakage[distances >= np.median(distances)].mean()
+        inner_mean = leakage[distances < np.median(distances)].mean()
+        assert outer_mean > inner_mean
+
+    def test_ground_potential_rise_alias(self, small_results):
+        assert small_results.ground_potential_rise == pytest.approx(small_results.gpr)
+
+
+class TestValidationAndReporting:
+    def test_dof_vector_size_checked(self, small_results):
+        with pytest.raises(AssemblyError):
+            AnalysisResults(
+                mesh=small_results.mesh,
+                soil=small_results.soil,
+                kernel=small_results.kernel,
+                dof_manager=small_results.dof_manager,
+                gpr=small_results.gpr,
+                dof_values=np.zeros(3),
+                solver=small_results.solver,
+            )
+
+    def test_negative_current_rejected(self, small_results):
+        broken = AnalysisResults(
+            mesh=small_results.mesh,
+            soil=small_results.soil,
+            kernel=small_results.kernel,
+            dof_manager=small_results.dof_manager,
+            gpr=small_results.gpr,
+            dof_values=-np.abs(small_results.dof_values),
+            solver=small_results.solver,
+        )
+        with pytest.raises(AssemblyError):
+            _ = broken.equivalent_resistance
+
+    def test_summary_contents(self, small_results):
+        summary = small_results.summary()
+        assert summary["grid"] == "small"
+        assert summary["n_dofs"] == small_results.dof_manager.n_dofs
+        assert "equivalent_resistance_ohm" in summary
+        assert "timings_s" in summary
+        assert summary["solver"]["converged"]
+
+    def test_timings_cover_all_phases(self, small_results):
+        expected = {
+            "data_input",
+            "data_preprocessing",
+            "matrix_generation",
+            "linear_system_solving",
+            "results_storage",
+        }
+        assert expected.issubset(small_results.timings)
+        assert small_results.total_seconds == pytest.approx(sum(small_results.timings.values()))
+
+    def test_matrix_generation_dominates(self, small_results):
+        timings = small_results.timings
+        assert timings["matrix_generation"] == max(timings.values())
+
+    def test_repr_contains_headline_numbers(self, small_results):
+        text = repr(small_results)
+        assert "Req" in text
+        assert "small" in text

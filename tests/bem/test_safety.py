@@ -1,0 +1,151 @@
+"""Tests for the safety-parameter computations (IEEE Std 80)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bem.potential import SurfaceGrid
+from repro.bem.safety import (
+    SafetyAssessment,
+    ieee80_tolerable_step,
+    ieee80_tolerable_touch,
+    step_voltage_grid,
+    surface_layer_derating,
+    touch_voltage_grid,
+)
+from repro.exceptions import ReproError
+
+
+class TestSurfaceLayerDerating:
+    def test_no_layer_is_unity(self):
+        assert surface_layer_derating(100.0, None, 0.1) == 1.0
+        assert surface_layer_derating(100.0, 3000.0, 0.0) == 1.0
+
+    def test_identical_resistivity_is_unity(self):
+        assert surface_layer_derating(100.0, 100.0, 0.1) == pytest.approx(1.0)
+
+    def test_crushed_rock_reduces_factor(self):
+        cs = surface_layer_derating(100.0, 3000.0, 0.1)
+        assert 0.0 < cs < 1.0
+
+    def test_known_value(self):
+        # IEEE Std 80 example: ρ = 100, ρs = 2500, hs = 0.1 m -> Cs ≈ 0.70
+        cs = surface_layer_derating(100.0, 2500.0, 0.1)
+        assert cs == pytest.approx(0.7, abs=0.02)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ReproError):
+            surface_layer_derating(-1.0, 2500.0, 0.1)
+        with pytest.raises(ReproError):
+            surface_layer_derating(100.0, 2500.0, -0.1)
+
+
+class TestTolerableVoltages:
+    def test_touch_50kg_known_value(self):
+        # Bare soil ρ = 100 Ω·m, t = 0.5 s, 50 kg: (1000 + 150) · 0.116 / sqrt(0.5)
+        expected = 1150.0 * 0.116 / np.sqrt(0.5)
+        assert ieee80_tolerable_touch(100.0, 0.5, 50.0) == pytest.approx(expected)
+
+    def test_step_50kg_known_value(self):
+        expected = 1600.0 * 0.116 / np.sqrt(0.5)
+        assert ieee80_tolerable_step(100.0, 0.5, 50.0) == pytest.approx(expected)
+
+    def test_70kg_limits_higher_than_50kg(self):
+        assert ieee80_tolerable_touch(100.0, 0.5, 70.0) > ieee80_tolerable_touch(100.0, 0.5, 50.0)
+        assert ieee80_tolerable_step(100.0, 0.5, 70.0) > ieee80_tolerable_step(100.0, 0.5, 50.0)
+
+    def test_step_limit_higher_than_touch_limit(self):
+        assert ieee80_tolerable_step(100.0) > ieee80_tolerable_touch(100.0)
+
+    def test_shorter_fault_raises_limit(self):
+        assert ieee80_tolerable_touch(100.0, 0.1) > ieee80_tolerable_touch(100.0, 1.0)
+
+    def test_crushed_rock_raises_limit(self):
+        assert ieee80_tolerable_touch(100.0, surface_resistivity=3000.0) > ieee80_tolerable_touch(
+            100.0
+        )
+
+    def test_rejects_bad_body_weight(self):
+        with pytest.raises(ReproError):
+            ieee80_tolerable_touch(100.0, body_weight_kg=60.0)
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ReproError):
+            ieee80_tolerable_step(100.0, fault_duration_s=0.0)
+
+
+def linear_surface() -> SurfaceGrid:
+    x = np.linspace(0.0, 10.0, 11)
+    y = np.linspace(0.0, 5.0, 6)
+    xx, _ = np.meshgrid(x, y)
+    return SurfaceGrid(x=x, y=y, values=100.0 * xx, gpr=2000.0)
+
+
+class TestVoltageGrids:
+    def test_touch_voltage_grid(self):
+        surface = linear_surface()
+        touch = touch_voltage_grid(surface, gpr=2000.0)
+        assert touch.shape == surface.values.shape
+        assert touch.max() == pytest.approx(2000.0)
+        assert touch.min() == pytest.approx(1000.0)
+
+    def test_touch_voltage_requires_positive_gpr(self):
+        with pytest.raises(ReproError):
+            touch_voltage_grid(linear_surface(), gpr=0.0)
+
+    def test_step_voltage_of_linear_field_is_gradient(self):
+        step = step_voltage_grid(linear_surface(), step_length=1.0)
+        assert np.allclose(step, 100.0)
+
+    def test_step_voltage_scales_with_step_length(self):
+        surface = linear_surface()
+        assert np.allclose(
+            step_voltage_grid(surface, 0.5), 0.5 * step_voltage_grid(surface, 1.0)
+        )
+
+    def test_step_voltage_needs_two_samples(self):
+        surface = SurfaceGrid(x=np.array([0.0]), y=np.array([0.0, 1.0]), values=np.zeros((2, 1)))
+        with pytest.raises(ReproError):
+            step_voltage_grid(surface)
+
+
+class TestSafetyAssessment:
+    def test_from_surface_and_flags(self, small_results):
+        surface = small_results.evaluator().surface_potential(
+            np.linspace(-2, 20, 12), np.linspace(-2, 20, 12)
+        )
+        assessment = SafetyAssessment.from_surface(
+            surface,
+            gpr=small_results.gpr,
+            equivalent_resistance=small_results.equivalent_resistance,
+            total_current=small_results.total_current,
+            soil_resistivity=100.0,
+            fault_duration_s=0.5,
+            body_weight_kg=70.0,
+        )
+        assert assessment.max_touch_voltage > 0.0
+        assert assessment.max_step_voltage > 0.0
+        assert assessment.touch_voltage_ok == (
+            assessment.max_touch_voltage <= assessment.tolerable_touch_voltage
+        )
+        assert assessment.is_safe == (assessment.touch_voltage_ok and assessment.step_voltage_ok)
+        summary = assessment.summary()
+        assert summary["safe"] == assessment.is_safe
+        assert summary["body_weight_kg"] == 70.0
+
+    def test_unsafe_when_limits_tiny(self):
+        surface = linear_surface()
+        assessment = SafetyAssessment(
+            gpr=2000.0,
+            equivalent_resistance=1.0,
+            total_current=2000.0,
+            max_touch_voltage=1500.0,
+            max_step_voltage=120.0,
+            tolerable_touch_voltage=200.0,
+            tolerable_step_voltage=500.0,
+        )
+        assert not assessment.touch_voltage_ok
+        assert assessment.step_voltage_ok
+        assert not assessment.is_safe
+        del surface

@@ -1,0 +1,50 @@
+"""Unit tests for the LinearSystem container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bem.elements import DofManager, ElementType
+from repro.bem.system import LinearSystem
+from repro.exceptions import AssemblyError
+
+
+class TestConstruction:
+    def test_valid_system(self, small_system):
+        assert small_system.n_dofs == small_system.dof_manager.n_dofs
+
+    def test_shape_mismatch_matrix(self, small_mesh):
+        dofs = DofManager(small_mesh, ElementType.LINEAR)
+        with pytest.raises(AssemblyError):
+            LinearSystem(
+                matrix=np.zeros((3, 3)), rhs=np.zeros(dofs.n_dofs), dof_manager=dofs, gpr=1.0
+            )
+
+    def test_shape_mismatch_rhs(self, small_mesh):
+        dofs = DofManager(small_mesh, ElementType.LINEAR)
+        n = dofs.n_dofs
+        with pytest.raises(AssemblyError):
+            LinearSystem(matrix=np.zeros((n, n)), rhs=np.zeros(3), dof_manager=dofs, gpr=1.0)
+
+
+class TestDiagnostics:
+    def test_symmetry_error_zero_for_symmetric(self, small_system):
+        assert small_system.symmetry_error() < 1e-13
+
+    def test_symmetry_error_detects_asymmetry(self, small_mesh):
+        dofs = DofManager(small_mesh, ElementType.LINEAR)
+        n = dofs.n_dofs
+        matrix = np.eye(n)
+        matrix[0, 1] = 1.0
+        system = LinearSystem(matrix=matrix, rhs=np.ones(n), dof_manager=dofs, gpr=1.0)
+        assert system.symmetry_error() > 0.01
+
+    def test_diagonal_dominance_ratio_positive(self, small_system):
+        assert small_system.diagonal_dominance_ratio() > 0.0
+
+    def test_summary_contents(self, small_system):
+        summary = small_system.summary()
+        assert summary["n_dofs"] == small_system.n_dofs
+        assert summary["element_type"] == "linear"
+        assert summary["gpr_v"] == pytest.approx(1000.0)

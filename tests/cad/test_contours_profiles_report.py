@@ -1,0 +1,159 @@
+"""Tests for contour extraction, surface profiles and the text reports."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bem.potential import SurfaceGrid
+from repro.bem.safety import SafetyAssessment
+from repro.cad.contours import ContourSet, extract_contours, potential_map
+from repro.cad.profiles import (
+    step_voltage_profile,
+    surface_profile,
+    touch_voltage_profile,
+)
+from repro.cad.report import comparison_table, design_report, format_table, phase_table
+from repro.exceptions import ReproError
+
+
+def radial_surface(n: int = 41) -> SurfaceGrid:
+    """A radially symmetric test field V = 1 / (1 + r)."""
+    x = np.linspace(-10.0, 10.0, n)
+    y = np.linspace(-10.0, 10.0, n)
+    xx, yy = np.meshgrid(x, y)
+    values = 1.0 / (1.0 + np.hypot(xx, yy))
+    return SurfaceGrid(x=x, y=y, values=values, gpr=1.0)
+
+
+class TestContours:
+    def test_contour_of_linear_field_is_straight_line(self):
+        x = np.linspace(0.0, 10.0, 21)
+        y = np.linspace(0.0, 4.0, 9)
+        xx, _ = np.meshgrid(x, y)
+        surface = SurfaceGrid(x=x, y=y, values=xx.astype(float), gpr=1.0)
+        contours = extract_contours(surface, levels=[5.0])
+        lines = contours.polylines[5.0]
+        assert len(lines) == 1
+        assert np.allclose(lines[0][:, 0], 5.0, atol=1e-9)
+        assert contours.total_polyline_length(5.0) == pytest.approx(4.0, rel=1e-6)
+
+    def test_circular_contour_length(self):
+        surface = radial_surface(n=101)
+        level = 1.0 / (1.0 + 4.0)  # circle of radius 4
+        contours = extract_contours(surface, levels=[level])
+        length = contours.total_polyline_length(level)
+        assert length == pytest.approx(2.0 * np.pi * 4.0, rel=0.02)
+
+    def test_automatic_levels(self):
+        contours = extract_contours(radial_surface(), n_levels=7)
+        assert contours.n_levels == 7
+        assert np.all(np.diff(contours.levels) > 0.0)
+        summary = contours.level_summary()
+        assert len(summary) == 7
+        assert all(row["n_polylines"] >= 1 for row in summary)
+
+    def test_levels_outside_range_produce_no_lines(self):
+        contours = extract_contours(radial_surface(), levels=[10.0])
+        assert contours.polylines[10.0] == []
+
+    def test_constant_field_rejected(self):
+        surface = SurfaceGrid(
+            x=np.linspace(0, 1, 5), y=np.linspace(0, 1, 5), values=np.ones((5, 5))
+        )
+        with pytest.raises(ReproError):
+            extract_contours(surface)
+
+    def test_empty_level_list_rejected(self):
+        with pytest.raises(ReproError):
+            extract_contours(radial_surface(), levels=[])
+
+    def test_potential_map_from_results(self, small_results):
+        surface = potential_map(small_results, margin=5.0, n_x=15, n_y=13)
+        assert surface.values.shape == (13, 15)
+        assert surface.gpr == pytest.approx(small_results.gpr)
+        contours = extract_contours(surface, n_levels=4)
+        assert isinstance(contours, ContourSet)
+        assert contours.gpr == pytest.approx(small_results.gpr)
+
+
+class TestProfiles:
+    def test_surface_profile_matches_evaluator(self, small_results):
+        profile = surface_profile(small_results, (0.0, 9.0), (18.0, 9.0), n_points=11)
+        evaluator = small_results.evaluator()
+        direct = evaluator.potential_at(
+            np.column_stack((profile.points, np.zeros(profile.points.shape[0])))
+        )
+        assert np.allclose(profile.values, direct)
+        assert profile.stations[0] == 0.0
+        assert profile.stations[-1] == pytest.approx(18.0)
+        assert profile.max_value >= profile.min_value
+
+    def test_touch_profile_complements_potential(self, small_results):
+        touch = touch_voltage_profile(small_results, (0.0, 9.0), (18.0, 9.0), n_points=11)
+        potential = surface_profile(small_results, (0.0, 9.0), (18.0, 9.0), n_points=11)
+        assert np.allclose(touch.values + potential.values, small_results.gpr)
+        assert touch.kind == "touch"
+
+    def test_touch_increases_away_from_grid(self, small_results):
+        touch = touch_voltage_profile(small_results, (9.0, 9.0), (60.0, 9.0), n_points=21)
+        assert touch.values[-1] > touch.values[0]
+
+    def test_step_profile_positive_and_kind(self, small_results):
+        step = step_voltage_profile(small_results, (0.0, 9.0), (40.0, 9.0), n_points=21)
+        assert step.kind == "step"
+        assert np.all(step.values >= 0.0)
+
+    def test_value_at_interpolates(self, small_results):
+        profile = surface_profile(small_results, (0.0, 9.0), (18.0, 9.0), n_points=7)
+        mid = profile.value_at(9.0)
+        assert profile.min_value <= mid <= profile.max_value
+
+    def test_validation(self, small_results):
+        with pytest.raises(ReproError):
+            surface_profile(small_results, (0.0,), (18.0, 9.0))
+        with pytest.raises(ReproError):
+            surface_profile(small_results, (0.0, 0.0), (18.0, 9.0), n_points=1)
+        with pytest.raises(ReproError):
+            step_voltage_profile(small_results, (0.0, 0.0), (1.0, 0.0), step_length=0.0)
+
+
+class TestReports:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["x", 1.23456], ["longer", 2.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "1.235" in text
+
+    def test_phase_table_names(self, small_results):
+        text = phase_table(small_results.timings)
+        assert "Matrix Generation" in text
+        assert "CPU time (s)" in text
+
+    def test_comparison_table(self, small_results, two_layer_results):
+        text = comparison_table({"A": small_results, "B": two_layer_results})
+        assert "Soil Model" in text
+        assert "A" in text and "B" in text
+        assert f"{small_results.equivalent_resistance:.4f}" in text
+
+    def test_design_report_sections(self, small_results):
+        text = design_report(small_results)
+        for keyword in ("Grid", "Soil model", "Results", "Pipeline cost", "Solver"):
+            assert keyword in text
+        assert f"{small_results.equivalent_resistance:.4f}" in text
+
+    def test_design_report_with_safety(self, small_results):
+        surface = small_results.evaluator().surface_potential(
+            np.linspace(-2, 20, 10), np.linspace(-2, 20, 10)
+        )
+        safety = SafetyAssessment.from_surface(
+            surface,
+            gpr=small_results.gpr,
+            equivalent_resistance=small_results.equivalent_resistance,
+            total_current=small_results.total_current,
+            soil_resistivity=100.0,
+        )
+        text = design_report(small_results, safety=safety)
+        assert "Safety assessment" in text
+        assert "max_touch_voltage_v" in text

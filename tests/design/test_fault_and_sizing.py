@@ -1,0 +1,121 @@
+"""Tests for the fault-scenario and conductor-sizing helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.design.fault import FaultScenario, decrement_factor, ground_potential_rise
+from repro.design.sizing import (
+    MATERIALS,
+    ConductorMaterial,
+    minimum_conductor_section,
+    section_to_diameter,
+)
+from repro.exceptions import ReproError
+
+
+class TestDecrementFactor:
+    def test_zero_xr_is_unity(self):
+        assert decrement_factor(0.5, 0.0) == 1.0
+
+    def test_greater_than_one(self):
+        assert decrement_factor(0.5, 10.0) > 1.0
+
+    def test_decreases_with_duration(self):
+        assert decrement_factor(0.1, 20.0) > decrement_factor(1.0, 20.0)
+
+    def test_increases_with_xr(self):
+        assert decrement_factor(0.5, 40.0) > decrement_factor(0.5, 5.0)
+
+    def test_known_order_of_magnitude(self):
+        # IEEE Std 80 tabulates Df ≈ 1.026 for X/R = 10 at 0.5 s (60 Hz).
+        assert decrement_factor(0.5, 10.0, frequency_hz=60.0) == pytest.approx(1.026, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            decrement_factor(0.0, 10.0)
+        with pytest.raises(ReproError):
+            decrement_factor(0.5, -1.0)
+        with pytest.raises(ReproError):
+            decrement_factor(0.5, 10.0, frequency_hz=0.0)
+
+
+class TestFaultScenario:
+    def test_grid_current_combines_factors(self):
+        fault = FaultScenario(symmetrical_current_a=10_000.0, duration_s=0.5, split_factor=0.6)
+        assert fault.grid_current_a == pytest.approx(
+            10_000.0 * 0.6 * fault.decrement_factor
+        )
+        assert fault.grid_current_a < 10_000.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            FaultScenario(symmetrical_current_a=0.0)
+        with pytest.raises(ReproError):
+            FaultScenario(symmetrical_current_a=1e4, split_factor=0.0)
+        with pytest.raises(ReproError):
+            FaultScenario(symmetrical_current_a=1e4, duration_s=-1.0)
+
+    def test_ground_potential_rise(self):
+        fault = FaultScenario(symmetrical_current_a=5_000.0, split_factor=1.0, x_over_r=0.0)
+        assert ground_potential_rise(0.5, fault) == pytest.approx(2_500.0)
+        with pytest.raises(ReproError):
+            ground_potential_rise(0.0, fault)
+
+
+class TestConductorSizing:
+    def test_copper_reference_value(self):
+        # IEEE Std 80: hard-drawn copper at its fusing temperature needs
+        # Kf ≈ 7.06 kcmil per kA·sqrt(s), i.e. ≈ 3.6 mm² per kA for a 1 s
+        # fault -> ~36 mm² at 10 kA.
+        section = minimum_conductor_section(10_000.0, 1.0, "copper-hard-drawn")
+        assert 32.0 < section < 40.0
+
+    def test_steel_needs_more_section_than_copper(self):
+        copper = minimum_conductor_section(10_000.0, 0.5, "copper-hard-drawn")
+        steel = minimum_conductor_section(10_000.0, 0.5, "steel")
+        assert steel > copper
+
+    def test_longer_fault_needs_more_section(self):
+        short = minimum_conductor_section(10_000.0, 0.2)
+        long = minimum_conductor_section(10_000.0, 1.0)
+        assert long > short
+        # ~ sqrt(t) scaling
+        assert long == pytest.approx(short * np.sqrt(5.0), rel=0.01)
+
+    def test_section_scales_linearly_with_current(self):
+        one = minimum_conductor_section(5_000.0, 0.5)
+        two = minimum_conductor_section(10_000.0, 0.5)
+        assert two == pytest.approx(2.0 * one, rel=1e-9)
+
+    def test_lower_max_temperature_needs_more_section(self):
+        fusing = minimum_conductor_section(10_000.0, 0.5)
+        brazed = minimum_conductor_section(10_000.0, 0.5, maximum_temperature_c=450.0)
+        assert brazed > fusing
+
+    def test_custom_material(self):
+        material = ConductorMaterial(
+            name="custom", alpha_r=0.004, k0=230.0, fusing_temperature_c=1000.0, rho_r=2.0, tcap=3.0
+        )
+        assert minimum_conductor_section(10_000.0, 0.5, material) > 0.0
+
+    def test_all_catalogued_materials_positive(self):
+        for name in MATERIALS:
+            assert minimum_conductor_section(10_000.0, 0.5, name) > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            minimum_conductor_section(0.0, 0.5)
+        with pytest.raises(ReproError):
+            minimum_conductor_section(1e4, 0.0)
+        with pytest.raises(ReproError):
+            minimum_conductor_section(1e4, 0.5, "unobtainium")
+        with pytest.raises(ReproError):
+            minimum_conductor_section(1e4, 0.5, maximum_temperature_c=20.0)
+
+    def test_section_to_diameter(self):
+        # 100 mm² solid round bar -> about 11.3 mm diameter.
+        assert section_to_diameter(100.0) == pytest.approx(11.28e-3, rel=1e-3)
+        with pytest.raises(ReproError):
+            section_to_diameter(0.0)

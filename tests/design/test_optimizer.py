@@ -1,0 +1,100 @@
+"""Tests for the grid design optimiser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.design.fault import FaultScenario
+from repro.design.optimizer import optimize_grid_design
+from repro.exceptions import ReproError
+from repro.soil.uniform import UniformSoil
+
+
+@pytest.fixture(scope="module")
+def mild_fault() -> FaultScenario:
+    return FaultScenario(symmetrical_current_a=3_000.0, duration_s=0.5, split_factor=0.6)
+
+
+@pytest.fixture(scope="module")
+def study(mild_fault):
+    """A small design sweep on a 30 m x 20 m area in 100 ohm*m soil."""
+    return optimize_grid_design(
+        width=30.0,
+        height=20.0,
+        soil=UniformSoil(0.01),
+        fault=mild_fault,
+        mesh_densities=(2, 3, 4),
+        try_rods=True,
+        raster=15,
+    )
+
+
+class TestDesignStudy:
+    def test_candidate_count(self, study):
+        # three densities x (with / without rods)
+        assert study.n_candidates == 6
+
+    def test_resistance_decreases_with_density(self, study):
+        without_rods = sorted(
+            (c for c in study.candidates if c.n_rods == 0), key=lambda c: c.total_length
+        )
+        resistances = [c.equivalent_resistance for c in without_rods]
+        assert all(a >= b for a, b in zip(resistances, resistances[1:]))
+
+    def test_rods_lower_resistance(self, study):
+        by_mesh = {}
+        for candidate in study.candidates:
+            by_mesh.setdefault((candidate.nx, candidate.ny), {})[candidate.n_rods > 0] = candidate
+        for pair in by_mesh.values():
+            if True in pair and False in pair:
+                assert pair[True].equivalent_resistance < pair[False].equivalent_resistance
+
+    def test_gpr_proportional_to_resistance(self, study, mild_fault):
+        for candidate in study.candidates:
+            assert candidate.gpr == pytest.approx(
+                candidate.equivalent_resistance * mild_fault.grid_current_a, rel=1e-9
+            )
+
+    def test_best_is_cheapest_compliant(self, study):
+        if study.best is None:
+            assert study.n_compliant == 0
+        else:
+            assert study.best.compliant
+            compliant_lengths = [c.total_length for c in study.candidates if c.compliant]
+            assert study.best.total_length == pytest.approx(min(compliant_lengths))
+
+    def test_table_sorted_by_cost(self, study):
+        table = study.table()
+        lengths = [row["total_length_m"] for row in table]
+        assert lengths == sorted(lengths)
+        assert set(table[0]) >= {"nx", "ny", "Req_ohm", "compliant"}
+
+    def test_severe_fault_yields_no_compliant_design(self):
+        severe = FaultScenario(symmetrical_current_a=80_000.0, duration_s=1.0, split_factor=1.0)
+        study = optimize_grid_design(
+            width=20.0,
+            height=15.0,
+            soil=UniformSoil(0.002),  # 500 ohm*m
+            fault=severe,
+            mesh_densities=(2,),
+            try_rods=False,
+            raster=11,
+        )
+        assert study.best is None
+        assert study.n_compliant == 0
+
+
+class TestValidation:
+    def test_bad_dimensions(self, mild_fault):
+        with pytest.raises(ReproError):
+            optimize_grid_design(0.0, 10.0, UniformSoil(0.01), mild_fault)
+
+    def test_empty_densities(self, mild_fault):
+        with pytest.raises(ReproError):
+            optimize_grid_design(10.0, 10.0, UniformSoil(0.01), mild_fault, mesh_densities=())
+
+    def test_bad_density(self, mild_fault):
+        with pytest.raises(ReproError):
+            optimize_grid_design(
+                10.0, 10.0, UniformSoil(0.01), mild_fault, mesh_densities=(0,)
+            )

@@ -1,0 +1,139 @@
+"""Tests of the Barberá / Balaidos experiment drivers (coarse, fast variants).
+
+The full-size reproduction runs live in ``benchmarks/``; here the drivers are
+exercised on the coarse Barberá grid and the real Balaidos grid with a loose
+image-series tolerance so the whole module stays within a few tens of seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.balaidos import (
+    BALAIDOS_PAPER_RESULTS,
+    balaidos_case,
+    balaidos_soil,
+    run_balaidos,
+)
+from repro.experiments.barbera import (
+    BARBERA_PAPER_RESULTS,
+    barbera_case,
+    barbera_soil,
+    run_barbera,
+)
+from repro.kernels.series import SeriesControl
+from repro.soil.two_layer import TwoLayerSoil
+from repro.soil.uniform import UniformSoil
+
+FAST_SERIES = SeriesControl(tolerance=1e-4)
+
+
+class TestCaseDefinitions:
+    def test_barbera_soils(self):
+        assert isinstance(barbera_soil("uniform"), UniformSoil)
+        two_layer = barbera_soil("two_layer")
+        assert isinstance(two_layer, TwoLayerSoil)
+        assert two_layer.upper_thickness == pytest.approx(1.0)
+        with pytest.raises(ExperimentError):
+            barbera_soil("three_layer")
+
+    def test_balaidos_soils(self):
+        assert isinstance(balaidos_soil("A"), UniformSoil)
+        assert balaidos_soil("B").upper_thickness == pytest.approx(0.7)
+        assert balaidos_soil("C").upper_thickness == pytest.approx(1.0)
+        with pytest.raises(ExperimentError):
+            balaidos_soil("D")
+
+    def test_barbera_case_shapes(self):
+        grid, soil, gpr = barbera_case("uniform")
+        assert len(grid) == 408
+        assert gpr == pytest.approx(10_000.0)
+        coarse_grid, _, _ = barbera_case("uniform", coarse=True)
+        assert len(coarse_grid) < len(grid)
+
+    def test_balaidos_case(self):
+        grid, soil, gpr = balaidos_case("C")
+        assert grid.n_rods == 67
+        assert soil.n_layers == 2
+        assert gpr == pytest.approx(10_000.0)
+
+    def test_paper_reference_tables(self):
+        assert BARBERA_PAPER_RESULTS["uniform"]["equivalent_resistance_ohm"] == 0.3128
+        assert BALAIDOS_PAPER_RESULTS["C"]["total_current_ka"] == 20.58
+
+
+@pytest.fixture(scope="module")
+def barbera_coarse_uniform():
+    return run_barbera("uniform", coarse=True)
+
+
+@pytest.fixture(scope="module")
+def barbera_coarse_two_layer():
+    return run_barbera("two_layer", coarse=True, series_control=FAST_SERIES)
+
+
+class TestBarberaCoarse:
+    def test_results_in_paper_ballpark(self, barbera_coarse_uniform):
+        # The coarse grid still reproduces the order of magnitude (±25 %).
+        assert barbera_coarse_uniform.equivalent_resistance == pytest.approx(0.3128, rel=0.25)
+
+    def test_two_layer_resistance_higher_than_uniform(
+        self, barbera_coarse_uniform, barbera_coarse_two_layer
+    ):
+        """The key qualitative result of the paper's Section 5.1."""
+        assert (
+            barbera_coarse_two_layer.equivalent_resistance
+            > barbera_coarse_uniform.equivalent_resistance
+        )
+
+    def test_metadata_case_recorded(self, barbera_coarse_uniform):
+        assert barbera_coarse_uniform.metadata["case"] == "barbera/uniform"
+        assert barbera_coarse_uniform.metadata["paper"]["total_current_ka"] == 31.97
+
+    def test_column_times_available_when_requested(self):
+        results = run_barbera(
+            "uniform", coarse=True, collect_column_times=True, validate=False
+        )
+        assert "column_seconds" in results.metadata
+
+
+class TestBalaidos:
+    @pytest.fixture(scope="class")
+    def model_a(self):
+        return run_balaidos("A")
+
+    @pytest.fixture(scope="class")
+    def model_b(self):
+        return run_balaidos("B", series_control=FAST_SERIES)
+
+    @pytest.fixture(scope="class")
+    def model_c(self):
+        return run_balaidos("C", series_control=FAST_SERIES)
+
+    def test_model_a_matches_paper_within_reconstruction_error(self, model_a):
+        assert model_a.equivalent_resistance == pytest.approx(0.3366, rel=0.2)
+        assert model_a.total_current_ka == pytest.approx(29.71, rel=0.2)
+
+    def test_resistance_ordering_matches_table_5_1(self, model_a, model_b, model_c):
+        """Req(C) > Req(B) > Req(A) — the headline of the paper's Table 5.1."""
+        assert model_c.equivalent_resistance > model_b.equivalent_resistance
+        assert model_b.equivalent_resistance > model_a.equivalent_resistance
+
+    def test_current_ordering_matches_table_5_1(self, model_a, model_b, model_c):
+        assert model_c.total_current < model_b.total_current < model_a.total_current
+
+    def test_model_c_uses_both_layers(self, model_c):
+        per_layer = model_c.current_by_layer()
+        assert set(per_layer) == {1, 2}
+        assert per_layer[1] > 0.0 and per_layer[2] > 0.0
+
+    def test_model_b_entirely_in_lower_layer(self, model_b):
+        assert set(model_b.current_by_layer()) == {2}
+
+    def test_model_c_assembly_costs_more_than_model_b(self, model_b, model_c):
+        """Cross-layer kernels make model C the most expensive (Table 6.3)."""
+        assert (
+            model_c.timings["matrix_generation"] > model_b.timings["matrix_generation"]
+        )

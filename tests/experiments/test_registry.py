@@ -1,0 +1,65 @@
+"""Tests for the experiment registry (every paper artefact must be covered)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.registry import EXPERIMENTS, all_experiment_ids, get_experiment
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: The tables and figures of the paper's evaluation (Sections 5 and 6).
+PAPER_ARTEFACTS = {
+    "fig_5_1",
+    "fig_5_2",
+    "fig_5_3",
+    "fig_5_4",
+    "table_5_1",
+    "table_6_1",
+    "fig_6_1",
+    "table_6_2",
+    "table_6_3",
+}
+
+
+class TestRegistryCompleteness:
+    def test_every_paper_artefact_registered(self):
+        assert PAPER_ARTEFACTS == set(EXPERIMENTS)
+
+    def test_all_ids_sorted(self):
+        assert all_experiment_ids() == sorted(EXPERIMENTS)
+
+    def test_benchmark_files_exist(self):
+        for spec in EXPERIMENTS.values():
+            assert (REPO_ROOT / spec.benchmark).exists(), spec.benchmark
+
+    def test_example_files_exist(self):
+        for spec in EXPERIMENTS.values():
+            for example in spec.examples:
+                assert (REPO_ROOT / example).exists(), example
+
+    def test_modules_importable(self):
+        import importlib
+
+        for spec in EXPERIMENTS.values():
+            for module in spec.modules:
+                importlib.import_module(module)
+
+    def test_specs_have_sections_and_workloads(self):
+        for spec in EXPERIMENTS.values():
+            assert spec.section.startswith(("5", "6"))
+            assert len(spec.workload) > 10
+            assert spec.title
+
+
+class TestLookup:
+    def test_get_experiment(self):
+        spec = get_experiment("table_5_1")
+        assert "Balaidos" in spec.title
+
+    def test_unknown_id(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("table_9_9")

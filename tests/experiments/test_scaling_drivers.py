@@ -1,0 +1,89 @@
+"""Tests of the parallel-scaling experiment drivers (coarse workloads)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.scaling import (
+    PAPER_TABLE_6_2,
+    PAPER_TABLE_6_3,
+    TABLE_6_2_SCHEDULES,
+    figure_6_1_curves,
+    measure_column_costs,
+    measure_real_speedups,
+    table_6_2_speedups,
+)
+from repro.parallel.machine import MachineModel
+
+
+@pytest.fixture(scope="module")
+def coarse_column_costs():
+    costs, total = measure_column_costs("barbera/uniform", coarse=True)
+    return costs, total
+
+
+class TestMeasureColumnCosts:
+    def test_costs_shape_and_total(self, coarse_column_costs):
+        costs, total = coarse_column_costs
+        assert costs.ndim == 1
+        assert costs.size > 50
+        assert np.all(costs >= 0.0)
+        # The summed column times cannot exceed the measured wall time.
+        assert costs.sum() <= total * 1.05
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(ExperimentError):
+            measure_column_costs("unknown/case")
+
+
+class TestFigure61:
+    def test_curve_structure(self, coarse_column_costs):
+        costs, _ = coarse_column_costs
+        curves = figure_6_1_curves(costs, processor_counts=[1, 2, 4, 8, 16])
+        assert set(curves) == {"outer", "inner"}
+        assert len(curves["outer"]) == 5
+        outer_speedups = [row["speedup"] for row in curves["outer"]]
+        inner_speedups = [row["speedup"] for row in curves["inner"]]
+        # Outer-loop parallelisation dominates the inner one at high counts.
+        assert outer_speedups[-1] > inner_speedups[-1]
+        # Outer speed-up close to the processor count (paper's Fig. 6.1).
+        assert outer_speedups[-1] == pytest.approx(16.0, rel=0.15)
+
+
+class TestTable62:
+    def test_simulated_table_shape_and_trends(self, coarse_column_costs):
+        costs, _ = coarse_column_costs
+        table = table_6_2_speedups(costs, processor_counts=(1, 2, 4, 8))
+        assert set(table) == set(TABLE_6_2_SCHEDULES)
+        for label, row in table.items():
+            assert set(row) == {1, 2, 4, 8}
+            assert row[1] == pytest.approx(1.0, abs=0.05)
+        # Key qualitative findings of the paper's Table 6.2:
+        assert table["Dynamic,1"][8] > table["Static"][8]
+        assert table["Static,1"][8] > table["Static,64"][8]
+        assert table["Dynamic,1"][8] == pytest.approx(8.0, rel=0.1)
+        assert table["Guided,1"][8] == pytest.approx(8.0, rel=0.15)
+
+    def test_paper_reference_table_contents(self):
+        assert PAPER_TABLE_6_2["Dynamic,1"][8] == 8.05
+        assert PAPER_TABLE_6_3["C"][8] == (53.53, 8.28)
+
+
+class TestRealSpeedups:
+    def test_rows_and_reference(self):
+        rows = measure_real_speedups(
+            "barbera/uniform", processor_counts=(1, 2), coarse=True
+        )
+        assert rows[0]["n_processors"] == 1
+        assert rows[0]["speedup"] == pytest.approx(1.0)
+        assert {row["n_processors"] for row in rows} == {1, 2}
+        for row in rows:
+            assert row["cpu_seconds"] > 0.0
+
+    def test_unavailable_processor_counts_skipped(self):
+        rows = measure_real_speedups(
+            "barbera/uniform", processor_counts=(1, 10_000), coarse=True
+        )
+        assert {row["n_processors"] for row in rows} == {1}

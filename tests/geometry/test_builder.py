@@ -1,0 +1,216 @@
+"""Unit tests for the grid builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GeometryError
+from repro.geometry.builder import GridBuilder, _clip_line_to_polygon, _is_convex_ccw
+from repro.geometry.conductors import ConductorKind
+from repro.geometry.discretize import discretize_grid
+
+
+@pytest.fixture()
+def builder() -> GridBuilder:
+    return GridBuilder(depth=0.8, conductor_radius=6e-3, rod_radius=7e-3, rod_length=1.5)
+
+
+class TestBuilderValidation:
+    def test_rejects_non_positive_depth(self):
+        with pytest.raises(GeometryError):
+            GridBuilder(depth=0.0)
+
+    def test_rejects_non_positive_radius(self):
+        with pytest.raises(GeometryError):
+            GridBuilder(conductor_radius=-1e-3)
+
+    def test_rejects_non_positive_rod_length(self):
+        with pytest.raises(GeometryError):
+            GridBuilder(rod_length=0.0)
+
+
+class TestRectangularMesh:
+    def test_conductor_count(self, builder):
+        # nx (ny+1) + ny (nx+1) conductors for an nx x ny mesh.
+        grid = builder.rectangular_mesh(40.0, 30.0, 4, 3)
+        assert len(grid) == 4 * 4 + 3 * 5
+
+    def test_node_count(self, builder):
+        grid = builder.rectangular_mesh(40.0, 30.0, 4, 3)
+        nodes = GridBuilder.node_positions(grid)
+        assert nodes.shape[0] == 5 * 4
+
+    def test_all_conductors_at_burial_depth(self, builder):
+        grid = builder.rectangular_mesh(20.0, 20.0, 2, 2)
+        depths = {round(float(c.start[2]), 9) for c in grid} | {
+            round(float(c.end[2]), 9) for c in grid
+        }
+        assert depths == {0.8}
+
+    def test_total_length(self, builder):
+        grid = builder.rectangular_mesh(40.0, 30.0, 4, 3)
+        # 5 vertical lines of 30 m + 4 horizontal lines of 40 m.
+        assert grid.total_length == pytest.approx(5 * 30.0 + 4 * 40.0)
+
+    def test_origin_offset(self, builder):
+        grid = builder.rectangular_mesh(10.0, 10.0, 1, 1, origin=(100.0, 50.0))
+        lower, upper = grid.bounding_box()
+        assert lower[0] == pytest.approx(100.0)
+        assert upper[1] == pytest.approx(60.0)
+
+    def test_rejects_zero_cells(self, builder):
+        with pytest.raises(GeometryError):
+            builder.rectangular_mesh(10.0, 10.0, 0, 2)
+
+    def test_no_duplicate_conductors(self, builder):
+        grid = builder.rectangular_mesh(30.0, 30.0, 3, 3)
+        keys = set()
+        for c in grid:
+            key = (tuple(np.round(c.start, 6)), tuple(np.round(c.end, 6)))
+            key = tuple(sorted(key))
+            assert key not in keys
+            keys.add(key)
+
+
+class TestRightTriangleMesh:
+    def test_all_nodes_inside_triangle(self, builder):
+        grid = builder.right_triangle_mesh(30.0, 40.0, 10.0, 10.0)
+        nodes = GridBuilder.node_positions(grid)
+        # x / 30 + y / 40 <= 1 within tolerance
+        assert np.all(nodes[:, 0] / 30.0 + nodes[:, 1] / 40.0 <= 1.0 + 1e-9)
+
+    def test_hypotenuse_present(self, builder):
+        grid = builder.right_triangle_mesh(30.0, 40.0, 10.0, 10.0)
+        # Some conductor must have both end points on the hypotenuse.
+        on_hyp = 0
+        for c in grid:
+            va = c.start[0] / 30.0 + c.start[1] / 40.0
+            vb = c.end[0] / 30.0 + c.end[1] / 40.0
+            if abs(va - 1.0) < 1e-9 and abs(vb - 1.0) < 1e-9:
+                on_hyp += 1
+        assert on_hyp >= 3
+
+    def test_covered_area_close_to_triangle_area(self, builder):
+        grid = builder.right_triangle_mesh(30.0, 40.0, 5.0, 5.0)
+        assert grid.covered_area() == pytest.approx(0.5 * 30 * 40, rel=1e-6)
+
+    def test_rejects_bad_spacing(self, builder):
+        with pytest.raises(GeometryError):
+            builder.right_triangle_mesh(30.0, 40.0, 0.0, 5.0)
+
+    def test_connected(self, builder, uniform_soil):
+        from repro.geometry import connectivity
+
+        grid = builder.right_triangle_mesh(30.0, 40.0, 10.0, 10.0)
+        mesh = discretize_grid(grid, soil=uniform_soil)
+        assert connectivity.is_connected(mesh)
+
+
+class TestPolygonMesh:
+    def test_requires_convex_ccw(self, builder):
+        clockwise = [(0.0, 0.0), (0.0, 10.0), (10.0, 10.0), (10.0, 0.0)]
+        with pytest.raises(GeometryError):
+            builder.polygon_mesh(clockwise, [0, 5, 10], [0, 5, 10])
+
+    def test_requires_three_vertices(self, builder):
+        with pytest.raises(GeometryError):
+            builder.polygon_mesh([(0.0, 0.0), (1.0, 0.0)], [0.0], [0.0])
+
+    def test_rectangle_equivalence(self, builder):
+        poly = builder.polygon_mesh(
+            [(0.0, 0.0), (20.0, 0.0), (20.0, 10.0), (0.0, 10.0)],
+            xs=np.linspace(0, 20, 3),
+            ys=np.linspace(0, 10, 2),
+        )
+        rect = builder.rectangular_mesh(20.0, 10.0, 2, 1)
+        assert len(poly) == len(rect)
+        assert poly.total_length == pytest.approx(rect.total_length)
+
+    def test_conductors_join_adjacent_nodes(self, builder):
+        grid = builder.polygon_mesh(
+            [(0.0, 0.0), (20.0, 0.0), (0.0, 20.0)], xs=[0, 10, 20], ys=[0, 10, 20]
+        )
+        # No conductor should pass through an interior node: each conductor's
+        # interior must not contain any other node.
+        nodes = GridBuilder.node_positions(grid)[:, :2]
+        for c in grid:
+            a, b = c.start[:2], c.end[:2]
+            direction = b - a
+            length = np.linalg.norm(direction)
+            for node in nodes:
+                t = np.dot(node - a, direction) / length**2
+                if 1e-6 < t < 1 - 1e-6:
+                    closest = a + t * direction
+                    assert np.linalg.norm(closest - node) > 1e-6
+
+
+class TestRods:
+    def test_add_rods_count_and_kind(self, builder):
+        grid = builder.rectangular_mesh(10.0, 10.0, 1, 1)
+        builder.add_rods(grid, [(0.0, 0.0), (10.0, 10.0)])
+        assert grid.n_rods == 2
+        for rod in grid.rods:
+            assert rod.kind is ConductorKind.ROD
+
+    def test_rod_geometry(self, builder):
+        grid = builder.rectangular_mesh(10.0, 10.0, 1, 1)
+        builder.add_rods(grid, [(0.0, 0.0)], length=2.5)
+        rod = grid.rods[0]
+        assert rod.depth_range == pytest.approx((0.8, 3.3))
+        assert rod.is_vertical
+
+    def test_rod_top_depth_override(self, builder):
+        grid = builder.rectangular_mesh(10.0, 10.0, 1, 1)
+        builder.add_rods(grid, [(5.0, 5.0)], top_depth=1.0, length=1.0)
+        assert grid.rods[0].depth_range == pytest.approx((1.0, 2.0))
+
+    def test_rejects_bad_length(self, builder):
+        grid = builder.rectangular_mesh(10.0, 10.0, 1, 1)
+        with pytest.raises(GeometryError):
+            builder.add_rods(grid, [(0.0, 0.0)], length=-1.0)
+
+
+class TestMergeAndHelpers:
+    def test_merge_removes_duplicates(self, builder):
+        a = builder.rectangular_mesh(10.0, 10.0, 1, 1)
+        b = builder.rectangular_mesh(10.0, 10.0, 1, 1)
+        merged = GridBuilder.merge("m", a, b)
+        assert len(merged) == len(a)
+
+    def test_merge_distinct_grids(self, builder):
+        a = builder.rectangular_mesh(10.0, 10.0, 1, 1)
+        b = builder.rectangular_mesh(10.0, 10.0, 1, 1, origin=(50.0, 0.0))
+        merged = GridBuilder.merge("m", a, b)
+        assert len(merged) == len(a) + len(b)
+
+    def test_perimeter_nodes_of_rectangle(self, builder):
+        grid = builder.rectangular_mesh(30.0, 30.0, 3, 3)
+        perimeter = GridBuilder.perimeter_node_positions(grid)
+        # A 3x3 mesh has 16 nodes of which 12 are on the boundary.
+        assert perimeter.shape[0] == 12
+
+
+class TestInternalHelpers:
+    def test_is_convex_ccw(self):
+        assert _is_convex_ccw(np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float))
+        assert not _is_convex_ccw(np.array([[0, 0], [0, 1], [1, 1], [1, 0]], dtype=float))
+
+    def test_clip_vertical_line(self):
+        triangle = np.array([[0, 0], [10, 0], [0, 10]], dtype=float)
+        clip = _clip_line_to_polygon(triangle, "x", 2.0)
+        assert clip is not None
+        lo, hi = clip
+        assert lo == pytest.approx(0.0)
+        assert hi == pytest.approx(8.0)
+
+    def test_clip_line_outside(self):
+        triangle = np.array([[0, 0], [10, 0], [0, 10]], dtype=float)
+        assert _clip_line_to_polygon(triangle, "x", 20.0) is None
+
+    def test_clip_line_on_parallel_edge(self):
+        square = np.array([[0, 0], [10, 0], [10, 10], [0, 10]], dtype=float)
+        clip = _clip_line_to_polygon(square, "x", 0.0)
+        assert clip is not None
+        assert clip[0] == pytest.approx(0.0)
+        assert clip[1] == pytest.approx(10.0)

@@ -1,0 +1,133 @@
+"""Unit tests for the Conductor primitive."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GeometryError
+from repro.geometry.conductors import Conductor, ConductorKind
+
+
+def make_conductor(**kwargs):
+    defaults = dict(
+        start=np.array([0.0, 0.0, 0.8]),
+        end=np.array([10.0, 0.0, 0.8]),
+        radius=6.0e-3,
+    )
+    defaults.update(kwargs)
+    return Conductor(**defaults)
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        c = make_conductor()
+        assert c.length == pytest.approx(10.0)
+        assert c.diameter == pytest.approx(12.0e-3)
+        assert c.kind is ConductorKind.GRID
+
+    def test_rejects_zero_radius(self):
+        with pytest.raises(GeometryError):
+            make_conductor(radius=0.0)
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(GeometryError):
+            make_conductor(radius=-1.0e-3)
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(GeometryError):
+            make_conductor(end=np.array([0.0, 0.0, 0.8]))
+
+    def test_rejects_length_not_exceeding_diameter(self):
+        with pytest.raises(GeometryError):
+            make_conductor(end=np.array([0.005, 0.0, 0.8]), radius=6.0e-3)
+
+    def test_rejects_non_finite_coordinates(self):
+        with pytest.raises(GeometryError):
+            make_conductor(end=np.array([np.nan, 0.0, 0.8]))
+
+    def test_kind_from_enum_value(self):
+        c = make_conductor(kind=ConductorKind.ROD)
+        assert c.kind is ConductorKind.ROD
+
+
+class TestGeometricProperties:
+    def test_direction_is_unit(self):
+        c = make_conductor(end=np.array([3.0, 4.0, 0.8]))
+        assert np.linalg.norm(c.direction) == pytest.approx(1.0)
+
+    def test_midpoint(self):
+        c = make_conductor()
+        assert np.allclose(c.midpoint, [5.0, 0.0, 0.8])
+
+    def test_slenderness(self):
+        c = make_conductor()
+        assert c.slenderness == pytest.approx(12.0e-3 / 10.0)
+
+    def test_is_horizontal(self):
+        assert make_conductor().is_horizontal
+
+    def test_is_vertical(self):
+        rod = make_conductor(start=np.array([0, 0, 0.8]), end=np.array([0, 0, 2.3]))
+        assert rod.is_vertical
+        assert not rod.is_horizontal
+
+    def test_surface_area(self):
+        c = make_conductor()
+        assert c.surface_area == pytest.approx(2 * np.pi * 6e-3 * 10.0)
+
+    def test_depth_range(self):
+        rod = make_conductor(start=np.array([0, 0, 2.3]), end=np.array([0, 0, 0.8]))
+        assert rod.depth_range == pytest.approx((0.8, 2.3))
+
+    def test_point_at(self):
+        c = make_conductor()
+        assert np.allclose(c.point_at(0.25), [2.5, 0.0, 0.8])
+
+    def test_point_at_out_of_range(self):
+        with pytest.raises(GeometryError):
+            make_conductor().point_at(1.5)
+
+
+class TestSplitAndReverse:
+    def test_split_at_midpoint(self):
+        first, second = make_conductor().split_at(0.5)
+        assert first.length == pytest.approx(5.0)
+        assert second.length == pytest.approx(5.0)
+        assert np.allclose(first.end, second.start)
+
+    def test_split_preserves_radius_and_kind(self):
+        c = make_conductor(kind=ConductorKind.ROD)
+        first, second = c.split_at(0.3)
+        assert first.radius == c.radius
+        assert second.kind is ConductorKind.ROD
+
+    def test_split_at_boundary_raises(self):
+        with pytest.raises(GeometryError):
+            make_conductor().split_at(0.0)
+        with pytest.raises(GeometryError):
+            make_conductor().split_at(1.0)
+
+    def test_reversed(self):
+        c = make_conductor()
+        r = c.reversed()
+        assert np.allclose(r.start, c.end)
+        assert np.allclose(r.end, c.start)
+        assert r.length == pytest.approx(c.length)
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        c = make_conductor(kind=ConductorKind.ROD, label="r1")
+        restored = Conductor.from_dict(c.to_dict())
+        assert np.allclose(restored.start, c.start)
+        assert np.allclose(restored.end, c.end)
+        assert restored.radius == pytest.approx(c.radius)
+        assert restored.kind is ConductorKind.ROD
+        assert restored.label == "r1"
+
+    def test_from_dict_defaults_kind(self):
+        data = make_conductor().to_dict()
+        data.pop("kind")
+        restored = Conductor.from_dict(data)
+        assert restored.kind is ConductorKind.GRID

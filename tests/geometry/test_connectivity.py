@@ -1,0 +1,98 @@
+"""Unit tests for the connectivity analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import connectivity
+from repro.geometry.builder import GridBuilder
+from repro.geometry.conductors import Conductor
+from repro.geometry.discretize import discretize_grid
+from repro.geometry.grid import GroundingGrid
+
+
+@pytest.fixture(scope="module")
+def mesh_3x3():
+    builder = GridBuilder(depth=0.8, conductor_radius=5e-3)
+    return discretize_grid(builder.rectangular_mesh(30.0, 30.0, 3, 3))
+
+
+@pytest.fixture(scope="module")
+def disconnected_mesh():
+    grid = GroundingGrid()
+    grid.add(Conductor(np.array([0, 0, 0.8]), np.array([5, 0, 0.8]), 5e-3))
+    grid.add(Conductor(np.array([50, 0, 0.8]), np.array([55, 0, 0.8]), 5e-3))
+    return discretize_grid(grid)
+
+
+class TestGraphConstruction:
+    def test_graph_sizes(self, mesh_3x3):
+        graph = connectivity.connectivity_graph(mesh_3x3)
+        assert graph.number_of_nodes() == mesh_3x3.n_nodes
+        assert graph.number_of_edges() == mesh_3x3.n_elements
+
+    def test_edge_attributes(self, mesh_3x3):
+        graph = connectivity.connectivity_graph(mesh_3x3)
+        _, _, data = next(iter(graph.edges(data=True)))
+        assert "elements" in data
+        assert data["length"] > 0
+
+    def test_parallel_elements_collapse_into_one_edge(self, two_layer_soil):
+        # A rod split by the interface creates two elements between two pairs
+        # of nodes stacked vertically; they remain distinct edges, but two
+        # coincident conductors produce a single edge listing both elements.
+        grid = GroundingGrid()
+        grid.add(Conductor(np.array([0, 0, 0.8]), np.array([5, 0, 0.8]), 5e-3))
+        grid.add(Conductor(np.array([5, 0, 0.8]), np.array([0, 0, 0.8]), 5e-3))
+        mesh = discretize_grid(grid)
+        graph = connectivity.connectivity_graph(mesh)
+        assert graph.number_of_edges() == 1
+        assert len(graph.edges[0, 1]["elements"]) == 2
+
+
+class TestConnectivityChecks:
+    def test_connected_grid(self, mesh_3x3):
+        assert connectivity.is_connected(mesh_3x3)
+        assert len(connectivity.connected_components(mesh_3x3)) == 1
+
+    def test_disconnected_grid(self, disconnected_mesh):
+        assert not connectivity.is_connected(disconnected_mesh)
+        components = connectivity.connected_components(disconnected_mesh)
+        assert len(components) == 2
+
+    def test_components_sorted_by_size(self, disconnected_mesh):
+        components = connectivity.connected_components(disconnected_mesh)
+        assert len(components[0]) >= len(components[-1])
+
+
+class TestCountsAndDegrees:
+    def test_mesh_count_of_rectangular_grid(self, mesh_3x3):
+        # A 3x3 reticulated grid has 9 independent meshes.
+        assert connectivity.count_independent_meshes(mesh_3x3) == 9
+
+    def test_tree_has_zero_meshes(self):
+        grid = GroundingGrid()
+        grid.add(Conductor(np.array([0, 0, 0.8]), np.array([5, 0, 0.8]), 5e-3))
+        grid.add(Conductor(np.array([5, 0, 0.8]), np.array([10, 0, 0.8]), 5e-3))
+        mesh = discretize_grid(grid)
+        assert connectivity.count_independent_meshes(mesh) == 0
+
+    def test_node_degrees(self, mesh_3x3):
+        degrees = connectivity.node_degrees(mesh_3x3)
+        assert degrees.shape == (mesh_3x3.n_nodes,)
+        # Corners have degree 2, interior nodes degree 4.
+        assert degrees.min() == 2
+        assert degrees.max() == 4
+
+    def test_no_isolated_nodes(self, mesh_3x3):
+        assert connectivity.isolated_nodes(mesh_3x3).size == 0
+
+    def test_graph_summary_keys(self, mesh_3x3):
+        summary = connectivity.graph_summary(mesh_3x3)
+        assert summary["n_components"] == 1
+        assert summary["n_independent_meshes"] == 9
+        assert summary["max_degree"] == 4
+        assert summary["mean_degree"] == pytest.approx(
+            2 * mesh_3x3.n_elements / mesh_3x3.n_nodes
+        )

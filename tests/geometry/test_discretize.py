@@ -1,0 +1,165 @@
+"""Unit tests for the mesh discretiser."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DiscretizationError
+from repro.geometry.builder import GridBuilder
+from repro.geometry.conductors import Conductor, ConductorKind
+from repro.geometry.discretize import Mesh, discretize_grid
+from repro.geometry.grid import GroundingGrid
+from repro.soil.two_layer import TwoLayerSoil
+from repro.soil.uniform import UniformSoil
+
+
+class TestBasicDiscretisation:
+    def test_one_element_per_conductor_by_default(self, small_grid):
+        mesh = discretize_grid(small_grid)
+        assert mesh.n_elements == len(small_grid)
+
+    def test_nodes_shared_between_adjacent_elements(self, small_grid):
+        mesh = discretize_grid(small_grid)
+        # A 3x3 rectangular mesh has 16 distinct nodes.
+        assert mesh.n_nodes == 16
+
+    def test_total_length_preserved(self, small_grid):
+        mesh = discretize_grid(small_grid)
+        assert mesh.total_length == pytest.approx(small_grid.total_length)
+
+    def test_default_layer_is_one(self, small_grid):
+        mesh = discretize_grid(small_grid)
+        assert set(mesh.element_layers().tolist()) == {1}
+
+    def test_empty_grid_raises(self):
+        with pytest.raises(DiscretizationError):
+            discretize_grid(GroundingGrid())
+
+    def test_invalid_max_length(self, small_grid):
+        with pytest.raises(DiscretizationError):
+            discretize_grid(small_grid, max_element_length=0.0)
+
+    def test_invalid_min_elements(self, small_grid):
+        with pytest.raises(DiscretizationError):
+            discretize_grid(small_grid, min_elements_per_conductor=0)
+
+
+class TestSubdivision:
+    def test_max_element_length(self, small_grid):
+        mesh = discretize_grid(small_grid, max_element_length=2.0)
+        assert mesh.n_elements > len(small_grid)
+        assert np.all(mesh.element_lengths() <= 2.0 + 1e-9)
+        assert mesh.total_length == pytest.approx(small_grid.total_length)
+
+    def test_min_elements_per_conductor(self, small_grid):
+        mesh = discretize_grid(small_grid, min_elements_per_conductor=3)
+        assert mesh.n_elements == 3 * len(small_grid)
+
+    def test_refinement_keeps_connectivity(self, small_grid, uniform_soil):
+        from repro.geometry import connectivity
+
+        mesh = discretize_grid(small_grid, soil=uniform_soil, max_element_length=3.0)
+        assert connectivity.is_connected(mesh)
+
+
+class TestLayerSplitting:
+    def test_rod_split_at_interface(self, two_layer_soil):
+        grid = GroundingGrid(name="rod")
+        grid.add(
+            Conductor(
+                start=np.array([0.0, 0.0, 0.6]),
+                end=np.array([0.0, 0.0, 2.6]),
+                radius=7e-3,
+                kind=ConductorKind.ROD,
+            )
+        )
+        mesh = discretize_grid(grid, soil=two_layer_soil)
+        assert mesh.n_elements == 2
+        layers = sorted(mesh.element_layers().tolist())
+        assert layers == [1, 2]
+        # The split must happen exactly at the 1 m interface.
+        depths = sorted(float(e.p1[2]) for e in mesh.elements)
+        assert depths[0] == pytest.approx(1.0)
+
+    def test_horizontal_conductor_not_split(self, two_layer_soil, small_grid):
+        mesh = discretize_grid(small_grid, soil=two_layer_soil)
+        assert mesh.n_elements == len(small_grid)
+        assert set(mesh.element_layers().tolist()) == {1}
+
+    def test_rodded_mesh_fixture(self, rodded_mesh, rodded_grid):
+        # 4 rods crossing the interface -> each split into 2 elements.
+        assert rodded_mesh.n_elements == len(rodded_grid) + 4
+        assert set(rodded_mesh.element_layers().tolist()) == {1, 2}
+
+    def test_element_below_interface_tagged_layer_two(self, two_layer_soil):
+        grid = GroundingGrid(name="deep")
+        grid.add(
+            Conductor(
+                start=np.array([0.0, 0.0, 1.5]),
+                end=np.array([5.0, 0.0, 1.5]),
+                radius=6e-3,
+            )
+        )
+        mesh = discretize_grid(grid, soil=two_layer_soil)
+        assert mesh.element_layers().tolist() == [2]
+
+
+class TestMeshViews:
+    def test_endpoint_arrays_shapes(self, small_mesh):
+        p0, p1 = small_mesh.element_endpoints()
+        assert p0.shape == (small_mesh.n_elements, 3)
+        assert p1.shape == (small_mesh.n_elements, 3)
+
+    def test_radii_and_lengths(self, small_mesh):
+        assert small_mesh.element_radii().shape == (small_mesh.n_elements,)
+        assert np.all(small_mesh.element_lengths() > 0)
+
+    def test_element_nodes_within_range(self, small_mesh):
+        nodes = small_mesh.element_nodes()
+        assert nodes.min() >= 0
+        assert nodes.max() < small_mesh.n_nodes
+
+    def test_summary(self, rodded_mesh):
+        summary = rodded_mesh.summary()
+        assert summary["n_elements"] == rodded_mesh.n_elements
+        assert set(summary["elements_per_layer"]) == {1, 2}
+
+    def test_element_properties(self, small_mesh):
+        element = small_mesh.elements[0]
+        assert element.length == pytest.approx(np.linalg.norm(element.p1 - element.p0))
+        assert np.allclose(element.midpoint, 0.5 * (element.p0 + element.p1))
+        assert np.linalg.norm(element.direction) == pytest.approx(1.0)
+        lo, hi = element.depth_range
+        assert lo <= hi
+
+    def test_mesh_validates_node_references(self, small_grid):
+        mesh = discretize_grid(small_grid)
+        bad_element = mesh.elements[0]
+        bad = type(bad_element)(
+            index=0,
+            p0=bad_element.p0,
+            p1=bad_element.p1,
+            radius=bad_element.radius,
+            conductor_index=0,
+            layer=1,
+            node_ids=(0, 10_000),
+        )
+        with pytest.raises(DiscretizationError):
+            Mesh(grid=small_grid, nodes=mesh.nodes, elements=[bad])
+
+
+class TestNodeMerging:
+    def test_nearly_coincident_endpoints_merge(self):
+        grid = GroundingGrid()
+        grid.add(Conductor(np.array([0, 0, 0.8]), np.array([5, 0, 0.8]), 6e-3))
+        grid.add(Conductor(np.array([5.0000001, 0, 0.8]), np.array([10, 0, 0.8]), 6e-3))
+        mesh = discretize_grid(grid)
+        assert mesh.n_nodes == 3
+
+    def test_distinct_points_not_merged(self):
+        grid = GroundingGrid()
+        grid.add(Conductor(np.array([0, 0, 0.8]), np.array([5, 0, 0.8]), 6e-3))
+        grid.add(Conductor(np.array([5.01, 0, 0.8]), np.array([10, 0, 0.8]), 6e-3))
+        mesh = discretize_grid(grid)
+        assert mesh.n_nodes == 4

@@ -1,0 +1,149 @@
+"""Unit tests for the GroundingGrid container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GeometryError
+from repro.geometry.builder import GridBuilder
+from repro.geometry.conductors import Conductor, ConductorKind
+from repro.geometry.grid import GroundingGrid, _convex_hull_area
+
+
+def horizontal(x0, x1, y=0.0, depth=0.8, radius=6e-3, kind=ConductorKind.GRID):
+    return Conductor(
+        start=np.array([x0, y, depth]), end=np.array([x1, y, depth]), radius=radius, kind=kind
+    )
+
+
+class TestCollectionProtocol:
+    def test_empty_grid(self):
+        grid = GroundingGrid(name="empty")
+        assert len(grid) == 0
+        assert grid.n_conductors == 0
+
+    def test_add_and_iterate(self):
+        grid = GroundingGrid()
+        grid.add(horizontal(0, 5))
+        grid.add(horizontal(5, 10))
+        assert len(grid) == 2
+        assert [c.length for c in grid] == pytest.approx([5.0, 5.0])
+
+    def test_getitem(self):
+        grid = GroundingGrid(conductors=[horizontal(0, 5)])
+        assert grid[0].length == pytest.approx(5.0)
+
+    def test_add_rejects_non_conductor(self):
+        grid = GroundingGrid()
+        with pytest.raises(GeometryError):
+            grid.add("not a conductor")  # type: ignore[arg-type]
+
+    def test_extend(self):
+        grid = GroundingGrid()
+        grid.extend([horizontal(0, 5), horizontal(5, 10)])
+        assert len(grid) == 2
+
+
+class TestSelections:
+    def test_rods_and_grid_conductors(self):
+        grid = GroundingGrid()
+        grid.add(horizontal(0, 5))
+        grid.add(
+            Conductor(
+                start=np.array([0, 0, 0.8]),
+                end=np.array([0, 0, 2.3]),
+                radius=7e-3,
+                kind=ConductorKind.ROD,
+            )
+        )
+        assert len(grid.grid_conductors) == 1
+        assert len(grid.rods) == 1
+        assert grid.n_rods == 1
+
+
+class TestAggregates:
+    def test_total_length(self):
+        grid = GroundingGrid(conductors=[horizontal(0, 5), horizontal(0, 7, y=3)])
+        assert grid.total_length == pytest.approx(12.0)
+
+    def test_total_surface_area(self):
+        grid = GroundingGrid(conductors=[horizontal(0, 5)])
+        assert grid.total_surface_area == pytest.approx(2 * np.pi * 6e-3 * 5.0)
+
+    def test_depth_range_and_burial_depth(self):
+        grid = GroundingGrid(conductors=[horizontal(0, 5, depth=0.8), horizontal(0, 5, y=2, depth=1.2)])
+        assert grid.depth_range == pytest.approx((0.8, 1.2))
+        assert grid.burial_depth == pytest.approx(0.8)
+
+    def test_empty_grid_aggregates_raise(self):
+        grid = GroundingGrid()
+        with pytest.raises(GeometryError):
+            _ = grid.depth_range
+        with pytest.raises(GeometryError):
+            grid.bounding_box()
+
+    def test_bounding_box_and_plan_extent(self):
+        grid = GroundingGrid(conductors=[horizontal(0, 10), horizontal(0, 10, y=20)])
+        lower, upper = grid.bounding_box()
+        assert np.allclose(lower, [0, 0, 0.8])
+        assert np.allclose(upper, [10, 20, 0.8])
+        assert grid.plan_extent() == pytest.approx((10.0, 20.0))
+
+    def test_covered_area_of_rectangle(self):
+        builder = GridBuilder(depth=0.8, conductor_radius=5e-3)
+        grid = builder.rectangular_mesh(30.0, 20.0, 3, 2)
+        assert grid.covered_area() == pytest.approx(600.0, rel=1e-6)
+
+    def test_covered_area_collinear_is_zero(self):
+        grid = GroundingGrid(conductors=[horizontal(0, 5), horizontal(5, 10)])
+        assert grid.covered_area() == 0.0
+
+
+class TestSerialisationAndCopies:
+    def test_dict_round_trip(self):
+        grid = GroundingGrid(name="g", metadata={"site": "test"})
+        grid.add(horizontal(0, 5))
+        restored = GroundingGrid.from_dict(grid.to_dict())
+        assert restored.name == "g"
+        assert restored.metadata["site"] == "test"
+        assert len(restored) == 1
+
+    def test_copy_is_shallow_but_independent_list(self):
+        grid = GroundingGrid(conductors=[horizontal(0, 5)])
+        clone = grid.copy()
+        clone.add(horizontal(5, 10))
+        assert len(grid) == 1
+        assert len(clone) == 2
+
+    def test_translated(self):
+        grid = GroundingGrid(conductors=[horizontal(0, 5)])
+        moved = grid.translated([1.0, 2.0, 0.1])
+        assert np.allclose(moved[0].start, [1.0, 2.0, 0.9])
+        assert len(moved) == len(grid)
+
+    def test_translated_bad_offset(self):
+        grid = GroundingGrid(conductors=[horizontal(0, 5)])
+        with pytest.raises(GeometryError):
+            grid.translated([1.0, 2.0])
+
+    def test_summary_keys(self):
+        grid = GroundingGrid(conductors=[horizontal(0, 5)], name="s")
+        summary = grid.summary()
+        assert summary["name"] == "s"
+        assert summary["n_conductors"] == 1
+        assert "total_length_m" in summary
+
+
+class TestConvexHullArea:
+    def test_unit_square(self):
+        pts = np.array([[0, 0], [1, 0], [1, 1], [0, 1], [0.5, 0.5]])
+        assert _convex_hull_area(pts) == pytest.approx(1.0)
+
+    def test_triangle(self):
+        pts = np.array([[0, 0], [2, 0], [0, 2]])
+        assert _convex_hull_area(pts) == pytest.approx(2.0)
+
+    def test_degenerate(self):
+        pts = np.array([[0, 0], [1, 1], [2, 2]])
+        assert _convex_hull_area(pts) == 0.0

@@ -1,0 +1,90 @@
+"""Unit tests for grid serialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GeometryError
+from repro.geometry import io as grid_io
+from repro.geometry.conductors import ConductorKind
+from repro.geometry.grid import GroundingGrid
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_everything(self, rodded_grid):
+        text = grid_io.grid_to_json(rodded_grid)
+        restored = grid_io.grid_from_json(text)
+        assert restored.name == rodded_grid.name
+        assert len(restored) == len(rodded_grid)
+        assert restored.total_length == pytest.approx(rodded_grid.total_length)
+        assert restored.n_rods == rodded_grid.n_rods
+
+    def test_compact_json(self, small_grid):
+        text = grid_io.grid_to_json(small_grid, indent=None)
+        assert "\n" not in text
+        assert grid_io.grid_from_json(text).n_conductors == small_grid.n_conductors
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(GeometryError):
+            grid_io.grid_from_json("not json at all {")
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(GeometryError):
+            grid_io.grid_from_json('{"format": "something-else", "grid": {}}')
+
+    def test_rejects_newer_version(self, small_grid):
+        text = grid_io.grid_to_json(small_grid)
+        text = text.replace('"version": 1', '"version": 99')
+        with pytest.raises(GeometryError):
+            grid_io.grid_from_json(text)
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, tmp_path, small_grid):
+        path = grid_io.save_grid(small_grid, tmp_path / "grid.json")
+        assert path.exists()
+        restored = grid_io.load_grid(path)
+        assert len(restored) == len(small_grid)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(GeometryError):
+            grid_io.load_grid(tmp_path / "missing.json")
+
+
+class TestCsv:
+    def test_round_trip(self, rodded_grid):
+        text = grid_io.grid_to_csv(rodded_grid)
+        restored = grid_io.grid_from_csv(text, name=rodded_grid.name)
+        assert len(restored) == len(rodded_grid)
+        assert restored.total_length == pytest.approx(rodded_grid.total_length)
+        assert restored.rods[0].kind is ConductorKind.ROD
+
+    def test_header_check(self):
+        with pytest.raises(GeometryError):
+            grid_io.grid_from_csv("a,b,c\n1,2,3\n")
+
+    def test_empty_text(self):
+        with pytest.raises(GeometryError):
+            grid_io.grid_from_csv("")
+
+    def test_bad_number(self, small_grid):
+        text = grid_io.grid_to_csv(small_grid)
+        lines = text.splitlines()
+        fields = lines[1].split(",")
+        fields[2] = "not-a-number"
+        lines[1] = ",".join(fields)
+        with pytest.raises(GeometryError):
+            grid_io.grid_from_csv("\n".join(lines))
+
+    def test_blank_lines_ignored(self, small_grid):
+        text = grid_io.grid_to_csv(small_grid) + "\n\n"
+        restored = grid_io.grid_from_csv(text)
+        assert len(restored) == len(small_grid)
+
+    def test_row_width_check(self, small_grid):
+        text = grid_io.grid_to_csv(small_grid)
+        lines = text.splitlines()
+        lines[1] = lines[1] + ",extra"
+        with pytest.raises(GeometryError):
+            grid_io.grid_from_csv("\n".join(lines))

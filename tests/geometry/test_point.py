@@ -1,0 +1,164 @@
+"""Unit tests for the low-level point helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GeometryError
+from repro.geometry import point as pt
+
+finite_coord = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False)
+point3 = st.tuples(finite_coord, finite_coord, finite_coord).map(np.array)
+
+
+class TestAsPoint:
+    def test_accepts_list(self):
+        p = pt.as_point([1.0, 2.0, 3.0])
+        assert p.shape == (3,)
+        assert p.dtype == np.float64
+
+    def test_accepts_array(self):
+        p = pt.as_point(np.array([1, 2, 3]))
+        assert np.allclose(p, [1.0, 2.0, 3.0])
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(GeometryError):
+            pt.as_point([1.0, 2.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(GeometryError):
+            pt.as_point([1.0, np.nan, 0.0])
+
+    def test_rejects_infinite(self):
+        with pytest.raises(GeometryError):
+            pt.as_point([np.inf, 0.0, 0.0])
+
+
+class TestAsPoints:
+    def test_stacks_iterable(self):
+        arr = pt.as_points([[0, 0, 0], [1, 1, 1]])
+        assert arr.shape == (2, 3)
+
+    def test_single_point_promoted(self):
+        arr = pt.as_points(np.array([1.0, 2.0, 3.0]))
+        assert arr.shape == (1, 3)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(GeometryError):
+            pt.as_points([[1.0, 2.0], [3.0, 4.0]])
+
+
+class TestDistanceAndNorm:
+    def test_distance_simple(self):
+        assert pt.distance([0, 0, 0], [3, 4, 0]) == pytest.approx(5.0)
+
+    def test_norm(self):
+        assert pt.norm([1, 2, 2]) == pytest.approx(3.0)
+
+    def test_unit_vector(self):
+        u = pt.unit_vector([0, 0, 5])
+        assert np.allclose(u, [0, 0, 1])
+
+    def test_unit_vector_zero_raises(self):
+        with pytest.raises(GeometryError):
+            pt.unit_vector([0.0, 0.0, 0.0])
+
+    def test_midpoint(self):
+        assert np.allclose(pt.midpoint([0, 0, 0], [2, 4, 6]), [1, 2, 3])
+
+    @given(a=point3, b=point3)
+    @settings(max_examples=50, deadline=None)
+    def test_distance_symmetry(self, a, b):
+        assert pt.distance(a, b) == pytest.approx(pt.distance(b, a))
+
+    @given(a=point3, b=point3, c=point3)
+    @settings(max_examples=50, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert pt.distance(a, c) <= pt.distance(a, b) + pt.distance(b, c) + 1e-9
+
+
+class TestIsCloseAndCollinear:
+    def test_is_close_true(self):
+        assert pt.is_close([0, 0, 0], [0, 0, 1e-12])
+
+    def test_is_close_false(self):
+        assert not pt.is_close([0, 0, 0], [0, 0, 1e-3])
+
+    def test_collinear_true(self):
+        assert pt.collinear([0, 0, 0], [1, 1, 1], [2, 2, 2])
+
+    def test_collinear_false(self):
+        assert not pt.collinear([0, 0, 0], [1, 0, 0], [0, 1, 0])
+
+    def test_collinear_scale_invariant(self):
+        assert pt.collinear([0, 0, 0], [1e4, 0, 0], [2e4, 1e-9, 0])
+
+
+class TestProjection:
+    def test_projection_inside(self):
+        t, q = pt.project_onto_segment([0.5, 1.0, 0.0], [0, 0, 0], [1, 0, 0])
+        assert t == pytest.approx(0.5)
+        assert np.allclose(q, [0.5, 0, 0])
+
+    def test_projection_clamped_start(self):
+        t, q = pt.project_onto_segment([-1.0, 0.5, 0.0], [0, 0, 0], [1, 0, 0])
+        assert t == 0.0
+        assert np.allclose(q, [0, 0, 0])
+
+    def test_projection_clamped_end(self):
+        t, _ = pt.project_onto_segment([5.0, 0.0, 0.0], [0, 0, 0], [1, 0, 0])
+        assert t == 1.0
+
+    def test_degenerate_segment(self):
+        t, q = pt.project_onto_segment([1.0, 1.0, 1.0], [0, 0, 0], [0, 0, 0])
+        assert t == 0.0
+        assert np.allclose(q, [0, 0, 0])
+
+    def test_point_segment_distance(self):
+        assert pt.point_segment_distance([0.5, 2.0, 0.0], [0, 0, 0], [1, 0, 0]) == pytest.approx(
+            2.0
+        )
+
+
+class TestSegmentSegmentDistance:
+    def test_crossing_segments(self):
+        d = pt.segment_segment_distance([0, 0, 0], [1, 0, 0], [0.5, -1, 1], [0.5, 1, 1])
+        assert d == pytest.approx(1.0)
+
+    def test_parallel_segments(self):
+        d = pt.segment_segment_distance([0, 0, 0], [1, 0, 0], [0, 2, 0], [1, 2, 0])
+        assert d == pytest.approx(2.0)
+
+    def test_collinear_disjoint(self):
+        d = pt.segment_segment_distance([0, 0, 0], [1, 0, 0], [3, 0, 0], [4, 0, 0])
+        assert d == pytest.approx(2.0)
+
+    def test_shared_endpoint(self):
+        d = pt.segment_segment_distance([0, 0, 0], [1, 0, 0], [1, 0, 0], [1, 1, 0])
+        assert d == pytest.approx(0.0)
+
+    def test_degenerate_both(self):
+        d = pt.segment_segment_distance([0, 0, 0], [0, 0, 0], [1, 1, 1], [1, 1, 1])
+        assert d == pytest.approx(np.sqrt(3.0))
+
+    @given(a0=point3, a1=point3, b0=point3, b1=point3)
+    @settings(max_examples=50, deadline=None)
+    def test_distance_not_larger_than_endpoint_distances(self, a0, a1, b0, b1):
+        d = pt.segment_segment_distance(a0, a1, b0, b1)
+        endpoint_min = min(
+            pt.distance(a0, b0), pt.distance(a0, b1), pt.distance(a1, b0), pt.distance(a1, b1)
+        )
+        assert d <= endpoint_min + 1e-6
+
+
+class TestLexicographicKey:
+    def test_merges_negative_zero(self):
+        assert pt.lexicographic_key(np.array([-0.0, 0.0, 0.0])) == (0.0, 0.0, 0.0)
+
+    def test_rounding(self):
+        k1 = pt.lexicographic_key(np.array([1.0000000001, 0.0, 0.0]))
+        k2 = pt.lexicographic_key(np.array([1.0, 0.0, 0.0]))
+        assert k1 == k2

@@ -1,0 +1,121 @@
+"""Tests of the Barberá and Balaidos grid reconstructions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import connectivity
+from repro.geometry.conductors import ConductorKind
+from repro.geometry.discretize import discretize_grid
+from repro.geometry.substations import (
+    BALAIDOS_ROD_LENGTH_M,
+    BARBERA_DIAMETER_MM,
+    balaidos_grid,
+    barbera_grid,
+)
+from repro.soil.two_layer import TwoLayerSoil
+
+
+@pytest.fixture(scope="module")
+def barbera():
+    return barbera_grid()
+
+
+@pytest.fixture(scope="module")
+def balaidos():
+    return balaidos_grid()
+
+
+class TestBarbera:
+    def test_segment_count_matches_paper(self, barbera):
+        assert len(barbera) == 408
+
+    def test_conductor_diameter(self, barbera):
+        assert barbera[0].diameter == pytest.approx(BARBERA_DIAMETER_MM * 1e-3)
+
+    def test_burial_depth(self, barbera):
+        assert barbera.depth_range == pytest.approx((0.8, 0.8))
+
+    def test_plan_extent(self, barbera):
+        dx, dy = barbera.plan_extent()
+        assert dx == pytest.approx(89.0)
+        assert dy == pytest.approx(143.0)
+
+    def test_covered_area_close_to_paper(self, barbera):
+        # The paper quotes 6 600 m² of protected area; the right triangle of
+        # 89 x 143 m has 6 363.5 m².
+        assert barbera.covered_area() == pytest.approx(0.5 * 89 * 143, rel=1e-6)
+
+    def test_node_count_close_to_paper_dof(self, barbera):
+        mesh = discretize_grid(barbera)
+        assert abs(mesh.n_nodes - 238) <= 20
+
+    def test_connected(self, barbera):
+        mesh = discretize_grid(barbera)
+        assert connectivity.is_connected(mesh)
+
+    def test_no_rods(self, barbera):
+        assert barbera.n_rods == 0
+
+    def test_metadata(self, barbera):
+        assert barbera.metadata["paper_segments"] == 408
+        assert barbera.metadata["gpr_v"] == pytest.approx(10_000.0)
+
+    def test_custom_spacing_changes_size(self):
+        coarse = barbera_grid(spacing_x=89.0 / 7.0, spacing_y=143.0 / 12.0)
+        assert len(coarse) < 408
+
+
+class TestBalaidos:
+    def test_rod_count_matches_paper(self, balaidos):
+        assert balaidos.n_rods == 67
+
+    def test_horizontal_segment_count(self, balaidos):
+        # 107 mesh conductors, 5 of which are split in two to host the extra
+        # rods -> 112 horizontal segments.
+        assert len(balaidos.grid_conductors) == 112
+
+    def test_rod_geometry(self, balaidos):
+        for rod in balaidos.rods:
+            assert rod.is_vertical
+            assert rod.length == pytest.approx(BALAIDOS_ROD_LENGTH_M)
+            assert rod.depth_range == pytest.approx((0.8, 0.8 + BALAIDOS_ROD_LENGTH_M))
+
+    def test_rod_positions_unique(self, balaidos):
+        tops = {(round(float(r.start[0]), 6), round(float(r.start[1]), 6)) for r in balaidos.rods}
+        assert len(tops) == 67
+
+    def test_connected(self, balaidos):
+        mesh = discretize_grid(balaidos)
+        assert connectivity.is_connected(mesh)
+
+    def test_element_counts_per_soil_model(self, balaidos):
+        # Model C (interface at 1 m): every 1.5 m rod starting at 0.8 m crosses
+        # the interface and splits in two.
+        soil_c = TwoLayerSoil(0.0025, 0.020, 1.0)
+        mesh_c = discretize_grid(balaidos, soil=soil_c)
+        assert mesh_c.n_elements == 112 + 2 * 67
+        # Model B (interface at 0.7 m): everything is below the interface.
+        soil_b = TwoLayerSoil(0.0025, 0.020, 0.7)
+        mesh_b = discretize_grid(balaidos, soil=soil_b)
+        assert mesh_b.n_elements == 112 + 67
+        assert set(mesh_b.element_layers().tolist()) == {2}
+
+    def test_model_c_layers(self, balaidos):
+        soil_c = TwoLayerSoil(0.0025, 0.020, 1.0)
+        mesh_c = discretize_grid(balaidos, soil=soil_c)
+        layers = mesh_c.element_layers()
+        # Horizontal mesh in layer 1, rod bottoms in layer 2.
+        assert (layers == 1).sum() == 112 + 67
+        assert (layers == 2).sum() == 67
+
+    def test_plan_extent(self, balaidos):
+        dx, dy = balaidos.plan_extent()
+        assert dx == pytest.approx(81.0)
+        assert dy == pytest.approx(54.0)
+
+    def test_reduced_rod_count(self):
+        grid = balaidos_grid(n_rods=10)
+        assert grid.n_rods == 10
+        assert len(grid.grid_conductors) == 107

@@ -1,0 +1,75 @@
+"""Unit tests for the depth-axis transforms used by the method of images."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.transforms import (
+    DepthTransform,
+    identity_transform,
+    reflect_interface,
+    reflect_surface,
+)
+
+depth = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False)
+
+
+class TestConstruction:
+    def test_rejects_bad_sign(self):
+        with pytest.raises(ValueError):
+            DepthTransform(sign=2.0, offset=0.0)
+
+    def test_identity(self):
+        t = identity_transform()
+        assert t.is_identity
+        assert t.apply_depth(1.23) == pytest.approx(1.23)
+
+    def test_surface_reflection(self):
+        t = reflect_surface()
+        assert t.apply_depth(0.8) == pytest.approx(-0.8)
+        assert not t.is_identity
+
+    def test_interface_reflection(self):
+        t = reflect_interface(1.0)
+        assert t.apply_depth(0.8) == pytest.approx(1.2)
+        assert t.apply_depth(1.0) == pytest.approx(1.0)
+
+
+class TestApplyPoints:
+    def test_only_depth_changes(self):
+        t = reflect_surface()
+        points = np.array([[1.0, 2.0, 0.8], [3.0, 4.0, 1.5]])
+        out = t.apply_points(points)
+        assert np.allclose(out[:, :2], points[:, :2])
+        assert np.allclose(out[:, 2], [-0.8, -1.5])
+
+    def test_input_not_mutated(self):
+        t = reflect_surface()
+        points = np.array([[1.0, 2.0, 0.8]])
+        _ = t.apply_points(points)
+        assert points[0, 2] == pytest.approx(0.8)
+
+
+class TestComposition:
+    @given(z=depth, offset1=depth, offset2=depth)
+    @settings(max_examples=50, deadline=None)
+    def test_compose_matches_sequential_application(self, z, offset1, offset2):
+        t1 = DepthTransform(-1.0, offset1)
+        t2 = DepthTransform(1.0, offset2)
+        combined = t1.compose(t2)
+        assert combined.apply_depth(z) == pytest.approx(t1.apply_depth(t2.apply_depth(z)))
+
+    def test_double_reflection_is_translation(self):
+        surface = reflect_surface()
+        interface = reflect_interface(1.0)
+        combined = interface.compose(surface)
+        # z -> -z -> 2h + z: a translation by 2h of the original depth.
+        assert combined.sign == 1.0
+        assert combined.offset == pytest.approx(2.0)
+
+    def test_reflection_is_involution(self):
+        t = reflect_interface(2.5)
+        assert t.compose(t).is_identity

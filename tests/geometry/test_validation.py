@@ -1,0 +1,120 @@
+"""Unit tests for the grid validation rules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.geometry.builder import GridBuilder
+from repro.geometry.conductors import Conductor, ConductorKind
+from repro.geometry.grid import GroundingGrid
+from repro.geometry.validation import ERROR, WARNING, GridIssue, validate_grid
+
+
+def codes(issues):
+    return {issue.code for issue in issues}
+
+
+class TestCleanGrid:
+    def test_no_issues_on_builder_grid(self, small_grid, uniform_soil):
+        issues = validate_grid(small_grid, soil=uniform_soil)
+        assert issues == []
+
+    def test_rodded_grid_reports_multi_layer_warning(self, rodded_grid, two_layer_soil):
+        issues = validate_grid(rodded_grid, soil=two_layer_soil)
+        assert codes(issues) == {"multi-layer-electrodes"}
+        assert all(issue.severity == WARNING for issue in issues)
+
+
+class TestIndividualRules:
+    def test_empty_grid(self):
+        issues = validate_grid(GroundingGrid())
+        assert codes(issues) == {"empty-grid"}
+        assert issues[0].is_error
+
+    def test_not_buried(self):
+        grid = GroundingGrid()
+        grid.add(Conductor(np.array([0, 0, 0.0]), np.array([5, 0, 0.5]), 5e-3))
+        issues = validate_grid(grid)
+        assert "not-buried" in codes(issues)
+
+    def test_thick_conductor_warning(self):
+        grid = GroundingGrid()
+        grid.add(Conductor(np.array([0, 0, 0.5]), np.array([1.0, 0, 0.5]), 0.1))
+        issues = validate_grid(grid)
+        assert "thick-conductor" in codes(issues)
+        issue = next(i for i in issues if i.code == "thick-conductor")
+        assert issue.severity == WARNING
+
+    def test_duplicate_conductor(self):
+        grid = GroundingGrid()
+        grid.add(Conductor(np.array([0, 0, 0.5]), np.array([5, 0, 0.5]), 5e-3))
+        grid.add(Conductor(np.array([5, 0, 0.5]), np.array([0, 0, 0.5]), 5e-3))
+        issues = validate_grid(grid)
+        assert "duplicate-conductor" in codes(issues)
+
+    def test_overlapping_conductors(self):
+        grid = GroundingGrid()
+        grid.add(Conductor(np.array([0, 0, 0.5]), np.array([5, 0, 0.5]), 5e-3))
+        # Parallel conductor 1 mm away: overlaps (sum of radii is 10 mm).
+        grid.add(Conductor(np.array([0, 0.001, 0.5]), np.array([5, 0.001, 0.5]), 5e-3))
+        issues = validate_grid(grid)
+        assert "overlapping-conductors" in codes(issues)
+
+    def test_conductors_sharing_a_node_do_not_overlap(self):
+        grid = GroundingGrid()
+        grid.add(Conductor(np.array([0, 0, 0.5]), np.array([5, 0, 0.5]), 5e-3))
+        grid.add(Conductor(np.array([5, 0, 0.5]), np.array([5, 5, 0.5]), 5e-3))
+        issues = validate_grid(grid)
+        assert "overlapping-conductors" not in codes(issues)
+
+    def test_overlap_check_skip_cap(self, small_grid):
+        issues = validate_grid(small_grid, max_overlap_pairs=1)
+        assert "overlap-check-skipped" in codes(issues)
+
+    def test_overlap_check_disabled(self):
+        grid = GroundingGrid()
+        grid.add(Conductor(np.array([0, 0, 0.5]), np.array([5, 0, 0.5]), 5e-3))
+        grid.add(Conductor(np.array([0, 0.001, 0.5]), np.array([5, 0.001, 0.5]), 5e-3))
+        issues = validate_grid(grid, check_overlaps=False)
+        assert "overlapping-conductors" not in codes(issues)
+
+    def test_disconnected_grid(self):
+        grid = GroundingGrid()
+        grid.add(Conductor(np.array([0, 0, 0.5]), np.array([5, 0, 0.5]), 5e-3))
+        grid.add(Conductor(np.array([50, 0, 0.5]), np.array([55, 0, 0.5]), 5e-3))
+        issues = validate_grid(grid)
+        assert "disconnected-grid" in codes(issues)
+
+    def test_deep_electrode_warning(self, two_layer_soil):
+        grid = GroundingGrid()
+        grid.add(Conductor(np.array([0, 0, 0.5]), np.array([5, 0, 0.5]), 5e-3))
+        grid.add(
+            Conductor(
+                np.array([0, 0, 0.5]),
+                np.array([0, 0, 30.0]),
+                7e-3,
+                kind=ConductorKind.ROD,
+            )
+        )
+        issues = validate_grid(grid, soil=two_layer_soil)
+        assert "deep-electrodes" in codes(issues)
+
+
+class TestRaiseOnError:
+    def test_raises_when_requested(self):
+        grid = GroundingGrid()
+        grid.add(Conductor(np.array([0, 0, 0.0]), np.array([5, 0, 0.5]), 5e-3))
+        with pytest.raises(ValidationError):
+            validate_grid(grid, raise_on_error=True)
+
+    def test_warnings_do_not_raise(self, rodded_grid, two_layer_soil):
+        issues = validate_grid(rodded_grid, soil=two_layer_soil, raise_on_error=True)
+        assert all(not issue.is_error for issue in issues)
+
+
+class TestGridIssue:
+    def test_is_error_flag(self):
+        assert GridIssue(ERROR, "x", "message").is_error
+        assert not GridIssue(WARNING, "x", "message").is_error

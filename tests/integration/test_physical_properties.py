@@ -1,0 +1,122 @@
+"""Property-based tests of physical invariants of the whole solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bem.formulation import GroundingAnalysis
+from repro.geometry.builder import GridBuilder
+from repro.soil.two_layer import TwoLayerSoil
+from repro.soil.uniform import UniformSoil
+
+conductivity = st.floats(min_value=1e-3, max_value=0.2, allow_nan=False, allow_infinity=False)
+thickness = st.floats(min_value=0.3, max_value=5.0, allow_nan=False, allow_infinity=False)
+scale_factor = st.floats(min_value=0.5, max_value=3.0, allow_nan=False, allow_infinity=False)
+
+
+def tiny_grid(width: float = 12.0, height: float = 8.0, depth: float = 0.5) -> "GridBuilder":
+    builder = GridBuilder(depth=depth, conductor_radius=5e-3, name="tiny")
+    return builder.rectangular_mesh(width, height, 2, 1)
+
+
+class TestScalingLaws:
+    @given(gamma=conductivity)
+    @settings(max_examples=8, deadline=None)
+    def test_resistance_inversely_proportional_to_conductivity(self, gamma):
+        """In a uniform soil, Req · γ is a purely geometric constant."""
+        grid = tiny_grid()
+        base = GroundingAnalysis(grid, UniformSoil(0.01), gpr=100.0, validate=False).run()
+        other = GroundingAnalysis(grid, UniformSoil(gamma), gpr=100.0, validate=False).run()
+        assert other.equivalent_resistance * gamma == pytest.approx(
+            base.equivalent_resistance * 0.01, rel=1e-9
+        )
+
+    @given(gamma1=conductivity, gamma2=conductivity, h=thickness)
+    @settings(max_examples=8, deadline=None)
+    def test_two_layer_resistance_between_uniform_bounds(self, gamma1, gamma2, h):
+        """Req of the layered soil lies between the two uniform-soil extremes."""
+        grid = tiny_grid(depth=0.4)
+        layered = GroundingAnalysis(
+            grid, TwoLayerSoil(gamma1, gamma2, h), gpr=100.0, validate=False
+        ).run()
+        bound_upper = GroundingAnalysis(
+            grid, UniformSoil(min(gamma1, gamma2)), gpr=100.0, validate=False
+        ).run()
+        bound_lower = GroundingAnalysis(
+            grid, UniformSoil(max(gamma1, gamma2)), gpr=100.0, validate=False
+        ).run()
+        assert (
+            bound_lower.equivalent_resistance * (1 - 1e-9)
+            <= layered.equivalent_resistance
+            <= bound_upper.equivalent_resistance * (1 + 1e-9)
+        )
+
+    @given(factor=scale_factor)
+    @settings(max_examples=6, deadline=None)
+    def test_geometric_scaling_law(self, factor):
+        """Scaling every length by s divides the resistance by s (uniform soil)."""
+        builder_small = GridBuilder(depth=0.5, conductor_radius=5e-3, name="s")
+        grid_small = builder_small.rectangular_mesh(10.0, 10.0, 1, 1)
+        builder_big = GridBuilder(depth=0.5 * factor, conductor_radius=5e-3 * factor, name="b")
+        grid_big = builder_big.rectangular_mesh(10.0 * factor, 10.0 * factor, 1, 1)
+        soil = UniformSoil(0.01)
+        small = GroundingAnalysis(grid_small, soil, gpr=100.0, validate=False).run()
+        big = GroundingAnalysis(grid_big, soil, gpr=100.0, validate=False).run()
+        assert big.equivalent_resistance == pytest.approx(
+            small.equivalent_resistance / factor, rel=1e-6
+        )
+
+    @given(gpr=st.floats(min_value=10.0, max_value=1e5))
+    @settings(max_examples=6, deadline=None)
+    def test_gpr_linearity(self, gpr):
+        grid = tiny_grid()
+        soil = UniformSoil(0.02)
+        reference = GroundingAnalysis(grid, soil, gpr=1000.0, validate=False).run()
+        scaled = GroundingAnalysis(grid, soil, gpr=gpr, validate=False).run()
+        assert scaled.total_current == pytest.approx(
+            reference.total_current * gpr / 1000.0, rel=1e-9
+        )
+
+
+class TestMonotonicityProperties:
+    @given(h=thickness)
+    @settings(max_examples=8, deadline=None)
+    def test_thicker_resistive_top_layer_raises_resistance(self, h):
+        """With ρ₁ > ρ₂ and the grid in the top layer, a thicker top layer
+        cannot lower the resistance with respect to a thin one."""
+        grid = tiny_grid(depth=0.25)
+        thin = GroundingAnalysis(
+            grid, TwoLayerSoil(0.002, 0.02, 0.3), gpr=100.0, validate=False
+        ).run()
+        thick = GroundingAnalysis(
+            grid, TwoLayerSoil(0.002, 0.02, 0.3 + h), gpr=100.0, validate=False
+        ).run()
+        assert thick.equivalent_resistance >= thin.equivalent_resistance * (1 - 1e-9)
+
+    def test_adding_conductors_lowers_resistance(self):
+        soil = UniformSoil(0.01)
+        sparse_builder = GridBuilder(depth=0.5, conductor_radius=5e-3)
+        dense_builder = GridBuilder(depth=0.5, conductor_radius=5e-3)
+        sparse = sparse_builder.rectangular_mesh(20.0, 20.0, 1, 1)
+        dense = dense_builder.rectangular_mesh(20.0, 20.0, 4, 4)
+        r_sparse = GroundingAnalysis(sparse, soil, gpr=100.0).run().equivalent_resistance
+        r_dense = GroundingAnalysis(dense, soil, gpr=100.0).run().equivalent_resistance
+        assert r_dense < r_sparse
+
+    def test_deeper_burial_reduces_surface_potential_above_grid(self):
+        soil = UniformSoil(0.01)
+        shallow_grid = GridBuilder(depth=0.3, conductor_radius=5e-3).rectangular_mesh(
+            12.0, 12.0, 2, 2
+        )
+        deep_grid = GridBuilder(depth=2.0, conductor_radius=5e-3).rectangular_mesh(
+            12.0, 12.0, 2, 2
+        )
+        shallow = GroundingAnalysis(shallow_grid, soil, gpr=1000.0).run()
+        deep = GroundingAnalysis(deep_grid, soil, gpr=1000.0).run()
+        point = np.array([6.0, 6.0, 0.0])
+        v_shallow = float(shallow.evaluator().potential_at(point)) / shallow.total_current
+        v_deep = float(deep.evaluator().potential_at(point)) / deep.total_current
+        assert v_deep < v_shallow

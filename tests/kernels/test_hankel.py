@@ -1,0 +1,107 @@
+"""Unit tests for the Hankel-quadrature kernel (including 3+ layer soils)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import KernelError
+from repro.kernels.hankel import HankelKernel
+from repro.kernels.two_layer import TwoLayerSoilKernel
+from repro.kernels.series import SeriesControl
+from repro.soil.multilayer import MultiLayerSoil
+from repro.soil.two_layer import TwoLayerSoil
+from repro.soil.uniform import UniformSoil
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(KernelError):
+            HankelKernel(UniformSoil(0.01), lambda_max_scale=0.0)
+        with pytest.raises(KernelError):
+            HankelKernel(UniformSoil(0.01), points_per_panel=1)
+
+    def test_rejects_source_on_surface(self):
+        kernel = HankelKernel(UniformSoil(0.01))
+        with pytest.raises(KernelError):
+            kernel.potential_coefficient(np.array([1.0, 0.0, 0.0]), np.array([0.0, 0.0, 0.0]))
+
+    def test_rejects_field_above_surface(self):
+        kernel = HankelKernel(UniformSoil(0.01))
+        with pytest.raises(KernelError):
+            kernel.potential_coefficient(np.array([1.0, 0.0, -0.5]), np.array([0.0, 0.0, 1.0]))
+
+    def test_rejects_coincident_points(self):
+        kernel = HankelKernel(UniformSoil(0.01))
+        with pytest.raises(KernelError):
+            kernel.potential_coefficient(np.array([0.0, 0.0, 1.0]), np.array([0.0, 0.0, 1.0]))
+
+
+class TestUniformSoil:
+    def test_matches_closed_form(self):
+        gamma = 0.016
+        kernel = HankelKernel(UniformSoil(gamma))
+        source = np.array([0.0, 0.0, 0.8])
+        field = np.array([3.0, 1.0, 1.4])
+        r = np.linalg.norm(field - source)
+        r_image = np.linalg.norm(field - np.array([0.0, 0.0, -0.8]))
+        expected = (1.0 / r + 1.0 / r_image) / (4.0 * np.pi * gamma)
+        assert kernel.potential_coefficient(field, source) == pytest.approx(expected, rel=1e-8)
+
+    def test_kernel_value_normalisation(self):
+        gamma = 0.02
+        kernel = HankelKernel(UniformSoil(gamma))
+        source = np.array([0.0, 0.0, 1.0])
+        field = np.array([2.0, 0.0, 0.0])
+        assert kernel.kernel_value(field, source) == pytest.approx(
+            4.0 * np.pi * gamma * kernel.potential_coefficient(field, source)
+        )
+
+
+class TestThreeLayerSoil:
+    SOIL = MultiLayerSoil([0.0025, 0.01, 0.05], [1.0, 2.0])
+
+    def test_reduces_to_two_layer_when_lower_layers_merge(self):
+        merged = MultiLayerSoil([0.0025, 0.01, 0.01], [1.0, 2.0])
+        three = HankelKernel(merged)
+        two = TwoLayerSoilKernel(
+            TwoLayerSoil(0.0025, 0.01, 1.0), SeriesControl(tolerance=1e-12, max_groups=4096)
+        )
+        source = np.array([0.0, 0.0, 0.6])
+        field = np.array([3.0, 0.0, 0.0])
+        assert three.potential_coefficient(field, source) == pytest.approx(
+            float(two.potential_coefficient(field, source)), rel=1e-6
+        )
+
+    def test_three_layer_between_bounding_two_layer_models(self):
+        # The true three-layer response must lie between the two-layer models
+        # obtained by assigning the middle layer's conductivity to the bottom.
+        kernel = HankelKernel(self.SOIL)
+        optimistic = HankelKernel(MultiLayerSoil([0.0025, 0.05, 0.05], [1.0, 2.0]))
+        pessimistic = HankelKernel(MultiLayerSoil([0.0025, 0.01, 0.01], [1.0, 2.0]))
+        source = np.array([0.0, 0.0, 0.6])
+        field = np.array([5.0, 0.0, 0.0])
+        value = kernel.potential_coefficient(field, source)
+        low = optimistic.potential_coefficient(field, source)
+        high = pessimistic.potential_coefficient(field, source)
+        assert min(low, high) <= value <= max(low, high)
+
+    def test_potential_continuous_across_middle_interface(self):
+        kernel = HankelKernel(self.SOIL)
+        source = np.array([0.0, 0.0, 0.5])
+        above = kernel.potential_coefficient(np.array([2.0, 0.0, 3.0 - 1e-6]), source)
+        below = kernel.potential_coefficient(np.array([2.0, 0.0, 3.0 + 1e-6]), source)
+        assert above == pytest.approx(below, rel=1e-5)
+
+    def test_source_in_middle_layer(self):
+        kernel = HankelKernel(self.SOIL)
+        source = np.array([0.0, 0.0, 2.0])
+        surface_value = kernel.potential_coefficient(np.array([2.0, 0.0, 0.0]), source)
+        assert surface_value > 0.0
+
+    def test_decay_with_horizontal_distance(self):
+        kernel = HankelKernel(self.SOIL)
+        source = np.array([0.0, 0.0, 0.6])
+        near = kernel.potential_coefficient(np.array([2.0, 0.0, 0.0]), source)
+        far = kernel.potential_coefficient(np.array([30.0, 0.0, 0.0]), source)
+        assert far < near

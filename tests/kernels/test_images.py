@@ -1,0 +1,126 @@
+"""Unit tests for the ImageTerm / ImageSeries containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import KernelError
+from repro.kernels.images import ImageSeries, ImageTerm
+
+weights = st.floats(min_value=-2.0, max_value=2.0, allow_nan=False, allow_infinity=False)
+offsets = st.floats(min_value=-20.0, max_value=20.0, allow_nan=False, allow_infinity=False)
+signs = st.sampled_from([-1.0, 1.0])
+
+
+class TestImageTerm:
+    def test_image_depth(self):
+        term = ImageTerm(weight=0.5, sign=-1.0, offset=2.0)
+        assert term.image_depth(0.8) == pytest.approx(1.2)
+
+    def test_rejects_bad_sign(self):
+        with pytest.raises(KernelError):
+            ImageTerm(weight=1.0, sign=0.5, offset=0.0)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(KernelError):
+            ImageTerm(weight=np.inf, sign=1.0, offset=0.0)
+        with pytest.raises(KernelError):
+            ImageTerm(weight=1.0, sign=1.0, offset=np.nan)
+
+
+class TestImageSeries:
+    def test_requires_terms(self):
+        with pytest.raises(KernelError):
+            ImageSeries([])
+
+    def test_container_protocol(self):
+        series = ImageSeries([ImageTerm(1.0, 1.0, 0.0), ImageTerm(0.5, -1.0, 2.0)])
+        assert len(series) == 2
+        assert series[1].weight == pytest.approx(0.5)
+        assert [t.sign for t in series] == [1.0, -1.0]
+
+    def test_arrays_match_terms(self):
+        series = ImageSeries([ImageTerm(1.0, 1.0, 0.0), ImageTerm(0.5, -1.0, 2.0)])
+        assert np.allclose(series.weights, [1.0, 0.5])
+        assert np.allclose(series.signs, [1.0, -1.0])
+        assert np.allclose(series.offsets, [0.0, 2.0])
+
+    def test_image_points_single(self):
+        series = ImageSeries([ImageTerm(1.0, 1.0, 0.0), ImageTerm(1.0, -1.0, 0.0)])
+        images = series.image_points(np.array([1.0, 2.0, 0.8]))
+        assert images.shape == (2, 3)
+        assert images[0, 2] == pytest.approx(0.8)
+        assert images[1, 2] == pytest.approx(-0.8)
+        assert np.allclose(images[:, :2], [[1.0, 2.0], [1.0, 2.0]])
+
+    def test_image_points_batch(self):
+        series = ImageSeries([ImageTerm(1.0, -1.0, 4.0)])
+        points = np.array([[0.0, 0.0, 1.0], [0.0, 0.0, 3.0]])
+        images = series.image_points(points)
+        assert images.shape == (1, 2, 3)
+        assert np.allclose(images[0, :, 2], [3.0, 1.0])
+
+    def test_image_points_bad_shape(self):
+        series = ImageSeries([ImageTerm(1.0, 1.0, 0.0)])
+        with pytest.raises(KernelError):
+            series.image_points(np.zeros((2, 2)))
+
+    def test_evaluate_against_manual_sum(self):
+        series = ImageSeries([ImageTerm(1.0, 1.0, 0.0), ImageTerm(-0.5, -1.0, 2.0)])
+        source = np.array([0.0, 0.0, 0.8])
+        field = np.array([3.0, 0.0, 0.5])
+        expected = 1.0 / np.linalg.norm(field - source) - 0.5 / np.linalg.norm(
+            field - np.array([0.0, 0.0, 1.2])
+        )
+        assert series.evaluate(field, source) == pytest.approx(expected)
+
+    def test_evaluate_many_points(self):
+        series = ImageSeries([ImageTerm(1.0, 1.0, 0.0)])
+        source = np.array([0.0, 0.0, 1.0])
+        fields = np.array([[1.0, 0.0, 1.0], [2.0, 0.0, 1.0]])
+        values = series.evaluate(fields, source)
+        assert np.allclose(values, [1.0, 0.5])
+
+    def test_evaluate_rejects_coincident_point(self):
+        series = ImageSeries([ImageTerm(1.0, 1.0, 0.0)])
+        with pytest.raises(KernelError):
+            series.evaluate(np.array([0.0, 0.0, 1.0]), np.array([0.0, 0.0, 1.0]))
+
+    def test_scaled(self):
+        series = ImageSeries([ImageTerm(1.0, 1.0, 0.0), ImageTerm(0.5, -1.0, 0.0)])
+        doubled = series.scaled(2.0)
+        assert np.allclose(doubled.weights, [2.0, 1.0])
+        assert len(doubled) == len(series)
+
+    def test_truncated_drops_small_terms(self):
+        series = ImageSeries([ImageTerm(1.0, 1.0, 0.0), ImageTerm(1e-9, -1.0, 1.0)])
+        truncated = series.truncated(min_weight=1e-6)
+        assert len(truncated) == 1
+
+    def test_truncated_never_empty(self):
+        series = ImageSeries([ImageTerm(1e-12, 1.0, 0.0)])
+        truncated = series.truncated(min_weight=1.0)
+        assert len(truncated) == 1
+
+    def test_total_absolute_weight(self):
+        series = ImageSeries([ImageTerm(1.0, 1.0, 0.0), ImageTerm(-0.5, -1.0, 0.0)])
+        assert series.total_absolute_weight == pytest.approx(1.5)
+
+    @given(
+        data=st.lists(st.tuples(weights, signs, offsets), min_size=1, max_size=8),
+        src_depth=st.floats(min_value=0.1, max_value=5.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_evaluate_matches_manual_loop(self, data, src_depth):
+        terms = [ImageTerm(w, s, o) for w, s, o in data]
+        series = ImageSeries(terms)
+        source = np.array([0.0, 0.0, src_depth])
+        field = np.array([7.5, 1.0, 0.3])
+        manual = 0.0
+        for w, s, o in data:
+            image = np.array([0.0, 0.0, s * src_depth + o])
+            manual += w / np.linalg.norm(field - image)
+        assert series.evaluate(field, source) == pytest.approx(manual, rel=1e-12, abs=1e-15)

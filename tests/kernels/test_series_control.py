@@ -1,0 +1,67 @@
+"""Unit tests for the image-series truncation control."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import KernelError
+from repro.kernels.series import SeriesControl
+
+
+class TestValidation:
+    def test_rejects_tolerance_out_of_range(self):
+        with pytest.raises(KernelError):
+            SeriesControl(tolerance=0.0)
+        with pytest.raises(KernelError):
+            SeriesControl(tolerance=1.5)
+
+    def test_rejects_bad_max_groups(self):
+        with pytest.raises(KernelError):
+            SeriesControl(max_groups=0)
+
+
+class TestNGroups:
+    def test_zero_kappa_single_group(self):
+        assert SeriesControl().n_groups(0.0) == 1
+
+    def test_exact_count(self):
+        control = SeriesControl(tolerance=1e-6, max_groups=1000)
+        n = control.n_groups(0.5)
+        assert 0.5**n < 1e-6
+        assert 0.5 ** (n - 1) >= 1e-6
+
+    def test_negative_kappa_uses_magnitude(self):
+        control = SeriesControl(tolerance=1e-6)
+        assert control.n_groups(-0.5) == control.n_groups(0.5)
+
+    def test_capped_by_max_groups(self):
+        control = SeriesControl(tolerance=1e-12, max_groups=10)
+        assert control.n_groups(0.99) == 10
+
+    def test_larger_kappa_needs_more_groups(self):
+        control = SeriesControl(tolerance=1e-6, max_groups=10_000)
+        assert control.n_groups(0.9) > control.n_groups(0.5) > control.n_groups(0.1)
+
+    def test_tighter_tolerance_needs_more_groups(self):
+        loose = SeriesControl(tolerance=1e-3, max_groups=10_000)
+        tight = SeriesControl(tolerance=1e-9, max_groups=10_000)
+        assert tight.n_groups(0.7) > loose.n_groups(0.7)
+
+    def test_rejects_unphysical_kappa(self):
+        with pytest.raises(KernelError):
+            SeriesControl().n_groups(1.0)
+
+
+class TestErrorBound:
+    def test_zero_for_uniform(self):
+        assert SeriesControl().truncation_error_bound(0.0) == 0.0
+
+    def test_bound_below_tolerance_scale(self):
+        control = SeriesControl(tolerance=1e-6, max_groups=10_000)
+        bound = control.truncation_error_bound(0.6)
+        assert bound < 1e-5
+
+    def test_bound_decreases_with_tolerance(self):
+        loose = SeriesControl(tolerance=1e-3, max_groups=10_000)
+        tight = SeriesControl(tolerance=1e-8, max_groups=10_000)
+        assert tight.truncation_error_bound(0.7) < loose.truncation_error_bound(0.7)

@@ -1,0 +1,186 @@
+"""Physics tests of the two-layer image-series kernel.
+
+These tests verify the analytical properties the kernel must satisfy:
+reduction to the uniform soil, boundary conditions at the surface and at the
+interface, reciprocity, and agreement with the independent Hankel-quadrature
+evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels.base import kernel_for_soil
+from repro.kernels.hankel import HankelKernel
+from repro.kernels.series import SeriesControl
+from repro.kernels.two_layer import TwoLayerSoilKernel
+from repro.kernels.uniform import UniformSoilKernel
+from repro.soil.two_layer import TwoLayerSoil
+from repro.soil.uniform import UniformSoil
+
+#: The Barberá two-layer soil of the paper.
+SOIL = TwoLayerSoil(0.005, 0.016, 1.0)
+TIGHT = SeriesControl(tolerance=1.0e-12, max_groups=4096)
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    return TwoLayerSoilKernel(SOIL, TIGHT)
+
+
+@pytest.fixture(scope="module")
+def hankel():
+    return HankelKernel(SOIL)
+
+
+class TestSeriesStructure:
+    def test_all_layer_pairs_available(self, kernel):
+        for b in (1, 2):
+            for c in (1, 2):
+                assert kernel.series_length(b, c) >= 2
+
+    def test_same_layer_series_longer_than_uniform(self, kernel):
+        assert kernel.series_length(1, 1) > 2
+        assert kernel.series_length(2, 2) > 2
+
+    def test_number_of_groups_follows_control(self):
+        loose = TwoLayerSoilKernel(SOIL, SeriesControl(tolerance=1e-3))
+        tight = TwoLayerSoilKernel(SOIL, SeriesControl(tolerance=1e-9, max_groups=4096))
+        assert tight.series_length(1, 1) > loose.series_length(1, 1)
+
+    def test_kappa_and_thickness_exposed(self, kernel):
+        assert kernel.kappa == pytest.approx(SOIL.kappa)
+        assert kernel.thickness == pytest.approx(1.0)
+
+
+class TestLimits:
+    def test_equal_conductivities_match_uniform_kernel(self):
+        soil = TwoLayerSoil(0.016, 0.016, 1.0)
+        two_layer = TwoLayerSoilKernel(soil, TIGHT)
+        uniform = UniformSoilKernel(UniformSoil(0.016))
+        source = np.array([1.0, -2.0, 0.8])
+        fields = np.array([[4.0, 0.0, 0.0], [2.0, 1.0, 0.5], [0.5, 0.5, 0.9]])
+        expected = uniform.potential_coefficient(fields, source)
+        actual = two_layer.potential_coefficient(fields, source, 1, 1)
+        assert np.allclose(actual, expected, rtol=1e-12)
+
+    def test_deep_interface_behaves_as_upper_layer_half_space(self):
+        # The leading interface correction scales like κ·r/h, so with the
+        # interface 5 km down it is below 1e-3 of the half-space value.
+        deep = TwoLayerSoilKernel(TwoLayerSoil(0.005, 0.016, 5000.0), TIGHT)
+        uniform = UniformSoilKernel(UniformSoil(0.005))
+        source = np.array([0.0, 0.0, 0.8])
+        field = np.array([5.0, 0.0, 0.0])
+        assert deep.potential_coefficient(field, source, 1, 1) == pytest.approx(
+            float(uniform.potential_coefficient(field, source)), rel=2e-3
+        )
+
+    def test_insulating_lower_layer_increases_potential(self):
+        # A poorly conducting lower layer traps the current in the top layer,
+        # raising the surface potential relative to the uniform case.
+        insulating = TwoLayerSoilKernel(TwoLayerSoil(0.016, 1e-5, 1.0), TIGHT)
+        uniform = UniformSoilKernel(UniformSoil(0.016))
+        source = np.array([0.0, 0.0, 0.5])
+        field = np.array([4.0, 0.0, 0.0])
+        assert insulating.potential_coefficient(field, source, 1, 1) > float(
+            uniform.potential_coefficient(field, source)
+        )
+
+    def test_conductive_lower_layer_decreases_potential(self):
+        conductive = TwoLayerSoilKernel(TwoLayerSoil(0.005, 0.5, 1.0), TIGHT)
+        uniform = UniformSoilKernel(UniformSoil(0.005))
+        source = np.array([0.0, 0.0, 0.5])
+        field = np.array([4.0, 0.0, 0.0])
+        assert conductive.potential_coefficient(field, source, 1, 1) < float(
+            uniform.potential_coefficient(field, source)
+        )
+
+
+class TestBoundaryConditions:
+    def test_potential_continuous_across_interface_source_above(self, kernel):
+        source = np.array([0.0, 0.0, 0.8])
+        above = kernel.potential_coefficient(np.array([3.0, 0.0, 1.0 - 1e-9]), source, 1, 1)
+        below = kernel.potential_coefficient(np.array([3.0, 0.0, 1.0 + 1e-9]), source, 1, 2)
+        assert above == pytest.approx(below, rel=1e-8)
+
+    def test_potential_continuous_across_interface_source_below(self, kernel):
+        source = np.array([0.0, 0.0, 1.7])
+        above = kernel.potential_coefficient(np.array([3.0, 0.0, 1.0 - 1e-9]), source, 2, 1)
+        below = kernel.potential_coefficient(np.array([3.0, 0.0, 1.0 + 1e-9]), source, 2, 2)
+        assert above == pytest.approx(below, rel=1e-8)
+
+    def test_normal_current_continuous_across_interface(self, kernel):
+        # γ1 dV1/dz = γ2 dV2/dz at z = h.
+        source = np.array([0.0, 0.0, 0.8])
+        eps = 1e-5
+        x, y, h = 3.0, 0.0, 1.0
+        v_up = [
+            kernel.potential_coefficient(np.array([x, y, h - 2 * eps]), source, 1, 1),
+            kernel.potential_coefficient(np.array([x, y, h - eps]), source, 1, 1),
+        ]
+        v_dn = [
+            kernel.potential_coefficient(np.array([x, y, h + eps]), source, 1, 2),
+            kernel.potential_coefficient(np.array([x, y, h + 2 * eps]), source, 1, 2),
+        ]
+        grad_up = (v_up[1] - v_up[0]) / eps
+        grad_dn = (v_dn[1] - v_dn[0]) / eps
+        flux_up = SOIL.upper_conductivity * grad_up
+        flux_dn = SOIL.lower_conductivity * grad_dn
+        assert flux_up == pytest.approx(flux_dn, rel=1e-3)
+
+    def test_zero_normal_derivative_at_surface(self, kernel):
+        source = np.array([0.0, 0.0, 0.8])
+        eps = 1e-5
+        v0 = kernel.potential_coefficient(np.array([4.0, 0.0, 0.0]), source, 1, 1)
+        v1 = kernel.potential_coefficient(np.array([4.0, 0.0, eps]), source, 1, 1)
+        derivative = (v1 - v0) / eps
+        assert abs(derivative) < 1e-3 * abs(v0)
+
+    def test_reciprocity_across_layers(self, kernel):
+        # The potential at B due to a unit current at A equals the potential at
+        # A due to a unit current at B, even across the interface.
+        point_a = np.array([0.0, 0.0, 0.6])   # layer 1
+        point_b = np.array([2.0, 1.0, 2.5])   # layer 2
+        v_ab = kernel.potential_coefficient(point_b, point_a, 1, 2)
+        v_ba = kernel.potential_coefficient(point_a, point_b, 2, 1)
+        assert v_ab == pytest.approx(v_ba, rel=1e-10)
+
+    def test_same_layer_kernel_symmetric(self, kernel):
+        a = np.array([0.0, 0.0, 0.4])
+        b = np.array([1.5, 0.5, 0.9])
+        assert kernel.potential_coefficient(b, a, 1, 1) == pytest.approx(
+            kernel.potential_coefficient(a, b, 1, 1), rel=1e-12
+        )
+
+
+class TestAgainstHankelQuadrature:
+    CASES = [
+        # (source depth, field point) covering every layer pair.
+        (0.8, np.array([4.0, 0.0, 0.0])),
+        (0.8, np.array([2.0, 1.0, 0.5])),
+        (0.8, np.array([2.0, 0.0, 1.9])),
+        (1.7, np.array([3.0, 0.0, 0.3])),
+        (1.7, np.array([1.5, 0.0, 2.2])),
+        (0.5, np.array([10.0, 5.0, 0.0])),
+    ]
+
+    @pytest.mark.parametrize("source_depth,field", CASES)
+    def test_matches_hankel(self, kernel, hankel, source_depth, field):
+        source = np.array([0.0, 0.0, source_depth])
+        analytic = float(kernel.potential_coefficient(field, source))
+        numeric = hankel.potential_coefficient(field, source)
+        assert analytic == pytest.approx(numeric, rel=1e-6)
+
+    def test_other_contrast_against_hankel(self):
+        # κ ≈ 0.92: the λ-domain kernel has a sharp feature near λ = 0, which
+        # limits the fixed-panel quadrature accuracy — hence the looser
+        # tolerance for this extreme-contrast check.
+        soil = TwoLayerSoil(0.05, 0.002, 2.0)  # conductive over resistive
+        kernel = TwoLayerSoilKernel(soil, TIGHT)
+        hankel = HankelKernel(soil, lambda_max_scale=60.0, points_per_panel=24)
+        source = np.array([0.0, 0.0, 1.2])
+        field = np.array([3.0, 2.0, 0.0])
+        assert float(kernel.potential_coefficient(field, source)) == pytest.approx(
+            hankel.potential_coefficient(field, source), rel=1e-4
+        )

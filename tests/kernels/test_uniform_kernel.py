@@ -1,0 +1,111 @@
+"""Unit tests for the uniform-soil kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import KernelError
+from repro.kernels.base import kernel_for_soil
+from repro.kernels.uniform import UniformSoilKernel
+from repro.soil.multilayer import MultiLayerSoil
+from repro.soil.two_layer import TwoLayerSoil
+from repro.soil.uniform import UniformSoil
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    return UniformSoilKernel(UniformSoil(0.016))
+
+
+class TestSeries:
+    def test_two_terms(self, kernel):
+        series = kernel.image_series(1, 1)
+        assert len(series) == 2
+        assert np.allclose(series.weights, [1.0, 1.0])
+        assert set(series.signs.tolist()) == {1.0, -1.0}
+        assert np.allclose(series.offsets, 0.0)
+
+    def test_series_cached(self, kernel):
+        assert kernel.image_series(1, 1) is kernel.image_series(1, 1)
+
+    def test_layer_bounds_checked(self, kernel):
+        with pytest.raises(KernelError):
+            kernel.image_series(2, 1)
+        with pytest.raises(KernelError):
+            kernel.image_series(1, 0)
+
+
+class TestEvaluation:
+    def test_against_closed_form(self, kernel):
+        source = np.array([0.0, 0.0, 0.8])
+        field = np.array([4.0, 3.0, 2.0])
+        gamma = 0.016
+        r = np.linalg.norm(field - source)
+        r_image = np.linalg.norm(field - np.array([0.0, 0.0, -0.8]))
+        expected = (1.0 / r + 1.0 / r_image) / (4.0 * np.pi * gamma)
+        assert kernel.potential_coefficient(field, source) == pytest.approx(expected)
+
+    def test_kernel_value_is_unnormalised(self, kernel):
+        source = np.array([0.0, 0.0, 0.8])
+        field = np.array([4.0, 3.0, 2.0])
+        value = kernel.kernel_value(field, source, 1, 1)
+        assert value == pytest.approx(
+            kernel.potential_coefficient(field, source) * 4.0 * np.pi * 0.016
+        )
+
+    def test_surface_point_doubles_free_space_value(self, kernel):
+        # On the surface the source and its image are equidistant, so the
+        # potential is exactly twice the free-space potential.
+        source = np.array([0.0, 0.0, 1.3])
+        field = np.array([5.0, 0.0, 0.0])
+        r = np.linalg.norm(field - source)
+        expected = 2.0 / r / (4.0 * np.pi * 0.016)
+        assert kernel.potential_coefficient(field, source) == pytest.approx(expected)
+
+    def test_decays_with_distance(self, kernel):
+        source = np.array([0.0, 0.0, 0.8])
+        v_near = kernel.potential_coefficient(np.array([2.0, 0.0, 0.0]), source)
+        v_far = kernel.potential_coefficient(np.array([50.0, 0.0, 0.0]), source)
+        assert v_far < v_near
+        # Far away it behaves like 2/(4 pi gamma r).
+        assert v_far == pytest.approx(2.0 / (4.0 * np.pi * 0.016 * 50.0), rel=1e-3)
+
+    def test_field_layer_deduced(self, kernel):
+        source = np.array([0.0, 0.0, 0.8])
+        fields = np.array([[1.0, 0.0, 0.0], [2.0, 0.0, 0.0]])
+        values = kernel.potential_coefficient(fields, source)
+        assert values.shape == (2,)
+
+    def test_normalization(self, kernel):
+        assert kernel.normalization(1) == pytest.approx(1.0 / (4.0 * np.pi * 0.016))
+
+
+class TestFactory:
+    def test_uniform_soil(self):
+        kernel = kernel_for_soil(UniformSoil(0.01))
+        assert isinstance(kernel, UniformSoilKernel)
+
+    def test_single_layer_multilayer(self):
+        kernel = kernel_for_soil(MultiLayerSoil([0.01], []))
+        assert isinstance(kernel, UniformSoilKernel)
+
+    def test_two_layer_soil(self):
+        from repro.kernels.two_layer import TwoLayerSoilKernel
+
+        kernel = kernel_for_soil(TwoLayerSoil(0.005, 0.016, 1.0))
+        assert isinstance(kernel, TwoLayerSoilKernel)
+
+    def test_generic_two_layer_model(self):
+        from repro.kernels.two_layer import TwoLayerSoilKernel
+
+        kernel = kernel_for_soil(MultiLayerSoil([0.005, 0.016], [1.0]))
+        assert isinstance(kernel, TwoLayerSoilKernel)
+
+    def test_three_layer_rejected(self):
+        with pytest.raises(KernelError):
+            kernel_for_soil(MultiLayerSoil([0.01, 0.005, 0.02], [1.0, 1.0]))
+
+    def test_requires_single_layer_model(self):
+        with pytest.raises(ValueError):
+            UniformSoilKernel(TwoLayerSoil(0.005, 0.016, 1.0))  # type: ignore[arg-type]

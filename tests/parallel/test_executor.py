@@ -1,0 +1,138 @@
+"""Tests for the real scheduled executors (serial, thread, process)."""
+
+from __future__ import annotations
+
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParallelExecutionError
+from repro.parallel.executor import ScheduledExecutor, run_scheduled_tasks
+from repro.parallel.options import Backend
+from repro.parallel.schedule import Schedule
+
+
+def square(index: int) -> int:
+    return index * index
+
+
+def tiny_work(index: int) -> float:
+    # A small but non-trivial numpy task so threads/processes have real work.
+    values = np.arange(1, 200 + index % 7)
+    return float(np.sqrt(values).sum())
+
+
+BACKENDS = [Backend.SERIAL, Backend.THREAD, Backend.PROCESS]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("label", ["Static", "Static,2", "Dynamic,1", "Guided,1"])
+    def test_all_results_present_and_correct(self, backend, label):
+        outcome = run_scheduled_tasks(
+            square, 23, Schedule.parse(label), n_workers=3, backend=backend
+        )
+        assert sorted(outcome.results) == list(range(23))
+        assert outcome.ordered_results() == [i * i for i in range(23)]
+        assert outcome.n_workers == 3
+        assert outcome.schedule == Schedule.parse(label).label()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_zero_tasks(self, backend):
+        outcome = run_scheduled_tasks(
+            square, 0, Schedule.parse("Dynamic,1"), n_workers=2, backend=backend
+        )
+        assert outcome.results == {}
+        assert outcome.n_chunks == 0
+
+    def test_negative_task_count_rejected(self):
+        with pytest.raises(ParallelExecutionError):
+            run_scheduled_tasks(square, -1, Schedule.parse("Dynamic,1"), n_workers=2)
+
+    def test_single_worker_falls_back_to_serial_path(self):
+        outcome = run_scheduled_tasks(
+            square, 10, Schedule.parse("Dynamic,1"), n_workers=1, backend=Backend.PROCESS
+        )
+        assert outcome.ordered_results() == [i * i for i in range(10)]
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ParallelExecutionError):
+            ScheduledExecutor(square, n_workers=0)
+
+
+class TestChunkAccounting:
+    def test_dynamic_chunk_count(self):
+        outcome = run_scheduled_tasks(
+            square, 12, Schedule.parse("Dynamic,1"), n_workers=2, backend=Backend.THREAD
+        )
+        assert outcome.n_chunks == 12
+
+    def test_dynamic_chunk_four(self):
+        outcome = run_scheduled_tasks(
+            square, 12, Schedule.parse("Dynamic,4"), n_workers=2, backend=Backend.THREAD
+        )
+        assert outcome.n_chunks == 3
+
+    def test_static_chunks_at_most_workers(self):
+        outcome = run_scheduled_tasks(
+            square, 12, Schedule.parse("Static"), n_workers=4, backend=Backend.THREAD
+        )
+        assert outcome.n_chunks == 4
+
+    def test_task_seconds_recorded(self):
+        outcome = run_scheduled_tasks(
+            tiny_work, 8, Schedule.parse("Dynamic,1"), n_workers=2, backend=Backend.THREAD
+        )
+        assert outcome.task_seconds.shape == (8,)
+        assert np.all(outcome.task_seconds >= 0.0)
+        assert outcome.sequential_seconds >= 0.0
+        assert outcome.speedup > 0.0
+
+
+class TestReuse:
+    def test_executor_can_run_multiple_batches(self):
+        with ScheduledExecutor(square, n_workers=2, backend=Backend.THREAD) as executor:
+            first = executor.run(range(5), Schedule.parse("Dynamic,1"))
+            second = executor.run(range(5, 9), Schedule.parse("Static"))
+        assert sorted(first.results) == [0, 1, 2, 3, 4]
+        assert sorted(second.results) == [5, 6, 7, 8]
+
+    def test_process_backend_requires_context_manager(self):
+        executor = ScheduledExecutor(square, n_workers=2, backend=Backend.PROCESS)
+        with pytest.raises(ParallelExecutionError):
+            executor.run(range(4), Schedule.parse("Dynamic,1"))
+
+
+@pytest.mark.skipif(os.cpu_count() is not None and os.cpu_count() < 2, reason="needs >= 2 CPUs")
+class TestProcessBackend:
+    def test_closure_state_travels_through_fork(self):
+        offset = 1000
+
+        def with_closure(index: int) -> int:
+            return index + offset
+
+        outcome = run_scheduled_tasks(
+            with_closure, 6, Schedule.parse("Dynamic,1"), n_workers=2, backend=Backend.PROCESS
+        )
+        assert outcome.ordered_results() == [1000 + i for i in range(6)]
+
+    def test_numpy_results_supported(self):
+        def array_task(index: int) -> np.ndarray:
+            return np.full(3, float(index))
+
+        outcome = run_scheduled_tasks(
+            array_task, 5, Schedule.parse("Guided,1"), n_workers=2, backend=Backend.PROCESS
+        )
+        assert np.allclose(outcome.results[4], 4.0)
+
+    def test_math_heavy_tasks(self):
+        def heavy(index: int) -> float:
+            return math.fsum(1.0 / (k + 1) for k in range(1000 + index))
+
+        outcome = run_scheduled_tasks(
+            heavy, 10, Schedule.parse("Dynamic,2"), n_workers=4, backend=Backend.PROCESS
+        )
+        assert len(outcome.results) == 10
+        assert outcome.results[0] == pytest.approx(heavy(0))

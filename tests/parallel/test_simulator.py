@@ -1,0 +1,186 @@
+"""Tests for the discrete-event schedule simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ScheduleError
+from repro.parallel.machine import MachineModel
+from repro.parallel.schedule import Schedule, ScheduleKind
+from repro.parallel.simulator import ScheduleSimulator, rows_from_column_costs
+
+#: A triangular workload like the BEM assembly columns (linearly decreasing).
+TRIANGULAR = np.arange(200, 0, -1, dtype=float) * 1e-3
+
+cost_lists = st.lists(
+    st.floats(min_value=1e-5, max_value=1.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=150,
+)
+
+
+@pytest.fixture(scope="module")
+def ideal_simulator():
+    return ScheduleSimulator(TRIANGULAR, MachineModel.ideal(64))
+
+
+@pytest.fixture(scope="module")
+def origin_simulator():
+    return ScheduleSimulator(TRIANGULAR, MachineModel.origin2000(64))
+
+
+class TestValidation:
+    def test_rejects_empty_costs(self):
+        with pytest.raises(ScheduleError):
+            ScheduleSimulator([], MachineModel.ideal(2))
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ScheduleError):
+            ScheduleSimulator([1.0, -0.1], MachineModel.ideal(2))
+
+    def test_rejects_bad_loop_name(self, ideal_simulator):
+        with pytest.raises(ScheduleError):
+            ideal_simulator.speedup_curve(Schedule.parse("Dynamic,1"), [2], loop="middle")
+
+
+class TestBasicInvariants:
+    def test_single_processor_matches_sequential(self, ideal_simulator):
+        result = ideal_simulator.run(Schedule.parse("Dynamic,1"), 1)
+        assert result.makespan == pytest.approx(result.sequential_time)
+        assert result.speedup == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("label", ["Static", "Static,4", "Dynamic,1", "Guided,2"])
+    @pytest.mark.parametrize("processors", [1, 2, 4, 8, 16, 64])
+    def test_speedup_bounds(self, ideal_simulator, label, processors):
+        result = ideal_simulator.run(Schedule.parse(label), processors)
+        assert 0.0 < result.speedup <= processors + 1e-9
+        # The makespan can never beat the critical path (largest single task).
+        assert result.makespan >= TRIANGULAR.max() - 1e-12
+        assert result.efficiency <= 1.0 + 1e-9
+
+    def test_busy_time_conserved(self, ideal_simulator):
+        result = ideal_simulator.run(Schedule.parse("Dynamic,1"), 8)
+        assert result.worker_busy.sum() == pytest.approx(result.sequential_time)
+
+    def test_more_processors_never_slower_for_dynamic(self, ideal_simulator):
+        schedule = Schedule.parse("Dynamic,1")
+        makespans = [ideal_simulator.run(schedule, p).makespan for p in (1, 2, 4, 8, 16, 32)]
+        assert all(a >= b - 1e-12 for a, b in zip(makespans, makespans[1:]))
+
+    def test_summary_keys(self, origin_simulator):
+        summary = origin_simulator.run(Schedule.parse("Dynamic,1"), 8).summary()
+        assert {"schedule", "n_processors", "makespan_s", "speedup", "n_chunks"} <= set(summary)
+
+
+class TestScheduleBehaviour:
+    def test_dynamic_one_nearly_ideal_on_triangular_load(self, origin_simulator):
+        """The paper's best schedule reaches speed-ups close to the processor count."""
+        for processors in (2, 4, 8):
+            result = origin_simulator.run(Schedule.parse("Dynamic,1"), processors)
+            assert result.speedup == pytest.approx(processors, rel=0.05)
+
+    def test_default_static_suffers_from_imbalance(self, origin_simulator):
+        """Contiguous static blocks of a triangular workload are badly balanced."""
+        dynamic = origin_simulator.run(Schedule.parse("Dynamic,1"), 8)
+        static = origin_simulator.run(Schedule.parse("Static"), 8)
+        assert static.speedup < 0.75 * dynamic.speedup
+        assert static.load_imbalance > dynamic.load_imbalance
+
+    def test_static_chunk_one_close_to_dynamic(self, origin_simulator):
+        """Interleaved static (chunk 1) balances the triangle almost as well."""
+        dynamic = origin_simulator.run(Schedule.parse("Dynamic,1"), 8)
+        static1 = origin_simulator.run(Schedule.parse("Static,1"), 8)
+        assert static1.speedup == pytest.approx(dynamic.speedup, rel=0.10)
+
+    def test_large_chunks_hurt_at_high_processor_counts(self, origin_simulator):
+        """With chunk 64 and 8 processors some processors get no work (paper's finding)."""
+        small_chunk = origin_simulator.run(Schedule.parse("Dynamic,16"), 8)
+        large_chunk = origin_simulator.run(Schedule.parse("Dynamic,64"), 8)
+        assert large_chunk.speedup < small_chunk.speedup
+        # 200 tasks / chunk 64 -> only 4 chunks: at most 4 processors useful.
+        assert large_chunk.speedup < 4.5
+
+    def test_guided_close_to_dynamic(self, origin_simulator):
+        dynamic = origin_simulator.run(Schedule.parse("Dynamic,1"), 8)
+        guided = origin_simulator.run(Schedule.parse("Guided,1"), 8)
+        assert guided.speedup == pytest.approx(dynamic.speedup, rel=0.1)
+
+    def test_speedup_ordering_matches_paper_table_6_2(self, origin_simulator):
+        """Static < Static,16 < Static,1 ≈ Dynamic,1 at 8 processors."""
+        at_8 = {
+            label: origin_simulator.run(Schedule.parse(label), 8).speedup
+            for label in ("Static", "Static,16", "Static,1", "Dynamic,1")
+        }
+        assert at_8["Static"] < at_8["Static,16"] < at_8["Static,1"] + 0.3
+        assert at_8["Static,1"] == pytest.approx(at_8["Dynamic,1"], rel=0.1)
+
+    def test_dispatch_overhead_penalises_tiny_chunks(self):
+        """With a huge dispatch overhead, chunk 1 loses to an evenly dividing chunk.
+
+        A *uniform* workload is used so that load imbalance does not mask the
+        scheduling-management cost (the effect the paper describes as
+        "Dynamic,1 ... requires the biggest amount of parallelization
+        management").
+        """
+        uniform_costs = np.full(200, 0.1)
+        machine = MachineModel(n_processors=8, chunk_dispatch_overhead=5e-3)
+        simulator = ScheduleSimulator(uniform_costs, machine)
+        chunk1 = simulator.run(Schedule.parse("Dynamic,1"), 8)
+        chunk25 = simulator.run(Schedule.parse("Dynamic,25"), 8)
+        assert chunk25.speedup > chunk1.speedup
+
+
+class TestInnerLoop:
+    def test_rows_from_column_costs(self):
+        rows = rows_from_column_costs([3.0, 2.0, 1.0])
+        assert [len(r) for r in rows] == [3, 2, 1]
+        assert sum(float(np.sum(r)) for r in rows) == pytest.approx(6.0)
+
+    def test_inner_loop_slower_than_outer(self, origin_simulator):
+        """Fig. 6.1: the outer-loop parallelisation wins, increasingly with P."""
+        schedule = Schedule.parse("Dynamic,1")
+        for processors in (4, 16, 64):
+            outer = origin_simulator.run(schedule, processors)
+            inner = origin_simulator.run_inner_loop(schedule, processors)
+            assert inner.speedup < outer.speedup
+        gap_small = (
+            origin_simulator.run(schedule, 2).speedup
+            - origin_simulator.run_inner_loop(schedule, 2).speedup
+        )
+        gap_large = (
+            origin_simulator.run(schedule, 64).speedup
+            - origin_simulator.run_inner_loop(schedule, 64).speedup
+        )
+        assert gap_large > gap_small
+
+    def test_inner_loop_sequential_time_matches(self, origin_simulator):
+        inner = origin_simulator.run_inner_loop(Schedule.parse("Dynamic,1"), 4)
+        assert inner.sequential_time == pytest.approx(float(TRIANGULAR.sum()), rel=1e-9)
+
+    def test_speedup_curve_lengths(self, origin_simulator):
+        outer = origin_simulator.speedup_curve(Schedule.parse("Dynamic,1"), [1, 2, 4], loop="outer")
+        inner = origin_simulator.speedup_curve(Schedule.parse("Dynamic,1"), [1, 2], loop="inner")
+        assert len(outer) == 3
+        assert len(inner) == 2
+
+
+class TestProperties:
+    @given(costs=cost_lists, processors=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=40, deadline=None)
+    def test_ideal_dynamic_speedup_bounded(self, costs, processors):
+        simulator = ScheduleSimulator(costs, MachineModel.ideal(16))
+        result = simulator.run(Schedule(ScheduleKind.DYNAMIC, 1), processors)
+        assert result.speedup <= processors + 1e-9
+        assert result.makespan >= max(costs) - 1e-12
+        assert result.makespan <= sum(costs) + 1e-9
+
+    @given(costs=cost_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_static_and_dynamic_agree_on_one_processor(self, costs):
+        simulator = ScheduleSimulator(costs, MachineModel.ideal(4))
+        static = simulator.run(Schedule(ScheduleKind.STATIC, None), 1)
+        dynamic = simulator.run(Schedule(ScheduleKind.DYNAMIC, 1), 1)
+        assert static.makespan == pytest.approx(dynamic.makespan)

@@ -1,0 +1,139 @@
+"""Unit tests for the Wenner sounding forward model and its inversion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SoilModelError
+from repro.soil.inversion import fit_two_layer_model
+from repro.soil.multilayer import MultiLayerSoil
+from repro.soil.two_layer import TwoLayerSoil
+from repro.soil.uniform import UniformSoil
+from repro.soil.wenner import WennerSurvey, wenner_apparent_resistivity
+
+SPACINGS = np.array([0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0])
+
+
+class TestForwardModel:
+    def test_uniform_soil_is_flat(self):
+        rho = wenner_apparent_resistivity(UniformSoil(0.01), SPACINGS)
+        assert np.allclose(rho, 100.0)
+
+    def test_equal_layers_behave_as_uniform(self):
+        soil = TwoLayerSoil(0.01, 0.01, 1.0)
+        rho = wenner_apparent_resistivity(soil, SPACINGS)
+        assert np.allclose(rho, 100.0)
+
+    def test_short_spacing_tends_to_upper_resistivity(self):
+        soil = TwoLayerSoil.from_resistivities(400.0, 100.0, 2.0)
+        rho = wenner_apparent_resistivity(soil, [0.05])
+        assert rho[0] == pytest.approx(400.0, rel=0.02)
+
+    def test_long_spacing_tends_to_lower_resistivity(self):
+        soil = TwoLayerSoil.from_resistivities(400.0, 100.0, 1.0)
+        rho = wenner_apparent_resistivity(soil, [500.0])
+        assert rho[0] == pytest.approx(100.0, rel=0.05)
+
+    def test_monotonic_for_two_layer_profile(self):
+        soil = TwoLayerSoil.from_resistivities(400.0, 100.0, 1.0)
+        rho = wenner_apparent_resistivity(soil, SPACINGS)
+        assert np.all(np.diff(rho) < 0)
+
+    def test_values_between_layer_resistivities(self):
+        soil = TwoLayerSoil.from_resistivities(400.0, 100.0, 1.0)
+        rho = wenner_apparent_resistivity(soil, SPACINGS)
+        assert np.all(rho <= 400.0 + 1e-9)
+        assert np.all(rho >= 100.0 - 1e-9)
+
+    def test_scalar_spacing(self):
+        soil = TwoLayerSoil.from_resistivities(400.0, 100.0, 1.0)
+        rho = wenner_apparent_resistivity(soil, np.array(2.0))
+        assert rho.shape == (1,)
+
+    def test_rejects_non_positive_spacing(self):
+        with pytest.raises(SoilModelError):
+            wenner_apparent_resistivity(UniformSoil(0.01), [0.0, 1.0])
+
+    def test_rejects_three_layer_soil(self):
+        soil = MultiLayerSoil([0.01, 0.005, 0.02], [1.0, 1.0])
+        with pytest.raises(SoilModelError):
+            wenner_apparent_resistivity(soil, [1.0])
+
+    def test_accepts_generic_two_layer_model(self):
+        soil = MultiLayerSoil([0.0025, 0.01], [1.0])
+        reference = TwoLayerSoil(0.0025, 0.01, 1.0)
+        assert np.allclose(
+            wenner_apparent_resistivity(soil, SPACINGS),
+            wenner_apparent_resistivity(reference, SPACINGS),
+        )
+
+    @given(
+        rho1=st.floats(min_value=10.0, max_value=1000.0),
+        rho2=st.floats(min_value=10.0, max_value=1000.0),
+        h=st.floats(min_value=0.3, max_value=5.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_apparent_resistivity_bounded_by_layers(self, rho1, rho2, h):
+        soil = TwoLayerSoil.from_resistivities(rho1, rho2, h)
+        rho = wenner_apparent_resistivity(soil, SPACINGS)
+        lo, hi = min(rho1, rho2), max(rho1, rho2)
+        assert np.all(rho >= lo - 1e-6 * lo)
+        assert np.all(rho <= hi + 1e-6 * hi)
+
+
+class TestWennerSurvey:
+    def test_synthetic_noiseless(self):
+        soil = TwoLayerSoil.from_resistivities(300.0, 80.0, 1.5)
+        survey = WennerSurvey.synthetic(soil, SPACINGS)
+        assert survey.n_measurements == SPACINGS.size
+        assert np.allclose(
+            survey.apparent_resistivities, wenner_apparent_resistivity(soil, SPACINGS)
+        )
+
+    def test_synthetic_noise_reproducible(self):
+        soil = TwoLayerSoil.from_resistivities(300.0, 80.0, 1.5)
+        a = WennerSurvey.synthetic(soil, SPACINGS, noise_fraction=0.05, seed=1)
+        b = WennerSurvey.synthetic(soil, SPACINGS, noise_fraction=0.05, seed=1)
+        assert np.allclose(a.apparent_resistivities, b.apparent_resistivities)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(SoilModelError):
+            WennerSurvey(np.array([1.0, 2.0]), np.array([100.0]))
+
+    def test_rejects_non_positive_measurements(self):
+        with pytest.raises(SoilModelError):
+            WennerSurvey(np.array([1.0]), np.array([-5.0]))
+
+
+class TestInversion:
+    def test_recovers_true_model_from_clean_data(self):
+        true_soil = TwoLayerSoil.from_resistivities(400.0, 100.0, 1.0)
+        survey = WennerSurvey.synthetic(true_soil, SPACINGS)
+        fit = fit_two_layer_model(survey, n_starts=4)
+        assert fit.rms_relative_error < 1e-4
+        assert fit.upper_resistivity == pytest.approx(400.0, rel=0.05)
+        assert fit.lower_resistivity == pytest.approx(100.0, rel=0.05)
+        assert fit.thickness == pytest.approx(1.0, rel=0.1)
+
+    def test_noisy_data_still_reasonable(self):
+        true_soil = TwoLayerSoil.from_resistivities(250.0, 60.0, 2.0)
+        survey = WennerSurvey.synthetic(true_soil, SPACINGS, noise_fraction=0.03, seed=7)
+        fit = fit_two_layer_model(survey, n_starts=4)
+        assert fit.rms_relative_error < 0.1
+        assert fit.upper_resistivity == pytest.approx(250.0, rel=0.3)
+        assert fit.lower_resistivity == pytest.approx(60.0, rel=0.3)
+
+    def test_requires_three_measurements(self):
+        survey = WennerSurvey(np.array([1.0, 2.0]), np.array([100.0, 90.0]))
+        with pytest.raises(SoilModelError):
+            fit_two_layer_model(survey)
+
+    def test_fit_reports_evaluations(self):
+        true_soil = TwoLayerSoil.from_resistivities(400.0, 100.0, 1.0)
+        survey = WennerSurvey.synthetic(true_soil, SPACINGS)
+        fit = fit_two_layer_model(survey, n_starts=1)
+        assert fit.n_evaluations > 0
+        assert fit.converged

@@ -1,0 +1,178 @@
+"""Tests for the direct and iterative dense solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConvergenceError, SolverError
+from repro.solvers import SOLVER_NAMES, solve_system
+from repro.solvers.cg import conjugate_gradient
+from repro.solvers.direct import solve_direct
+from repro.solvers.preconditioners import identity_preconditioner, jacobi_preconditioner
+
+
+def random_spd(n: int, seed: int = 0, condition: float = 100.0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    q, _ = np.linalg.qr(rng.normal(size=(n, n)))
+    eigenvalues = np.geomspace(1.0, condition, n)
+    return (q * eigenvalues) @ q.T
+
+
+class TestDirect:
+    def test_cholesky_solves_spd(self):
+        a = random_spd(20)
+        x_true = np.arange(20, dtype=float)
+        result = solve_direct(a, a @ x_true, method="cholesky")
+        assert np.allclose(result.solution, x_true, rtol=1e-8)
+        assert result.method == "cholesky"
+        assert result.iterations == 0
+        assert result.converged
+
+    def test_lu_solves_general(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(15, 15)) + 15 * np.eye(15)
+        x_true = rng.normal(size=15)
+        result = solve_direct(a, a @ x_true, method="lu")
+        assert np.allclose(result.solution, x_true, rtol=1e-8)
+        assert result.method == "lu"
+
+    def test_cholesky_falls_back_to_lu(self):
+        a = np.array([[1.0, 2.0], [2.0, 1.0]])  # indefinite
+        b = np.array([1.0, 1.0])
+        result = solve_direct(a, b, method="cholesky")
+        assert result.method == "cholesky->lu"
+        assert np.allclose(a @ result.solution, b)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(SolverError):
+            solve_direct(np.zeros((3, 2)), np.zeros(3))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(SolverError):
+            solve_direct(np.eye(3), np.zeros(2))
+
+    def test_rejects_nan(self):
+        a = np.eye(3)
+        a[0, 0] = np.nan
+        with pytest.raises(SolverError):
+            solve_direct(a, np.ones(3))
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(SolverError):
+            solve_direct(np.eye(2), np.ones(2), method="qr")
+
+    def test_flops_estimate_positive(self):
+        result = solve_direct(random_spd(10), np.ones(10))
+        assert result.estimated_flops > 0
+
+
+class TestConjugateGradient:
+    def test_plain_cg_matches_direct(self):
+        a = random_spd(30, seed=2)
+        b = np.linspace(1, 2, 30)
+        direct = solve_direct(a, b)
+        cg = conjugate_gradient(a, b, tolerance=1e-12)
+        assert np.allclose(cg.solution, direct.solution, rtol=1e-6)
+        assert cg.method == "cg"
+        assert cg.converged
+        assert cg.iterations <= 10 * 30
+
+    def test_preconditioned_cg_faster_on_ill_conditioned_system(self):
+        a = random_spd(60, seed=3, condition=1e6)
+        scaling = np.geomspace(1.0, 1e3, 60)
+        a = a * np.outer(scaling, scaling)  # badly scaled rows/columns
+        b = np.ones(60)
+        plain = conjugate_gradient(a, b, tolerance=1e-10, max_iterations=5000)
+        preconditioned = conjugate_gradient(
+            a, b, preconditioner=jacobi_preconditioner(a), tolerance=1e-10, max_iterations=5000
+        )
+        assert preconditioned.method == "pcg"
+        assert preconditioned.converged
+        assert preconditioned.iterations < plain.iterations
+
+    def test_residual_history_decreasing_overall(self):
+        a = random_spd(25, seed=4)
+        b = np.ones(25)
+        result = conjugate_gradient(a, b, tolerance=1e-12)
+        history = np.array(result.residual_history)
+        assert history[-1] < history[0]
+        assert history[-1] < 1e-12
+
+    def test_zero_rhs_short_circuits(self):
+        result = conjugate_gradient(np.eye(5), np.zeros(5))
+        assert np.allclose(result.solution, 0.0)
+        assert result.iterations == 0
+
+    def test_non_spd_detected(self):
+        a = np.diag([1.0, -1.0, 2.0])
+        with pytest.raises(SolverError):
+            conjugate_gradient(a, np.ones(3))
+
+    def test_max_iterations_reported(self):
+        a = random_spd(40, seed=5, condition=1e8)
+        result = conjugate_gradient(a, np.ones(40), tolerance=1e-16, max_iterations=3)
+        assert not result.converged
+        assert result.iterations == 3
+
+    def test_raise_on_failure(self):
+        a = random_spd(40, seed=5, condition=1e8)
+        with pytest.raises(ConvergenceError):
+            conjugate_gradient(
+                a, np.ones(40), tolerance=1e-16, max_iterations=3, raise_on_failure=True
+            )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SolverError):
+            conjugate_gradient(np.eye(3), np.ones(3), tolerance=0.0)
+        with pytest.raises(SolverError):
+            conjugate_gradient(np.eye(3), np.ones(3), max_iterations=0)
+        with pytest.raises(SolverError):
+            conjugate_gradient(np.zeros((2, 3)), np.ones(2))
+
+    @given(n=st.integers(min_value=2, max_value=25), seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_property_cg_solves_random_spd(self, n, seed):
+        a = random_spd(n, seed=seed, condition=1e3)
+        rng = np.random.default_rng(seed + 1)
+        x_true = rng.normal(size=n)
+        result = conjugate_gradient(a, a @ x_true, tolerance=1e-12)
+        assert result.converged
+        assert np.allclose(result.solution, x_true, rtol=1e-5, atol=1e-8)
+
+
+class TestPreconditioners:
+    def test_identity(self):
+        apply = identity_preconditioner()
+        r = np.array([1.0, 2.0])
+        assert np.allclose(apply(r), r)
+
+    def test_jacobi_divides_by_diagonal(self):
+        a = np.diag([2.0, 4.0])
+        apply = jacobi_preconditioner(a)
+        assert np.allclose(apply(np.array([2.0, 4.0])), [1.0, 1.0])
+
+    def test_jacobi_rejects_non_positive_diagonal(self):
+        with pytest.raises(SolverError):
+            jacobi_preconditioner(np.diag([1.0, 0.0]))
+
+
+class TestSolveSystemDispatch:
+    @pytest.mark.parametrize("method", SOLVER_NAMES)
+    def test_all_methods_agree(self, method, small_system):
+        result = solve_system(small_system.matrix, small_system.rhs, method=method)
+        reference = solve_direct(small_system.matrix, small_system.rhs)
+        assert np.allclose(result.solution, reference.solution, rtol=1e-6)
+        assert result.converged
+
+    def test_unknown_method(self):
+        with pytest.raises(SolverError):
+            solve_system(np.eye(2), np.ones(2), method="magic")
+
+    def test_summary(self, small_system):
+        result = solve_system(small_system.matrix, small_system.rhs, method="pcg")
+        summary = result.summary()
+        assert summary["method"] == "pcg"
+        assert summary["n_unknowns"] == small_system.n_dofs

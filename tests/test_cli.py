@@ -1,0 +1,108 @@
+"""Tests of the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.exceptions import ReproError
+from repro.geometry.io import save_grid
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_analyze_arguments(self):
+        args = build_parser().parse_args(
+            ["analyze", "--grid", "g.json", "--rho1", "400", "--rho2", "100", "--h", "1.5"]
+        )
+        assert args.command == "analyze"
+        assert args.rho1 == 400.0
+        assert args.workers == 0
+
+    def test_scaling_defaults(self):
+        args = build_parser().parse_args(["scaling"])
+        assert args.case == "barbera/two_layer"
+        assert args.workers == [1, 2, 4, 8]
+
+    def test_balaidos_model_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["balaidos", "--model", "Z"])
+
+
+class TestAnalyzeCommand:
+    def test_uniform_soil_analysis(self, tmp_path, small_grid, capsys):
+        grid_path = save_grid(small_grid, tmp_path / "grid.json")
+        exit_code = main(
+            ["analyze", "--grid", str(grid_path), "--rho1", "100", "--gpr", "1000"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Equivalent resistance" in output
+        assert "Pipeline cost" in output
+
+    def test_two_layer_analysis_with_workdir(self, tmp_path, small_grid, capsys):
+        grid_path = save_grid(small_grid, tmp_path / "grid.json")
+        exit_code = main(
+            [
+                "analyze",
+                "--grid",
+                str(grid_path),
+                "--rho1",
+                "400",
+                "--rho2",
+                "100",
+                "--h",
+                "1.0",
+                "--gpr",
+                "1000",
+                "--solver",
+                "cholesky",
+                "--workdir",
+                str(tmp_path / "out"),
+            ]
+        )
+        assert exit_code == 0
+        assert (tmp_path / "out" / "grid_results.json").exists()
+        assert "layer 2" in capsys.readouterr().out
+
+    def test_two_layer_requires_thickness(self, tmp_path, small_grid):
+        grid_path = save_grid(small_grid, tmp_path / "grid.json")
+        with pytest.raises(ReproError):
+            main(["analyze", "--grid", str(grid_path), "--rho1", "400", "--rho2", "100"])
+
+
+class TestCaseStudyCommands:
+    def test_barbera_coarse(self, capsys):
+        exit_code = main(["barbera", "--case", "uniform", "--coarse"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Barberá" in output
+        assert "paper reference" in output
+
+    def test_scaling_coarse(self, capsys):
+        exit_code = main(
+            [
+                "scaling",
+                "--case",
+                "barbera/uniform",
+                "--coarse",
+                "--workers",
+                "1",
+                "2",
+                "--simulate-up-to",
+                "16",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "simulated speed-up" in output
+        assert "real process-pool measurements" in output
