@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Single-command smoke job: the full test suite, a repeated run of the
+# scaling-driver tests (they must be deterministic — zero flaky reruns,
+# including on 1-core hosts), and one coarse benchmark.
+#
+# Usage:  scripts/smoke.sh
+#   SMOKE_SCALING_RERUNS=N   number of consecutive scaling-driver runs (default 3)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== full test suite =="
+python -m pytest -q -p no:randomly tests
+
+reruns="${SMOKE_SCALING_RERUNS:-3}"
+echo "== scaling drivers x${reruns} (must pass every run) =="
+for i in $(seq 1 "${reruns}"); do
+  python -m pytest -q -p no:randomly tests/experiments/test_scaling_drivers.py
+done
+
+echo "== coarse benchmark (batched matrix generation) =="
+python -m pytest -q -p no:randomly \
+  benchmarks/bench_table_6_1_phase_times.py::test_matrix_generation_batched_speedup
+
+echo "smoke: OK (zero flaky reruns)"

@@ -3,12 +3,18 @@
 Following Section 6.2 of the paper, the matrix generation is organised as a
 loop over the ``M (M + 1) / 2`` element pairs arranged as a *triangle of M
 columns*: the column of source element α couples it with every element
-``β ≥ α``.  :func:`assemble_system` runs those columns sequentially and
-scatters the resulting elemental blocks into the global matrix; the parallel
-backends of :mod:`repro.parallel.parallel_assembly` reuse exactly the same
-column tasks and the same scatter step (computation of elemental matrices in
-parallel, assembly performed afterwards — the scheme the paper adopts to break
-the assembly dependency between threads).
+``β ≥ α``.  :func:`assemble_system` runs those columns in schedule-sized
+batches through the vectorised :meth:`~repro.bem.influence.ColumnAssembler.column_batch`
+engine and scatters the resulting elemental blocks into the global matrix; the
+parallel backends of :mod:`repro.parallel.parallel_assembly` reuse exactly the
+same batched column tasks and the same scatter step (computation of elemental
+matrices in parallel, assembly performed afterwards — the scheme the paper
+adopts to break the assembly dependency between threads).
+
+The scatter itself is vectorised: the elemental blocks of a whole batch are
+flattened into (flat index, value) pairs and accumulated with a single
+``numpy.bincount`` per batch, instead of one fancy-indexing call per element
+pair.
 """
 
 from __future__ import annotations
@@ -29,7 +35,16 @@ from repro.kernels.base import LayeredKernel, kernel_for_soil
 from repro.kernels.series import SeriesControl
 from repro.soil.base import SoilModel
 
-__all__ = ["AssemblyOptions", "assemble_rhs", "assemble_system", "scatter_column", "ColumnResult"]
+__all__ = [
+    "AssemblyOptions",
+    "assemble_rhs",
+    "assemble_system",
+    "scatter_column",
+    "scatter_columns",
+    "ColumnResult",
+    "compute_column",
+    "compute_column_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -68,7 +83,9 @@ class ColumnResult:
     #: Blocks of shape ``(len(targets), nb, nb)``.
     blocks: np.ndarray
     #: Wall-clock seconds spent computing the column (used by the scheduler
-    #: simulator and the timing tables).
+    #: simulator and the timing tables).  For batched evaluations this is the
+    #: column's share of the batch time, apportioned by the analytic cost
+    #: estimate.
     elapsed_seconds: float = 0.0
 
 
@@ -79,29 +96,87 @@ def assemble_rhs(dof_manager: DofManager, gpr: float = DEFAULT_GPR) -> np.ndarra
     return float(gpr) * dof_manager.assemble_basis_integrals()
 
 
+def _column_flat_updates(
+    n_dofs: int, dof_matrix: np.ndarray, column: ColumnResult
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flat matrix indices and values of one column's symmetric contributions.
+
+    The source column couples element α with every target ``β >= α``; symmetry
+    of the Galerkin formulation is exploited by also adding the transposed
+    block at the mirrored position, exactly as the paper discards
+    "approximately half" of the contributions.  The diagonal pair contributes
+    half of its block to each orientation, which symmetrises it in place.
+    """
+    alpha = column.source_index
+    cols = dof_matrix[alpha]  # (nb,)
+    targets = np.asarray(column.targets, dtype=int)
+    blocks = column.blocks  # (T, nb_j, nb_i)
+    if targets.size == 0:
+        empty = np.zeros(0)
+        return empty.astype(np.intp), empty
+
+    rows = dof_matrix[targets]  # (T, nb)
+    weights = np.where(targets == alpha, 0.5, 1.0)  # halve the diagonal pair
+    values = blocks * weights[:, None, None]
+
+    forward = rows[:, :, None] * n_dofs + cols[None, None, :]  # (β_j, α_i)
+    mirror = cols[None, None, :] * n_dofs + rows[:, :, None]  # (α_i, β_j)
+    indices = np.concatenate((forward.ravel(), mirror.ravel()))
+    return indices, np.concatenate((values.ravel(), values.ravel()))
+
+
+#: Flush threshold (in pending flat updates) of :func:`scatter_columns`, so
+#: scattering a whole mesh at once stays within a bounded transient footprint.
+_SCATTER_FLUSH_ENTRIES: int = 2_000_000
+
+
+def scatter_columns(
+    matrix: np.ndarray,
+    dof_matrix: np.ndarray,
+    columns: Iterable[ColumnResult],
+) -> None:
+    """Scatter-add the blocks of a batch of columns into the global matrix.
+
+    The (index, value) pairs of many columns are accumulated with one
+    ``numpy.bincount`` per ~2M pending entries — orders of magnitude faster
+    than per-pair fancy indexing, with a bounded transient footprint even when
+    an entire mesh is scattered in one call.
+    """
+    n = matrix.shape[0]
+    index_parts: list[np.ndarray] = []
+    value_parts: list[np.ndarray] = []
+    pending = 0
+
+    def _flush() -> None:
+        nonlocal pending
+        if not index_parts:
+            return
+        flat_indices = np.concatenate(index_parts)
+        flat_values = np.concatenate(value_parts)
+        index_parts.clear()
+        value_parts.clear()
+        pending = 0
+        accumulated = np.bincount(flat_indices, weights=flat_values, minlength=n * n)
+        np.add(matrix, accumulated.reshape(n, n), out=matrix)
+
+    for column in columns:
+        indices, values = _column_flat_updates(n, dof_matrix, column)
+        if indices.size:
+            index_parts.append(indices)
+            value_parts.append(values)
+            pending += indices.size
+            if pending >= _SCATTER_FLUSH_ENTRIES:
+                _flush()
+    _flush()
+
+
 def scatter_column(
     matrix: np.ndarray,
     dof_matrix: np.ndarray,
     column: ColumnResult,
 ) -> None:
-    """Scatter-add the blocks of one column into the global matrix.
-
-    The source column couples element α with every target ``β >= α``; symmetry
-    of the Galerkin formulation is exploited by also adding the transposed
-    block at the mirrored position (except for the diagonal pair, which is
-    symmetrised in place), exactly as the paper discards "approximately half"
-    of the contributions.
-    """
-    alpha = column.source_index
-    cols = dof_matrix[alpha]
-    for target, block in zip(column.targets, column.blocks):
-        rows = dof_matrix[int(target)]
-        if int(target) == alpha:
-            symmetric_block = 0.5 * (block + block.T)
-            matrix[np.ix_(rows, cols)] += symmetric_block
-        else:
-            matrix[np.ix_(rows, cols)] += block
-            matrix[np.ix_(cols, rows)] += block.T
+    """Scatter-add the blocks of one column into the global matrix."""
+    scatter_columns(matrix, dof_matrix, [column])
 
 
 def compute_column(assembler: ColumnAssembler, source_index: int) -> ColumnResult:
@@ -114,6 +189,40 @@ def compute_column(assembler: ColumnAssembler, source_index: int) -> ColumnResul
     )
 
 
+def compute_column_batch(
+    assembler: ColumnAssembler,
+    source_indices: Sequence[int],
+    cost_hint: np.ndarray | None = None,
+) -> list[ColumnResult]:
+    """Compute a batch of columns in one vectorised pass, timing the batch.
+
+    The batch wall time is apportioned to the individual columns according to
+    ``cost_hint`` (the analytic per-column cost estimate by default), so the
+    per-column profile consumed by the schedule simulator stays meaningful.
+    """
+    # Local import: repro.parallel imports repro.bem at package load time.
+    from repro.parallel.costs import cost_shares
+
+    indices = [int(i) for i in source_indices]
+    start = time.perf_counter()
+    pairs = assembler.column_batch(indices)
+    elapsed = time.perf_counter() - start
+
+    if cost_hint is None:
+        cost_hint = assembler.column_cost_estimate()
+    shares = cost_shares(cost_hint, indices)
+
+    return [
+        ColumnResult(
+            source_index=index,
+            targets=targets,
+            blocks=blocks,
+            elapsed_seconds=float(elapsed * share),
+        )
+        for index, (targets, blocks), share in zip(indices, pairs, shares)
+    ]
+
+
 def assemble_system(
     mesh: Mesh,
     soil: SoilModel,
@@ -122,8 +231,9 @@ def assemble_system(
     kernel: LayeredKernel | None = None,
     column_order: Sequence[int] | None = None,
     collect_column_times: bool = False,
+    batch_size: int | None = None,
 ) -> LinearSystem:
-    """Assemble the dense Galerkin system sequentially.
+    """Assemble the dense Galerkin system sequentially (batched columns).
 
     Parameters
     ----------
@@ -145,6 +255,13 @@ def assemble_system(
         When ``True`` the per-column wall-clock times are stored in the system
         metadata under ``"column_seconds"`` — this is the task-cost profile
         consumed by the scheduler simulator of :mod:`repro.parallel.simulator`.
+        Unless a ``batch_size`` is forced, the columns are then computed one at
+        a time so each timing is a genuine measurement.
+    batch_size:
+        Number of columns evaluated per vectorised batch.  Default: a
+        memory-bounded automatic size (see
+        :meth:`~repro.bem.influence.ColumnAssembler.max_batch_size`), or 1 when
+        ``collect_column_times`` is requested.
 
     Returns
     -------
@@ -158,16 +275,26 @@ def assemble_system(
     assembler = ColumnAssembler(mesh, kernel, dof_manager, options.n_gauss)
     dof_matrix = dof_manager.element_dof_matrix()
 
+    if batch_size is None:
+        batch_size = 1 if collect_column_times else assembler.max_batch_size()
+    batch_size = max(1, int(batch_size))
+
     n = dof_manager.n_dofs
     matrix = np.zeros((n, n))
-    columns = range(mesh.n_elements) if column_order is None else column_order
+    columns = list(range(mesh.n_elements)) if column_order is None else list(column_order)
+    cost_hint = assembler.column_cost_estimate() if batch_size > 1 else None
 
     start = time.perf_counter()
     column_seconds = np.zeros(mesh.n_elements)
-    for source_index in columns:
-        column = compute_column(assembler, int(source_index))
-        scatter_column(matrix, dof_matrix, column)
-        column_seconds[column.source_index] = column.elapsed_seconds
+    for batch_start in range(0, len(columns), batch_size):
+        batch = columns[batch_start : batch_start + batch_size]
+        if batch_size == 1:
+            batch_results = [compute_column(assembler, int(batch[0]))]
+        else:
+            batch_results = compute_column_batch(assembler, batch, cost_hint)
+        scatter_columns(matrix, dof_matrix, batch_results)
+        for column in batch_results:
+            column_seconds[column.source_index] = column.elapsed_seconds
     generation_seconds = time.perf_counter() - start
 
     rhs = assemble_rhs(dof_manager, gpr)
@@ -185,6 +312,7 @@ def assemble_system(
             for c in range(1, soil.n_layers + 1)
         },
         "backend": "sequential",
+        "batch_size": batch_size,
     }
     if collect_column_times:
         metadata["column_seconds"] = column_seconds
@@ -210,14 +338,16 @@ def assemble_from_columns(
     n = dof_manager.n_dofs
     matrix = np.zeros((n, n))
     seen: set[int] = set()
+    batch: list[ColumnResult] = []
     for column in columns:
         if column.source_index in seen:
             raise AssemblyError(f"column {column.source_index} provided twice")
         seen.add(column.source_index)
-        scatter_column(matrix, dof_matrix, column)
+        batch.append(column)
     if len(seen) != dof_manager.n_elements:
         missing = sorted(set(range(dof_manager.n_elements)) - seen)
         raise AssemblyError(f"missing columns in assembly: {missing[:10]} ...")
+    scatter_columns(matrix, dof_matrix, batch)
     rhs = assemble_rhs(dof_manager, gpr)
     return LinearSystem(
         matrix=matrix,

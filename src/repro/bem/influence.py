@@ -10,30 +10,45 @@ element β is evaluated with a small Gauss–Legendre rule, while the inner
 every image term of the layered-soil kernel (the images of a straight segment
 are straight segments, see :mod:`repro.geometry.transforms`).
 
-Two entry points are provided:
+Three entry points are provided:
 
 * :func:`element_pair_influence` — a clear, reference implementation working on
   a single (target, source) pair; used by the unit tests and small problems;
-* :class:`ColumnAssembler` — a vectorised implementation that computes the
-  influence of one source element on *many* target elements at once.  One call
-  corresponds to one cycle of the paper's outer assembly loop (a "column" of
-  the triangular element-pair structure), which is exactly the task that
-  Section 6 distributes among processors.
+* :meth:`ColumnAssembler.column_blocks` — the influence of one source element
+  on many target elements at once.  One call corresponds to one cycle of the
+  paper's outer assembly loop (a "column" of the triangular element-pair
+  structure), which is exactly the task that Section 6 distributes among
+  processors;
+* :meth:`ColumnAssembler.column_batch` — the batched engine: a whole *block of
+  source columns* is evaluated in one vectorised NumPy pass over
+  ``images × targets × Gauss points × sources``.  Both the sequential assembly
+  and the parallel backends dispatch schedule-sized batches through this path;
+  :meth:`ColumnAssembler.column_blocks` is a single-source wrapper around it.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 import numpy as np
 
 from repro.bem.elements import DofManager, ElementType
 from repro.bem.quadrature import gauss_legendre_rule
-from repro.bem.segment_integrals import line_integrals
+from repro.bem.segment_integrals import image_segment_integrals, line_integrals
 from repro.constants import DEFAULT_GAUSS_POINTS
 from repro.exceptions import AssemblyError
 from repro.geometry.discretize import Mesh, MeshElement
 from repro.kernels.base import LayeredKernel
 
-__all__ = ["element_pair_influence", "ColumnAssembler"]
+__all__ = ["element_pair_influence", "ColumnAssembler", "BATCH_ELEMENT_BUDGET"]
+
+#: Upper bound on the number of ``images × targets × Gauss × sources`` entries
+#: evaluated in one vectorised pass of :meth:`ColumnAssembler.column_batch`.
+#: Chosen so the per-pass temporaries stay around a megabyte each and remain
+#: cache-resident: interleaved A/B timing on the reference host showed the
+#: cache-friendly regime beating larger (DRAM-spilling) batches by 1.1–1.6×
+#: on both the coarse and the full Barberá case.
+BATCH_ELEMENT_BUDGET: int = 150_000
 
 
 def element_pair_influence(
@@ -85,12 +100,12 @@ def element_pair_influence(
 
 
 class ColumnAssembler:
-    """Vectorised computation of the influence of one source element on many targets.
+    """Vectorised computation of the influence of source columns on many targets.
 
     The assembler pre-computes, once per mesh, every per-element array needed by
-    the hot loop (Gauss points, lengths, layers, radii) so that each column
-    evaluation is a handful of NumPy einsum calls.  It is deliberately free of
-    any mutable shared state: the same instance can be used concurrently from
+    the hot loop (Gauss points, lengths, layers, radii) so that each batch
+    evaluation is a handful of NumPy calls.  It is deliberately free of any
+    mutable shared state: the same instance can be used concurrently from
     several threads, and it pickles cleanly for process-based parallel
     assembly.
     """
@@ -101,13 +116,17 @@ class ColumnAssembler:
         kernel: LayeredKernel,
         dof_manager: DofManager,
         n_gauss: int = DEFAULT_GAUSS_POINTS,
+        batch_element_budget: int = BATCH_ELEMENT_BUDGET,
     ) -> None:
         if n_gauss < 1:
             raise AssemblyError("the outer quadrature needs at least one Gauss point")
+        if batch_element_budget < 1:
+            raise AssemblyError("batch_element_budget must be positive")
         self.mesh = mesh
         self.kernel = kernel
         self.dof_manager = dof_manager
         self.n_gauss = int(n_gauss)
+        self.batch_element_budget = int(batch_element_budget)
 
         nodes, weights = gauss_legendre_rule(self.n_gauss)
         p0, p1 = mesh.element_endpoints()
@@ -135,7 +154,167 @@ class ColumnAssembler:
         """Local basis functions per element (1 or 2)."""
         return self.dof_manager.element_type.basis_per_element
 
-    # -- the column kernel --------------------------------------------------------------
+    # -- the batched column kernel ------------------------------------------------------
+
+    def column_batch(
+        self,
+        source_indices: Sequence[int] | np.ndarray,
+        target_indices: Sequence[int] | np.ndarray | None = None,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Influence blocks of a batch of source columns.
+
+        Parameters
+        ----------
+        source_indices:
+            Indices of the source elements (a chunk of the paper's outer loop).
+        target_indices:
+            Either ``None`` — every source gets its lower-triangle column
+            ``source..M-1``, the task decomposition of the paper — or one
+            explicit target list shared by every source of the batch.
+
+        Returns
+        -------
+        list of (targets, blocks)
+            One entry per requested source, in input order, with the same
+            conventions as :meth:`column_blocks`.
+        """
+        m = self.n_elements
+        sources = np.asarray(source_indices, dtype=int).ravel()
+        if sources.size == 0:
+            return []
+        if sources.min() < 0 or sources.max() >= m:
+            raise AssemblyError(
+                f"source element indices out of range 0..{m - 1}"
+            )
+        nb = self.basis_per_element
+
+        if target_indices is not None:
+            shared_targets = np.asarray(target_indices, dtype=int).ravel()
+            if shared_targets.size and (
+                shared_targets.min() < 0 or shared_targets.max() >= m
+            ):
+                raise AssemblyError("target element indices out of range")
+            if shared_targets.size == 0:
+                empty = np.zeros((0, nb, nb))
+                return [(shared_targets.copy(), empty.copy()) for _ in sources]
+            blocks = self._rectangle_blocks(sources, shared_targets)
+            return [(shared_targets.copy(), blocks[k]) for k in range(sources.size)]
+
+        # Triangle mode: each source couples with the targets source..M-1.
+        # Schedule chunks are runs of consecutive indices, so evaluating one
+        # rectangle per run (targets run_start..M-1) wastes at most a tiny
+        # triangular corner of the rectangle.
+        order = np.argsort(sources, kind="stable")
+        results: list[tuple[np.ndarray, np.ndarray] | None] = [None] * sources.size
+        run: list[int] = []
+        for position in order:
+            if run and sources[position] > sources[run[-1]] + 1:
+                self._emit_triangle_run(sources, run, results)
+                run = []
+            run.append(int(position))
+        if run:
+            self._emit_triangle_run(sources, run, results)
+        return results  # type: ignore[return-value]
+
+    def _emit_triangle_run(
+        self,
+        sources: np.ndarray,
+        run_positions: list[int],
+        results: list,
+    ) -> None:
+        """Evaluate one run of consecutive sources against shared rectangles.
+
+        The rectangle of a run spans the targets of its *first* source, so the
+        sources further into the run waste the triangular corner below their
+        own column.  Long runs near the end of the mesh (short columns) are cut
+        into sub-runs sized a fraction of the remaining targets, which bounds
+        the wasted corner to a few percent of each rectangle.
+        """
+        m = self.n_elements
+        index = 0
+        while index < len(run_positions):
+            first = int(sources[run_positions[index]])
+            remaining = m - first
+            sub_size = min(len(run_positions) - index, max(1, remaining // 8))
+            sub_positions = run_positions[index : index + sub_size]
+            sub_sources = sources[sub_positions]
+            targets = np.arange(first, m, dtype=int)
+            blocks = self._rectangle_blocks(sub_sources, targets)
+            for k, position in enumerate(sub_positions):
+                start = int(sub_sources[k]) - first
+                results[position] = (targets[start:], blocks[k, start:])
+            index += sub_size
+
+    def _rectangle_blocks(self, sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Dense rectangle of influence blocks, shape ``(S, T, nb, nb)``.
+
+        Sources and targets may each span several soil layers; the rectangle is
+        evaluated per (source layer, field layer) group because each group uses
+        a distinct image series.  Groups larger than the memory budget are cut
+        into source sub-batches.
+        """
+        nb = self.basis_per_element
+        blocks = np.empty((sources.size, targets.size, nb, nb))
+        source_layers = self._layers[sources]
+        target_layers = self._layers[targets]
+        for source_layer in np.unique(source_layers):
+            source_positions = np.flatnonzero(source_layers == source_layer)
+            normalization = self.kernel.normalization(int(source_layer))
+            for field_layer in np.unique(target_layers):
+                target_positions = np.flatnonzero(target_layers == field_layer)
+                series = self.kernel.image_series(int(source_layer), int(field_layer))
+                per_source = len(series) * target_positions.size * self.n_gauss
+                step = max(1, self.batch_element_budget // max(per_source, 1))
+                for start in range(0, source_positions.size, step):
+                    chunk = source_positions[start : start + step]
+                    rect = self._evaluate_group(
+                        sources[chunk], targets[target_positions], series, normalization
+                    )
+                    blocks[np.ix_(chunk, target_positions)] = rect
+        return blocks
+
+    def _evaluate_group(
+        self,
+        source_ids: np.ndarray,
+        target_ids: np.ndarray,
+        series,
+        normalization: float,
+    ) -> np.ndarray:
+        """One vectorised evaluation over ``images × targets × Gauss × sources``.
+
+        All sources share one layer, all targets share one field layer, so a
+        single image series applies.  Returns blocks of shape
+        ``(S, T, nb, nb)``.
+        """
+        n_images = len(series)
+        gauss_points = self._gauss_points[target_ids]  # (T, G, 3)
+        i0, i1 = image_segment_integrals(
+            gauss_points,
+            self._p0[source_ids],
+            self._p1[source_ids],
+            self._lengths[source_ids],
+            series.signs,
+            series.offsets,
+            self._radii[source_ids],
+        )  # each (L, T, G, S)
+
+        # Weight-sum over the images: a single BLAS matrix-vector product.
+        shape = i0.shape[1:]
+        w0 = (series.weights @ i0.reshape(n_images, -1)).reshape(shape)  # (T, G, S)
+        w1 = (series.weights @ i1.reshape(n_images, -1)).reshape(shape)
+
+        if self.dof_manager.element_type is ElementType.CONSTANT:
+            trial_integrals = w0[..., None]  # (T, G, S, 1)
+        else:
+            trial_integrals = np.stack((w0 - w1, w1), axis=-1)  # (T, G, S, 2)
+
+        outer = self._outer_weights[target_ids]  # (T, G)
+        scaled = outer[:, :, None, None] * trial_integrals  # (T, G, S, nb)
+        blocks = np.einsum("gj,tgsi->stji", self._test_values, scaled)
+        blocks *= normalization
+        return blocks
+
+    # -- the single-column kernel --------------------------------------------------------
 
     def column_blocks(
         self, source_index: int, target_indices: np.ndarray | None = None
@@ -159,62 +338,9 @@ class ColumnAssembler:
             ``[j, i]`` convention as :func:`element_pair_influence`.
         """
         m = self.n_elements
-        if not 0 <= source_index < m:
+        if not 0 <= int(source_index) < m:
             raise AssemblyError(f"source element index {source_index} out of range 0..{m - 1}")
-        if target_indices is None:
-            targets = np.arange(source_index, m, dtype=int)
-        else:
-            targets = np.asarray(target_indices, dtype=int)
-            if targets.size and (targets.min() < 0 or targets.max() >= m):
-                raise AssemblyError("target element indices out of range")
-        if targets.size == 0:
-            nb = self.basis_per_element
-            return targets, np.zeros((0, nb, nb))
-
-        source_layer = int(self._layers[source_index])
-        normalization = self.kernel.normalization(source_layer)
-        source_p0 = self._p0[source_index]
-        source_p1 = self._p1[source_index]
-        source_radius = float(self._radii[source_index])
-
-        nb = self.basis_per_element
-        blocks = np.empty((targets.size, nb, nb))
-
-        # Targets may live in different layers (e.g. rods crossing the
-        # interface in the Balaidos model C); group them so each group uses a
-        # single image series.
-        target_layers = self._layers[targets]
-        for field_layer in np.unique(target_layers):
-            mask = target_layers == field_layer
-            group = targets[mask]
-            series = self.kernel.image_series(source_layer, int(field_layer))
-
-            # Image-transformed source segment end points, shape (L, 3).
-            q0 = np.broadcast_to(source_p0, (len(series), 3)).copy()
-            q1 = np.broadcast_to(source_p1, (len(series), 3)).copy()
-            q0[:, 2] = series.signs * source_p0[2] + series.offsets
-            q1[:, 2] = series.signs * source_p1[2] + series.offsets
-
-            gauss_points = self._gauss_points[group]  # (T, G, 3)
-            i0, i1 = line_integrals(
-                gauss_points[None, :, :, :],
-                q0[:, None, None, :],
-                q1[:, None, None, :],
-                min_distance=source_radius,
-            )  # each (L, T, G)
-            w0 = np.einsum("l,ltg->tg", series.weights, i0)
-            w1 = np.einsum("l,ltg->tg", series.weights, i1)
-
-            if self.dof_manager.element_type is ElementType.CONSTANT:
-                trial_integrals = w0[..., None]  # (T, G, 1)
-            else:
-                trial_integrals = np.stack((w0 - w1, w1), axis=-1)  # (T, G, 2)
-
-            outer = self._outer_weights[group]  # (T, G)
-            blocks[mask] = normalization * np.einsum(
-                "tg,gj,tgi->tji", outer, self._test_values, trial_integrals
-            )
-
+        [(targets, blocks)] = self.column_batch([int(source_index)], target_indices)
         return targets, blocks
 
     # -- work decomposition helpers -------------------------------------------------------
@@ -227,16 +353,30 @@ class ColumnAssembler:
     def column_cost_estimate(self) -> np.ndarray:
         """Relative cost estimate of each column (targets x image terms).
 
-        Used by the parallel simulator when no measured timings are available.
+        Deterministic and host-independent; used by the parallel simulator and
+        the batched executors to apportion chunk times when no measured timings
+        are available.  Delegates to
+        :func:`repro.parallel.costs.analytic_column_costs`.
         """
-        m = self.n_elements
-        costs = np.zeros(m)
-        for source_index in range(m):
-            source_layer = int(self._layers[source_index])
-            remaining_layers = self._layers[source_index:]
-            terms = 0.0
-            for field_layer in np.unique(remaining_layers):
-                count = int((remaining_layers == field_layer).sum())
-                terms += count * self.kernel.series_length(source_layer, int(field_layer))
-            costs[source_index] = terms * self.n_gauss
-        return costs
+        # Local import: repro.parallel imports repro.bem at package load time.
+        from repro.parallel.costs import analytic_column_costs
+
+        return analytic_column_costs(self._layers, self.kernel, self.n_gauss)
+
+    def max_batch_size(self, cap: int = 64) -> int:
+        """Default column count per assembly batch (scatter / bookkeeping unit).
+
+        Deliberately *larger* than the number of sources that fit one
+        cache-resident rectangle: :meth:`_rectangle_blocks` re-chunks each
+        batch to the element budget internally, so a bigger batch only
+        amortises the per-batch Python overhead (column results, cost shares,
+        one scatter) over more columns without growing the vectorised
+        working set.
+        """
+        layers = np.unique(self._layers)
+        longest = max(
+            self.kernel.series_length(int(b), int(c)) for b in layers for c in layers
+        )
+        per_source = max(1, longest * self.n_elements * self.n_gauss)
+        rectangle_sources = max(1, self.batch_element_budget // per_source)
+        return int(np.clip(8 * rectangle_sources, 1, cap))

@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.exceptions import AssemblyError
 
-__all__ = ["line_integrals", "potential_integrals"]
+__all__ = ["line_integrals", "potential_integrals", "image_segment_integrals"]
 
 #: Relative floor applied to ``d`` to avoid division by zero even when the
 #: caller passes a zero minimum distance (e.g. for far-field image segments).
@@ -91,6 +91,106 @@ def line_integrals(
     r1 = np.sqrt(upper**2 + d**2)
     r0 = np.sqrt(s**2 + d**2)
     i1 = (r1 - r0 + s * i0) / length
+    return i0, i1
+
+
+def image_segment_integrals(
+    gauss_points: np.ndarray,
+    p0: np.ndarray,
+    p1: np.ndarray,
+    lengths: np.ndarray,
+    signs: np.ndarray,
+    offsets: np.ndarray,
+    radii: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched ``line_integrals`` over the image transforms of source segments.
+
+    Specialised hot path of the batched assembly engine: the images of a
+    layered-soil kernel only flip and shift the *z* coordinate of a source
+    segment (``z ↦ sign·z + offset``), so the in-plane geometry — the axial
+    projection of the field points and their squared distance to the segment
+    axis — is identical for every image and is computed once per
+    (target point, source) pair instead of once per image.  The per-image work
+    reduces to a handful of cheap broadcast operations plus the two ``asinh``
+    evaluations of the analytic ``1/r`` integral, with the same floating-point
+    associations as :func:`line_integrals`.
+
+    Parameters
+    ----------
+    gauss_points:
+        Field points, shape ``(T, G, 3)``.
+    p0, p1:
+        Untransformed source segment end points, shape ``(S, 3)``.
+    lengths:
+        Segment lengths ``|p1 − p0|`` (image transforms preserve them),
+        shape ``(S,)``.
+    signs, offsets:
+        The ``z ↦ sign·z + offset`` image transforms, each shape ``(L,)``.
+    radii:
+        Minimum point-to-axis distance per source (the conductor radius),
+        shape ``(S,)``.
+
+    Returns
+    -------
+    (I0, I1)
+        Arrays of shape ``(L, T, G, S)`` with the same semantics as
+        :func:`line_integrals`.
+    """
+    x_xy = gauss_points[..., :2]  # (T, G, 2)
+    x_z = np.ascontiguousarray(gauss_points[..., 2])  # (T, G)
+    a_xy = p0[:, :2]  # (S, 2)
+    length = np.asarray(lengths, dtype=float)
+    if np.any(length <= 0.0):
+        raise AssemblyError("source segments must have positive length")
+
+    # In-plane geometry, shared by every image: the xy displacement of each
+    # (field point, source) pair, its projection on the unit axis direction and
+    # its squared norm.
+    u_xy = (p1[:, :2] - a_xy) / length[:, None]  # (S, 2)
+    displacement_xy = x_xy[:, :, None, :] - a_xy[None, None, :, :]  # (T, G, S, 2)
+    p_axis = np.einsum("tgsk,sk->tgs", displacement_xy, u_xy)  # (T, G, S)
+    q_norm = np.einsum("tgsk,tgsk->tgs", displacement_xy, displacement_xy)
+
+    # Per-image z geometry (small arrays, shape (L, S)).
+    source_z0 = p0[:, 2]
+    u_z = np.asarray(signs, dtype=float)[:, None] * (
+        (p1[:, 2] - source_z0) / length
+    )[None, :]
+    a_z = np.asarray(signs, dtype=float)[:, None] * source_z0[None, :] + np.asarray(
+        offsets, dtype=float
+    )[:, None]
+
+    # Assemble the axial coordinate s and the axis distance d for every
+    # (image, field point, source) combination; associations match
+    # line_integrals: s = (w_xy · u_xy) + w_z u_z and d² = (|w_xy|² + w_z²) − s².
+    delta_z = x_z[None, :, :, None] - a_z[:, None, None, :]  # (L, T, G, S)
+    s = delta_z * u_z[:, None, None, :]
+    s += p_axis[None, :, :, :]
+    d = delta_z
+    np.multiply(d, d, out=d)  # reuse the Δz buffer as |w|² − |w_xy|²
+    d += q_norm[None, :, :, :]
+    d -= s * s
+    np.maximum(d, 0.0, out=d)
+    np.sqrt(d, out=d)
+    d_min = np.maximum(np.asarray(radii, dtype=float), _D_FLOOR)
+    np.maximum(d, d_min[None, None, None, :], out=d)
+
+    upper = length[None, None, None, :] - s
+    i0 = np.arcsinh(upper / d)
+    i0 -= np.arcsinh(-s / d)
+    r1 = upper
+    np.multiply(r1, r1, out=r1)
+    d_sq = d
+    np.multiply(d, d, out=d_sq)
+    r1 += d_sq
+    np.sqrt(r1, out=r1)
+    r0 = s * s
+    r0 += d_sq
+    np.sqrt(r0, out=r0)
+    i1 = r1
+    i1 -= r0
+    i1 += s * i0
+    i1 /= length[None, None, None, :]
     return i0, i1
 
 

@@ -159,8 +159,16 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
     print("\nreal process-pool measurements:")
     print(
         format_table(
-            ["processors", "wall seconds", "speed-up"],
-            [[r["n_processors"], r["cpu_seconds"], r["speedup"]] for r in rows],
+            ["processors", "wall seconds", "speed-up", "oversubscribed"],
+            [
+                [
+                    r["n_processors"],
+                    r["cpu_seconds"],
+                    r["speedup"],
+                    "yes" if r["oversubscribed"] else "no",
+                ]
+                for r in rows
+            ],
         )
     )
 

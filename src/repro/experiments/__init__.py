@@ -26,6 +26,7 @@ from repro.experiments.balaidos import (
 )
 from repro.experiments.scaling import (
     measure_column_costs,
+    deterministic_column_costs,
     figure_6_1_curves,
     table_6_2_speedups,
     table_6_3_rows,
@@ -43,6 +44,7 @@ __all__ = [
     "run_balaidos",
     "run_balaidos_all_models",
     "measure_column_costs",
+    "deterministic_column_costs",
     "figure_6_1_curves",
     "table_6_2_speedups",
     "table_6_3_rows",

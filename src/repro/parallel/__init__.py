@@ -28,6 +28,12 @@ locally.
 """
 
 from repro.parallel.options import ParallelOptions, Backend, LoopLevel
+from repro.parallel.costs import (
+    analytic_column_costs,
+    blend_costs,
+    scale_costs,
+    smooth_costs,
+)
 from repro.parallel.schedule import Schedule, ScheduleKind
 from repro.parallel.timing import Timer, PhaseTimer
 from repro.parallel.machine import MachineModel
@@ -40,6 +46,10 @@ __all__ = [
     "ParallelOptions",
     "Backend",
     "LoopLevel",
+    "analytic_column_costs",
+    "blend_costs",
+    "scale_costs",
+    "smooth_costs",
     "Schedule",
     "ScheduleKind",
     "Timer",

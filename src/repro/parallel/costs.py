@@ -1,0 +1,185 @@
+"""Deterministic analytic cost model of the assembly columns.
+
+The scaling experiments of the paper's Section 6 replay *per-column task
+costs* through the schedule simulator.  Measuring those costs with wall-clock
+timers ties the experiment to the host: on slow or 1-core machines the coarse
+profiles are dominated by scheduler jitter and warm-up noise, which made the
+Fig. 6.1 / Table 6.2 reproductions flaky.  This module provides an *analytic*
+cost profile instead — the amount of numerical work of column ``α`` is known
+exactly:
+
+    ``cost(α) ∝ Σ_{β ≥ α} n_gauss · L(layer(α), layer(β))``
+
+where ``L(b, c)`` is the truncated image-series length of the kernel ``k_bc``
+(the number of ``1/r`` integrals evaluated per Gauss point).  The profile is
+deterministic, host-independent, and reproduces the linearly decreasing
+triangle workload that drives the schedule comparison of Table 6.2.
+
+Helpers are provided to scale the profile to a wall-clock total, to blend it
+with a measured profile, and to smooth a jittery measured profile.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.constants import DEFAULT_GAUSS_POINTS
+from repro.exceptions import ScheduleError
+
+__all__ = [
+    "analytic_column_costs",
+    "cost_shares",
+    "scale_costs",
+    "blend_costs",
+    "smooth_costs",
+]
+
+
+def cost_shares(cost_hint, indices: Sequence[int]) -> np.ndarray:
+    """Relative cost shares of a set of tasks, normalised to sum to one.
+
+    ``cost_hint`` may be ``None`` (uniform shares), an array indexed by task
+    id, or a mapping from task id to cost.  Non-finite or non-positive totals
+    fall back to uniform shares.  Used to apportion the wall time of a batched
+    chunk to its individual tasks.
+    """
+    n = len(indices)
+    if cost_hint is None or n == 0:
+        return np.full(max(n, 1), 1.0 / max(n, 1))
+    if hasattr(cost_hint, "get"):
+        shares = np.asarray([float(cost_hint.get(int(i), 0.0)) for i in indices])
+    else:
+        hint = np.asarray(cost_hint, dtype=float)
+        shares = hint[np.asarray(indices, dtype=int)]
+    total = shares.sum()
+    if not np.isfinite(total) or total <= 0.0 or not np.all(np.isfinite(shares)):
+        return np.full(n, 1.0 / n)
+    return shares / total
+
+
+def analytic_column_costs(
+    element_layers: Sequence[int] | np.ndarray,
+    kernel,
+    n_gauss: int = DEFAULT_GAUSS_POINTS,
+) -> np.ndarray:
+    """Analytic per-column work estimate (targets × image terms × Gauss points).
+
+    Parameters
+    ----------
+    element_layers:
+        Soil layer of every mesh element, shape ``(M,)`` (1-based, as stored by
+        the mesh).
+    kernel:
+        Any object with a ``series_length(source_layer, field_layer)`` method —
+        normally a :class:`repro.kernels.base.LayeredKernel`.
+    n_gauss:
+        Gauss points of the outer (test) integral.
+
+    Returns
+    -------
+    numpy.ndarray
+        Work units of every column of the triangular assembly loop, shape
+        ``(M,)``.  Only *relative* values matter to the schedule simulator.
+    """
+    layers = np.asarray(element_layers, dtype=int)
+    if layers.ndim != 1 or layers.size == 0:
+        raise ScheduleError("element_layers must be a non-empty 1D sequence")
+    if n_gauss < 1:
+        raise ScheduleError(f"n_gauss must be at least 1, got {n_gauss}")
+
+    m = layers.size
+    unique_layers = np.unique(layers)
+    # suffix_counts[c][i] = number of elements j >= i lying in layer c.
+    suffix_counts = {
+        int(c): np.cumsum((layers == c)[::-1])[::-1] for c in unique_layers
+    }
+    series_lengths = {
+        (int(b), int(c)): int(kernel.series_length(int(b), int(c)))
+        for b in unique_layers
+        for c in unique_layers
+    }
+
+    costs = np.zeros(m)
+    for b in unique_layers:
+        sources = layers == b
+        terms = np.zeros(m)
+        for c in unique_layers:
+            terms[sources] += (
+                suffix_counts[int(c)][sources] * series_lengths[(int(b), int(c))]
+            )
+        costs[sources] = terms[sources]
+    return costs * float(n_gauss)
+
+
+def scale_costs(costs: Sequence[float] | np.ndarray, total_seconds: float) -> np.ndarray:
+    """Scale a cost profile so it sums to ``total_seconds``.
+
+    Turns the dimensionless analytic work units into a wall-clock profile the
+    schedule simulator can mix with real machine overheads.
+    """
+    profile = np.asarray(costs, dtype=float)
+    if profile.ndim != 1 or profile.size == 0:
+        raise ScheduleError("costs must be a non-empty 1D sequence")
+    if not np.isfinite(total_seconds) or total_seconds <= 0.0:
+        raise ScheduleError(f"total_seconds must be positive, got {total_seconds}")
+    current = profile.sum()
+    if current <= 0.0:
+        raise ScheduleError("cannot scale a profile with non-positive total cost")
+    return profile * (float(total_seconds) / current)
+
+
+def blend_costs(
+    measured: Sequence[float] | np.ndarray,
+    analytic: Sequence[float] | np.ndarray,
+    analytic_weight: float = 0.5,
+) -> np.ndarray:
+    """Convex blend of a measured and an analytic cost profile.
+
+    The analytic profile is first rescaled to the measured total, so the blend
+    keeps the measured wall-clock sum while the analytic share damps the
+    per-column timing noise.  ``analytic_weight = 0`` returns the measured
+    profile, ``1`` the (rescaled) analytic one.
+    """
+    observed = np.asarray(measured, dtype=float)
+    if observed.ndim != 1 or observed.size == 0:
+        raise ScheduleError("measured costs must be a non-empty 1D sequence")
+    model = np.asarray(analytic, dtype=float)
+    if model.shape != observed.shape:
+        raise ScheduleError(
+            f"profile shapes differ: measured {observed.shape}, analytic {model.shape}"
+        )
+    if not 0.0 <= analytic_weight <= 1.0:
+        raise ScheduleError(f"analytic_weight must lie in [0, 1], got {analytic_weight}")
+    total = observed.sum()
+    if total <= 0.0:
+        raise ScheduleError("measured profile must have a positive total")
+    return (1.0 - analytic_weight) * observed + analytic_weight * scale_costs(model, total)
+
+
+def smooth_costs(costs: Sequence[float] | np.ndarray, window: int = 5) -> np.ndarray:
+    """Centered moving-median smoothing of a measured cost profile.
+
+    Removes isolated scheduler-jitter spikes from coarse measured profiles
+    while preserving the profile total (the smoothed profile is rescaled to the
+    original sum).
+    """
+    profile = np.asarray(costs, dtype=float)
+    if profile.ndim != 1 or profile.size == 0:
+        raise ScheduleError("costs must be a non-empty 1D sequence")
+    if window < 1:
+        raise ScheduleError(f"window must be at least 1, got {window}")
+    if window == 1 or profile.size == 1:
+        return profile.copy()
+    half = window // 2
+    smoothed = np.empty_like(profile)
+    for i in range(profile.size):
+        lo = max(0, i - half)
+        hi = min(profile.size, i + half + 1)
+        smoothed[i] = np.median(profile[lo:hi])
+    total = profile.sum()
+    smoothed_total = smoothed.sum()
+    if total > 0.0 and smoothed_total > 0.0:
+        smoothed *= total / smoothed_total
+    return smoothed

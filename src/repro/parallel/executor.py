@@ -9,6 +9,14 @@ parallelises: a set of numbered tasks (loop cycles) is distributed over
   the shared sequence, which balances the linearly decreasing column costs of
   the BEM assembly at the price of more scheduling events.
 
+Chunks, not single tasks, are the unit of dispatch.  When the task callable has
+a batched companion (``batch_fn``), each chunk is executed in **one** call —
+for the BEM assembly that is one vectorised
+:meth:`~repro.bem.influence.ColumnAssembler.column_batch` evaluation per
+schedule chunk, on every backend.  The chunk wall time is then apportioned to
+the individual tasks using the (analytic) ``cost_hint`` so the per-task
+profile consumed by the schedule simulator stays meaningful.
+
 Backends:
 
 ``process`` (default)
@@ -21,7 +29,8 @@ Backends:
 ``thread``
     A thread pool.  NumPy releases the GIL inside its kernels, so moderate
     speed-ups are possible, but the Python-level bookkeeping serialises;
-    provided mainly for comparison.
+    batched chunks spend most of their time inside NumPy, which makes this
+    backend considerably more useful than with per-task dispatch.
 ``serial``
     Runs everything in the calling thread (baseline and debugging).
 """
@@ -37,6 +46,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.exceptions import ParallelExecutionError
+from repro.parallel.costs import cost_shares
 from repro.parallel.options import Backend
 from repro.parallel.schedule import Schedule, ScheduleKind
 
@@ -45,29 +55,64 @@ __all__ = ["TaskRunResult", "ScheduledExecutor", "run_scheduled_tasks"]
 
 # --------------------------------------------------------------------------- worker side
 #
-# The task callable is stashed in a module-level slot *before* the worker
-# processes are forked, so the children inherit it via copy-on-write memory and
-# only chunk indices / results cross the process boundary.
+# The task callables are stashed in module-level slots *before* the worker
+# processes are forked, so the children inherit them via copy-on-write memory
+# and only chunk indices / results cross the process boundary.
 
 _WORKER_TASK_FN: Callable[[int], Any] | None = None
+_WORKER_BATCH_FN: Callable[[Sequence[int]], list[tuple[int, Any]]] | None = None
+_WORKER_COST_HINT: Any = None
 
 
-def _set_worker_task(fn: Callable[[int], Any] | None) -> None:
-    global _WORKER_TASK_FN
+def _set_worker_task(
+    fn: Callable[[int], Any] | None,
+    batch_fn: Callable[[Sequence[int]], list[tuple[int, Any]]] | None = None,
+    cost_hint: Any = None,
+) -> None:
+    global _WORKER_TASK_FN, _WORKER_BATCH_FN, _WORKER_COST_HINT
     _WORKER_TASK_FN = fn
+    _WORKER_BATCH_FN = batch_fn
+    _WORKER_COST_HINT = cost_hint
 
 
-def _run_chunk(indices: Sequence[int]) -> list[tuple[int, Any, float]]:
-    """Execute a chunk of tasks, timing each one (runs inside a worker)."""
-    fn = _WORKER_TASK_FN
-    if fn is None:  # pragma: no cover - defensive
+def _execute_chunk(
+    task_fn: Callable[[int], Any] | None,
+    batch_fn: Callable[[Sequence[int]], list[tuple[int, Any]]] | None,
+    cost_hint: Any,
+    indices: Sequence[int],
+) -> list[tuple[int, Any, float]]:
+    """Execute one chunk of tasks, timing them.
+
+    With a ``batch_fn`` the whole chunk is evaluated in a single call and the
+    elapsed time is apportioned to the tasks by their cost shares; otherwise
+    each task runs (and is timed) individually.
+    """
+    if batch_fn is not None:
+        start = time.perf_counter()
+        pairs = batch_fn(list(indices))
+        elapsed = time.perf_counter() - start
+        if len(pairs) != len(indices):
+            raise ParallelExecutionError(
+                f"batch returned {len(pairs)} results for a chunk of {len(indices)} tasks"
+            )
+        shares = cost_shares(cost_hint, indices)
+        return [
+            (int(task_id), value, float(elapsed * share))
+            for (task_id, value), share in zip(pairs, shares)
+        ]
+    if task_fn is None:  # pragma: no cover - defensive
         raise ParallelExecutionError("worker has no task function configured")
     output = []
     for index in indices:
         start = time.perf_counter()
-        value = fn(int(index))
+        value = task_fn(int(index))
         output.append((int(index), value, time.perf_counter() - start))
     return output
+
+
+def _run_chunk(indices: Sequence[int]) -> list[tuple[int, Any, float]]:
+    """Execute a chunk inside a forked worker (state read from the globals)."""
+    return _execute_chunk(_WORKER_TASK_FN, _WORKER_BATCH_FN, _WORKER_COST_HINT, indices)
 
 
 # --------------------------------------------------------------------------- results
@@ -81,7 +126,8 @@ class TaskRunResult:
     results: dict[int, Any]
     #: Wall-clock seconds of the whole parallel loop (as seen by the caller).
     wall_seconds: float
-    #: Per-task execution seconds measured inside the workers.
+    #: Per-task execution seconds measured inside the workers (apportioned from
+    #: the chunk time when chunks are dispatched as batches).
     task_seconds: np.ndarray
     #: Number of chunks dispatched.
     n_chunks: int
@@ -121,6 +167,22 @@ class ScheduledExecutor:
 
         with ScheduledExecutor(task_fn, n_workers=8, backend=Backend.PROCESS) as ex:
             outcome = ex.run(range(n_tasks), Schedule.parse("Dynamic,1"))
+
+    Parameters
+    ----------
+    task_fn:
+        Callable computing a single task.
+    n_workers:
+        Number of workers.
+    backend:
+        ``process``, ``thread`` or ``serial``.
+    batch_fn:
+        Optional batched companion of ``task_fn``: called with the task ids of
+        a whole chunk, must return ``[(task_id, result), ...]`` in the same
+        order.  When provided, every chunk is dispatched as one call.
+    cost_hint:
+        Optional per-task relative costs (array indexed by task id, or a
+        mapping) used to apportion a chunk's wall time to its tasks.
     """
 
     def __init__(
@@ -128,10 +190,14 @@ class ScheduledExecutor:
         task_fn: Callable[[int], Any],
         n_workers: int,
         backend: Backend | str = Backend.PROCESS,
+        batch_fn: Callable[[Sequence[int]], list[tuple[int, Any]]] | None = None,
+        cost_hint: Any = None,
     ) -> None:
         if n_workers < 1:
             raise ParallelExecutionError(f"n_workers must be >= 1, got {n_workers}")
         self.task_fn = task_fn
+        self.batch_fn = batch_fn
+        self.cost_hint = cost_hint
         self.n_workers = int(n_workers)
         self.backend = Backend(backend) if not isinstance(backend, Backend) else backend
         self._pool: Any = None
@@ -141,11 +207,10 @@ class ScheduledExecutor:
 
     def __enter__(self) -> "ScheduledExecutor":
         if self.backend is Backend.PROCESS:
-            _set_worker_task(self.task_fn)
+            _set_worker_task(self.task_fn, self.batch_fn, self.cost_hint)
             context = mp.get_context("fork")
             self._pool = context.Pool(processes=self.n_workers)
         elif self.backend is Backend.THREAD:
-            _set_worker_task(self.task_fn)
             self._thread_pool = ThreadPoolExecutor(max_workers=self.n_workers)
         return self
 
@@ -169,7 +234,7 @@ class ScheduledExecutor:
 
         if self.backend is Backend.SERIAL or self.n_workers == 1:
             chunks = [indices] if indices else []
-            raw = [_run_chunk_with(self.task_fn, chunk) for chunk in chunks]
+            raw = [self._execute_local(chunk) for chunk in chunks]
         elif self.backend is Backend.PROCESS:
             raw, chunks = self._run_process(indices, schedule)
         else:
@@ -198,6 +263,10 @@ class ScheduledExecutor:
         )
 
     # -- backend internals ------------------------------------------------------------
+
+    def _execute_local(self, chunk: Sequence[int]) -> list[tuple[int, Any, float]]:
+        """Chunk runner for the serial and thread backends (no globals needed)."""
+        return _execute_chunk(self.task_fn, self.batch_fn, self.cost_hint, chunk)
 
     def _chunks_for(self, indices: list[int], schedule: Schedule) -> list[list[int]]:
         """Translate the schedule into an ordered list of chunks of task ids."""
@@ -236,22 +305,8 @@ class ScheduledExecutor:
                 "the thread backend must be used as a context manager (with ... as ex:)"
             )
         chunks = self._chunks_for(indices, schedule)
-        futures = [
-            self._thread_pool.submit(_run_chunk_with, self.task_fn, chunk) for chunk in chunks
-        ]
+        futures = [self._thread_pool.submit(self._execute_local, chunk) for chunk in chunks]
         return [future.result() for future in futures], chunks
-
-
-def _run_chunk_with(
-    fn: Callable[[int], Any], indices: Sequence[int]
-) -> list[tuple[int, Any, float]]:
-    """Chunk runner used by the serial and thread backends (no globals needed)."""
-    output = []
-    for index in indices:
-        start = time.perf_counter()
-        value = fn(int(index))
-        output.append((int(index), value, time.perf_counter() - start))
-    return output
 
 
 def run_scheduled_tasks(
@@ -260,9 +315,17 @@ def run_scheduled_tasks(
     schedule: Schedule,
     n_workers: int,
     backend: Backend | str = Backend.PROCESS,
+    batch_fn: Callable[[Sequence[int]], list[tuple[int, Any]]] | None = None,
+    cost_hint: Any = None,
 ) -> TaskRunResult:
     """One-shot convenience wrapper around :class:`ScheduledExecutor`."""
     if n_tasks < 0:
         raise ParallelExecutionError("n_tasks cannot be negative")
-    with ScheduledExecutor(task_fn, n_workers=n_workers, backend=backend) as executor:
+    with ScheduledExecutor(
+        task_fn,
+        n_workers=n_workers,
+        backend=backend,
+        batch_fn=batch_fn,
+        cost_hint=cost_hint,
+    ) as executor:
         return executor.run(range(n_tasks), schedule)

@@ -16,11 +16,20 @@ exactly that structure:
    Fig. 6.1);
 2. the resulting blocks are assembled into the global matrix by the master
    process.
+
+Every schedule chunk is dispatched as **one batched evaluation** — a single
+:meth:`~repro.bem.influence.ColumnAssembler.column_batch` call for the outer
+loop, one grouped :meth:`~repro.bem.influence.ColumnAssembler.column_blocks`
+call per source for the inner loop — on the serial, thread and process
+backends alike.  Chunk wall times are apportioned to the individual columns
+with the deterministic analytic cost model
+(:func:`repro.parallel.costs.analytic_column_costs`).
 """
 
 from __future__ import annotations
 
 import time
+from typing import Sequence
 
 import numpy as np
 
@@ -52,14 +61,21 @@ def generate_columns_parallel(
     Returns the column results (in column order) plus timing metadata:
     ``parallel_wall_seconds`` (the wall-clock time of the scheduled loop) and
     ``column_seconds`` (per-column execution times measured inside the
-    workers — the task-cost profile consumed by the schedule simulator).
+    workers — the task-cost profile consumed by the schedule simulator; with
+    batched chunks each column carries its cost-model share of the chunk
+    time).
     """
     n_columns = assembler.n_elements
 
     if parallel.loop is LoopLevel.OUTER:
         task_fn = _OuterColumnTask(assembler)
+        batch_fn = _OuterColumnBatchTask(assembler)
         with ScheduledExecutor(
-            task_fn, n_workers=parallel.n_workers, backend=parallel.backend
+            task_fn,
+            n_workers=parallel.n_workers,
+            backend=parallel.backend,
+            batch_fn=batch_fn,
+            cost_hint=assembler.column_cost_estimate(),
         ) as executor:
             outcome = executor.run(range(n_columns), parallel.schedule)
         columns = []
@@ -83,12 +99,16 @@ def generate_columns_parallel(
     # Inner-loop parallelisation: the column loop stays sequential, the rows of
     # each column are distributed among the workers (fine granularity).
     task_fn = _InnerPairTask(assembler)
+    batch_fn = _InnerPairBatchTask(assembler)
     columns = []
     column_seconds = np.zeros(n_columns)
     total_chunks = 0
     start = time.perf_counter()
     with ScheduledExecutor(
-        task_fn, n_workers=parallel.n_workers, backend=parallel.backend
+        task_fn,
+        n_workers=parallel.n_workers,
+        backend=parallel.backend,
+        batch_fn=batch_fn,
     ) as executor:
         for source_index in range(n_columns):
             targets = np.arange(source_index, n_columns, dtype=int)
@@ -126,6 +146,19 @@ class _OuterColumnTask:
         return self.assembler.column_blocks(column_index)
 
 
+class _OuterColumnBatchTask:
+    """Batched companion: one vectorised evaluation per schedule chunk."""
+
+    def __init__(self, assembler: ColumnAssembler) -> None:
+        self.assembler = assembler
+
+    def __call__(
+        self, column_indices: Sequence[int]
+    ) -> list[tuple[int, tuple[np.ndarray, np.ndarray]]]:
+        pairs = self.assembler.column_batch(column_indices)
+        return [(int(index), pair) for index, pair in zip(column_indices, pairs)]
+
+
 class _InnerPairTask:
     """Callable computing a single element-pair block (inner-loop task).
 
@@ -140,6 +173,31 @@ class _InnerPairTask:
         source, target = divmod(int(encoded), self.n_elements)
         _, blocks = self.assembler.column_blocks(source, target_indices=[target])
         return blocks[0]
+
+
+class _InnerPairBatchTask:
+    """Batched companion of the inner-loop task: one call per (source, chunk).
+
+    A chunk of the inner loop lies within one column, but the grouping below
+    stays correct for arbitrary chunks spanning several sources.
+    """
+
+    def __init__(self, assembler: ColumnAssembler) -> None:
+        self.assembler = assembler
+        self.n_elements = assembler.n_elements
+
+    def __call__(self, encoded_ids: Sequence[int]) -> list[tuple[int, np.ndarray]]:
+        by_source: dict[int, list[tuple[int, int]]] = {}
+        for code in encoded_ids:
+            source, target = divmod(int(code), self.n_elements)
+            by_source.setdefault(source, []).append((int(code), target))
+        block_of: dict[int, np.ndarray] = {}
+        for source, entries in by_source.items():
+            targets = [target for _, target in entries]
+            _, blocks = self.assembler.column_blocks(source, target_indices=targets)
+            for (code, _), block in zip(entries, blocks):
+                block_of[code] = block
+        return [(int(code), block_of[int(code)]) for code in encoded_ids]
 
 
 def assemble_system_parallel(

@@ -143,6 +143,80 @@ class TestAssembleFromColumns:
         assert column.targets.size == small_mesh.n_elements
 
 
+class TestBatchedAssembly:
+    def test_batched_matches_per_column_system(self, small_mesh, uniform_soil):
+        per_column = assemble_system(small_mesh, uniform_soil, gpr=1000.0, batch_size=1)
+        batched = assemble_system(small_mesh, uniform_soil, gpr=1000.0)
+        assert batched.metadata["batch_size"] > 1
+        assert np.allclose(batched.matrix, per_column.matrix, rtol=0.0, atol=1e-10)
+        assert np.allclose(batched.rhs, per_column.rhs)
+
+    def test_two_layer_batched_matches_per_column_system(self, rodded_mesh, two_layer_soil):
+        per_column = assemble_system(rodded_mesh, two_layer_soil, gpr=500.0, batch_size=1)
+        batched = assemble_system(rodded_mesh, two_layer_soil, gpr=500.0, batch_size=7)
+        assert np.allclose(batched.matrix, per_column.matrix, rtol=0.0, atol=1e-10)
+
+    def test_batched_matches_pairwise_reference(self, small_mesh, uniform_soil):
+        """Full batched system equals a matrix built purely from the reference
+        element-pair implementation (the seed ground truth)."""
+        from repro.bem.influence import element_pair_influence
+
+        kernel = kernel_for_soil(uniform_soil)
+        dofs = DofManager(small_mesh, ElementType.LINEAR)
+        dof_matrix = dofs.element_dof_matrix()
+        n = dofs.n_dofs
+        reference = np.zeros((n, n))
+        for alpha in range(small_mesh.n_elements):
+            cols = dof_matrix[alpha]
+            for beta in range(alpha, small_mesh.n_elements):
+                block = element_pair_influence(
+                    small_mesh.elements[beta], small_mesh.elements[alpha], kernel, dofs
+                )
+                rows = dof_matrix[beta]
+                if beta == alpha:
+                    reference[np.ix_(rows, cols)] += 0.5 * (block + block.T)
+                else:
+                    reference[np.ix_(rows, cols)] += block
+                    reference[np.ix_(cols, rows)] += block.T
+        system = assemble_system(small_mesh, uniform_soil, gpr=1000.0)
+        scale = np.abs(reference).max()
+        assert np.allclose(system.matrix, reference, rtol=0.0, atol=1e-10 * max(scale, 1.0))
+
+    def test_collect_column_times_defaults_to_single_columns(self, small_mesh, uniform_soil):
+        system = assemble_system(
+            small_mesh, uniform_soil, gpr=1000.0, collect_column_times=True
+        )
+        assert system.metadata["batch_size"] == 1
+
+    def test_forced_batch_size_with_column_times_apportions(self, small_mesh, uniform_soil):
+        system = assemble_system(
+            small_mesh,
+            uniform_soil,
+            gpr=1000.0,
+            collect_column_times=True,
+            batch_size=8,
+        )
+        times = np.asarray(system.metadata["column_seconds"])
+        assert times.shape == (small_mesh.n_elements,)
+        assert np.all(times > 0.0)
+
+    def test_scatter_columns_matches_scatter_column(self, small_mesh, uniform_soil):
+        from repro.bem.assembly import scatter_column, scatter_columns
+
+        kernel = kernel_for_soil(uniform_soil)
+        dofs = DofManager(small_mesh, ElementType.LINEAR)
+        assembler = ColumnAssembler(small_mesh, kernel, dofs, n_gauss=4)
+        columns = [compute_column(assembler, i) for i in range(4)]
+        dof_matrix = dofs.element_dof_matrix()
+        n = dofs.n_dofs
+        one_by_one = np.zeros((n, n))
+        for column in columns:
+            scatter_column(one_by_one, dof_matrix, column)
+        all_at_once = np.zeros((n, n))
+        scatter_columns(all_at_once, dof_matrix, columns)
+        assert np.allclose(all_at_once, one_by_one, rtol=0.0, atol=1e-12)
+
+
 class TestRefinementConvergence:
     def test_resistance_converges_under_refinement(self, small_grid, uniform_soil):
         """Mesh refinement changes Req by less than a few percent."""

@@ -167,3 +167,102 @@ class TestColumnAssembler:
         dofs = DofManager(small_mesh, ElementType.LINEAR)
         with pytest.raises(AssemblyError):
             ColumnAssembler(small_mesh, kernel, dofs, n_gauss=0)
+
+
+class TestColumnBatch:
+    def test_batch_matches_pair_computation(self, uniform_assembler, small_mesh, uniform_soil):
+        kernel = kernel_for_soil(uniform_soil)
+        dofs = DofManager(small_mesh, ElementType.LINEAR)
+        sources = list(range(small_mesh.n_elements))
+        batch = uniform_assembler.column_batch(sources)
+        assert len(batch) == len(sources)
+        for source, (targets, blocks) in zip(sources, batch):
+            assert targets.tolist() == list(range(source, small_mesh.n_elements))
+            for target, block in zip(targets, blocks):
+                reference = element_pair_influence(
+                    small_mesh.elements[int(target)],
+                    small_mesh.elements[source],
+                    kernel,
+                    dofs,
+                )
+                assert np.allclose(block, reference, rtol=0.0, atol=1e-12)
+
+    def test_two_layer_batch_matches_pair_computation(
+        self, two_layer_assembler, rodded_mesh, two_layer_soil
+    ):
+        kernel = kernel_for_soil(two_layer_soil)
+        dofs = DofManager(rodded_mesh, ElementType.LINEAR)
+        sources = list(range(rodded_mesh.n_elements))
+        batch = two_layer_assembler.column_batch(sources)
+        for source, (targets, blocks) in zip(sources, batch):
+            for target, block in zip(targets, blocks):
+                reference = element_pair_influence(
+                    rodded_mesh.elements[int(target)],
+                    rodded_mesh.elements[source],
+                    kernel,
+                    dofs,
+                )
+                assert np.allclose(block, reference, rtol=1e-12, atol=1e-12)
+
+    def test_batch_matches_column_blocks(self, two_layer_assembler, rodded_mesh):
+        sources = list(range(rodded_mesh.n_elements))
+        batch = two_layer_assembler.column_batch(sources)
+        for source, (targets, blocks) in zip(sources, batch):
+            single_targets, single_blocks = two_layer_assembler.column_blocks(source)
+            assert np.array_equal(targets, single_targets)
+            assert np.allclose(blocks, single_blocks, rtol=0.0, atol=1e-12)
+
+    def test_non_contiguous_and_unordered_sources(self, uniform_assembler):
+        batch = uniform_assembler.column_batch([7, 0, 3, 8])
+        assert [targets[0] for targets, _ in batch] == [7, 0, 3, 8]
+        for source, (targets, blocks) in zip([7, 0, 3, 8], batch):
+            single_targets, single_blocks = uniform_assembler.column_blocks(source)
+            assert np.array_equal(targets, single_targets)
+            assert np.allclose(blocks, single_blocks, rtol=0.0, atol=1e-12)
+
+    def test_shared_explicit_targets(self, uniform_assembler):
+        batch = uniform_assembler.column_batch([1, 4], target_indices=[5, 7])
+        assert len(batch) == 2
+        for source, (targets, blocks) in zip([1, 4], batch):
+            assert targets.tolist() == [5, 7]
+            single_targets, single_blocks = uniform_assembler.column_blocks(
+                source, target_indices=[5, 7]
+            )
+            assert np.allclose(blocks, single_blocks, rtol=0.0, atol=1e-12)
+
+    def test_empty_batch(self, uniform_assembler):
+        assert uniform_assembler.column_batch([]) == []
+
+    def test_empty_shared_targets(self, uniform_assembler):
+        batch = uniform_assembler.column_batch([0, 1], target_indices=[])
+        assert len(batch) == 2
+        for targets, blocks in batch:
+            assert targets.size == 0
+            assert blocks.shape == (0, 2, 2)
+
+    def test_out_of_range_sources(self, uniform_assembler):
+        with pytest.raises(AssemblyError):
+            uniform_assembler.column_batch([0, 10_000])
+
+    def test_out_of_range_targets(self, uniform_assembler):
+        with pytest.raises(AssemblyError):
+            uniform_assembler.column_batch([0], target_indices=[99_999])
+
+    def test_small_memory_budget_still_exact(self, small_mesh, uniform_soil):
+        # A tiny budget forces many sub-batches; results must not change.
+        kernel = kernel_for_soil(uniform_soil)
+        dofs = DofManager(small_mesh, ElementType.LINEAR)
+        tight = ColumnAssembler(
+            small_mesh, kernel, dofs, n_gauss=4, batch_element_budget=64
+        )
+        roomy = ColumnAssembler(small_mesh, kernel, dofs, n_gauss=4)
+        for (t1, b1), (t2, b2) in zip(
+            tight.column_batch(range(small_mesh.n_elements)),
+            roomy.column_batch(range(small_mesh.n_elements)),
+        ):
+            assert np.array_equal(t1, t2)
+            assert np.allclose(b1, b2, rtol=0.0, atol=1e-12)
+
+    def test_max_batch_size_positive(self, uniform_assembler, two_layer_assembler):
+        assert 1 <= uniform_assembler.max_batch_size() <= 64
+        assert 1 <= two_layer_assembler.max_batch_size() <= 64

@@ -1,0 +1,114 @@
+"""Tests for the deterministic analytic column cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ScheduleError
+from repro.kernels.base import kernel_for_soil
+from repro.parallel.costs import (
+    analytic_column_costs,
+    blend_costs,
+    scale_costs,
+    smooth_costs,
+)
+
+
+class _StubKernel:
+    """Minimal series_length provider for layer-mix tests."""
+
+    def __init__(self, lengths):
+        self._lengths = lengths
+
+    def series_length(self, source_layer: int, field_layer: int) -> int:
+        return self._lengths[(source_layer, field_layer)]
+
+
+class TestAnalyticColumnCosts:
+    def test_uniform_layer_triangle(self):
+        kernel = _StubKernel({(1, 1): 3})
+        costs = analytic_column_costs(np.ones(5, dtype=int), kernel, n_gauss=2)
+        # Column α has 5 − α targets, each worth 3 image terms × 2 Gauss points.
+        assert costs.tolist() == [30.0, 24.0, 18.0, 12.0, 6.0]
+
+    def test_two_layer_mix(self):
+        kernel = _StubKernel({(1, 1): 10, (1, 2): 4, (2, 1): 4, (2, 2): 2})
+        layers = np.array([1, 1, 2])
+        costs = analytic_column_costs(layers, kernel, n_gauss=1)
+        # Column 0: two layer-1 targets (self incl.) + one layer-2 target.
+        assert costs[0] == pytest.approx(2 * 10 + 1 * 4)
+        assert costs[1] == pytest.approx(1 * 10 + 1 * 4)
+        assert costs[2] == pytest.approx(1 * 2)
+
+    def test_matches_column_assembler_estimate(self, small_mesh, uniform_soil, small_dofs):
+        from repro.bem.influence import ColumnAssembler
+
+        kernel = kernel_for_soil(uniform_soil)
+        assembler = ColumnAssembler(small_mesh, kernel, small_dofs, n_gauss=4)
+        direct = analytic_column_costs(small_mesh.element_layers(), kernel, n_gauss=4)
+        assert np.allclose(assembler.column_cost_estimate(), direct)
+
+    def test_rejects_empty_layers(self):
+        with pytest.raises(ScheduleError):
+            analytic_column_costs(np.array([], dtype=int), _StubKernel({}), n_gauss=1)
+
+    def test_rejects_bad_gauss(self):
+        with pytest.raises(ScheduleError):
+            analytic_column_costs(np.ones(3, dtype=int), _StubKernel({(1, 1): 1}), n_gauss=0)
+
+
+class TestScaleCosts:
+    def test_scales_to_requested_total(self):
+        scaled = scale_costs([3.0, 2.0, 1.0], total_seconds=12.0)
+        assert scaled.sum() == pytest.approx(12.0)
+        assert scaled.tolist() == [6.0, 4.0, 2.0]
+
+    def test_rejects_non_positive_total(self):
+        with pytest.raises(ScheduleError):
+            scale_costs([1.0, 2.0], total_seconds=0.0)
+
+    def test_rejects_zero_profile(self):
+        with pytest.raises(ScheduleError):
+            scale_costs([0.0, 0.0], total_seconds=1.0)
+
+
+class TestBlendCosts:
+    def test_endpoints(self):
+        measured = np.array([4.0, 2.0, 2.0])
+        analytic = np.array([3.0, 2.0, 1.0])
+        assert np.allclose(blend_costs(measured, analytic, 0.0), measured)
+        blended_full = blend_costs(measured, analytic, 1.0)
+        # Fully analytic, but rescaled to the measured total.
+        assert blended_full.sum() == pytest.approx(measured.sum())
+        assert np.allclose(blended_full, analytic * (8.0 / 6.0))
+
+    def test_preserves_measured_total(self):
+        measured = np.array([5.0, 1.0, 1.0, 1.0])
+        analytic = np.array([4.0, 3.0, 2.0, 1.0])
+        blended = blend_costs(measured, analytic, 0.5)
+        assert blended.sum() == pytest.approx(measured.sum())
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ScheduleError):
+            blend_costs([1.0, 2.0], [1.0, 2.0, 3.0])
+
+    def test_rejects_bad_weight(self):
+        with pytest.raises(ScheduleError):
+            blend_costs([1.0], [1.0], analytic_weight=1.5)
+
+
+class TestSmoothCosts:
+    def test_removes_isolated_spike(self):
+        profile = np.array([1.0, 1.0, 50.0, 1.0, 1.0])
+        smoothed = smooth_costs(profile, window=3)
+        assert smoothed.max() < profile.max()
+        assert smoothed.sum() == pytest.approx(profile.sum())
+
+    def test_window_one_is_identity(self):
+        profile = np.array([3.0, 1.0, 2.0])
+        assert np.array_equal(smooth_costs(profile, window=1), profile)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ScheduleError):
+            smooth_costs([1.0, 2.0], window=0)

@@ -105,6 +105,74 @@ class TestReuse:
             executor.run(range(4), Schedule.parse("Dynamic,1"))
 
 
+def square_batch(indices):
+    return [(int(i), i * i) for i in indices]
+
+
+class TestBatchedChunks:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("label", ["Static", "Static,2", "Dynamic,1", "Dynamic,4", "Guided,1"])
+    def test_batch_results_match_per_task(self, backend, label):
+        outcome = run_scheduled_tasks(
+            square,
+            23,
+            Schedule.parse(label),
+            n_workers=3,
+            backend=backend,
+            batch_fn=square_batch,
+        )
+        assert outcome.ordered_results() == [i * i for i in range(23)]
+
+    def test_chunk_time_apportioned_by_cost_hint(self):
+        import numpy as np
+
+        def slow_batch(indices):
+            import time as _time
+
+            _time.sleep(0.01)
+            return [(int(i), i) for i in indices]
+
+        cost_hint = np.array([3.0, 1.0])
+        outcome = run_scheduled_tasks(
+            square,
+            2,
+            Schedule.parse("Dynamic,2"),
+            n_workers=1,
+            backend=Backend.SERIAL,
+            batch_fn=slow_batch,
+            cost_hint=cost_hint,
+        )
+        # Task 0 carries three quarters of the (single) chunk's wall time.
+        assert outcome.task_seconds[0] == pytest.approx(3.0 * outcome.task_seconds[1], rel=1e-6)
+        assert outcome.sequential_seconds >= 0.01
+
+    def test_batch_size_mismatch_raises(self):
+        def broken_batch(indices):
+            return [(int(i), i) for i in list(indices)[:-1]]
+
+        with pytest.raises(ParallelExecutionError):
+            run_scheduled_tasks(
+                square,
+                4,
+                Schedule.parse("Dynamic,4"),
+                n_workers=1,
+                backend=Backend.SERIAL,
+                batch_fn=broken_batch,
+            )
+
+    def test_equal_apportioning_without_hint(self):
+        outcome = run_scheduled_tasks(
+            tiny_work,
+            6,
+            Schedule.parse("Dynamic,3"),
+            n_workers=2,
+            backend=Backend.THREAD,
+            batch_fn=lambda ids: [(int(i), tiny_work(int(i))) for i in ids],
+        )
+        assert outcome.task_seconds.shape == (6,)
+        assert np.all(outcome.task_seconds >= 0.0)
+
+
 @pytest.mark.skipif(os.cpu_count() is not None and os.cpu_count() < 2, reason="needs >= 2 CPUs")
 class TestProcessBackend:
     def test_closure_state_travels_through_fork(self):
