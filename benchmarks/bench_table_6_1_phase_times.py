@@ -9,8 +9,6 @@ reports 1723 s out of ~1724 s, i.e. >99.9 %).
 
 from __future__ import annotations
 
-import json
-
 from repro.bem.assembly import assemble_system
 from repro.cad.project import GroundingProject
 from repro.cad.report import format_table
@@ -158,11 +156,12 @@ def _seed_matrix_generation(coarse: bool, repeats: int, soil_case: str = "two_la
     return best, matrix
 
 
-def test_matrix_generation_batched_speedup(record_table, results_dir):
+def test_matrix_generation_batched_speedup(record_table, record_snapshot):
     """Batched assembly engine vs the seed per-column path (coarse Barberá).
 
     Writes the before/after record consumed by CHANGES.md to
-    ``benchmarks/results/BENCH_table_6_1_phase_times.json``.
+    ``benchmarks/results/BENCH_table_6_1_phase_times.json`` and to the
+    committed snapshot of the same name at the repo root.
     """
     import numpy as np
 
@@ -203,8 +202,7 @@ def test_matrix_generation_batched_speedup(record_table, results_dir):
     for case, reference in REFERENCE_SEED_SECONDS.items():
         if case in record:
             record[case]["reference_container_seed_seconds"] = reference
-    path = results_dir / "BENCH_table_6_1_phase_times.json"
-    path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    record_snapshot("table_6_1_phase_times", record)
 
     rows = [
         [case, entry["seed_seconds"], entry["batched_seconds"], entry["speedup"]]

@@ -30,6 +30,32 @@ def results_dir() -> Path:
 
 
 @pytest.fixture(scope="session")
+def record_snapshot(results_dir):
+    """Callable ``record_snapshot(name, record)`` writing a benchmark JSON.
+
+    The record is written twice: to ``benchmarks/results/BENCH_<name>.json``
+    (the per-run output directory) and to ``BENCH_<name>.json`` at the repo
+    root — the committed snapshot consumed by CHANGES.md.  Writing both from
+    the same run keeps the root snapshot from going stale when benchmarks are
+    re-run.
+    """
+    import json
+
+    repo_root = Path(__file__).resolve().parents[1]
+
+    def _record(name: str, record: dict, update_root: bool = True) -> Path:
+        text = json.dumps(record, indent=2) + "\n"
+        path = results_dir / f"BENCH_{name}.json"
+        path.write_text(text, encoding="utf-8")
+        if update_root:
+            # Reduced (quick-mode) runs keep the committed reference numbers.
+            (repo_root / f"BENCH_{name}.json").write_text(text, encoding="utf-8")
+        return path
+
+    return _record
+
+
+@pytest.fixture(scope="session")
 def record_table(results_dir):
     """Callable ``record_table(name, text)`` storing and echoing a result table."""
 

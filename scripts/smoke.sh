@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Single-command smoke job: the full test suite, a repeated run of the
 # scaling-driver tests (they must be deterministic — zero flaky reruns,
-# including on 1-core hosts), and one coarse benchmark.
+# including on 1-core hosts), one coarse benchmark, and a quick pass of the
+# adaptive-truncation benchmark (accuracy assertions at reduced rounds).
 #
 # Usage:  scripts/smoke.sh
 #   SMOKE_SCALING_RERUNS=N   number of consecutive scaling-driver runs (default 3)
@@ -21,5 +22,9 @@ done
 echo "== coarse benchmark (batched matrix generation) =="
 python -m pytest -q -p no:randomly \
   benchmarks/bench_table_6_1_phase_times.py::test_matrix_generation_batched_speedup
+
+echo "== adaptive truncation benchmark (quick mode) =="
+BENCH_QUICK=1 python -m pytest -q -p no:randomly \
+  benchmarks/bench_adaptive_truncation.py
 
 echo "smoke: OK (zero flaky reruns)"

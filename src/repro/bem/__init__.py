@@ -21,6 +21,7 @@ formulation of Section 4 of the paper:
 """
 
 from repro.bem.elements import ElementType, DofManager
+from repro.bem.geometry_cache import GeometryCache, default_geometry_cache
 from repro.bem.quadrature import gauss_legendre_rule
 from repro.bem.system import LinearSystem
 from repro.bem.assembly import assemble_system, assemble_rhs, AssemblyOptions
@@ -32,6 +33,8 @@ from repro.bem.safety import SafetyAssessment, ieee80_tolerable_touch, ieee80_to
 __all__ = [
     "ElementType",
     "DofManager",
+    "GeometryCache",
+    "default_geometry_cache",
     "gauss_legendre_rule",
     "LinearSystem",
     "AssemblyOptions",

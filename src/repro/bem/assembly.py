@@ -33,6 +33,7 @@ from repro.exceptions import AssemblyError
 from repro.geometry.discretize import Mesh
 from repro.kernels.base import LayeredKernel, kernel_for_soil
 from repro.kernels.series import SeriesControl
+from repro.kernels.truncation import AdaptiveControl
 from repro.soil.base import SoilModel
 
 __all__ = [
@@ -59,11 +60,19 @@ class AssemblyOptions:
         Gauss points of the outer (test) integral.
     series_control:
         Truncation of the layered-soil image series.
+    adaptive:
+        Distance-adaptive evaluation of the image series (see
+        :class:`repro.kernels.truncation.AdaptiveControl`).  ``None`` (the
+        default) evaluates every image term of every pair exactly; an
+        :class:`~repro.kernels.truncation.AdaptiveControl` instance enables
+        the truncated/merged/midpoint-tail fast path whose matrices match the
+        exact ones to ``tolerance * ||A||_max``.
     """
 
     element_type: ElementType = ElementType.LINEAR
     n_gauss: int = DEFAULT_GAUSS_POINTS
     series_control: SeriesControl = field(default_factory=SeriesControl)
+    adaptive: "AdaptiveControl | None" = None
 
     def __post_init__(self) -> None:
         if self.n_gauss < 1:
@@ -192,13 +201,16 @@ def compute_column(assembler: ColumnAssembler, source_index: int) -> ColumnResul
 def compute_column_batch(
     assembler: ColumnAssembler,
     source_indices: Sequence[int],
-    cost_hint: np.ndarray | None = None,
+    cost_hint: "np.ndarray | None | str" = None,
 ) -> list[ColumnResult]:
     """Compute a batch of columns in one vectorised pass, timing the batch.
 
     The batch wall time is apportioned to the individual columns according to
     ``cost_hint`` (the analytic per-column cost estimate by default), so the
     per-column profile consumed by the schedule simulator stays meaningful.
+    Pass the string ``"uniform"`` to skip the estimate entirely and split the
+    batch time evenly — appropriate when the per-column profile is not
+    collected, since the estimate costs a few percent of the assembly.
     """
     # Local import: repro.parallel imports repro.bem at package load time.
     from repro.parallel.costs import cost_shares
@@ -208,7 +220,11 @@ def compute_column_batch(
     pairs = assembler.column_batch(indices)
     elapsed = time.perf_counter() - start
 
-    if cost_hint is None:
+    if isinstance(cost_hint, str):
+        if cost_hint != "uniform":
+            raise AssemblyError(f"unknown cost_hint mode {cost_hint!r}")
+        cost_hint = None  # cost_shares(None, ...) yields uniform shares
+    elif cost_hint is None:
         cost_hint = assembler.column_cost_estimate()
     shares = cost_shares(cost_hint, indices)
 
@@ -272,7 +288,9 @@ def assemble_system(
     if kernel is None:
         kernel = kernel_for_soil(soil, options.series_control)
     dof_manager = DofManager(mesh, options.element_type)
-    assembler = ColumnAssembler(mesh, kernel, dof_manager, options.n_gauss)
+    assembler = ColumnAssembler(
+        mesh, kernel, dof_manager, options.n_gauss, adaptive=options.adaptive
+    )
     dof_matrix = dof_manager.element_dof_matrix()
 
     if batch_size is None:
@@ -282,7 +300,16 @@ def assemble_system(
     n = dof_manager.n_dofs
     matrix = np.zeros((n, n))
     columns = list(range(mesh.n_elements)) if column_order is None else list(column_order)
-    cost_hint = assembler.column_cost_estimate() if batch_size > 1 else None
+    # The per-column cost shares only matter when the caller collects the
+    # per-column timing profile; use uniform shares otherwise (the estimate
+    # costs a few percent of the assembly itself).
+    cost_hint: np.ndarray | None | str
+    if batch_size <= 1:
+        cost_hint = None
+    elif collect_column_times:
+        cost_hint = assembler.column_cost_estimate()
+    else:
+        cost_hint = "uniform"
 
     start = time.perf_counter()
     column_seconds = np.zeros(mesh.n_elements)
@@ -313,6 +340,14 @@ def assemble_system(
         },
         "backend": "sequential",
         "batch_size": batch_size,
+        "adaptive": None
+        if options.adaptive is None
+        else {
+            "tolerance": options.adaptive.tolerance,
+            "safety": options.adaptive.safety,
+            "use_midpoint_tail": options.adaptive.use_midpoint_tail,
+            "merge_degenerate": options.adaptive.merge_degenerate,
+        },
     }
     if collect_column_times:
         metadata["column_seconds"] = column_seconds

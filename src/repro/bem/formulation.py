@@ -27,6 +27,7 @@ from repro.geometry.grid import GroundingGrid
 from repro.geometry.validation import validate_grid
 from repro.kernels.base import kernel_for_soil
 from repro.kernels.series import SeriesControl
+from repro.kernels.truncation import AdaptiveControl
 from repro.soil.base import SoilModel
 from repro.solvers import solve_system
 
@@ -68,6 +69,11 @@ class GroundingAnalysis:
     collect_column_times:
         Record the per-column assembly times in the result metadata (needed by
         the scheduler simulator and by the parallel benchmarks).
+    adaptive:
+        Optional :class:`repro.kernels.truncation.AdaptiveControl` enabling
+        the distance-adaptive image-series evaluation of the matrix
+        generation (``None`` keeps the exact engine; post-processing through
+        :meth:`AnalysisResults.evaluator` always uses the adaptive kernel).
     """
 
     grid: GroundingGrid
@@ -81,6 +87,7 @@ class GroundingAnalysis:
     parallel: "ParallelOptions | None" = None
     validate: bool = True
     collect_column_times: bool = False
+    adaptive: "AdaptiveControl | None" = None
 
     def __post_init__(self) -> None:
         if self.gpr <= 0.0:
@@ -126,6 +133,7 @@ class GroundingAnalysis:
             element_type=self.element_type,
             n_gauss=self.n_gauss,
             series_control=self.series_control,
+            adaptive=self.adaptive,
         )
         timings["data_preprocessing"] = time.perf_counter() - start
 

@@ -33,12 +33,23 @@ from typing import Sequence
 import numpy as np
 
 from repro.bem.elements import DofManager, ElementType
+from repro.bem.geometry_cache import GeometryCache, array_fingerprint, default_geometry_cache
 from repro.bem.quadrature import gauss_legendre_rule
-from repro.bem.segment_integrals import image_segment_integrals, line_integrals
+from repro.bem.segment_integrals import (
+    adaptive_segment_sums,
+    image_segment_integrals,
+    line_integrals,
+)
 from repro.constants import DEFAULT_GAUSS_POINTS
 from repro.exceptions import AssemblyError
 from repro.geometry.discretize import Mesh, MeshElement
 from repro.kernels.base import LayeredKernel
+from repro.kernels.truncation import (
+    AdaptiveControl,
+    TruncationPlan,
+    i0_upper_bound,
+    max_pair_distance,
+)
 
 __all__ = ["element_pair_influence", "ColumnAssembler", "BATCH_ELEMENT_BUDGET"]
 
@@ -117,6 +128,8 @@ class ColumnAssembler:
         dof_manager: DofManager,
         n_gauss: int = DEFAULT_GAUSS_POINTS,
         batch_element_budget: int = BATCH_ELEMENT_BUDGET,
+        adaptive: AdaptiveControl | None = None,
+        geometry_cache: GeometryCache | None = None,
     ) -> None:
         if n_gauss < 1:
             raise AssemblyError("the outer quadrature needs at least one Gauss point")
@@ -127,6 +140,7 @@ class ColumnAssembler:
         self.dof_manager = dof_manager
         self.n_gauss = int(n_gauss)
         self.batch_element_budget = int(batch_element_budget)
+        self.adaptive = adaptive
 
         nodes, weights = gauss_legendre_rule(self.n_gauss)
         p0, p1 = mesh.element_endpoints()
@@ -141,6 +155,79 @@ class ColumnAssembler:
         self._outer_weights = weights[None, :] * self._lengths[:, None]
         # Test function values at the Gauss nodes, shape (G, nb).
         self._test_values = dof_manager.shape_values(nodes)
+
+        self._geometry_cache = geometry_cache
+        if adaptive is not None:
+            self._init_adaptive()
+
+    # -- adaptive precomputation ----------------------------------------------------
+
+    def _init_adaptive(self) -> None:
+        """Pure per-mesh data driving the adaptive evaluation decisions.
+
+        Everything here depends only on the mesh and the kernel — never on
+        how callers batch the columns — so adaptive results are identical for
+        any batch size and for every parallel backend.
+        """
+        if self._geometry_cache is None:
+            self._geometry_cache = default_geometry_cache()
+        p0, p1 = self._p0, self._p1
+        self._mesh_fp = array_fingerprint(p0, p1, self._radii)
+        mid = 0.5 * (p0 + p1)
+        self._mid_xy = mid[:, :2]
+        self._half_lengths = 0.5 * self._lengths
+        self._z_slope = (p1[:, 2] - p0[:, 2]) / self._lengths
+        self._horizontal = np.abs(p1[:, 2] - p0[:, 2]) <= 1.0e-12
+
+        # Per-layer target population summaries (z interval, flat depth, max
+        # outer integration length).
+        self._layer_z_interval: dict[int, tuple[float, float]] = {}
+        self._layer_flat_z: dict[int, float | None] = {}
+        self._layer_max_length: dict[int, float] = {}
+        for layer in np.unique(self._layers):
+            members = np.flatnonzero(self._layers == layer)
+            z_values = np.concatenate((p0[members, 2], p1[members, 2]))
+            self._layer_z_interval[int(layer)] = (float(z_values.min()), float(z_values.max()))
+            flat = bool(np.all(self._horizontal[members])) and np.ptp(z_values) <= 1.0e-12
+            self._layer_flat_z[int(layer)] = float(z_values[0]) if flat else None
+            self._layer_max_length[int(layer)] = float(self._lengths[members].max())
+
+        # Reference matrix-entry magnitude: the largest self-influence entry
+        # bound (direct image, test integral ~ L/2, field point on the
+        # conductor surface).
+        dominant = np.empty(self.n_elements)
+        for layer in np.unique(self._layers):
+            members = self._layers == layer
+            series = self.kernel.image_series(int(layer), int(layer))
+            w_max = float(np.abs(series.weights).max())
+            dominant[members] = (
+                self.kernel.normalization(int(layer))
+                * 0.5
+                * self._lengths[members]
+                * w_max
+                * i0_upper_bound(self._lengths[members], self._radii[members])
+            )
+        self._adaptive_scale = float(dominant.max())
+        offset_max = max(
+            float(np.abs(self.kernel.image_series(int(b), int(c)).offsets).max())
+            for b in np.unique(self._layers)
+            for c in np.unique(self._layers)
+        )
+        self._r_max = max_pair_distance(p0, p1, offset_max)
+        self._plans: dict[tuple, TruncationPlan] = {}
+        self._adaptive_costs: np.ndarray | None = None
+
+    # -- pickling (the geometry cache holds a lock and stays process-local) ---------
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_geometry_cache"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if self.adaptive is not None and self._geometry_cache is None:
+            self._geometry_cache = default_geometry_cache()
 
     # -- properties ------------------------------------------------------------------
 
@@ -187,6 +274,25 @@ class ColumnAssembler:
                 f"source element indices out of range 0..{m - 1}"
             )
         nb = self.basis_per_element
+
+        if self.adaptive is not None:
+            if target_indices is not None:
+                shared_targets = np.asarray(target_indices, dtype=int).ravel()
+                if shared_targets.size and (
+                    shared_targets.min() < 0 or shared_targets.max() >= m
+                ):
+                    raise AssemblyError("target element indices out of range")
+                if shared_targets.size == 0:
+                    empty = np.zeros((0, nb, nb))
+                    return [(shared_targets.copy(), empty.copy()) for _ in sources]
+                column_targets = [shared_targets for _ in sources]
+            else:
+                column_targets = [np.arange(int(s), m, dtype=int) for s in sources]
+            blocks = self._adaptive_batch(sources, column_targets)
+            return [
+                (targets.copy(), column_blocks)
+                for targets, column_blocks in zip(column_targets, blocks)
+            ]
 
         if target_indices is not None:
             shared_targets = np.asarray(target_indices, dtype=int).ravel()
@@ -314,6 +420,213 @@ class ColumnAssembler:
         blocks *= normalization
         return blocks
 
+    # -- the adaptive column kernel -------------------------------------------------------
+
+    def _pair_separation(self, source_index: int, target_ids: np.ndarray) -> np.ndarray:
+        """Conservative lower bound of the in-plane pair separation [m]."""
+        delta = self._mid_xy[target_ids] - self._mid_xy[source_index]
+        distance = np.sqrt(np.einsum("tk,tk->t", delta, delta))
+        return np.maximum(
+            0.0,
+            distance - self._half_lengths[target_ids] - self._half_lengths[source_index],
+        )
+
+    def _plan_for(self, source_index: int, field_layer: int) -> TruncationPlan:
+        """The (cached) truncation plan of one source element vs one field layer."""
+        source_layer = int(self._layers[source_index])
+        length = float(self._lengths[source_index])
+        z0 = float(self._p0[source_index, 2])
+        z1 = float(self._p1[source_index, 2])
+        radius = float(self._radii[source_index])
+        # The key identifies every scalar of the evaluation (radius included),
+        # so all sources sharing a plan can be evaluated in one batch group.
+        key = (
+            source_layer,
+            field_layer,
+            round(length, 12),
+            round(z0, 12),
+            round(z1, 12),
+            round(radius, 12),
+        )
+        plan = self._plans.get(key)
+        if plan is None:
+            series = self.kernel.image_series(source_layer, field_layer)
+            flat_z = self._layer_flat_z[field_layer]
+            merge_z = None
+            if flat_z is not None and self._horizontal[source_index]:
+                merge_z = (z0, flat_z)
+            plan = TruncationPlan.build(
+                series,
+                self.adaptive,
+                source_length=length,
+                source_z_interval=(min(z0, z1), max(z0, z1)),
+                target_z_interval=self._layer_z_interval[field_layer],
+                target_length_max=self._layer_max_length[field_layer],
+                normalization=self.kernel.normalization(source_layer),
+                scale=self._adaptive_scale,
+                merge_z=merge_z,
+                r_max=self._r_max,
+            )
+            self._plans[key] = plan
+        return plan
+
+    def _inplane_geometry(self, source_index: int) -> tuple[np.ndarray, np.ndarray]:
+        """In-plane pair geometry of one source column against every element.
+
+        Returns ``(p_axis, q_norm)`` of shape ``(M, G)`` — the axial
+        projection of every Gauss point on the source axis and its squared
+        in-plane displacement norm.  Shared by every image term and cached
+        across repeated assemblies of the same mesh.
+        """
+        key = (self._mesh_fp, "col", self.n_gauss, int(source_index))
+        cached = self._geometry_cache.get(key)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        length = self._lengths[source_index]
+        u_xy = (self._p1[source_index, :2] - self._p0[source_index, :2]) / length
+        disp = self._gauss_points[..., :2] - self._p0[source_index, :2]  # (M, G, 2)
+        p_axis = disp @ u_xy
+        q_norm = np.einsum("mgk,mgk->mg", disp, disp)
+        return self._geometry_cache.put(key, (p_axis, q_norm))
+
+    def _adaptive_batch(
+        self, sources: np.ndarray, column_targets: list[np.ndarray]
+    ) -> list[np.ndarray]:
+        """Adaptive influence blocks of a batch of columns.
+
+        The (source, target) pairs of every requested column are flattened
+        into one pair list, grouped by (truncation plan, separation bin) and
+        evaluated in a handful of large vectorised passes — the per-column
+        Python overhead of the naive loop dominates otherwise.  Every
+        decision (term drops, single-precision eligibility, midpoint-tail
+        eligibility, image merging) is a pure function of the individual
+        (source element, target element) pair, so the result is independent
+        of how columns are grouped into batches.
+        """
+        n_gauss = self.n_gauss
+        sizes = np.array([t.size for t in column_targets], dtype=int)
+        bounds = np.concatenate(([0], np.cumsum(sizes)))
+        n_pairs = int(bounds[-1])
+        pair_source = np.repeat(sources, sizes)
+        pair_target = np.concatenate(column_targets) if n_pairs else np.zeros(0, dtype=int)
+        blocks_flat = np.empty((n_pairs, self.basis_per_element, self.basis_per_element))
+
+        # Pair group ids: one per (source plan, field layer, separation bin);
+        # group id -1 marks short-series pairs handled by the exact engine.
+        plan_keys: dict[tuple, int] = {}
+        plans: list[TruncationPlan] = []
+        group_of_pair = np.empty(n_pairs, dtype=int)
+        n_bins = len(self.adaptive.bin_edges) + 1
+        exact_positions: list[tuple[int, np.ndarray, np.ndarray]] = []
+        for k, source in enumerate(sources):
+            source = int(source)
+            targets = column_targets[k]
+            segment = slice(int(bounds[k]), int(bounds[k + 1]))
+            source_layer = int(self._layers[source])
+            target_layers = self._layers[targets]
+            separation = self._pair_separation(source, targets)
+            group_row = np.empty(targets.size, dtype=int)
+            for field_layer in np.unique(target_layers):
+                positions = np.flatnonzero(target_layers == field_layer)
+                series = self.kernel.image_series(source_layer, int(field_layer))
+                if len(series) < self.adaptive.min_series_terms:
+                    group_row[positions] = -1
+                    exact_positions.append((source, targets[positions], positions + bounds[k]))
+                    continue
+                plan = self._plan_for(source, int(field_layer))
+                key = id(plan)
+                plan_index = plan_keys.get(key)
+                if plan_index is None:
+                    plan_index = len(plans)
+                    plan_keys[key] = plan_index
+                    plans.append(plan)
+                group_row[positions] = plan_index * n_bins + plan.bin_of(
+                    separation[positions]
+                )
+            group_of_pair[segment] = group_row
+
+        # Short-series pairs: the exact rectangle engine, one call per column.
+        for source, targets, flat_positions in exact_positions:
+            series = self.kernel.image_series(
+                int(self._layers[source]), int(self._layers[targets[0]])
+            )
+            rect = self._evaluate_group(
+                np.asarray([source]), targets, series,
+                self.kernel.normalization(int(self._layers[source])),
+            )
+            blocks_flat[flat_positions] = rect[0]
+
+        adaptive_mask = group_of_pair >= 0
+        if np.any(adaptive_mask):
+            pair_idx = np.flatnonzero(adaptive_mask)
+            order = pair_idx[np.argsort(group_of_pair[pair_idx], kind="stable")]
+            group_sorted = group_of_pair[order]
+            starts = np.flatnonzero(np.concatenate(([True], np.diff(group_sorted) > 0)))
+            starts = np.concatenate((starts, [order.size]))
+
+            w0 = np.empty((order.size, n_gauss))
+            w1 = np.empty((order.size, n_gauss))
+            x_z = self._gauss_points[..., 2]
+            # In-plane geometry rows gathered per source (cached across runs).
+            p_axis_pairs = np.empty((order.size, n_gauss))
+            q_norm_pairs = np.empty((order.size, n_gauss))
+            pos_of_pair = np.empty(n_pairs, dtype=int)
+            pos_of_pair[order] = np.arange(order.size)
+            for k, source in enumerate(sources):
+                segment = np.arange(bounds[k], bounds[k + 1])
+                segment = segment[adaptive_mask[segment]]
+                if segment.size == 0:
+                    continue
+                p_axis, q_norm = self._inplane_geometry(int(source))
+                rows = pair_target[segment]
+                p_axis_pairs[pos_of_pair[segment]] = p_axis[rows]
+                q_norm_pairs[pos_of_pair[segment]] = q_norm[rows]
+
+            for g in range(starts.size - 1):
+                span = slice(int(starts[g]), int(starts[g + 1]))
+                pairs = order[span]
+                group = int(group_sorted[int(starts[g])])
+                plan = plans[group // n_bins]
+                bin_plan = plan.bins[group % n_bins]
+                source = int(pair_source[pairs[0]])
+                s0, s1 = adaptive_segment_sums(
+                    p_axis_pairs[span].ravel(),
+                    q_norm_pairs[span].ravel(),
+                    x_z[pair_target[pairs]].ravel(),
+                    float(self._p0[source, 2]),
+                    float(self._z_slope[source]),
+                    float(self._lengths[source]),
+                    float(self._radii[source]),
+                    plan.weights,
+                    plan.signs,
+                    plan.offsets,
+                    bin_plan.exact_idx,
+                    bin_plan.exact32_idx,
+                    bin_plan.midpoint_idx,
+                )
+                w0[span] = s0.reshape(pairs.size, n_gauss)
+                w1[span] = s1.reshape(pairs.size, n_gauss)
+
+            if self.dof_manager.element_type is ElementType.CONSTANT:
+                trial = w0[..., None]  # (P, G, 1)
+            else:
+                trial = np.stack((w0 - w1, w1), axis=-1)  # (P, G, 2)
+            pair_blocks = np.einsum(
+                "pg,gj,pgi->pji",
+                self._outer_weights[pair_target[order]],
+                self._test_values,
+                trial,
+            )
+            normalizations = np.zeros(int(self._layers.max()) + 1)
+            for layer in np.unique(self._layers):
+                normalizations[int(layer)] = self.kernel.normalization(int(layer))
+            pair_blocks *= normalizations[self._layers[pair_source[order]]][:, None, None]
+            blocks_flat[order] = pair_blocks
+
+        return [
+            blocks_flat[bounds[k] : bounds[k + 1]] for k in range(len(column_targets))
+        ]
+
     # -- the single-column kernel --------------------------------------------------------
 
     def column_blocks(
@@ -356,12 +669,53 @@ class ColumnAssembler:
         Deterministic and host-independent; used by the parallel simulator and
         the batched executors to apportion chunk times when no measured timings
         are available.  Delegates to
-        :func:`repro.parallel.costs.analytic_column_costs`.
+        :func:`repro.parallel.costs.analytic_column_costs`, or — when the
+        adaptive evaluation layer is active — to the per-pair adaptive term
+        counts of :meth:`adaptive_column_costs`.
         """
+        if self.adaptive is not None:
+            return self.adaptive_column_costs()
         # Local import: repro.parallel imports repro.bem at package load time.
         from repro.parallel.costs import analytic_column_costs
 
         return analytic_column_costs(self._layers, self.kernel, self.n_gauss)
+
+    def adaptive_column_costs(self) -> np.ndarray:
+        """Per-column work estimate under the adaptive evaluation plans.
+
+        The cost of column ``α`` is ``n_gauss · Σ_{β ≥ α} units(α, β)`` where
+        ``units`` counts the exact terms (weight 1) and midpoint-tail terms
+        (their measured relative cost) actually evaluated for the pair —
+        distance-truncated columns are cheaper than the uniform estimate of
+        :func:`repro.parallel.costs.analytic_column_costs`, which keeps the
+        Fig. 6.1 / Table 6.2 schedules consistent with what the adaptive
+        engine really executes.  Deterministic and host-independent.
+        """
+        if self.adaptive is None:
+            raise AssemblyError("adaptive_column_costs requires an adaptive assembler")
+        if self._adaptive_costs is not None:
+            return self._adaptive_costs.copy()
+        m = self.n_elements
+        costs = np.zeros(m)
+        for source in range(m):
+            targets = np.arange(source, m)
+            target_layers = self._layers[targets]
+            total = 0.0
+            for field_layer in np.unique(target_layers):
+                ids = targets[target_layers == field_layer]
+                series = self.kernel.image_series(
+                    int(self._layers[source]), int(field_layer)
+                )
+                if len(series) < self.adaptive.min_series_terms:
+                    total += float(len(series)) * ids.size
+                    continue
+                plan = self._plan_for(source, int(field_layer))
+                total += float(
+                    plan.cost_units(self._pair_separation(source, ids)).sum()
+                )
+            costs[source] = total * self.n_gauss
+        self._adaptive_costs = costs
+        return costs.copy()
 
     def max_batch_size(self, cap: int = 64) -> int:
         """Default column count per assembly batch (scatter / bookkeeping unit).

@@ -25,10 +25,17 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.bem.elements import DofManager, ElementType
-from repro.bem.segment_integrals import line_integrals
+from repro.bem.geometry_cache import GeometryCache, array_fingerprint, default_geometry_cache
+from repro.bem.segment_integrals import adaptive_segment_sums, line_integrals
 from repro.exceptions import AssemblyError
 from repro.geometry.discretize import Mesh
 from repro.kernels.base import LayeredKernel
+from repro.kernels.truncation import (
+    AdaptiveControl,
+    TruncationPlan,
+    i0_upper_bound,
+    max_pair_distance,
+)
 from repro.soil.base import SoilModel
 
 __all__ = ["PotentialEvaluator", "SurfaceGrid"]
@@ -102,7 +109,15 @@ class SurfaceGrid:
 
 
 class PotentialEvaluator:
-    """Evaluates ground potentials from the solved leakage-current densities."""
+    """Evaluates ground potentials from the solved leakage-current densities.
+
+    By default the evaluation runs through the *adaptive batched kernel*: all
+    (field point, source element) pairs are flattened, binned by separation
+    and evaluated through the same truncated / merged / mixed-precision image
+    sums as the matrix assembly (``adaptive=None`` falls back to the exact
+    per-element loop).  Point values match the exact path to roughly
+    ``tolerance`` relative to the near-conductor potential scale (the GPR).
+    """
 
     def __init__(
         self,
@@ -112,6 +127,8 @@ class PotentialEvaluator:
         dof_manager: DofManager,
         dof_values: np.ndarray,
         gpr: float = 1.0,
+        adaptive: AdaptiveControl | None | str = "default",
+        geometry_cache: GeometryCache | None = None,
     ) -> None:
         dof_values = np.asarray(dof_values, dtype=float)
         if dof_values.shape != (dof_manager.n_dofs,):
@@ -124,11 +141,110 @@ class PotentialEvaluator:
         self.dof_manager = dof_manager
         self.dof_values = dof_values
         self.gpr = float(gpr)
+        if isinstance(adaptive, str):
+            if adaptive != "default":
+                raise AssemblyError(
+                    f"adaptive must be an AdaptiveControl, None or 'default', got {adaptive!r}"
+                )
+            adaptive = AdaptiveControl()
+        elif adaptive is not None and not isinstance(adaptive, AdaptiveControl):
+            raise AssemblyError(
+                f"adaptive must be an AdaptiveControl, None or 'default', got {adaptive!r}"
+            )
+        self.adaptive = adaptive
 
         self._p0, self._p1 = mesh.element_endpoints()
         self._radii = mesh.element_radii()
         self._layers = mesh.element_layers()
         self._dof_matrix = dof_manager.element_dof_matrix()
+        self._geometry_cache = geometry_cache
+        if self.adaptive is not None:
+            self._init_adaptive()
+
+    def _init_adaptive(self) -> None:
+        """Pure per-solution data driving the adaptive evaluation."""
+        if self._geometry_cache is None:
+            self._geometry_cache = default_geometry_cache()
+        mesh = self.mesh
+        p0, p1 = self._p0, self._p1
+        self._mesh_fp = array_fingerprint(p0, p1, self._radii)
+        self._lengths = mesh.element_lengths()
+        self._mid_xy = 0.5 * (p0 + p1)[:, :2]
+        self._half_lengths = 0.5 * self._lengths
+        self._u_xy = (p1[:, :2] - p0[:, :2]) / self._lengths[:, None]
+        self._z_slope = (p1[:, 2] - p0[:, 2]) / self._lengths
+        self._horizontal = np.abs(p1[:, 2] - p0[:, 2]) <= 1.0e-12
+        self._densities = self.dof_values[self._dof_matrix]  # (M, nb)
+        active = np.flatnonzero(np.abs(self._densities).sum(axis=1) > 0.0)
+        self._active = active
+
+        # Group active source elements sharing every evaluation scalar; each
+        # group is evaluated under one truncation plan per field layer.
+        groups: dict[tuple, list[int]] = {}
+        for element in active:
+            key = (
+                int(self._layers[element]),
+                round(float(self._lengths[element]), 12),
+                round(float(p0[element, 2]), 12),
+                round(float(p1[element, 2]), 12),
+                round(float(self._radii[element]), 12),
+            )
+            groups.setdefault(key, []).append(int(element))
+        self._plan_groups = [
+            (key, np.asarray(members, dtype=int)) for key, members in groups.items()
+        ]
+        # Cache-key component identifying everything the cached geometry/bin
+        # arrays depend on besides the points and the group scalars: the
+        # member element set (derived from the solved densities) and the
+        # separation bin edges of the control.
+        self._group_fp = {
+            key: array_fingerprint(members) + "/" + ",".join(
+                f"{edge:g}" for edge in self.adaptive.bin_edges
+            )
+            for key, members in self._plan_groups
+        }
+
+        # Reference potential magnitude (the near-conductor potential, ~GPR)
+        # and the largest density of any group, both entering the plan bounds.
+        if active.size:
+            dens_abs = np.abs(self._densities[active]).max(axis=1)
+            norms = np.array(
+                [self.kernel.normalization(int(self._layers[e])) for e in active]
+            )
+            w_max = np.array(
+                [
+                    float(
+                        np.abs(
+                            self.kernel.image_series(
+                                int(self._layers[e]), int(self._layers[e])
+                            ).weights
+                        ).max()
+                    )
+                    for e in active
+                ]
+            )
+            bounds = (
+                norms
+                * dens_abs
+                * w_max
+                * i0_upper_bound(self._lengths[active], self._radii[active])
+            )
+            self._adaptive_scale = float(bounds.max())
+            self._dens_scale = {
+                key: float(np.abs(self._densities[members]).max())
+                for key, members in self._plan_groups
+            }
+        else:
+            self._adaptive_scale = 1.0
+            self._dens_scale = {}
+        offset_max = 0.0
+        for b in np.unique(self._layers):
+            for c in range(1, self.soil.n_layers + 1):
+                offset_max = max(
+                    offset_max,
+                    float(np.abs(self.kernel.image_series(int(b), int(c)).offsets).max()),
+                )
+        self._r_max = max_pair_distance(p0, p1, offset_max)
 
     # ------------------------------------------------------------------ evaluation
 
@@ -157,11 +273,149 @@ class PotentialEvaluator:
         if np.any(pts[:, 2] < -1e-12):
             raise AssemblyError("field points must lie on or below the earth surface")
 
+        if pts.shape[0] == 0:
+            return np.empty(0)
+        context = self._adaptive_context(pts) if self.adaptive is not None else None
         result = np.empty(pts.shape[0])
         for start in range(0, pts.shape[0], int(batch_size)):
             chunk = pts[start : start + int(batch_size)]
-            result[start : start + chunk.shape[0]] = self._potential_batch(chunk)
+            if context is not None:
+                values = self._potential_batch_adaptive(chunk, context)
+            else:
+                values = self._potential_batch(chunk)
+            result[start : start + chunk.shape[0]] = values
         return result[0] if single else result
+
+    # ------------------------------------------------------------- adaptive path
+
+    def _adaptive_context(self, points: np.ndarray) -> dict:
+        """Per-call evaluation context (pure in the full ``points`` array).
+
+        The truncation plans depend on the depth interval of *all* requested
+        points, so they are built once per call — results are then identical
+        for every ``batch_size``.
+        """
+        z_values = points[:, 2]
+        flat_z = float(z_values[0]) if np.ptp(z_values) <= 1.0e-12 else None
+        return {
+            "z_interval": (float(z_values.min()), float(z_values.max())),
+            "flat_z": flat_z,
+            "plans": {},
+        }
+
+    def _plan_for_group(self, key: tuple, field_layer: int, context: dict) -> TruncationPlan:
+        source_layer, length, z0, z1, _radius = key
+        cache_key = (key, field_layer)
+        plan = context["plans"].get(cache_key)
+        if plan is None:
+            series = self.kernel.image_series(source_layer, field_layer)
+            merge_z = None
+            if context["flat_z"] is not None and abs(z1 - z0) <= 1.0e-12:
+                merge_z = (z0, context["flat_z"])
+            plan = TruncationPlan.build(
+                series,
+                self.adaptive,
+                source_length=length,
+                source_z_interval=(min(z0, z1), max(z0, z1)),
+                target_z_interval=context["z_interval"],
+                target_length_max=1.0,
+                normalization=self.kernel.normalization(source_layer)
+                * max(self._dens_scale.get(key, 1.0), 1.0e-300),
+                scale=self._adaptive_scale,
+                merge_z=merge_z,
+                r_max=self._r_max,
+            )
+            context["plans"][cache_key] = plan
+        return plan
+
+    def _potential_batch_adaptive(self, points: np.ndarray, context: dict) -> np.ndarray:
+        """Batched adaptive evaluation of one chunk of field points.
+
+        All (point, active source element) pairs are binned by in-plane
+        separation and evaluated through
+        :func:`~repro.bem.segment_integrals.adaptive_segment_sums`, replacing
+        the per-element Python loop of the exact path by a handful of large
+        vectorised passes.
+        """
+        n_points = points.shape[0]
+        values = np.zeros(n_points)
+        if self._active.size == 0:
+            return values
+        field_layers = np.array(
+            [self.soil.layer_index(max(float(z), 0.0)) for z in points[:, 2]], dtype=int
+        )
+        nb = self.dof_manager.element_type.basis_per_element
+        points_fp = array_fingerprint(points)
+
+        for field_layer in np.unique(field_layers):
+            point_idx = np.flatnonzero(field_layers == field_layer)
+            pts_xy = points[point_idx, :2]
+            pts_z = np.ascontiguousarray(points[point_idx, 2])
+            for key, members in self._plan_groups:
+                source_layer, length, z0, z1, radius = key
+                plan = self._plan_for_group(key, int(field_layer), context)
+
+                geo_key = (
+                    self._mesh_fp,
+                    "pot",
+                    points_fp,
+                    key,
+                    self._group_fp[key],
+                    int(field_layer),
+                )
+                cached = self._geometry_cache.get(geo_key)
+                if cached is None:
+                    delta = pts_xy[:, None, :] - self._mid_xy[None, members, :]
+                    separation = np.sqrt(np.einsum("psk,psk->ps", delta, delta))
+                    separation -= self._half_lengths[members][None, :]
+                    np.maximum(separation, 0.0, out=separation)
+                    bins = plan.bin_of(separation)
+                    disp = pts_xy[:, None, :] - self._p0[None, members, :2]
+                    p_axis = np.einsum("psk,sk->ps", disp, self._u_xy[members])
+                    q_norm = np.einsum("psk,psk->ps", disp, disp)
+                    order = np.argsort(bins, axis=None, kind="stable").astype(np.intp)
+                    cached = self._geometry_cache.put(
+                        geo_key,
+                        (bins.ravel()[order], p_axis.ravel()[order], q_norm.ravel()[order], order),
+                    )
+                bins_sorted, p_axis_sorted, q_norm_sorted, order = cached
+                pair_point = order // members.size
+                pair_source = members[order % members.size]
+                x_z = pts_z[pair_point]
+                densities = self._densities[pair_source]  # (P, nb)
+                normalization = self.kernel.normalization(source_layer)
+
+                starts = np.flatnonzero(
+                    np.concatenate(([True], np.diff(bins_sorted) > 0))
+                )
+                starts = np.concatenate((starts, [order.size]))
+                for g in range(starts.size - 1):
+                    span = slice(int(starts[g]), int(starts[g + 1]))
+                    bin_plan = plan.bins[int(bins_sorted[int(starts[g])])]
+                    w0, w1 = adaptive_segment_sums(
+                        p_axis_sorted[span],
+                        q_norm_sorted[span],
+                        x_z[span],
+                        z0,
+                        (z1 - z0) / length,
+                        length,
+                        radius,
+                        plan.weights,
+                        plan.signs,
+                        plan.offsets,
+                        bin_plan.exact_idx,
+                        bin_plan.exact32_idx,
+                        bin_plan.midpoint_idx,
+                    )
+                    if nb == 1:
+                        contribution = densities[span, 0] * w0
+                    else:
+                        contribution = densities[span, 0] * (w0 - w1) + densities[span, 1] * w1
+                    contribution *= normalization
+                    values[point_idx] += np.bincount(
+                        pair_point[span], weights=contribution, minlength=point_idx.size
+                    )
+        return values
 
     def _potential_batch(self, points: np.ndarray) -> np.ndarray:
         field_layers = np.array(

@@ -22,10 +22,13 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.bem.formulation import GroundingAnalysis
+from repro.bem.geometry_cache import GeometryCache
+from repro.bem.potential import PotentialEvaluator
 from repro.bem.safety import ieee80_tolerable_step, ieee80_tolerable_touch
 from repro.design.fault import FaultScenario, ground_potential_rise
 from repro.exceptions import ReproError
 from repro.geometry.builder import GridBuilder
+from repro.kernels.truncation import AdaptiveControl
 from repro.soil.base import SoilModel
 
 __all__ = ["DesignCandidate", "DesignStudy", "optimize_grid_design"]
@@ -117,6 +120,8 @@ def _evaluate_candidate(
     surface_thickness: float,
     body_weight_kg: float,
     raster: int,
+    adaptive: "AdaptiveControl | None" = None,
+    geometry_cache: "GeometryCache | None" = None,
 ) -> DesignCandidate:
     builder = GridBuilder(
         depth=depth,
@@ -134,13 +139,28 @@ def _evaluate_candidate(
 
     # The solution scales linearly with the GPR, so solve once at a unit GPR
     # and rescale with the GPR produced by the fault scenario.
-    results = GroundingAnalysis(grid, soil, gpr=1.0, validate=False).run()
+    results = GroundingAnalysis(
+        grid, soil, gpr=1.0, validate=False, adaptive=adaptive
+    ).run()
     resistance = results.equivalent_resistance
     gpr = ground_potential_rise(resistance, fault)
 
-    surface = results.evaluator().surface_potential_over_grid(
-        margin=10.0, n_x=raster, n_y=raster
+    # The evaluator shares one geometry cache across the whole design sweep:
+    # candidates revisiting a geometry (or a repeated GPR/fault re-analysis)
+    # reuse the in-plane pair data instead of recomputing it.  A caller's
+    # explicit adaptive control governs the rasters too; the evaluator's own
+    # default applies otherwise.
+    evaluator = PotentialEvaluator(
+        results.mesh,
+        results.soil,
+        results.kernel,
+        results.dof_manager,
+        results.dof_values,
+        gpr=results.gpr,
+        adaptive=adaptive if adaptive is not None else "default",
+        geometry_cache=geometry_cache,
     )
+    surface = evaluator.surface_potential_over_grid(margin=10.0, n_x=raster, n_y=raster)
     # Scale the unit-GPR surface potential to the GPR of the fault scenario.
     scaled_values = surface.values * gpr
     # Touch voltage is assessed over the area a person can reach while touching
@@ -200,6 +220,7 @@ def optimize_grid_design(
     surface_thickness: float = 0.1,
     body_weight_kg: float = 70.0,
     raster: int = 25,
+    adaptive: "AdaptiveControl | None" = None,
 ) -> DesignStudy:
     """Search rectangular designs until the IEEE Std 80 limits are met.
 
@@ -223,6 +244,11 @@ def optimize_grid_design(
     raster:
         Resolution of the surface-potential raster used for the touch/step
         assessment.
+    adaptive:
+        Optional :class:`repro.kernels.truncation.AdaptiveControl` enabling
+        the adaptive assembly engine for every candidate analysis (the
+        surface-potential rasters always use the adaptive evaluator, sharing
+        one geometry cache across the sweep).
 
     Returns
     -------
@@ -236,6 +262,7 @@ def optimize_grid_design(
         raise ReproError("at least one mesh density must be proposed")
 
     long_side, short_side = max(width, height), min(width, height)
+    sweep_cache = GeometryCache()
     candidates: list[DesignCandidate] = []
     for density in sorted(set(int(d) for d in mesh_densities)):
         if density < 1:
@@ -261,6 +288,8 @@ def optimize_grid_design(
                     surface_thickness,
                     body_weight_kg,
                     raster,
+                    adaptive,
+                    sweep_cache,
                 )
             )
 

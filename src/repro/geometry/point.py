@@ -182,7 +182,16 @@ def segment_segment_distance(
     s = min(1.0, max(0.0, s))
     p = a0 + s * u
     q = b0 + t * v
-    return distance(p, q)
+    # The clamped single-pass solution can land in a boundary sub-optimum for
+    # (anti-)parallel overlapping segments; the true minimum is then attained
+    # at an endpoint of one of the segments, so take the best of both.
+    return min(
+        distance(p, q),
+        point_segment_distance(a0, b0, b1),
+        point_segment_distance(a1, b0, b1),
+        point_segment_distance(b0, a0, a1),
+        point_segment_distance(b1, a0, a1),
+    )
 
 
 def lexicographic_key(p: np.ndarray, decimals: int = 6) -> tuple[float, float, float]:

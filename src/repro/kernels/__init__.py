@@ -27,6 +27,7 @@ Provided kernels:
 
 from repro.kernels.images import ImageSeries, ImageTerm
 from repro.kernels.series import SeriesControl
+from repro.kernels.truncation import AdaptiveControl, TruncationPlan
 from repro.kernels.base import LayeredKernel, kernel_for_soil
 from repro.kernels.uniform import UniformSoilKernel
 from repro.kernels.two_layer import TwoLayerSoilKernel
@@ -36,6 +37,8 @@ __all__ = [
     "ImageSeries",
     "ImageTerm",
     "SeriesControl",
+    "AdaptiveControl",
+    "TruncationPlan",
     "LayeredKernel",
     "kernel_for_soil",
     "UniformSoilKernel",

@@ -142,11 +142,23 @@ class ImageSeries:
     def truncated(self, min_weight: float) -> "ImageSeries":
         """Drop terms whose absolute weight is below ``min_weight``.
 
-        At least one term is always kept.
+        At least one term is always kept: when every weight falls below the
+        cutoff the dominant term survives, so the kernel never silently
+        degenerates to an empty (zero) series.  A series whose weights are
+        *all zero* cannot be truncated meaningfully and raises
+        :class:`~repro.exceptions.KernelError` instead.
         """
+        min_weight = float(min_weight)
+        if not np.isfinite(min_weight) or min_weight < 0.0:
+            raise KernelError(f"min_weight must be finite and non-negative, got {min_weight!r}")
         kept = [t for t in self._terms if abs(t.weight) >= min_weight]
         if not kept:
-            kept = [max(self._terms, key=lambda t: abs(t.weight))]
+            dominant = max(self._terms, key=lambda t: abs(t.weight))
+            if dominant.weight == 0.0:
+                raise KernelError(
+                    "cannot truncate an image series whose weights are all zero"
+                )
+            kept = [dominant]
         return ImageSeries(kept)
 
     @property

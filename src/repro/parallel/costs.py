@@ -30,6 +30,7 @@ from repro.exceptions import ScheduleError
 
 __all__ = [
     "analytic_column_costs",
+    "adaptive_column_costs",
     "cost_shares",
     "scale_costs",
     "blend_costs",
@@ -111,6 +112,30 @@ def analytic_column_costs(
             )
         costs[sources] = terms[sources]
     return costs * float(n_gauss)
+
+
+def adaptive_column_costs(assembler) -> np.ndarray:
+    """Per-column work profile of an *adaptive* assembler.
+
+    The uniform model of :func:`analytic_column_costs` assumes every
+    (source, target) pair evaluates the full image series at equal cost; the
+    adaptive evaluation layer (see :mod:`repro.kernels.truncation`) instead
+    drops, merges and down-weights terms per pair distance.  This helper
+    exposes the matching deterministic profile —
+    ``cost(α) = n_gauss · Σ_{β ≥ α} units(α, β)`` with ``units`` counting the
+    double-precision, single-precision and midpoint-tail terms actually
+    evaluated — so the Fig. 6.1 / Table 6.2 schedule replays stay consistent
+    with what the adaptive engine really executes.
+
+    Parameters
+    ----------
+    assembler:
+        A :class:`repro.bem.influence.ColumnAssembler` built with an
+        :class:`~repro.kernels.truncation.AdaptiveControl`.
+    """
+    if getattr(assembler, "adaptive", None) is None:
+        raise ScheduleError("adaptive_column_costs requires an adaptive ColumnAssembler")
+    return assembler.adaptive_column_costs()
 
 
 def scale_costs(costs: Sequence[float] | np.ndarray, total_seconds: float) -> np.ndarray:

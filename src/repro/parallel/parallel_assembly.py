@@ -221,7 +221,9 @@ def assemble_system_parallel(
     if kernel is None:
         kernel = kernel_for_soil(soil, options.series_control)
     dof_manager = DofManager(mesh, options.element_type)
-    assembler = ColumnAssembler(mesh, kernel, dof_manager, options.n_gauss)
+    assembler = ColumnAssembler(
+        mesh, kernel, dof_manager, options.n_gauss, adaptive=options.adaptive
+    )
 
     start = time.perf_counter()
     columns, parallel_metadata = generate_columns_parallel(assembler, parallel)

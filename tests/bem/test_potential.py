@@ -124,3 +124,123 @@ class TestSurfaceGrids:
     def test_shape_validation(self):
         with pytest.raises(AssemblyError):
             SurfaceGrid(x=np.arange(3), y=np.arange(4), values=np.zeros((3, 3)))
+
+
+class TestAdaptivePotentialPath:
+    """The batched adaptive evaluator vs the exact per-element loop."""
+
+    @pytest.fixture(scope="class")
+    def exact_evaluator(self, small_results):
+        from repro.bem.potential import PotentialEvaluator
+
+        return PotentialEvaluator(
+            small_results.mesh,
+            small_results.soil,
+            small_results.kernel,
+            small_results.dof_manager,
+            small_results.dof_values,
+            gpr=small_results.gpr,
+            adaptive=None,
+        )
+
+    def test_matches_exact_loop(self, evaluator, exact_evaluator, small_results):
+        rng = np.random.default_rng(11)
+        points = np.column_stack(
+            (
+                rng.uniform(-25.0, 45.0, 200),
+                rng.uniform(-25.0, 45.0, 200),
+                rng.uniform(0.0, 3.0, 200),
+            )
+        )
+        fast = evaluator.potential_at(points)
+        slow = exact_evaluator.potential_at(points)
+        assert np.allclose(fast, slow, rtol=0.0, atol=1e-7 * small_results.gpr)
+
+    def test_batch_size_invariance_of_adaptive_path(self, evaluator):
+        points = np.column_stack(
+            (
+                np.linspace(-10.0, 30.0, 120),
+                np.linspace(-5.0, 25.0, 120),
+                np.zeros(120),
+            )
+        )
+        small_batches = evaluator.potential_at(points, batch_size=17)
+        one_batch = evaluator.potential_at(points, batch_size=4096)
+        assert np.allclose(small_batches, one_batch, rtol=1e-12)
+
+    def test_surface_grid_through_adaptive_path(self, evaluator, exact_evaluator, small_results):
+        x = np.linspace(-10.0, 28.0, 9)
+        y = np.linspace(-10.0, 28.0, 7)
+        fast = evaluator.surface_potential(x, y)
+        slow = exact_evaluator.surface_potential(x, y)
+        assert np.allclose(
+            fast.values, slow.values, rtol=0.0, atol=1e-7 * small_results.gpr
+        )
+
+    def test_two_layer_points_across_layers(self, rodded_grid, two_layer_soil):
+        """Field points in both layers of a rodded mesh (distinct kernels)."""
+        from repro.bem.formulation import GroundingAnalysis
+        from repro.bem.potential import PotentialEvaluator
+
+        results = GroundingAnalysis(rodded_grid, two_layer_soil, gpr=1000.0).run()
+        exact = PotentialEvaluator(
+            results.mesh,
+            results.soil,
+            results.kernel,
+            results.dof_manager,
+            results.dof_values,
+            gpr=results.gpr,
+            adaptive=None,
+        )
+        points = np.array(
+            [[3.0, 4.0, 0.0], [5.0, 5.0, 0.5], [6.0, 1.0, 1.5], [2.0, 2.0, 2.5]]
+        )
+        fast = results.evaluator().potential_at(points)
+        slow = exact.potential_at(points)
+        assert np.allclose(fast, slow, rtol=0.0, atol=1e-7 * results.gpr)
+
+    def test_empty_points_returns_empty(self, evaluator):
+        """Regression: the adaptive path must accept a zero-point query."""
+        values = evaluator.potential_at(np.zeros((0, 3)))
+        assert values.shape == (0,)
+
+    def test_shared_cache_with_different_bin_edges(self, small_results):
+        """Regression: evaluators with different adaptive bin edges sharing
+        one geometry cache must not serve each other stale bin data."""
+        from repro.bem.geometry_cache import GeometryCache
+        from repro.bem.potential import PotentialEvaluator
+        from repro.kernels.truncation import AdaptiveControl
+
+        cache = GeometryCache()
+        points = np.column_stack(
+            (np.linspace(-5.0, 25.0, 40), np.linspace(-5.0, 25.0, 40), np.zeros(40))
+        )
+
+        def build(control):
+            return PotentialEvaluator(
+                small_results.mesh,
+                small_results.soil,
+                small_results.kernel,
+                small_results.dof_manager,
+                small_results.dof_values,
+                gpr=small_results.gpr,
+                adaptive=control,
+                geometry_cache=cache,
+            )
+
+        default_bins = build(AdaptiveControl()).potential_at(points)
+        coarse_bins = build(AdaptiveControl(bin_edges=(1.0, 4.0))).potential_at(points)
+        assert np.allclose(default_bins, coarse_bins, rtol=0.0, atol=1e-7 * small_results.gpr)
+
+    def test_rejects_bad_adaptive_argument(self, small_results):
+        from repro.bem.potential import PotentialEvaluator
+
+        with pytest.raises(AssemblyError):
+            PotentialEvaluator(
+                small_results.mesh,
+                small_results.soil,
+                small_results.kernel,
+                small_results.dof_manager,
+                small_results.dof_values,
+                adaptive="Default",
+            )

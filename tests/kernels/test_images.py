@@ -124,3 +124,67 @@ class TestImageSeries:
             image = np.array([0.0, 0.0, s * src_depth + o])
             manual += w / np.linalg.norm(field - image)
         assert series.evaluate(field, source) == pytest.approx(manual, rel=1e-12, abs=1e-15)
+
+
+class TestImageSeriesEdgePaths:
+    """Edge-path coverage added with the adaptive evaluation layer."""
+
+    def test_scaled_composition(self):
+        """scaled(a).scaled(b) == scaled(a*b) term by term."""
+        series = ImageSeries(
+            [ImageTerm(1.0, 1.0, 0.0), ImageTerm(-0.4, -1.0, 2.0), ImageTerm(0.05, 1.0, -3.0)]
+        )
+        twice = series.scaled(2.0).scaled(-1.5)
+        direct = series.scaled(-3.0)
+        assert np.allclose(twice.weights, direct.weights)
+        assert np.array_equal(twice.signs, direct.signs)
+        assert np.array_equal(twice.offsets, direct.offsets)
+        # Scaling never changes the geometry, only the weights.
+        assert np.array_equal(twice.signs, series.signs)
+
+    def test_scaled_preserves_total_absolute_weight_ratio(self):
+        series = ImageSeries([ImageTerm(1.0, 1.0, 0.0), ImageTerm(-0.5, -1.0, 1.0)])
+        assert series.scaled(4.0).total_absolute_weight == pytest.approx(
+            4.0 * series.total_absolute_weight
+        )
+
+    def test_image_points_broadcasting_shapes(self):
+        series = ImageSeries([ImageTerm(1.0, 1.0, 0.0), ImageTerm(0.5, -1.0, 2.0)])
+        single = series.image_points(np.array([1.0, 2.0, 3.0]))
+        assert single.shape == (2, 3)
+        batch = series.image_points(np.ones((5, 3)))
+        assert batch.shape == (2, 5, 3)
+        # The z coordinate is transformed, x/y are untouched.
+        assert np.allclose(batch[..., :2], 1.0)
+        assert np.allclose(batch[0, :, 2], 1.0)
+        assert np.allclose(batch[1, :, 2], 1.0)
+        deep = series.image_points(np.array([[0.0, 0.0, 4.0]]))
+        assert deep[1, 0, 2] == pytest.approx(-4.0 + 2.0)
+
+    def test_image_points_rejects_bad_trailing_axis(self):
+        series = ImageSeries([ImageTerm(1.0, 1.0, 0.0)])
+        with pytest.raises(KernelError):
+            series.image_points(np.ones((4, 2)))
+
+    def test_truncated_all_below_cutoff_keeps_dominant(self):
+        """Regression: a cutoff above every weight keeps the dominant term
+        instead of silently returning an empty (useless) series."""
+        series = ImageSeries(
+            [ImageTerm(1e-9, 1.0, 0.0), ImageTerm(-3e-9, -1.0, 2.0), ImageTerm(2e-9, 1.0, 4.0)]
+        )
+        truncated = series.truncated(min_weight=1.0)
+        assert len(truncated) == 1
+        assert truncated.weights[0] == pytest.approx(-3e-9)
+
+    def test_truncated_all_zero_weights_raises(self):
+        """Regression: an all-zero series cannot be truncated meaningfully."""
+        series = ImageSeries([ImageTerm(0.0, 1.0, 0.0), ImageTerm(0.0, -1.0, 2.0)])
+        with pytest.raises(KernelError):
+            series.truncated(min_weight=1e-6)
+
+    def test_truncated_rejects_bad_cutoff(self):
+        series = ImageSeries([ImageTerm(1.0, 1.0, 0.0)])
+        with pytest.raises(KernelError):
+            series.truncated(min_weight=float("nan"))
+        with pytest.raises(KernelError):
+            series.truncated(min_weight=-1.0)
