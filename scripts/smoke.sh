@@ -27,4 +27,8 @@ echo "== adaptive truncation benchmark (quick mode) =="
 BENCH_QUICK=1 python -m pytest -q -p no:randomly \
   benchmarks/bench_adaptive_truncation.py
 
+echo "== hierarchical scaling benchmark (quick mode) =="
+BENCH_QUICK=1 python -m pytest -q -p no:randomly \
+  benchmarks/bench_hierarchical_scaling.py
+
 echo "smoke: OK (zero flaky reruns)"

@@ -12,16 +12,20 @@ matrices in parallel, assembly performed afterwards — the scheme the paper
 adopts to break the assembly dependency between threads).
 
 The scatter itself is vectorised: the elemental blocks of a whole batch are
-flattened into (flat index, value) pairs and accumulated with a single
-``numpy.bincount`` per batch, instead of one fancy-indexing call per element
-pair.
+flattened into (row dof, source dof, value) triples and accumulated into a
+narrow ``(n, C)`` column slab (``C`` = the few distinct source dofs of the
+batch) with one ``numpy.bincount``, then added into the matrix columns and —
+transposed — into the mirrored rows.  This replaces the earlier bincount over
+the full ``n x n`` index space, whose ``O(n^2)`` output allocation dominated
+the scatter on coarse meshes once the adaptive kernels made the arithmetic
+cheap.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
@@ -35,6 +39,9 @@ from repro.kernels.base import LayeredKernel, kernel_for_soil
 from repro.kernels.series import SeriesControl
 from repro.kernels.truncation import AdaptiveControl
 from repro.soil.base import SoilModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.cluster.operator import HierarchicalControl
 
 __all__ = [
     "AssemblyOptions",
@@ -62,23 +69,46 @@ class AssemblyOptions:
         Truncation of the layered-soil image series.
     adaptive:
         Distance-adaptive evaluation of the image series (see
-        :class:`repro.kernels.truncation.AdaptiveControl`).  ``None`` (the
-        default) evaluates every image term of every pair exactly; an
-        :class:`~repro.kernels.truncation.AdaptiveControl` instance enables
-        the truncated/merged/midpoint-tail fast path whose matrices match the
-        exact ones to ``tolerance * ||A||_max``.
+        :class:`repro.kernels.truncation.AdaptiveControl`).  The *default* is
+        an ``AdaptiveControl()`` instance — the truncated/merged/
+        midpoint-tail fast path whose matrices match the exact ones to
+        ``tolerance * ||A||_max`` (1e-8 by default).  Pass ``None`` to force
+        the exact full-series engine (reference comparisons, accuracy
+        studies).
+    hierarchical:
+        ``None`` (default) assembles the dense matrix.  A
+        :class:`repro.cluster.operator.HierarchicalControl` instance (or
+        ``True`` for the defaults) switches :func:`assemble_system` to the
+        matrix-free hierarchical far-field engine: the returned system then
+        carries a :class:`~repro.cluster.operator.HierarchicalOperator`
+        instead of a dense array and is solved with the (matrix-free)
+        conjugate-gradient solvers.
     """
 
     element_type: ElementType = ElementType.LINEAR
     n_gauss: int = DEFAULT_GAUSS_POINTS
     series_control: SeriesControl = field(default_factory=SeriesControl)
-    adaptive: "AdaptiveControl | None" = None
+    adaptive: "AdaptiveControl | None" = field(default_factory=AdaptiveControl)
+    hierarchical: "HierarchicalControl | bool | None" = None
 
     def __post_init__(self) -> None:
         if self.n_gauss < 1:
             raise AssemblyError("n_gauss must be at least 1")
         if not isinstance(self.element_type, ElementType):
             object.__setattr__(self, "element_type", ElementType(self.element_type))
+        if self.hierarchical is not None:
+            # Imported lazily: repro.cluster depends on repro.bem.
+            from repro.cluster.operator import HierarchicalControl
+
+            if self.hierarchical is True:
+                object.__setattr__(self, "hierarchical", HierarchicalControl())
+            elif self.hierarchical is False:
+                object.__setattr__(self, "hierarchical", None)
+            elif not isinstance(self.hierarchical, HierarchicalControl):
+                raise AssemblyError(
+                    "hierarchical must be a HierarchicalControl instance, True/False "
+                    f"or None, got {self.hierarchical!r}"
+                )
 
 
 @dataclass
@@ -105,35 +135,6 @@ def assemble_rhs(dof_manager: DofManager, gpr: float = DEFAULT_GPR) -> np.ndarra
     return float(gpr) * dof_manager.assemble_basis_integrals()
 
 
-def _column_flat_updates(
-    n_dofs: int, dof_matrix: np.ndarray, column: ColumnResult
-) -> tuple[np.ndarray, np.ndarray]:
-    """Flat matrix indices and values of one column's symmetric contributions.
-
-    The source column couples element α with every target ``β >= α``; symmetry
-    of the Galerkin formulation is exploited by also adding the transposed
-    block at the mirrored position, exactly as the paper discards
-    "approximately half" of the contributions.  The diagonal pair contributes
-    half of its block to each orientation, which symmetrises it in place.
-    """
-    alpha = column.source_index
-    cols = dof_matrix[alpha]  # (nb,)
-    targets = np.asarray(column.targets, dtype=int)
-    blocks = column.blocks  # (T, nb_j, nb_i)
-    if targets.size == 0:
-        empty = np.zeros(0)
-        return empty.astype(np.intp), empty
-
-    rows = dof_matrix[targets]  # (T, nb)
-    weights = np.where(targets == alpha, 0.5, 1.0)  # halve the diagonal pair
-    values = blocks * weights[:, None, None]
-
-    forward = rows[:, :, None] * n_dofs + cols[None, None, :]  # (β_j, α_i)
-    mirror = cols[None, None, :] * n_dofs + rows[:, :, None]  # (α_i, β_j)
-    indices = np.concatenate((forward.ravel(), mirror.ravel()))
-    return indices, np.concatenate((values.ravel(), values.ravel()))
-
-
 #: Flush threshold (in pending flat updates) of :func:`scatter_columns`, so
 #: scattering a whole mesh at once stays within a bounded transient footprint.
 _SCATTER_FLUSH_ENTRIES: int = 2_000_000
@@ -146,36 +147,62 @@ def scatter_columns(
 ) -> None:
     """Scatter-add the blocks of a batch of columns into the global matrix.
 
-    The (index, value) pairs of many columns are accumulated with one
-    ``numpy.bincount`` per ~2M pending entries — orders of magnitude faster
-    than per-pair fancy indexing, with a bounded transient footprint even when
-    an entire mesh is scattered in one call.
+    A batch of source columns only touches the few global dofs of its source
+    elements on the column axis, so instead of binning flat ``row * n + col``
+    indices over the full ``n x n`` matrix (the previous engine — its
+    ``O(n^2)`` bincount *output* dominated the scatter on coarse meshes once
+    the adaptive kernels made the arithmetic cheap), the updates are
+    accumulated into a narrow ``(n, C)`` column slab with ``C`` the distinct
+    source dofs of the flush.  The slab is then added into the matrix columns
+    and — transposed — into the mirrored rows, which realises the same
+    "discard approximately half" symmetrisation as before (diagonal pairs
+    contribute half of their block to each orientation).
     """
     n = matrix.shape[0]
-    index_parts: list[np.ndarray] = []
-    value_parts: list[np.ndarray] = []
+    #: (target-dof rows (T*nb,), source dofs (nb,), halved values (T*nb, nb)).
+    pending_columns: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
     pending = 0
 
     def _flush() -> None:
         nonlocal pending
-        if not index_parts:
+        if not pending_columns:
             return
-        flat_indices = np.concatenate(index_parts)
-        flat_values = np.concatenate(value_parts)
-        index_parts.clear()
-        value_parts.clear()
+        # The slab's column space is just the source dofs of the flushed
+        # columns — a few per column, so the unique/compaction step works on
+        # tiny arrays, never on the concatenated update stream.
+        unique_cols = np.unique(np.concatenate([sd for _, sd, _ in pending_columns]))
+        c = unique_cols.size
+        flat_parts: list[np.ndarray] = []
+        value_parts: list[np.ndarray] = []
+        for rows_flat, source_dofs, values in pending_columns:
+            compact = np.searchsorted(unique_cols, source_dofs)
+            flat_parts.append((rows_flat[:, None] * c + compact[None, :]).ravel())
+            value_parts.append(values.ravel())
+        pending_columns.clear()
         pending = 0
-        accumulated = np.bincount(flat_indices, weights=flat_values, minlength=n * n)
-        np.add(matrix, accumulated.reshape(n, n), out=matrix)
+        slab = np.bincount(
+            np.concatenate(flat_parts),
+            weights=np.concatenate(value_parts),
+            minlength=n * c,
+        ).reshape(n, c)
+        matrix[:, unique_cols] += slab
+        matrix[unique_cols, :] += slab.T
 
     for column in columns:
-        indices, values = _column_flat_updates(n, dof_matrix, column)
-        if indices.size:
-            index_parts.append(indices)
-            value_parts.append(values)
-            pending += indices.size
-            if pending >= _SCATTER_FLUSH_ENTRIES:
-                _flush()
+        targets = np.asarray(column.targets, dtype=int)
+        if targets.size == 0:
+            continue
+        alpha = column.source_index
+        source_dofs = dof_matrix[alpha]  # (nb,)
+        target_dofs = dof_matrix[targets]  # (T, nb)
+        weights = np.where(targets == alpha, 0.5, 1.0)  # halve the diagonal pair
+        values = column.blocks * weights[:, None, None]  # (T, nb_j, nb_i)
+        pending_columns.append(
+            (target_dofs.ravel(), source_dofs, values.reshape(-1, values.shape[2]))
+        )
+        pending += values.size
+        if pending >= _SCATTER_FLUSH_ENTRIES:
+            _flush()
     _flush()
 
 
@@ -285,6 +312,18 @@ def assemble_system(
         The assembled system with assembly metadata.
     """
     options = options or AssemblyOptions()
+    if options.hierarchical is not None:
+        if column_order is not None or collect_column_times:
+            raise AssemblyError(
+                "the hierarchical engine decomposes work into cluster blocks, not "
+                "columns; column_order / collect_column_times do not apply"
+            )
+        # Imported lazily: repro.cluster depends on repro.bem.
+        from repro.cluster.operator import assemble_hierarchical_system
+
+        return assemble_hierarchical_system(
+            mesh, soil, gpr=gpr, options=options, kernel=kernel
+        )
     if kernel is None:
         kernel = kernel_for_soil(soil, options.series_control)
     dof_manager = DofManager(mesh, options.element_type)

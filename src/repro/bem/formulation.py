@@ -32,6 +32,7 @@ from repro.soil.base import SoilModel
 from repro.solvers import solve_system
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.operator import HierarchicalControl
     from repro.parallel.options import ParallelOptions
 
 __all__ = ["GroundingAnalysis"]
@@ -70,10 +71,19 @@ class GroundingAnalysis:
         Record the per-column assembly times in the result metadata (needed by
         the scheduler simulator and by the parallel benchmarks).
     adaptive:
-        Optional :class:`repro.kernels.truncation.AdaptiveControl` enabling
-        the distance-adaptive image-series evaluation of the matrix
-        generation (``None`` keeps the exact engine; post-processing through
-        :meth:`AnalysisResults.evaluator` always uses the adaptive kernel).
+        :class:`repro.kernels.truncation.AdaptiveControl` driving the
+        distance-adaptive image-series evaluation of the matrix generation.
+        Enabled by default (matrices match the exact engine to
+        ``1e-8 * ||A||_max``); pass ``None`` to force the exact full-series
+        engine.  Post-processing through :meth:`AnalysisResults.evaluator`
+        always uses the adaptive kernel.
+    hierarchical:
+        Optional :class:`repro.cluster.operator.HierarchicalControl` (or
+        ``True`` for the defaults) switching the matrix generation to the
+        matrix-free hierarchical far-field engine — the scalable path for
+        grids of >= 10^4 elements.  Requires an iterative solver (``"pcg"``
+        or ``"cg"``) and runs the block assembly sequentially (``parallel``
+        must stay ``None``).
     """
 
     grid: GroundingGrid
@@ -87,13 +97,31 @@ class GroundingAnalysis:
     parallel: "ParallelOptions | None" = None
     validate: bool = True
     collect_column_times: bool = False
-    adaptive: "AdaptiveControl | None" = None
+    adaptive: "AdaptiveControl | None" = field(default_factory=AdaptiveControl)
+    hierarchical: "HierarchicalControl | bool | None" = None
 
     def __post_init__(self) -> None:
         if self.gpr <= 0.0:
             raise ReproError(f"the GPR must be positive, got {self.gpr!r}")
         if not isinstance(self.element_type, ElementType):
             self.element_type = ElementType(self.element_type)
+        if self.hierarchical is not None and self.hierarchical is not False:
+            if self.parallel is not None:
+                raise ReproError(
+                    "the hierarchical engine runs its block assembly sequentially; "
+                    "pass parallel=None (the cost model partitions cluster-pair "
+                    "work for future distributed backends)"
+                )
+            if self.solver not in ("pcg", "cg"):
+                raise ReproError(
+                    "the hierarchical engine is matrix-free; choose the 'pcg' or "
+                    f"'cg' solver instead of {self.solver!r}"
+                )
+            if self.collect_column_times:
+                raise ReproError(
+                    "collect_column_times does not apply to the hierarchical "
+                    "engine (work is decomposed into cluster blocks, not columns)"
+                )
 
     # ------------------------------------------------------------------ pipeline phases
 
@@ -134,6 +162,7 @@ class GroundingAnalysis:
             n_gauss=self.n_gauss,
             series_control=self.series_control,
             adaptive=self.adaptive,
+            hierarchical=self.hierarchical,
         )
         timings["data_preprocessing"] = time.perf_counter() - start
 

@@ -46,6 +46,7 @@ from repro.geometry.discretize import Mesh, MeshElement
 from repro.kernels.base import LayeredKernel
 from repro.kernels.truncation import (
     AdaptiveControl,
+    MergedSeries,
     TruncationPlan,
     i0_upper_bound,
     max_pair_distance,
@@ -192,22 +193,7 @@ class ColumnAssembler:
             self._layer_flat_z[int(layer)] = float(z_values[0]) if flat else None
             self._layer_max_length[int(layer)] = float(self._lengths[members].max())
 
-        # Reference matrix-entry magnitude: the largest self-influence entry
-        # bound (direct image, test integral ~ L/2, field point on the
-        # conductor surface).
-        dominant = np.empty(self.n_elements)
-        for layer in np.unique(self._layers):
-            members = self._layers == layer
-            series = self.kernel.image_series(int(layer), int(layer))
-            w_max = float(np.abs(series.weights).max())
-            dominant[members] = (
-                self.kernel.normalization(int(layer))
-                * 0.5
-                * self._lengths[members]
-                * w_max
-                * i0_upper_bound(self._lengths[members], self._radii[members])
-            )
-        self._adaptive_scale = float(dominant.max())
+        self.reference_entry_scale()  # warm the cache once per mesh
         offset_max = max(
             float(np.abs(self.kernel.image_series(int(b), int(c)).offsets).max())
             for b in np.unique(self._layers)
@@ -240,6 +226,32 @@ class ColumnAssembler:
     def basis_per_element(self) -> int:
         """Local basis functions per element (1 or 2)."""
         return self.dof_manager.element_type.basis_per_element
+
+    def reference_entry_scale(self) -> float:
+        """Reference matrix-entry magnitude of the mesh.
+
+        The largest self-influence entry bound (direct image, test integral
+        ``~ L/2``, field point on the conductor surface) — the quantity the
+        relative tolerances of both the adaptive evaluation layer and the
+        hierarchical far-field compression are measured against.
+        """
+        cached = getattr(self, "_reference_scale", None)
+        if cached is not None:
+            return cached
+        dominant = np.empty(self.n_elements)
+        for layer in np.unique(self._layers):
+            members = self._layers == layer
+            series = self.kernel.image_series(int(layer), int(layer))
+            w_max = float(np.abs(series.weights).max())
+            dominant[members] = (
+                self.kernel.normalization(int(layer))
+                * 0.5
+                * self._lengths[members]
+                * w_max
+                * i0_upper_bound(self._lengths[members], self._radii[members])
+            )
+        self._reference_scale = float(dominant.max())
+        return self._reference_scale
 
     # -- the batched column kernel ------------------------------------------------------
 
@@ -463,12 +475,36 @@ class ColumnAssembler:
                 target_z_interval=self._layer_z_interval[field_layer],
                 target_length_max=self._layer_max_length[field_layer],
                 normalization=self.kernel.normalization(source_layer),
-                scale=self._adaptive_scale,
+                scale=self.reference_entry_scale(),
                 merge_z=merge_z,
                 r_max=self._r_max,
             )
             self._plans[key] = plan
         return plan
+
+    def _inplane_geometry_rows(
+        self, source_index: int, rows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """In-plane pair geometry of one source against selected target rows.
+
+        For column-sized target sets this delegates to the cached full-mesh
+        arrays of :meth:`_inplane_geometry`; for small target sets (the
+        hierarchical near-field rectangles) it computes only the requested
+        rows, avoiding the ``O(M)`` full-mesh pass per source.  Both paths are
+        elementwise-identical, so results do not depend on the route taken.
+        """
+        key = (self._mesh_fp, "col", self.n_gauss, int(source_index))
+        cached = self._geometry_cache.get(key)
+        if cached is not None:
+            p_axis, q_norm = cached
+            return p_axis[rows], q_norm[rows]
+        if 2 * rows.size >= self.n_elements:
+            p_axis, q_norm = self._inplane_geometry(source_index)
+            return p_axis[rows], q_norm[rows]
+        length = self._lengths[source_index]
+        u_xy = (self._p1[source_index, :2] - self._p0[source_index, :2]) / length
+        disp = self._gauss_points[rows][..., :2] - self._p0[source_index, :2]  # (T, G, 2)
+        return disp @ u_xy, np.einsum("tgk,tgk->tg", disp, disp)
 
     def _inplane_geometry(self, source_index: int) -> tuple[np.ndarray, np.ndarray]:
         """In-plane pair geometry of one source column against every element.
@@ -577,10 +613,10 @@ class ColumnAssembler:
                 segment = segment[adaptive_mask[segment]]
                 if segment.size == 0:
                     continue
-                p_axis, q_norm = self._inplane_geometry(int(source))
                 rows = pair_target[segment]
-                p_axis_pairs[pos_of_pair[segment]] = p_axis[rows]
-                q_norm_pairs[pos_of_pair[segment]] = q_norm[rows]
+                p_axis_rows, q_norm_rows = self._inplane_geometry_rows(int(source), rows)
+                p_axis_pairs[pos_of_pair[segment]] = p_axis_rows
+                q_norm_pairs[pos_of_pair[segment]] = q_norm_rows
 
             for g in range(starts.size - 1):
                 span = slice(int(starts[g]), int(starts[g + 1]))
@@ -626,6 +662,239 @@ class ColumnAssembler:
         return [
             blocks_flat[bounds[k] : bounds[k + 1]] for k in range(len(column_targets))
         ]
+
+    def column_batch_lists(
+        self, source_indices: Sequence[int] | np.ndarray, target_lists: Sequence[np.ndarray]
+    ) -> list[np.ndarray]:
+        """Influence blocks of sources with *individual* target lists.
+
+        The generalisation of :meth:`column_batch` the hierarchical near-field
+        needs: every source couples with its own target set (its near-field
+        partners).  With the adaptive engine active, all (source, target)
+        pairs of the batch are flattened into one vectorised pass — the same
+        machinery (and therefore bit-identical results) as the dense assembly
+        columns.  Returns one block array of shape ``(len(targets), nb, nb)``
+        per source, in input order.
+        """
+        sources = np.asarray(source_indices, dtype=int).ravel()
+        if sources.size != len(target_lists):
+            raise AssemblyError(
+                f"{sources.size} sources but {len(target_lists)} target lists"
+            )
+        if sources.size == 0:
+            return []
+        m = self.n_elements
+        if sources.min() < 0 or sources.max() >= m:
+            raise AssemblyError(f"source element indices out of range 0..{m - 1}")
+        targets = [np.asarray(t, dtype=int).ravel() for t in target_lists]
+        for t in targets:
+            if t.size and (t.min() < 0 or t.max() >= m):
+                raise AssemblyError(f"target element indices out of range 0..{m - 1}")
+        if self.adaptive is not None:
+            return self._adaptive_batch(sources, targets)
+        blocks = []
+        for source, t in zip(sources, targets):
+            if t.size == 0:
+                blocks.append(np.zeros((0, self.basis_per_element, self.basis_per_element)))
+                continue
+            [(_, column_blocks)] = self.column_batch([int(source)], t)
+            blocks.append(column_blocks)
+        return blocks
+
+    def adaptive_far_column(
+        self, element: int, others: np.ndarray, min_separation: float
+    ) -> np.ndarray:
+        """Adaptive influence blocks of one source on far targets, one plan bin.
+
+        Returns ``F[t, j, i] = b(target=others[t], source=element)[j, i]``
+        with *every* pair evaluated under the single
+        :class:`~repro.kernels.truncation.BinPlan` selected by
+        ``min_separation`` — the *in-plane* separation lower bound of a
+        far-field block (the quantity the plan bins are keyed on).
+        Using one bin for the whole fetch keeps the sampled entries smooth
+        (per-pair bin boundaries inside a block would put error
+        discontinuities in it and inflate the ACA rank) while still dropping,
+        down-casting and midpoint-expanding the far image terms.  This is the
+        fast entry sampler of the hierarchical far field.
+        """
+        if self.adaptive is None:
+            raise AssemblyError("adaptive_far_column requires an adaptive assembler")
+        others = np.asarray(others, dtype=int).ravel()
+        element = int(element)
+        nb = self.basis_per_element
+        if others.size == 0:
+            return np.zeros((0, nb, nb))
+        n_gauss = self.n_gauss
+        source_layer = int(self._layers[element])
+        normalization = self.kernel.normalization(source_layer)
+        out = np.empty((others.size, nb, nb))
+        target_layers = self._layers[others]
+        for field_layer in np.unique(target_layers):
+            positions = np.flatnonzero(target_layers == field_layer)
+            rows = others[positions]
+            series = self.kernel.image_series(source_layer, int(field_layer))
+            if len(series) < self.adaptive.min_series_terms:
+                rect = self._evaluate_group(
+                    np.asarray([element]), rows, series, normalization
+                )
+                out[positions] = rect[0]
+                continue
+            plan = self._plan_for(element, int(field_layer))
+            bin_plan = plan.bins[int(plan.bin_of(np.asarray([min_separation]))[0])]
+            p_axis, q_norm = self._inplane_geometry_rows(element, rows)
+            # Promote the single-precision exact terms to double precision:
+            # their rounding noise, harmless when entries are consumed once,
+            # would sit just below the ACA stopping threshold and inflate the
+            # factorisation rank.
+            s0, s1 = adaptive_segment_sums(
+                p_axis.ravel(),
+                q_norm.ravel(),
+                self._gauss_points[rows][..., 2].ravel(),
+                float(self._p0[element, 2]),
+                float(self._z_slope[element]),
+                float(self._lengths[element]),
+                float(self._radii[element]),
+                plan.weights,
+                plan.signs,
+                plan.offsets,
+                np.concatenate((bin_plan.exact_idx, bin_plan.exact32_idx)),
+                bin_plan.exact32_idx[:0],
+                bin_plan.midpoint_idx,
+            )
+            w0 = s0.reshape(rows.size, n_gauss)
+            w1 = s1.reshape(rows.size, n_gauss)
+            if self.dof_manager.element_type is ElementType.CONSTANT:
+                trial = w0[..., None]
+            else:
+                trial = np.stack((w0 - w1, w1), axis=-1)  # (T, G, 2)
+            out[positions] = normalization * np.einsum(
+                "tg,gj,tgi->tji", self._outer_weights[rows], self._test_values, trial
+            )
+        return out
+
+    def far_series(self, source_layer: int, field_layer: int, distance: float, cutoff: float):
+        """Image series of a layer pair, truncated for pairs at ``>= distance``.
+
+        ``distance`` is the *in-plane* pair-separation lower bound (vertical
+        image offsets are folded in per term from the layer depth intervals,
+        exactly as in :class:`~repro.kernels.truncation.TruncationPlan`).
+        Terms whose conservative influence-entry bound
+        ``|w| * I0_max * L_t,max * norm`` stays below ``cutoff`` are dropped
+        *uniformly*, so every pair of a far-field block sees the same reduced
+        series (no per-pair decision boundaries).  Cached per (layer pair,
+        distance, cutoff).
+        """
+        key = (int(source_layer), int(field_layer), round(float(distance), 6), float(cutoff))
+        cache = getattr(self, "_far_series_cache", None)
+        if cache is None:
+            cache = self._far_series_cache = {}
+        series = cache.get(key)
+        if series is not None:
+            return series
+        full = self.kernel.image_series(int(source_layer), int(field_layer))
+        info = getattr(self, "_far_layer_info", None)
+        if info is None:
+            info = self._far_layer_info = {}
+            for layer in np.unique(self._layers):
+                members = np.flatnonzero(self._layers == layer)
+                z_values = np.concatenate((self._p0[members, 2], self._p1[members, 2]))
+                info[int(layer)] = (
+                    float(z_values.min()),
+                    float(z_values.max()),
+                    float(self._lengths[members].max()),
+                )
+        s_lo, s_hi, s_len = info[int(source_layer)]
+        t_lo, t_hi, t_len = info[int(field_layer)]
+        img_lo = np.minimum(full.signs * s_lo, full.signs * s_hi) + full.offsets
+        img_hi = np.maximum(full.signs * s_lo, full.signs * s_hi) + full.offsets
+        dz = np.maximum.reduce([img_lo - t_hi, t_lo - img_hi, np.zeros(len(full))])
+        r = np.maximum(np.sqrt(float(distance) ** 2 + dz**2), 1.0e-12)
+        bounds = (
+            self.kernel.normalization(int(source_layer))
+            * t_len
+            * np.abs(full.weights)
+            * i0_upper_bound(s_len, r)
+        )
+        keep = bounds > float(cutoff)
+        if not np.any(keep):
+            keep[int(np.argmax(np.abs(full.weights)))] = True
+        series = MergedSeries(
+            weights=full.weights[keep], signs=full.signs[keep], offsets=full.offsets[keep]
+        )
+        cache[key] = series
+        return series
+
+    def pair_block_row(
+        self,
+        element: int,
+        others: np.ndarray,
+        min_distance: float | None = None,
+        drop_cutoff: float | None = None,
+    ) -> np.ndarray:
+        """Exact symmetrised influence row of one element against a set of others.
+
+        Returns the entries the *assembled* matrix receives from the pairs
+        ``{element, other}``: entry ``[j, t, i]`` is the contribution added at
+        ``(dof(element, j), dof(other_t, i))``.  The dense engine evaluates
+        every pair once with the lower-index element as the source, so this
+        row mixes both orientations — elements below ``element`` are evaluated
+        as sources, elements above as targets (transposed).  This is the entry
+        generator of the hierarchical far-field ACA sampling, which therefore
+        reproduces the dense matrix entrywise instead of introducing an
+        orientation-dependent quadrature asymmetry.
+
+        Evaluated through the exact kernels; when ``min_distance`` and
+        ``drop_cutoff`` are given (the far-field ACA sampler), the image
+        series is first uniformly truncated with :meth:`far_series` for pairs
+        separated by at least ``min_distance``.
+        """
+        others = np.asarray(others, dtype=int).ravel()
+        m = self.n_elements
+        element = int(element)
+        if not 0 <= element < m:
+            raise AssemblyError(f"element index {element} out of range 0..{m - 1}")
+        if others.size and (others.min() < 0 or others.max() >= m):
+            raise AssemblyError(f"element indices out of range 0..{m - 1}")
+        if np.any(others == element):
+            raise AssemblyError("pair_block_row expects 'others' to exclude the element itself")
+        nb = self.basis_per_element
+        out = np.empty((nb, others.size, nb))
+        element_arr = np.asarray([element])
+        element_layer = int(self._layers[element])
+        lo = np.flatnonzero(others < element)
+        hi = np.flatnonzero(others > element)
+        # Straight to the vectorised group kernel (one call per soil-layer
+        # group, usually one): ACA samples thousands of these small fetches,
+        # so the chunking bookkeeping of _rectangle_blocks would dominate.
+        def _series(source_layer: int, field_layer: int):
+            if drop_cutoff is None or min_distance is None:
+                return self.kernel.image_series(source_layer, field_layer)
+            return self.far_series(source_layer, field_layer, min_distance, drop_cutoff)
+
+        if lo.size:
+            source_layers = self._layers[others[lo]]
+            for layer in np.unique(source_layers):
+                members = lo[source_layers == layer]
+                rect = self._evaluate_group(
+                    others[members],
+                    element_arr,
+                    _series(int(layer), element_layer),
+                    self.kernel.normalization(int(layer)),
+                )  # (S, 1, nb, nb)
+                out[:, members, :] = rect[:, 0].transpose(1, 0, 2)
+        if hi.size:
+            normalization = self.kernel.normalization(element_layer)
+            target_layers = self._layers[others[hi]]
+            for layer in np.unique(target_layers):
+                members = hi[target_layers == layer]
+                rect = self._evaluate_group(
+                    element_arr,
+                    others[members],
+                    _series(element_layer, int(layer)),
+                    normalization,
+                )  # (1, T, nb, nb)
+                out[:, members, :] = np.transpose(rect[0], (2, 0, 1))
+        return out
 
     # -- the single-column kernel --------------------------------------------------------
 

@@ -15,12 +15,15 @@ __all__ = ["LinearSystem"]
 
 @dataclass
 class LinearSystem:
-    """The dense symmetric system ``R q = ν`` of the paper's equation (4.4).
+    """The symmetric system ``R q = ν`` of the paper's equation (4.4).
 
     Attributes
     ----------
     matrix:
-        Coefficient matrix ``R`` (dense, symmetric, positive definite).
+        Coefficient matrix ``R``: either the dense symmetric positive
+        definite array, or a matrix-free symmetric operator (square
+        ``shape`` plus ``matvec``, e.g. the hierarchical far-field
+        operator) consumed by the iterative solvers.
     rhs:
         Right-hand side ``ν`` (the GPR times the basis-function integrals).
     dof_manager:
@@ -31,17 +34,18 @@ class LinearSystem:
         Free-form assembly information (timings, kernel sizes, backend...).
     """
 
-    matrix: np.ndarray
+    matrix: Any
     rhs: np.ndarray
     dof_manager: DofManager
     gpr: float
     metadata: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        self.matrix = np.asarray(self.matrix, dtype=float)
+        if not self._is_operator(self.matrix):
+            self.matrix = np.asarray(self.matrix, dtype=float)
         self.rhs = np.asarray(self.rhs, dtype=float)
         n = self.dof_manager.n_dofs
-        if self.matrix.shape != (n, n):
+        if tuple(self.matrix.shape) != (n, n):
             raise AssemblyError(
                 f"matrix shape {self.matrix.shape} does not match {n} degrees of freedom"
             )
@@ -50,13 +54,39 @@ class LinearSystem:
                 f"right-hand side shape {self.rhs.shape} does not match {n} degrees of freedom"
             )
 
+    @staticmethod
+    def _is_operator(matrix: Any) -> bool:
+        """Matrix-free operand: square ``shape`` plus ``matvec`` or ``@``.
+
+        The same acceptance rule as the solver layer's
+        :func:`repro.solvers.cg.as_matvec_operator`, so an operand the CG
+        solver would consume is never mangled by ``np.asarray``.
+        """
+        if isinstance(matrix, np.ndarray):
+            return False
+        shape = getattr(matrix, "shape", None)
+        if shape is None or len(shape) != 2 or shape[0] != shape[1]:
+            return False
+        return hasattr(matrix, "matvec") or hasattr(type(matrix), "__matmul__")
+
+    @property
+    def is_dense(self) -> bool:
+        """True for a dense ndarray matrix, False for a matrix-free operator."""
+        return isinstance(self.matrix, np.ndarray)
+
     @property
     def n_dofs(self) -> int:
         """Number of unknowns."""
         return self.dof_manager.n_dofs
 
     def symmetry_error(self) -> float:
-        """Relative Frobenius asymmetry ``|R − Rᵀ| / |R|`` (should be ~0)."""
+        """Relative Frobenius asymmetry ``|R − Rᵀ| / |R|`` (should be ~0).
+
+        Matrix-free operators are symmetric by construction (every far-field
+        block is applied together with its transpose), so they report 0.
+        """
+        if not self.is_dense:
+            return 0.0
         norm = float(np.linalg.norm(self.matrix))
         if norm == 0.0:
             return 0.0
@@ -64,6 +94,11 @@ class LinearSystem:
 
     def diagonal_dominance_ratio(self) -> float:
         """Smallest ratio of diagonal entry to off-diagonal row sum (diagnostic)."""
+        if not self.is_dense:
+            raise AssemblyError(
+                "diagonal_dominance_ratio needs the dense matrix; the hierarchical "
+                "operator does not materialise row sums"
+            )
         diag = np.abs(np.diag(self.matrix))
         off = np.abs(self.matrix).sum(axis=1) - diag
         with np.errstate(divide="ignore", invalid="ignore"):

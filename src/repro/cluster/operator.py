@@ -1,0 +1,525 @@
+"""Matrix-free hierarchical influence operator (near-field + ACA far field).
+
+:class:`HierarchicalOperator` represents the Galerkin grounding matrix as
+
+    ``A  ~=  N  +  U V^T  +  V U^T``
+
+where ``N`` is a sparse near-field matrix assembled densely from the
+inadmissible blocks of a :class:`~repro.cluster.blocks.BlockClusterTree`
+(through the existing batched — optionally adaptive — kernels of
+:class:`~repro.bem.influence.ColumnAssembler`), and ``U``/``V`` aggregate the
+ACA low-rank factors of every admissible far-field block into two tall sparse
+matrices (one column per rank-one term, rows living in the global dof space).
+The two rank-factor products apply every off-diagonal block together with its
+transpose, so the operator is symmetric by construction, exactly like the
+dense symmetrised assembly.
+
+Storage and matrix-vector cost are ``O(M log M)`` instead of the dense
+``O(M^2)``, which is what lifts the solver from the ~10^3-element regime of
+the dense engine to the >=10^4-element grids targeted by the scaling
+benchmark (``benchmarks/bench_hierarchical_scaling.py``).
+
+Error contract: near-field entries equal the dense-engine entries (the same
+kernels evaluate them); far-field blocks are sampled with the dense engine's
+min-index source orientation (:meth:`ColumnAssembler.pair_block_row`) and
+truncated at ``tolerance * scale / safety`` with ``scale`` the mesh's
+reference entry magnitude — the same contract as the adaptive evaluation
+layer, so the hierarchical operator matches the dense matrix entrywise to
+``O(tolerance * ||A||_max)``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+from scipy import sparse
+
+from repro.bem.assembly import AssemblyOptions, assemble_rhs
+from repro.bem.elements import DofManager
+from repro.bem.influence import ColumnAssembler
+from repro.bem.system import LinearSystem
+from repro.cluster.aca import aca_lowrank
+from repro.cluster.blocks import BlockClusterTree
+from repro.cluster.tree import ClusterTree
+from repro.constants import DEFAULT_GPR
+from repro.exceptions import ClusterError
+from repro.geometry.discretize import Mesh
+from repro.kernels.base import LayeredKernel, kernel_for_soil
+from repro.soil.base import SoilModel
+
+__all__ = ["HierarchicalControl", "HierarchicalOperator", "assemble_hierarchical_system"]
+
+
+@dataclass(frozen=True)
+class HierarchicalControl:
+    """Knobs of the hierarchical far-field engine.
+
+    Parameters
+    ----------
+    leaf_size:
+        Elements per cluster-tree leaf.  Smaller leaves shrink the dense
+        near field but multiply the number of far-field blocks.
+    eta:
+        Admissibility parameter of the block partition
+        (``min(diam) <= eta * dist``).
+    tolerance:
+        Target entrywise accuracy of the compressed matrix relative to the
+        mesh's reference entry magnitude — the same ``tol * ||A||_max``
+        contract as :class:`~repro.kernels.truncation.AdaptiveControl`.
+    safety:
+        The ACA stopping threshold is ``tolerance * scale / safety``; the
+        factor absorbs the accumulation of many block truncations.
+    max_rank:
+        Rank cap per far-field block; blocks that hit it (or whose factors
+        would store more than half the dense block) fall back to dense
+        near-field assembly.
+    """
+
+    leaf_size: int = 64
+    eta: float = 1.5
+    tolerance: float = 1.0e-8
+    safety: float = 4.0
+    max_rank: int = 96
+
+    def __post_init__(self) -> None:
+        if self.leaf_size < 1:
+            raise ClusterError(f"leaf_size must be at least 1, got {self.leaf_size!r}")
+        if self.eta <= 0.0 or not np.isfinite(self.eta):
+            raise ClusterError(f"eta must be positive and finite, got {self.eta!r}")
+        if not 0.0 < self.tolerance < 1.0:
+            raise ClusterError(
+                f"tolerance must lie strictly between 0 and 1, got {self.tolerance!r}"
+            )
+        if self.safety < 1.0:
+            raise ClusterError(f"safety factor must be >= 1, got {self.safety!r}")
+        if self.max_rank < 1:
+            raise ClusterError(f"max_rank must be at least 1, got {self.max_rank!r}")
+
+
+#: Upper bound on the (source, target) pairs evaluated per near-field
+#: mega-batch, bounding the transient block arrays to a few megabytes.
+_NEAR_BATCH_PAIRS: int = 200_000
+
+
+def _near_pair_columns(
+    partition: BlockClusterTree, fallback_blocks: list[tuple[np.ndarray, np.ndarray]]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Near-field pairs as dense-engine columns: ``(sources, flat targets)``.
+
+    Every unordered element pair of the inadmissible blocks (plus the
+    far-field blocks that fell back to dense) is oriented with the
+    lower original index as the source — exactly the dense assembly's
+    convention, so the near entries reproduce the dense matrix bit for bit.
+    Returns the sorted source of each pair and the matching target, grouped
+    by source (sources ascending, targets ascending within a source).
+    """
+    tree = partition.tree
+    a_parts: list[np.ndarray] = []
+    b_parts: list[np.ndarray] = []
+
+    def _add(rows_e: np.ndarray, cols_e: np.ndarray, diagonal: bool) -> None:
+        if diagonal:
+            i, j = np.triu_indices(rows_e.size)
+            first, second = rows_e[i], rows_e[j]
+        else:
+            first = np.repeat(rows_e, cols_e.size)
+            second = np.tile(cols_e, rows_e.size)
+        a_parts.append(np.minimum(first, second))
+        b_parts.append(np.maximum(first, second))
+
+    for block in partition.near:
+        _add(tree.elements_of(block.row), tree.elements_of(block.col), block.is_diagonal)
+    for rows_e, cols_e in fallback_blocks:
+        _add(rows_e, cols_e, diagonal=False)
+
+    if not a_parts:
+        return np.zeros(0, dtype=int), np.zeros(0, dtype=int)
+    sources = np.concatenate(a_parts)
+    targets = np.concatenate(b_parts)
+    order = np.lexsort((targets, sources))
+    return sources[order], targets[order]
+
+
+class HierarchicalOperator:
+    """Symmetric matrix-free operator: sparse near field plus low-rank far field."""
+
+    def __init__(
+        self,
+        near: sparse.csr_matrix,
+        u_far: sparse.csr_matrix,
+        v_far: sparse.csr_matrix,
+        diagonal: np.ndarray,
+        stats: dict[str, Any],
+    ) -> None:
+        #: Upper triangle (incl. diagonal) of the symmetric near field; the
+        #: matvec applies ``N + N^T - diag(N)``, halving the stored entries.
+        self.near = near
+        self.u_far = u_far
+        self.v_far = v_far
+        self._near_diagonal = near.diagonal()
+        self._diagonal = np.asarray(diagonal, dtype=float)
+        self.stats = stats
+        self.shape = tuple(near.shape)
+        self.dtype = np.dtype(float)
+
+    # ------------------------------------------------------------------ construction
+
+    @classmethod
+    def build(
+        cls, assembler: ColumnAssembler, control: HierarchicalControl | None = None
+    ) -> "HierarchicalOperator":
+        """Build the operator for a mesh through its column assembler.
+
+        The near-field blocks run through the assembler's (possibly adaptive)
+        batched kernels; the far-field blocks are ACA-compressed from exact
+        entry samples.  Blocks are processed in descending deterministic-cost
+        order (see :func:`repro.parallel.costs.hierarchical_block_costs`), the
+        profile a parallel runner would partition.
+        """
+        # Local import: repro.parallel imports repro.bem at package load time.
+        from repro.parallel.costs import hierarchical_block_costs
+
+        control = control or HierarchicalControl()
+        start = time.perf_counter()
+        tree = ClusterTree.build(assembler._p0, assembler._p1, control.leaf_size)
+        partition = BlockClusterTree.build(tree, control.eta)
+        scale = assembler.reference_entry_scale()
+        stopping = control.tolerance * scale / control.safety
+
+        dof_matrix = assembler.dof_manager.element_dof_matrix()
+        n_dofs = assembler.dof_manager.n_dofs
+        nb = assembler.basis_per_element
+
+        layers = np.unique(assembler.mesh.element_layers())
+        series_length = max(
+            assembler.kernel.series_length(int(b), int(c)) for b in layers for c in layers
+        )
+        shapes = partition.block_shapes()
+        admissible = np.array([b.admissible for b in partition.blocks], dtype=bool)
+        costs = hierarchical_block_costs(
+            shapes[:, 0],
+            shapes[:, 1],
+            admissible,
+            series_length=series_length,
+            n_gauss=assembler.n_gauss,
+            basis_per_element=nb,
+        )
+        block_order = np.lexsort((np.arange(costs.size), -costs))
+
+        near_rows: list[np.ndarray] = []
+        near_cols: list[np.ndarray] = []
+        near_vals: list[np.ndarray] = []
+        u_rows: list[np.ndarray] = []
+        u_cols: list[np.ndarray] = []
+        u_vals: list[np.ndarray] = []
+        v_rows: list[np.ndarray] = []
+        v_cols: list[np.ndarray] = []
+        v_vals: list[np.ndarray] = []
+        total_rank = 0
+        ranks: list[int] = []
+        fallback_blocks: list[tuple[np.ndarray, np.ndarray]] = []
+
+        # --- far field: ACA-compress the admissible blocks (cost order) ---
+        far_start = time.perf_counter()
+        for block_index in block_order:
+            block = partition.blocks[int(block_index)]
+            if not block.admissible:
+                continue
+            rows_e = tree.elements_of(block.row)
+            cols_e = tree.elements_of(block.col)
+
+            # ACA entry sampling.  With the adaptive layer active (the
+            # default), rows and columns are fetched through
+            # :meth:`ColumnAssembler.adaptive_far_column` — one *single-source*
+            # mixed-precision evaluation under the one distance bin selected
+            # by the block separation, so the sampled entries are smooth
+            # across the block.  The fetched element is always the source;
+            # the resulting orientation asymmetry of far pairs is orders of
+            # magnitude below the stopping threshold at admissible
+            # separations.  Without the adaptive layer, the exact
+            # orientation-matched :meth:`pair_block_row` sampler (with the
+            # block-truncated series) is used instead.
+            # Admissibility uses the 3D box distance, but the truncation-plan
+            # machinery is keyed on the *in-plane* pair separation (vertical
+            # gaps are analysed per image term) — pass the horizontal box
+            # distance so rod-bearing meshes keep the entrywise contract.
+            distance = tree.clusters[block.row].inplane_distance_to(
+                tree.clusters[block.col]
+            )
+            row_cache: dict[int, np.ndarray] = {}
+            col_cache: dict[int, np.ndarray] = {}
+            use_adaptive = assembler.adaptive is not None
+            m_rows, m_cols = rows_e.size * nb, cols_e.size * nb
+            # The ACA error inside a block is low-rank (coherent), so a fixed
+            # entrywise threshold would let large high-level blocks contribute
+            # spectral-norm errors growing with their side.  Scaling the
+            # threshold with the geometric-mean side (relative to a leaf
+            # block) equalises every block's Frobenius contribution, keeping
+            # the solution error size-independent; only the handful of big
+            # blocks pay the few extra ranks.
+            block_stopping = stopping / max(
+                1.0, np.sqrt(float(m_rows) * float(m_cols)) / (nb * control.leaf_size)
+            )
+
+            def _fetch(
+                element: int, others: np.ndarray, distance=distance, cutoff=block_stopping
+            ) -> np.ndarray:
+                if use_adaptive:
+                    return assembler.adaptive_far_column(element, others, distance)
+                # (nb, T, nb) -> (T, nb_target, nb_source)
+                return np.transpose(
+                    assembler.pair_block_row(
+                        element, others, min_distance=distance, drop_cutoff=cutoff
+                    ),
+                    (1, 2, 0),
+                )
+
+            def _row(k: int, rows_e=rows_e, cols_e=cols_e, cache=row_cache) -> np.ndarray:
+                t, j = divmod(int(k), nb)
+                fetched = cache.get(t)
+                if fetched is None:
+                    fetched = cache[t] = _fetch(int(rows_e[t]), cols_e)
+                return fetched[:, :, j].ravel()
+
+            def _col(k: int, rows_e=rows_e, cols_e=cols_e, cache=col_cache) -> np.ndarray:
+                s, i = divmod(int(k), nb)
+                fetched = cache.get(s)
+                if fetched is None:
+                    fetched = cache[s] = _fetch(int(cols_e[s]), rows_e)
+                return fetched[:, :, i].ravel()
+
+            # A factorisation only pays off while it stores clearly less than
+            # the dense block (3/5 here: a fallback block is costlier than its
+            # factor bytes suggest, since its pairs move into the near field);
+            # capping the rank there lets hopeless (tiny) blocks abort after a
+            # few sampled rows instead of being fully factorised first.
+            affordable_rank = (3 * m_rows * m_cols) // (5 * (m_rows + m_cols))
+            if affordable_rank < 2:
+                fallback_blocks.append((rows_e, cols_e))
+                continue
+            factors = aca_lowrank(
+                _row, _col, m_rows, m_cols, absolute_tolerance=block_stopping,
+                max_rank=min(control.max_rank, affordable_rank),
+                row_groups=np.repeat(np.arange(rows_e.size), nb),
+                col_groups=np.repeat(np.arange(cols_e.size), nb),
+            )
+            if not factors.converged:
+                fallback_blocks.append((rows_e, cols_e))
+                continue
+            rank = factors.rank
+            ranks.append(rank)
+            if rank == 0:
+                continue
+            row_dofs = dof_matrix[rows_e].ravel()
+            col_dofs = dof_matrix[cols_e].ravel()
+            term_ids = total_rank + np.arange(rank)
+            u_rows.append(np.repeat(row_dofs, rank))
+            u_cols.append(np.tile(term_ids, m_rows))
+            u_vals.append(factors.u.ravel())
+            v_rows.append(np.repeat(col_dofs, rank))
+            v_cols.append(np.tile(term_ids, m_cols))
+            v_vals.append(factors.v.ravel())
+            total_rank += rank
+
+        far_seconds = time.perf_counter() - far_start
+
+        # --- near field: dense-engine columns over the inadmissible pairs ---
+        near_start = time.perf_counter()
+        pair_sources, pair_targets = _near_pair_columns(partition, fallback_blocks)
+        unique_sources, first = np.unique(pair_sources, return_index=True)
+        boundaries = np.concatenate((first, [pair_sources.size]))
+        batch_sources: list[int] = []
+        batch_lists: list[np.ndarray] = []
+        batch_pairs = 0
+
+        def _flush_near() -> None:
+            nonlocal batch_pairs
+            if not batch_sources:
+                return
+            blocks = assembler.column_batch_lists(batch_sources, batch_lists)
+            for source, targets_k, values in zip(batch_sources, batch_lists, blocks):
+                source_dofs = dof_matrix[source]  # (nb,)
+                target_dofs = dof_matrix[targets_k]  # (T, nb)
+                weights = np.where(targets_k == source, 0.5, 1.0)  # halve self pairs
+                values = values * weights[:, None, None]  # (T, nb_j, nb_i)
+                rr = np.repeat(target_dofs.ravel(), nb)
+                cc = np.tile(source_dofs, targets_k.size * nb)
+                flat = values.ravel()
+                # Only the upper triangle is stored (the matvec applies
+                # ``N + N^T - diag``): of the dense engine's (value, mirrored
+                # value) scatter pair, keep whichever lands on row <= col —
+                # both when they coincide on the diagonal, exactly
+                # reproducing the dense diagonal accumulation.
+                forward = rr <= cc
+                mirror = cc <= rr
+                near_rows.append(np.concatenate((rr[forward], cc[mirror])))
+                near_cols.append(np.concatenate((cc[forward], rr[mirror])))
+                near_vals.append(np.concatenate((flat[forward], flat[mirror])))
+            batch_sources.clear()
+            batch_lists.clear()
+            batch_pairs = 0
+
+        for k, source in enumerate(unique_sources):
+            targets_k = pair_targets[int(boundaries[k]) : int(boundaries[k + 1])]
+            batch_sources.append(int(source))
+            batch_lists.append(targets_k)
+            batch_pairs += targets_k.size
+            if batch_pairs >= _NEAR_BATCH_PAIRS:
+                _flush_near()
+        _flush_near()
+        near_seconds = time.perf_counter() - near_start
+
+        def _csr(rows, cols, vals, shape) -> sparse.csr_matrix:
+            if not rows:
+                return sparse.csr_matrix(shape, dtype=float)
+            matrix = sparse.coo_matrix(
+                (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+                shape=shape,
+            ).tocsr()
+            matrix.sum_duplicates()
+            return matrix
+
+        near = _csr(near_rows, near_cols, near_vals, (n_dofs, n_dofs))
+        u_far = _csr(u_rows, u_cols, u_vals, (n_dofs, max(total_rank, 0)))
+        v_far = _csr(v_rows, v_cols, v_vals, (n_dofs, max(total_rank, 0)))
+
+        diagonal = near.diagonal()
+        if total_rank:
+            diagonal = diagonal + 2.0 * np.asarray(
+                u_far.multiply(v_far).sum(axis=1)
+            ).ravel()
+
+        rank_array = np.asarray(ranks, dtype=int)
+        stats: dict[str, Any] = {
+            **partition.summary(),
+            "leaf_size": control.leaf_size,
+            "tolerance": control.tolerance,
+            "safety": control.safety,
+            "max_rank": control.max_rank,
+            "reference_scale": scale,
+            "n_clusters": tree.n_clusters,
+            "tree_depth": tree.depth(),
+            "n_fallback_blocks": len(fallback_blocks),
+            "total_rank": int(total_rank),
+            "rank_min": int(rank_array.min()) if rank_array.size else 0,
+            "rank_max": int(rank_array.max()) if rank_array.size else 0,
+            "rank_mean": float(rank_array.mean()) if rank_array.size else 0.0,
+            "near_nnz": int(near.nnz),
+            "block_cost_units_total": float(costs.sum()),
+            "near_pairs": int(pair_sources.size),
+            "far_seconds": far_seconds,
+            "near_seconds": near_seconds,
+            "build_seconds": 0.0,  # filled below
+        }
+        operator = cls(near=near, u_far=u_far, v_far=v_far, diagonal=diagonal, stats=stats)
+        stats["memory_bytes"] = operator.memory_bytes()
+        stats["dense_bytes"] = 8 * n_dofs * n_dofs
+        stats["compression"] = stats["memory_bytes"] / max(stats["dense_bytes"], 1)
+        stats["build_seconds"] = time.perf_counter() - start
+        return operator
+
+    # ------------------------------------------------------------------ linear algebra
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Apply the operator: near field plus symmetrised far field."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.shape[0],):
+            raise ClusterError(
+                f"operand shape {x.shape} does not match operator size {self.shape[0]}"
+            )
+        y = self.near @ x
+        y = y + self.near.T @ x
+        y = y - self._near_diagonal * x
+        if self.u_far.shape[1]:
+            y = y + self.u_far @ (self.v_far.T @ x)
+            y = y + self.v_far @ (self.u_far.T @ x)
+        return np.asarray(y).ravel()
+
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        return self.matvec(x)
+
+    def diagonal(self) -> np.ndarray:
+        """Main diagonal of the represented matrix (for Jacobi preconditioning)."""
+        return self._diagonal.copy()
+
+    def todense(self) -> np.ndarray:
+        """Materialise the represented matrix (small problems / tests only)."""
+        upper = np.asarray(self.near.todense(), dtype=float)
+        dense = upper + upper.T - np.diag(self._near_diagonal)
+        if self.u_far.shape[1]:
+            u = np.asarray(self.u_far.todense(), dtype=float)
+            v = np.asarray(self.v_far.todense(), dtype=float)
+            dense = dense + u @ v.T + v @ u.T
+        return dense
+
+    def memory_bytes(self) -> int:
+        """Bytes stored by the operator (matrix data plus sparse index arrays)."""
+        total = self._diagonal.nbytes + self._near_diagonal.nbytes
+        for matrix in (self.near, self.u_far, self.v_far):
+            total += matrix.data.nbytes + matrix.indices.nbytes + matrix.indptr.nbytes
+        return int(total)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HierarchicalOperator(n={self.shape[0]}, near_nnz={self.near.nnz}, "
+            f"total_rank={self.u_far.shape[1]}, "
+            f"memory={self.memory_bytes() / 1e6:.1f} MB)"
+        )
+
+
+def assemble_hierarchical_system(
+    mesh: Mesh,
+    soil: SoilModel,
+    gpr: float = DEFAULT_GPR,
+    options: AssemblyOptions | None = None,
+    kernel: LayeredKernel | None = None,
+) -> LinearSystem:
+    """Assemble the Galerkin system as a matrix-free hierarchical operator.
+
+    The returned :class:`~repro.bem.system.LinearSystem` carries the
+    :class:`HierarchicalOperator` in place of the dense matrix; the iterative
+    solvers of :mod:`repro.solvers` consume it directly.  Normally reached
+    through ``assemble_system(..., options=AssemblyOptions(hierarchical=...))``.
+    """
+    options = options or AssemblyOptions(hierarchical=HierarchicalControl())
+    control = options.hierarchical
+    if control is None:
+        raise ClusterError(
+            "assemble_hierarchical_system needs AssemblyOptions.hierarchical to be set"
+        )
+    if kernel is None:
+        kernel = kernel_for_soil(soil, options.series_control)
+    dof_manager = DofManager(mesh, options.element_type)
+    assembler = ColumnAssembler(
+        mesh, kernel, dof_manager, options.n_gauss, adaptive=options.adaptive
+    )
+
+    start = time.perf_counter()
+    operator = HierarchicalOperator.build(assembler, control)
+    generation_seconds = time.perf_counter() - start
+    rhs = assemble_rhs(dof_manager, gpr)
+
+    metadata: dict[str, Any] = {
+        "matrix_generation_seconds": generation_seconds,
+        "n_elements": mesh.n_elements,
+        "n_dofs": dof_manager.n_dofs,
+        "element_type": options.element_type.value,
+        "n_gauss": options.n_gauss,
+        "soil_layers": soil.n_layers,
+        "backend": "hierarchical",
+        "hierarchical": dict(operator.stats),
+        "adaptive": None
+        if options.adaptive is None
+        else {
+            "tolerance": options.adaptive.tolerance,
+            "safety": options.adaptive.safety,
+            "use_midpoint_tail": options.adaptive.use_midpoint_tail,
+            "merge_degenerate": options.adaptive.merge_degenerate,
+        },
+    }
+    return LinearSystem(
+        matrix=operator, rhs=rhs, dof_manager=dof_manager, gpr=float(gpr), metadata=metadata
+    )

@@ -14,6 +14,7 @@ __all__ = [
     "SoilModelError",
     "KernelError",
     "AssemblyError",
+    "ClusterError",
     "SolverError",
     "ConvergenceError",
     "ScheduleError",
@@ -49,6 +50,10 @@ class KernelError(ReproError):
 
 class AssemblyError(ReproError):
     """Raised when the BEM coefficient matrix cannot be assembled."""
+
+
+class ClusterError(ReproError):
+    """Raised when a hierarchical cluster decomposition cannot be built."""
 
 
 class SolverError(ReproError):

@@ -31,11 +31,17 @@ from repro.exceptions import ScheduleError
 __all__ = [
     "analytic_column_costs",
     "adaptive_column_costs",
+    "hierarchical_block_costs",
+    "partition_block_work",
     "cost_shares",
     "scale_costs",
     "blend_costs",
     "smooth_costs",
 ]
+
+#: Default rank assumed for far-field blocks by the deterministic block-cost
+#: model (the measured mean ACA rank on the scaling benchmark grids).
+DEFAULT_RANK_ESTIMATE: int = 12
 
 
 def cost_shares(cost_hint, indices: Sequence[int]) -> np.ndarray:
@@ -136,6 +142,79 @@ def adaptive_column_costs(assembler) -> np.ndarray:
     if getattr(assembler, "adaptive", None) is None:
         raise ScheduleError("adaptive_column_costs requires an adaptive ColumnAssembler")
     return assembler.adaptive_column_costs()
+
+
+def hierarchical_block_costs(
+    row_sizes: Sequence[int] | np.ndarray,
+    col_sizes: Sequence[int] | np.ndarray,
+    admissible: Sequence[bool] | np.ndarray,
+    series_length: int,
+    n_gauss: int = DEFAULT_GAUSS_POINTS,
+    rank_estimate: int = DEFAULT_RANK_ESTIMATE,
+    basis_per_element: int = 2,
+) -> np.ndarray:
+    """Deterministic per-block work estimate of a hierarchical assembly.
+
+    The block cluster tree replaces the paper's per-column task decomposition
+    with per-*block* tasks; this is the matching cost profile, the unit a
+    schedule partitions when distributing cluster-pair work:
+
+    * an inadmissible (near-field) block evaluates every element pair densely:
+      ``rows * cols * L * n_gauss`` kernel terms;
+    * an admissible (far-field) block samples ``~rank`` rows and columns for
+      the ACA factorisation: ``min(rank_estimate * basis, min_side) *
+      (rows + cols) * L * n_gauss`` terms.
+
+    Only relative values matter.  Host-independent, like
+    :func:`analytic_column_costs`.
+    """
+    rows = np.asarray(row_sizes, dtype=float)
+    cols = np.asarray(col_sizes, dtype=float)
+    far = np.asarray(admissible, dtype=bool)
+    if rows.shape != cols.shape or rows.shape != far.shape or rows.ndim != 1:
+        raise ScheduleError("row_sizes, col_sizes and admissible must be equal-length 1D")
+    if rows.size == 0:
+        return np.zeros(0)
+    if np.any(rows < 1) or np.any(cols < 1):
+        raise ScheduleError("block cluster sizes must be at least 1")
+    if series_length < 1 or n_gauss < 1 or rank_estimate < 1 or basis_per_element < 1:
+        raise ScheduleError("series_length, n_gauss, rank_estimate and basis must be >= 1")
+
+    per_pair = float(series_length) * float(n_gauss)
+    costs = rows * cols * per_pair
+    sampled = np.minimum(
+        float(rank_estimate) * float(basis_per_element),
+        np.minimum(rows, cols) * float(basis_per_element),
+    )
+    costs[far] = sampled[far] * (rows[far] + cols[far]) * per_pair
+    return costs
+
+
+def partition_block_work(
+    costs: Sequence[float] | np.ndarray, n_workers: int
+) -> list[list[int]]:
+    """Greedy longest-processing-time partition of block tasks among workers.
+
+    Deterministic: blocks are assigned in descending cost order (ties broken
+    by index) to the currently least-loaded worker.  Used by the block-level
+    scheduling tests and as the static work split a distributed hierarchical
+    assembly would start from.
+    """
+    profile = np.asarray(costs, dtype=float)
+    if profile.ndim != 1:
+        raise ScheduleError("costs must be a 1D sequence")
+    if n_workers < 1:
+        raise ScheduleError(f"n_workers must be at least 1, got {n_workers}")
+    if np.any(~np.isfinite(profile)) or np.any(profile < 0.0):
+        raise ScheduleError("block costs must be finite and non-negative")
+    assignment: list[list[int]] = [[] for _ in range(n_workers)]
+    loads = np.zeros(n_workers)
+    order = np.lexsort((np.arange(profile.size), -profile))
+    for index in order:
+        worker = int(np.argmin(loads))
+        assignment[worker].append(int(index))
+        loads[worker] += profile[index]
+    return assignment
 
 
 def scale_costs(costs: Sequence[float] | np.ndarray, total_seconds: float) -> np.ndarray:

@@ -218,6 +218,13 @@ def assemble_system_parallel(
     if parallel is None:
         parallel = ParallelOptions(backend=Backend.SERIAL, n_workers=1)
     options = options or AssemblyOptions()
+    if options.hierarchical is not None:
+        raise ParallelExecutionError(
+            "the hierarchical engine has no parallel column backend; its block "
+            "assembly runs sequentially through assemble_system (the cost model "
+            "of repro.parallel.costs.hierarchical_block_costs partitions the "
+            "cluster-pair work for future distributed backends)"
+        )
     if kernel is None:
         kernel = kernel_for_soil(soil, options.series_control)
     dof_manager = DofManager(mesh, options.element_type)

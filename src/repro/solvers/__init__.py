@@ -38,7 +38,7 @@ SOLVER_NAMES = ("cholesky", "lu", "cg", "pcg")
 
 
 def solve_system(
-    matrix: np.ndarray,
+    matrix,
     rhs: np.ndarray,
     method: str = "pcg",
     tolerance: float = 1.0e-10,
@@ -49,7 +49,10 @@ def solve_system(
     Parameters
     ----------
     matrix, rhs:
-        The dense symmetric system.
+        The symmetric system.  A dense matrix works with every method; a
+        matrix-free operator (square ``shape`` plus ``matvec``/``@``, e.g.
+        the hierarchical far-field operator) is accepted by the iterative
+        methods only.
     method:
         One of ``"cholesky"``, ``"lu"``, ``"cg"`` (unpreconditioned) or
         ``"pcg"`` (diagonal preconditioned conjugate gradient — the paper's
@@ -62,7 +65,13 @@ def solve_system(
     method = str(method).lower()
     if method not in SOLVER_NAMES:
         raise SolverError(f"unknown solver {method!r}; expected one of {SOLVER_NAMES}")
+    is_dense = isinstance(matrix, np.ndarray) or isinstance(matrix, (list, tuple))
     if method in ("cholesky", "lu"):
+        if not is_dense:
+            raise SolverError(
+                f"the direct solver {method!r} needs a dense matrix; the matrix-free "
+                "hierarchical operator is solved with 'cg' or 'pcg'"
+            )
         return solve_direct(matrix, rhs, method=method)
     preconditioner = jacobi_preconditioner(matrix) if method == "pcg" else None
     return conjugate_gradient(

@@ -5,13 +5,20 @@ preconditioned conjugate gradient algorithm with assembly of the global
 matrix", which for the dense symmetric positive definite grounding system
 "turned out to be extremely efficient ... with a very low computational cost in
 comparison with matrix generation".  The implementation below is a standard
-preconditioned CG on dense NumPy arrays, recording the residual history so
-tests and ablation benchmarks can inspect the convergence behaviour.
+preconditioned CG recording the residual history so tests and ablation
+benchmarks can inspect the convergence behaviour.
+
+The solver is *matrix-free*: besides dense NumPy arrays (the fast path —
+one BLAS ``matvec`` per iteration) it accepts any symmetric positive definite
+operator exposing ``shape`` and either a ``matvec`` method or ``__matmul__``
+— in particular the :class:`~repro.cluster.operator.HierarchicalOperator`
+of the hierarchical far-field engine, whose matrix is never formed.
 """
 
 from __future__ import annotations
 
 import time
+from typing import Callable
 
 import numpy as np
 
@@ -19,11 +26,59 @@ from repro.exceptions import ConvergenceError, SolverError
 from repro.solvers.preconditioners import Preconditioner, identity_preconditioner
 from repro.solvers.result import SolveResult
 
-__all__ = ["conjugate_gradient"]
+__all__ = ["conjugate_gradient", "as_matvec_operator"]
+
+
+def as_matvec_operator(matrix) -> tuple[Callable[[np.ndarray], np.ndarray], int, float]:
+    """Validate a system operand and return ``(matvec, n, flops_per_apply)``.
+
+    Accepts a dense ndarray (or anything :func:`numpy.asarray` turns into a
+    2D float array) or a mat-vec capable operator: an object with a square
+    2D ``shape`` and a ``matvec`` method (or ``__matmul__``).  Raises a clear
+    :class:`~repro.exceptions.SolverError` otherwise, so callers passing an
+    unsupported operand (e.g. a sparse-format string or a mismatched object)
+    get an actionable message instead of a NumPy internal failure.
+    """
+    if isinstance(matrix, np.ndarray) or np.isscalar(matrix) or isinstance(matrix, (list, tuple)):
+        dense = np.asarray(matrix, dtype=float)
+        if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+            raise SolverError(f"the system matrix must be square, got shape {dense.shape}")
+        n = dense.shape[0]
+        return (lambda vector: dense @ vector), n, 2.0 * n * n
+
+    shape = getattr(matrix, "shape", None)
+    if shape is None or len(shape) != 2 or shape[0] != shape[1]:
+        raise SolverError(
+            "the system operand must be a square dense matrix or a mat-vec capable "
+            f"operator with a square .shape; got {type(matrix).__name__} "
+            f"with shape {shape!r}"
+        )
+    apply = getattr(matrix, "matvec", None)
+    if apply is None:
+        if not hasattr(matrix, "__matmul__"):
+            raise SolverError(
+                f"operator {type(matrix).__name__} supports neither .matvec nor '@'"
+            )
+        apply = lambda vector: matrix @ vector  # noqa: E731 - tiny adapter
+    n = int(shape[0])
+    flops = getattr(matrix, "memory_bytes", None)
+    # One multiply-add per stored entry for explicit sparse/low-rank storage;
+    # fall back to the dense count when the operator does not report it.
+    flops_per_apply = (flops() / 4.0) if callable(flops) else 2.0 * n * n
+
+    def matvec(vector: np.ndarray) -> np.ndarray:
+        result = np.asarray(apply(vector), dtype=float).ravel()
+        if result.shape != (n,):
+            raise SolverError(
+                f"operator mat-vec returned shape {result.shape}, expected ({n},)"
+            )
+        return result
+
+    return matvec, n, float(flops_per_apply)
 
 
 def conjugate_gradient(
-    matrix: np.ndarray,
+    matrix,
     rhs: np.ndarray,
     preconditioner: Preconditioner | None = None,
     tolerance: float = 1.0e-10,
@@ -35,7 +90,9 @@ def conjugate_gradient(
     Parameters
     ----------
     matrix:
-        Dense symmetric positive definite matrix.
+        Dense symmetric positive definite matrix, or any symmetric positive
+        definite operator with a square ``shape`` and ``matvec``/``@`` (the
+        dense array keeps its fast path).
     rhs:
         Right-hand side vector.
     preconditioner:
@@ -44,37 +101,60 @@ def conjugate_gradient(
         Convergence criterion on the relative residual ``|r| / |b|``.
     max_iterations:
         Iteration cap (default ``10 n``, generously above the theoretical
-        ``n``-step termination to absorb round-off).
+        ``n``-step termination to absorb round-off).  ``0`` is allowed and
+        returns the zero initial guess unconverged (unless the right-hand
+        side is zero), which callers use to probe system setup cheaply.
     raise_on_failure:
         When ``True`` raise :class:`~repro.exceptions.ConvergenceError` instead
         of returning a result flagged ``converged=False``.
     """
-    matrix = np.asarray(matrix, dtype=float)
+    apply_matrix, n, flops_per_apply = as_matvec_operator(matrix)
     rhs = np.asarray(rhs, dtype=float)
-    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
-        raise SolverError(f"the system matrix must be square, got shape {matrix.shape}")
-    n = matrix.shape[0]
     if rhs.shape != (n,):
         raise SolverError(f"right-hand side shape {rhs.shape} does not match matrix size {n}")
     if tolerance <= 0.0:
         raise SolverError("the CG tolerance must be positive")
     if max_iterations is None:
         max_iterations = 10 * n
-    if max_iterations < 1:
-        raise SolverError("max_iterations must be at least 1")
+    if max_iterations < 0:
+        raise SolverError("max_iterations must be non-negative")
     apply_preconditioner = preconditioner or identity_preconditioner()
+    method = "pcg" if preconditioner is not None else "cg"
 
     start = time.perf_counter()
     x = np.zeros(n)
+    if n == 0:
+        # Empty system: trivially converged with an empty solution.
+        return SolveResult(
+            solution=x,
+            method=method,
+            iterations=0,
+            residual=0.0,
+            converged=True,
+            elapsed_seconds=time.perf_counter() - start,
+        )
     r = rhs.copy()
     rhs_norm = float(np.linalg.norm(rhs))
     if rhs_norm == 0.0:
         return SolveResult(
             solution=x,
-            method="pcg" if preconditioner is not None else "cg",
+            method=method,
             iterations=0,
             residual=0.0,
             converged=True,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+    if max_iterations == 0:
+        if raise_on_failure:
+            raise ConvergenceError(
+                "CG was given max_iterations=0 with a non-zero right-hand side"
+            )
+        return SolveResult(
+            solution=x,
+            method=method,
+            iterations=0,
+            residual=1.0,  # |b - A·0| / |b|
+            converged=False,
             elapsed_seconds=time.perf_counter() - start,
         )
 
@@ -87,7 +167,7 @@ def conjugate_gradient(
 
     for iteration in range(1, max_iterations + 1):
         iterations = iteration
-        ap = matrix @ p
+        ap = apply_matrix(p)
         pap = float(p @ ap)
         if pap <= 0.0:
             raise SolverError(
@@ -114,11 +194,11 @@ def conjugate_gradient(
             f"CG did not reach tolerance {tolerance:g} within {max_iterations} iterations "
             f"(residual {final_residual:.3e})"
         )
-    # ~ (2 n^2 + 10 n) flops per iteration: one mat-vec plus a few axpys/dots.
-    flops = iterations * (2.0 * n * n + 10.0 * n)
+    # One mat-vec plus a few axpys/dots per iteration.
+    flops = iterations * (flops_per_apply + 10.0 * n)
     return SolveResult(
         solution=x,
-        method="pcg" if preconditioner is not None else "cg",
+        method=method,
         iterations=iterations,
         residual=final_residual,
         converged=converged,

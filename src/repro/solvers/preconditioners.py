@@ -29,8 +29,11 @@ def identity_preconditioner(matrix: np.ndarray | None = None) -> Preconditioner:
     return apply
 
 
-def jacobi_preconditioner(matrix: np.ndarray) -> Preconditioner:
+def jacobi_preconditioner(matrix) -> Preconditioner:
     """Diagonal (Jacobi) preconditioner ``M = diag(A)``.
+
+    Accepts a dense matrix or any operator exposing a ``diagonal()`` method
+    (e.g. the matrix-free hierarchical operator).
 
     Raises
     ------
@@ -39,7 +42,20 @@ def jacobi_preconditioner(matrix: np.ndarray) -> Preconditioner:
         the grounding problem is positive definite, so its diagonal is
         strictly positive).
     """
-    diagonal = np.asarray(np.diag(matrix), dtype=float).copy()
+    if isinstance(matrix, np.ndarray) or isinstance(matrix, (list, tuple)):
+        dense = np.asarray(matrix, dtype=float)
+        if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+            raise SolverError(
+                f"the Jacobi preconditioner needs a square matrix, got shape {dense.shape}"
+            )
+        diagonal = np.asarray(np.diag(dense), dtype=float).copy()
+    elif hasattr(matrix, "diagonal"):
+        diagonal = np.asarray(matrix.diagonal(), dtype=float).ravel().copy()
+    else:
+        raise SolverError(
+            "the Jacobi preconditioner needs a dense matrix or an operator with a "
+            f"diagonal() method; {type(matrix).__name__} provides neither"
+        )
     if np.any(diagonal <= 0.0) or not np.all(np.isfinite(diagonal)):
         raise SolverError(
             "the Jacobi preconditioner requires a strictly positive diagonal; "

@@ -50,7 +50,11 @@ class TestAdaptiveColumns:
 
     def test_rodded_mesh_matches_exact_engine(self, rodded_mesh, two_layer_soil):
         """Vertical rods: no merging, mixed layers, conservative intervals."""
-        exact = assemble_system(rodded_mesh, two_layer_soil, gpr=1000.0)
+        # adaptive=None pins the exact full-series engine (the adaptive fast
+        # path became the assembly default).
+        exact = assemble_system(
+            rodded_mesh, two_layer_soil, gpr=1000.0, options=AssemblyOptions(adaptive=None)
+        )
         adaptive = assemble_system(
             rodded_mesh,
             two_layer_soil,
@@ -95,13 +99,11 @@ class TestAdaptiveColumns:
         assert np.array_equal(exact_blocks, adaptive_blocks)
 
     def test_assemble_system_adaptive_option(self, flat_mesh, barbera_like_soil):
-        exact = assemble_system(flat_mesh, barbera_like_soil, gpr=1000.0)
-        adaptive = assemble_system(
-            flat_mesh,
-            barbera_like_soil,
-            gpr=1000.0,
-            options=AssemblyOptions(adaptive=AdaptiveControl()),
+        exact = assemble_system(
+            flat_mesh, barbera_like_soil, gpr=1000.0, options=AssemblyOptions(adaptive=None)
         )
+        # The adaptive engine is the default since the hierarchical PR.
+        adaptive = assemble_system(flat_mesh, barbera_like_soil, gpr=1000.0)
         scale = float(np.abs(exact.matrix).max())
         assert np.allclose(
             adaptive.matrix, exact.matrix, rtol=0.0, atol=1e-8 * max(scale, 1.0)

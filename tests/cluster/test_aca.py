@@ -1,0 +1,155 @@
+"""Tests of the ACA low-rank compression, including the mesh property tests.
+
+The hypothesis property tests build *random flat and rodded meshes*, pick the
+admissible far-field blocks of their cluster partitions and assert that the
+ACA factors reproduce the exactly-evaluated block to the requested absolute
+bound — the subsystem's central error contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bem.elements import DofManager, ElementType
+from repro.bem.influence import ColumnAssembler
+from repro.cluster.aca import aca_lowrank
+from repro.cluster.blocks import BlockClusterTree
+from repro.cluster.tree import ClusterTree
+from repro.exceptions import ClusterError
+from repro.geometry.builder import GridBuilder
+from repro.geometry.discretize import discretize_grid
+from repro.kernels.base import kernel_for_soil
+from repro.soil.two_layer import TwoLayerSoil
+from repro.soil.uniform import UniformSoil
+
+
+def _dense_funcs(matrix: np.ndarray):
+    return (lambda i: matrix[i].copy()), (lambda j: matrix[:, j].copy())
+
+
+class TestAcaOnExplicitMatrices:
+    def test_recovers_exact_low_rank(self, rng):
+        u = rng.normal(size=(40, 3))
+        v = rng.normal(size=(30, 3))
+        matrix = u @ v.T
+        row, col = _dense_funcs(matrix)
+        factors = aca_lowrank(row, col, 40, 30, absolute_tolerance=1e-10, max_rank=10)
+        assert factors.converged
+        assert factors.rank <= 4
+        assert np.abs(factors.matrix() - matrix).max() <= 1e-8
+
+    def test_zero_matrix_gives_rank_zero(self):
+        matrix = np.zeros((12, 9))
+        row, col = _dense_funcs(matrix)
+        factors = aca_lowrank(row, col, 12, 9, absolute_tolerance=1e-12, max_rank=5)
+        assert factors.converged
+        assert factors.rank == 0
+        assert factors.entry_count() == 0
+
+    def test_smooth_kernel_error_below_tolerance(self, rng):
+        x = rng.uniform(0.0, 1.0, size=50)
+        y = rng.uniform(10.0, 11.0, size=45)  # well separated
+        matrix = 1.0 / np.abs(x[:, None] - y[None, :])
+        row, col = _dense_funcs(matrix)
+        tolerance = 1e-8
+        factors = aca_lowrank(row, col, 50, 45, absolute_tolerance=tolerance, max_rank=30)
+        assert factors.converged
+        assert np.abs(factors.matrix() - matrix).max() <= 10.0 * tolerance
+
+    def test_rank_cap_flags_unconverged(self, rng):
+        matrix = rng.normal(size=(25, 25))  # full rank noise
+        row, col = _dense_funcs(matrix)
+        factors = aca_lowrank(row, col, 25, 25, absolute_tolerance=1e-12, max_rank=3)
+        assert not factors.converged
+        assert factors.rank == 3
+
+    def test_invalid_arguments(self):
+        row, col = _dense_funcs(np.ones((3, 3)))
+        with pytest.raises(ClusterError):
+            aca_lowrank(row, col, 0, 3, absolute_tolerance=1e-8, max_rank=2)
+        with pytest.raises(ClusterError):
+            aca_lowrank(row, col, 3, 3, absolute_tolerance=0.0, max_rank=2)
+        with pytest.raises(ClusterError):
+            aca_lowrank(row, col, 3, 3, absolute_tolerance=1e-8, max_rank=0)
+
+
+def _mesh_case(flat: bool, nx: int, ny: int, spacing: float, depth: float, rods: bool):
+    builder = GridBuilder(
+        depth=depth, conductor_radius=6.0e-3, rod_radius=7.0e-3, rod_length=2.0
+    )
+    grid = builder.rectangular_mesh(spacing * (nx - 1), spacing * (ny - 1), nx, ny)
+    soil = TwoLayerSoil(0.0025, 0.01, 1.0) if not flat or rods else UniformSoil(0.01)
+    if rods:
+        builder.add_rods(grid, [(0.0, 0.0), (spacing * (nx - 1), spacing * (ny - 1))])
+        soil = TwoLayerSoil(0.0025, 0.01, 1.0)
+    return discretize_grid(grid, soil=soil), soil
+
+
+def _block_error_vs_exact(mesh, soil, tolerance: float, leaf_size: int) -> list[float]:
+    """Max ACA error over the reference scale, per admissible block."""
+    kernel = kernel_for_soil(soil)
+    dofs = DofManager(mesh, ElementType.LINEAR)
+    assembler = ColumnAssembler(mesh, kernel, dofs)
+    p0, p1 = mesh.element_endpoints()
+    tree = ClusterTree.build(p0, p1, leaf_size=leaf_size)
+    partition = BlockClusterTree.build(tree, eta=1.5)
+    scale = assembler.reference_entry_scale()
+    nb = assembler.basis_per_element
+    errors = []
+    for block in partition.far[:6]:  # bound the runtime per example
+        rows_e = tree.elements_of(block.row)
+        cols_e = tree.elements_of(block.col)
+        exact = np.concatenate(
+            [
+                assembler.pair_block_row(int(t), cols_e).reshape(nb, -1)
+                for t in rows_e
+            ]
+        )
+        row = lambda i: exact[i].copy()
+        col = lambda j: exact[:, j].copy()
+        factors = aca_lowrank(
+            row,
+            col,
+            rows_e.size * nb,
+            cols_e.size * nb,
+            absolute_tolerance=tolerance * scale,
+            max_rank=64,
+        )
+        assert factors.converged
+        errors.append(float(np.abs(factors.matrix() - exact).max()) / scale)
+    return errors
+
+
+class TestAcaOnMeshes:
+    @given(
+        nx=st.integers(min_value=6, max_value=10),
+        ny=st.integers(min_value=6, max_value=10),
+        spacing=st.floats(min_value=2.0, max_value=8.0),
+        seed_tol=st.sampled_from([1.0e-6, 1.0e-8]),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_property_flat_mesh_block_error_below_bound(self, nx, ny, spacing, seed_tol):
+        """ACA block error <= the requested absolute bound on random flat meshes."""
+        mesh, soil = _mesh_case(flat=True, nx=nx, ny=ny, spacing=spacing, depth=0.8, rods=False)
+        errors = _block_error_vs_exact(mesh, soil, tolerance=seed_tol, leaf_size=8)
+        assert errors, "expected admissible far-field blocks on the mesh"
+        # The stopping criterion estimates the residual max-norm from the last
+        # update; a small factor absorbs the heuristic slack.
+        assert max(errors) <= 4.0 * seed_tol
+
+    @given(
+        nx=st.integers(min_value=5, max_value=8),
+        spacing=st.floats(min_value=3.0, max_value=8.0),
+        depth=st.floats(min_value=0.5, max_value=0.9),
+    )
+    @settings(max_examples=4, deadline=None)
+    def test_property_rodded_mesh_block_error_below_bound(self, nx, spacing, depth):
+        """Same contract on rodded (two-layer, non-flat) meshes."""
+        mesh, soil = _mesh_case(flat=False, nx=nx, ny=nx, spacing=spacing, depth=depth, rods=True)
+        tolerance = 1.0e-8
+        errors = _block_error_vs_exact(mesh, soil, tolerance=tolerance, leaf_size=8)
+        assert errors, "expected admissible far-field blocks on the mesh"
+        assert max(errors) <= 4.0 * tolerance

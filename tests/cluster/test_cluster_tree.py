@@ -1,0 +1,170 @@
+"""Tests of the cluster tree and the block cluster partition invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.blocks import BlockClusterTree, is_admissible
+from repro.cluster.tree import ClusterTree, box_distance
+from repro.exceptions import ClusterError
+
+
+def _random_segments(n: int, seed: int, flat: bool = True):
+    rng = np.random.default_rng(seed)
+    mid = rng.uniform(0.0, 100.0, size=(n, 3))
+    direction = rng.normal(size=(n, 3))
+    if flat:
+        mid[:, 2] = -0.8
+        direction[:, 2] = 0.0
+    norms = np.linalg.norm(direction, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    direction = direction / norms
+    half = rng.uniform(0.5, 2.0, size=(n, 1))
+    return mid - half * direction, mid + half * direction
+
+
+class TestClusterTree:
+    def test_order_is_a_permutation(self):
+        p0, p1 = _random_segments(200, seed=1)
+        tree = ClusterTree.build(p0, p1, leaf_size=16)
+        assert np.array_equal(np.sort(tree.order), np.arange(200))
+
+    def test_leaves_partition_all_elements(self):
+        p0, p1 = _random_segments(150, seed=2, flat=False)
+        tree = ClusterTree.build(p0, p1, leaf_size=16)
+        covered = np.concatenate([tree.elements_of(leaf) for leaf in tree.leaves()])
+        assert np.array_equal(np.sort(covered), np.arange(150))
+        # Leaves own disjoint contiguous ranges covering 0..M.
+        ranges = sorted((leaf.start, leaf.stop) for leaf in tree.leaves())
+        assert ranges[0][0] == 0 and ranges[-1][1] == 150
+        for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+            assert stop == start
+
+    def test_children_partition_their_parent(self):
+        p0, p1 = _random_segments(120, seed=3)
+        tree = ClusterTree.build(p0, p1, leaf_size=10)
+        for cluster in tree.clusters:
+            if cluster.is_leaf:
+                continue
+            child_ranges = sorted(
+                (tree.clusters[c].start, tree.clusters[c].stop) for c in cluster.children
+            )
+            assert child_ranges[0][0] == cluster.start
+            assert child_ranges[-1][1] == cluster.stop
+            for (_, stop), (start, _) in zip(child_ranges, child_ranges[1:]):
+                assert stop == start
+
+    def test_boxes_contain_member_segments(self):
+        p0, p1 = _random_segments(80, seed=4, flat=False)
+        tree = ClusterTree.build(p0, p1, leaf_size=8)
+        for cluster in tree.clusters:
+            members = tree.elements_of(cluster)
+            points = np.concatenate((p0[members], p1[members]))
+            assert np.all(points >= cluster.box_min - 1e-12)
+            assert np.all(points <= cluster.box_max + 1e-12)
+
+    def test_leaf_size_respected(self):
+        p0, p1 = _random_segments(300, seed=5)
+        tree = ClusterTree.build(p0, p1, leaf_size=20)
+        assert all(leaf.size <= 20 for leaf in tree.leaves())
+        # Median splits keep leaves within a factor two of the cap.
+        assert all(leaf.size >= 5 for leaf in tree.leaves())
+
+    def test_deterministic_rebuild(self):
+        p0, p1 = _random_segments(90, seed=6)
+        a = ClusterTree.build(p0, p1, leaf_size=8)
+        b = ClusterTree.build(p0, p1, leaf_size=8)
+        assert np.array_equal(a.order, b.order)
+        assert a.n_clusters == b.n_clusters
+
+    def test_coincident_centroids_stay_a_leaf(self):
+        p0 = np.zeros((40, 3))
+        p1 = np.zeros((40, 3))
+        p1[:, 0] = 1.0  # every segment identical
+        tree = ClusterTree.build(p0, p1, leaf_size=4)
+        assert tree.root.is_leaf
+        assert tree.root.size == 40
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ClusterError):
+            ClusterTree.build(np.zeros((0, 3)), np.zeros((0, 3)))
+        with pytest.raises(ClusterError):
+            ClusterTree.build(np.zeros((4, 2)), np.zeros((4, 2)))
+        with pytest.raises(ClusterError):
+            ClusterTree.build(np.zeros((4, 3)), np.zeros((4, 3)), leaf_size=0)
+
+    def test_box_distance_overlap_and_gap(self):
+        assert box_distance(
+            np.zeros(3), np.ones(3), 0.5 * np.ones(3), 2.0 * np.ones(3)
+        ) == pytest.approx(0.0)
+        gap = box_distance(np.zeros(3), np.ones(3), np.array([2.0, 0.0, 0.0]), np.array([3.0, 1.0, 1.0]))
+        assert gap == pytest.approx(1.0)
+
+
+class TestBlockClusterTree:
+    def test_pair_coverage_exactly_once(self, small_mesh):
+        p0, p1 = small_mesh.element_endpoints()
+        tree = ClusterTree.build(p0, p1, leaf_size=4)
+        partition = BlockClusterTree.build(tree, eta=1.5)
+        counts = partition.coverage_counts()
+        assert np.all(counts == 1)
+
+    def test_admissibility_is_symmetric(self):
+        p0, p1 = _random_segments(160, seed=7)
+        tree = ClusterTree.build(p0, p1, leaf_size=8)
+        for eta in (0.8, 1.5, 2.5):
+            for a in tree.clusters[::5]:
+                for b in tree.clusters[::7]:
+                    assert is_admissible(a, b, eta) == is_admissible(b, a, eta)
+
+    def test_far_blocks_satisfy_admissibility(self):
+        p0, p1 = _random_segments(200, seed=8)
+        tree = ClusterTree.build(p0, p1, leaf_size=8)
+        partition = BlockClusterTree.build(tree, eta=1.5)
+        assert partition.far, "expected at least one admissible block on a spread cloud"
+        for block in partition.far:
+            row, col = tree.clusters[block.row], tree.clusters[block.col]
+            distance = row.distance_to(col)
+            assert distance > 0.0
+            assert min(row.diameter, col.diameter) <= 1.5 * distance
+
+    def test_near_blocks_pair_leaves(self):
+        p0, p1 = _random_segments(200, seed=9)
+        tree = ClusterTree.build(p0, p1, leaf_size=8)
+        partition = BlockClusterTree.build(tree, eta=1.5)
+        for block in partition.near:
+            assert tree.clusters[block.row].is_leaf
+            assert tree.clusters[block.col].is_leaf
+
+    def test_rejects_bad_eta(self):
+        p0, p1 = _random_segments(20, seed=10)
+        tree = ClusterTree.build(p0, p1, leaf_size=8)
+        with pytest.raises(ClusterError):
+            BlockClusterTree.build(tree, eta=0.0)
+
+    def test_summary_counts_consistent(self):
+        p0, p1 = _random_segments(100, seed=11)
+        tree = ClusterTree.build(p0, p1, leaf_size=8)
+        partition = BlockClusterTree.build(tree, eta=1.5)
+        stats = partition.summary()
+        assert stats["n_blocks"] == stats["n_near_blocks"] + stats["n_far_blocks"]
+        assert stats["n_blocks"] == len(partition.blocks)
+
+    @given(
+        n=st.integers(min_value=2, max_value=60),
+        seed=st.integers(min_value=0, max_value=1000),
+        leaf=st.integers(min_value=1, max_value=16),
+        flat=st.booleans(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_partition_complete_on_random_clouds(self, n, seed, leaf, flat):
+        """Every ordered element pair is covered exactly once, whatever the
+        cloud, leaf size or dimensionality."""
+        p0, p1 = _random_segments(n, seed=seed, flat=flat)
+        tree = ClusterTree.build(p0, p1, leaf_size=leaf)
+        partition = BlockClusterTree.build(tree, eta=1.5)
+        assert np.all(partition.coverage_counts() == 1)
+        assert np.array_equal(np.sort(tree.order), np.arange(n))

@@ -150,7 +150,11 @@ class TestParallelSerialEquivalence:
             gpr=10_000.0,
             parallel=ParallelOptions(n_workers=4, backend=Backend.PROCESS),
         ).run()
+        # Re-baselined with the adaptive assembly default: the engine's
+        # decisions are grouping-independent, but the BLAS term reductions
+        # block differently for different batch shapes, so backends agree to
+        # ~1e-10 instead of bit-for-bit.
         assert parallel.equivalent_resistance == pytest.approx(
-            serial.equivalent_resistance, rel=1e-12
+            serial.equivalent_resistance, rel=1e-10
         )
-        assert np.allclose(parallel.dof_values, serial.dof_values, rtol=1e-10)
+        assert np.allclose(parallel.dof_values, serial.dof_values, rtol=1e-9)

@@ -128,9 +128,30 @@ class TestConjugateGradient:
         with pytest.raises(SolverError):
             conjugate_gradient(np.eye(3), np.ones(3), tolerance=0.0)
         with pytest.raises(SolverError):
-            conjugate_gradient(np.eye(3), np.ones(3), max_iterations=0)
+            conjugate_gradient(np.eye(3), np.ones(3), max_iterations=-1)
         with pytest.raises(SolverError):
             conjugate_gradient(np.zeros((2, 3)), np.ones(2))
+
+    def test_zero_iterations_returns_unconverged_initial_guess(self):
+        """max_iterations=0 probes the setup: zero solution, residual 1."""
+        result = conjugate_gradient(np.eye(3), np.ones(3), max_iterations=0)
+        assert not result.converged
+        assert result.iterations == 0
+        assert np.allclose(result.solution, 0.0)
+        assert result.residual == pytest.approx(1.0)
+        with pytest.raises(ConvergenceError):
+            conjugate_gradient(np.eye(3), np.ones(3), max_iterations=0, raise_on_failure=True)
+
+    def test_zero_iterations_with_zero_rhs_converges(self):
+        result = conjugate_gradient(np.eye(4), np.zeros(4), max_iterations=0)
+        assert result.converged
+        assert result.iterations == 0
+
+    def test_empty_system_is_trivially_converged(self):
+        result = conjugate_gradient(np.zeros((0, 0)), np.zeros(0))
+        assert result.converged
+        assert result.solution.shape == (0,)
+        assert result.iterations == 0
 
     @given(n=st.integers(min_value=2, max_value=25), seed=st.integers(min_value=0, max_value=100))
     @settings(max_examples=20, deadline=None)
@@ -141,6 +162,86 @@ class TestConjugateGradient:
         result = conjugate_gradient(a, a @ x_true, tolerance=1e-12)
         assert result.converged
         assert np.allclose(result.solution, x_true, rtol=1e-5, atol=1e-8)
+
+
+class _DenseAsOperator:
+    """Minimal matvec operator wrapping a dense SPD matrix (test double)."""
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        self._matrix = matrix
+        self.shape = matrix.shape
+
+    def matvec(self, vector: np.ndarray) -> np.ndarray:
+        return self._matrix @ vector
+
+    def diagonal(self) -> np.ndarray:
+        return np.diag(self._matrix)
+
+
+class TestMatrixFreeOperators:
+    def test_cg_accepts_matvec_operator(self):
+        a = random_spd(30, seed=11)
+        b = np.linspace(1.0, 2.0, 30)
+        dense = conjugate_gradient(a, b, tolerance=1e-12)
+        operator = conjugate_gradient(_DenseAsOperator(a), b, tolerance=1e-12)
+        assert operator.converged
+        assert np.allclose(operator.solution, dense.solution, rtol=1e-10)
+
+    def test_jacobi_preconditioner_from_operator_diagonal(self):
+        a = random_spd(25, seed=12, condition=1e5)
+        b = np.ones(25)
+        result = conjugate_gradient(
+            _DenseAsOperator(a),
+            b,
+            preconditioner=jacobi_preconditioner(_DenseAsOperator(a)),
+            tolerance=1e-10,
+        )
+        assert result.converged
+        assert result.method == "pcg"
+
+    def test_solve_system_routes_operator_to_iterative(self):
+        a = random_spd(20, seed=13)
+        b = np.ones(20)
+        reference = solve_direct(a, b)
+        result = solve_system(_DenseAsOperator(a), b, method="pcg", tolerance=1e-12)
+        assert np.allclose(result.solution, reference.solution, rtol=1e-6)
+
+    def test_solve_system_rejects_operator_for_direct_methods(self):
+        a = random_spd(10, seed=14)
+        with pytest.raises(SolverError):
+            solve_system(_DenseAsOperator(a), np.ones(10), method="cholesky")
+
+    def test_jacobi_rejects_matvec_only_operator_clearly(self):
+        class MatvecOnly:
+            shape = (3, 3)
+
+            def matvec(self, vector):
+                return vector
+
+        with pytest.raises(SolverError):
+            jacobi_preconditioner(MatvecOnly())
+
+    def test_cg_rejects_invalid_operators(self):
+        class NoShape:
+            pass
+
+        class BadShape:
+            shape = (3, 4)
+
+        with pytest.raises(SolverError):
+            conjugate_gradient(NoShape(), np.ones(3))
+        with pytest.raises(SolverError):
+            conjugate_gradient(BadShape(), np.ones(3))
+
+    def test_cg_rejects_operator_returning_wrong_shape(self):
+        class WrongResult:
+            shape = (3, 3)
+
+            def matvec(self, vector):
+                return np.ones(4)
+
+        with pytest.raises(SolverError):
+            conjugate_gradient(WrongResult(), np.ones(3))
 
 
 class TestPreconditioners:
