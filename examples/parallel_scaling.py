@@ -8,12 +8,16 @@ generation, then:
   local core count) with the ``Dynamic,1`` schedule — the paper's best;
 * replays the measured costs in the shared-memory machine simulator to produce
   the full 1–64 processor speed-up curves of Fig. 6.1 (outer vs inner loop) and
-  the schedule comparison of Table 6.2.
+  the schedule comparison of Table 6.2;
+* optionally (``--sharded``) measures the sharded hierarchical block backend
+  (``HierarchicalControl(workers=...)``) against the serial hierarchical
+  engine — the block-level counterpart of the column study.
 
 Run with::
 
     python examples/parallel_scaling.py             # full Barberá grid
     python examples/parallel_scaling.py --coarse    # quick demonstration
+    python examples/parallel_scaling.py --coarse --sharded
 """
 
 from __future__ import annotations
@@ -36,6 +40,11 @@ def main() -> None:
     parser.add_argument("--coarse", action="store_true", help="use the coarse Barberá grid")
     parser.add_argument(
         "--case", default="barbera/two_layer", help="case to profile (barbera/... or balaidos/...)"
+    )
+    parser.add_argument(
+        "--sharded",
+        action="store_true",
+        help="also measure the sharded hierarchical block backend (workers 1 and 2)",
     )
     args = parser.parse_args()
 
@@ -101,6 +110,21 @@ def main() -> None:
         "the ideal speed-up, the default static schedule suffers from the linearly "
         "decreasing column sizes, and large chunks starve processors."
     )
+
+    if args.sharded:
+        from repro.experiments.scaling import resolve_case
+        from repro.geometry.discretize import discretize_grid
+        from repro.parallel.speedup import measure_sharded_speedup, sharded_speedup_table
+
+        print("\nSharded hierarchical block backend (serial hierarchical reference):")
+        grid, soil, gpr = resolve_case(args.case, coarse=args.coarse)
+        mesh = discretize_grid(grid, soil=soil)
+        sharded_rows = measure_sharded_speedup(mesh, soil, worker_counts=(1, 2), gpr=gpr)
+        print(format_table(*sharded_speedup_table(sharded_rows)))
+        print(
+            "Solutions are bit-identical across worker counts (canonical matvec "
+            "segments, pairwise tree-sum reduction in fixed segment order)."
+        )
 
 
 if __name__ == "__main__":

@@ -29,6 +29,16 @@ BENCH_QUICK=1 python -m pytest -q -p no:randomly \
 
 echo "== hierarchical scaling benchmark (quick mode) =="
 BENCH_QUICK=1 python -m pytest -q -p no:randomly \
-  benchmarks/bench_hierarchical_scaling.py
+  benchmarks/bench_hierarchical_scaling.py::test_hierarchical_scaling
+
+echo "== sharded hierarchical benchmark (quick mode, workers 1+2) =="
+# Asserts the sharded/serial solution-agreement check (1e-9 vs the serial
+# engine with identical PCG iterate counts, and 1e-12 — bitwise in practice —
+# across the two worker counts) alongside the flagged-oversubscription rows.
+BENCH_QUICK=1 python -m pytest -q -p no:randomly \
+  benchmarks/bench_hierarchical_scaling.py::test_sharded_hierarchical
+
+echo "== parallel + cluster suites (2-worker process pools) =="
+python -m pytest -q -p no:randomly tests/parallel tests/cluster
 
 echo "smoke: OK (zero flaky reruns)"

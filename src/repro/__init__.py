@@ -75,7 +75,11 @@ from repro.parallel import (
     LoopLevel,
     MachineModel,
     ScheduleSimulator,
+    ShardedHierarchicalOperator,
 )
+
+# Hierarchical (H-matrix) engine
+from repro.cluster import HierarchicalControl, HierarchicalOperator
 
 # CAD layer
 from repro.cad import GroundingProject
@@ -130,6 +134,10 @@ __all__ = [
     "LoopLevel",
     "MachineModel",
     "ScheduleSimulator",
+    "ShardedHierarchicalOperator",
+    # hierarchical engine
+    "HierarchicalControl",
+    "HierarchicalOperator",
     # cad
     "GroundingProject",
     # design

@@ -82,8 +82,10 @@ class GroundingAnalysis:
         ``True`` for the defaults) switching the matrix generation to the
         matrix-free hierarchical far-field engine — the scalable path for
         grids of >= 10^4 elements.  Requires an iterative solver (``"pcg"``
-        or ``"cg"``) and runs the block assembly sequentially (``parallel``
-        must stay ``None``).
+        or ``"cg"``).  ``HierarchicalControl(workers=...)`` shards the block
+        assembly (and the matvec) across worker processes through
+        :mod:`repro.parallel.block_backend`; the column-level ``parallel``
+        options do not apply and must stay ``None``.
     """
 
     grid: GroundingGrid
@@ -108,9 +110,9 @@ class GroundingAnalysis:
         if self.hierarchical is not None and self.hierarchical is not False:
             if self.parallel is not None:
                 raise ReproError(
-                    "the hierarchical engine runs its block assembly sequentially; "
-                    "pass parallel=None (the cost model partitions cluster-pair "
-                    "work for future distributed backends)"
+                    "the hierarchical engine decomposes work into cluster blocks, "
+                    "not columns; pass parallel=None and use "
+                    "HierarchicalControl(workers=...) for the sharded block backend"
                 )
             if self.solver not in ("pcg", "cg"):
                 raise ReproError(

@@ -19,12 +19,38 @@ read-only views and must not be mutated by callers.
 from __future__ import annotations
 
 import hashlib
+import os
 import threading
+import weakref
 from collections import OrderedDict
 
 import numpy as np
 
 __all__ = ["GeometryCache", "default_geometry_cache", "array_fingerprint"]
+
+#: Live cache instances, tracked so locks can be re-armed after a fork.
+_instances: "weakref.WeakSet[GeometryCache]" = weakref.WeakSet()
+
+
+def _reset_locks_after_fork() -> None:
+    """Re-arm every cache lock in a freshly forked child.
+
+    The process backends fork workers (``multiprocessing`` ``fork`` start
+    method), and ``fork()`` copies mutex state: a lock another parent thread
+    happened to hold at fork time stays locked forever in the child — whose
+    holder does not exist there — deadlocking the first cache access.  Each
+    child therefore gets fresh, open locks; the cached entries themselves are
+    plain copy-on-write data and stay valid (and warm) across the fork, while
+    post-fork mutations remain private to each process.
+    """
+    global _default_lock
+    _default_lock = threading.Lock()
+    for cache in list(_instances):
+        cache._lock = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX in practice
+    os.register_at_fork(after_in_child=_reset_locks_after_fork)
 
 #: Default byte budget of the process-wide cache (64 MiB keeps the working set
 #: of a few paper-size meshes without competing with the assembly itself).
@@ -51,6 +77,7 @@ class GeometryCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        _instances.add(self)
 
     def get(self, key: tuple) -> tuple[np.ndarray, ...] | None:
         """The cached arrays of ``key`` (marking it most recently used)."""
@@ -88,6 +115,11 @@ class GeometryCache:
                 _, evicted = self._entries.popitem(last=False)
                 self._bytes -= sum(a.nbytes for a in evicted)
         return stored
+
+    def keys(self) -> list[tuple]:
+        """Cached keys in eviction order, oldest first (deterministic)."""
+        with self._lock:
+            return list(self._entries)
 
     def clear(self) -> None:
         """Drop every entry (the statistics survive)."""

@@ -452,6 +452,11 @@ class ColumnAssembler:
         radius = float(self._radii[source_index])
         # The key identifies every scalar of the evaluation (radius included),
         # so all sources sharing a plan can be evaluated in one batch group.
+        # Evaluation uses the *rounded* key scalars, never an individual
+        # source's raw values: sources agreeing only to the rounding
+        # tolerance would otherwise make the result depend on which of them
+        # a batch presents first — batch composition must not leak into the
+        # entries (the determinism contract of the sharded block backend).
         key = (
             source_layer,
             field_layer,
@@ -462,16 +467,22 @@ class ColumnAssembler:
         )
         plan = self._plans.get(key)
         if plan is None:
+            # The plan is built from the *key's* rounded scalars as well:
+            # sources agreeing only to the rounding tolerance must produce
+            # the identical plan (offsets, keep/drop decisions) no matter
+            # which of them registers it first, or the registration order —
+            # which differs between shard workers — would leak into entries.
+            key_length, key_z0, key_z1 = key[2], key[3], key[4]
             series = self.kernel.image_series(source_layer, field_layer)
             flat_z = self._layer_flat_z[field_layer]
             merge_z = None
-            if flat_z is not None and self._horizontal[source_index]:
-                merge_z = (z0, flat_z)
+            if flat_z is not None and key_z0 == key_z1:
+                merge_z = (key_z0, flat_z)
             plan = TruncationPlan.build(
                 series,
                 self.adaptive,
-                source_length=length,
-                source_z_interval=(min(z0, z1), max(z0, z1)),
+                source_length=key_length,
+                source_z_interval=(min(key_z0, key_z1), max(key_z0, key_z1)),
                 target_z_interval=self._layer_z_interval[field_layer],
                 target_length_max=self._layer_max_length[field_layer],
                 normalization=self.kernel.normalization(source_layer),
@@ -481,6 +492,20 @@ class ColumnAssembler:
             )
             self._plans[key] = plan
         return plan
+
+    def _plan_eval_scalars(self, source_index: int) -> tuple[float, float, float, float]:
+        """Canonical evaluation scalars ``(z0, z slope, length, radius)``.
+
+        Derived from the source's values at the *plan-key rounding* (see
+        :meth:`_plan_for`): every source sharing a plan yields the identical
+        tuple, so a batch group can be evaluated with one scalar set no
+        matter which of its sources registered the plan.
+        """
+        length = round(float(self._lengths[source_index]), 12)
+        z0 = round(float(self._p0[source_index, 2]), 12)
+        z1 = round(float(self._p1[source_index, 2]), 12)
+        radius = round(float(self._radii[source_index]), 12)
+        return (z0, (z1 - z0) / length, length, radius)
 
     def _inplane_geometry_rows(
         self, source_index: int, rows: np.ndarray
@@ -535,9 +560,11 @@ class ColumnAssembler:
         evaluated in a handful of large vectorised passes — the per-column
         Python overhead of the naive loop dominates otherwise.  Every
         decision (term drops, single-precision eligibility, midpoint-tail
-        eligibility, image merging) is a pure function of the individual
-        (source element, target element) pair, so the result is independent
-        of how columns are grouped into batches.
+        eligibility, image merging, the plan's canonical source scalars) is a
+        pure function of the individual (source element, target element)
+        pair, so the evaluated terms are independent of how columns are
+        grouped into batches; only BLAS reduction round-off differs between
+        batch compositions.
         """
         n_gauss = self.n_gauss
         sizes = np.array([t.size for t in column_targets], dtype=int)
@@ -549,8 +576,9 @@ class ColumnAssembler:
 
         # Pair group ids: one per (source plan, field layer, separation bin);
         # group id -1 marks short-series pairs handled by the exact engine.
-        plan_keys: dict[tuple, int] = {}
+        plan_keys: dict[int, int] = {}
         plans: list[TruncationPlan] = []
+        plan_scalars: list[tuple[float, float, float, float]] = []
         group_of_pair = np.empty(n_pairs, dtype=int)
         n_bins = len(self.adaptive.bin_edges) + 1
         exact_positions: list[tuple[int, np.ndarray, np.ndarray]] = []
@@ -576,6 +604,7 @@ class ColumnAssembler:
                     plan_index = len(plans)
                     plan_keys[key] = plan_index
                     plans.append(plan)
+                    plan_scalars.append(self._plan_eval_scalars(source))
                 group_row[positions] = plan_index * n_bins + plan.bin_of(
                     separation[positions]
                 )
@@ -624,15 +653,21 @@ class ColumnAssembler:
                 group = int(group_sorted[int(starts[g])])
                 plan = plans[group // n_bins]
                 bin_plan = plan.bins[group % n_bins]
-                source = int(pair_source[pairs[0]])
+                # All sources of the group share the plan-key-rounded source
+                # scalars; evaluating with those canonical values — instead of
+                # whichever source the batch presents first — keeps every
+                # pair's entry independent of the batch composition.
+                source_z0, source_slope, source_length, source_radius = plan_scalars[
+                    group // n_bins
+                ]
                 s0, s1 = adaptive_segment_sums(
                     p_axis_pairs[span].ravel(),
                     q_norm_pairs[span].ravel(),
                     x_z[pair_target[pairs]].ravel(),
-                    float(self._p0[source, 2]),
-                    float(self._z_slope[source]),
-                    float(self._lengths[source]),
-                    float(self._radii[source]),
+                    source_z0,
+                    source_slope,
+                    source_length,
+                    source_radius,
                     plan.weights,
                     plan.signs,
                     plan.offsets,
@@ -672,9 +707,12 @@ class ColumnAssembler:
         needs: every source couples with its own target set (its near-field
         partners).  With the adaptive engine active, all (source, target)
         pairs of the batch are flattened into one vectorised pass — the same
-        machinery (and therefore bit-identical results) as the dense assembly
-        columns.  Returns one block array of shape ``(len(targets), nb, nb)``
-        per source, in input order.
+        machinery as the dense assembly columns, so every evaluation
+        *decision* is identical; values agree across batch compositions to
+        BLAS reduction round-off (callers needing bit-exact reproducibility
+        must fix the batch composition, as the per-block assembly of
+        :mod:`repro.cluster.block_assembly` does).  Returns one block array
+        of shape ``(len(targets), nb, nb)`` per source, in input order.
         """
         sources = np.asarray(source_indices, dtype=int).ravel()
         if sources.size != len(target_lists):

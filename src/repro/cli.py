@@ -6,12 +6,15 @@ Four sub-commands cover the common workflows::
     python -m repro barbera  --case two_layer
     python -m repro balaidos --model C
     python -m repro scaling  --case barbera/two_layer --workers 1 2 4 8
+    python -m repro scaling  --case barbera/two_layer --workers 1 2 --hierarchical
 
 ``analyze`` reads a grid saved with :func:`repro.geometry.io.save_grid`,
 builds a uniform or two-layer soil from the resistivity options, runs the BEM
 analysis (optionally in parallel) and prints the design report.  The
 ``barbera`` / ``balaidos`` commands run the paper's case studies, and
-``scaling`` reproduces the parallel study on the local machine.
+``scaling`` reproduces the parallel study on the local machine —
+``--hierarchical`` switches it to the sharded hierarchical block backend
+(assemble+solve vs the serial hierarchical engine).
 """
 
 from __future__ import annotations
@@ -68,6 +71,11 @@ def build_parser() -> argparse.ArgumentParser:
     scaling.add_argument("--schedule", default="Dynamic,1")
     scaling.add_argument(
         "--simulate-up-to", type=int, default=64, help="largest simulated processor count"
+    )
+    scaling.add_argument(
+        "--hierarchical",
+        action="store_true",
+        help="measure the sharded hierarchical block backend instead of the column loop",
     )
     return parser
 
@@ -149,6 +157,20 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
         measure_column_costs,
         measure_real_speedups,
     )
+
+    if args.hierarchical:
+        from repro.experiments.scaling import resolve_case
+        from repro.geometry.discretize import discretize_grid
+        from repro.parallel.speedup import measure_sharded_speedup, sharded_speedup_table
+
+        grid, soil, gpr = resolve_case(args.case, coarse=args.coarse)
+        mesh = discretize_grid(grid, soil=soil)
+        rows = measure_sharded_speedup(
+            mesh, soil, worker_counts=[w for w in args.workers if w >= 1], gpr=gpr
+        )
+        print("sharded hierarchical block backend (serial hierarchical reference):")
+        print(format_table(*sharded_speedup_table(rows)))
+        return 0
 
     column_costs, total = measure_column_costs(args.case, coarse=args.coarse)
     print(f"sequential matrix generation: {total:.2f} s over {column_costs.size} columns")

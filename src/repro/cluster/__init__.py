@@ -20,6 +20,11 @@ HierarchicalControl()))`` or ``GroundingAnalysis(..., hierarchical=...)``.
 """
 
 from repro.cluster.aca import LowRankFactors, aca_lowrank
+from repro.cluster.block_assembly import (
+    compress_far_block,
+    near_block_triplets,
+    upper_triangle_scatter,
+)
 from repro.cluster.blocks import Block, BlockClusterTree, is_admissible
 from repro.cluster.operator import (
     HierarchicalControl,
@@ -31,6 +36,9 @@ from repro.cluster.tree import Cluster, ClusterTree, box_distance
 __all__ = [
     "Block",
     "BlockClusterTree",
+    "compress_far_block",
+    "near_block_triplets",
+    "upper_triangle_scatter",
     "Cluster",
     "ClusterTree",
     "HierarchicalControl",

@@ -19,12 +19,16 @@ Storage and matrix-vector cost are ``O(M log M)`` instead of the dense
 the dense engine to the >=10^4-element grids targeted by the scaling
 benchmark (``benchmarks/bench_hierarchical_scaling.py``).
 
-Error contract: near-field entries equal the dense-engine entries (the same
-kernels evaluate them); far-field blocks are sampled with the dense engine's
-min-index source orientation (:meth:`ColumnAssembler.pair_block_row`) and
-truncated at ``tolerance * scale / safety`` with ``scale`` the mesh's
-reference entry magnitude — the same contract as the adaptive evaluation
-layer, so the hierarchical operator matches the dense matrix entrywise to
+Error contract: near-field entries are evaluated by the dense engine's
+kernels one block at a time (see :mod:`repro.cluster.block_assembly` — the
+canonical per-block batches are the determinism anchor of the sharded block
+backend, and match the dense engine's full-column batches to reduction
+round-off, ~1e-12 of the reference entry scale); far-field blocks are sampled
+with the dense engine's min-index source orientation
+(:meth:`ColumnAssembler.pair_block_row`) and truncated at
+``tolerance * scale / safety`` with ``scale`` the mesh's reference entry
+magnitude — the same contract as the adaptive evaluation layer, so the
+hierarchical operator matches the dense matrix entrywise to
 ``O(tolerance * ||A||_max)``.
 """
 
@@ -41,9 +45,12 @@ from repro.bem.assembly import AssemblyOptions, assemble_rhs
 from repro.bem.elements import DofManager
 from repro.bem.influence import ColumnAssembler
 from repro.bem.system import LinearSystem
-from repro.cluster.aca import aca_lowrank
-from repro.cluster.blocks import BlockClusterTree
-from repro.cluster.tree import ClusterTree
+from repro.cluster.block_assembly import (
+    build_block_profile,
+    compress_far_block,
+    far_factor_entries,
+    near_block_triplets,
+)
 from repro.constants import DEFAULT_GPR
 from repro.exceptions import ClusterError
 from repro.geometry.discretize import Mesh
@@ -76,6 +83,24 @@ class HierarchicalControl:
         Rank cap per far-field block; blocks that hit it (or whose factors
         would store more than half the dense block) fall back to dense
         near-field assembly.
+    workers:
+        ``0`` (default) assembles the blocks serially in-process
+        (:meth:`HierarchicalOperator.build`); any positive count switches to
+        the sharded block backend of :mod:`repro.parallel.block_backend`,
+        which partitions the block work with
+        :func:`repro.parallel.costs.partition_block_work` and assembles each
+        shard in a worker.  Results are bit-identical for every worker count
+        (see the deterministic-reduction contract of the sharded backend).
+    backend:
+        Shard execution backend of the sharded path: ``"process"`` (default,
+        fork-based worker processes), ``"thread"`` or ``"serial"``.
+    matvec_segments:
+        Number of canonical matvec segments of the sharded operator.  Fixed
+        independently of ``workers`` so the pairwise-tree reduction — and
+        therefore every PCG iterate — is bit-identical for any worker count.
+    matvec_workers:
+        Threads fanning out the per-segment matvec partials; ``0`` (default)
+        follows ``workers``.  Results do not depend on it.
     """
 
     leaf_size: int = 64
@@ -83,6 +108,10 @@ class HierarchicalControl:
     tolerance: float = 1.0e-8
     safety: float = 4.0
     max_rank: int = 96
+    workers: int = 0
+    backend: str = "process"
+    matvec_segments: int = 8
+    matvec_workers: int = 0
 
     def __post_init__(self) -> None:
         if self.leaf_size < 1:
@@ -97,50 +126,20 @@ class HierarchicalControl:
             raise ClusterError(f"safety factor must be >= 1, got {self.safety!r}")
         if self.max_rank < 1:
             raise ClusterError(f"max_rank must be at least 1, got {self.max_rank!r}")
-
-
-#: Upper bound on the (source, target) pairs evaluated per near-field
-#: mega-batch, bounding the transient block arrays to a few megabytes.
-_NEAR_BATCH_PAIRS: int = 200_000
-
-
-def _near_pair_columns(
-    partition: BlockClusterTree, fallback_blocks: list[tuple[np.ndarray, np.ndarray]]
-) -> tuple[np.ndarray, np.ndarray]:
-    """Near-field pairs as dense-engine columns: ``(sources, flat targets)``.
-
-    Every unordered element pair of the inadmissible blocks (plus the
-    far-field blocks that fell back to dense) is oriented with the
-    lower original index as the source — exactly the dense assembly's
-    convention, so the near entries reproduce the dense matrix bit for bit.
-    Returns the sorted source of each pair and the matching target, grouped
-    by source (sources ascending, targets ascending within a source).
-    """
-    tree = partition.tree
-    a_parts: list[np.ndarray] = []
-    b_parts: list[np.ndarray] = []
-
-    def _add(rows_e: np.ndarray, cols_e: np.ndarray, diagonal: bool) -> None:
-        if diagonal:
-            i, j = np.triu_indices(rows_e.size)
-            first, second = rows_e[i], rows_e[j]
-        else:
-            first = np.repeat(rows_e, cols_e.size)
-            second = np.tile(cols_e, rows_e.size)
-        a_parts.append(np.minimum(first, second))
-        b_parts.append(np.maximum(first, second))
-
-    for block in partition.near:
-        _add(tree.elements_of(block.row), tree.elements_of(block.col), block.is_diagonal)
-    for rows_e, cols_e in fallback_blocks:
-        _add(rows_e, cols_e, diagonal=False)
-
-    if not a_parts:
-        return np.zeros(0, dtype=int), np.zeros(0, dtype=int)
-    sources = np.concatenate(a_parts)
-    targets = np.concatenate(b_parts)
-    order = np.lexsort((targets, sources))
-    return sources[order], targets[order]
+        if self.workers < 0:
+            raise ClusterError(f"workers must be >= 0, got {self.workers!r}")
+        if self.backend not in ("process", "thread", "serial"):
+            raise ClusterError(
+                f"backend must be 'process', 'thread' or 'serial', got {self.backend!r}"
+            )
+        if self.matvec_segments < 1:
+            raise ClusterError(
+                f"matvec_segments must be at least 1, got {self.matvec_segments!r}"
+            )
+        if self.matvec_workers < 0:
+            raise ClusterError(
+                f"matvec_workers must be >= 0, got {self.matvec_workers!r}"
+            )
 
 
 class HierarchicalOperator:
@@ -179,34 +178,13 @@ class HierarchicalOperator:
         order (see :func:`repro.parallel.costs.hierarchical_block_costs`), the
         profile a parallel runner would partition.
         """
-        # Local import: repro.parallel imports repro.bem at package load time.
-        from repro.parallel.costs import hierarchical_block_costs
-
         control = control or HierarchicalControl()
         start = time.perf_counter()
-        tree = ClusterTree.build(assembler._p0, assembler._p1, control.leaf_size)
-        partition = BlockClusterTree.build(tree, control.eta)
-        scale = assembler.reference_entry_scale()
-        stopping = control.tolerance * scale / control.safety
-
-        dof_matrix = assembler.dof_manager.element_dof_matrix()
-        n_dofs = assembler.dof_manager.n_dofs
-        nb = assembler.basis_per_element
-
-        layers = np.unique(assembler.mesh.element_layers())
-        series_length = max(
-            assembler.kernel.series_length(int(b), int(c)) for b in layers for c in layers
-        )
-        shapes = partition.block_shapes()
-        admissible = np.array([b.admissible for b in partition.blocks], dtype=bool)
-        costs = hierarchical_block_costs(
-            shapes[:, 0],
-            shapes[:, 1],
-            admissible,
-            series_length=series_length,
-            n_gauss=assembler.n_gauss,
-            basis_per_element=nb,
-        )
+        profile = build_block_profile(assembler, control)
+        tree, partition = profile.tree, profile.partition
+        scale, stopping = profile.scale, profile.stopping
+        dof_matrix, n_dofs, nb = profile.dof_matrix, profile.n_dofs, profile.nb
+        costs = profile.costs
         block_order = np.lexsort((np.arange(costs.size), -costs))
 
         near_rows: list[np.ndarray] = []
@@ -223,6 +201,9 @@ class HierarchicalOperator:
         fallback_blocks: list[tuple[np.ndarray, np.ndarray]] = []
 
         # --- far field: ACA-compress the admissible blocks (cost order) ---
+        # Per-block sampling and stopping logic live in
+        # :func:`repro.cluster.block_assembly.compress_far_block`, shared with
+        # the sharded block backend so shard factors equal the serial ones.
         far_start = time.perf_counter()
         for block_index in block_order:
             block = partition.blocks[int(block_index)]
@@ -230,146 +211,60 @@ class HierarchicalOperator:
                 continue
             rows_e = tree.elements_of(block.row)
             cols_e = tree.elements_of(block.col)
-
-            # ACA entry sampling.  With the adaptive layer active (the
-            # default), rows and columns are fetched through
-            # :meth:`ColumnAssembler.adaptive_far_column` — one *single-source*
-            # mixed-precision evaluation under the one distance bin selected
-            # by the block separation, so the sampled entries are smooth
-            # across the block.  The fetched element is always the source;
-            # the resulting orientation asymmetry of far pairs is orders of
-            # magnitude below the stopping threshold at admissible
-            # separations.  Without the adaptive layer, the exact
-            # orientation-matched :meth:`pair_block_row` sampler (with the
-            # block-truncated series) is used instead.
-            # Admissibility uses the 3D box distance, but the truncation-plan
-            # machinery is keyed on the *in-plane* pair separation (vertical
-            # gaps are analysed per image term) — pass the horizontal box
-            # distance so rod-bearing meshes keep the entrywise contract.
-            distance = tree.clusters[block.row].inplane_distance_to(
-                tree.clusters[block.col]
-            )
-            row_cache: dict[int, np.ndarray] = {}
-            col_cache: dict[int, np.ndarray] = {}
-            use_adaptive = assembler.adaptive is not None
-            m_rows, m_cols = rows_e.size * nb, cols_e.size * nb
-            # The ACA error inside a block is low-rank (coherent), so a fixed
-            # entrywise threshold would let large high-level blocks contribute
-            # spectral-norm errors growing with their side.  Scaling the
-            # threshold with the geometric-mean side (relative to a leaf
-            # block) equalises every block's Frobenius contribution, keeping
-            # the solution error size-independent; only the handful of big
-            # blocks pay the few extra ranks.
-            block_stopping = stopping / max(
-                1.0, np.sqrt(float(m_rows) * float(m_cols)) / (nb * control.leaf_size)
-            )
-
-            def _fetch(
-                element: int, others: np.ndarray, distance=distance, cutoff=block_stopping
-            ) -> np.ndarray:
-                if use_adaptive:
-                    return assembler.adaptive_far_column(element, others, distance)
-                # (nb, T, nb) -> (T, nb_target, nb_source)
-                return np.transpose(
-                    assembler.pair_block_row(
-                        element, others, min_distance=distance, drop_cutoff=cutoff
-                    ),
-                    (1, 2, 0),
-                )
-
-            def _row(k: int, rows_e=rows_e, cols_e=cols_e, cache=row_cache) -> np.ndarray:
-                t, j = divmod(int(k), nb)
-                fetched = cache.get(t)
-                if fetched is None:
-                    fetched = cache[t] = _fetch(int(rows_e[t]), cols_e)
-                return fetched[:, :, j].ravel()
-
-            def _col(k: int, rows_e=rows_e, cols_e=cols_e, cache=col_cache) -> np.ndarray:
-                s, i = divmod(int(k), nb)
-                fetched = cache.get(s)
-                if fetched is None:
-                    fetched = cache[s] = _fetch(int(cols_e[s]), rows_e)
-                return fetched[:, :, i].ravel()
-
-            # A factorisation only pays off while it stores clearly less than
-            # the dense block (3/5 here: a fallback block is costlier than its
-            # factor bytes suggest, since its pairs move into the near field);
-            # capping the rank there lets hopeless (tiny) blocks abort after a
-            # few sampled rows instead of being fully factorised first.
-            affordable_rank = (3 * m_rows * m_cols) // (5 * (m_rows + m_cols))
-            if affordable_rank < 2:
-                fallback_blocks.append((rows_e, cols_e))
-                continue
-            factors = aca_lowrank(
-                _row, _col, m_rows, m_cols, absolute_tolerance=block_stopping,
-                max_rank=min(control.max_rank, affordable_rank),
-                row_groups=np.repeat(np.arange(rows_e.size), nb),
-                col_groups=np.repeat(np.arange(cols_e.size), nb),
-            )
-            if not factors.converged:
+            factors = compress_far_block(assembler, tree, block, control, stopping)
+            if factors is None:
                 fallback_blocks.append((rows_e, cols_e))
                 continue
             rank = factors.rank
             ranks.append(rank)
             if rank == 0:
                 continue
-            row_dofs = dof_matrix[rows_e].ravel()
-            col_dofs = dof_matrix[cols_e].ravel()
-            term_ids = total_rank + np.arange(rank)
-            u_rows.append(np.repeat(row_dofs, rank))
-            u_cols.append(np.tile(term_ids, m_rows))
-            u_vals.append(factors.u.ravel())
-            v_rows.append(np.repeat(col_dofs, rank))
-            v_cols.append(np.tile(term_ids, m_cols))
-            v_vals.append(factors.v.ravel())
+            ur, uc, uv, vr, vc, vv = far_factor_entries(
+                factors.u,
+                factors.v,
+                dof_matrix[rows_e].ravel(),
+                dof_matrix[cols_e].ravel(),
+                total_rank,
+            )
+            u_rows.append(ur)
+            u_cols.append(uc)
+            u_vals.append(uv)
+            v_rows.append(vr)
+            v_cols.append(vc)
+            v_vals.append(vv)
             total_rank += rank
 
         far_seconds = time.perf_counter() - far_start
 
-        # --- near field: dense-engine columns over the inadmissible pairs ---
+        # --- near field: dense-engine columns, one block at a time ---
+        # Each inadmissible (or fallback) block runs through
+        # :func:`repro.cluster.block_assembly.near_block_triplets` with a
+        # kernel batch consisting of exactly that block's pair columns.  This
+        # is deliberate: per-pair values must be a canonical function of the
+        # block (BLAS reductions block differently for different batch
+        # shapes), so the serial engine and every shard of the sharded
+        # backend produce bit-identical near entries.
         near_start = time.perf_counter()
-        pair_sources, pair_targets = _near_pair_columns(partition, fallback_blocks)
-        unique_sources, first = np.unique(pair_sources, return_index=True)
-        boundaries = np.concatenate((first, [pair_sources.size]))
-        batch_sources: list[int] = []
-        batch_lists: list[np.ndarray] = []
-        batch_pairs = 0
-
-        def _flush_near() -> None:
-            nonlocal batch_pairs
-            if not batch_sources:
-                return
-            blocks = assembler.column_batch_lists(batch_sources, batch_lists)
-            for source, targets_k, values in zip(batch_sources, batch_lists, blocks):
-                source_dofs = dof_matrix[source]  # (nb,)
-                target_dofs = dof_matrix[targets_k]  # (T, nb)
-                weights = np.where(targets_k == source, 0.5, 1.0)  # halve self pairs
-                values = values * weights[:, None, None]  # (T, nb_j, nb_i)
-                rr = np.repeat(target_dofs.ravel(), nb)
-                cc = np.tile(source_dofs, targets_k.size * nb)
-                flat = values.ravel()
-                # Only the upper triangle is stored (the matvec applies
-                # ``N + N^T - diag``): of the dense engine's (value, mirrored
-                # value) scatter pair, keep whichever lands on row <= col —
-                # both when they coincide on the diagonal, exactly
-                # reproducing the dense diagonal accumulation.
-                forward = rr <= cc
-                mirror = cc <= rr
-                near_rows.append(np.concatenate((rr[forward], cc[mirror])))
-                near_cols.append(np.concatenate((cc[forward], rr[mirror])))
-                near_vals.append(np.concatenate((flat[forward], flat[mirror])))
-            batch_sources.clear()
-            batch_lists.clear()
-            batch_pairs = 0
-
-        for k, source in enumerate(unique_sources):
-            targets_k = pair_targets[int(boundaries[k]) : int(boundaries[k + 1])]
-            batch_sources.append(int(source))
-            batch_lists.append(targets_k)
-            batch_pairs += targets_k.size
-            if batch_pairs >= _NEAR_BATCH_PAIRS:
-                _flush_near()
-        _flush_near()
+        near_pairs = 0
+        for block in partition.near:
+            rows_e = tree.elements_of(block.row)
+            cols_e = tree.elements_of(block.col)
+            rr, cc, vv = near_block_triplets(
+                assembler, rows_e, cols_e, block.is_diagonal, dof_matrix
+            )
+            near_rows.append(rr)
+            near_cols.append(cc)
+            near_vals.append(vv)
+            size = rows_e.size
+            near_pairs += size * (size + 1) // 2 if block.is_diagonal else size * cols_e.size
+        for rows_e, cols_e in fallback_blocks:
+            rr, cc, vv = near_block_triplets(
+                assembler, rows_e, cols_e, False, dof_matrix
+            )
+            near_rows.append(rr)
+            near_cols.append(cc)
+            near_vals.append(vv)
+            near_pairs += rows_e.size * cols_e.size
         near_seconds = time.perf_counter() - near_start
 
         def _csr(rows, cols, vals, shape) -> sparse.csr_matrix:
@@ -409,7 +304,7 @@ class HierarchicalOperator:
             "rank_mean": float(rank_array.mean()) if rank_array.size else 0.0,
             "near_nnz": int(near.nnz),
             "block_cost_units_total": float(costs.sum()),
-            "near_pairs": int(pair_sources.size),
+            "near_pairs": int(near_pairs),
             "far_seconds": far_seconds,
             "near_seconds": near_seconds,
             "build_seconds": 0.0,  # filled below
@@ -498,7 +393,15 @@ def assemble_hierarchical_system(
     )
 
     start = time.perf_counter()
-    operator = HierarchicalOperator.build(assembler, control)
+    if control.workers:
+        # Sharded block backend: the block partition of
+        # repro.parallel.costs.partition_block_work is executed in parallel.
+        # Local import: repro.parallel imports repro.bem at package load time.
+        from repro.parallel.block_backend import build_sharded_operator
+
+        operator = build_sharded_operator(assembler, control)
+    else:
+        operator = HierarchicalOperator.build(assembler, control)
     generation_seconds = time.perf_counter() - start
     rhs = assemble_rhs(dof_manager, gpr)
 
@@ -509,7 +412,7 @@ def assemble_hierarchical_system(
         "element_type": options.element_type.value,
         "n_gauss": options.n_gauss,
         "soil_layers": soil.n_layers,
-        "backend": "hierarchical",
+        "backend": "hierarchical-sharded" if control.workers else "hierarchical",
         "hierarchical": dict(operator.stats),
         "adaptive": None
         if options.adaptive is None

@@ -115,6 +115,22 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             examples=("examples/parallel_scaling.py",),
         ),
         ExperimentSpec(
+            id="sharded_hierarchical",
+            title="Sharded hierarchical block backend: parallel assemble+solve scaling",
+            section="6.2 (extension)",
+            workload="Synthetic >=10^4-element grids assembled and solved through the "
+            "sharded hierarchical block backend (LPT block partition executed on worker "
+            "processes, deterministic pairwise-tree matvec reduction) vs the serial "
+            "hierarchical engine, for several worker counts.",
+            modules=(
+                "repro.parallel.block_backend",
+                "repro.cluster.block_assembly",
+                "repro.parallel.speedup",
+            ),
+            benchmark="benchmarks/bench_hierarchical_scaling.py",
+            examples=("examples/parallel_scaling.py",),
+        ),
+        ExperimentSpec(
             id="table_6_3",
             title="Balaidos matrix-generation CPU time and speed-up for soil models A/B/C",
             section="6.2",

@@ -45,6 +45,7 @@ __all__ = [
     "measure_column_costs",
     "deterministic_column_costs",
     "figure_6_1_curves",
+    "resolve_case",
     "table_6_2_speedups",
     "table_6_3_rows",
     "measure_real_speedups",
@@ -99,8 +100,12 @@ PAPER_TABLE_6_3: dict[str, dict[int, tuple[float, float]]] = {
 NOMINAL_COLUMN_SECONDS: float = 1.0
 
 
-def _case(name: str, coarse: bool = False):
-    """Resolve a case name like ``"barbera/two_layer"`` or ``"balaidos/C"``."""
+def resolve_case(name: str, coarse: bool = False):
+    """Resolve a case name like ``"barbera/two_layer"`` or ``"balaidos/C"``.
+
+    Returns ``(grid, soil, gpr)``.  Public: the CLI's scaling commands and the
+    example scripts resolve their ``--case`` argument through this.
+    """
     name = str(name).lower()
     if name.startswith("barbera"):
         _, _, case = name.partition("/")
@@ -109,6 +114,10 @@ def _case(name: str, coarse: bool = False):
         _, _, model = name.partition("/")
         return balaidos_case(model or "A")
     raise ExperimentError(f"unknown case {name!r}; expected 'barbera/...' or 'balaidos/...'")
+
+
+#: Backward-compatible private alias (internal call sites predate the rename).
+_case = resolve_case
 
 
 def measure_column_costs(

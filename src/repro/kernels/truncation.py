@@ -21,7 +21,10 @@ binned by a conservative lower bound of their in-plane separation, and each
 bin gets a partition of the (possibly merged) term list into ``exact``,
 ``midpoint`` and dropped terms.  All decisions are pure functions of the mesh
 and the kernel — never of how the caller batches the work — so adaptive
-results are bit-identical across batch sizes and parallel backends.
+evaluation decisions are identical across batch sizes and parallel backends
+(the evaluated values agree to BLAS reduction round-off; fixing the batch
+composition, as the hierarchical per-block assembly does, makes them
+bit-identical).
 
 Error model (validated by ``tests/kernels/test_truncation.py`` and the
 accuracy study in ``benchmarks/bench_adaptive_truncation.py``):

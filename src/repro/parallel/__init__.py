@@ -40,9 +40,23 @@ from repro.parallel.machine import MachineModel
 from repro.parallel.simulator import ScheduleSimulator, SimulationResult
 from repro.parallel.executor import run_scheduled_tasks, TaskRunResult
 from repro.parallel.parallel_assembly import assemble_system_parallel
-from repro.parallel.speedup import SpeedupStudy, measure_speedup, simulate_speedup_curve
+from repro.parallel.block_backend import (
+    ShardedHierarchicalOperator,
+    build_sharded_operator,
+    pairwise_tree_sum,
+)
+from repro.parallel.speedup import (
+    SpeedupStudy,
+    measure_sharded_speedup,
+    measure_speedup,
+    simulate_speedup_curve,
+)
 
 __all__ = [
+    "ShardedHierarchicalOperator",
+    "build_sharded_operator",
+    "measure_sharded_speedup",
+    "pairwise_tree_sum",
     "ParallelOptions",
     "Backend",
     "LoopLevel",

@@ -1,0 +1,466 @@
+"""Sharded hierarchical block backend: process-parallel assembly and matvec.
+
+PR 3's hierarchical engine decomposes the Galerkin matrix into the blocks of a
+:class:`~repro.cluster.blocks.BlockClusterTree` and ships the host-independent
+per-block cost profile (:func:`repro.parallel.costs.hierarchical_block_costs`
++ :func:`~repro.parallel.costs.partition_block_work`) "a distributed block
+backend would consume".  This module is that backend: the LPT block partition
+is *executed* — each shard's near-field blocks and ACA far-field blocks are
+assembled inside a worker process (fork; thread and serial fallbacks) through
+the block-task path of :class:`~repro.parallel.executor.ScheduledExecutor`,
+and only the shard results (sparse triplets and low-rank factors) travel back
+to the master.  The protocol is pure message passing: workers share nothing
+mutable, every task is a self-contained block.
+
+Deterministic-reduction contract
+--------------------------------
+
+The returned :class:`ShardedHierarchicalOperator` is **bit-identical for any
+worker count** (and for the thread/serial backends), which makes every PCG
+iterate reproducible across machines-with-different-core-counts:
+
+* every block is assembled by the per-block routines of
+  :mod:`repro.cluster.block_assembly`, whose batch composition depends only on
+  the block itself — never on the shard it landed in;
+* block results are regrouped into ``matvec_segments`` *canonical segments*
+  (an LPT split of the same cost profile by a fixed segment count, independent
+  of the worker count), each segment concatenating its blocks in ascending
+  block order;
+* the matvec evaluates one partial per segment — sparse near product plus the
+  shard-local ``U Vᵀ x + V Uᵀ x`` far products — optionally fanned out over
+  threads, and reduces the partials with a **pairwise tree-sum in fixed
+  segment order** (:func:`pairwise_tree_sum`), so the floating-point summation
+  order never depends on how many workers assembled or apply the operator.
+
+Entry point: ``HierarchicalControl(workers=...)`` through
+``assemble_system(..., options=AssemblyOptions(hierarchical=...))`` or
+``GroundingAnalysis(hierarchical=...)``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.cluster.block_assembly import (
+    build_block_profile,
+    compress_far_block,
+    far_factor_entries,
+    near_block_triplets,
+)
+from repro.exceptions import ClusterError, ParallelExecutionError
+from repro.parallel.costs import partition_block_work
+from repro.parallel.executor import ScheduledExecutor
+
+__all__ = [
+    "BlockOutcome",
+    "ShardedHierarchicalOperator",
+    "build_sharded_operator",
+    "pairwise_tree_sum",
+]
+
+
+def pairwise_tree_sum(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Deterministic pairwise tree reduction of equally shaped arrays.
+
+    Adjacent partials are summed level by level in their given order —
+    ``((a0+a1)+(a2+a3))+...`` — so the floating-point result depends only on
+    the order and number of the partials, never on scheduling.  This is the
+    reduction of the sharded matvec (fixed segment order).
+    """
+    items = list(arrays)
+    if not items:
+        raise ClusterError("pairwise_tree_sum needs at least one array")
+    while len(items) > 1:
+        items = [
+            items[k] + items[k + 1] if k + 1 < len(items) else items[k]
+            for k in range(0, len(items), 2)
+        ]
+    return items[0]
+
+
+# --------------------------------------------------------------------------- block tasks
+
+
+@dataclass
+class BlockOutcome:
+    """Result of assembling one cluster block inside a shard worker.
+
+    ``kind`` is ``"far"`` (low-rank factors), ``"near"`` (sparse triplets of
+    an inadmissible block) or ``"fallback"`` (an admissible block that was not
+    worth factorising, assembled densely like a near block).  Only NumPy
+    arrays cross the process boundary.
+    """
+
+    block_index: int
+    kind: str
+    rows: np.ndarray | None = None
+    cols: np.ndarray | None = None
+    vals: np.ndarray | None = None
+    u: np.ndarray | None = None
+    v: np.ndarray | None = None
+
+    @property
+    def rank(self) -> int:
+        """Rank of a far outcome (0 otherwise)."""
+        return int(self.u.shape[1]) if self.u is not None else 0
+
+
+class _BlockShardTask:
+    """Self-contained per-block assembly task (task id = block index).
+
+    Captured state (assembler, cluster tree, partition) is inherited by the
+    forked workers via copy-on-write; only :class:`BlockOutcome` payloads
+    travel back.
+    """
+
+    def __init__(self, assembler, tree, blocks, control, stopping, dof_matrix) -> None:
+        self.assembler = assembler
+        self.tree = tree
+        self.blocks = blocks
+        self.control = control
+        self.stopping = float(stopping)
+        self.dof_matrix = dof_matrix
+
+    def _near_outcome(self, block_index: int, block, kind: str) -> BlockOutcome:
+        rows_e = self.tree.elements_of(block.row)
+        cols_e = self.tree.elements_of(block.col)
+        rows, cols, vals = near_block_triplets(
+            self.assembler, rows_e, cols_e, block.is_diagonal, self.dof_matrix
+        )
+        return BlockOutcome(block_index=block_index, kind=kind, rows=rows, cols=cols, vals=vals)
+
+    def __call__(self, block_index: int) -> BlockOutcome:
+        block = self.blocks[int(block_index)]
+        if not block.admissible:
+            return self._near_outcome(int(block_index), block, "near")
+        factors = compress_far_block(
+            self.assembler, self.tree, block, self.control, self.stopping
+        )
+        if factors is None:
+            return self._near_outcome(int(block_index), block, "fallback")
+        return BlockOutcome(
+            block_index=int(block_index), kind="far", u=factors.u, v=factors.v
+        )
+
+
+class _BlockShardBatchTask:
+    """Batched companion: one block at a time, *no* cross-block batching.
+
+    Deliberately so — a block's kernel batch composition must depend only on
+    the block itself for the cross-worker-count determinism contract to hold.
+    """
+
+    def __init__(self, task: _BlockShardTask) -> None:
+        self.task = task
+
+    def __call__(self, block_indices: Sequence[int]) -> list[tuple[int, BlockOutcome]]:
+        return [(int(index), self.task(int(index))) for index in block_indices]
+
+
+# --------------------------------------------------------------------------- the operator
+
+
+class _OperatorSegment:
+    """One canonical matvec segment: sparse near slab plus low-rank far slab."""
+
+    def __init__(
+        self, near: sparse.csr_matrix, u: sparse.csr_matrix, v: sparse.csr_matrix
+    ) -> None:
+        self.near = near
+        self.u = u
+        self.v = v
+        self.near_diagonal = near.diagonal()
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """The segment's contribution to ``A @ x`` (symmetrised)."""
+        y = self.near @ x
+        y = y + self.near.T @ x
+        y = y - self.near_diagonal * x
+        if self.u.shape[1]:
+            y = y + self.u @ (self.v.T @ x)
+            y = y + self.v @ (self.u.T @ x)
+        return np.asarray(y).ravel()
+
+    def diagonal_contribution(self) -> np.ndarray:
+        """The segment's share of the operator's main diagonal."""
+        diag = self.near_diagonal.copy()
+        if self.u.shape[1]:
+            diag = diag + 2.0 * np.asarray(self.u.multiply(self.v).sum(axis=1)).ravel()
+        return diag
+
+    def todense_contribution(self) -> np.ndarray:
+        """Materialised segment contribution (small problems / tests only)."""
+        upper = np.asarray(self.near.todense(), dtype=float)
+        dense = upper + upper.T - np.diag(self.near_diagonal)
+        if self.u.shape[1]:
+            u = np.asarray(self.u.todense(), dtype=float)
+            v = np.asarray(self.v.todense(), dtype=float)
+            dense = dense + u @ v.T + v @ u.T
+        return dense
+
+    def memory_bytes(self) -> int:
+        total = self.near_diagonal.nbytes
+        for matrix in (self.near, self.u, self.v):
+            total += matrix.data.nbytes + matrix.indices.nbytes + matrix.indptr.nbytes
+        return int(total)
+
+
+class ShardedHierarchicalOperator:
+    """Segment-sharded symmetric hierarchical operator with deterministic reduction.
+
+    Mathematically the same matrix as the serial
+    :class:`~repro.cluster.operator.HierarchicalOperator` (sparse near field
+    plus aggregated ``U Vᵀ + V Uᵀ`` far field), stored as canonical matvec
+    segments.  ``matvec`` evaluates one partial per segment — over a thread
+    pool when ``matvec_workers > 1`` — and reduces them with
+    :func:`pairwise_tree_sum` in fixed segment order, so the result is
+    bit-identical for any assembly worker count and any matvec thread count.
+    """
+
+    def __init__(
+        self,
+        segments: list[_OperatorSegment],
+        n_dofs: int,
+        stats: dict[str, Any],
+        matvec_workers: int = 1,
+    ) -> None:
+        if not segments:
+            raise ClusterError("the sharded operator needs at least one segment")
+        self.segments = segments
+        self.stats = stats
+        self.shape = (int(n_dofs), int(n_dofs))
+        self.dtype = np.dtype(float)
+        self.matvec_workers = max(1, int(matvec_workers))
+        self._diagonal = pairwise_tree_sum(
+            [segment.diagonal_contribution() for segment in segments]
+        )
+        self._pool: ThreadPoolExecutor | None = None
+
+    # ------------------------------------------------------------------ linear algebra
+
+    def _partials(self, x: np.ndarray) -> list[np.ndarray]:
+        if self.matvec_workers > 1 and len(self.segments) > 1:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=min(self.matvec_workers, len(self.segments))
+                )
+            # Executor.map preserves segment order, keeping the reduction fixed.
+            return list(self._pool.map(lambda segment: segment.apply(x), self.segments))
+        return [segment.apply(x) for segment in self.segments]
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Apply the operator: per-segment partials, pairwise-tree reduced."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.shape[0],):
+            raise ClusterError(
+                f"operand shape {x.shape} does not match operator size {self.shape[0]}"
+            )
+        return pairwise_tree_sum(self._partials(x))
+
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        return self.matvec(x)
+
+    def diagonal(self) -> np.ndarray:
+        """Main diagonal of the represented matrix (for Jacobi preconditioning)."""
+        return self._diagonal.copy()
+
+    def todense(self) -> np.ndarray:
+        """Materialise the represented matrix (small problems / tests only)."""
+        return pairwise_tree_sum(
+            [segment.todense_contribution() for segment in self.segments]
+        )
+
+    def memory_bytes(self) -> int:
+        """Bytes stored by the operator (matrix data plus sparse index arrays)."""
+        return int(
+            self._diagonal.nbytes
+            + sum(segment.memory_bytes() for segment in self.segments)
+        )
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        """Shut the matvec thread pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_pool"] = None  # thread pools stay process-local
+        return state
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedHierarchicalOperator(n={self.shape[0]}, "
+            f"segments={len(self.segments)}, "
+            f"workers={self.stats.get('workers')}, "
+            f"memory={self.memory_bytes() / 1e6:.1f} MB)"
+        )
+
+
+# --------------------------------------------------------------------------- the builder
+
+
+def build_sharded_operator(assembler, control) -> ShardedHierarchicalOperator:
+    """Assemble the hierarchical operator with the sharded block backend.
+
+    The block cluster tree and its deterministic cost profile are built by the
+    master; :func:`~repro.parallel.costs.partition_block_work` splits the
+    blocks into ``control.workers`` LPT shards that the
+    :class:`~repro.parallel.executor.ScheduledExecutor` block-task path
+    executes on the requested backend (``process`` forks workers, ``thread``
+    and ``serial`` run in-process).  Results are regrouped into
+    ``control.matvec_segments`` canonical segments — see the module docstring
+    for the determinism contract.
+    """
+    if control.workers < 1:
+        raise ParallelExecutionError(
+            "build_sharded_operator needs HierarchicalControl.workers >= 1 "
+            "(use HierarchicalOperator.build for the serial engine)"
+        )
+    start = time.perf_counter()
+    profile = build_block_profile(assembler, control)
+    tree, partition = profile.tree, profile.partition
+    scale, stopping = profile.scale, profile.stopping
+    dof_matrix, n_dofs = profile.dof_matrix, profile.n_dofs
+    costs = profile.costs
+
+    n_workers = int(control.workers)
+    shards = partition_block_work(costs, n_workers)
+    # Canonical matvec segments: same profile, *fixed* segment count — the
+    # reduction structure must not depend on how many workers assembled.
+    segment_blocks = [
+        sorted(segment)
+        for segment in partition_block_work(costs, int(control.matvec_segments))
+        if segment
+    ]
+
+    task = _BlockShardTask(assembler, tree, partition.blocks, control, stopping, dof_matrix)
+    executor_start = time.perf_counter()
+    with ScheduledExecutor(
+        task,
+        n_workers=n_workers,
+        backend=control.backend,
+        batch_fn=_BlockShardBatchTask(task),
+        cost_hint=costs,
+    ) as executor:
+        outcome = executor.run_partition(shards, label="LPT")
+    executor_seconds = time.perf_counter() - executor_start
+    outcomes: dict[int, BlockOutcome] = outcome.results
+
+    # ---- regroup the block results into the canonical segments ----
+    def _csr(rows, cols, vals, shape) -> sparse.csr_matrix:
+        if not rows:
+            return sparse.csr_matrix(shape, dtype=float)
+        matrix = sparse.coo_matrix(
+            (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+            shape=shape,
+        ).tocsr()
+        matrix.sum_duplicates()
+        return matrix
+
+    segments: list[_OperatorSegment] = []
+    ranks: list[int] = []
+    n_fallback = 0
+    near_nnz = 0
+    total_rank = 0
+    for block_ids in segment_blocks:
+        near_rows: list[np.ndarray] = []
+        near_cols: list[np.ndarray] = []
+        near_vals: list[np.ndarray] = []
+        u_rows: list[np.ndarray] = []
+        u_cols: list[np.ndarray] = []
+        u_vals: list[np.ndarray] = []
+        v_rows: list[np.ndarray] = []
+        v_cols: list[np.ndarray] = []
+        v_vals: list[np.ndarray] = []
+        segment_rank = 0
+        for block_index in block_ids:
+            result = outcomes[int(block_index)]
+            if result.kind in ("near", "fallback"):
+                if result.kind == "fallback":
+                    n_fallback += 1
+                if result.rows is not None and result.rows.size:
+                    near_rows.append(result.rows)
+                    near_cols.append(result.cols)
+                    near_vals.append(result.vals)
+                continue
+            rank = result.rank
+            ranks.append(rank)
+            if rank == 0:
+                continue
+            block = partition.blocks[int(block_index)]
+            ur, uc, uv, vr, vc, vv = far_factor_entries(
+                result.u,
+                result.v,
+                dof_matrix[tree.elements_of(block.row)].ravel(),
+                dof_matrix[tree.elements_of(block.col)].ravel(),
+                segment_rank,
+            )
+            u_rows.append(ur)
+            u_cols.append(uc)
+            u_vals.append(uv)
+            v_rows.append(vr)
+            v_cols.append(vc)
+            v_vals.append(vv)
+            segment_rank += rank
+        near = _csr(near_rows, near_cols, near_vals, (n_dofs, n_dofs))
+        u_far = _csr(u_rows, u_cols, u_vals, (n_dofs, segment_rank))
+        v_far = _csr(v_rows, v_cols, v_vals, (n_dofs, segment_rank))
+        near_nnz += int(near.nnz)
+        total_rank += segment_rank
+        segments.append(_OperatorSegment(near=near, u=u_far, v=v_far))
+
+    shard_loads = [float(costs[shard].sum()) if shard else 0.0 for shard in shards]
+    rank_array = np.asarray(ranks, dtype=int)
+    available = os.cpu_count() or 1
+    stats: dict[str, Any] = {
+        **partition.summary(),
+        "leaf_size": control.leaf_size,
+        "tolerance": control.tolerance,
+        "safety": control.safety,
+        "max_rank": control.max_rank,
+        "reference_scale": scale,
+        "n_clusters": tree.n_clusters,
+        "tree_depth": tree.depth(),
+        "n_fallback_blocks": n_fallback,
+        "total_rank": total_rank,
+        "rank_min": int(rank_array.min()) if rank_array.size else 0,
+        "rank_max": int(rank_array.max()) if rank_array.size else 0,
+        "rank_mean": float(rank_array.mean()) if rank_array.size else 0.0,
+        "near_nnz": near_nnz,
+        "block_cost_units_total": float(costs.sum()),
+        "workers": n_workers,
+        "backend": str(control.backend),
+        "oversubscribed": n_workers > available,
+        "n_shards": len([shard for shard in shards if shard]),
+        "shard_cost_units": shard_loads,
+        "shard_makespan_units": float(max(shard_loads)) if shard_loads else 0.0,
+        "n_segments": len(segments),
+        "executor_wall_seconds": executor_seconds,
+        "executor_task_seconds": float(outcome.task_seconds.sum()),
+        "build_seconds": 0.0,  # filled below
+    }
+    matvec_workers = control.matvec_workers or n_workers
+    operator = ShardedHierarchicalOperator(
+        segments, n_dofs, stats, matvec_workers=matvec_workers
+    )
+    stats["memory_bytes"] = operator.memory_bytes()
+    stats["dense_bytes"] = 8 * n_dofs * n_dofs
+    stats["compression"] = stats["memory_bytes"] / max(stats["dense_bytes"], 1)
+    stats["build_seconds"] = time.perf_counter() - start
+    return operator

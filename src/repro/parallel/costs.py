@@ -196,9 +196,11 @@ def partition_block_work(
     """Greedy longest-processing-time partition of block tasks among workers.
 
     Deterministic: blocks are assigned in descending cost order (ties broken
-    by index) to the currently least-loaded worker.  Used by the block-level
-    scheduling tests and as the static work split a distributed hierarchical
-    assembly would start from.
+    by index) to the currently least-loaded worker — load ties broken by the
+    smaller shard, then the lower worker index, so zero-cost blocks still
+    spread round-robin and no worker idles while blocks outnumber workers.
+    Used by the block-level scheduling tests and as the static work split the
+    sharded hierarchical block backend starts from.
     """
     profile = np.asarray(costs, dtype=float)
     if profile.ndim != 1:
@@ -209,11 +211,13 @@ def partition_block_work(
         raise ScheduleError("block costs must be finite and non-negative")
     assignment: list[list[int]] = [[] for _ in range(n_workers)]
     loads = np.zeros(n_workers)
+    counts = np.zeros(n_workers, dtype=int)
     order = np.lexsort((np.arange(profile.size), -profile))
     for index in order:
-        worker = int(np.argmin(loads))
+        worker = int(np.lexsort((counts, loads))[0])
         assignment[worker].append(int(index))
         loads[worker] += profile[index]
+        counts[worker] += 1
     return assignment
 
 

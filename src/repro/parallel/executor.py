@@ -229,7 +229,6 @@ class ScheduledExecutor:
     def run(self, task_indices: Sequence[int], schedule: Schedule) -> TaskRunResult:
         """Execute the given tasks under the schedule and collect the results."""
         indices = [int(i) for i in task_indices]
-        n_tasks = len(indices)
         start = time.perf_counter()
 
         if self.backend is Backend.SERIAL or self.n_workers == 1:
@@ -241,6 +240,68 @@ class ScheduledExecutor:
             raw, chunks = self._run_thread(indices, schedule)
 
         wall = time.perf_counter() - start
+        return self._collect(raw, indices, wall, len(chunks), schedule.label())
+
+    def run_partition(
+        self, partition: Sequence[Sequence[int]], label: str = "Partition"
+    ) -> TaskRunResult:
+        """Execute tasks under an explicit worker partition (the block-task path).
+
+        The hierarchical engine decomposes its work into cluster-pair *blocks*
+        whose static split across workers is computed up front by
+        :func:`repro.parallel.costs.partition_block_work` from the
+        deterministic :func:`~repro.parallel.costs.hierarchical_block_costs`
+        profile.  Each inner sequence of ``partition`` is dispatched as one
+        chunk (one message per worker on the process backend — results travel
+        back, nothing else crosses the boundary); empty shards are skipped.
+        Raises when a task id appears in more than one shard.
+        """
+        chunks = [[int(i) for i in shard] for shard in partition]
+        chunks = [chunk for chunk in chunks if chunk]
+        indices = [index for chunk in chunks for index in chunk]
+        if len(set(indices)) != len(indices):
+            raise ParallelExecutionError(
+                "partition assigns at least one task to more than one shard"
+            )
+        start = time.perf_counter()
+
+        if self.backend is Backend.SERIAL or self.n_workers == 1:
+            raw = [self._execute_local(chunk) for chunk in chunks]
+        elif self.backend is Backend.PROCESS:
+            if self._pool is None:
+                raise ParallelExecutionError(
+                    "the process backend must be used as a context manager (with ... as ex:)"
+                )
+            async_results = [
+                self._pool.apply_async(_run_chunk, (chunk,)) for chunk in chunks
+            ]
+            raw = [result.get() for result in async_results]
+        else:
+            if self._thread_pool is None:
+                raise ParallelExecutionError(
+                    "the thread backend must be used as a context manager (with ... as ex:)"
+                )
+            futures = [self._thread_pool.submit(self._execute_local, chunk) for chunk in chunks]
+            raw = [future.result() for future in futures]
+
+        wall = time.perf_counter() - start
+        return self._collect(raw, indices, wall, len(chunks), f"{label},{len(chunks)}")
+
+    def _collect(
+        self,
+        raw: list[list[tuple[int, Any, float]]],
+        indices: list[int],
+        wall: float,
+        n_chunks: int,
+        schedule_label: str,
+    ) -> TaskRunResult:
+        """Fold executed-chunk outputs into a :class:`TaskRunResult`.
+
+        Shared by :meth:`run` and :meth:`run_partition`: per-task results and
+        timings are indexed back to the submission order, and a missing (or
+        duplicated) task id fails loudly.
+        """
+        n_tasks = len(indices)
         results: dict[int, Any] = {}
         task_seconds = np.zeros(n_tasks)
         position = {task: k for k, task in enumerate(indices)}
@@ -256,9 +317,9 @@ class ScheduledExecutor:
             results=results,
             wall_seconds=wall,
             task_seconds=task_seconds,
-            n_chunks=len(chunks),
+            n_chunks=n_chunks,
             n_workers=self.n_workers,
-            schedule=schedule.label(),
+            schedule=schedule_label,
             backend=self.backend.value,
         )
 

@@ -220,10 +220,11 @@ def assemble_system_parallel(
     options = options or AssemblyOptions()
     if options.hierarchical is not None:
         raise ParallelExecutionError(
-            "the hierarchical engine has no parallel column backend; its block "
-            "assembly runs sequentially through assemble_system (the cost model "
-            "of repro.parallel.costs.hierarchical_block_costs partitions the "
-            "cluster-pair work for future distributed backends)"
+            "the hierarchical engine has no parallel *column* backend; use "
+            "AssemblyOptions(hierarchical=HierarchicalControl(workers=...)) "
+            "through assemble_system — the sharded block backend of "
+            "repro.parallel.block_backend executes the cluster-pair partition "
+            "of repro.parallel.costs.partition_block_work in parallel"
         )
     if kernel is None:
         kernel = kernel_for_soil(soil, options.series_control)

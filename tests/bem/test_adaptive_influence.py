@@ -140,6 +140,19 @@ class TestAdaptiveColumns:
         (_, restored) = clone.column_blocks(1)
         assert np.array_equal(original, restored)
 
+    def test_pickling_a_warm_assembler(self, flat_mesh, barbera_like_soil):
+        """A warm plan cache must survive the pickle round trip.
+
+        Regression: plan evaluation scalars were once keyed by ``id(plan)``,
+        which restored plans no longer matched — spawn-style workers (and any
+        warm clone) crashed on their first adaptive evaluation.
+        """
+        assembler = _assembler(flat_mesh, barbera_like_soil, AdaptiveControl())
+        (_, original) = assembler.column_blocks(1)  # warms self._plans
+        clone = pickle.loads(pickle.dumps(assembler))
+        (_, restored) = clone.column_blocks(1)
+        assert np.array_equal(original, restored)
+
 
 class TestGeometryCache:
     def test_put_get_roundtrip(self):

@@ -1,0 +1,136 @@
+"""Fork-safety and eviction-determinism tests of the GeometryCache.
+
+The sharded block backend forks worker processes that inherit the
+process-wide geometry cache.  The contract under test:
+
+* eviction is a deterministic function of the access sequence (same sequence,
+  same survivors — on any process);
+* a forked worker's cache churn never leaks back into the parent's LRU state
+  (copy-on-write isolation);
+* locks are re-armed in the child after a fork, so a lock held by a parent
+  thread at fork time cannot deadlock the worker
+  (``os.register_at_fork`` handler of :mod:`repro.bem.geometry_cache`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.bem import geometry_cache as gc_module
+from repro.bem.geometry_cache import GeometryCache, default_geometry_cache
+
+
+def _filler(key_id: int, kbytes: int = 1) -> tuple[np.ndarray, ...]:
+    return (np.full(kbytes * 128, float(key_id)),)  # 1 KiB per 128 float64
+
+
+class TestEvictionDeterminism:
+    def test_same_sequence_same_survivors(self):
+        sequence = [(("k", i % 7),) for i in range(40)]
+        caches = [GeometryCache(max_bytes=4 * 1024) for _ in range(2)]
+        for cache in caches:
+            for (key,) in sequence:
+                if cache.get(key) is None:
+                    cache.put(key, _filler(key[1]))
+        assert caches[0].keys() == caches[1].keys()
+        assert caches[0].nbytes == caches[1].nbytes
+        assert caches[0].stats()["hits"] == caches[1].stats()["hits"]
+
+    def test_lru_evicts_oldest_first(self):
+        cache = GeometryCache(max_bytes=3 * 1024)
+        for i in range(3):
+            cache.put(("k", i), _filler(i))
+        cache.get(("k", 0))  # refresh 0: 1 becomes the eviction candidate
+        cache.put(("k", 3), _filler(3))
+        assert cache.keys() == [("k", 2), ("k", 0), ("k", 3)]
+
+    def test_oversized_entry_served_uncached(self):
+        cache = GeometryCache(max_bytes=512)
+        stored = cache.put(("big",), _filler(0, kbytes=4))
+        assert stored[0].flags.writeable is False
+        assert cache.n_entries == 0
+
+
+def _child_churn(n_entries: int) -> dict:
+    """Runs inside a forked worker: churn the default cache, return its view."""
+    cache = default_geometry_cache()
+    before = cache.keys()
+    for i in range(n_entries):
+        cache.put(("child", i), (np.full(256, float(i)),))
+    return {
+        "inherited_keys": before,
+        "keys_after": cache.keys(),
+        "stats": cache.stats(),
+    }
+
+
+def _child_uses_lock(_: int) -> bool:
+    """Runs inside a forked worker: the cache lock must be usable."""
+    cache = default_geometry_cache()
+    cache.put(("fork-probe",), (np.zeros(8),))
+    return cache.get(("fork-probe",)) is not None
+
+
+@pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(), reason="fork start method unavailable"
+)
+class TestForkIsolation:
+    def test_children_inherit_but_never_corrupt_the_parent(self):
+        parent = default_geometry_cache()
+        parent.clear()
+        parent.put(("parent", 1), (np.arange(16.0),))
+        parent.put(("parent", 2), (np.arange(8.0),))
+        parent_keys = parent.keys()
+        parent_stats = parent.stats()
+
+        context = mp.get_context("fork")
+        with context.Pool(processes=2) as pool:
+            reports = pool.map(_child_churn, [50, 80])
+
+        for report in reports:
+            # The fork snapshot carried the parent's warm entries...
+            assert report["inherited_keys"] == parent_keys
+            # ...and the child's churn stayed in the child.
+            assert ("child", 0) in report["keys_after"]
+        assert parent.keys() == parent_keys
+        assert parent.stats() == parent_stats
+        assert all(("child", i) not in parent.keys() for i in range(80))
+        parent.clear()
+
+    def test_child_lock_usable_after_fork(self):
+        context = mp.get_context("fork")
+        with context.Pool(processes=2) as pool:
+            assert pool.map(_child_uses_lock, [0, 1]) == [True, True]
+
+
+class TestAtForkHandler:
+    def test_held_lock_is_rearmed(self):
+        cache = GeometryCache(max_bytes=1024)
+        cache.put(("x",), (np.zeros(4),))
+        # Simulate forking while another thread holds the locks: the child
+        # handler must replace them, or the first get() would deadlock.
+        cache._lock.acquire()
+        gc_module._default_lock.acquire()
+        try:
+            gc_module._reset_locks_after_fork()
+            assert cache.get(("x",)) is not None
+            assert default_geometry_cache() is not None
+        finally:
+            # The pre-fork lock objects were replaced; nothing to release on
+            # the cache, but drop our references cleanly.
+            pass
+
+    def test_handler_registered(self):
+        import os
+
+        assert hasattr(os, "register_at_fork")
+        # The module registers the handler at import; calling it directly must
+        # be idempotent and leave every tracked cache usable.
+        gc_module._reset_locks_after_fork()
+        gc_module._reset_locks_after_fork()
+        cache = default_geometry_cache()
+        cache.put(("idempotent",), (np.zeros(2),))
+        assert cache.get(("idempotent",)) is not None

@@ -1,0 +1,112 @@
+"""Property tests of the LPT block-work partition (hypothesis).
+
+The sharded hierarchical backend stands on
+:func:`repro.parallel.costs.partition_block_work`: every block must be
+assembled exactly once, no worker may idle while blocks outnumber workers,
+and the greedy longest-processing-time makespan must stay within the
+classical 2x factor of the trivial lower bound
+``max(total / workers, max single cost)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ScheduleError
+from repro.parallel.costs import hierarchical_block_costs, partition_block_work
+
+costs_arrays = st.lists(
+    st.floats(min_value=0.0, max_value=1.0e6, allow_nan=False, allow_infinity=False),
+    min_size=0,
+    max_size=64,
+)
+worker_counts = st.integers(min_value=1, max_value=12)
+
+
+@settings(max_examples=200, deadline=None)
+@given(costs=costs_arrays, n_workers=worker_counts)
+def test_every_block_assigned_exactly_once(costs, n_workers):
+    assignment = partition_block_work(costs, n_workers)
+    assert len(assignment) == n_workers
+    assigned = sorted(index for shard in assignment for index in shard)
+    assert assigned == list(range(len(costs)))
+
+
+@settings(max_examples=200, deadline=None)
+@given(costs=costs_arrays, n_workers=worker_counts)
+def test_no_empty_partition_when_enough_blocks(costs, n_workers):
+    assignment = partition_block_work(costs, n_workers)
+    if len(costs) >= n_workers:
+        assert all(len(shard) >= 1 for shard in assignment)
+    else:
+        # Never more loaded shards than blocks.
+        assert sum(1 for shard in assignment if shard) == len(costs)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    costs=st.lists(
+        st.floats(min_value=0.0, max_value=1.0e6, allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=64,
+    ),
+    n_workers=worker_counts,
+)
+def test_lpt_makespan_within_twice_lower_bound(costs, n_workers):
+    profile = np.asarray(costs, dtype=float)
+    assignment = partition_block_work(profile, n_workers)
+    makespan = max(float(profile[shard].sum()) if shard else 0.0 for shard in assignment)
+    # The trivial makespan lower bound: the mean load and the largest single
+    # block are both unavoidable.  Greedy list scheduling (and LPT a fortiori)
+    # stays within a factor 2 of it.
+    lower_bound = max(float(profile.sum()) / n_workers, float(profile.max()))
+    assert makespan <= 2.0 * lower_bound + 1.0e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(costs=costs_arrays, n_workers=worker_counts)
+def test_partition_is_deterministic(costs, n_workers):
+    first = partition_block_work(costs, n_workers)
+    second = partition_block_work(list(costs), n_workers)
+    assert first == second
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    rows=st.lists(st.integers(min_value=1, max_value=128), min_size=1, max_size=32),
+    data=st.data(),
+    n_workers=worker_counts,
+)
+def test_block_cost_profile_partitions_cleanly(rows, data, n_workers):
+    """The deterministic block profile feeds the partition without rejection."""
+    cols = data.draw(
+        st.lists(
+            st.integers(min_value=1, max_value=128),
+            min_size=len(rows),
+            max_size=len(rows),
+        )
+    )
+    admissible = data.draw(
+        st.lists(st.booleans(), min_size=len(rows), max_size=len(rows))
+    )
+    costs = hierarchical_block_costs(rows, cols, admissible, series_length=7)
+    assert np.all(costs > 0.0)
+    assignment = partition_block_work(costs, n_workers)
+    assert sorted(i for shard in assignment for i in shard) == list(range(len(rows)))
+
+
+class TestRejections:
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ScheduleError):
+            partition_block_work([1.0, -0.5], 2)
+
+    def test_non_finite_cost_rejected(self):
+        with pytest.raises(ScheduleError):
+            partition_block_work([1.0, float("nan")], 2)
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ScheduleError):
+            partition_block_work([1.0], 0)

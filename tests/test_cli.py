@@ -32,6 +32,14 @@ class TestParser:
         args = build_parser().parse_args(["scaling"])
         assert args.case == "barbera/two_layer"
         assert args.workers == [1, 2, 4, 8]
+        assert args.hierarchical is False
+
+    def test_scaling_hierarchical_flag(self):
+        args = build_parser().parse_args(
+            ["scaling", "--hierarchical", "--workers", "1", "2"]
+        )
+        assert args.hierarchical is True
+        assert args.workers == [1, 2]
 
     def test_balaidos_model_choices(self):
         with pytest.raises(SystemExit):
