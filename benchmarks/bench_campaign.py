@@ -1,0 +1,192 @@
+"""Campaign batch throughput vs independent cold ``GroundingAnalysis`` runs.
+
+The demo campaign of :func:`repro.campaign.demo_campaign` — one shared grid in
+flat and corner-rodded variants under two soil families with soil-scale and
+injection variants — is executed two ways on the same host:
+
+* **campaign engine** — :func:`repro.campaign.run_campaign` on a persistent
+  :class:`~repro.parallel.pool.WorkerPool` (worker counts 1 and 2): one
+  sharded hierarchical assembly per structure group, derived scenarios by
+  exact scalar algebra, shared geometry/cluster caches;
+* **cold baseline** — every scenario as an independent
+  :class:`repro.GroundingAnalysis` call with the same hierarchical control
+  (one worker forked per call — the cost the pool amortises) plus the same
+  safety raster, with the process-wide geometry cache cleared before every
+  call.
+
+Cold/warm fairness: the process-wide ``GeometryCache`` is cleared between the
+campaign runs and the baseline sweep (and before every baseline call), so
+neither side inherits the other's warm cache.  Set
+``BENCH_CAMPAIGN_KEEP_CACHE=1`` to deliberately keep it warm instead (the
+"shared service" regime); the choice and the observed cache-hit counts are
+recorded in the snapshot.
+
+Acceptance (asserted in the full run, recorded in ``BENCH_campaign.json``):
+
+* >= 12 scenarios run >= 2x faster end-to-end through the campaign engine
+  than as independent cold runs;
+* every scenario's solution matches its standalone run to ``1e-10``
+  (relative to the solution scale);
+* solutions are bit-identical across pool worker counts {1, 2}.
+
+``BENCH_QUICK=1`` runs the CI mini-campaign instead: >= 6 scenarios on a
+2-worker pool, asserting the standalone 1e-10 agreement and the worker-count
+bitwise identity (the 2x throughput gate needs the full-size run).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.bem.geometry_cache import default_geometry_cache
+from repro.cad.report import format_table
+from repro.campaign import demo_campaign, run_campaign, standalone_scenario_run
+from repro.parallel.pool import WorkerPool
+
+QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+KEEP_CACHE = os.environ.get("BENCH_CAMPAIGN_KEEP_CACHE", "") not in ("", "0")
+
+#: (scenario count, meshes per side, pool worker counts, assert 2x throughput).
+FULL_CONFIG = (12, 22, (1, 2), True)
+QUICK_CONFIG = (6, 10, (1, 2), False)
+
+
+def _reset_cache() -> None:
+    """Clear the process-wide geometry cache (unless deliberately kept)."""
+    if not KEEP_CACHE:
+        default_geometry_cache().clear()
+
+
+def _standalone_cold_run(campaign, spec) -> tuple[np.ndarray, float]:
+    """One scenario as an independent cold analysis (the pre-campaign workflow)."""
+    _reset_cache()  # every cold call pays its own cache misses
+    return standalone_scenario_run(campaign, spec, workers=1)
+
+
+def test_campaign_batch(record_table, record_snapshot):
+    """Batch throughput, standalone agreement and worker-count determinism."""
+    n_scenarios, nx, worker_counts, assert_throughput = (
+        QUICK_CONFIG if QUICK else FULL_CONFIG
+    )
+    # Both sides solve at 1e-12 so the 1e-10 agreement gate is insensitive to
+    # a one-PCG-iteration flip between near-identical systems (whose size is
+    # ~ the solver tolerance; see Campaign.solver_tolerance).
+    campaign = demo_campaign(
+        n_scenarios=n_scenarios, nx=nx, ny=nx, solver_tolerance=1.0e-12
+    )
+    available = os.cpu_count() or 1
+
+    record: dict = {
+        "quick": QUICK,
+        "n_scenarios": n_scenarios,
+        "nx": nx,
+        "keep_cache": KEEP_CACHE,
+        "worker_counts": list(worker_counts),
+        "cpu_count": available,
+    }
+
+    # ---- campaign runs, one per pool worker count ----
+    campaign_runs: dict[int, dict] = {}
+    solutions: dict[int, dict[str, np.ndarray]] = {}
+    for workers in worker_counts:
+        _reset_cache()
+        # Pool spawn is inside the timed window: the acceptance is an
+        # *end-to-end* comparison, and the baseline's per-call forks are
+        # fully timed too.
+        start = time.perf_counter()
+        with WorkerPool(workers) as pool:
+            result = run_campaign(campaign, pool=pool)
+            wall = time.perf_counter() - start
+        solutions[workers] = result.solutions()
+        campaign_runs[workers] = {
+            "pool_workers": workers,
+            "oversubscribed": workers > available,
+            "wall_seconds": wall,
+            "timings": {k: float(v) for k, v in result.timings.items()},
+            "plan": result.plan_summary,
+            "cache_stats": result.cache_stats,
+        }
+    record["campaign_runs"] = [campaign_runs[w] for w in worker_counts]
+    record["n_elements"] = {s.name: s.n_elements for s in result.scenarios}
+
+    # ---- the deterministic-reduction contract across pool worker counts ----
+    first = worker_counts[0]
+    cross_worker_max = 0.0
+    for workers in worker_counts[1:]:
+        for name, reference in solutions[first].items():
+            cross_worker_max = max(
+                cross_worker_max,
+                float(np.abs(solutions[workers][name] - reference).max()),
+            )
+    record["cross_worker_abs_max_diff"] = cross_worker_max
+
+    # ---- cold baseline: independent per-scenario analyses ----
+    _reset_cache()
+    baseline_rows = []
+    baseline_solutions: dict[str, np.ndarray] = {}
+    start = time.perf_counter()
+    for spec in campaign.scenarios:
+        dof_values, seconds = _standalone_cold_run(campaign, spec)
+        baseline_solutions[spec.name] = dof_values
+        baseline_rows.append({"scenario": spec.name, "seconds": seconds})
+    baseline_wall = time.perf_counter() - start
+    record["baseline"] = {"wall_seconds": baseline_wall, "rows": baseline_rows}
+
+    # ---- agreement with the standalone runs ----
+    worst_rel = 0.0
+    for name, reference in baseline_solutions.items():
+        scale = float(np.abs(reference).max())
+        deviation = float(np.abs(solutions[first][name] - reference).max())
+        worst_rel = max(worst_rel, deviation / scale)
+    record["worst_standalone_rel_error"] = worst_rel
+
+    campaign_wall = campaign_runs[first]["wall_seconds"]
+    speedup = baseline_wall / campaign_wall if campaign_wall > 0 else float("inf")
+    record["batch_speedup"] = speedup
+    record["acceptance"] = {
+        "throughput_asserted": assert_throughput,
+        "n_scenarios_ge_12": n_scenarios >= 12,
+        "speedup_ge_2": speedup >= 2.0,
+        "solutions_match_standalone_1e-10": worst_rel <= 1.0e-10,
+        "bitwise_identical_across_pool_workers": cross_worker_max == 0.0,
+    }
+
+    # Record first: a tripped assertion must not discard the measured run.
+    record_snapshot("campaign", record, update_root=not QUICK)
+    table_rows = [
+        [
+            f"campaign (pool w={w})",
+            campaign_runs[w]["wall_seconds"],
+            campaign_runs[w]["plan"]["n_assemblies"],
+            "yes" if campaign_runs[w]["oversubscribed"] else "no",
+        ]
+        for w in worker_counts
+    ] + [["cold standalone", baseline_wall, n_scenarios, "-"]]
+    record_table(
+        "campaign",
+        format_table(
+            ["Run", "wall (s)", "assemblies", "oversubscribed"],
+            table_rows,
+            float_format="{:.3g}",
+        ),
+    )
+
+    # Accuracy and determinism contracts hold at every size.
+    assert worst_rel <= 1.0e-10, record["worst_standalone_rel_error"]
+    assert cross_worker_max == 0.0, record["cross_worker_abs_max_diff"]
+    if assert_throughput:
+        assert n_scenarios >= 12
+        assert speedup >= 2.0, (campaign_wall, baseline_wall)
+
+
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    if "--quick" in sys.argv:
+        os.environ["BENCH_QUICK"] = "1"
+    raise SystemExit(pytest.main([__file__, "-q", "-p", "no:randomly"]))

@@ -38,7 +38,13 @@ echo "== sharded hierarchical benchmark (quick mode, workers 1+2) =="
 BENCH_QUICK=1 python -m pytest -q -p no:randomly \
   benchmarks/bench_hierarchical_scaling.py::test_sharded_hierarchical
 
-echo "== parallel + cluster suites (2-worker process pools) =="
-python -m pytest -q -p no:randomly tests/parallel tests/cluster
+echo "== campaign mini-benchmark (quick mode, 6 scenarios, 2 pool workers) =="
+# Asserts every campaign scenario matches its standalone GroundingAnalysis to
+# 1e-10 and that solutions are bit-identical across pool worker counts {1,2}.
+BENCH_QUICK=1 python -m pytest -q -p no:randomly \
+  benchmarks/bench_campaign.py::test_campaign_batch
+
+echo "== parallel + cluster + campaign suites (2-worker process pools) =="
+python -m pytest -q -p no:randomly tests/parallel tests/cluster tests/campaign
 
 echo "smoke: OK (zero flaky reruns)"

@@ -76,6 +76,17 @@ from repro.parallel import (
     MachineModel,
     ScheduleSimulator,
     ShardedHierarchicalOperator,
+    WorkerPool,
+)
+
+# Scenario campaign engine
+from repro.campaign import (
+    Campaign,
+    CampaignResult,
+    GeometryVariant,
+    ScenarioSpec,
+    plan_campaign,
+    run_campaign,
 )
 
 # Hierarchical (H-matrix) engine
@@ -135,6 +146,14 @@ __all__ = [
     "MachineModel",
     "ScheduleSimulator",
     "ShardedHierarchicalOperator",
+    "WorkerPool",
+    # campaign engine
+    "Campaign",
+    "CampaignResult",
+    "GeometryVariant",
+    "ScenarioSpec",
+    "plan_campaign",
+    "run_campaign",
     # hierarchical engine
     "HierarchicalControl",
     "HierarchicalOperator",

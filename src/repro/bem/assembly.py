@@ -275,6 +275,8 @@ def assemble_system(
     column_order: Sequence[int] | None = None,
     collect_column_times: bool = False,
     batch_size: int | None = None,
+    pool=None,
+    cluster_cache=None,
 ) -> LinearSystem:
     """Assemble the dense Galerkin system sequentially (batched columns).
 
@@ -305,6 +307,16 @@ def assemble_system(
         memory-bounded automatic size (see
         :meth:`~repro.bem.influence.ColumnAssembler.max_batch_size`), or 1 when
         ``collect_column_times`` is requested.
+    pool:
+        Optional persistent :class:`repro.parallel.pool.WorkerPool` shared
+        across assemblies.  Requires the hierarchical engine (the pool's
+        task protocol is the sharded block-task protocol): the block assembly
+        then runs on the pool's spawn-once workers instead of forking a fresh
+        worker set for this call.
+    cluster_cache:
+        Optional :class:`repro.cluster.block_assembly.ClusterPlanCache`
+        reusing the geometry-determined cluster tree/partition across
+        repeated hierarchical assemblies of the same mesh.
 
     Returns
     -------
@@ -312,6 +324,12 @@ def assemble_system(
         The assembled system with assembly metadata.
     """
     options = options or AssemblyOptions()
+    if options.hierarchical is None and pool is not None:
+        raise AssemblyError(
+            "a persistent WorkerPool executes the sharded block-task protocol; "
+            "pass AssemblyOptions(hierarchical=...) to use it (the dense column "
+            "engine does not consume pools)"
+        )
     if options.hierarchical is not None:
         if column_order is not None or collect_column_times:
             raise AssemblyError(
@@ -322,7 +340,13 @@ def assemble_system(
         from repro.cluster.operator import assemble_hierarchical_system
 
         return assemble_hierarchical_system(
-            mesh, soil, gpr=gpr, options=options, kernel=kernel
+            mesh,
+            soil,
+            gpr=gpr,
+            options=options,
+            kernel=kernel,
+            pool=pool,
+            cluster_cache=cluster_cache,
         )
     if kernel is None:
         kernel = kernel_for_soil(soil, options.series_control)

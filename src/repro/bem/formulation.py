@@ -60,6 +60,13 @@ class GroundingAnalysis:
     solver:
         ``"pcg"`` (default, the paper's diagonally preconditioned CG),
         ``"cg"``, ``"cholesky"`` or ``"lu"``.
+    solver_tolerance:
+        Relative residual tolerance of the iterative solvers (ignored by the
+        direct ones).  Comparisons between runs that should agree to a given
+        level — e.g. campaign-vs-standalone acceptance checks — solve a
+        couple of orders tighter than that level, since the solutions of two
+        near-identical systems can differ by one PCG iteration's correction
+        (~ the tolerance) when their final residuals straddle the threshold.
     max_element_length:
         Optional subdivision of long conductors for refinement studies [m].
     parallel:
@@ -86,6 +93,11 @@ class GroundingAnalysis:
         assembly (and the matvec) across worker processes through
         :mod:`repro.parallel.block_backend`; the column-level ``parallel``
         options do not apply and must stay ``None``.
+    pool:
+        Optional persistent :class:`repro.parallel.pool.WorkerPool` shared
+        across analyses (requires ``hierarchical``): repeated runs then reuse
+        the pool's spawn-once workers instead of forking a fresh worker set
+        per call — the batch path :mod:`repro.campaign` is built on.
     """
 
     grid: GroundingGrid
@@ -95,18 +107,25 @@ class GroundingAnalysis:
     n_gauss: int = DEFAULT_GAUSS_POINTS
     series_control: SeriesControl = field(default_factory=SeriesControl)
     solver: str = "pcg"
+    solver_tolerance: float = 1.0e-10
     max_element_length: float = float("inf")
     parallel: "ParallelOptions | None" = None
     validate: bool = True
     collect_column_times: bool = False
     adaptive: "AdaptiveControl | None" = field(default_factory=AdaptiveControl)
     hierarchical: "HierarchicalControl | bool | None" = None
+    pool: "Any | None" = None
 
     def __post_init__(self) -> None:
         if self.gpr <= 0.0:
             raise ReproError(f"the GPR must be positive, got {self.gpr!r}")
         if not isinstance(self.element_type, ElementType):
             self.element_type = ElementType(self.element_type)
+        if self.pool is not None and (self.hierarchical is None or self.hierarchical is False):
+            raise ReproError(
+                "a persistent WorkerPool executes the sharded block-task protocol; "
+                "pass hierarchical=HierarchicalControl(...) (or True) to use it"
+            )
         if self.hierarchical is not None and self.hierarchical is not False:
             if self.parallel is not None:
                 raise ReproError(
@@ -177,6 +196,7 @@ class GroundingAnalysis:
                 options=options,
                 kernel=kernel,
                 collect_column_times=self.collect_column_times,
+                pool=self.pool,
             )
         else:
             # Imported lazily so the bem package has no hard dependency on the
@@ -204,7 +224,9 @@ class GroundingAnalysis:
             metadata["column_seconds"] = system.metadata["column_seconds"]
 
         start = time.perf_counter()
-        solve_result = solve_system(system.matrix, system.rhs, method=self.solver)
+        solve_result = solve_system(
+            system.matrix, system.rhs, method=self.solver, tolerance=self.solver_tolerance
+        )
         timings["linear_system_solving"] = time.perf_counter() - start
 
         start = time.perf_counter()

@@ -1,0 +1,343 @@
+"""Campaign runner: execute a plan with cross-scenario reuse on a shared pool.
+
+The runner walks the cost-ordered groups of a
+:class:`~repro.campaign.planner.CampaignPlan`:
+
+* one mesh discretisation per geometry variant (and per distinct set of layer
+  interface depths — rods are split at soil interfaces, so meshes are keyed
+  on them);
+* one full assemble + solve + safety raster per *structure group* (the
+  group's base scenario), executed through the ordinary
+  :func:`~repro.bem.assembly.assemble_system` path — on the shared persistent
+  :class:`~repro.parallel.pool.WorkerPool` when one is given, so repeated
+  sharded assemblies reuse spawn-once workers instead of forking per call;
+* derived scenarios obtained by exact scalar algebra: the solution is linear
+  in the injection GPR and in the common soil conductivity scale
+  (``x' = (s'/s_b)(g'/g_b) x_b``; resistance scales by ``s_b/s'``, touch and
+  step voltages by the GPR ratio alone).
+
+Everything reused is reported: the
+:class:`~repro.campaign.result.CampaignResult` carries the planner's reuse
+counts, the process-wide geometry-cache hit/miss delta of the run, the
+cluster-plan cache counters and the pool statistics.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.bem.assembly import AssemblyOptions, assemble_system
+from repro.bem.geometry_cache import default_geometry_cache
+from repro.bem.potential import PotentialEvaluator
+from repro.bem.safety import ieee80_tolerable_step, ieee80_tolerable_touch
+from repro.campaign.planner import CampaignPlan, plan_campaign
+from repro.campaign.result import CampaignResult, ScenarioResult
+from repro.campaign.spec import Campaign
+from repro.cluster.block_assembly import ClusterPlanCache
+from repro.exceptions import ReproError
+from repro.geometry.discretize import discretize_grid
+from repro.kernels.base import kernel_for_soil
+from repro.kernels.truncation import AdaptiveControl
+from repro.solvers import solve_system
+
+__all__ = ["run_campaign", "surface_safety_metrics"]
+
+#: Touch voltages are assessed over the grid footprint plus this reach [m].
+_TOUCH_REACH_M = 1.0
+
+
+def surface_safety_metrics(
+    evaluator: PotentialEvaluator, margin: float, raster: int
+) -> tuple[float, float]:
+    """Worst touch and step voltage over the assessed area [V].
+
+    The surface potential is sampled over the grid's bounding box extended by
+    ``margin``; the touch voltage is ``GPR - V`` over the footprint plus a
+    one-metre reach, the step voltage the potential-gradient magnitude over
+    the whole sampled area.  Shared by the campaign runner and the design
+    optimiser (whose sweeps run as campaigns).
+    """
+    surface = evaluator.surface_potential_over_grid(
+        margin=margin, n_x=raster, n_y=raster
+    )
+    lower, upper = evaluator.mesh.grid.bounding_box()
+    in_reach_x = (surface.x >= lower[0] - _TOUCH_REACH_M) & (
+        surface.x <= upper[0] + _TOUCH_REACH_M
+    )
+    in_reach_y = (surface.y >= lower[1] - _TOUCH_REACH_M) & (
+        surface.y <= upper[1] + _TOUCH_REACH_M
+    )
+    touch_area = surface.values[np.ix_(in_reach_y, in_reach_x)]
+    touch = float(evaluator.gpr - touch_area.min())
+    grad_y, grad_x = np.gradient(surface.values, surface.y, surface.x)
+    step = float(np.hypot(grad_x, grad_y).max())
+    return touch, step
+
+
+def _tolerable_limits(campaign: Campaign, soil, soil_scale: float) -> tuple[float, float]:
+    """IEEE Std 80 tolerable touch/step limits of one scenario."""
+    soil_resistivity = 1.0 / (soil.conductivities[0] * soil_scale)
+    touch = ieee80_tolerable_touch(
+        soil_resistivity,
+        campaign.fault_duration_s,
+        campaign.body_weight_kg,
+        campaign.surface_resistivity,
+        campaign.surface_thickness,
+    )
+    step = ieee80_tolerable_step(
+        soil_resistivity,
+        campaign.fault_duration_s,
+        campaign.body_weight_kg,
+        campaign.surface_resistivity,
+        campaign.surface_thickness,
+    )
+    return float(touch), float(step)
+
+
+def run_campaign(
+    campaign: Campaign,
+    pool=None,
+    workers: int = 0,
+    pool_backend: str = "process",
+    plan: CampaignPlan | None = None,
+) -> CampaignResult:
+    """Execute a campaign and aggregate the per-scenario results.
+
+    Parameters
+    ----------
+    campaign:
+        The declarative campaign.
+    pool:
+        Optional shared persistent :class:`~repro.parallel.pool.WorkerPool`
+        (requires ``campaign.hierarchical``).  The pool is *borrowed*: it is
+        not closed by the runner, so several campaigns can share it.
+    workers:
+        Convenience: with no ``pool`` and ``workers >= 1``, the runner
+        creates its own pool of that size for the duration of the run and
+        closes it deterministically afterwards.
+    pool_backend:
+        Backend of a runner-created pool (``"process"`` or ``"serial"``).
+    plan:
+        Pre-computed plan (defaults to :func:`plan_campaign` on the spot).
+
+    Returns
+    -------
+    CampaignResult
+        Per-scenario results in campaign order, plus timings, reuse counts
+        and cache statistics.
+    """
+    if (pool is not None or workers) and campaign.hierarchical is None:
+        raise ReproError(
+            "a persistent worker pool executes the sharded hierarchical block "
+            "protocol; give the campaign a HierarchicalControl to use one"
+        )
+    if pool is not None and workers:
+        raise ReproError(
+            "pass either a shared pool or a worker count for a runner-owned "
+            f"pool, not both (got pool with {pool.n_workers} workers and "
+            f"workers={workers})"
+        )
+    total_start = time.perf_counter()
+    plan_start = time.perf_counter()
+    plan = plan or plan_campaign(campaign)
+    plan_seconds = time.perf_counter() - plan_start
+
+    own_pool = None
+    if pool is None and workers:
+        from repro.parallel.pool import WorkerPool
+
+        pool = own_pool = WorkerPool(int(workers), backend=pool_backend)
+
+    cluster_cache = ClusterPlanCache()
+    geometry_cache_before = default_geometry_cache().stats()
+    results: dict[int, ScenarioResult] = {}
+    timings = {
+        "plan": plan_seconds,
+        "discretize": 0.0,
+        "assemble": 0.0,
+        "solve": 0.0,
+        "evaluate": 0.0,
+        "derive": 0.0,
+    }
+    try:
+        for geometry_group in plan.geometry_groups:
+            grid = geometry_group.geometry.build_grid()
+            meshes: dict[tuple, Any] = {}  # keyed by layer interface depths
+            for structure in geometry_group.structures:
+                base_spec = structure.base.spec
+                soil_eff = base_spec.effective_soil()
+                start = time.perf_counter()
+                mesh_key = soil_eff.thicknesses
+                mesh = meshes.get(mesh_key)
+                if mesh is None:
+                    mesh = meshes[mesh_key] = discretize_grid(grid, soil=soil_eff)
+                timings["discretize"] += time.perf_counter() - start
+                _run_structure_group(
+                    campaign, structure, grid, mesh, soil_eff, pool, cluster_cache,
+                    results, timings,
+                )
+    finally:
+        if own_pool is not None:
+            own_pool.close()
+
+    geometry_cache_after = default_geometry_cache().stats()
+    cache_stats: dict[str, Any] = {
+        "geometry_cache": {
+            "hits": geometry_cache_after["hits"] - geometry_cache_before["hits"],
+            "misses": geometry_cache_after["misses"] - geometry_cache_before["misses"],
+            "entries": geometry_cache_after["entries"],
+        },
+        "cluster_plan_cache": cluster_cache.stats(),
+    }
+    metadata: dict[str, Any] = {
+        "engine": "hierarchical" if campaign.hierarchical is not None else "dense",
+        "solver": campaign.solver,
+        "pool_workers": pool.n_workers if pool is not None else 0,
+        "pool_backend": pool.backend if pool is not None else None,
+    }
+    if pool is not None:
+        cache_stats["pool"] = dict(pool.stats)
+    timings["total"] = time.perf_counter() - total_start
+    return CampaignResult(
+        name=campaign.name,
+        scenarios=[results[index] for index in sorted(results)],
+        plan_summary=plan.summary(),
+        timings=timings,
+        cache_stats=cache_stats,
+        metadata=metadata,
+    )
+
+
+def _run_structure_group(
+    campaign: Campaign,
+    structure,
+    grid,
+    mesh,
+    soil_eff,
+    pool,
+    cluster_cache: ClusterPlanCache,
+    results: dict[int, ScenarioResult],
+    timings: dict[str, float],
+) -> None:
+    """Assemble + solve the group base, derive the rest by scalar algebra."""
+    base_plan = structure.base
+    base_spec = base_plan.spec
+    kernel = kernel_for_soil(soil_eff, campaign.series_control)
+    hierarchical = campaign.hierarchical
+    if hierarchical is not None:
+        hierarchical = dataclasses.replace(hierarchical, tolerance=base_spec.tolerance)
+    if isinstance(campaign.adaptive, str):  # "tolerance": follow the scenario
+        adaptive = AdaptiveControl(tolerance=base_spec.tolerance)
+    else:
+        adaptive = campaign.adaptive
+    options = AssemblyOptions(
+        element_type=campaign.element_type,
+        n_gauss=campaign.n_gauss,
+        series_control=campaign.series_control,
+        adaptive=adaptive,
+        hierarchical=hierarchical,
+    )
+
+    start = time.perf_counter()
+    system = assemble_system(
+        mesh,
+        soil_eff,
+        gpr=base_spec.gpr,
+        options=options,
+        kernel=kernel,
+        pool=pool,
+        cluster_cache=cluster_cache,
+    )
+    assemble_seconds = time.perf_counter() - start
+    timings["assemble"] += assemble_seconds
+
+    start = time.perf_counter()
+    solved = solve_system(
+        system.matrix,
+        system.rhs,
+        method=campaign.solver,
+        tolerance=campaign.solver_tolerance,
+    )
+    solve_seconds = time.perf_counter() - start
+    timings["solve"] += solve_seconds
+
+    weights = system.dof_manager.assemble_basis_integrals()
+    base_current = float(weights @ solved.solution)
+    base_metadata = {
+        "backend": system.metadata.get("backend"),
+        "solver_converged": bool(solved.converged),
+        # The materialised grid's facts, so downstream consumers (e.g. the
+        # design optimiser) need not rebuild the geometry.
+        "grid": {
+            "total_length_m": float(grid.total_length),
+            "n_rods": len(grid.rods),
+            "summary": grid.summary(),
+        },
+    }
+
+    base_touch = base_step = None
+    evaluate_seconds = 0.0
+    if campaign.assess_safety:
+        start = time.perf_counter()
+        evaluator = PotentialEvaluator(
+            mesh,
+            soil_eff,
+            kernel,
+            system.dof_manager,
+            solved.solution,
+            gpr=base_spec.gpr,
+            adaptive=options.adaptive if options.adaptive is not None else "default",
+        )
+        base_touch, base_step = surface_safety_metrics(
+            evaluator, campaign.safety_margin, campaign.safety_raster
+        )
+        evaluate_seconds = time.perf_counter() - start
+        timings["evaluate"] += evaluate_seconds
+
+    for scenario_plan in structure.plans:
+        spec = scenario_plan.spec
+        start = time.perf_counter()
+        # Exact scaling algebra: the matrix is ``1/scale`` of the base matrix
+        # and the rhs ``gpr`` times the basis integrals, so the solution (and
+        # every linear functional of it) follows by scalar multiplication.
+        ratio = scenario_plan.scale_ratio * scenario_plan.gpr_ratio
+        dof_values = solved.solution if scenario_plan.is_base else solved.solution * ratio
+        current = base_current * ratio
+        touch = step = tolerable_touch = tolerable_step = None
+        if campaign.assess_safety:
+            touch = base_touch * scenario_plan.gpr_ratio
+            step = base_step * scenario_plan.gpr_ratio
+            tolerable_touch, tolerable_step = _tolerable_limits(
+                campaign, spec.soil, spec.soil_scale
+            )
+        derive_seconds = time.perf_counter() - start
+        if not scenario_plan.is_base:
+            timings["derive"] += derive_seconds
+        results[scenario_plan.index] = ScenarioResult(
+            name=spec.name,
+            index=scenario_plan.index,
+            kind=scenario_plan.kind,
+            base_name=base_spec.name,
+            geometry_name=spec.geometry.name,
+            n_elements=int(mesh.n_elements),
+            n_dofs=int(system.n_dofs),
+            gpr=float(spec.gpr),
+            soil_scale=float(spec.soil_scale),
+            dof_values=dof_values,
+            total_current=current,
+            equivalent_resistance=float(spec.gpr) / current,
+            solver_iterations=int(solved.iterations),
+            assemble_seconds=assemble_seconds if scenario_plan.is_base else 0.0,
+            solve_seconds=solve_seconds if scenario_plan.is_base else 0.0,
+            evaluate_seconds=evaluate_seconds if scenario_plan.is_base else derive_seconds,
+            max_touch_voltage=touch,
+            max_step_voltage=step,
+            tolerable_touch_voltage=tolerable_touch,
+            tolerable_step_voltage=tolerable_step,
+            metadata=copy.deepcopy(base_metadata),  # results stay independent
+        )

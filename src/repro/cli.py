@@ -1,12 +1,13 @@
 """Command-line interface of the grounding-analysis library.
 
-Four sub-commands cover the common workflows::
+Five sub-commands cover the common workflows::
 
     python -m repro analyze  --grid grid.json --rho1 400 --rho2 100 --h 1.5 --gpr 10000
     python -m repro barbera  --case two_layer
     python -m repro balaidos --model C
     python -m repro scaling  --case barbera/two_layer --workers 1 2 4 8
     python -m repro scaling  --case barbera/two_layer --workers 1 2 --hierarchical
+    python -m repro campaign --scenarios 12 --workers 2
 
 ``analyze`` reads a grid saved with :func:`repro.geometry.io.save_grid`,
 builds a uniform or two-layer soil from the resistivity options, runs the BEM
@@ -14,7 +15,11 @@ analysis (optionally in parallel) and prints the design report.  The
 ``barbera`` / ``balaidos`` commands run the paper's case studies, and
 ``scaling`` reproduces the parallel study on the local machine —
 ``--hierarchical`` switches it to the sharded hierarchical block backend
-(assemble+solve vs the serial hierarchical engine).
+(assemble+solve vs the serial hierarchical engine).  ``campaign`` runs the
+demo batch grounding study of :mod:`repro.campaign` — many soil/injection/rod
+variants of one grid analysed with cross-scenario reuse, optionally on a
+persistent worker pool — and prints the per-scenario safety table plus the
+reuse statistics.
 """
 
 from __future__ import annotations
@@ -76,6 +81,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--hierarchical",
         action="store_true",
         help="measure the sharded hierarchical block backend instead of the column loop",
+    )
+
+    campaign = subparsers.add_parser(
+        "campaign", help="run the demo batch grounding study (scenario campaign engine)"
+    )
+    campaign.add_argument(
+        "--scenarios", type=int, default=12, help="number of scenarios (1..20)"
+    )
+    campaign.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="persistent pool workers for the sharded assemblies (0 = in-process)",
+    )
+    campaign.add_argument(
+        "--nx", type=int, default=8, help="meshes per side of the shared grid"
+    )
+    campaign.add_argument(
+        "--dense",
+        action="store_true",
+        help="use the dense assembly engine instead of the hierarchical operator",
+    )
+    campaign.add_argument(
+        "--no-safety",
+        action="store_true",
+        help="skip the touch/step safety rasters (timing studies)",
     )
     return parser
 
@@ -209,11 +240,42 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.cad.report import format_table
+    from repro.campaign import demo_campaign, run_campaign
+
+    campaign = demo_campaign(
+        n_scenarios=args.scenarios,
+        nx=args.nx,
+        ny=args.nx,
+        hierarchical=not args.dense,
+        assess_safety=not args.no_safety,
+    )
+    if args.workers and args.dense:
+        raise SystemExit("--workers requires the hierarchical engine (drop --dense)")
+    result = run_campaign(campaign, workers=args.workers)
+
+    columns = ["scenario", "kind", "n_elements", "gpr_v", "Req_ohm", "seconds"]
+    if campaign.assess_safety:
+        columns += ["max_touch_v", "max_step_v", "compliant"]
+    print(
+        format_table(columns, [[row[key] for key in columns] for row in result.table()])
+    )
+    summary = result.plan_summary
+    print(
+        f"\n{result.n_scenarios} scenarios, {summary['n_assemblies']} assemblies "
+        f"(reuse: {summary['reuse_counts']}), total {result.total_seconds:.2f} s"
+    )
+    print(f"cache stats: {result.cache_stats}")
+    return 0
+
+
 _COMMANDS = {
     "analyze": _cmd_analyze,
     "barbera": _cmd_barbera,
     "balaidos": _cmd_balaidos,
     "scaling": _cmd_scaling,
+    "campaign": _cmd_campaign,
 }
 
 

@@ -36,6 +36,7 @@ from repro.cluster.tree import ClusterTree
 
 __all__ = [
     "BlockAssemblyProfile",
+    "ClusterPlanCache",
     "build_block_profile",
     "compress_far_block",
     "far_factor_entries",
@@ -72,13 +73,67 @@ class BlockAssemblyProfile:
     costs: np.ndarray
 
 
-def build_block_profile(assembler, control) -> BlockAssemblyProfile:
-    """Cluster tree, block partition, stopping threshold and cost profile."""
+class ClusterPlanCache:
+    """Cache of ``(cluster tree, block partition)`` keyed by geometry.
+
+    The binary cluster tree and its admissibility block partition depend only
+    on the element geometry and the partition knobs (``leaf_size``, ``eta``) —
+    never on the soil model, the injection current or the tolerance.  A
+    campaign analysing many soil/injection variants of the same grid therefore
+    rebuilds identical trees; this cache (one per
+    :func:`repro.campaign.run_campaign`, or user-held) reuses them.  Both
+    cached objects are immutable once built, so sharing across assemblies is
+    safe.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple, tuple[ClusterTree, BlockClusterTree]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_build(self, assembler, control) -> tuple[ClusterTree, BlockClusterTree]:
+        """The (tree, partition) of an assembler's geometry, built on first use."""
+        # Local import: repro.bem.geometry_cache is independent of the cluster
+        # machinery; the fingerprint keys on element endpoint content.
+        from repro.bem.geometry_cache import array_fingerprint
+
+        key = (
+            array_fingerprint(assembler._p0, assembler._p1),
+            int(control.leaf_size),
+            float(control.eta),
+        )
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        tree = ClusterTree.build(assembler._p0, assembler._p1, control.leaf_size)
+        partition = BlockClusterTree.build(tree, control.eta)
+        self._entries[key] = (tree, partition)
+        return tree, partition
+
+    def stats(self) -> dict:
+        """Hit/miss counters and occupancy."""
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
+
+
+def build_block_profile(
+    assembler, control, cluster_cache: ClusterPlanCache | None = None
+) -> BlockAssemblyProfile:
+    """Cluster tree, block partition, stopping threshold and cost profile.
+
+    ``cluster_cache`` optionally reuses the geometry-determined (tree,
+    partition) pair across repeated assemblies of the same mesh (campaigns,
+    sweeps); everything soil- or tolerance-dependent is still derived fresh.
+    """
     # Local import: repro.parallel imports repro.bem at package load time.
     from repro.parallel.costs import hierarchical_block_costs
 
-    tree = ClusterTree.build(assembler._p0, assembler._p1, control.leaf_size)
-    partition = BlockClusterTree.build(tree, control.eta)
+    if cluster_cache is not None:
+        tree, partition = cluster_cache.get_or_build(assembler, control)
+    else:
+        tree = ClusterTree.build(assembler._p0, assembler._p1, control.leaf_size)
+        partition = BlockClusterTree.build(tree, control.eta)
     scale = assembler.reference_entry_scale()
     stopping = control.tolerance * scale / control.safety
     dof_matrix = assembler.dof_manager.element_dof_matrix()

@@ -168,7 +168,10 @@ class HierarchicalOperator:
 
     @classmethod
     def build(
-        cls, assembler: ColumnAssembler, control: HierarchicalControl | None = None
+        cls,
+        assembler: ColumnAssembler,
+        control: HierarchicalControl | None = None,
+        cluster_cache=None,
     ) -> "HierarchicalOperator":
         """Build the operator for a mesh through its column assembler.
 
@@ -176,11 +179,14 @@ class HierarchicalOperator:
         batched kernels; the far-field blocks are ACA-compressed from exact
         entry samples.  Blocks are processed in descending deterministic-cost
         order (see :func:`repro.parallel.costs.hierarchical_block_costs`), the
-        profile a parallel runner would partition.
+        profile a parallel runner would partition.  ``cluster_cache`` (a
+        :class:`~repro.cluster.block_assembly.ClusterPlanCache`) optionally
+        reuses the geometry-determined cluster tree/partition across repeated
+        assemblies of the same mesh.
         """
         control = control or HierarchicalControl()
         start = time.perf_counter()
-        profile = build_block_profile(assembler, control)
+        profile = build_block_profile(assembler, control, cluster_cache=cluster_cache)
         tree, partition = profile.tree, profile.partition
         scale, stopping = profile.scale, profile.stopping
         dof_matrix, n_dofs, nb = profile.dof_matrix, profile.n_dofs, profile.nb
@@ -371,6 +377,8 @@ def assemble_hierarchical_system(
     gpr: float = DEFAULT_GPR,
     options: AssemblyOptions | None = None,
     kernel: LayeredKernel | None = None,
+    pool=None,
+    cluster_cache=None,
 ) -> LinearSystem:
     """Assemble the Galerkin system as a matrix-free hierarchical operator.
 
@@ -378,6 +386,13 @@ def assemble_hierarchical_system(
     :class:`HierarchicalOperator` in place of the dense matrix; the iterative
     solvers of :mod:`repro.solvers` consume it directly.  Normally reached
     through ``assemble_system(..., options=AssemblyOptions(hierarchical=...))``.
+
+    ``pool`` — a persistent :class:`repro.parallel.pool.WorkerPool` — routes
+    the block assembly through the sharded backend on spawn-once workers that
+    are reused across assemblies (campaigns, sweeps), instead of forking a
+    fresh worker set per call.  ``cluster_cache`` reuses the
+    geometry-determined cluster tree/partition across assemblies of the same
+    mesh.
     """
     options = options or AssemblyOptions(hierarchical=HierarchicalControl())
     control = options.hierarchical
@@ -393,15 +408,19 @@ def assemble_hierarchical_system(
     )
 
     start = time.perf_counter()
-    if control.workers:
+    if pool is not None or control.workers:
         # Sharded block backend: the block partition of
-        # repro.parallel.costs.partition_block_work is executed in parallel.
+        # repro.parallel.costs.partition_block_work is executed in parallel —
+        # on the shared persistent pool when one is passed, on per-call
+        # workers otherwise.
         # Local import: repro.parallel imports repro.bem at package load time.
         from repro.parallel.block_backend import build_sharded_operator
 
-        operator = build_sharded_operator(assembler, control)
+        operator = build_sharded_operator(
+            assembler, control, pool=pool, cluster_cache=cluster_cache
+        )
     else:
-        operator = HierarchicalOperator.build(assembler, control)
+        operator = HierarchicalOperator.build(assembler, control, cluster_cache=cluster_cache)
     generation_seconds = time.perf_counter() - start
     rhs = assemble_rhs(dof_manager, gpr)
 
@@ -412,7 +431,9 @@ def assemble_hierarchical_system(
         "element_type": options.element_type.value,
         "n_gauss": options.n_gauss,
         "soil_layers": soil.n_layers,
-        "backend": "hierarchical-sharded" if control.workers else "hierarchical",
+        "backend": "hierarchical-sharded"
+        if (pool is not None or control.workers)
+        else "hierarchical",
         "hierarchical": dict(operator.stats),
         "adaptive": None
         if options.adaptive is None

@@ -12,6 +12,13 @@ The search is deliberately exhaustive over a small, explicit candidate list —
 grounding designs are reviewed by humans and the full table of candidates is
 part of the deliverable, exactly like the soil-model comparison tables of the
 paper.
+
+The sweep itself runs as a :mod:`repro.campaign` campaign: every candidate is
+one :class:`~repro.campaign.spec.ScenarioSpec` at a unit GPR (the solution is
+linear in the GPR, so the fault scenario's GPR is applied afterwards through
+``ground_potential_rise``), and the campaign runner provides the shared
+geometry/cluster caches — and, optionally, a persistent worker pool plus the
+hierarchical engine for large candidate grids.
 """
 
 from __future__ import annotations
@@ -19,15 +26,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
-import numpy as np
-
-from repro.bem.formulation import GroundingAnalysis
-from repro.bem.geometry_cache import GeometryCache
-from repro.bem.potential import PotentialEvaluator
-from repro.bem.safety import ieee80_tolerable_step, ieee80_tolerable_touch
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import Campaign, GeometryVariant, ScenarioSpec
 from repro.design.fault import FaultScenario, ground_potential_rise
 from repro.exceptions import ReproError
-from repro.geometry.builder import GridBuilder
 from repro.kernels.truncation import AdaptiveControl
 from repro.soil.base import SoilModel
 
@@ -105,107 +107,6 @@ class DesignStudy:
         return [c.summary() for c in ordered]
 
 
-def _evaluate_candidate(
-    width: float,
-    height: float,
-    nx: int,
-    ny: int,
-    with_rods: bool,
-    depth: float,
-    conductor_radius: float,
-    rod_length: float,
-    soil: SoilModel,
-    fault: FaultScenario,
-    surface_resistivity: float | None,
-    surface_thickness: float,
-    body_weight_kg: float,
-    raster: int,
-    adaptive: "AdaptiveControl | None" = None,
-    geometry_cache: "GeometryCache | None" = None,
-) -> DesignCandidate:
-    builder = GridBuilder(
-        depth=depth,
-        conductor_radius=conductor_radius,
-        rod_radius=conductor_radius * 1.2,
-        rod_length=rod_length,
-        name=f"design-{nx}x{ny}{'-rods' if with_rods else ''}",
-    )
-    grid = builder.rectangular_mesh(width, height, nx, ny)
-    n_rods = 0
-    if with_rods:
-        positions = GridBuilder.perimeter_node_positions(grid)[:, :2]
-        builder.add_rods(grid, positions)
-        n_rods = positions.shape[0]
-
-    # The solution scales linearly with the GPR, so solve once at a unit GPR
-    # and rescale with the GPR produced by the fault scenario.
-    results = GroundingAnalysis(
-        grid, soil, gpr=1.0, validate=False, adaptive=adaptive
-    ).run()
-    resistance = results.equivalent_resistance
-    gpr = ground_potential_rise(resistance, fault)
-
-    # The evaluator shares one geometry cache across the whole design sweep:
-    # candidates revisiting a geometry (or a repeated GPR/fault re-analysis)
-    # reuse the in-plane pair data instead of recomputing it.  A caller's
-    # explicit adaptive control governs the rasters too; the evaluator's own
-    # default applies otherwise.
-    evaluator = PotentialEvaluator(
-        results.mesh,
-        results.soil,
-        results.kernel,
-        results.dof_manager,
-        results.dof_values,
-        gpr=results.gpr,
-        adaptive=adaptive if adaptive is not None else "default",
-        geometry_cache=geometry_cache,
-    )
-    surface = evaluator.surface_potential_over_grid(margin=10.0, n_x=raster, n_y=raster)
-    # Scale the unit-GPR surface potential to the GPR of the fault scenario.
-    scaled_values = surface.values * gpr
-    # Touch voltage is assessed over the area a person can reach while touching
-    # grounded structures: the grid footprint plus a one-metre reach margin.
-    # The step voltage is assessed over the whole sampled area (it also matters
-    # outside the fence).
-    lower, upper = grid.bounding_box()
-    reach = 1.0
-    in_reach_x = (surface.x >= lower[0] - reach) & (surface.x <= upper[0] + reach)
-    in_reach_y = (surface.y >= lower[1] - reach) & (surface.y <= upper[1] + reach)
-    touch_area = scaled_values[np.ix_(in_reach_y, in_reach_x)]
-    touch = float(gpr - touch_area.min())
-    grad_y, grad_x = np.gradient(scaled_values, surface.y, surface.x)
-    step = float(np.hypot(grad_x, grad_y).max())
-
-    soil_resistivity = 1.0 / soil.conductivities[0]
-    tolerable_touch = ieee80_tolerable_touch(
-        soil_resistivity,
-        fault.duration_s,
-        body_weight_kg,
-        surface_resistivity,
-        surface_thickness,
-    )
-    tolerable_step = ieee80_tolerable_step(
-        soil_resistivity,
-        fault.duration_s,
-        body_weight_kg,
-        surface_resistivity,
-        surface_thickness,
-    )
-    return DesignCandidate(
-        nx=nx,
-        ny=ny,
-        n_rods=n_rods,
-        total_length=grid.total_length,
-        equivalent_resistance=resistance,
-        gpr=gpr,
-        max_touch_voltage=touch,
-        max_step_voltage=step,
-        tolerable_touch_voltage=float(tolerable_touch),
-        tolerable_step_voltage=float(tolerable_step),
-        metadata={"grid": grid.summary()},
-    )
-
-
 def optimize_grid_design(
     width: float,
     height: float,
@@ -221,6 +122,8 @@ def optimize_grid_design(
     body_weight_kg: float = 70.0,
     raster: int = 25,
     adaptive: "AdaptiveControl | None" = None,
+    hierarchical=None,
+    pool=None,
 ) -> DesignStudy:
     """Search rectangular designs until the IEEE Std 80 limits are met.
 
@@ -249,6 +152,13 @@ def optimize_grid_design(
         the adaptive assembly engine for every candidate analysis (the
         surface-potential rasters always use the adaptive evaluator, sharing
         one geometry cache across the sweep).
+    hierarchical:
+        Optional :class:`repro.cluster.operator.HierarchicalControl`
+        switching every candidate analysis to the matrix-free hierarchical
+        engine (worthwhile for very dense candidate grids).
+    pool:
+        Optional persistent :class:`repro.parallel.pool.WorkerPool` shared
+        with other campaigns (requires ``hierarchical``).
 
     Returns
     -------
@@ -262,8 +172,7 @@ def optimize_grid_design(
         raise ReproError("at least one mesh density must be proposed")
 
     long_side, short_side = max(width, height), min(width, height)
-    sweep_cache = GeometryCache()
-    candidates: list[DesignCandidate] = []
+    variants: list[GeometryVariant] = []
     for density in sorted(set(int(d) for d in mesh_densities)):
         if density < 1:
             raise ReproError("mesh densities must be >= 1")
@@ -272,26 +181,63 @@ def optimize_grid_design(
         nx, ny = (n_long, n_short) if width >= height else (n_short, n_long)
         rod_options = (False, True) if try_rods else (False,)
         for with_rods in rod_options:
-            candidates.append(
-                _evaluate_candidate(
-                    width,
-                    height,
-                    nx,
-                    ny,
-                    with_rods,
-                    depth,
-                    conductor_radius,
-                    rod_length,
-                    soil,
-                    fault,
-                    surface_resistivity,
-                    surface_thickness,
-                    body_weight_kg,
-                    raster,
-                    adaptive,
-                    sweep_cache,
+            variants.append(
+                GeometryVariant(
+                    name=f"design-{nx}x{ny}{'-rods' if with_rods else ''}",
+                    width=width,
+                    height=height,
+                    nx=nx,
+                    ny=ny,
+                    depth=depth,
+                    conductor_radius=conductor_radius,
+                    rod_radius=conductor_radius * 1.2,
+                    rod_length=rod_length,
+                    rods="perimeter" if with_rods else "none",
                 )
             )
+
+    # The sweep runs as a campaign at a unit GPR: the solution scales
+    # linearly with the GPR, so the fault scenario's GPR — which depends on
+    # each candidate's resistance — is applied to the results afterwards.
+    campaign = Campaign(
+        name="design-sweep",
+        scenarios=tuple(
+            ScenarioSpec(name=variant.name, geometry=variant, soil=soil, gpr=1.0)
+            for variant in variants
+        ),
+        hierarchical=hierarchical,
+        adaptive=adaptive,
+        assess_safety=True,
+        safety_raster=raster,
+        safety_margin=10.0,
+        fault_duration_s=fault.duration_s,
+        body_weight_kg=body_weight_kg,
+        surface_resistivity=surface_resistivity,
+        surface_thickness=surface_thickness,
+    )
+    outcome = run_campaign(campaign, pool=pool)
+
+    candidates: list[DesignCandidate] = []
+    for variant, scenario in zip(variants, outcome.scenarios):
+        grid_facts = scenario.metadata["grid"]  # from the runner's built grid
+        resistance = scenario.equivalent_resistance
+        gpr = ground_potential_rise(resistance, fault)
+        candidates.append(
+            DesignCandidate(
+                nx=variant.nx,
+                ny=variant.ny,
+                n_rods=grid_facts["n_rods"],
+                total_length=grid_facts["total_length_m"],
+                equivalent_resistance=resistance,
+                gpr=gpr,
+                # Unit-GPR touch/step voltages scaled to the fault GPR.
+                max_touch_voltage=scenario.max_touch_voltage * gpr,
+                max_step_voltage=scenario.max_step_voltage * gpr,
+                tolerable_touch_voltage=scenario.tolerable_touch_voltage,
+                tolerable_step_voltage=scenario.tolerable_step_voltage,
+                metadata={"grid": grid_facts["summary"], "campaign": outcome.plan_summary},
+            )
+        )
 
     compliant = [c for c in candidates if c.compliant]
     best = min(compliant, key=lambda c: c.total_length) if compliant else None

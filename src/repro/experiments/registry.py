@@ -131,6 +131,23 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             examples=("examples/parallel_scaling.py",),
         ),
         ExperimentSpec(
+            id="campaign_batch",
+            title="Scenario campaign engine: batch throughput with cross-scenario reuse",
+            section="6.2 (extension)",
+            workload="A >=12-scenario grounding study (shared grid, flat+rodded variants, "
+            "two soil families with scale and injection variants) executed through the "
+            "campaign planner/runner on a persistent worker pool, against the same "
+            "scenarios as independent cold GroundingAnalysis runs; solutions must match "
+            "the standalone runs to 1e-10 and be bit-identical across pool worker counts.",
+            modules=(
+                "repro.campaign",
+                "repro.parallel.pool",
+                "repro.parallel.block_backend",
+            ),
+            benchmark="benchmarks/bench_campaign.py",
+            examples=("examples/campaign_study.py",),
+        ),
+        ExperimentSpec(
             id="table_6_3",
             title="Balaidos matrix-generation CPU time and speed-up for soil models A/B/C",
             section="6.2",

@@ -45,6 +45,7 @@ from repro.parallel.block_backend import (
     build_sharded_operator,
     pairwise_tree_sum,
 )
+from repro.parallel.pool import WorkerPool
 from repro.parallel.speedup import (
     SpeedupStudy,
     measure_sharded_speedup,
@@ -54,6 +55,7 @@ from repro.parallel.speedup import (
 
 __all__ = [
     "ShardedHierarchicalOperator",
+    "WorkerPool",
     "build_sharded_operator",
     "measure_sharded_speedup",
     "pairwise_tree_sum",

@@ -315,31 +315,38 @@ class ShardedHierarchicalOperator:
 # --------------------------------------------------------------------------- the builder
 
 
-def build_sharded_operator(assembler, control) -> ShardedHierarchicalOperator:
+def build_sharded_operator(
+    assembler, control, pool=None, cluster_cache=None
+) -> ShardedHierarchicalOperator:
     """Assemble the hierarchical operator with the sharded block backend.
 
     The block cluster tree and its deterministic cost profile are built by the
     master; :func:`~repro.parallel.costs.partition_block_work` splits the
-    blocks into ``control.workers`` LPT shards that the
-    :class:`~repro.parallel.executor.ScheduledExecutor` block-task path
-    executes on the requested backend (``process`` forks workers, ``thread``
-    and ``serial`` run in-process).  Results are regrouped into
+    blocks into LPT shards that are executed either on a one-shot
+    :class:`~repro.parallel.executor.ScheduledExecutor` (``control.workers``
+    workers forked for this assembly — ``process`` backend; ``thread`` and
+    ``serial`` run in-process) or, when ``pool`` is given, on a persistent
+    :class:`~repro.parallel.pool.WorkerPool` whose spawn-once workers are
+    reused across assemblies (the shard count then follows
+    ``pool.n_workers``).  Results are regrouped into
     ``control.matvec_segments`` canonical segments — see the module docstring
-    for the determinism contract.
+    for the determinism contract, which holds for any worker count *and* for
+    either execution path.  ``cluster_cache`` optionally reuses the
+    geometry-determined cluster tree/partition across assemblies.
     """
-    if control.workers < 1:
+    if pool is None and control.workers < 1:
         raise ParallelExecutionError(
             "build_sharded_operator needs HierarchicalControl.workers >= 1 "
-            "(use HierarchicalOperator.build for the serial engine)"
+            "or a WorkerPool (use HierarchicalOperator.build for the serial engine)"
         )
     start = time.perf_counter()
-    profile = build_block_profile(assembler, control)
+    profile = build_block_profile(assembler, control, cluster_cache=cluster_cache)
     tree, partition = profile.tree, profile.partition
     scale, stopping = profile.scale, profile.stopping
     dof_matrix, n_dofs = profile.dof_matrix, profile.n_dofs
     costs = profile.costs
 
-    n_workers = int(control.workers)
+    n_workers = int(pool.n_workers if pool is not None else control.workers)
     shards = partition_block_work(costs, n_workers)
     # Canonical matvec segments: same profile, *fixed* segment count — the
     # reduction structure must not depend on how many workers assembled.
@@ -351,14 +358,23 @@ def build_sharded_operator(assembler, control) -> ShardedHierarchicalOperator:
 
     task = _BlockShardTask(assembler, tree, partition.blocks, control, stopping, dof_matrix)
     executor_start = time.perf_counter()
-    with ScheduledExecutor(
-        task,
-        n_workers=n_workers,
-        backend=control.backend,
-        batch_fn=_BlockShardBatchTask(task),
-        cost_hint=costs,
-    ) as executor:
-        outcome = executor.run_partition(shards, label="LPT")
+    if pool is not None:
+        outcome = pool.run_partition(
+            task,
+            shards,
+            batch_fn=_BlockShardBatchTask(task),
+            cost_hint=costs,
+            label="LPT",
+        )
+    else:
+        with ScheduledExecutor(
+            task,
+            n_workers=n_workers,
+            backend=control.backend,
+            batch_fn=_BlockShardBatchTask(task),
+            cost_hint=costs,
+        ) as executor:
+            outcome = executor.run_partition(shards, label="LPT")
     executor_seconds = time.perf_counter() - executor_start
     outcomes: dict[int, BlockOutcome] = outcome.results
 
@@ -445,7 +461,8 @@ def build_sharded_operator(assembler, control) -> ShardedHierarchicalOperator:
         "near_nnz": near_nnz,
         "block_cost_units_total": float(costs.sum()),
         "workers": n_workers,
-        "backend": str(control.backend),
+        "backend": f"pool-{pool.backend}" if pool is not None else str(control.backend),
+        "persistent_pool": pool is not None,
         "oversubscribed": n_workers > available,
         "n_shards": len([shard for shard in shards if shard]),
         "shard_cost_units": shard_loads,

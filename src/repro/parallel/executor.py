@@ -50,7 +50,13 @@ from repro.parallel.costs import cost_shares
 from repro.parallel.options import Backend
 from repro.parallel.schedule import Schedule, ScheduleKind
 
-__all__ = ["TaskRunResult", "ScheduledExecutor", "run_scheduled_tasks"]
+__all__ = [
+    "TaskRunResult",
+    "ScheduledExecutor",
+    "collect_chunk_results",
+    "normalize_partition",
+    "run_scheduled_tasks",
+]
 
 
 # --------------------------------------------------------------------------- worker side
@@ -116,6 +122,66 @@ def _run_chunk(indices: Sequence[int]) -> list[tuple[int, Any, float]]:
 
 
 # --------------------------------------------------------------------------- results
+
+
+def normalize_partition(
+    partition: Sequence[Sequence[int]],
+) -> tuple[list[list[int]], list[int]]:
+    """Validate an explicit worker partition into ``(chunks, indices)``.
+
+    Shared by :meth:`ScheduledExecutor.run_partition` and the persistent
+    :class:`repro.parallel.pool.WorkerPool`: task ids are int-coerced, empty
+    shards dropped, and a task assigned to more than one shard rejected —
+    one rule set for every partition path.
+    """
+    chunks = [[int(i) for i in shard] for shard in partition]
+    chunks = [chunk for chunk in chunks if chunk]
+    indices = [index for chunk in chunks for index in chunk]
+    if len(set(indices)) != len(indices):
+        raise ParallelExecutionError(
+            "partition assigns at least one task to more than one shard"
+        )
+    return chunks, indices
+
+
+def collect_chunk_results(
+    raw: list[list[tuple[int, Any, float]]],
+    indices: Sequence[int],
+    wall: float,
+    n_chunks: int,
+    n_workers: int,
+    schedule_label: str,
+    backend: str,
+) -> "TaskRunResult":
+    """Fold executed-chunk outputs into a :class:`TaskRunResult`.
+
+    Shared by :class:`ScheduledExecutor` and the persistent
+    :class:`repro.parallel.pool.WorkerPool`: per-task results and timings are
+    indexed back to the submission order, and a missing (or duplicated) task
+    id fails loudly.
+    """
+    indices = [int(i) for i in indices]
+    n_tasks = len(indices)
+    results: dict[int, Any] = {}
+    task_seconds = np.zeros(n_tasks)
+    position = {task: k for k, task in enumerate(indices)}
+    for chunk_output in raw:
+        for task_id, value, elapsed in chunk_output:
+            results[task_id] = value
+            task_seconds[position[task_id]] = elapsed
+    if len(results) != n_tasks:
+        raise ParallelExecutionError(
+            f"scheduled run returned {len(results)} results for {n_tasks} tasks"
+        )
+    return TaskRunResult(
+        results=results,
+        wall_seconds=wall,
+        task_seconds=task_seconds,
+        n_chunks=n_chunks,
+        n_workers=n_workers,
+        schedule=schedule_label,
+        backend=backend,
+    )
 
 
 @dataclass
@@ -215,6 +281,17 @@ class ScheduledExecutor:
         return self
 
     def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the worker pools down deterministically (idempotent).
+
+        Equivalent to leaving the ``with`` block: worker processes are
+        terminated and joined, thread pools shut down, and the module-level
+        task slots cleared.  Exposed so pool-backed executors can be torn
+        down at a well-defined point instead of relying on interpreter
+        ``atexit`` ordering (which leaks worker processes under pytest).
+        """
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
@@ -256,13 +333,7 @@ class ScheduledExecutor:
         back, nothing else crosses the boundary); empty shards are skipped.
         Raises when a task id appears in more than one shard.
         """
-        chunks = [[int(i) for i in shard] for shard in partition]
-        chunks = [chunk for chunk in chunks if chunk]
-        indices = [index for chunk in chunks for index in chunk]
-        if len(set(indices)) != len(indices):
-            raise ParallelExecutionError(
-                "partition assigns at least one task to more than one shard"
-            )
+        chunks, indices = normalize_partition(partition)
         start = time.perf_counter()
 
         if self.backend is Backend.SERIAL or self.n_workers == 1:
@@ -297,30 +368,11 @@ class ScheduledExecutor:
     ) -> TaskRunResult:
         """Fold executed-chunk outputs into a :class:`TaskRunResult`.
 
-        Shared by :meth:`run` and :meth:`run_partition`: per-task results and
-        timings are indexed back to the submission order, and a missing (or
-        duplicated) task id fails loudly.
+        Shared by :meth:`run` and :meth:`run_partition` (and, through
+        :func:`collect_chunk_results`, by the persistent worker pool).
         """
-        n_tasks = len(indices)
-        results: dict[int, Any] = {}
-        task_seconds = np.zeros(n_tasks)
-        position = {task: k for k, task in enumerate(indices)}
-        for chunk_output in raw:
-            for task_id, value, elapsed in chunk_output:
-                results[task_id] = value
-                task_seconds[position[task_id]] = elapsed
-        if len(results) != n_tasks:
-            raise ParallelExecutionError(
-                f"scheduled run returned {len(results)} results for {n_tasks} tasks"
-            )
-        return TaskRunResult(
-            results=results,
-            wall_seconds=wall,
-            task_seconds=task_seconds,
-            n_chunks=n_chunks,
-            n_workers=self.n_workers,
-            schedule=schedule_label,
-            backend=self.backend.value,
+        return collect_chunk_results(
+            raw, indices, wall, n_chunks, self.n_workers, schedule_label, self.backend.value
         )
 
     # -- backend internals ------------------------------------------------------------

@@ -1,0 +1,476 @@
+"""Persistent worker pool: sharded-backend processes reused across assemblies.
+
+The sharded hierarchical block backend of :mod:`repro.parallel.block_backend`
+is a pure message-passing protocol — every task is a self-contained cluster
+block, only plain arrays travel between master and workers.  Until now each
+assembly paid the full price of that protocol's *setup*: a fresh ``fork`` of
+the worker processes, pool construction and teardown, and cold worker-side
+caches.  For one large solve that cost is noise; for a *campaign* of many
+scenario assemblies (:mod:`repro.campaign`) it dominates the per-scenario
+overhead — the ROADMAP's "persistent worker pool reused across assemblies
+would amortise the fork+IPC cost of repeated sweeps".
+
+:class:`WorkerPool` keeps the workers alive across assemblies:
+
+* **spawn-once** — worker processes are forked when the pool is created and
+  survive until :meth:`WorkerPool.close` (or the ``with`` block) ends;
+* **task-queue protocol** — each assembly ships its task context (the block
+  task capturing assembler, cluster tree and partition) to the workers once,
+  then dispatches explicit LPT shards exactly like
+  :meth:`~repro.parallel.executor.ScheduledExecutor.run_partition`; results
+  are folded through the same :func:`~repro.parallel.executor.collect_chunk_results`;
+* **worker-death detection and respawn** — a worker that dies (killed,
+  OOM-reaped, crashed) is detected through its broken pipe, a replacement is
+  forked, the current context re-shipped and the lost shard re-executed.
+  Because block tasks are pure functions of the block, the re-executed shard
+  is bit-identical to what the dead worker would have produced, so the
+  deterministic-reduction contract of the sharded backend survives respawns;
+* **serial fallback** — ``backend="serial"`` executes every shard in-process
+  with the identical protocol semantics (used on platforms without ``fork``
+  and as the deterministic reference in tests).
+
+Worker-side caches (the process-wide
+:class:`~repro.bem.geometry_cache.GeometryCache`) stay warm across the
+assemblies of a campaign, which is where the cross-scenario reuse of in-plane
+pair geometry pays off a second time inside the workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import multiprocessing.connection
+import time
+import traceback
+from typing import Any, Callable, Sequence
+
+from repro.exceptions import ParallelExecutionError
+from repro.parallel.executor import (
+    TaskRunResult,
+    _execute_chunk,
+    collect_chunk_results,
+    normalize_partition,
+)
+
+__all__ = ["WorkerPool"]
+
+#: Seconds between liveness checks while waiting for shard results.
+_POLL_SECONDS: float = 0.2
+
+#: Default cap on worker respawns over a pool's lifetime.  Respawning is the
+#: recovery path for *rare* deaths; a task that keeps killing its workers must
+#: eventually fail loudly instead of looping forever.
+DEFAULT_MAX_RESPAWNS: int = 8
+
+
+def _pool_worker_main(worker_id: int, connection, stale_connections) -> None:
+    """Long-lived worker loop: receive contexts and shard chunks, send results.
+
+    Messages from the master (tuples, first element is the kind):
+
+    ``("context", seq, task_fn, batch_fn, cost_hint)``
+        Install task context ``seq``; replaces any previous context.
+    ``("run", job_id, seq, indices)``
+        Execute one shard chunk under context ``seq`` through the shared
+        :func:`~repro.parallel.executor._execute_chunk` and reply
+        ``("result", job_id, output)`` — or ``("error", job_id, text)`` when
+        the task raises or the context is stale (a master bug).
+    ``("stop",)``
+        Exit the loop.
+    """
+    # A forked child inherits the master ends of every live pipe — its own
+    # and those of every earlier worker.  Close them all: a sibling's death
+    # must reach the master as a broken pipe, and the master's own death must
+    # reach *this* worker as EOF on recv (an inherited copy of our master end
+    # would keep the pipe open forever and orphan the worker).
+    for stale in stale_connections:
+        try:
+            stale.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+    context_seq = -1
+    task_fn: Callable[[int], Any] | None = None
+    batch_fn = None
+    cost_hint = None
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError):  # master is gone
+            break
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind == "context":
+            _, context_seq, task_fn, batch_fn, cost_hint = message
+            continue
+        if kind != "run":  # pragma: no cover - defensive
+            connection.send(("error", -1, f"unknown message kind {kind!r}"))
+            continue
+        _, job_id, seq, indices = message
+        if seq != context_seq:
+            connection.send(
+                ("error", job_id, f"worker {worker_id} holds context {context_seq}, "
+                 f"job expects {seq}")
+            )
+            continue
+        try:
+            output = _execute_chunk(task_fn, batch_fn, cost_hint, indices)
+        except BaseException:
+            connection.send(("error", job_id, traceback.format_exc()))
+            continue
+        connection.send(("result", job_id, output))
+
+
+class _WorkerHandle:
+    """One pool worker: its process, pipe and currently installed context."""
+
+    __slots__ = ("process", "connection", "context_seq")
+
+    def __init__(self, process, connection) -> None:
+        self.process = process
+        self.connection = connection
+        self.context_seq = -1
+
+
+class WorkerPool:
+    """Spawn-once pool of block-task workers shared across assemblies.
+
+    Use as a context manager (or call :meth:`close` explicitly) so the worker
+    processes are torn down deterministically::
+
+        with WorkerPool(n_workers=4) as pool:
+            system_a = assemble_system(mesh_a, soil, options=opts, pool=pool)
+            system_b = assemble_system(mesh_b, soil, options=opts, pool=pool)
+
+    Parameters
+    ----------
+    n_workers:
+        Number of persistent workers (>= 1).
+    backend:
+        ``"process"`` (default) forks long-lived worker processes;
+        ``"serial"`` executes every shard in the calling process with the same
+        protocol semantics (fallback for fork-less platforms and tests).
+    max_respawns:
+        Total worker respawns tolerated over the pool's lifetime before a
+        death is treated as fatal.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        backend: str = "process",
+        max_respawns: int = DEFAULT_MAX_RESPAWNS,
+    ) -> None:
+        if n_workers < 1:
+            raise ParallelExecutionError(f"n_workers must be >= 1, got {n_workers}")
+        if backend not in ("process", "serial"):
+            raise ParallelExecutionError(
+                f"WorkerPool backend must be 'process' or 'serial', got {backend!r}"
+            )
+        self.n_workers = int(n_workers)
+        self.backend = backend
+        self.max_respawns = int(max_respawns)
+        self._workers: list[_WorkerHandle | None] = [None] * self.n_workers
+        self._context_seq = 0
+        self._context: tuple[Any, Any, Any] | None = None
+        self._job_counter = 0
+        self._closed = False
+        self.stats: dict[str, int] = {
+            "runs": 0,
+            "chunks_dispatched": 0,
+            "tasks_executed": 0,
+            "contexts_shipped": 0,
+            "respawns": 0,
+        }
+        if self.backend == "process":
+            self._mp_context = mp.get_context("fork")
+            for slot in range(self.n_workers):
+                self._spawn(slot)
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def _spawn(self, slot: int) -> _WorkerHandle:
+        """Fork a fresh worker into ``slot`` (initial spawn and respawn)."""
+        parent_conn, child_conn = self._mp_context.Pipe(duplex=True)
+        # Master-side pipe ends this fork will inherit — the other live
+        # workers' and its own; the child closes them first thing (see
+        # _pool_worker_main).
+        stale = [h.connection for h in self._workers if h is not None] + [parent_conn]
+        process = self._mp_context.Process(
+            target=_pool_worker_main,
+            args=(slot, child_conn, stale),
+            daemon=True,
+            name=f"repro-pool-{slot}",
+        )
+        process.start()
+        child_conn.close()  # the child owns its end; keeping a copy would mask EOF
+        handle = _WorkerHandle(process, parent_conn)
+        self._workers[slot] = handle
+        return handle
+
+    def _respawn(self, slot: int) -> _WorkerHandle:
+        """Replace a dead worker, bounded by ``max_respawns``."""
+        self.stats["respawns"] += 1
+        if self.stats["respawns"] > self.max_respawns:
+            raise ParallelExecutionError(
+                f"pool worker {slot} died and the respawn budget "
+                f"({self.max_respawns}) is exhausted"
+            )
+        old = self._workers[slot]
+        if old is not None:
+            try:
+                old.connection.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            if old.process.is_alive():  # pragma: no cover - defensive
+                old.process.terminate()
+            old.process.join(timeout=5.0)
+        return self._spawn(slot)
+
+    def close(self) -> None:
+        """Stop and join every worker (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._workers:
+            if handle is None:
+                continue
+            try:
+                handle.connection.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for handle in self._workers:
+            if handle is None:
+                continue
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():  # pragma: no cover - stuck worker
+                handle.process.terminate()
+                handle.process.join(timeout=5.0)
+            try:
+                handle.connection.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        self._workers = [None] * self.n_workers
+        self._context = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    def alive_workers(self) -> int:
+        """Number of currently live worker processes (0 for the serial backend)."""
+        return sum(
+            1
+            for handle in self._workers
+            if handle is not None and handle.process.is_alive()
+        )
+
+    # ------------------------------------------------------------------ execution
+
+    def run_partition(
+        self,
+        task: Callable[[int], Any],
+        partition: Sequence[Sequence[int]],
+        batch_fn: Callable[[Sequence[int]], list[tuple[int, Any]]] | None = None,
+        cost_hint: Any = None,
+        label: str = "Pool",
+    ) -> TaskRunResult:
+        """Execute tasks under an explicit worker partition on the live pool.
+
+        Mirrors :meth:`~repro.parallel.executor.ScheduledExecutor.run_partition`
+        — one shard per chunk, duplicate-assignment rejection, results folded
+        into a :class:`~repro.parallel.executor.TaskRunResult` — but ships the
+        task context over the persistent workers' pipes instead of relying on
+        fork-time inheritance, so one pool serves any number of assemblies.
+        Shards beyond ``n_workers`` are dispatched round-robin.
+        """
+        if self._closed:
+            raise ParallelExecutionError("the worker pool is closed")
+        chunks, indices = normalize_partition(partition)
+        self.stats["runs"] += 1
+        self.stats["chunks_dispatched"] += len(chunks)
+        self.stats["tasks_executed"] += len(indices)
+        start = time.perf_counter()
+
+        if self.backend == "serial":
+            raw = [_execute_chunk(task, batch_fn, cost_hint, chunk) for chunk in chunks]
+        else:
+            raw = self._run_process_chunks(task, batch_fn, cost_hint, chunks)
+
+        wall = time.perf_counter() - start
+        return collect_chunk_results(
+            raw,
+            indices,
+            wall,
+            len(chunks),
+            self.n_workers,
+            f"{label},{len(chunks)}",
+            f"pool-{self.backend}",
+        )
+
+    # ------------------------------------------------------------------ process internals
+
+    def _install_context(self, handle: _WorkerHandle) -> None:
+        """Ship the current task context to one worker (if not already held)."""
+        if handle.context_seq == self._context_seq:
+            return
+        task, batch_fn, cost_hint = self._context  # type: ignore[misc]
+        handle.connection.send(("context", self._context_seq, task, batch_fn, cost_hint))
+        handle.context_seq = self._context_seq
+        self.stats["contexts_shipped"] += 1
+
+    def _dispatch(self, slot: int, job_id: int, chunk: list[int]) -> None:
+        """Send one shard to one worker, respawning through send failures."""
+        while True:
+            handle = self._workers[slot]
+            if handle is None or not handle.process.is_alive():
+                handle = self._respawn(slot)
+            try:
+                self._install_context(handle)
+                handle.connection.send(("run", job_id, self._context_seq, chunk))
+                return
+            except (BrokenPipeError, OSError):
+                if handle.process.is_alive():  # pragma: no cover - defensive
+                    handle.process.terminate()
+                handle.process.join(timeout=5.0)
+                continue  # _respawn (bounded) picks it up on the next pass
+
+    def _run_process_chunks(
+        self, task, batch_fn, cost_hint, chunks: list[list[int]]
+    ) -> list[list[tuple[int, Any, float]]]:
+        # A new run means a new context: the task captures the assembly state
+        # of *this* call, so workers must never reuse a previous one.
+        self._context_seq += 1
+        self._context = (task, batch_fn, cost_hint)
+
+        # Job ids are unique over the pool's lifetime: a run aborted by an
+        # error may leave results of old jobs in the pipes, and those must
+        # never be mistaken for this run's shards.
+        job_order: list[int] = []
+        pending: dict[int, tuple[int, list[int]]] = {}
+        raw: dict[int, list[tuple[int, Any, float]]] = {}
+        try:
+            for position, chunk in enumerate(chunks):
+                job_id = self._job_counter
+                self._job_counter += 1
+                slot = position % self.n_workers
+                pending[job_id] = (slot, chunk)
+                job_order.append(job_id)
+                self._dispatch(slot, job_id, chunk)
+
+            while pending:
+                connections = {
+                    self._workers[slot].connection: slot  # type: ignore[union-attr]
+                    for slot, _ in pending.values()
+                    if self._workers[slot] is not None
+                }
+                ready = mp.connection.wait(list(connections), timeout=_POLL_SECONDS)
+                if not ready:
+                    self._recover_dead_workers(pending)
+                    continue
+                for connection in ready:
+                    slot = connections[connection]
+                    try:
+                        message = connection.recv()
+                    except (EOFError, OSError):
+                        self._recover_slot(slot, pending)
+                        continue
+                    kind = message[0]
+                    job_id = message[1]
+                    if job_id not in pending:
+                        continue  # stale payload from an aborted earlier run
+                    if kind == "error":
+                        del pending[job_id]
+                        raise ParallelExecutionError(
+                            f"pool worker {slot} failed:\n{message[2]}"
+                        )
+                    raw[job_id] = message[2]
+                    del pending[job_id]
+        except BaseException:
+            # Whatever aborted the run (a task error, an exhausted respawn
+            # budget, an interrupt), workers still owning shards must be
+            # replaced before the error propagates — see _abort_outstanding.
+            self._abort_outstanding(pending)
+            raise
+        self._context = None
+        self._clear_worker_contexts()
+        return [raw[job_id] for job_id in job_order]
+
+    def _clear_worker_contexts(self) -> None:
+        """Tell workers to drop the finished run's task context.
+
+        The context captures a whole assembly (assembler arrays, cluster
+        tree); without the clear message every idle worker would pin that
+        footprint until the next run ships a replacement.  Sequence 0 is
+        never a real context id (``_context_seq`` pre-increments from 0), so
+        a stale ``run`` message can never match a cleared slot.
+        """
+        for handle in self._workers:
+            if handle is None or handle.context_seq <= 0:
+                continue
+            try:
+                handle.connection.send(("context", 0, None, None, None))
+                handle.context_seq = 0
+            except (BrokenPipeError, OSError):
+                pass  # dead worker: lazily respawned at the next dispatch
+
+    def _abort_outstanding(self, pending: dict[int, tuple[int, list[int]]]) -> None:
+        """Replace every worker still owning shards of a failed run.
+
+        A raising run abandons its outstanding shards; their workers would
+        eventually block sending large results nobody reads, and the next
+        run's blocking context send to such a worker would deadlock.  Fresh
+        workers keep the pool reusable after the error propagates.  These are
+        deliberate replacements, not crash recoveries, so they bypass the
+        respawn budget.
+        """
+        for slot in {slot for slot, _ in pending.values()}:
+            handle = self._workers[slot]
+            if handle is None:
+                continue
+            try:
+                handle.connection.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            if handle.process.is_alive():
+                handle.process.terminate()
+            handle.process.join(timeout=5.0)
+            self._spawn(slot)
+        pending.clear()
+        self._context = None
+        # Workers that survived the abort (error reporters, finished shards)
+        # still hold the shipped context; drop it so an idle pool does not
+        # pin an assembly's footprint per worker between campaigns.
+        self._clear_worker_contexts()
+
+    def _recover_dead_workers(self, pending: dict[int, tuple[int, list[int]]]) -> None:
+        """Respawn workers that died while owning outstanding shards."""
+        for slot in {slot for slot, _ in pending.values()}:
+            handle = self._workers[slot]
+            if handle is None or not handle.process.is_alive():
+                self._recover_slot(slot, pending)
+
+    def _recover_slot(self, slot: int, pending: dict[int, tuple[int, list[int]]]) -> None:
+        """Respawn one worker and re-dispatch its outstanding shards to it."""
+        self._respawn(slot)
+        for job_id, (owner, chunk) in list(pending.items()):
+            if owner == slot:
+                self._dispatch(slot, job_id, chunk)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WorkerPool(n_workers={self.n_workers}, backend={self.backend!r}, "
+            f"alive={self.alive_workers()}, closed={self._closed})"
+        )

@@ -1,0 +1,186 @@
+"""Tests of the campaign runner: reuse correctness against standalone runs."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.bem.formulation import GroundingAnalysis
+from repro.campaign import (
+    Campaign,
+    GeometryVariant,
+    ScenarioSpec,
+    run_campaign,
+)
+from repro.exceptions import ReproError
+from repro.soil.two_layer import TwoLayerSoil
+from repro.soil.uniform import UniformSoil
+
+GEOMETRY = GeometryVariant(name="g", width=18.0, height=18.0, nx=3, ny=3)
+RODDED = GeometryVariant(name="r", width=18.0, height=18.0, nx=3, ny=3, rods="corners")
+SOIL = TwoLayerSoil(0.005, 0.016, 1.0)
+
+
+def _dense_campaign(scenarios, **kwargs) -> Campaign:
+    return Campaign(name="test", scenarios=tuple(scenarios), **kwargs)
+
+
+@pytest.fixture(scope="module")
+def reuse_campaign_result():
+    scenarios = (
+        ScenarioSpec(name="base", geometry=GEOMETRY, soil=SOIL, gpr=10_000.0),
+        ScenarioSpec(name="hot", geometry=GEOMETRY, soil=SOIL, gpr=15_000.0),
+        ScenarioSpec(
+            name="wet", geometry=GEOMETRY, soil=SOIL, soil_scale=1.25, gpr=12_000.0
+        ),
+        ScenarioSpec(name="uni", geometry=GEOMETRY, soil=UniformSoil(0.01)),
+        ScenarioSpec(name="rodded", geometry=RODDED, soil=SOIL),
+    )
+    # 1e-12 solves keep the 1e-10 standalone comparison clear of the
+    # one-PCG-iteration flip between near-identical systems.
+    campaign = _dense_campaign(scenarios, solver_tolerance=1.0e-12)
+    return campaign, run_campaign(campaign)
+
+
+class TestRunnerAgainstStandalone:
+    def test_all_scenarios_match_standalone_1e10(self, reuse_campaign_result):
+        """Every scenario — assembled or derived — matches an independent
+        GroundingAnalysis run of the same case to 1e-10."""
+        campaign, result = reuse_campaign_result
+        for spec, scenario in zip(campaign.scenarios, result.scenarios):
+            standalone = GroundingAnalysis(
+                spec.geometry.build_grid(),
+                spec.effective_soil(),
+                gpr=spec.gpr,
+                validate=False,
+                solver_tolerance=campaign.solver_tolerance,
+            ).run()
+            scale = float(np.abs(standalone.dof_values).max())
+            deviation = float(np.abs(scenario.dof_values - standalone.dof_values).max())
+            assert deviation <= 1.0e-10 * scale, (spec.name, deviation / scale)
+            assert scenario.equivalent_resistance == pytest.approx(
+                standalone.equivalent_resistance, rel=1.0e-9
+            )
+
+    def test_result_order_and_kinds(self, reuse_campaign_result):
+        campaign, result = reuse_campaign_result
+        assert [r.name for r in result.scenarios] == [s.name for s in campaign.scenarios]
+        kinds = {r.name: r.kind for r in result.scenarios}
+        assert kinds == {
+            "base": "assemble",
+            "hot": "injection",
+            "wet": "soil-scale",
+            "uni": "assemble",
+            "rodded": "assemble",
+        }
+        assert result.plan_summary["n_assemblies"] == 3
+
+    def test_injection_scaling_is_exact(self, reuse_campaign_result):
+        campaign, result = reuse_campaign_result
+        base = result.scenario("base")
+        hot = result.scenario("hot")
+        np.testing.assert_array_equal(hot.dof_values, base.dof_values * 1.5)
+        assert hot.equivalent_resistance == pytest.approx(base.equivalent_resistance)
+        assert hot.max_touch_voltage == pytest.approx(1.5 * base.max_touch_voltage)
+        assert hot.max_step_voltage == pytest.approx(1.5 * base.max_step_voltage)
+
+    def test_soil_scale_resistance_law(self, reuse_campaign_result):
+        """Scaling every conductivity by s scales the resistance by 1/s."""
+        _, result = reuse_campaign_result
+        base = result.scenario("base")
+        wet = result.scenario("wet")
+        assert wet.equivalent_resistance == pytest.approx(
+            base.equivalent_resistance / 1.25, rel=1.0e-12
+        )
+
+    def test_safety_verdicts_present(self, reuse_campaign_result):
+        _, result = reuse_campaign_result
+        for scenario in result.scenarios:
+            verdicts = scenario.verdicts
+            assert set(verdicts) == {"touch", "step", "compliant"}
+            assert verdicts["compliant"] == (verdicts["touch"] and verdicts["step"])
+            assert scenario.max_touch_voltage > 0.0
+            assert scenario.tolerable_touch_voltage > 0.0
+
+    def test_timings_and_cache_stats(self, reuse_campaign_result):
+        _, result = reuse_campaign_result
+        assert result.timings["total"] > 0.0
+        assert result.timings["assemble"] > 0.0
+        assert "geometry_cache" in result.cache_stats
+        assert "cluster_plan_cache" in result.cache_stats
+        # Derived scenarios must cost (essentially) nothing.
+        derived = [r for r in result.scenarios if r.kind != "assemble"]
+        assert derived
+        for scenario in derived:
+            assert scenario.assemble_seconds == 0.0
+            assert scenario.solve_seconds == 0.0
+
+    def test_table_and_solutions(self, reuse_campaign_result):
+        campaign, result = reuse_campaign_result
+        rows = result.table()
+        assert len(rows) == campaign.n_scenarios
+        assert rows[0]["scenario"] == "base"
+        solutions = result.solutions()
+        assert set(solutions) == {s.name for s in campaign.scenarios}
+
+    def test_scenario_lookup(self, reuse_campaign_result):
+        _, result = reuse_campaign_result
+        assert result.scenario("base").name == "base"
+        with pytest.raises(KeyError):
+            result.scenario("missing")
+
+
+class TestRunnerOptions:
+    def test_pool_requires_hierarchical(self):
+        campaign = _dense_campaign(
+            [ScenarioSpec(name="s", geometry=GEOMETRY, soil=SOIL)]
+        )
+        with pytest.raises(ReproError, match="HierarchicalControl"):
+            run_campaign(campaign, workers=2)
+
+    def test_safety_can_be_skipped(self):
+        campaign = _dense_campaign(
+            [ScenarioSpec(name="s", geometry=GEOMETRY, soil=SOIL)],
+            assess_safety=False,
+        )
+        result = run_campaign(campaign)
+        scenario = result.scenarios[0]
+        assert scenario.max_touch_voltage is None
+        assert scenario.verdicts is None
+        assert result.timings["evaluate"] == 0.0
+
+    def test_exact_engine_matches_exact_standalone(self):
+        spec = ScenarioSpec(name="s", geometry=GEOMETRY, soil=UniformSoil(0.01))
+        campaign = _dense_campaign([spec], adaptive=None, assess_safety=False)
+        result = run_campaign(campaign)
+        standalone = GroundingAnalysis(
+            spec.geometry.build_grid(),
+            spec.soil,
+            gpr=spec.gpr,
+            validate=False,
+            adaptive=None,
+        ).run()
+        np.testing.assert_allclose(
+            result.scenarios[0].dof_values,
+            standalone.dof_values,
+            rtol=0.0,
+            atol=1.0e-10 * float(np.abs(standalone.dof_values).max()),
+        )
+
+    def test_scenario_tolerance_reaches_hierarchical_control(self):
+        from repro.cluster import HierarchicalControl
+
+        spec = ScenarioSpec(
+            name="s", geometry=GEOMETRY, soil=UniformSoil(0.01), tolerance=1e-9
+        )
+        campaign = Campaign(
+            name="c",
+            scenarios=(spec,),
+            hierarchical=HierarchicalControl(leaf_size=8),
+            assess_safety=False,
+        )
+        result = run_campaign(campaign)
+        assert result.scenarios[0].metadata["backend"] == "hierarchical"
+        assert result.scenarios[0].metadata["solver_converged"]

@@ -27,6 +27,7 @@ PAPER_ARTEFACTS = {
 #: Artefacts grown beyond the paper (scaling extensions of Section 6).
 GROWN_ARTEFACTS = {
     "sharded_hierarchical",
+    "campaign_batch",
 }
 
 

@@ -104,6 +104,20 @@ class TestReuse:
         with pytest.raises(ParallelExecutionError):
             executor.run(range(4), Schedule.parse("Dynamic,1"))
 
+    @pytest.mark.parametrize("backend", [Backend.PROCESS, Backend.THREAD])
+    def test_close_shuts_pools_down_deterministically(self, backend):
+        """close() is the explicit counterpart of leaving the with-block, so
+        pool-backed executors never rely on interpreter atexit ordering."""
+        executor = ScheduledExecutor(square, n_workers=2, backend=backend)
+        executor.__enter__()
+        outcome = executor.run(range(4), Schedule.parse("Dynamic,1"))
+        assert sorted(outcome.results) == [0, 1, 2, 3]
+        executor.close()
+        assert executor._pool is None and executor._thread_pool is None
+        executor.close()  # idempotent
+        with pytest.raises(ParallelExecutionError):
+            executor.run(range(4), Schedule.parse("Dynamic,1"))
+
 
 def square_batch(indices):
     return [(int(i), i * i) for i in indices]

@@ -20,6 +20,13 @@ class TestParser:
         assert excinfo.value.code == 0
         assert "repro" in capsys.readouterr().out
 
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.command == "campaign"
+        assert args.scenarios == 12
+        assert args.workers == 0
+        assert args.dense is False
+
     def test_analyze_arguments(self):
         args = build_parser().parse_args(
             ["analyze", "--grid", "g.json", "--rho1", "400", "--rho2", "100", "--h", "1.5"]
@@ -86,6 +93,20 @@ class TestAnalyzeCommand:
         grid_path = save_grid(small_grid, tmp_path / "grid.json")
         with pytest.raises(ReproError):
             main(["analyze", "--grid", str(grid_path), "--rho1", "400", "--rho2", "100"])
+
+
+class TestCampaignCommand:
+    def test_demo_campaign_runs(self, capsys):
+        exit_code = main(["campaign", "--scenarios", "6", "--nx", "4"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "flat-tl-base" in output
+        assert "assemblies" in output
+        assert "cache stats" in output
+
+    def test_workers_require_hierarchical(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--scenarios", "4", "--dense", "--workers", "2"])
 
 
 class TestCaseStudyCommands:
