@@ -10,6 +10,19 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "== static contracts (repro.contracts over src) =="
+# Gate first: the determinism/fork-safety analyzer must be clean before any
+# runtime test spends cycles. Exit 0 means zero undisabled findings.
+python -m repro.contracts check src
+python -m pytest -q -p no:randomly tests/contracts
+
+if python -c "import mypy" >/dev/null 2>&1; then
+  echo "== mypy (pinned mypy.ini: lenient baseline, strict repro.contracts) =="
+  python -m mypy --config-file mypy.ini
+else
+  echo "== mypy not installed; skipping (CI installs and runs it) =="
+fi
+
 echo "== full test suite =="
 python -m pytest -q -p no:randomly tests
 

@@ -23,7 +23,6 @@ cheap.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Sequence
 
@@ -39,6 +38,7 @@ from repro.kernels.base import LayeredKernel, kernel_for_soil
 from repro.kernels.series import SeriesControl
 from repro.kernels.truncation import AdaptiveControl
 from repro.soil.base import SoilModel
+from repro.timing import wall_clock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from repro.cluster.operator import HierarchicalControl
@@ -217,9 +217,9 @@ def scatter_column(
 
 def compute_column(assembler: ColumnAssembler, source_index: int) -> ColumnResult:
     """Compute (and time) the elemental blocks of one column."""
-    start = time.perf_counter()
+    start = wall_clock()
     targets, blocks = assembler.column_blocks(source_index)
-    elapsed = time.perf_counter() - start
+    elapsed = wall_clock() - start
     return ColumnResult(
         source_index=source_index, targets=targets, blocks=blocks, elapsed_seconds=elapsed
     )
@@ -243,9 +243,9 @@ def compute_column_batch(
     from repro.parallel.costs import cost_shares
 
     indices = [int(i) for i in source_indices]
-    start = time.perf_counter()
+    start = wall_clock()
     pairs = assembler.column_batch(indices)
-    elapsed = time.perf_counter() - start
+    elapsed = wall_clock() - start
 
     if isinstance(cost_hint, str):
         if cost_hint != "uniform":
@@ -374,7 +374,7 @@ def assemble_system(
     else:
         cost_hint = "uniform"
 
-    start = time.perf_counter()
+    start = wall_clock()
     column_seconds = np.zeros(mesh.n_elements)
     for batch_start in range(0, len(columns), batch_size):
         batch = columns[batch_start : batch_start + batch_size]
@@ -385,7 +385,7 @@ def assemble_system(
         scatter_columns(matrix, dof_matrix, batch_results)
         for column in batch_results:
             column_seconds[column.source_index] = column.elapsed_seconds
-    generation_seconds = time.perf_counter() - start
+    generation_seconds = wall_clock() - start
 
     rhs = assemble_rhs(dof_manager, gpr)
 

@@ -13,7 +13,6 @@ handed to one of the parallel backends of :mod:`repro.parallel` by passing a
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
@@ -30,10 +29,12 @@ from repro.kernels.series import SeriesControl
 from repro.kernels.truncation import AdaptiveControl
 from repro.soil.base import SoilModel
 from repro.solvers import solve_system
+from repro.timing import wall_clock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.operator import HierarchicalControl
     from repro.parallel.options import ParallelOptions
+    from repro.parallel.pool import WorkerPool
 
 __all__ = ["GroundingAnalysis"]
 
@@ -114,7 +115,7 @@ class GroundingAnalysis:
     collect_column_times: bool = False
     adaptive: "AdaptiveControl | None" = field(default_factory=AdaptiveControl)
     hierarchical: "HierarchicalControl | bool | None" = None
-    pool: "Any | None" = None
+    pool: "WorkerPool | None" = None
 
     def __post_init__(self) -> None:
         if self.gpr <= 0.0:
@@ -171,11 +172,11 @@ class GroundingAnalysis:
         timings: dict[str, float] = {}
         metadata: dict[str, Any] = {}
 
-        start = time.perf_counter()
+        start = wall_clock()
         grid = self.load()
-        timings["data_input"] = time.perf_counter() - start
+        timings["data_input"] = wall_clock() - start
 
-        start = time.perf_counter()
+        start = wall_clock()
         mesh = self.preprocess()
         kernel = kernel_for_soil(self.soil, self.series_control)
         options = AssemblyOptions(
@@ -185,9 +186,9 @@ class GroundingAnalysis:
             adaptive=self.adaptive,
             hierarchical=self.hierarchical,
         )
-        timings["data_preprocessing"] = time.perf_counter() - start
+        timings["data_preprocessing"] = wall_clock() - start
 
-        start = time.perf_counter()
+        start = wall_clock()
         if self.parallel is None:
             system = assemble_system(
                 mesh,
@@ -212,7 +213,7 @@ class GroundingAnalysis:
                 parallel=self.parallel,
                 collect_column_times=self.collect_column_times,
             )
-        timings["matrix_generation"] = time.perf_counter() - start
+        timings["matrix_generation"] = wall_clock() - start
         metadata.update(
             {
                 key: value
@@ -223,13 +224,13 @@ class GroundingAnalysis:
         if "column_seconds" in system.metadata:
             metadata["column_seconds"] = system.metadata["column_seconds"]
 
-        start = time.perf_counter()
+        start = wall_clock()
         solve_result = solve_system(
             system.matrix, system.rhs, method=self.solver, tolerance=self.solver_tolerance
         )
-        timings["linear_system_solving"] = time.perf_counter() - start
+        timings["linear_system_solving"] = wall_clock() - start
 
-        start = time.perf_counter()
+        start = wall_clock()
         results = AnalysisResults(
             mesh=mesh,
             soil=self.soil,
@@ -241,7 +242,7 @@ class GroundingAnalysis:
             timings=timings,
             metadata=metadata,
         )
-        timings["results_storage"] = time.perf_counter() - start
+        timings["results_storage"] = wall_clock() - start
         del grid
         return results
 

@@ -57,7 +57,7 @@ def surface_layer_derating(
         raise ReproError("resistivities must be positive")
     if surface_thickness < 0.0:
         raise ReproError("the surface-layer thickness cannot be negative")
-    if surface_thickness == 0.0:
+    if surface_thickness == 0.0:  # contracts: disable=API001 -- exact user-given sentinel: 0.0 means no surface layer
         return 1.0
     return 1.0 - 0.09 * (1.0 - soil_resistivity / surface_resistivity) / (
         2.0 * surface_thickness + 0.09
@@ -71,7 +71,7 @@ def _body_current_factor(body_weight_kg: float) -> float:
             f"IEEE Std 80 defines tolerable-voltage formulas for 50 kg and 70 kg persons, "
             f"got {body_weight_kg!r} kg"
         )
-    return 0.116 if body_weight_kg == 50.0 else 0.157
+    return 0.116 if body_weight_kg == 50.0 else 0.157  # contracts: disable=API001 -- IEEE Std 80 enumerates exactly 50.0/70.0 kg, validated above
 
 
 def ieee80_tolerable_touch(

@@ -609,7 +609,7 @@ def adaptive_segment_sums(
     d_min = np.maximum(radius, _D_FLOOR)
 
     scalar_source = np.ndim(z0) == 0 and np.ndim(z_slope) == 0 and np.ndim(length) == 0
-    flat = scalar_source and float(z_slope) == 0.0
+    flat = scalar_source and float(z_slope) == 0.0  # contracts: disable=API001 -- exact flat-mesh sentinel: builders assign z_slope = 0.0 literally
     use_f32 = exact32_idx.size or midpoint_idx.size
     if use_f32:
         x_z32 = x_z.astype(np.float32)

@@ -88,7 +88,7 @@ class LinearSystem:
         if not self.is_dense:
             return 0.0
         norm = float(np.linalg.norm(self.matrix))
-        if norm == 0.0:
+        if norm == 0.0:  # contracts: disable=API001 -- division guard: only an exactly zero norm divides by zero
             return 0.0
         return float(np.linalg.norm(self.matrix - self.matrix.T)) / norm
 

@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import copy
 import dataclasses
-import time
 from typing import Any
 
 import numpy as np
@@ -44,6 +43,7 @@ from repro.geometry.discretize import discretize_grid
 from repro.kernels.base import kernel_for_soil
 from repro.kernels.truncation import AdaptiveControl
 from repro.solvers import solve_system
+from repro.timing import wall_clock
 
 __all__ = ["run_campaign", "surface_safety_metrics"]
 
@@ -142,10 +142,10 @@ def run_campaign(
             f"pool, not both (got pool with {pool.n_workers} workers and "
             f"workers={workers})"
         )
-    total_start = time.perf_counter()
-    plan_start = time.perf_counter()
+    total_start = wall_clock()
+    plan_start = wall_clock()
     plan = plan or plan_campaign(campaign)
-    plan_seconds = time.perf_counter() - plan_start
+    plan_seconds = wall_clock() - plan_start
 
     own_pool = None
     if pool is None and workers:
@@ -171,12 +171,12 @@ def run_campaign(
             for structure in geometry_group.structures:
                 base_spec = structure.base.spec
                 soil_eff = base_spec.effective_soil()
-                start = time.perf_counter()
+                start = wall_clock()
                 mesh_key = soil_eff.thicknesses
                 mesh = meshes.get(mesh_key)
                 if mesh is None:
                     mesh = meshes[mesh_key] = discretize_grid(grid, soil=soil_eff)
-                timings["discretize"] += time.perf_counter() - start
+                timings["discretize"] += wall_clock() - start
                 _run_structure_group(
                     campaign, structure, grid, mesh, soil_eff, pool, cluster_cache,
                     results, timings,
@@ -202,7 +202,7 @@ def run_campaign(
     }
     if pool is not None:
         cache_stats["pool"] = dict(pool.stats)
-    timings["total"] = time.perf_counter() - total_start
+    timings["total"] = wall_clock() - total_start
     return CampaignResult(
         name=campaign.name,
         scenarios=[results[index] for index in sorted(results)],
@@ -243,7 +243,7 @@ def _run_structure_group(
         hierarchical=hierarchical,
     )
 
-    start = time.perf_counter()
+    start = wall_clock()
     system = assemble_system(
         mesh,
         soil_eff,
@@ -253,17 +253,17 @@ def _run_structure_group(
         pool=pool,
         cluster_cache=cluster_cache,
     )
-    assemble_seconds = time.perf_counter() - start
+    assemble_seconds = wall_clock() - start
     timings["assemble"] += assemble_seconds
 
-    start = time.perf_counter()
+    start = wall_clock()
     solved = solve_system(
         system.matrix,
         system.rhs,
         method=campaign.solver,
         tolerance=campaign.solver_tolerance,
     )
-    solve_seconds = time.perf_counter() - start
+    solve_seconds = wall_clock() - start
     timings["solve"] += solve_seconds
 
     weights = system.dof_manager.assemble_basis_integrals()
@@ -283,7 +283,7 @@ def _run_structure_group(
     base_touch = base_step = None
     evaluate_seconds = 0.0
     if campaign.assess_safety:
-        start = time.perf_counter()
+        start = wall_clock()
         evaluator = PotentialEvaluator(
             mesh,
             soil_eff,
@@ -296,12 +296,12 @@ def _run_structure_group(
         base_touch, base_step = surface_safety_metrics(
             evaluator, campaign.safety_margin, campaign.safety_raster
         )
-        evaluate_seconds = time.perf_counter() - start
+        evaluate_seconds = wall_clock() - start
         timings["evaluate"] += evaluate_seconds
 
     for scenario_plan in structure.plans:
         spec = scenario_plan.spec
-        start = time.perf_counter()
+        start = wall_clock()
         # Exact scaling algebra: the matrix is ``1/scale`` of the base matrix
         # and the rhs ``gpr`` times the basis integrals, so the solution (and
         # every linear functional of it) follows by scalar multiplication.
@@ -315,7 +315,7 @@ def _run_structure_group(
             tolerable_touch, tolerable_step = _tolerable_limits(
                 campaign, spec.soil, spec.soil_scale
             )
-        derive_seconds = time.perf_counter() - start
+        derive_seconds = wall_clock() - start
         if not scenario_plan.is_base:
             timings["derive"] += derive_seconds
         results[scenario_plan.index] = ScenarioResult(

@@ -28,6 +28,7 @@ from repro.soil.uniform import UniformSoil
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.operator import HierarchicalControl
+    from repro.kernels.truncation import AdaptiveControl
 
 __all__ = ["Campaign", "GeometryVariant", "ScenarioSpec", "scaled_soil"]
 
@@ -46,7 +47,7 @@ def scaled_soil(soil: SoilModel, factor: float) -> SoilModel:
     """
     if not np.isfinite(factor) or factor <= 0.0:
         raise ReproError(f"the soil scale factor must be positive, got {factor!r}")
-    if factor == 1.0:
+    if factor == 1.0:  # contracts: disable=API001 -- exact scale sentinel declared by the user, never a computed ratio
         return soil
     conductivities = tuple(g * float(factor) for g in soil.conductivities)
     if soil.n_layers == 1:
@@ -252,8 +253,8 @@ class Campaign:
     series_control: SeriesControl = field(default_factory=SeriesControl)
     solver: str = "pcg"
     solver_tolerance: float = 1.0e-10
-    hierarchical: "HierarchicalControl | None" = None
-    adaptive: object = "tolerance"
+    hierarchical: "HierarchicalControl | bool | None" = None
+    adaptive: "AdaptiveControl | str | None" = "tolerance"
     assess_safety: bool = True
     safety_raster: int = 15
     safety_margin: float = 10.0

@@ -16,6 +16,7 @@ from repro.campaign.spec import Campaign, GeometryVariant, ScenarioSpec
 from repro.exceptions import ReproError
 from repro.soil.two_layer import TwoLayerSoil
 from repro.soil.uniform import UniformSoil
+from repro.timing import wall_clock
 
 __all__ = ["demo_campaign", "standalone_scenario_run"]
 
@@ -31,12 +32,11 @@ def standalone_scenario_run(campaign: Campaign, spec: ScenarioSpec, workers: int
     the process-wide geometry cache first.
     """
     import dataclasses
-    import time
 
     from repro.bem.formulation import GroundingAnalysis
     from repro.kernels.truncation import AdaptiveControl
 
-    start = time.perf_counter()
+    start = wall_clock()
     hierarchical = campaign.hierarchical
     if hierarchical is not None:
         hierarchical = dataclasses.replace(
@@ -65,7 +65,7 @@ def standalone_scenario_run(campaign: Campaign, spec: ScenarioSpec, workers: int
             n_x=campaign.safety_raster,
             n_y=campaign.safety_raster,
         )
-    return analysis.dof_values, time.perf_counter() - start
+    return analysis.dof_values, wall_clock() - start
 
 
 #: (label, soil scale factor, injection GPR [V]) variants per structure group.

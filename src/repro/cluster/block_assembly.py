@@ -27,12 +27,17 @@ the property the sharded backend's cross-worker-count determinism rests on.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.cluster.aca import LowRankFactors, aca_lowrank
 from repro.cluster.blocks import BlockClusterTree
 from repro.cluster.tree import ClusterTree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.bem.influence import ColumnAssembler
+    from repro.cluster.operator import HierarchicalControl
 
 __all__ = [
     "BlockAssemblyProfile",
@@ -118,7 +123,9 @@ class ClusterPlanCache:
 
 
 def build_block_profile(
-    assembler, control, cluster_cache: ClusterPlanCache | None = None
+    assembler: "ColumnAssembler",
+    control: "HierarchicalControl",
+    cluster_cache: ClusterPlanCache | None = None,
 ) -> BlockAssemblyProfile:
     """Cluster tree, block partition, stopping threshold and cost profile.
 

@@ -34,7 +34,6 @@ hierarchical operator matches the dense matrix entrywise to
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Any
 
@@ -56,6 +55,7 @@ from repro.exceptions import ClusterError
 from repro.geometry.discretize import Mesh
 from repro.kernels.base import LayeredKernel, kernel_for_soil
 from repro.soil.base import SoilModel
+from repro.timing import wall_clock
 
 __all__ = ["HierarchicalControl", "HierarchicalOperator", "assemble_hierarchical_system"]
 
@@ -185,7 +185,7 @@ class HierarchicalOperator:
         assemblies of the same mesh.
         """
         control = control or HierarchicalControl()
-        start = time.perf_counter()
+        start = wall_clock()
         profile = build_block_profile(assembler, control, cluster_cache=cluster_cache)
         tree, partition = profile.tree, profile.partition
         scale, stopping = profile.scale, profile.stopping
@@ -210,7 +210,7 @@ class HierarchicalOperator:
         # Per-block sampling and stopping logic live in
         # :func:`repro.cluster.block_assembly.compress_far_block`, shared with
         # the sharded block backend so shard factors equal the serial ones.
-        far_start = time.perf_counter()
+        far_start = wall_clock()
         for block_index in block_order:
             block = partition.blocks[int(block_index)]
             if not block.admissible:
@@ -240,7 +240,7 @@ class HierarchicalOperator:
             v_vals.append(vv)
             total_rank += rank
 
-        far_seconds = time.perf_counter() - far_start
+        far_seconds = wall_clock() - far_start
 
         # --- near field: dense-engine columns, one block at a time ---
         # Each inadmissible (or fallback) block runs through
@@ -250,7 +250,7 @@ class HierarchicalOperator:
         # block (BLAS reductions block differently for different batch
         # shapes), so the serial engine and every shard of the sharded
         # backend produce bit-identical near entries.
-        near_start = time.perf_counter()
+        near_start = wall_clock()
         near_pairs = 0
         for block in partition.near:
             rows_e = tree.elements_of(block.row)
@@ -271,7 +271,7 @@ class HierarchicalOperator:
             near_cols.append(cc)
             near_vals.append(vv)
             near_pairs += rows_e.size * cols_e.size
-        near_seconds = time.perf_counter() - near_start
+        near_seconds = wall_clock() - near_start
 
         def _csr(rows, cols, vals, shape) -> sparse.csr_matrix:
             if not rows:
@@ -319,7 +319,7 @@ class HierarchicalOperator:
         stats["memory_bytes"] = operator.memory_bytes()
         stats["dense_bytes"] = 8 * n_dofs * n_dofs
         stats["compression"] = stats["memory_bytes"] / max(stats["dense_bytes"], 1)
-        stats["build_seconds"] = time.perf_counter() - start
+        stats["build_seconds"] = wall_clock() - start
         return operator
 
     # ------------------------------------------------------------------ linear algebra
@@ -407,7 +407,7 @@ def assemble_hierarchical_system(
         mesh, kernel, dof_manager, options.n_gauss, adaptive=options.adaptive
     )
 
-    start = time.perf_counter()
+    start = wall_clock()
     if pool is not None or control.workers:
         # Sharded block backend: the block partition of
         # repro.parallel.costs.partition_block_work is executed in parallel —
@@ -421,7 +421,7 @@ def assemble_hierarchical_system(
         )
     else:
         operator = HierarchicalOperator.build(assembler, control, cluster_cache=cluster_cache)
-    generation_seconds = time.perf_counter() - start
+    generation_seconds = wall_clock() - start
     rhs = assemble_rhs(dof_manager, gpr)
 
     metadata: dict[str, Any] = {

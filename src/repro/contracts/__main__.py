@@ -1,0 +1,8 @@
+"""``python -m repro.contracts`` — command-line entry point."""
+
+import sys
+
+from repro.contracts.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

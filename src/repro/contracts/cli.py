@@ -1,0 +1,93 @@
+"""``python -m repro.contracts`` — the analyzer's command-line interface.
+
+::
+
+    python -m repro.contracts check src              # human report, exit 1 on findings
+    python -m repro.contracts check src --format json --output contracts-report.json
+    python -m repro.contracts rules                  # list the rule battery
+
+``check`` analyzes every ``.py`` file under the given paths (default:
+``src``) with the default rule battery and exits 0 only when no active
+finding remains — suppressed findings (justified pragmas) are listed in the
+report but do not gate.  ``--output`` always writes the report file, even
+when findings gate the exit code, so CI can upload it as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.contracts.engine import analyze_paths
+from repro.contracts.report import render_human, render_json
+from repro.contracts.rules import default_rules, rule_catalog
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.contracts`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.contracts",
+        description="Static determinism/fork-safety contract analyzer.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    check = subparsers.add_parser("check", help="analyze paths and gate on findings")
+    check.add_argument(
+        "paths", nargs="*", default=["src"], help="files/directories to analyze (default: src)"
+    )
+    check.add_argument(
+        "--format", choices=("human", "json"), default="human", help="report format"
+    )
+    check.add_argument(
+        "--output",
+        default=None,
+        help="also write the JSON report (the CI artifact) to this file, "
+        "whatever --format prints to stdout",
+    )
+    check.add_argument(
+        "--verbose",
+        action="store_true",
+        help="list the suppressed findings and their justifications (human format)",
+    )
+
+    subparsers.add_parser("rules", help="list the rule battery")
+    return parser
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(f"repro.contracts: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    report = analyze_paths(args.paths, default_rules())
+    rendered = (
+        render_json(report)
+        if args.format == "json"
+        else render_human(report, verbose=args.verbose) + "\n"
+    )
+    if args.output:
+        Path(args.output).write_text(
+            rendered if args.format == "json" else render_json(report),
+            encoding="utf-8",
+        )
+    sys.stdout.write(rendered)
+    return report.exit_code
+
+
+def _cmd_rules(args: argparse.Namespace) -> int:
+    for rule_id, title in rule_catalog():
+        print(f"{rule_id}  {title}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``python -m repro.contracts`` (returns the exit code)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "rules":
+        return _cmd_rules(args)
+    return _cmd_check(args)

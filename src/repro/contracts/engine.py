@@ -1,0 +1,346 @@
+"""Analysis engine: file walking, per-file visitor dispatch, suppression.
+
+The engine parses each Python file once, builds a :class:`ModuleContext`
+(AST, parent links, resolved import aliases, pragma index, module name) and
+walks the tree a single time, dispatching every node to the rules that
+registered interest in its type — the per-file visitor-dispatch pattern that
+keeps a growing rule battery at one AST traversal per file.
+
+Determinism contract of the analyzer itself: files are analysed in sorted
+display-path order and findings are sorted by ``(path, line, column, rule
+id, message)``, so the report is byte-identical regardless of filesystem walk
+order or the order paths are passed in.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Protocol, Sequence, runtime_checkable
+
+from repro.contracts.findings import Finding, Report
+from repro.contracts.pragmas import FilePragmas, parse_pragmas
+
+__all__ = [
+    "ModuleContext",
+    "Rule",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+    "module_name_for",
+    "resolved_call_name",
+]
+
+#: Meta rule id of files the parser rejects (not disableable).
+PARSE_RULE_ID = "PARSE001"
+
+#: Directory names whose contents are never analysed.
+_SKIPPED_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "results"}
+
+#: Path parts marking measurement / test code, exempt from the library rules.
+_TEST_PARTS = {"tests", "benchmarks"}
+
+
+@runtime_checkable
+class Rule(Protocol):
+    """The contract every analyzer rule implements.
+
+    ``rule_id`` / ``title`` identify the rule in reports; ``node_types`` are
+    the AST node classes the engine dispatches to :meth:`visit_node`.
+    :meth:`applies_to` is consulted once per file — rules scope themselves to
+    packages / module families there.
+    """
+
+    rule_id: str
+    title: str
+    node_types: tuple[type, ...]
+
+    def applies_to(self, context: "ModuleContext") -> bool:
+        """Whether this rule runs on ``context``'s file at all."""
+        ...
+
+    def visit_node(self, node: ast.AST, context: "ModuleContext") -> Iterable[Finding]:
+        """Findings of one dispatched node (empty iterable when clean)."""
+        ...
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may need about the file under analysis."""
+
+    path: Path
+    display_path: str
+    module: str | None
+    source: str
+    tree: ast.Module
+    lines: list[str]
+    pragmas: FilePragmas
+    is_test_code: bool
+    #: import alias -> fully qualified module/name ("np" -> "numpy",
+    #: "default_rng" -> "numpy.random.default_rng").
+    imports: dict[str, str] = field(default_factory=dict)
+    #: child AST node -> parent AST node (for scope walking).
+    parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+
+    def finding(self, node: ast.AST, rule_id: str, message: str) -> Finding:
+        """A finding anchored at ``node``'s location in this file."""
+        return Finding(
+            path=self.display_path,
+            line=int(getattr(node, "lineno", 1)),
+            column=int(getattr(node, "col_offset", 0)),
+            rule_id=rule_id,
+            message=message,
+        )
+
+    def enclosing_functions(self, node: ast.AST) -> list[ast.AST]:
+        """Enclosing function defs of ``node``, innermost first."""
+        stack: list[ast.AST] = []
+        current = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                stack.append(current)
+            current = self.parents.get(current)
+        return stack
+
+    def module_calls(self, qualified_name: str) -> bool:
+        """Whether any call in the file resolves to ``qualified_name``."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Call):
+                if resolved_call_name(node, self) == qualified_name:
+                    return True
+        return False
+
+
+def module_name_for(path: Path) -> str | None:
+    """Dotted module name of ``path``, best effort.
+
+    Uses the last ``src`` directory on the path as the import root, falling
+    back to the last ``repro`` package directory, then to the bare stem.
+    ``__init__`` / ``__main__`` resolve to their package.
+    """
+    parts = list(path.parts)
+    stem = path.stem
+    if "src" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("src")
+        dotted = parts[anchor + 1 : -1]
+    elif "repro" in parts[:-1]:
+        anchor = len(parts) - 1 - parts[:-1][::-1].index("repro")
+        dotted = parts[anchor:-1]
+    else:
+        dotted = []
+    if stem not in ("__init__", "__main__"):
+        dotted = list(dotted) + [stem]
+    return ".".join(dotted) if dotted else None
+
+
+def _display_path(path: Path) -> str:
+    """Stable, POSIX-separated display path (relative to cwd when inside)."""
+    resolved = path.resolve()
+    try:
+        return resolved.relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def iter_python_files(paths: Sequence[Path | str]) -> list[Path]:
+    """Every ``.py`` file under ``paths``, deduplicated and sorted.
+
+    Sorting happens on the display path, which is what makes the report
+    independent of ``os.walk`` ordering and of the order ``paths`` are given.
+    """
+    found: dict[str, Path] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path.suffix == ".py":
+                found[_display_path(path)] = path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = [d for d in dirnames if d not in _SKIPPED_DIRS]
+            for filename in filenames:
+                if filename.endswith(".py"):
+                    file_path = Path(dirpath) / filename
+                    found[_display_path(file_path)] = file_path
+    return [found[key] for key in sorted(found)]
+
+
+def _build_imports(tree: ast.Module) -> dict[str, str]:
+    """Alias table of every ``import`` / ``from ... import`` in the file."""
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                table[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                if alias.asname:
+                    table[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                table[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return table
+
+
+def _dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for Name/Attribute chains, else ``None``."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def resolved_call_name(call: ast.Call, context: ModuleContext) -> str | None:
+    """Fully qualified name of ``call``'s callee, through the import aliases.
+
+    ``np.random.default_rng(...)`` resolves to
+    ``numpy.random.default_rng`` whatever numpy was imported as; a bare
+    ``default_rng(...)`` resolves through its ``from numpy.random import
+    default_rng`` alias.  Unresolvable callees (attribute chains rooted at a
+    local object) return the syntactic dotted name, or ``None``.
+    """
+    dotted = _dotted_name(call.func)
+    if dotted is None:
+        return None
+    root, _, rest = dotted.partition(".")
+    target = context.imports.get(root)
+    if target is None:
+        return dotted
+    return f"{target}.{rest}" if rest else target
+
+
+def _build_parents(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    return parents
+
+
+def _is_test_code(path: Path) -> bool:
+    parts = set(path.parts)
+    return bool(parts & _TEST_PARTS) or path.name == "conftest.py"
+
+
+def build_context(
+    source: str,
+    path: Path,
+    display_path: str,
+    known_rule_ids: set[str],
+) -> ModuleContext | Finding:
+    """Parse ``source`` into a :class:`ModuleContext` (or a PARSE001 finding)."""
+    try:
+        tree = ast.parse(source, filename=display_path)
+    except SyntaxError as error:
+        return Finding(
+            path=display_path,
+            line=int(error.lineno or 1),
+            column=int(error.offset or 0),
+            rule_id=PARSE_RULE_ID,
+            message=f"file cannot be parsed: {error.msg}",
+        )
+    return ModuleContext(
+        path=path,
+        display_path=display_path,
+        module=module_name_for(path),
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+        pragmas=parse_pragmas(source, display_path, known_rule_ids),
+        is_test_code=_is_test_code(path),
+        imports=_build_imports(tree),
+        parents=_build_parents(tree),
+    )
+
+
+def _run_rules(context: ModuleContext, rules: Sequence[Rule]) -> list[Finding]:
+    """One AST walk, dispatching each node to the interested rules."""
+    dispatch: dict[type, list[Rule]] = {}
+    for rule in rules:
+        if not rule.applies_to(context):
+            continue
+        for node_type in rule.node_types:
+            dispatch.setdefault(node_type, []).append(rule)
+    if not dispatch:
+        return []
+    findings: list[Finding] = []
+    for node in ast.walk(context.tree):
+        for rule in dispatch.get(type(node), ()):
+            findings.extend(rule.visit_node(node, context))
+    return findings
+
+
+def _apply_pragmas(
+    findings: list[Finding], pragmas: FilePragmas
+) -> tuple[list[Finding], list[Finding]]:
+    """Split raw findings into (active, suppressed) under the file's pragmas."""
+    active: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in findings:
+        pragma = pragmas.suppression_for(finding.line, finding.rule_id)
+        if pragma is None:
+            active.append(finding)
+        else:
+            suppressed.append(
+                Finding(
+                    path=finding.path,
+                    line=finding.line,
+                    column=finding.column,
+                    rule_id=finding.rule_id,
+                    message=finding.message,
+                    suppressed=True,
+                    justification=pragma.justification,
+                )
+            )
+    return active, suppressed
+
+
+def analyze_source(
+    source: str,
+    path: Path | str,
+    rules: Sequence[Rule],
+    display_path: str | None = None,
+) -> tuple[list[Finding], list[Finding]]:
+    """Analyze one in-memory source: ``(active, suppressed)`` findings.
+
+    The unit the tests exercise directly; :func:`analyze_paths` is a sorted
+    fold of this over a file set.
+    """
+    path = Path(path)
+    display = display_path if display_path is not None else _display_path(path)
+    known = {rule.rule_id for rule in rules}
+    context = build_context(source, path, display, known)
+    if isinstance(context, Finding):
+        return [context], []
+    findings = _run_rules(context, rules)
+    active, suppressed = _apply_pragmas(findings, context.pragmas)
+    # Pragma problems (missing justification, unknown ids, bad syntax) are
+    # findings in their own right and can never be pragma'd away.
+    active.extend(context.pragmas.problems)
+    return active, suppressed
+
+
+def analyze_paths(paths: Sequence[Path | str], rules: Sequence[Rule]) -> Report:
+    """Analyze every Python file under ``paths`` into a :class:`Report`."""
+    files = iter_python_files(paths)
+    all_active: list[Finding] = []
+    all_suppressed: list[Finding] = []
+    for file_path in files:
+        source = file_path.read_text(encoding="utf-8")
+        active, suppressed = analyze_source(source, file_path, rules)
+        all_active.extend(active)
+        all_suppressed.extend(suppressed)
+    return Report(
+        findings=tuple(all_active),
+        suppressed=tuple(all_suppressed),
+        n_files=len(files),
+        rule_ids=tuple(sorted(rule.rule_id for rule in rules)),
+    )

@@ -1,0 +1,131 @@
+"""Finding and report value objects of the contract analyzer.
+
+A :class:`Finding` is one rule violation at one source location.  Findings are
+plain frozen dataclasses with a lossless dict/JSON representation
+(:meth:`Finding.to_dict` / :meth:`Finding.from_dict`) so reports can be
+archived as CI artifacts and diffed across runs.  A :class:`Report` aggregates
+the findings of one analysis run, split into *active* findings (which gate the
+exit code) and *suppressed* ones (disabled by a justified pragma — kept in the
+report so the suppression inventory stays inspectable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Finding", "Report"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One contract violation (or suppressed violation) at one location.
+
+    Parameters
+    ----------
+    path:
+        Display path of the offending file (POSIX separators; stable across
+        filesystem walk order).
+    line, column:
+        1-based line and 0-based column of the offending node.
+    rule_id:
+        Identifier of the violated rule (``DET001`` ... ``API001``, or the
+        built-in ``PRAGMA001`` / ``PARSE001`` meta rules).
+    message:
+        Human-readable description of the violation.
+    suppressed:
+        Whether a justified ``# contracts: disable=`` pragma covers the
+        finding (suppressed findings do not gate the exit code).
+    justification:
+        The pragma's mandatory justification text (suppressed findings only).
+    """
+
+    path: str
+    line: int
+    column: int
+    rule_id: str
+    message: str
+    suppressed: bool = False
+    justification: str | None = None
+
+    def sort_key(self) -> tuple:
+        """Canonical report order: (path, line, column, rule, message)."""
+        return (self.path, self.line, self.column, self.rule_id, self.message)
+
+    def to_dict(self) -> dict:
+        """Lossless plain-dict form (JSON-serialisable)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule_id": self.rule_id,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "justification": self.justification,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Finding":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            path=str(payload["path"]),
+            line=int(payload["line"]),
+            column=int(payload["column"]),
+            rule_id=str(payload["rule_id"]),
+            message=str(payload["message"]),
+            suppressed=bool(payload.get("suppressed", False)),
+            justification=payload.get("justification"),
+        )
+
+    def location(self) -> str:
+        """``path:line:column`` prefix used by the human reporter."""
+        return f"{self.path}:{self.line}:{self.column}"
+
+
+@dataclass(frozen=True)
+class Report:
+    """The outcome of one analysis run.
+
+    ``findings`` are the active (gating) violations, ``suppressed`` the
+    pragma-disabled ones; both are stored in canonical sort order.
+    """
+
+    findings: tuple[Finding, ...] = ()
+    suppressed: tuple[Finding, ...] = ()
+    n_files: int = 0
+    rule_ids: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "findings", tuple(sorted(self.findings, key=Finding.sort_key))
+        )
+        object.__setattr__(
+            self, "suppressed", tuple(sorted(self.suppressed, key=Finding.sort_key))
+        )
+        object.__setattr__(self, "rule_ids", tuple(self.rule_ids))
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code: 0 when no active finding remains."""
+        return 0 if not self.findings else 1
+
+    def to_dict(self) -> dict:
+        """Lossless plain-dict form (JSON-serialisable)."""
+        return {
+            "version": 1,
+            "n_files": self.n_files,
+            "rule_ids": list(self.rule_ids),
+            "findings": [finding.to_dict() for finding in self.findings],
+            "suppressed": [finding.to_dict() for finding in self.suppressed],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Report":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            findings=tuple(Finding.from_dict(f) for f in payload.get("findings", [])),
+            suppressed=tuple(
+                Finding.from_dict(f) for f in payload.get("suppressed", [])
+            ),
+            n_files=int(payload.get("n_files", 0)),
+            rule_ids=tuple(str(r) for r in payload.get("rule_ids", [])),
+        )

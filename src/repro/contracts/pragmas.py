@@ -1,0 +1,161 @@
+"""Pragma parsing: ``# contracts: disable=RULE-ID -- justification``.
+
+Two pragma forms are recognised, both *requiring* a justification after a
+``--`` separator (a suppression whose reason is not recorded in the source is
+itself a contract violation, reported as ``PRAGMA001`` and never honoured):
+
+* line pragma — suppresses the listed rules on the physical line it sits on::
+
+      if factor == 1.0:  # contracts: disable=API001 -- exact sentinel, set by us
+
+* file pragma — suppresses the listed rules for the whole file; put it near
+  the top of the module::
+
+      # contracts: disable-file=DET002 -- phase-timing module, metadata only
+
+Several rule ids may be listed, comma-separated.  Comments are extracted with
+:mod:`tokenize`, so ``contracts:`` text inside string literals is ignored.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.contracts.findings import Finding
+
+__all__ = ["FilePragmas", "Pragma", "PRAGMA_RULE_ID", "parse_pragmas"]
+
+#: Meta rule id of malformed / unjustified pragmas (not disableable).
+PRAGMA_RULE_ID = "PRAGMA001"
+
+#: A comment mentioning the analyzer at all — used to catch malformed pragmas.
+_MENTION = re.compile(r"#\s*contracts\s*:")
+
+_PRAGMA = re.compile(
+    r"#\s*contracts\s*:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+    r"(?:\s*--\s*(?P<why>.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed pragma comment."""
+
+    line: int
+    kind: str  # "disable" | "disable-file"
+    rule_ids: tuple[str, ...]
+    justification: str | None
+
+
+@dataclass
+class FilePragmas:
+    """All pragmas of one file, indexed for the engine.
+
+    ``line_disables`` maps ``(line, rule_id)`` to the justified pragma
+    covering it; ``file_disables`` maps ``rule_id`` to a justified whole-file
+    pragma.  ``problems`` holds the ``PRAGMA001`` findings of malformed or
+    unjustified pragmas (which are never honoured).
+    """
+
+    line_disables: dict[tuple[int, str], Pragma] = field(default_factory=dict)
+    file_disables: dict[str, Pragma] = field(default_factory=dict)
+    problems: list[Finding] = field(default_factory=list)
+
+    def suppression_for(self, line: int, rule_id: str) -> Pragma | None:
+        """The justified pragma covering ``rule_id`` at ``line``, if any."""
+        pragma = self.line_disables.get((line, rule_id))
+        if pragma is not None:
+            return pragma
+        return self.file_disables.get(rule_id)
+
+
+def _iter_comments(source: str) -> list[tuple[int, int, str]]:
+    """``(line, column, text)`` of every comment token in ``source``."""
+    comments: list[tuple[int, int, str]] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.start[1], token.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # The AST parse of the same file will report the syntax problem.
+        pass
+    return comments
+
+
+def parse_pragmas(source: str, path: str, known_rule_ids: set[str]) -> FilePragmas:
+    """Parse every contract pragma of ``source``.
+
+    ``known_rule_ids`` validates the listed ids — a pragma naming an unknown
+    rule is reported (it usually means a typo silently disabling nothing).
+    """
+    pragmas = FilePragmas()
+    for line, column, text in _iter_comments(source):
+        if not _MENTION.search(text):
+            continue
+        match = _PRAGMA.search(text)
+        if match is None:
+            pragmas.problems.append(
+                Finding(
+                    path=path,
+                    line=line,
+                    column=column,
+                    rule_id=PRAGMA_RULE_ID,
+                    message=(
+                        "malformed contracts pragma (expected '# contracts: "
+                        "disable=RULE-ID -- justification'): " + text.strip()
+                    ),
+                )
+            )
+            continue
+        rule_ids = tuple(
+            part.strip().upper() for part in match.group("rules").split(",")
+        )
+        justification = match.group("why")
+        pragma = Pragma(
+            line=line,
+            kind=match.group("kind"),
+            rule_ids=rule_ids,
+            justification=justification,
+        )
+        unknown = [rule for rule in rule_ids if rule not in known_rule_ids]
+        if unknown:
+            pragmas.problems.append(
+                Finding(
+                    path=path,
+                    line=line,
+                    column=column,
+                    rule_id=PRAGMA_RULE_ID,
+                    message=(
+                        "contracts pragma names unknown rule id(s) "
+                        + ", ".join(sorted(unknown))
+                    ),
+                )
+            )
+            continue
+        if not justification:
+            pragmas.problems.append(
+                Finding(
+                    path=path,
+                    line=line,
+                    column=column,
+                    rule_id=PRAGMA_RULE_ID,
+                    message=(
+                        "contracts pragma is missing its mandatory justification "
+                        "('-- why the violation is acceptable'); the suppression "
+                        "is not honoured"
+                    ),
+                )
+            )
+            continue
+        if pragma.kind == "disable-file":
+            for rule in rule_ids:
+                pragmas.file_disables.setdefault(rule, pragma)
+        else:
+            for rule in rule_ids:
+                pragmas.line_disables.setdefault((line, rule), pragma)
+    return pragmas

@@ -1,0 +1,46 @@
+"""Report rendering: human-readable text and lossless JSON.
+
+The JSON form is the CI artifact (``--format json``): it round-trips through
+:func:`report_from_json` without loss, so suppression inventories and finding
+trends can be diffed across runs.  Keys are emitted sorted and findings are
+already in canonical order, making the document byte-deterministic for a
+given tree.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.contracts.findings import Report
+
+__all__ = ["render_human", "render_json", "report_from_json"]
+
+
+def render_human(report: Report, verbose: bool = False) -> str:
+    """Plain-text report: one ``path:line:col: RULE message`` line per finding."""
+    lines: list[str] = []
+    for finding in report.findings:
+        lines.append(f"{finding.location()}: {finding.rule_id} {finding.message}")
+    if verbose and report.suppressed:
+        lines.append("")
+        lines.append(f"suppressed by justified pragmas ({len(report.suppressed)}):")
+        for finding in report.suppressed:
+            lines.append(
+                f"  {finding.location()}: {finding.rule_id} -- {finding.justification}"
+            )
+    lines.append("")
+    lines.append(
+        f"{len(report.findings)} finding(s), {len(report.suppressed)} suppressed, "
+        f"{report.n_files} file(s) analyzed"
+    )
+    return "\n".join(lines).lstrip("\n")
+
+
+def render_json(report: Report) -> str:
+    """The lossless JSON document of ``report`` (sorted keys, 2-space indent)."""
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+
+
+def report_from_json(text: str) -> Report:
+    """Inverse of :func:`render_json`."""
+    return Report.from_dict(json.loads(text))

@@ -1,0 +1,76 @@
+"""The contract-rule battery.
+
+Every rule is a small stateless object implementing the
+:class:`repro.contracts.engine.Rule` protocol; :func:`default_rules` returns
+the battery the CLI, the CI job and the tier-1 self-check all run.  Rules are
+grouped by the invariant family they encode:
+
+* :mod:`repro.contracts.rules.determinism` — DET001 (unseeded RNG),
+  DET002 (wall-clock / entropy sources in numeric packages),
+  DET003 (accumulation over unordered iteration in operator/matvec modules);
+* :mod:`repro.contracts.rules.concurrency` — FORK001 (module-lifetime locks
+  without the ``os.register_at_fork`` re-arm), MSG001 (closures dispatched as
+  worker tasks);
+* :mod:`repro.contracts.rules.api` — API001 (exact floating-point
+  ``==`` / ``!=``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Sequence
+
+from repro.contracts.engine import ModuleContext, Rule
+from repro.contracts.findings import Finding
+
+__all__ = ["ContractRule", "default_rules", "rule_catalog"]
+
+
+class ContractRule:
+    """Convenience base: one-finding helper plus the default file scope.
+
+    Subclasses set ``rule_id`` / ``title`` / ``node_types`` and implement
+    :meth:`visit_node`; the default :meth:`applies_to` skips test and
+    benchmark code (measurement code is allowed to time, seed ad hoc and
+    compare exactly — it asserts the contracts rather than carrying them).
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    node_types: tuple[type, ...] = ()
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        return not context.is_test_code
+
+    def visit_node(
+        self, node: ast.AST, context: ModuleContext
+    ) -> Iterable[Finding]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def found(self, context: ModuleContext, node: ast.AST, message: str) -> Finding:
+        return context.finding(node, self.rule_id, message)
+
+
+def default_rules() -> Sequence[Rule]:
+    """The full battery, in rule-id order."""
+    from repro.contracts.rules.api import ExactFloatComparisonRule
+    from repro.contracts.rules.concurrency import ForkSafeLockRule, WorkerTaskPurityRule
+    from repro.contracts.rules.determinism import (
+        AccumulationOrderRule,
+        UnseededRandomRule,
+        WallClockRule,
+    )
+
+    return (
+        UnseededRandomRule(),
+        WallClockRule(),
+        AccumulationOrderRule(),
+        ForkSafeLockRule(),
+        WorkerTaskPurityRule(),
+        ExactFloatComparisonRule(),
+    )
+
+
+def rule_catalog() -> list[tuple[str, str]]:
+    """``(rule_id, title)`` of every default rule (for ``--list-rules``)."""
+    return [(rule.rule_id, rule.title) for rule in default_rules()]

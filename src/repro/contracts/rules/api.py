@@ -1,0 +1,72 @@
+"""API rule: API001 — no exact floating-point equality outside tests.
+
+``x == 0.0`` on computed floats is almost always a latent bug: whether it
+holds depends on reduction order, compiler flags and backend — exactly the
+degrees of freedom the determinism contract pins down elsewhere.  Library
+code must compare with an explicit tolerance (``np.isclose``,
+``abs(a - b) <= tol``); the rare *exact-contract* sites (sentinels the code
+itself assigned, never computed) carry a justified
+``# contracts: disable=API001`` pragma instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.contracts.engine import ModuleContext
+from repro.contracts.findings import Finding
+from repro.contracts.rules import ContractRule
+
+__all__ = ["ExactFloatComparisonRule"]
+
+
+def _is_float_expression(node: ast.AST) -> bool:
+    """Whether ``node`` is syntactically a float value.
+
+    Conservative on purpose: only float literals (possibly signed), ``float``
+    / ``np.float64`` / ``np.float32`` conversions and ``float("inf")``-style
+    constants are recognised — names and attribute loads stay unflagged, so
+    the rule has no false positives on integer or enum comparisons.
+    """
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_expression(node.operand)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "float":
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in ("float64", "float32"):
+            return True
+    return False
+
+
+class ExactFloatComparisonRule(ContractRule):
+    """API001 — flag ``==`` / ``!=`` against floating-point values."""
+
+    rule_id = "API001"
+    title = "no exact floating-point ==/!= outside tests"
+    node_types = (ast.Compare,)
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        if context.is_test_code or context.module is None:
+            return False
+        return context.module == "repro" or context.module.startswith("repro.")
+
+    def visit_node(self, node: ast.Compare, context: ModuleContext) -> Iterable[Finding]:
+        operands = [node.left, *node.comparators]
+        for index, operator in enumerate(node.ops):
+            if not isinstance(operator, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[index], operands[index + 1]
+            if _is_float_expression(left) or _is_float_expression(right):
+                symbol = "==" if isinstance(operator, ast.Eq) else "!="
+                yield self.found(
+                    context,
+                    node,
+                    f"exact floating-point '{symbol}' comparison: use np.isclose "
+                    "or an explicit tolerance, or pragma the site if it compares "
+                    "an exact sentinel the code itself assigned",
+                )
+                return

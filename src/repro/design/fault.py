@@ -41,7 +41,7 @@ def decrement_factor(fault_duration_s: float, x_over_r: float, frequency_hz: flo
         raise ReproError("the X/R ratio cannot be negative")
     if frequency_hz <= 0.0:
         raise ReproError("the power frequency must be positive")
-    if x_over_r == 0.0:
+    if x_over_r == 0.0:  # contracts: disable=API001 -- exact user-given sentinel: X/R = 0.0 means no DC offset
         return 1.0
     time_constant = x_over_r / (2.0 * np.pi * frequency_hz)
     ratio = time_constant / fault_duration_s

@@ -50,7 +50,7 @@ class DepthTransform:
     @property
     def is_identity(self) -> bool:
         """Whether the transform leaves points unchanged."""
-        return self.sign == 1.0 and self.offset == 0.0
+        return self.sign == 1.0 and self.offset == 0.0  # contracts: disable=API001 -- identity detection on values the transforms assign exactly
 
 
 def identity_transform() -> DepthTransform:

@@ -154,7 +154,7 @@ class ImageSeries:
         kept = [t for t in self._terms if abs(t.weight) >= min_weight]
         if not kept:
             dominant = max(self._terms, key=lambda t: abs(t.weight))
-            if dominant.weight == 0.0:
+            if dominant.weight == 0.0:  # contracts: disable=API001 -- all-zero-series guard: only exactly zero weights are degenerate
                 raise KernelError(
                     "cannot truncate an image series whose weights are all zero"
                 )

@@ -51,7 +51,7 @@ class SeriesControl:
         kappa = abs(float(kappa))
         if kappa >= 1.0:
             raise KernelError(f"|kappa| must be < 1 for a physical soil, got {kappa}")
-        if kappa == 0.0:
+        if kappa == 0.0:  # contracts: disable=API001 -- exact uniform-soil sentinel: kappa is 0.0 by construction there
             return 1
         needed = int(math.ceil(math.log(self.tolerance) / math.log(kappa)))
         return int(min(self.max_groups, max(1, needed)))
@@ -59,7 +59,7 @@ class SeriesControl:
     def truncation_error_bound(self, kappa: float) -> float:
         """Upper bound on the neglected relative weight ``Σ_{n>N} |κ|ⁿ``."""
         kappa = abs(float(kappa))
-        if kappa == 0.0:
+        if kappa == 0.0:  # contracts: disable=API001 -- exact uniform-soil sentinel: kappa is 0.0 by construction there
             return 0.0
         n = self.n_groups(kappa)
         return kappa ** (n + 1) / (1.0 - kappa)

@@ -108,7 +108,7 @@ class TwoLayerSoilKernel(LayeredKernel):
         ]
         for n in range(1, n_groups + 1):
             weight = kappa**n
-            if weight == 0.0:
+            if weight == 0.0:  # contracts: disable=API001 -- stops on exact underflow of kappa**n; approximate zero must keep the term
                 break
             shift = 2.0 * n * h
             terms.extend(
@@ -127,7 +127,7 @@ class TwoLayerSoilKernel(LayeredKernel):
         terms: list[ImageTerm] = []
         for n in range(0, n_groups + 1):
             weight = factor * kappa**n
-            if weight == 0.0 and n > 0:
+            if weight == 0.0 and n > 0:  # contracts: disable=API001 -- stops on exact underflow of the group weight, as in _series_11
                 break
             shift = 2.0 * n * h
             terms.extend(
@@ -144,7 +144,7 @@ class TwoLayerSoilKernel(LayeredKernel):
         terms: list[ImageTerm] = []
         for n in range(0, n_groups + 1):
             weight = factor * kappa**n
-            if weight == 0.0 and n > 0:
+            if weight == 0.0 and n > 0:  # contracts: disable=API001 -- stops on exact underflow of the group weight, as in _series_11
                 break
             shift = 2.0 * n * h
             terms.extend(
@@ -158,12 +158,12 @@ class TwoLayerSoilKernel(LayeredKernel):
     @staticmethod
     def _series_22(kappa: float, h: float, n_groups: int) -> list[ImageTerm]:
         terms = [ImageTerm(weight=1.0, sign=+1.0, offset=0.0)]
-        if kappa != 0.0:
+        if kappa != 0.0:  # contracts: disable=API001 -- exact uniform-soil sentinel: kappa is 0.0 by construction there
             terms.append(ImageTerm(weight=-kappa, sign=-1.0, offset=+2.0 * h))
         factor = 1.0 - kappa**2
         for n in range(0, n_groups + 1):
             weight = factor * kappa**n
-            if weight == 0.0 and n > 0:
+            if weight == 0.0 and n > 0:  # contracts: disable=API001 -- stops on exact underflow of the group weight, as in _series_11
                 break
             terms.append(ImageTerm(weight=weight, sign=-1.0, offset=-2.0 * n * h))
         return terms

@@ -40,10 +40,9 @@ Entry point: ``HierarchicalControl(workers=...)`` through
 from __future__ import annotations
 
 import os
-import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 from scipy import sparse
@@ -57,6 +56,13 @@ from repro.cluster.block_assembly import (
 from repro.exceptions import ClusterError, ParallelExecutionError
 from repro.parallel.costs import partition_block_work
 from repro.parallel.executor import ScheduledExecutor
+from repro.timing import wall_clock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.bem.influence import ColumnAssembler
+    from repro.cluster.block_assembly import ClusterPlanCache
+    from repro.cluster.operator import HierarchicalControl
+    from repro.parallel.pool import WorkerPool
 
 __all__ = [
     "BlockOutcome",
@@ -316,7 +322,10 @@ class ShardedHierarchicalOperator:
 
 
 def build_sharded_operator(
-    assembler, control, pool=None, cluster_cache=None
+    assembler: "ColumnAssembler",
+    control: "HierarchicalControl",
+    pool: "WorkerPool | None" = None,
+    cluster_cache: "ClusterPlanCache | None" = None,
 ) -> ShardedHierarchicalOperator:
     """Assemble the hierarchical operator with the sharded block backend.
 
@@ -339,7 +348,7 @@ def build_sharded_operator(
             "build_sharded_operator needs HierarchicalControl.workers >= 1 "
             "or a WorkerPool (use HierarchicalOperator.build for the serial engine)"
         )
-    start = time.perf_counter()
+    start = wall_clock()
     profile = build_block_profile(assembler, control, cluster_cache=cluster_cache)
     tree, partition = profile.tree, profile.partition
     scale, stopping = profile.scale, profile.stopping
@@ -357,7 +366,7 @@ def build_sharded_operator(
     ]
 
     task = _BlockShardTask(assembler, tree, partition.blocks, control, stopping, dof_matrix)
-    executor_start = time.perf_counter()
+    executor_start = wall_clock()
     if pool is not None:
         outcome = pool.run_partition(
             task,
@@ -375,7 +384,7 @@ def build_sharded_operator(
             cost_hint=costs,
         ) as executor:
             outcome = executor.run_partition(shards, label="LPT")
-    executor_seconds = time.perf_counter() - executor_start
+    executor_seconds = wall_clock() - executor_start
     outcomes: dict[int, BlockOutcome] = outcome.results
 
     # ---- regroup the block results into the canonical segments ----
@@ -479,5 +488,5 @@ def build_sharded_operator(
     stats["memory_bytes"] = operator.memory_bytes()
     stats["dense_bytes"] = 8 * n_dofs * n_dofs
     stats["compression"] = stats["memory_bytes"] / max(stats["dense_bytes"], 1)
-    stats["build_seconds"] = time.perf_counter() - start
+    stats["build_seconds"] = wall_clock() - start
     return operator

@@ -38,7 +38,6 @@ Backends:
 from __future__ import annotations
 
 import multiprocessing as mp
-import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
@@ -49,6 +48,7 @@ from repro.exceptions import ParallelExecutionError
 from repro.parallel.costs import cost_shares
 from repro.parallel.options import Backend
 from repro.parallel.schedule import Schedule, ScheduleKind
+from repro.timing import wall_clock
 
 __all__ = [
     "TaskRunResult",
@@ -94,9 +94,9 @@ def _execute_chunk(
     each task runs (and is timed) individually.
     """
     if batch_fn is not None:
-        start = time.perf_counter()
+        start = wall_clock()
         pairs = batch_fn(list(indices))
-        elapsed = time.perf_counter() - start
+        elapsed = wall_clock() - start
         if len(pairs) != len(indices):
             raise ParallelExecutionError(
                 f"batch returned {len(pairs)} results for a chunk of {len(indices)} tasks"
@@ -110,9 +110,9 @@ def _execute_chunk(
         raise ParallelExecutionError("worker has no task function configured")
     output = []
     for index in indices:
-        start = time.perf_counter()
+        start = wall_clock()
         value = task_fn(int(index))
-        output.append((int(index), value, time.perf_counter() - start))
+        output.append((int(index), value, wall_clock() - start))
     return output
 
 
@@ -306,7 +306,7 @@ class ScheduledExecutor:
     def run(self, task_indices: Sequence[int], schedule: Schedule) -> TaskRunResult:
         """Execute the given tasks under the schedule and collect the results."""
         indices = [int(i) for i in task_indices]
-        start = time.perf_counter()
+        start = wall_clock()
 
         if self.backend is Backend.SERIAL or self.n_workers == 1:
             chunks = [indices] if indices else []
@@ -316,7 +316,7 @@ class ScheduledExecutor:
         else:
             raw, chunks = self._run_thread(indices, schedule)
 
-        wall = time.perf_counter() - start
+        wall = wall_clock() - start
         return self._collect(raw, indices, wall, len(chunks), schedule.label())
 
     def run_partition(
@@ -334,7 +334,7 @@ class ScheduledExecutor:
         Raises when a task id appears in more than one shard.
         """
         chunks, indices = normalize_partition(partition)
-        start = time.perf_counter()
+        start = wall_clock()
 
         if self.backend is Backend.SERIAL or self.n_workers == 1:
             raw = [self._execute_local(chunk) for chunk in chunks]
@@ -355,7 +355,7 @@ class ScheduledExecutor:
             futures = [self._thread_pool.submit(self._execute_local, chunk) for chunk in chunks]
             raw = [future.result() for future in futures]
 
-        wall = time.perf_counter() - start
+        wall = wall_clock() - start
         return self._collect(raw, indices, wall, len(chunks), f"{label},{len(chunks)}")
 
     def _collect(

@@ -28,7 +28,6 @@ with the deterministic analytic cost model
 
 from __future__ import annotations
 
-import time
 from typing import Sequence
 
 import numpy as np
@@ -48,6 +47,7 @@ from repro.kernels.base import LayeredKernel, kernel_for_soil
 from repro.parallel.executor import ScheduledExecutor
 from repro.parallel.options import Backend, LoopLevel, ParallelOptions
 from repro.soil.base import SoilModel
+from repro.timing import wall_clock
 
 __all__ = ["assemble_system_parallel", "generate_columns_parallel"]
 
@@ -103,7 +103,7 @@ def generate_columns_parallel(
     columns = []
     column_seconds = np.zeros(n_columns)
     total_chunks = 0
-    start = time.perf_counter()
+    start = wall_clock()
     with ScheduledExecutor(
         task_fn,
         n_workers=parallel.n_workers,
@@ -113,9 +113,9 @@ def generate_columns_parallel(
         for source_index in range(n_columns):
             targets = np.arange(source_index, n_columns, dtype=int)
             encoded = [source_index * n_columns + int(t) for t in targets]
-            column_start = time.perf_counter()
+            column_start = wall_clock()
             outcome = executor.run(encoded, parallel.schedule)
-            column_seconds[source_index] = time.perf_counter() - column_start
+            column_seconds[source_index] = wall_clock() - column_start
             total_chunks += outcome.n_chunks
             blocks = np.stack(
                 [outcome.results[code] for code in encoded], axis=0
@@ -129,7 +129,7 @@ def generate_columns_parallel(
                 )
             )
     metadata = {
-        "parallel_wall_seconds": time.perf_counter() - start,
+        "parallel_wall_seconds": wall_clock() - start,
         "column_seconds": column_seconds,
         "n_chunks": total_chunks,
     }
@@ -233,9 +233,9 @@ def assemble_system_parallel(
         mesh, kernel, dof_manager, options.n_gauss, adaptive=options.adaptive
     )
 
-    start = time.perf_counter()
+    start = wall_clock()
     columns, parallel_metadata = generate_columns_parallel(assembler, parallel)
-    generation_seconds = time.perf_counter() - start
+    generation_seconds = wall_clock() - start
 
     metadata = {
         "matrix_generation_seconds": generation_seconds,

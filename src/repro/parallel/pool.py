@@ -39,7 +39,6 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import multiprocessing.connection
-import time
 import traceback
 from typing import Any, Callable, Sequence
 
@@ -50,6 +49,7 @@ from repro.parallel.executor import (
     collect_chunk_results,
     normalize_partition,
 )
+from repro.timing import wall_clock
 
 __all__ = ["WorkerPool"]
 
@@ -302,14 +302,14 @@ class WorkerPool:
         self.stats["runs"] += 1
         self.stats["chunks_dispatched"] += len(chunks)
         self.stats["tasks_executed"] += len(indices)
-        start = time.perf_counter()
+        start = wall_clock()
 
         if self.backend == "serial":
             raw = [_execute_chunk(task, batch_fn, cost_hint, chunk) for chunk in chunks]
         else:
             raw = self._run_process_chunks(task, batch_fn, cost_hint, chunks)
 
-        wall = time.perf_counter() - start
+        wall = wall_clock() - start
         return collect_chunk_results(
             raw,
             indices,

@@ -132,7 +132,7 @@ class WennerSurvey:
         soil: SoilModel,
         spacings: Sequence[float],
         noise_fraction: float = 0.0,
-        seed: int | None = None,
+        seed: int = 0,
     ) -> "WennerSurvey":
         """Generate measurements from a known soil model (optionally noisy).
 
@@ -145,7 +145,9 @@ class WennerSurvey:
         noise_fraction:
             Standard deviation of multiplicative log-normal noise (0 = exact).
         seed:
-            Seed of the random generator used for the noise.
+            Seed of the random generator used for the noise.  Explicit (and
+            deterministic by default): synthetic surveys must reproduce
+            bit-identically run to run, per the DET001 contract.
         """
         spacings_arr = np.asarray(spacings, dtype=float)
         rho = wenner_apparent_resistivity(soil, spacings_arr)

@@ -7,13 +7,13 @@ solutions against which the iterative solvers are tested.
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
 from scipy import linalg
 
 from repro.exceptions import SolverError
 from repro.solvers.result import SolveResult
+from repro.timing import wall_clock
 
 __all__ = ["solve_direct"]
 
@@ -51,7 +51,7 @@ def solve_direct(matrix: np.ndarray, rhs: np.ndarray, method: str = "cholesky") 
     if method not in ("cholesky", "lu"):
         raise SolverError(f"unknown direct method {method!r}")
 
-    start = time.perf_counter()
+    start = wall_clock()
     used = method
     if method == "cholesky":
         try:
@@ -65,7 +65,7 @@ def solve_direct(matrix: np.ndarray, rhs: np.ndarray, method: str = "cholesky") 
     else:
         solution = linalg.solve(matrix, rhs, assume_a="gen", check_finite=False)
         flops = 2.0 * n**3 / 3.0
-    elapsed = time.perf_counter() - start
+    elapsed = wall_clock() - start
 
     rhs_norm = float(np.linalg.norm(rhs))
     residual = float(np.linalg.norm(matrix @ solution - rhs)) / (rhs_norm if rhs_norm else 1.0)

@@ -1,0 +1,32 @@
+"""The sanctioned wall-clock facade of the numeric packages.
+
+The static contract rule **DET002** (:mod:`repro.contracts`) forbids direct
+clock access inside ``repro.bem``, ``repro.cluster``, ``repro.kernels`` and
+``repro.parallel``: a clock-dependent value that leaks into a numeric result
+or into work partitioning silently breaks the bit-identical-for-any-worker-
+count contract.  Observability timing — phase timings, executor walls,
+benchmark metadata — instead calls :func:`wall_clock`, which keeps every
+clock read in the tree greppable and the analyzer's allowlist at exactly one
+module.  The rule of thumb enforced across the tree:
+
+* **allowed** — ``wall_clock()`` deltas stored in ``timings`` / ``stats``
+  metadata that never feeds back into numbers or schedules;
+* **forbidden** — clock values used in numeric expressions, seeds, keys,
+  orderings or partitioning decisions (those must come from the
+  deterministic cost models of :mod:`repro.parallel.costs`).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["wall_clock"]
+
+
+def wall_clock() -> float:
+    """Monotonic wall-clock seconds (``time.perf_counter``).
+
+    Use only for observability: elapsed-time metadata, progress reporting,
+    benchmark tables.  Never let the returned value feed a numeric result.
+    """
+    return time.perf_counter()

@@ -1,0 +1,145 @@
+"""Pragma handling: justified suppressions are honoured and recorded,
+everything else (missing justification, unknown ids, malformed syntax)
+becomes a PRAGMA001 finding that can itself never be pragma'd away."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.contracts import analyze_source, default_rules
+from repro.contracts.pragmas import parse_pragmas
+
+PATH = "src/repro/geometry/probe.py"
+
+
+def run(source: str):
+    return analyze_source(
+        textwrap.dedent(source), Path(PATH), default_rules(), display_path=PATH
+    )
+
+
+class TestJustifiedSuppression:
+    def test_line_pragma_suppresses_and_carries_justification(self):
+        active, suppressed = run(
+            """
+            def is_identity(factor):
+                return factor == 1.0  # contracts: disable=API001 -- exact sentinel set by us
+            """
+        )
+        assert active == []
+        assert len(suppressed) == 1
+        finding = suppressed[0]
+        assert finding.rule_id == "API001"
+        assert finding.suppressed is True
+        assert finding.justification == "exact sentinel set by us"
+
+    def test_line_pragma_only_covers_its_own_line(self):
+        active, suppressed = run(
+            """
+            def classify(x):
+                if x == 1.0:  # contracts: disable=API001 -- exact sentinel set by us
+                    return "unit"
+                return x == 2.0
+            """
+        )
+        assert [f.rule_id for f in active] == ["API001"]
+        assert active[0].line == 5
+        assert len(suppressed) == 1
+
+    def test_file_pragma_covers_the_whole_file(self):
+        active, suppressed = run(
+            """
+            # contracts: disable-file=API001 -- sentinel-comparison helper module
+            def classify(x):
+                if x == 1.0:
+                    return "unit"
+                return x == 2.0
+            """
+        )
+        assert active == []
+        assert len(suppressed) == 2
+        assert all(f.justification == "sentinel-comparison helper module" for f in suppressed)
+
+    def test_comma_separated_rule_list(self):
+        active, suppressed = run(
+            """
+            import numpy as np
+
+            def f(x):  # noqa
+                rng = np.random.default_rng(); return x == 1.0  # contracts: disable=DET001, API001 -- fixture exercising both rules
+            """
+        )
+        assert active == []
+        assert {f.rule_id for f in suppressed} == {"DET001", "API001"}
+
+
+class TestPragmaProblems:
+    def test_missing_justification_is_not_honoured(self):
+        active, suppressed = run(
+            """
+            def is_identity(factor):
+                return factor == 1.0  # contracts: disable=API001
+            """
+        )
+        assert suppressed == []
+        assert sorted(f.rule_id for f in active) == ["API001", "PRAGMA001"]
+        pragma_problem = next(f for f in active if f.rule_id == "PRAGMA001")
+        assert "justification" in pragma_problem.message
+
+    def test_unknown_rule_id_is_reported(self):
+        active, _ = run("x = 1  # contracts: disable=DET999 -- typo'd id\n")
+        assert [f.rule_id for f in active] == ["PRAGMA001"]
+        assert "DET999" in active[0].message
+
+    def test_malformed_pragma_is_reported(self):
+        active, _ = run("x = 1  # contracts: disable API001 -- missing equals\n")
+        assert [f.rule_id for f in active] == ["PRAGMA001"]
+        assert "malformed" in active[0].message
+
+    def test_pragma001_cannot_be_suppressed(self):
+        active, suppressed = run(
+            """
+            # contracts: disable-file=PRAGMA001 -- trying to silence the meta rule
+            def is_identity(factor):
+                return factor == 1.0  # contracts: disable=API001
+            """
+        )
+        # The file pragma names an unknown (non-disableable) rule id, and the
+        # unjustified line pragma stays a problem: nothing gets suppressed.
+        assert suppressed == []
+        assert sorted(f.rule_id for f in active) == ["API001", "PRAGMA001", "PRAGMA001"]
+
+    def test_pragma_text_inside_strings_is_ignored(self):
+        active, suppressed = run(
+            """
+            DOC = "write '# contracts: disable=API001' to suppress a finding"
+            """
+        )
+        assert active == [] and suppressed == []
+
+
+class TestParsePragmas:
+    def test_indexing_of_line_and_file_pragmas(self):
+        source = textwrap.dedent(
+            """
+            # contracts: disable-file=DET002 -- timing helper module
+            x = 1.0  # contracts: disable=API001 -- sentinel
+            """
+        )
+        pragmas = parse_pragmas(source, PATH, {"DET002", "API001"})
+        assert pragmas.problems == []
+        assert set(pragmas.file_disables) == {"DET002"}
+        assert set(pragmas.line_disables) == {(3, "API001")}
+        assert pragmas.suppression_for(3, "API001").justification == "sentinel"
+        assert pragmas.suppression_for(99, "DET002").kind == "disable-file"
+        assert pragmas.suppression_for(99, "API001") is None
+
+    def test_rule_ids_are_case_normalised(self):
+        pragmas = parse_pragmas(
+            "x = 1.0  # contracts: disable=api001 -- lower-case id\n",
+            PATH,
+            {"API001"},
+        )
+        assert pragmas.problems == []
+        assert set(pragmas.line_disables) == {(1, "API001")}
