@@ -101,6 +101,7 @@ def test_campaign_batch(record_table, record_snapshot):
             result = run_campaign(campaign, pool=pool)
             wall = time.perf_counter() - start
         solutions[workers] = result.solutions()
+        pool_stats = result.cache_stats.get("pool", {})
         campaign_runs[workers] = {
             "pool_workers": workers,
             "oversubscribed": workers > available,
@@ -108,6 +109,21 @@ def test_campaign_batch(record_table, record_snapshot):
             "timings": {k: float(v) for k, v in result.timings.items()},
             "plan": result.plan_summary,
             "cache_stats": result.cache_stats,
+            # Resilience counters (PoolHealth): all zero on a healthy host —
+            # the row exists so a CI run that *did* retry or respawn is
+            # visible in the snapshot diff, not silently absorbed.
+            "resilience": {
+                key: int(pool_stats.get(key, 0))
+                for key in (
+                    "retries",
+                    "respawns",
+                    "hung_kills",
+                    "chunk_timeouts",
+                    "corrupt_rejections",
+                    "serial_fallback_chunks",
+                    "disabled_slots",
+                )
+            },
         }
     record["campaign_runs"] = [campaign_runs[w] for w in worker_counts]
     record["n_elements"] = {s.name: s.n_elements for s in result.scenarios}

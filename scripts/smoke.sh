@@ -60,4 +60,12 @@ BENCH_QUICK=1 python -m pytest -q -p no:randomly \
 echo "== parallel + cluster + campaign suites (2-worker process pools) =="
 python -m pytest -q -p no:randomly tests/parallel tests/cluster tests/campaign
 
+echo "== chaos matrix ({crash,hang,corrupt} x {assembly,matvec,campaign}) =="
+# Deterministic fault injection on a 2-worker pool: every recovered run must
+# be bit-identical to the fault-free run (equal PCG iterate counts) and the
+# PoolHealth counters must prove the fault fired.  The checkpoint/resume
+# suite SIGKILLs a campaign mid-run and resumes it from its checkpoint.
+BENCH_QUICK=1 python -m pytest -q -p no:randomly \
+  tests/resilience tests/campaign/test_checkpoint_resume.py
+
 echo "smoke: OK (zero flaky reruns)"

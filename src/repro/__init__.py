@@ -82,11 +82,20 @@ from repro.parallel import (
 # Scenario campaign engine
 from repro.campaign import (
     Campaign,
+    CampaignCheckpoint,
     CampaignResult,
     GeometryVariant,
     ScenarioSpec,
     plan_campaign,
     run_campaign,
+)
+
+# Resilience layer (fault injection + retry policy)
+from repro.resilience import (
+    FaultPlan,
+    FaultSpec,
+    PoolHealth,
+    RetryPolicy,
 )
 
 # Hierarchical (H-matrix) engine
@@ -149,11 +158,17 @@ __all__ = [
     "WorkerPool",
     # campaign engine
     "Campaign",
+    "CampaignCheckpoint",
     "CampaignResult",
     "GeometryVariant",
     "ScenarioSpec",
     "plan_campaign",
     "run_campaign",
+    # resilience
+    "FaultPlan",
+    "FaultSpec",
+    "PoolHealth",
+    "RetryPolicy",
     # hierarchical engine
     "HierarchicalControl",
     "HierarchicalOperator",

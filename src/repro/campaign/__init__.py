@@ -20,7 +20,11 @@ same hardware.  This package turns such a study into a first-class object:
   persistent :class:`~repro.parallel.pool.WorkerPool` so repeated sharded
   assemblies stop paying per-call fork+warmup, and aggregates a
   :class:`CampaignResult` (per-scenario GPR / touch / step safety verdicts,
-  timings, reuse and cache-hit statistics);
+  timings, reuse and cache-hit statistics).  A failing structure group is
+  recorded as a :class:`CampaignFailure` instead of aborting the study, and
+  ``run_campaign(checkpoint=path)`` persists completed groups so a killed
+  campaign resumes recomputing only the incomplete ones
+  (:mod:`repro.campaign.checkpoint`);
 * :mod:`repro.campaign.study` — a ready-made demo campaign shared by the
   CLI (``python -m repro campaign``), ``examples/campaign_study.py`` and
   ``benchmarks/bench_campaign.py``.
@@ -47,14 +51,17 @@ Quick start::
         print(row)
 """
 
+from repro.campaign.checkpoint import CampaignCheckpoint, structure_fingerprint
 from repro.campaign.planner import CampaignPlan, ScenarioPlan, StructureGroup, plan_campaign
-from repro.campaign.result import CampaignResult, ScenarioResult
+from repro.campaign.result import CampaignFailure, CampaignResult, ScenarioResult
 from repro.campaign.runner import run_campaign
 from repro.campaign.spec import Campaign, GeometryVariant, ScenarioSpec, scaled_soil
 from repro.campaign.study import demo_campaign, standalone_scenario_run
 
 __all__ = [
     "Campaign",
+    "CampaignCheckpoint",
+    "CampaignFailure",
     "CampaignPlan",
     "CampaignResult",
     "GeometryVariant",
@@ -67,4 +74,5 @@ __all__ = [
     "run_campaign",
     "scaled_soil",
     "standalone_scenario_run",
+    "structure_fingerprint",
 ]

@@ -7,7 +7,36 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["CampaignResult", "ScenarioResult"]
+__all__ = ["CampaignFailure", "CampaignResult", "ScenarioResult"]
+
+
+@dataclass(frozen=True)
+class CampaignFailure:
+    """One structure group that failed instead of producing results.
+
+    A campaign no longer aborts wholesale when one scenario group raises: the
+    group's scenarios are recorded here (``stage`` names the pipeline step
+    that failed) and the run continues with the remaining groups, yielding a
+    *partial* :class:`CampaignResult`.
+    """
+
+    #: Names of the scenarios lost with this group (campaign order).
+    scenario_names: tuple[str, ...]
+    #: Campaign indices of those scenarios.
+    scenario_indices: tuple[int, ...]
+    geometry_name: str
+    #: Pipeline stage that raised (``"discretize"``, ``"assemble+solve"``...).
+    stage: str
+    #: ``repr`` of the exception (kept as text so results stay picklable).
+    error: str
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "scenarios": list(self.scenario_names),
+            "geometry": self.geometry_name,
+            "stage": self.stage,
+            "error": self.error,
+        }
 
 
 @dataclass
@@ -100,11 +129,18 @@ class CampaignResult:
     timings: dict[str, float]
     cache_stats: dict[str, Any]
     metadata: dict[str, Any] = field(default_factory=dict)
+    #: Structure groups that failed (empty on a clean run).
+    failures: list[CampaignFailure] = field(default_factory=list)
 
     @property
     def n_scenarios(self) -> int:
         """Number of scenario results."""
         return len(self.scenarios)
+
+    @property
+    def is_partial(self) -> bool:
+        """Whether any structure group failed instead of producing results."""
+        return bool(self.failures)
 
     @property
     def total_seconds(self) -> float:
@@ -135,7 +171,7 @@ class CampaignResult:
 
     def summary(self) -> dict[str, Any]:
         """Compact campaign-level record (used by the snapshot benchmark)."""
-        return {
+        record = {
             "campaign": self.name,
             "n_scenarios": self.n_scenarios,
             **self.plan_summary,
@@ -143,3 +179,7 @@ class CampaignResult:
             "cache_stats": dict(self.cache_stats),
             **{k: v for k, v in self.metadata.items() if np.isscalar(v) or v is None},
         }
+        if self.failures:
+            record["n_failures"] = len(self.failures)
+            record["failures"] = [failure.summary() for failure in self.failures]
+        return record

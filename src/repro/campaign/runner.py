@@ -34,8 +34,9 @@ from repro.bem.assembly import AssemblyOptions, assemble_system
 from repro.bem.geometry_cache import default_geometry_cache
 from repro.bem.potential import PotentialEvaluator
 from repro.bem.safety import ieee80_tolerable_step, ieee80_tolerable_touch
+from repro.campaign.checkpoint import CampaignCheckpoint, structure_fingerprint
 from repro.campaign.planner import CampaignPlan, plan_campaign
-from repro.campaign.result import CampaignResult, ScenarioResult
+from repro.campaign.result import CampaignFailure, CampaignResult, ScenarioResult
 from repro.campaign.spec import Campaign
 from repro.cluster.block_assembly import ClusterPlanCache
 from repro.exceptions import ReproError
@@ -105,6 +106,9 @@ def run_campaign(
     workers: int = 0,
     pool_backend: str = "process",
     plan: CampaignPlan | None = None,
+    checkpoint=None,
+    retry=None,
+    fault_plan=None,
 ) -> CampaignResult:
     """Execute a campaign and aggregate the per-scenario results.
 
@@ -124,12 +128,25 @@ def run_campaign(
         Backend of a runner-created pool (``"process"`` or ``"serial"``).
     plan:
         Pre-computed plan (defaults to :func:`plan_campaign` on the spot).
+    checkpoint:
+        Optional path of a campaign checkpoint file.  Completed structure
+        groups are persisted there (atomically, keyed by content
+        fingerprints — see :mod:`repro.campaign.checkpoint`); a rerun with
+        the same path restores matching groups and recomputes only the
+        incomplete ones.
+    retry:
+        Optional :class:`~repro.resilience.RetryPolicy` for a runner-owned
+        pool (requires ``workers``); a borrowed pool carries its own policy.
+    fault_plan:
+        Optional :class:`~repro.resilience.FaultPlan` armed in a runner-owned
+        pool (chaos testing; requires ``workers``).
 
     Returns
     -------
     CampaignResult
-        Per-scenario results in campaign order, plus timings, reuse counts
-        and cache statistics.
+        Per-scenario results in campaign order, plus timings, reuse counts,
+        cache statistics and — when structure groups failed — their failure
+        records (the run keeps going; see :attr:`CampaignResult.failures`).
     """
     if (pool is not None or workers) and campaign.hierarchical is None:
         raise ReproError(
@@ -142,6 +159,11 @@ def run_campaign(
             f"pool, not both (got pool with {pool.n_workers} workers and "
             f"workers={workers})"
         )
+    if (retry is not None or fault_plan is not None) and not workers:
+        raise ReproError(
+            "retry/fault_plan configure the runner-owned pool and require "
+            "workers >= 1; a borrowed pool carries its own policy"
+        )
     total_start = wall_clock()
     plan_start = wall_clock()
     plan = plan or plan_campaign(campaign)
@@ -151,8 +173,16 @@ def run_campaign(
     if pool is None and workers:
         from repro.parallel.pool import WorkerPool
 
-        pool = own_pool = WorkerPool(int(workers), backend=pool_backend)
+        pool = own_pool = WorkerPool(
+            int(workers), backend=pool_backend, retry=retry, fault_plan=fault_plan
+        )
 
+    checkpoint_store = (
+        CampaignCheckpoint(checkpoint) if checkpoint is not None else None
+    )
+    restored_groups = 0
+    computed_groups = 0
+    failures: list[CampaignFailure] = []
     cluster_cache = ClusterPlanCache()
     geometry_cache_before = default_geometry_cache().stats()
     results: dict[int, ScenarioResult] = {}
@@ -171,16 +201,52 @@ def run_campaign(
             for structure in geometry_group.structures:
                 base_spec = structure.base.spec
                 soil_eff = base_spec.effective_soil()
-                start = wall_clock()
-                mesh_key = soil_eff.thicknesses
-                mesh = meshes.get(mesh_key)
-                if mesh is None:
-                    mesh = meshes[mesh_key] = discretize_grid(grid, soil=soil_eff)
-                timings["discretize"] += wall_clock() - start
-                _run_structure_group(
-                    campaign, structure, grid, mesh, soil_eff, pool, cluster_cache,
-                    results, timings,
-                )
+                stage = "discretize"
+                group_key = None
+                try:
+                    start = wall_clock()
+                    mesh_key = soil_eff.thicknesses
+                    mesh = meshes.get(mesh_key)
+                    if mesh is None:
+                        mesh = meshes[mesh_key] = discretize_grid(grid, soil=soil_eff)
+                    timings["discretize"] += wall_clock() - start
+                    if checkpoint_store is not None:
+                        group_key = structure_fingerprint(
+                            mesh, soil_eff, structure, campaign
+                        )
+                        if checkpoint_store.has(group_key):
+                            restored_groups += 1
+                            for result in checkpoint_store.restore(group_key):
+                                results[result.index] = result
+                            continue
+                    stage = "assemble+solve"
+                    group_results = _run_structure_group(
+                        campaign, structure, grid, mesh, soil_eff, pool,
+                        cluster_cache, timings,
+                    )
+                except ReproError as error:
+                    # One failed group must not abort the whole batch study:
+                    # record it and keep going (the pool replaces any workers
+                    # the failing run still owned, so it stays usable).
+                    failures.append(
+                        CampaignFailure(
+                            scenario_names=tuple(
+                                p.spec.name for p in structure.plans
+                            ),
+                            scenario_indices=tuple(
+                                p.index for p in structure.plans
+                            ),
+                            geometry_name=geometry_group.geometry.name,
+                            stage=stage,
+                            error=repr(error),
+                        )
+                    )
+                    continue
+                computed_groups += 1
+                for result in group_results:
+                    results[result.index] = result
+                if checkpoint_store is not None and group_key is not None:
+                    checkpoint_store.store(group_key, group_results)
     finally:
         if own_pool is not None:
             own_pool.close()
@@ -200,6 +266,12 @@ def run_campaign(
         "pool_workers": pool.n_workers if pool is not None else 0,
         "pool_backend": pool.backend if pool is not None else None,
     }
+    if checkpoint_store is not None:
+        metadata["checkpoint"] = {
+            "path": str(checkpoint_store.path),
+            "restored_groups": restored_groups,
+            "computed_groups": computed_groups,
+        }
     if pool is not None:
         cache_stats["pool"] = dict(pool.stats)
     timings["total"] = wall_clock() - total_start
@@ -210,6 +282,7 @@ def run_campaign(
         timings=timings,
         cache_stats=cache_stats,
         metadata=metadata,
+        failures=failures,
     )
 
 
@@ -221,10 +294,13 @@ def _run_structure_group(
     soil_eff,
     pool,
     cluster_cache: ClusterPlanCache,
-    results: dict[int, ScenarioResult],
     timings: dict[str, float],
-) -> None:
-    """Assemble + solve the group base, derive the rest by scalar algebra."""
+) -> list[ScenarioResult]:
+    """Assemble + solve the group base, derive the rest by scalar algebra.
+
+    Returns the group's scenario results (campaign order) so the caller can
+    fold them into the campaign — and persist them as one checkpoint unit.
+    """
     base_plan = structure.base
     base_spec = base_plan.spec
     kernel = kernel_for_soil(soil_eff, campaign.series_control)
@@ -299,6 +375,7 @@ def _run_structure_group(
         evaluate_seconds = wall_clock() - start
         timings["evaluate"] += evaluate_seconds
 
+    group_results: list[ScenarioResult] = []
     for scenario_plan in structure.plans:
         spec = scenario_plan.spec
         start = wall_clock()
@@ -318,7 +395,7 @@ def _run_structure_group(
         derive_seconds = wall_clock() - start
         if not scenario_plan.is_base:
             timings["derive"] += derive_seconds
-        results[scenario_plan.index] = ScenarioResult(
+        group_results.append(ScenarioResult(
             name=spec.name,
             index=scenario_plan.index,
             kind=scenario_plan.kind,
@@ -340,4 +417,5 @@ def _run_structure_group(
             tolerable_touch_voltage=tolerable_touch,
             tolerable_step_voltage=tolerable_step,
             metadata=copy.deepcopy(base_metadata),  # results stay independent
-        )
+        ))
+    return group_results

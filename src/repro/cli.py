@@ -108,6 +108,26 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the touch/step safety rasters (timing studies)",
     )
+    campaign.add_argument(
+        "--checkpoint",
+        default=None,
+        help="checkpoint file: completed structure groups persist there, and a "
+        "rerun with the same path resumes recomputing only incomplete groups",
+    )
+    campaign.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        help="per-chunk deadline [s] for the pool workers (hung workers are "
+        "SIGKILLed and their shards retried); requires --workers",
+    )
+    campaign.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="per-chunk retry budget before the pool degrades to serial "
+        "execution (default 3); requires --workers",
+    )
     return parser
 
 
@@ -253,7 +273,21 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     )
     if args.workers and args.dense:
         raise SystemExit("--workers requires the hierarchical engine (drop --dense)")
-    result = run_campaign(campaign, workers=args.workers)
+    retry = None
+    if args.chunk_timeout is not None or args.max_retries is not None:
+        if not args.workers:
+            raise SystemExit("--chunk-timeout/--max-retries require --workers")
+        from repro.resilience import RetryPolicy
+
+        overrides = {}
+        if args.chunk_timeout is not None:
+            overrides["chunk_timeout"] = args.chunk_timeout
+        if args.max_retries is not None:
+            overrides["max_retries"] = args.max_retries
+        retry = RetryPolicy(**overrides)
+    result = run_campaign(
+        campaign, workers=args.workers, checkpoint=args.checkpoint, retry=retry
+    )
 
     columns = ["scenario", "kind", "n_elements", "gpr_v", "Req_ohm", "seconds"]
     if campaign.assess_safety:

@@ -12,7 +12,9 @@ grouped by the invariant family they encode:
   without the ``os.register_at_fork`` re-arm), MSG001 (closures dispatched as
   worker tasks);
 * :mod:`repro.contracts.rules.api` — API001 (exact floating-point
-  ``==`` / ``!=``).
+  ``==`` / ``!=``);
+* :mod:`repro.contracts.rules.resilience` — RES001 (unbounded channel reads
+  and except-and-ignore handlers in the parallel package).
 """
 
 from __future__ import annotations
@@ -60,6 +62,7 @@ def default_rules() -> Sequence[Rule]:
         UnseededRandomRule,
         WallClockRule,
     )
+    from repro.contracts.rules.resilience import ResilientChannelRule
 
     return (
         UnseededRandomRule(),
@@ -68,6 +71,7 @@ def default_rules() -> Sequence[Rule]:
         ForkSafeLockRule(),
         WorkerTaskPurityRule(),
         ExactFloatComparisonRule(),
+        ResilientChannelRule(),
     )
 
 

@@ -19,6 +19,9 @@ __all__ = [
     "ConvergenceError",
     "ScheduleError",
     "ParallelExecutionError",
+    "ResilienceError",
+    "ChannelTimeout",
+    "CheckpointError",
     "ExperimentError",
     "ValidationError",
 ]
@@ -70,6 +73,18 @@ class ScheduleError(ReproError):
 
 class ParallelExecutionError(ReproError):
     """Raised when a parallel assembly/executor backend fails."""
+
+
+class ResilienceError(ReproError):
+    """Raised for invalid fault plans / retry policies (:mod:`repro.resilience`)."""
+
+
+class ChannelTimeout(ResilienceError):
+    """Raised when a deadline-bounded pipe receive expires without a message."""
+
+
+class CheckpointError(ReproError):
+    """Raised when a campaign checkpoint file cannot be read or written."""
 
 
 class ExperimentError(ReproError):

@@ -306,7 +306,7 @@ class ShardedHierarchicalOperator:
     def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
         try:
             self.close()
-        except Exception:
+        except Exception:  # contracts: disable=RES001 -- interpreter-teardown guard: __del__ must never raise
             pass
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

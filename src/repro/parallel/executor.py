@@ -249,6 +249,12 @@ class ScheduledExecutor:
     cost_hint:
         Optional per-task relative costs (array indexed by task id, or a
         mapping) used to apportion a chunk's wall time to its tasks.
+    retry:
+        Optional :class:`repro.resilience.RetryPolicy`; its ``chunk_timeout``
+        bounds how long :meth:`run_partition` waits for each process-backend
+        chunk before executing it serially in the master (recorded in
+        ``TaskRunResult.metadata["serial_fallback_chunks"]``).  ``None``
+        keeps the historical wait-forever behaviour.
     """
 
     def __init__(
@@ -258,6 +264,7 @@ class ScheduledExecutor:
         backend: Backend | str = Backend.PROCESS,
         batch_fn: Callable[[Sequence[int]], list[tuple[int, Any]]] | None = None,
         cost_hint: Any = None,
+        retry: Any = None,
     ) -> None:
         if n_workers < 1:
             raise ParallelExecutionError(f"n_workers must be >= 1, got {n_workers}")
@@ -266,6 +273,7 @@ class ScheduledExecutor:
         self.cost_hint = cost_hint
         self.n_workers = int(n_workers)
         self.backend = Backend(backend) if not isinstance(backend, Backend) else backend
+        self.retry = retry
         self._pool: Any = None
         self._thread_pool: ThreadPoolExecutor | None = None
 
@@ -332,9 +340,16 @@ class ScheduledExecutor:
         chunk (one message per worker on the process backend — results travel
         back, nothing else crosses the boundary); empty shards are skipped.
         Raises when a task id appears in more than one shard.
+
+        With a ``retry`` policy carrying a ``chunk_timeout``, each
+        process-backend chunk is waited on for at most that many seconds; an
+        expired chunk is executed serially in the master instead (block tasks
+        are pure, so the fallback result is bit-identical) and counted in
+        ``metadata["serial_fallback_chunks"]``.
         """
         chunks, indices = normalize_partition(partition)
         start = wall_clock()
+        serial_fallbacks = 0
 
         if self.backend is Backend.SERIAL or self.n_workers == 1:
             raw = [self._execute_local(chunk) for chunk in chunks]
@@ -343,10 +358,22 @@ class ScheduledExecutor:
                 raise ParallelExecutionError(
                     "the process backend must be used as a context manager (with ... as ex:)"
                 )
+            chunk_timeout = getattr(self.retry, "chunk_timeout", None)
             async_results = [
                 self._pool.apply_async(_run_chunk, (chunk,)) for chunk in chunks
             ]
-            raw = [result.get() for result in async_results]
+            raw = []
+            for result, chunk in zip(async_results, chunks):
+                if chunk_timeout is None:
+                    raw.append(result.get())
+                    continue
+                try:
+                    raw.append(result.get(timeout=chunk_timeout))
+                except mp.TimeoutError:
+                    # The worker is hung or too slow: recompute the pure
+                    # chunk in the master so the run still completes.
+                    serial_fallbacks += 1
+                    raw.append(self._execute_local(chunk))
         else:
             if self._thread_pool is None:
                 raise ParallelExecutionError(
@@ -356,7 +383,10 @@ class ScheduledExecutor:
             raw = [future.result() for future in futures]
 
         wall = wall_clock() - start
-        return self._collect(raw, indices, wall, len(chunks), f"{label},{len(chunks)}")
+        outcome = self._collect(raw, indices, wall, len(chunks), f"{label},{len(chunks)}")
+        if serial_fallbacks:
+            outcome.metadata["serial_fallback_chunks"] = serial_fallbacks
+        return outcome
 
     def _collect(
         self,

@@ -19,15 +19,31 @@ would amortise the fork+IPC cost of repeated sweeps".
   then dispatches explicit LPT shards exactly like
   :meth:`~repro.parallel.executor.ScheduledExecutor.run_partition`; results
   are folded through the same :func:`~repro.parallel.executor.collect_chunk_results`;
-* **worker-death detection and respawn** — a worker that dies (killed,
-  OOM-reaped, crashed) is detected through its broken pipe, a replacement is
-  forked, the current context re-shipped and the lost shard re-executed.
-  Because block tasks are pure functions of the block, the re-executed shard
-  is bit-identical to what the dead worker would have produced, so the
-  deterministic-reduction contract of the sharded backend survives respawns;
+* **resilience policy** (:class:`~repro.resilience.RetryPolicy`) — a worker
+  that dies is detected through its broken pipe and respawned (bounded); a
+  worker that holds a chunk past ``chunk_timeout`` is SIGKILLed as hung;
+  result payloads carry content checksums so corrupted results are rejected
+  instead of folded into the operator; every failed chunk is re-dispatched
+  after a deterministic backoff, and once the retry budget is exhausted the
+  pool walks the degradation ladder — disable the slot (shrink the pool),
+  then execute the chunk serially in the master.  Because block tasks are
+  pure functions of the block, every recovery path is bit-identical to the
+  undisturbed execution, so the deterministic-reduction contract of the
+  sharded backend survives the full failure zoo.  What happened is recorded
+  in :attr:`WorkerPool.health` (a :class:`~repro.resilience.PoolHealth`);
+* **fault injection** — a :class:`~repro.resilience.FaultPlan` passed at
+  construction ships to the workers inside the task context; workers fire
+  crashes/hangs/delays/corruptions at exact (worker, chunk) coordinates so
+  the chaos suite can assert the contract above on demand;
 * **serial fallback** — ``backend="serial"`` executes every shard in-process
   with the identical protocol semantics (used on platforms without ``fork``
   and as the deterministic reference in tests).
+
+All fault handling flows through the single dispatch loop below — no helper
+threads, no signal-handler side channels — mirroring the event-driven
+single-loop handling of asynchronous process events in non-threaded CCP
+interpreters: one deterministic place observes deaths, deadlines and
+payloads, and decides recovery.
 
 Worker-side caches (the process-wide
 :class:`~repro.bem.geometry_cache.GeometryCache`) stay warm across the
@@ -38,7 +54,6 @@ pair geometry pays off a second time inside the workers.
 from __future__ import annotations
 
 import multiprocessing as mp
-import multiprocessing.connection
 import traceback
 from typing import Any, Callable, Sequence
 
@@ -49,6 +64,22 @@ from repro.parallel.executor import (
     collect_chunk_results,
     normalize_partition,
 )
+from repro.resilience import (
+    DEFAULT_RETRY_POLICY,
+    FaultInjector,
+    FaultPlan,
+    PoolHealth,
+    RetryPolicy,
+    corrupt_payload,
+    payload_checksum,
+)
+from repro.resilience.channel import (
+    pause,
+    recv_message,
+    recv_ready,
+    wait_readable,
+)
+from repro.resilience.faults import execute_pre_fault
 from repro.timing import wall_clock
 
 __all__ = ["WorkerPool"]
@@ -58,24 +89,38 @@ _POLL_SECONDS: float = 0.2
 
 #: Default cap on worker respawns over a pool's lifetime.  Respawning is the
 #: recovery path for *rare* deaths; a task that keeps killing its workers must
-#: eventually fail loudly instead of looping forever.
+#: eventually stop consuming fresh processes — after the budget the slot is
+#: disabled (``degrade="serial"``) or the run aborts (``degrade="raise"``).
 DEFAULT_MAX_RESPAWNS: int = 8
 
+#: Seconds granted at each escalation step of :meth:`WorkerPool.close`
+#: (stop message → SIGTERM → SIGKILL).
+DEFAULT_SHUTDOWN_GRACE: float = 5.0
 
-def _pool_worker_main(worker_id: int, connection, stale_connections) -> None:
+
+def _pool_worker_main(
+    worker_id: int, generation: int, connection, stale_connections
+) -> None:
     """Long-lived worker loop: receive contexts and shard chunks, send results.
 
     Messages from the master (tuples, first element is the kind):
 
-    ``("context", seq, task_fn, batch_fn, cost_hint)``
-        Install task context ``seq``; replaces any previous context.
+    ``("context", seq, task_fn, batch_fn, cost_hint, fault_plan, verify)``
+        Install task context ``seq``; replaces any previous context.  A
+        non-empty ``fault_plan`` arms the deterministic fault injector (once
+        per process — the injector's chunk counter spans every later run).
+        ``verify`` asks for a content checksum on every result payload.
     ``("run", job_id, seq, indices)``
         Execute one shard chunk under context ``seq`` through the shared
         :func:`~repro.parallel.executor._execute_chunk` and reply
-        ``("result", job_id, output)`` — or ``("error", job_id, text)`` when
-        the task raises or the context is stale (a master bug).
+        ``("result", job_id, output, digest)`` — or ``("error", job_id,
+        text)`` when the task raises or the context is stale (a master bug).
     ``("stop",)``
         Exit the loop.
+
+    ``generation`` counts how many processes have occupied this slot before
+    (0 for the original spawn); the fault injector uses it so injected
+    crashes fire in the original process only (except ``respawn_crash``).
     """
     # A forked child inherits the master ends of every live pipe — its own
     # and those of every earlier worker.  Close them all: a sibling's death
@@ -91,16 +136,20 @@ def _pool_worker_main(worker_id: int, connection, stale_connections) -> None:
     task_fn: Callable[[int], Any] | None = None
     batch_fn = None
     cost_hint = None
+    verify = False
+    injector: FaultInjector | None = None
     while True:
         try:
-            message = connection.recv()
+            message = recv_message(connection)
         except (EOFError, OSError):  # master is gone
             break
         kind = message[0]
         if kind == "stop":
             break
         if kind == "context":
-            _, context_seq, task_fn, batch_fn, cost_hint = message
+            _, context_seq, task_fn, batch_fn, cost_hint, fault_plan, verify = message
+            if injector is None and fault_plan is not None and not fault_plan.is_empty:
+                injector = FaultInjector(fault_plan, worker_id, generation)
             continue
         if kind != "run":  # pragma: no cover - defensive
             connection.send(("error", -1, f"unknown message kind {kind!r}"))
@@ -112,12 +161,21 @@ def _pool_worker_main(worker_id: int, connection, stale_connections) -> None:
                  f"job expects {seq}")
             )
             continue
+        firing = injector.next_chunk() if injector is not None else None
+        if firing is not None:
+            execute_pre_fault(firing)  # crash/hang faults never return
         try:
             output = _execute_chunk(task_fn, batch_fn, cost_hint, indices)
         except BaseException:
             connection.send(("error", job_id, traceback.format_exc()))
             continue
-        connection.send(("result", job_id, output))
+        # The digest covers the *intact* payload: an injected corruption is
+        # applied afterwards, modelling damage in flight that the master's
+        # verification must catch.
+        digest = payload_checksum(output) if verify else None
+        if firing is not None and firing.kind == "corrupt":
+            output = corrupt_payload(output, injector.plan.seed, worker_id, firing.chunk)
+        connection.send(("result", job_id, output, digest))
 
 
 class _WorkerHandle:
@@ -148,10 +206,19 @@ class WorkerPool:
     backend:
         ``"process"`` (default) forks long-lived worker processes;
         ``"serial"`` executes every shard in the calling process with the same
-        protocol semantics (fallback for fork-less platforms and tests).
+        protocol semantics (fallback for fork-less platforms and tests; the
+        resilience policy and fault plan do not apply to it).
     max_respawns:
         Total worker respawns tolerated over the pool's lifetime before a
-        death is treated as fatal.
+        dying slot is disabled (``retry.degrade == "serial"``) or the run
+        aborts (``"raise"``).
+    retry:
+        The :class:`~repro.resilience.RetryPolicy` governing chunk deadlines,
+        retry/backoff, payload verification and the degradation ladder.
+        Defaults to :data:`~repro.resilience.DEFAULT_RETRY_POLICY`.
+    fault_plan:
+        Optional :class:`~repro.resilience.FaultPlan` armed in the workers
+        (chaos testing); ``None`` injects nothing.
     """
 
     def __init__(
@@ -159,6 +226,8 @@ class WorkerPool:
         n_workers: int,
         backend: str = "process",
         max_respawns: int = DEFAULT_MAX_RESPAWNS,
+        retry: RetryPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if n_workers < 1:
             raise ParallelExecutionError(f"n_workers must be >= 1, got {n_workers}")
@@ -169,22 +238,32 @@ class WorkerPool:
         self.n_workers = int(n_workers)
         self.backend = backend
         self.max_respawns = int(max_respawns)
+        self.retry = DEFAULT_RETRY_POLICY if retry is None else retry
+        self.fault_plan = fault_plan
+        self.health = PoolHealth()
+        self.shutdown_grace = DEFAULT_SHUTDOWN_GRACE
         self._workers: list[_WorkerHandle | None] = [None] * self.n_workers
+        self._spawn_counts = [0] * self.n_workers
+        self._disabled: set[int] = set()
         self._context_seq = 0
         self._context: tuple[Any, Any, Any] | None = None
         self._job_counter = 0
         self._closed = False
-        self.stats: dict[str, int] = {
+        self._stats: dict[str, int] = {
             "runs": 0,
             "chunks_dispatched": 0,
             "tasks_executed": 0,
             "contexts_shipped": 0,
-            "respawns": 0,
         }
         if self.backend == "process":
             self._mp_context = mp.get_context("fork")
             for slot in range(self.n_workers):
                 self._spawn(slot)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Lifetime execution counters merged with the health counters."""
+        return {**self._stats, **self.health.counters()}
 
     # ------------------------------------------------------------------ lifecycle
 
@@ -195,9 +274,11 @@ class WorkerPool:
         # workers' and its own; the child closes them first thing (see
         # _pool_worker_main).
         stale = [h.connection for h in self._workers if h is not None] + [parent_conn]
+        generation = self._spawn_counts[slot]
+        self._spawn_counts[slot] += 1
         process = self._mp_context.Process(
             target=_pool_worker_main,
-            args=(slot, child_conn, stale),
+            args=(slot, generation, child_conn, stale),
             daemon=True,
             name=f"repro-pool-{slot}",
         )
@@ -207,27 +288,59 @@ class WorkerPool:
         self._workers[slot] = handle
         return handle
 
-    def _respawn(self, slot: int) -> _WorkerHandle:
-        """Replace a dead worker, bounded by ``max_respawns``."""
-        self.stats["respawns"] += 1
-        if self.stats["respawns"] > self.max_respawns:
-            raise ParallelExecutionError(
-                f"pool worker {slot} died and the respawn budget "
-                f"({self.max_respawns}) is exhausted"
-            )
+    def _retire_handle(self, slot: int) -> None:
+        """Close and join whatever process currently occupies ``slot``."""
         old = self._workers[slot]
-        if old is not None:
-            try:
-                old.connection.close()
-            except OSError:  # pragma: no cover - already closed
-                pass
-            if old.process.is_alive():  # pragma: no cover - defensive
-                old.process.terminate()
-            old.process.join(timeout=5.0)
+        if old is None:
+            return
+        try:
+            old.connection.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if old.process.is_alive():
+            old.process.terminate()
+        old.process.join(timeout=self.shutdown_grace)
+        if old.process.is_alive():  # pragma: no cover - SIGTERM ignored
+            old.process.kill()
+            old.process.join(timeout=self.shutdown_grace)
+        self._workers[slot] = None
+
+    def _respawn_or_disable(self, slot: int) -> _WorkerHandle | None:
+        """Replace a dead worker, or disable the slot once the budget is spent.
+
+        Returns the fresh handle, or ``None`` when the slot was disabled
+        (degradation step "shrink the pool").  With ``retry.degrade ==
+        "raise"`` an exhausted budget aborts instead, preserving the
+        fail-fast semantics of the pre-resilience pool.
+        """
+        if self.health.respawns >= self.max_respawns:
+            if self.retry.degrade == "raise":
+                raise ParallelExecutionError(
+                    f"pool worker {slot} died and the respawn budget "
+                    f"({self.max_respawns}) is exhausted"
+                )
+            self._disable_slot(slot)
+            return None
+        self.health.bump("respawns", slot=slot)
+        self._retire_handle(slot)
         return self._spawn(slot)
 
+    def _disable_slot(self, slot: int) -> None:
+        """Permanently remove ``slot`` from the pool (budget exhausted)."""
+        if slot in self._disabled:
+            return
+        self._disabled.add(slot)
+        self.health.bump("disabled_slots", slot=slot)
+        self._retire_handle(slot)
+
     def close(self) -> None:
-        """Stop and join every worker (idempotent)."""
+        """Stop and join every worker, escalating to SIGKILL (idempotent).
+
+        Each worker first gets a ``stop`` message and ``shutdown_grace``
+        seconds to exit on its own, then SIGTERM, then SIGKILL — a hung
+        worker (stuck in a task, ignoring SIGTERM) must never block
+        interpreter exit or leak past the test process.
+        """
         if self._closed:
             return
         self._closed = True
@@ -241,10 +354,13 @@ class WorkerPool:
         for handle in self._workers:
             if handle is None:
                 continue
-            handle.process.join(timeout=5.0)
-            if handle.process.is_alive():  # pragma: no cover - stuck worker
+            handle.process.join(timeout=self.shutdown_grace)
+            if handle.process.is_alive():
                 handle.process.terminate()
-                handle.process.join(timeout=5.0)
+                handle.process.join(timeout=self.shutdown_grace)
+            if handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(timeout=self.shutdown_grace)
             try:
                 handle.connection.close()
             except OSError:  # pragma: no cover - already closed
@@ -261,7 +377,7 @@ class WorkerPool:
     def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
         try:
             self.close()
-        except Exception:
+        except Exception:  # contracts: disable=RES001 -- interpreter-teardown guard: __del__ must never raise
             pass
 
     @property
@@ -276,6 +392,10 @@ class WorkerPool:
             for handle in self._workers
             if handle is not None and handle.process.is_alive()
         )
+
+    def active_slots(self) -> list[int]:
+        """Slots still participating in dispatch (not disabled)."""
+        return [slot for slot in range(self.n_workers) if slot not in self._disabled]
 
     # ------------------------------------------------------------------ execution
 
@@ -294,14 +414,18 @@ class WorkerPool:
         into a :class:`~repro.parallel.executor.TaskRunResult` — but ships the
         task context over the persistent workers' pipes instead of relying on
         fork-time inheritance, so one pool serves any number of assemblies.
-        Shards beyond ``n_workers`` are dispatched round-robin.
+        Shards beyond the active worker count are dispatched round-robin.
+        Worker deaths, hangs and corrupted payloads are recovered per the
+        pool's :class:`~repro.resilience.RetryPolicy`; recoveries are
+        bit-identical to the undisturbed execution because block tasks are
+        pure.
         """
         if self._closed:
             raise ParallelExecutionError("the worker pool is closed")
         chunks, indices = normalize_partition(partition)
-        self.stats["runs"] += 1
-        self.stats["chunks_dispatched"] += len(chunks)
-        self.stats["tasks_executed"] += len(indices)
+        self._stats["runs"] += 1
+        self._stats["chunks_dispatched"] += len(chunks)
+        self._stats["tasks_executed"] += len(indices)
         start = wall_clock()
 
         if self.backend == "serial":
@@ -327,25 +451,163 @@ class WorkerPool:
         if handle.context_seq == self._context_seq:
             return
         task, batch_fn, cost_hint = self._context  # type: ignore[misc]
-        handle.connection.send(("context", self._context_seq, task, batch_fn, cost_hint))
+        handle.connection.send(
+            (
+                "context",
+                self._context_seq,
+                task,
+                batch_fn,
+                cost_hint,
+                self.fault_plan,
+                self.retry.verify_payloads,
+            )
+        )
         handle.context_seq = self._context_seq
-        self.stats["contexts_shipped"] += 1
+        self._stats["contexts_shipped"] += 1
 
-    def _dispatch(self, slot: int, job_id: int, chunk: list[int]) -> None:
-        """Send one shard to one worker, respawning through send failures."""
+    def _serial_chunk(self, chunk: list[int]) -> list[tuple[int, Any, float]]:
+        """Execute one shard in the master (bottom of the degradation ladder).
+
+        Runs the exact :func:`~repro.parallel.executor._execute_chunk` path a
+        worker would, so a degraded chunk is bit-identical to the parallel
+        one.
+        """
+        task, batch_fn, cost_hint = self._context  # type: ignore[misc]
+        return _execute_chunk(task, batch_fn, cost_hint, chunk)
+
+    def _dispatch(self, slot: int, job_id: int, chunk: list[int]) -> bool:
+        """Send one shard to one worker, respawning through send failures.
+
+        Returns ``False`` when the slot got disabled instead (the caller must
+        route the shard elsewhere).
+        """
         while True:
+            if slot in self._disabled:
+                return False
             handle = self._workers[slot]
             if handle is None or not handle.process.is_alive():
-                handle = self._respawn(slot)
+                handle = self._respawn_or_disable(slot)
+                if handle is None:
+                    return False
             try:
                 self._install_context(handle)
                 handle.connection.send(("run", job_id, self._context_seq, chunk))
-                return
+                return True
             except (BrokenPipeError, OSError):
                 if handle.process.is_alive():  # pragma: no cover - defensive
                     handle.process.terminate()
-                handle.process.join(timeout=5.0)
-                continue  # _respawn (bounded) picks it up on the next pass
+                handle.process.join(timeout=self.shutdown_grace)
+                continue  # _respawn_or_disable picks it up on the next pass
+
+    def _assign(
+        self,
+        job_id: int,
+        chunk: list[int],
+        pending: dict[int, tuple[int, list[int]]],
+        deadlines: dict[int, float],
+        preferred: int | None = None,
+    ) -> bool:
+        """Dispatch a shard to an active slot (preferring ``preferred``).
+
+        Returns ``False`` when no active slot is left — the caller falls back
+        to serial execution.
+        """
+        slot = preferred
+        while True:
+            active = self.active_slots()
+            if not active:
+                pending.pop(job_id, None)
+                deadlines.pop(job_id, None)
+                return False
+            if slot is None or slot in self._disabled:
+                slot = active[job_id % len(active)]
+            pending[job_id] = (slot, chunk)
+            if self._dispatch(slot, job_id, chunk):
+                if self.retry.chunk_timeout is not None:
+                    deadlines[job_id] = wall_clock() + self.retry.chunk_timeout
+                return True
+            slot = None  # the dispatch disabled the slot; pick another
+
+    def _assign_or_serial(
+        self,
+        job_id: int,
+        chunk: list[int],
+        pending: dict[int, tuple[int, list[int]]],
+        deadlines: dict[int, float],
+        raw: dict[int, list[tuple[int, Any, float]]],
+        preferred: int | None = None,
+    ) -> None:
+        if self._assign(job_id, chunk, pending, deadlines, preferred=preferred):
+            return
+        if self.retry.degrade == "raise":  # pragma: no cover - raise mode aborts earlier
+            raise ParallelExecutionError("no active pool workers left")
+        self.health.bump("serial_fallback_chunks", job=job_id, reason="no_active_workers")
+        raw[job_id] = self._serial_chunk(chunk)
+
+    def _fail_job(
+        self,
+        job_id: int,
+        pending: dict[int, tuple[int, list[int]]],
+        deadlines: dict[int, float],
+        attempts: dict[int, int],
+        raw: dict[int, list[tuple[int, Any, float]]],
+        reason: str,
+    ) -> None:
+        """One chunk failed (death, hang, corruption): retry or degrade.
+
+        Retries are re-dispatched to the failed slot after the policy's
+        deterministic backoff; a chunk out of retries is executed serially in
+        the master (``degrade="serial"``) or aborts the run (``"raise"``).
+        """
+        slot, chunk = pending[job_id]
+        attempts[job_id] = attempts.get(job_id, 0) + 1
+        failures = attempts[job_id]
+        if failures > self.retry.max_retries:
+            if self.retry.degrade == "raise":
+                # The job stays pending so _abort_outstanding replaces the
+                # worker that owned it, keeping the pool reusable.
+                raise ParallelExecutionError(
+                    f"pool shard (job {job_id}) failed {failures} times "
+                    f"(last reason: {reason}); retry budget "
+                    f"({self.retry.max_retries}) exhausted"
+                )
+            del pending[job_id]
+            deadlines.pop(job_id, None)
+            self.health.bump("serial_fallback_chunks", job=job_id, reason=reason)
+            raw[job_id] = self._serial_chunk(chunk)
+            return
+        del pending[job_id]
+        deadlines.pop(job_id, None)
+        self.health.bump("retries", job=job_id, slot=slot, reason=reason, attempt=failures)
+        pause(self.retry.backoff_delay(failures - 1))
+        self._assign_or_serial(job_id, chunk, pending, deadlines, raw, preferred=slot)
+
+    def _fail_slot_jobs(
+        self,
+        slot: int,
+        pending: dict[int, tuple[int, list[int]]],
+        deadlines: dict[int, float],
+        attempts: dict[int, int],
+        raw: dict[int, list[tuple[int, Any, float]]],
+        reason: str,
+    ) -> None:
+        """Fail every outstanding shard owned by one lost worker (job order)."""
+        owned = sorted(
+            job_id for job_id, (owner, _) in pending.items() if owner == slot
+        )
+        for job_id in owned:
+            if job_id in pending:
+                self._fail_job(job_id, pending, deadlines, attempts, raw, reason)
+
+    def _kill_hung_worker(self, slot: int) -> None:
+        """SIGKILL a worker that held a chunk past its deadline."""
+        handle = self._workers[slot]
+        if handle is None:
+            return
+        if handle.process.is_alive():
+            self.health.bump("hung_kills", slot=slot)
+            handle.process.kill()
+        handle.process.join(timeout=self.shutdown_grace)
 
     def _run_process_chunks(
         self, task, batch_fn, cost_hint, chunks: list[list[int]]
@@ -360,32 +622,46 @@ class WorkerPool:
         # never be mistaken for this run's shards.
         job_order: list[int] = []
         pending: dict[int, tuple[int, list[int]]] = {}
+        deadlines: dict[int, float] = {}
+        attempts: dict[int, int] = {}
         raw: dict[int, list[tuple[int, Any, float]]] = {}
         try:
+            active = self.active_slots()
             for position, chunk in enumerate(chunks):
                 job_id = self._job_counter
                 self._job_counter += 1
-                slot = position % self.n_workers
-                pending[job_id] = (slot, chunk)
                 job_order.append(job_id)
-                self._dispatch(slot, job_id, chunk)
+                preferred = active[position % len(active)] if active else None
+                self._assign_or_serial(
+                    job_id, chunk, pending, deadlines, raw, preferred=preferred
+                )
 
             while pending:
-                connections = {
-                    self._workers[slot].connection: slot  # type: ignore[union-attr]
-                    for slot, _ in pending.values()
-                    if self._workers[slot] is not None
-                }
-                ready = mp.connection.wait(list(connections), timeout=_POLL_SECONDS)
+                connections: dict[Any, int] = {}
+                for slot in {owner for owner, _ in pending.values()}:
+                    handle = self._workers[slot]
+                    if handle is not None:
+                        connections[handle.connection] = slot
+                ready = (
+                    wait_readable(list(connections), timeout=_POLL_SECONDS)
+                    if connections
+                    else []
+                )
+                self._expire_deadlines(pending, deadlines, attempts, raw)
                 if not ready:
-                    self._recover_dead_workers(pending)
+                    self._recover_dead_workers(pending, deadlines, attempts, raw)
                     continue
                 for connection in ready:
                     slot = connections[connection]
+                    handle = self._workers[slot]
+                    if handle is None or handle.connection is not connection:
+                        continue  # the slot was recycled while draining `ready`
                     try:
-                        message = connection.recv()
+                        message = recv_ready(connection)
                     except (EOFError, OSError):
-                        self._recover_slot(slot, pending)
+                        self._fail_slot_jobs(
+                            slot, pending, deadlines, attempts, raw, "worker_died"
+                        )
                         continue
                     kind = message[0]
                     job_id = message[1]
@@ -393,20 +669,55 @@ class WorkerPool:
                         continue  # stale payload from an aborted earlier run
                     if kind == "error":
                         del pending[job_id]
+                        deadlines.pop(job_id, None)
                         raise ParallelExecutionError(
                             f"pool worker {slot} failed:\n{message[2]}"
                         )
-                    raw[job_id] = message[2]
+                    output, digest = message[2], message[3]
+                    if digest is not None and payload_checksum(output) != digest:
+                        self.health.bump("corrupt_rejections", job=job_id, slot=slot)
+                        self._fail_job(
+                            job_id, pending, deadlines, attempts, raw, "corrupt_payload"
+                        )
+                        continue
+                    raw[job_id] = output
                     del pending[job_id]
+                    deadlines.pop(job_id, None)
         except BaseException:
-            # Whatever aborted the run (a task error, an exhausted respawn
-            # budget, an interrupt), workers still owning shards must be
-            # replaced before the error propagates — see _abort_outstanding.
+            # Whatever aborted the run (a task error, an exhausted budget,
+            # an interrupt), workers still owning shards must be replaced
+            # before the error propagates — see _abort_outstanding.
             self._abort_outstanding(pending)
             raise
         self._context = None
         self._clear_worker_contexts()
         return [raw[job_id] for job_id in job_order]
+
+    def _expire_deadlines(
+        self,
+        pending: dict[int, tuple[int, list[int]]],
+        deadlines: dict[int, float],
+        attempts: dict[int, int],
+        raw: dict[int, list[tuple[int, Any, float]]],
+    ) -> None:
+        """Kill workers holding chunks past their deadline; retry the chunks."""
+        now = wall_clock()
+        expired = sorted(
+            job_id
+            for job_id, deadline in deadlines.items()
+            if deadline <= now and job_id in pending
+        )
+        for job_id in expired:
+            if job_id not in pending:
+                continue  # failed alongside an earlier expiry on the same slot
+            if deadlines.get(job_id, now + 1.0) > now:
+                continue  # re-dispatched meanwhile: a fresh deadline applies
+            slot, _ = pending[job_id]
+            self.health.bump("chunk_timeouts", job=job_id, slot=slot)
+            self._kill_hung_worker(slot)
+            self._fail_slot_jobs(
+                slot, pending, deadlines, attempts, raw, "chunk_timeout"
+            )
 
     def _clear_worker_contexts(self) -> None:
         """Tell workers to drop the finished run's task context.
@@ -421,7 +732,7 @@ class WorkerPool:
             if handle is None or handle.context_seq <= 0:
                 continue
             try:
-                handle.connection.send(("context", 0, None, None, None))
+                handle.connection.send(("context", 0, None, None, None, None, False))
                 handle.context_seq = 0
             except (BrokenPipeError, OSError):
                 pass  # dead worker: lazily respawned at the next dispatch
@@ -434,19 +745,12 @@ class WorkerPool:
         run's blocking context send to such a worker would deadlock.  Fresh
         workers keep the pool reusable after the error propagates.  These are
         deliberate replacements, not crash recoveries, so they bypass the
-        respawn budget.
+        respawn budget (disabled slots stay disabled).
         """
         for slot in {slot for slot, _ in pending.values()}:
-            handle = self._workers[slot]
-            if handle is None:
+            if slot in self._disabled:
                 continue
-            try:
-                handle.connection.close()
-            except OSError:  # pragma: no cover - already closed
-                pass
-            if handle.process.is_alive():
-                handle.process.terminate()
-            handle.process.join(timeout=5.0)
+            self._retire_handle(slot)
             self._spawn(slot)
         pending.clear()
         self._context = None
@@ -455,19 +759,20 @@ class WorkerPool:
         # pin an assembly's footprint per worker between campaigns.
         self._clear_worker_contexts()
 
-    def _recover_dead_workers(self, pending: dict[int, tuple[int, list[int]]]) -> None:
-        """Respawn workers that died while owning outstanding shards."""
-        for slot in {slot for slot, _ in pending.values()}:
+    def _recover_dead_workers(
+        self,
+        pending: dict[int, tuple[int, list[int]]],
+        deadlines: dict[int, float],
+        attempts: dict[int, int],
+        raw: dict[int, list[tuple[int, Any, float]]],
+    ) -> None:
+        """Fail the shards of workers that died while owning them."""
+        for slot in sorted({owner for owner, _ in pending.values()}):
             handle = self._workers[slot]
             if handle is None or not handle.process.is_alive():
-                self._recover_slot(slot, pending)
-
-    def _recover_slot(self, slot: int, pending: dict[int, tuple[int, list[int]]]) -> None:
-        """Respawn one worker and re-dispatch its outstanding shards to it."""
-        self._respawn(slot)
-        for job_id, (owner, chunk) in list(pending.items()):
-            if owner == slot:
-                self._dispatch(slot, job_id, chunk)
+                self._fail_slot_jobs(
+                    slot, pending, deadlines, attempts, raw, "worker_died"
+                )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -1,0 +1,98 @@
+"""Deadline-bounded IPC primitives for the worker-pool protocol.
+
+The RES001 contract rule bans naked ``Connection.recv()`` and untimed
+``multiprocessing.connection.wait()`` inside :mod:`repro.parallel`: a receive
+with no deadline turns any hung or dead peer into a hung master.  These
+helpers are the sanctioned replacements — every blocking point either
+carries an explicit deadline (:func:`recv_message`) or is justified by
+construction (:func:`recv_ready` receives from a connection the OS already
+reported readable; :func:`wait_readable` *requires* a timeout argument).
+
+Also home to :func:`payload_checksum`, the integrity digest the workers
+attach to every result payload so the master can reject (and retry)
+corrupted results instead of folding them into the operator.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from hashlib import blake2b
+from multiprocessing import connection as _mp_connection
+from typing import Any, Sequence
+
+from repro.exceptions import ChannelTimeout
+
+__all__ = [
+    "payload_checksum",
+    "recv_message",
+    "recv_ready",
+    "wait_readable",
+    "pause",
+]
+
+#: Upper bound on a single blocking poll: even an "infinite" receive wakes up
+#: this often, so callers can interleave liveness checks.
+POLL_SECONDS: float = 0.2
+
+
+def payload_checksum(payload: Any) -> str:
+    """Content digest of a result payload (pickle bytes through blake2b).
+
+    Computed by the worker over the intact payload and re-computed by the
+    master over what arrived; a mismatch means the payload was damaged in
+    flight and must be retried, never folded into results.
+    """
+    raw = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    return blake2b(raw, digest_size=16).hexdigest()
+
+
+def recv_message(
+    connection: Any,
+    timeout: float | None = None,
+    poll_seconds: float = POLL_SECONDS,
+) -> Any:
+    """Receive one message, polling in bounded slices.
+
+    With a ``timeout`` the call raises :class:`~repro.exceptions.ChannelTimeout`
+    once the deadline passes without a message.  With ``timeout=None`` it
+    waits indefinitely but still blocks at most ``poll_seconds`` at a time,
+    so a closed pipe surfaces promptly as ``EOFError``/``OSError``.
+    """
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while True:
+        slice_seconds = poll_seconds
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0.0:
+                raise ChannelTimeout(
+                    f"no message within the {timeout}s deadline"
+                )
+            slice_seconds = min(poll_seconds, remaining)
+        if connection.poll(slice_seconds):
+            return connection.recv()
+
+
+def recv_ready(connection: Any) -> Any:
+    """Receive from a connection already reported readable.
+
+    For use directly after :func:`wait_readable` returned this connection —
+    the receive cannot block on an absent message, so no deadline is needed;
+    a dead peer still raises ``EOFError``/``OSError``.
+    """
+    return connection.recv()
+
+
+def wait_readable(
+    connections: Sequence[Any], timeout: float
+) -> list[Any]:
+    """``multiprocessing.connection.wait`` with a mandatory timeout."""
+    if timeout is None:  # defensive: the whole point is the deadline
+        raise ValueError("wait_readable requires an explicit timeout")
+    return list(_mp_connection.wait(list(connections), timeout=timeout))
+
+
+def pause(seconds: float) -> None:
+    """Sleep for a backoff delay (no-op for non-positive delays)."""
+    if seconds > 0.0:
+        time.sleep(seconds)

@@ -1,0 +1,78 @@
+"""Pool health accounting: what the resilience layer actually did.
+
+Every recovery action the pool takes — respawns, hung-worker kills, chunk
+deadline expiries, retries, corrupted-payload rejections, serial fallbacks,
+disabled slots — is counted here and, for the first ``max_events`` of them,
+recorded as a structured event.  A clean run reports all-zero counters; a
+chaos run proves its faults actually fired by asserting them non-zero.  The
+counters surface through ``WorkerPool.stats`` (and from there into campaign
+``cache_stats`` and the ``BENCH_campaign.json`` rows), so a batch study's
+provenance includes the faults it survived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["PoolHealth"]
+
+#: Counter attributes of :class:`PoolHealth`, in reporting order.
+COUNTER_FIELDS: tuple[str, ...] = (
+    "respawns",
+    "hung_kills",
+    "chunk_timeouts",
+    "retries",
+    "corrupt_rejections",
+    "serial_fallback_chunks",
+    "disabled_slots",
+)
+
+
+@dataclass
+class PoolHealth:
+    """Counters + bounded event log of a pool's recovery actions."""
+
+    #: Worker processes re-forked after a death (budget-bounded).
+    respawns: int = 0
+    #: Workers SIGKILLed because they held a chunk past its deadline.
+    hung_kills: int = 0
+    #: Chunk deadlines that expired (one per expiry, before any retry).
+    chunk_timeouts: int = 0
+    #: Chunk re-dispatches after a failure (death, hang, corruption).
+    retries: int = 0
+    #: Result payloads rejected because their checksum did not match.
+    corrupt_rejections: int = 0
+    #: Chunks executed serially in the master after the retry budget ran out.
+    serial_fallback_chunks: int = 0
+    #: Worker slots permanently disabled (respawn budget exhausted).
+    disabled_slots: int = 0
+    #: Structured event log (bounded by :attr:`max_events`).
+    events: list[dict[str, Any]] = field(default_factory=list)
+    #: Cap on retained events; counters keep counting past it.
+    max_events: int = 200
+
+    def bump(self, counter: str, **details: Any) -> None:
+        """Increment one counter and append a structured event."""
+        if counter not in COUNTER_FIELDS:
+            raise ValueError(f"unknown health counter {counter!r}")
+        setattr(self, counter, getattr(self, counter) + 1)
+        if len(self.events) < self.max_events:
+            self.events.append({"kind": counter, **details})
+
+    def counters(self) -> dict[str, int]:
+        """The counters as a plain dict (merged into ``WorkerPool.stats``)."""
+        return {name: getattr(self, name) for name in COUNTER_FIELDS}
+
+    @property
+    def faults_survived(self) -> bool:
+        """Whether any recovery action was taken at all."""
+        return any(getattr(self, name) for name in COUNTER_FIELDS)
+
+    def summary(self) -> str:
+        parts = ", ".join(
+            f"{name}={getattr(self, name)}"
+            for name in COUNTER_FIELDS
+            if getattr(self, name)
+        )
+        return f"PoolHealth({parts or 'clean'})"

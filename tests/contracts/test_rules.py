@@ -10,7 +10,7 @@ from pathlib import Path
 from repro.contracts import analyze_source, default_rules
 from repro.contracts.rules import rule_catalog
 
-ALL_RULE_IDS = {"DET001", "DET002", "DET003", "FORK001", "MSG001", "API001"}
+ALL_RULE_IDS = {"DET001", "DET002", "DET003", "FORK001", "MSG001", "API001", "RES001"}
 
 
 def run(source: str, virtual_path: str):
@@ -237,6 +237,75 @@ class TestMSG001WorkerTaskPurity:
             "src/repro/parallel/dispatch_probe.py",
         )
         assert rule_ids(active) == set()
+
+
+class TestRES001ResilientChannels:
+    def test_flags_unbounded_reads_and_swallowed_errors(self):
+        active, _ = run(
+            """
+            import multiprocessing.connection
+
+            def drain(connections):
+                ready = multiprocessing.connection.wait(connections)
+                for connection in ready:
+                    try:
+                        message = connection.recv()
+                    except Exception:
+                        pass
+            """,
+            "src/repro/parallel/drain_probe.py",
+        )
+        res = [f for f in active if f.rule_id == "RES001"]
+        assert len(res) == 3  # untimed wait + bare recv + except-and-ignore
+
+    def test_bare_except_and_import_aliases_are_flagged(self):
+        active, _ = run(
+            """
+            from multiprocessing import connection as mpc
+
+            def drain(connections, pipe):
+                mpc.wait(connections)
+                try:
+                    pipe.recv()
+                except:
+                    pass
+            """,
+            "src/repro/parallel/alias_probe.py",
+        )
+        res = [f for f in active if f.rule_id == "RES001"]
+        assert len(res) == 3
+
+    def test_channel_helpers_and_handled_errors_are_clean(self):
+        active, _ = run(
+            """
+            from repro.resilience.channel import recv_message, wait_readable
+
+            def drain(connections, connection, health):
+                ready = wait_readable(connections, timeout=0.2)
+                try:
+                    return recv_message(connection, timeout=5.0), ready
+                except Exception as error:
+                    health.bump("retries", error=repr(error))
+                    raise
+            """,
+            "src/repro/parallel/clean_probe.py",
+        )
+        assert rule_ids(active) == set()
+
+    def test_out_of_scope_modules_and_tests_are_exempt(self):
+        source = """
+        def drain(connection):
+            try:
+                return connection.recv()
+            except Exception:
+                pass
+        """
+        for exempt in (
+            "src/repro/resilience/channel_probe.py",  # outside repro.parallel
+            "tests/parallel/test_drain.py",           # test code
+        ):
+            active, _ = run(source, exempt)
+            assert rule_ids(active) == set(), exempt
 
 
 class TestAPI001ExactFloatComparison:

@@ -17,6 +17,7 @@ import pytest
 
 from repro.exceptions import ParallelExecutionError
 from repro.parallel.pool import WorkerPool
+from repro.resilience import RetryPolicy
 
 
 class AffineTask:
@@ -219,12 +220,34 @@ class TestWorkerDeathRecovery:
             assert pool.alive_workers() == 2
 
     def test_respawn_budget_exhausted_raises(self):
-        pool = WorkerPool(1, max_respawns=0)
+        """``degrade="raise"`` restores the fail-fast pre-resilience semantics."""
+        pool = WorkerPool(1, max_respawns=0, retry=RetryPolicy(degrade="raise"))
         try:
             os.kill(pool._workers[0].process.pid, signal.SIGKILL)
             time.sleep(0.05)
             with pytest.raises(ParallelExecutionError, match="respawn budget"):
                 pool.run_partition(AffineTask(1.0), [[0]])
+        finally:
+            pool.close()
+
+    def test_respawn_budget_exhausted_degrades_to_serial(self):
+        """Default policy: an exhausted respawn budget disables the slot and
+        the run completes through the master-side serial fallback, with the
+        degradation recorded in the pool health report."""
+        pool = WorkerPool(1, max_respawns=0)
+        try:
+            os.kill(pool._workers[0].process.pid, signal.SIGKILL)
+            time.sleep(0.05)
+            outcome = pool.run_partition(AffineTask(7.0), [[0, 1]])
+            np.testing.assert_array_equal(
+                outcome.results[1], 7.0 * np.arange(4.0) + 1
+            )
+            assert pool.health.disabled_slots == 1
+            assert pool.health.serial_fallback_chunks >= 1
+            assert pool.active_slots() == []
+            # The degraded pool keeps serving runs (serially).
+            again = pool.run_partition(AffineTask(2.0), [[0], [1]])
+            assert sorted(again.results) == [0, 1]
         finally:
             pool.close()
 
@@ -234,7 +257,7 @@ class TestWorkerDeathRecovery:
         deadlock a subsequent run on a worker stuck sending an unread result."""
         import threading
 
-        pool = WorkerPool(2, max_respawns=0)
+        pool = WorkerPool(2, max_respawns=0, retry=RetryPolicy(degrade="raise"))
         try:
             # Both shards are slow (~0.3 s) and return ~8 MB payloads (indices
             # != 0 of FailFastOrBigSlowTask).  Killing worker 0 mid-run trips
