@@ -1,0 +1,130 @@
+"""Observability overhead gate: the disabled tracer must cost nothing.
+
+Every instrumented hot path guards its recording on ``tracer.enabled`` — a
+single attribute load on the shared :data:`repro.observe.NULL_TRACER` — so a
+run without tracing must be indistinguishable from an uninstrumented one.
+This bench pins that promise with numbers:
+
+* the per-guard cost is measured directly (a tight guarded loop against the
+  same loop bare, interleaved, min-of-N so scheduler noise cancels);
+* a representative instrumented unit (one dense ``assemble_system`` on the
+  quick grid) is timed the same way;
+* the gate asserts that even an absurd 10,000 guard checks per assembly —
+  two orders of magnitude above what the instrumentation actually fires —
+  stay under 2% of the assembly wall time.
+
+An enabled :class:`~repro.observe.Tracer` is also timed end-to-end against
+the disabled default on a full ``GroundingAnalysis.run()`` and recorded in
+the snapshot (informational: enabled tracing is allowed to cost something).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bem.formulation import GroundingAnalysis
+from repro.geometry.builder import GridBuilder
+from repro.observe import NULL_TRACER, Tracer
+from repro.soil.uniform import UniformSoil
+from repro.timing import wall_clock
+
+#: Far above reality: the pipeline fires a handful of guards per assembly
+#: plus one per pool event; 10k/assembly is a two-orders-of-magnitude bound.
+GUARDS_PER_ASSEMBLY_BOUND = 10_000
+#: The asserted ceiling for the no-op path.
+OVERHEAD_CEILING = 0.02
+
+_LOOP = 200_000
+_REPEATS = 5
+
+
+def _guarded_loop(tracer) -> int:
+    fired = 0
+    for _ in range(_LOOP):
+        if tracer.enabled:
+            fired += 1
+    return fired
+
+
+def _bare_loop() -> int:
+    fired = 0
+    for _ in range(_LOOP):
+        fired += 1
+    return fired
+
+
+def measure_guard_cost() -> float:
+    """Seconds per ``tracer.enabled`` check on the disabled singleton.
+
+    Interleaved min-of-N: each repetition times both variants back to back,
+    and the minima are compared, so a background hiccup hits both or
+    neither.  Clamped at zero — on quiet hosts the difference is below
+    timer resolution.
+    """
+    tracer = NULL_TRACER
+    guarded = []
+    bare = []
+    for _ in range(_REPEATS):
+        start = wall_clock()
+        assert _guarded_loop(tracer) == 0
+        guarded.append(wall_clock() - start)
+        start = wall_clock()
+        assert _bare_loop() == _LOOP
+        bare.append(wall_clock() - start)
+    return max(min(guarded) - min(bare), 0.0) / _LOOP
+
+
+def _quick_analysis(tracer=None) -> GroundingAnalysis:
+    grid = GridBuilder(depth=0.6, conductor_radius=5.0e-3, name="overhead")
+    return GroundingAnalysis(
+        grid.rectangular_mesh(18.0, 18.0, 3, 3),
+        UniformSoil(0.01),
+        tracer=tracer,
+    )
+
+
+def measure_analysis_seconds(tracer=None, repeats: int = 3) -> float:
+    """Min-of-N wall time of one full quick analysis run."""
+    times = []
+    for _ in range(repeats):
+        analysis = _quick_analysis(tracer=tracer)
+        start = wall_clock()
+        analysis.run()
+        times.append(wall_clock() - start)
+    return min(times)
+
+
+def test_null_tracer_overhead_under_two_percent(record_snapshot):
+    per_check = measure_guard_cost()
+    disabled_seconds = measure_analysis_seconds(tracer=None)
+    enabled_seconds = measure_analysis_seconds(tracer=Tracer())
+
+    bounded_overhead = per_check * GUARDS_PER_ASSEMBLY_BOUND
+    overhead_fraction = bounded_overhead / disabled_seconds
+
+    record_snapshot(
+        "observe_overhead",
+        {
+            "quick": os.environ.get("BENCH_QUICK") == "1",
+            "guard_check_seconds": per_check,
+            "guards_per_assembly_bound": GUARDS_PER_ASSEMBLY_BOUND,
+            "analysis_disabled_seconds": disabled_seconds,
+            "analysis_enabled_seconds": enabled_seconds,
+            "enabled_ratio": enabled_seconds / disabled_seconds,
+            "noop_overhead_fraction": overhead_fraction,
+            "ceiling": OVERHEAD_CEILING,
+        },
+    )
+
+    print(
+        f"\nguard check: {per_check * 1e9:.1f} ns; "
+        f"analysis (disabled tracer): {disabled_seconds:.3f}s; "
+        f"bounded no-op overhead: {overhead_fraction:.4%} "
+        f"(ceiling {OVERHEAD_CEILING:.0%}); "
+        f"enabled/disabled ratio: {enabled_seconds / disabled_seconds:.3f}"
+    )
+    assert overhead_fraction < OVERHEAD_CEILING, (
+        f"no-op tracer guard overhead {overhead_fraction:.4%} exceeds "
+        f"{OVERHEAD_CEILING:.0%} of one quick assembly "
+        f"({per_check * 1e9:.1f} ns/check x {GUARDS_PER_ASSEMBLY_BOUND})"
+    )

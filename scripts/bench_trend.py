@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Wall-time trend gate: fresh BENCH snapshots vs the committed baselines.
+
+Every benchmark writes a machine-readable ``BENCH_<name>.json`` snapshot into
+``benchmarks/results/``; the repo root carries the committed baseline of the
+same files.  This script pairs them up, extracts every wall-time leaf (any
+numeric value whose key contains ``seconds``), and reports the per-metric
+ratio ``fresh / committed``.  A metric regresses when the fresh time exceeds
+``--threshold`` (default 1.25x) of the committed baseline *and* the baseline
+is above the noise floor (default 50 ms — micro-timings jitter too much on
+shared runners to gate on).  Exit status is nonzero iff any metric regressed,
+so CI can surface the trend without hand-reading the tables.
+
+Usage:
+    python scripts/bench_trend.py                 # compare all common pairs
+    python scripts/bench_trend.py --threshold 1.5 --min-seconds 0.1
+    python scripts/bench_trend.py --fresh benchmarks/results --baseline .
+
+Quick-mode snapshots (``{"quick": true}``) time reduced problem sizes, so a
+fresh quick snapshot is never compared against a committed full-size
+baseline (and vice versa) — mismatched modes are skipped with a note.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Ignore regressions whose committed baseline is below this many seconds.
+DEFAULT_MIN_SECONDS = 0.05
+#: Fresh time above this multiple of the committed baseline is a regression.
+DEFAULT_THRESHOLD = 1.25
+
+
+def walltime_leaves(payload: object, prefix: str = "") -> dict[str, float]:
+    """Flatten ``payload`` to ``{dotted.path: value}`` for *_seconds leaves.
+
+    A leaf qualifies when it is numeric (bool excluded) and the final key of
+    its path contains ``seconds`` — the naming convention every snapshot in
+    this repo follows for wall times (``wall_seconds``, ``assemble``-phase
+    entries live under a ``timings`` mapping whose values are seconds, so a
+    ``timings.`` path component also qualifies the leaf).
+    """
+    leaves: dict[str, float] = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = f"{prefix}{key}"
+            leaves.update(walltime_leaves(value, path + "."))
+        return leaves
+    if isinstance(payload, list):
+        for index, value in enumerate(payload):
+            leaves.update(walltime_leaves(value, f"{prefix}{index}."))
+        return leaves
+    if isinstance(payload, bool) or not isinstance(payload, (int, float)):
+        return leaves
+    path = prefix.rstrip(".")
+    final = path.rsplit(".", 1)[-1]
+    if "seconds" in final or ".timings." in f".{path}.":
+        leaves[path] = float(payload)
+    return leaves
+
+
+def compare_snapshots(
+    committed: dict[str, float],
+    fresh: dict[str, float],
+    threshold: float = DEFAULT_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> list[tuple[str, float, float, float, bool]]:
+    """``(path, committed, fresh, ratio, regressed)`` rows for common paths."""
+    rows = []
+    for path in sorted(set(committed) & set(fresh)):
+        base, now = committed[path], fresh[path]
+        ratio = now / base if base > 0 else float("inf") if now > 0 else 1.0
+        regressed = base >= min_seconds and now > threshold * base
+        rows.append((path, base, now, ratio, regressed))
+    return rows
+
+
+def _is_quick(payload: object) -> bool:
+    return isinstance(payload, dict) and bool(payload.get("quick", False))
+
+
+def compare_trees(
+    baseline_dir: Path,
+    fresh_dir: Path,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+    out=sys.stdout,
+) -> int:
+    """Compare every common ``BENCH_*.json`` pair; return regression count."""
+    pairs = sorted(
+        name.name
+        for name in baseline_dir.glob("BENCH_*.json")
+        if (fresh_dir / name.name).is_file()
+    )
+    if not pairs:
+        print(f"bench_trend: no common BENCH_*.json under {baseline_dir} "
+              f"and {fresh_dir}; nothing to compare", file=out)
+        return 0
+    regressions = 0
+    compared = 0
+    for name in pairs:
+        committed_payload = json.loads((baseline_dir / name).read_text())
+        fresh_payload = json.loads((fresh_dir / name).read_text())
+        if _is_quick(committed_payload) != _is_quick(fresh_payload):
+            print(f"-- {name}: quick/full mode mismatch, skipped", file=out)
+            continue
+        rows = compare_snapshots(
+            walltime_leaves(committed_payload),
+            walltime_leaves(fresh_payload),
+            threshold=threshold,
+            min_seconds=min_seconds,
+        )
+        if not rows:
+            continue
+        print(f"-- {name} ({len(rows)} wall-time metrics)", file=out)
+        for path, base, now, ratio, regressed in rows:
+            compared += 1
+            flag = "  REGRESSED" if regressed else ""
+            print(f"   {path:<58s} {base:>10.4f}s -> {now:>10.4f}s"
+                  f"  x{ratio:5.2f}{flag}", file=out)
+            regressions += regressed
+    verdict = (f"bench_trend: {regressions} regression(s) "
+               f"(>{threshold:.2f}x, baseline >= {min_seconds:g}s) "
+               f"across {compared} metric(s) in {len(pairs)} snapshot(s)")
+    print(verdict, file=out)
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--baseline", type=Path, default=Path("."),
+                        help="directory of committed BENCH_*.json baselines")
+    parser.add_argument("--fresh", type=Path, default=Path("benchmarks/results"),
+                        help="directory of freshly produced BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="ratio above which a wall time regresses")
+    parser.add_argument("--min-seconds", type=float, default=DEFAULT_MIN_SECONDS,
+                        help="ignore metrics whose baseline is below this")
+    args = parser.parse_args(argv)
+    regressions = compare_trees(
+        args.baseline, args.fresh,
+        threshold=args.threshold, min_seconds=args.min_seconds,
+    )
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

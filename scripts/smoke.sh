@@ -57,6 +57,13 @@ echo "== campaign mini-benchmark (quick mode, 6 scenarios, 2 pool workers) =="
 BENCH_QUICK=1 python -m pytest -q -p no:randomly \
   benchmarks/bench_campaign.py::test_campaign_batch
 
+echo "== bench trend (fresh snapshots vs committed baselines; non-fatal) =="
+# Quick-mode snapshots from the runs above land in benchmarks/results/; any
+# wall time >1.25x its committed baseline is reported. Advisory here (shared
+# hosts jitter) — the committed baselines gate only via review.
+python scripts/bench_trend.py \
+  || echo "bench_trend: wall-time regression reported (advisory, not fatal)"
+
 echo "== parallel + cluster + campaign suites (2-worker process pools) =="
 python -m pytest -q -p no:randomly tests/parallel tests/cluster tests/campaign
 

@@ -98,6 +98,16 @@ from repro.resilience import (
     RetryPolicy,
 )
 
+# Observability (tracing + metrics + run manifests)
+from repro.observe import (
+    MetricsRegistry,
+    RunManifest,
+    Tracer,
+    format_trace_tree,
+    read_trace_jsonl,
+    write_trace_jsonl,
+)
+
 # Hierarchical (H-matrix) engine
 from repro.cluster import HierarchicalControl, HierarchicalOperator
 
@@ -169,6 +179,13 @@ __all__ = [
     "FaultSpec",
     "PoolHealth",
     "RetryPolicy",
+    # observability
+    "MetricsRegistry",
+    "RunManifest",
+    "Tracer",
+    "format_trace_tree",
+    "read_trace_jsonl",
+    "write_trace_jsonl",
     # hierarchical engine
     "HierarchicalControl",
     "HierarchicalOperator",

@@ -277,6 +277,7 @@ def assemble_system(
     batch_size: int | None = None,
     pool=None,
     cluster_cache=None,
+    tracer=None,
 ) -> LinearSystem:
     """Assemble the dense Galerkin system sequentially (batched columns).
 
@@ -317,6 +318,11 @@ def assemble_system(
         Optional :class:`repro.cluster.block_assembly.ClusterPlanCache`
         reusing the geometry-determined cluster tree/partition across
         repeated hierarchical assemblies of the same mesh.
+    tracer:
+        Optional :class:`repro.observe.Tracer` recording the assembly span
+        tree (dense column phase, or the hierarchical plan/far/near tree).
+        Defaults to the no-op tracer: the disabled cost is one attribute
+        check.
 
     Returns
     -------
@@ -347,6 +353,7 @@ def assemble_system(
             kernel=kernel,
             pool=pool,
             cluster_cache=cluster_cache,
+            tracer=tracer,
         )
     if kernel is None:
         kernel = kernel_for_soil(soil, options.series_control)
@@ -386,6 +393,18 @@ def assemble_system(
         for column in batch_results:
             column_seconds[column.source_index] = column.elapsed_seconds
     generation_seconds = wall_clock() - start
+    if tracer is not None and tracer.enabled:
+        # batch_size is memory/host-derived (max_batch_size), hence volatile.
+        tracer.record_span(
+            "assemble.columns",
+            duration_seconds=generation_seconds,
+            volatile={"batch_size": batch_size},
+            n_elements=mesh.n_elements,
+            n_dofs=n,
+            element_type=options.element_type.value,
+            n_gauss=options.n_gauss,
+            soil_layers=soil.n_layers,
+        )
 
     rhs = assemble_rhs(dof_manager, gpr)
 

@@ -27,9 +27,10 @@ from repro.geometry.validation import validate_grid
 from repro.kernels.base import kernel_for_soil
 from repro.kernels.series import SeriesControl
 from repro.kernels.truncation import AdaptiveControl
+from repro.observe import ensure_tracer
 from repro.soil.base import SoilModel
 from repro.solvers import solve_system
-from repro.timing import wall_clock
+from repro.timing import PhaseTimer, Timer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.operator import HierarchicalControl
@@ -99,6 +100,12 @@ class GroundingAnalysis:
         across analyses (requires ``hierarchical``): repeated runs then reuse
         the pool's spawn-once workers instead of forking a fresh worker set
         per call — the batch path :mod:`repro.campaign` is built on.
+    tracer:
+        Optional :class:`repro.observe.Tracer` recording the pipeline's span
+        tree: one ``analysis`` root with a ``phase.*`` child per Table-6.1
+        phase, the assembly spans nested under ``phase.matrix_generation``
+        and the solver's convergence telemetry under ``solve``.  ``None``
+        (the default) traces nothing at single-attribute-check cost.
     """
 
     grid: GroundingGrid
@@ -116,6 +123,7 @@ class GroundingAnalysis:
     adaptive: "AdaptiveControl | None" = field(default_factory=AdaptiveControl)
     hierarchical: "HierarchicalControl | bool | None" = None
     pool: "WorkerPool | None" = None
+    tracer: Any = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.gpr <= 0.0:
@@ -169,80 +177,115 @@ class GroundingAnalysis:
 
     def run(self) -> AnalysisResults:
         """Execute the whole pipeline and return the analysis results."""
-        timings: dict[str, float] = {}
+        tracer = ensure_tracer(self.tracer)
+        phases = PhaseTimer()
         metadata: dict[str, Any] = {}
 
-        start = wall_clock()
-        grid = self.load()
-        timings["data_input"] = wall_clock() - start
-
-        start = wall_clock()
-        mesh = self.preprocess()
-        kernel = kernel_for_soil(self.soil, self.series_control)
-        options = AssemblyOptions(
-            element_type=self.element_type,
+        with tracer.span(
+            "analysis",
+            solver=self.solver,
+            element_type=self.element_type.value,
             n_gauss=self.n_gauss,
-            series_control=self.series_control,
-            adaptive=self.adaptive,
-            hierarchical=self.hierarchical,
-        )
-        timings["data_preprocessing"] = wall_clock() - start
+            soil_layers=self.soil.n_layers,
+        ):
+            with phases.phase("data_input"), tracer.span("phase.data_input"):
+                grid = self.load()
 
-        start = wall_clock()
-        if self.parallel is None:
-            system = assemble_system(
-                mesh,
-                self.soil,
-                gpr=self.gpr,
-                options=options,
-                kernel=kernel,
-                collect_column_times=self.collect_column_times,
-                pool=self.pool,
+            with phases.phase("data_preprocessing"), tracer.span(
+                "phase.data_preprocessing"
+            ):
+                mesh = self.preprocess()
+                kernel = kernel_for_soil(self.soil, self.series_control)
+                options = AssemblyOptions(
+                    element_type=self.element_type,
+                    n_gauss=self.n_gauss,
+                    series_control=self.series_control,
+                    adaptive=self.adaptive,
+                    hierarchical=self.hierarchical,
+                )
+            tracer.annotate(n_elements=mesh.n_elements)
+
+            with phases.phase("matrix_generation"), tracer.span(
+                "phase.matrix_generation"
+            ):
+                if self.parallel is None:
+                    system = assemble_system(
+                        mesh,
+                        self.soil,
+                        gpr=self.gpr,
+                        options=options,
+                        kernel=kernel,
+                        collect_column_times=self.collect_column_times,
+                        pool=self.pool,
+                        tracer=tracer,
+                    )
+                else:
+                    # Imported lazily so the bem package has no hard dependency
+                    # on the parallel machinery (and to avoid an import cycle).
+                    from repro.parallel.parallel_assembly import assemble_system_parallel
+
+                    system = assemble_system_parallel(
+                        mesh,
+                        self.soil,
+                        gpr=self.gpr,
+                        options=options,
+                        kernel=kernel,
+                        parallel=self.parallel,
+                        collect_column_times=self.collect_column_times,
+                    )
+            metadata.update(
+                {
+                    key: value
+                    for key, value in system.metadata.items()
+                    if key not in ("column_seconds",)
+                }
             )
-        else:
-            # Imported lazily so the bem package has no hard dependency on the
-            # parallel machinery (and to avoid an import cycle).
-            from repro.parallel.parallel_assembly import assemble_system_parallel
+            if "column_seconds" in system.metadata:
+                metadata["column_seconds"] = system.metadata["column_seconds"]
 
-            system = assemble_system_parallel(
-                mesh,
-                self.soil,
-                gpr=self.gpr,
-                options=options,
-                kernel=kernel,
-                parallel=self.parallel,
-                collect_column_times=self.collect_column_times,
-            )
-        timings["matrix_generation"] = wall_clock() - start
-        metadata.update(
-            {
-                key: value
-                for key, value in system.metadata.items()
-                if key not in ("column_seconds",)
-            }
-        )
-        if "column_seconds" in system.metadata:
-            metadata["column_seconds"] = system.metadata["column_seconds"]
+            with phases.phase("linear_system_solving"), tracer.span(
+                "solve", method=self.solver, n_unknowns=system.dof_manager.n_dofs
+            ):
+                on_iteration = None
+                if tracer.enabled:
+                    metrics = tracer.metrics
 
-        start = wall_clock()
-        solve_result = solve_system(
-            system.matrix, system.rhs, method=self.solver, tolerance=self.solver_tolerance
-        )
-        timings["linear_system_solving"] = wall_clock() - start
+                    def on_iteration(iteration: int, residual: float) -> None:
+                        metrics.observe("solve.residual", residual)
 
-        start = wall_clock()
-        results = AnalysisResults(
-            mesh=mesh,
-            soil=self.soil,
-            kernel=kernel,
-            dof_manager=system.dof_manager,
-            gpr=self.gpr,
-            dof_values=solve_result.solution,
-            solver=solve_result,
-            timings=timings,
-            metadata=metadata,
-        )
-        timings["results_storage"] = wall_clock() - start
+                solve_result = solve_system(
+                    system.matrix,
+                    system.rhs,
+                    method=self.solver,
+                    tolerance=self.solver_tolerance,
+                    on_iteration=on_iteration,
+                )
+                # The PCG residual history is bit-identical across worker
+                # counts (the sharded backend's deterministic-reduction
+                # contract), so convergence facts are deterministic attrs.
+                tracer.annotate(
+                    iterations=solve_result.iterations,
+                    converged=solve_result.converged,
+                    residual=float(solve_result.residual),
+                )
+
+            phases.add("results_storage", 0.0)
+            timings = phases.as_dict()
+            storage = Timer()
+            with storage, tracer.span("phase.results_storage"):
+                results = AnalysisResults(
+                    mesh=mesh,
+                    soil=self.soil,
+                    kernel=kernel,
+                    dof_manager=system.dof_manager,
+                    gpr=self.gpr,
+                    dof_values=solve_result.solution,
+                    solver=solve_result,
+                    timings=timings,
+                    metadata=metadata,
+                )
+            phases.add("results_storage", storage.elapsed)
+            timings["results_storage"] = phases["results_storage"]
         del grid
         return results
 

@@ -28,7 +28,7 @@ from repro.geometry.validation import validate_grid
 from repro.kernels.base import kernel_for_soil
 from repro.kernels.series import SeriesControl
 from repro.parallel.options import ParallelOptions
-from repro.parallel.timing import PhaseTimer
+from repro.timing import PhaseTimer
 from repro.soil.base import SoilModel
 from repro.solvers import solve_system
 

@@ -43,8 +43,9 @@ from repro.exceptions import ReproError
 from repro.geometry.discretize import discretize_grid
 from repro.kernels.base import kernel_for_soil
 from repro.kernels.truncation import AdaptiveControl
+from repro.observe import RunManifest, ensure_tracer
 from repro.solvers import solve_system
-from repro.timing import wall_clock
+from repro.timing import PhaseTimer, Timer
 
 __all__ = ["run_campaign", "surface_safety_metrics"]
 
@@ -109,6 +110,7 @@ def run_campaign(
     checkpoint=None,
     retry=None,
     fault_plan=None,
+    tracer=None,
 ) -> CampaignResult:
     """Execute a campaign and aggregate the per-scenario results.
 
@@ -140,6 +142,15 @@ def run_campaign(
     fault_plan:
         Optional :class:`~repro.resilience.FaultPlan` armed in a runner-owned
         pool (chaos testing; requires ``workers``).
+    tracer:
+        Optional :class:`~repro.observe.Tracer`.  When enabled, the run
+        records a ``campaign`` span tree (plan → one ``campaign.group`` per
+        structure group → nested assembly/solve/scenario spans), keeps the
+        campaign's counters/gauges in the tracer's shared registry, attaches
+        a :class:`~repro.observe.RunManifest` dict to the result metadata
+        under ``"manifest"`` and — when ``checkpoint`` is given — writes it
+        next to the checkpoint file.  A runner-owned pool inherits the
+        tracer, so its dispatch/retry events land in the same trace.
 
     Returns
     -------
@@ -164,117 +175,212 @@ def run_campaign(
             "retry/fault_plan configure the runner-owned pool and require "
             "workers >= 1; a borrowed pool carries its own policy"
         )
-    total_start = wall_clock()
-    plan_start = wall_clock()
-    plan = plan or plan_campaign(campaign)
-    plan_seconds = wall_clock() - plan_start
+    tracer = ensure_tracer(tracer)
+    phases = PhaseTimer()
+    for key in ("plan", "discretize", "assemble", "solve", "evaluate", "derive"):
+        phases.add(key, 0.0)  # pre-seed so the timings dict always has every phase
+    engine = "hierarchical" if campaign.hierarchical is not None else "dense"
 
-    own_pool = None
-    if pool is None and workers:
-        from repro.parallel.pool import WorkerPool
+    total_timer = Timer().start()
+    campaign_span = tracer.span(
+        "campaign", name=campaign.name, engine=engine, solver=campaign.solver
+    )
+    with campaign_span:
+        plan_timer = Timer()
+        with plan_timer:
+            plan = plan or plan_campaign(campaign)
+        phases.add("plan", plan_timer.elapsed)
+        if tracer.enabled:
+            tracer.record_span(
+                "campaign.plan",
+                duration_seconds=plan_timer.elapsed,
+                n_geometry_groups=len(plan.geometry_groups),
+                n_structure_groups=sum(
+                    len(group.structures) for group in plan.geometry_groups
+                ),
+            )
 
-        pool = own_pool = WorkerPool(
-            int(workers), backend=pool_backend, retry=retry, fault_plan=fault_plan
+        own_pool = None
+        if pool is None and workers:
+            from repro.parallel.pool import WorkerPool
+
+            pool = own_pool = WorkerPool(
+                int(workers),
+                backend=pool_backend,
+                retry=retry,
+                fault_plan=fault_plan,
+                tracer=tracer,
+            )
+        tracer.annotate_volatile(
+            pool_workers=pool.n_workers if pool is not None else 0,
+            pool_backend=pool.backend if pool is not None else None,
         )
 
-    checkpoint_store = (
-        CampaignCheckpoint(checkpoint) if checkpoint is not None else None
-    )
-    restored_groups = 0
-    computed_groups = 0
-    failures: list[CampaignFailure] = []
-    cluster_cache = ClusterPlanCache()
-    geometry_cache_before = default_geometry_cache().stats()
-    results: dict[int, ScenarioResult] = {}
-    timings = {
-        "plan": plan_seconds,
-        "discretize": 0.0,
-        "assemble": 0.0,
-        "solve": 0.0,
-        "evaluate": 0.0,
-        "derive": 0.0,
-    }
-    try:
-        for geometry_group in plan.geometry_groups:
-            grid = geometry_group.geometry.build_grid()
-            meshes: dict[tuple, Any] = {}  # keyed by layer interface depths
-            for structure in geometry_group.structures:
-                base_spec = structure.base.spec
-                soil_eff = base_spec.effective_soil()
-                stage = "discretize"
-                group_key = None
-                try:
-                    start = wall_clock()
-                    mesh_key = soil_eff.thicknesses
-                    mesh = meshes.get(mesh_key)
-                    if mesh is None:
-                        mesh = meshes[mesh_key] = discretize_grid(grid, soil=soil_eff)
-                    timings["discretize"] += wall_clock() - start
-                    if checkpoint_store is not None:
-                        group_key = structure_fingerprint(
-                            mesh, soil_eff, structure, campaign
-                        )
-                        if checkpoint_store.has(group_key):
+        checkpoint_store = (
+            CampaignCheckpoint(checkpoint) if checkpoint is not None else None
+        )
+        restored_groups = 0
+        computed_groups = 0
+        failures: list[CampaignFailure] = []
+        manifest_groups: list[dict[str, Any]] = []
+        cluster_cache = ClusterPlanCache()
+        geometry_cache_before = default_geometry_cache().stats()
+        results: dict[int, ScenarioResult] = {}
+        try:
+            for geometry_group in plan.geometry_groups:
+                grid = geometry_group.geometry.build_grid()
+                meshes: dict[tuple, Any] = {}  # keyed by layer interface depths
+                for structure in geometry_group.structures:
+                    base_spec = structure.base.spec
+                    soil_eff = base_spec.effective_soil()
+                    stage = "discretize"
+                    group_key = None
+                    try:
+                        with phases.phase("discretize"):
+                            mesh_key = soil_eff.thicknesses
+                            mesh = meshes.get(mesh_key)
+                            if mesh is None:
+                                mesh = meshes[mesh_key] = discretize_grid(
+                                    grid, soil=soil_eff
+                                )
+                        if checkpoint_store is not None or tracer.enabled:
+                            group_key = structure_fingerprint(
+                                mesh, soil_eff, structure, campaign
+                            )
+                        if tracer.enabled:
+                            manifest_groups.append(
+                                {
+                                    "fingerprint": group_key,
+                                    "geometry": geometry_group.geometry.name,
+                                    "base_scenario": base_spec.name,
+                                    "n_elements": int(mesh.n_elements),
+                                    "n_scenarios": len(structure.plans),
+                                    "soil_layers": int(soil_eff.n_layers),
+                                    "restored": False,
+                                }
+                            )
+                        if checkpoint_store is not None and checkpoint_store.has(
+                            group_key
+                        ):
                             restored_groups += 1
+                            if tracer.enabled:
+                                manifest_groups[-1]["restored"] = True
+                                tracer.record_span(
+                                    "campaign.group",
+                                    geometry=geometry_group.geometry.name,
+                                    base=base_spec.name,
+                                    fingerprint=group_key,
+                                    n_scenarios=len(structure.plans),
+                                    restored=True,
+                                )
                             for result in checkpoint_store.restore(group_key):
                                 results[result.index] = result
                             continue
-                    stage = "assemble+solve"
-                    group_results = _run_structure_group(
-                        campaign, structure, grid, mesh, soil_eff, pool,
-                        cluster_cache, timings,
-                    )
-                except ReproError as error:
-                    # One failed group must not abort the whole batch study:
-                    # record it and keep going (the pool replaces any workers
-                    # the failing run still owned, so it stays usable).
-                    failures.append(
-                        CampaignFailure(
-                            scenario_names=tuple(
-                                p.spec.name for p in structure.plans
-                            ),
-                            scenario_indices=tuple(
-                                p.index for p in structure.plans
-                            ),
-                            geometry_name=geometry_group.geometry.name,
-                            stage=stage,
-                            error=repr(error),
+                        stage = "assemble+solve"
+                        with tracer.span(
+                            "campaign.group",
+                            geometry=geometry_group.geometry.name,
+                            base=base_spec.name,
+                            fingerprint=group_key or "",
+                            n_elements=mesh.n_elements,
+                            n_scenarios=len(structure.plans),
+                            restored=False,
+                        ):
+                            group_results = _run_structure_group(
+                                campaign, structure, grid, mesh, soil_eff, pool,
+                                cluster_cache, phases, tracer,
+                            )
+                    except ReproError as error:
+                        # One failed group must not abort the whole batch study:
+                        # record it and keep going (the pool replaces any workers
+                        # the failing run still owned, so it stays usable).
+                        failures.append(
+                            CampaignFailure(
+                                scenario_names=tuple(
+                                    p.spec.name for p in structure.plans
+                                ),
+                                scenario_indices=tuple(
+                                    p.index for p in structure.plans
+                                ),
+                                geometry_name=geometry_group.geometry.name,
+                                stage=stage,
+                                error=repr(error),
+                            )
                         )
-                    )
-                    continue
-                computed_groups += 1
-                for result in group_results:
-                    results[result.index] = result
-                if checkpoint_store is not None and group_key is not None:
-                    checkpoint_store.store(group_key, group_results)
-    finally:
-        if own_pool is not None:
-            own_pool.close()
+                        continue
+                    computed_groups += 1
+                    for result in group_results:
+                        results[result.index] = result
+                    if checkpoint_store is not None and group_key is not None:
+                        checkpoint_store.store(group_key, group_results)
+        finally:
+            if own_pool is not None:
+                own_pool.close()
 
-    geometry_cache_after = default_geometry_cache().stats()
-    cache_stats: dict[str, Any] = {
-        "geometry_cache": {
-            "hits": geometry_cache_after["hits"] - geometry_cache_before["hits"],
-            "misses": geometry_cache_after["misses"] - geometry_cache_before["misses"],
-            "entries": geometry_cache_after["entries"],
-        },
-        "cluster_plan_cache": cluster_cache.stats(),
-    }
-    metadata: dict[str, Any] = {
-        "engine": "hierarchical" if campaign.hierarchical is not None else "dense",
-        "solver": campaign.solver,
-        "pool_workers": pool.n_workers if pool is not None else 0,
-        "pool_backend": pool.backend if pool is not None else None,
-    }
-    if checkpoint_store is not None:
-        metadata["checkpoint"] = {
-            "path": str(checkpoint_store.path),
-            "restored_groups": restored_groups,
-            "computed_groups": computed_groups,
+        geometry_cache_after = default_geometry_cache().stats()
+        cache_stats: dict[str, Any] = {
+            "geometry_cache": {
+                "hits": geometry_cache_after["hits"] - geometry_cache_before["hits"],
+                "misses": geometry_cache_after["misses"]
+                - geometry_cache_before["misses"],
+                "entries": geometry_cache_after["entries"],
+            },
+            "cluster_plan_cache": cluster_cache.stats(),
         }
-    if pool is not None:
-        cache_stats["pool"] = dict(pool.stats)
-    timings["total"] = wall_clock() - total_start
+        metadata: dict[str, Any] = {
+            "engine": engine,
+            "solver": campaign.solver,
+            "pool_workers": pool.n_workers if pool is not None else 0,
+            "pool_backend": pool.backend if pool is not None else None,
+        }
+        if checkpoint_store is not None:
+            metadata["checkpoint"] = {
+                "path": str(checkpoint_store.path),
+                "restored_groups": restored_groups,
+                "computed_groups": computed_groups,
+            }
+        if pool is not None:
+            cache_stats["pool"] = dict(pool.stats)
+        tracer.annotate(
+            n_scenarios=len(results),
+            n_failures=len(failures),
+        )
+    phases.add("total", total_timer.stop())
+    timings = phases.as_dict()
+
+    if tracer.enabled:
+        metrics = tracer.metrics
+        metrics.absorb(cache_stats["geometry_cache"], prefix="cache.geometry.")
+        metrics.absorb(cache_stats["cluster_plan_cache"], prefix="cache.cluster_plan.")
+        if pool is not None:
+            metrics.absorb(pool.health.counters(), prefix="pool.health.")
+        metrics.set_gauge("campaign.groups.computed", computed_groups)
+        metrics.set_gauge("campaign.groups.restored", restored_groups)
+        metrics.set_gauge("campaign.failures", len(failures))
+        manifest = RunManifest(
+            run={
+                "campaign": campaign.name,
+                "engine": engine,
+                "solver": campaign.solver,
+                "solver_tolerance": float(campaign.solver_tolerance),
+                "element_type": campaign.element_type.value,
+                "n_gauss": int(campaign.n_gauss),
+                "pool_workers": metadata["pool_workers"],
+                "pool_backend": metadata["pool_backend"],
+                "n_scenarios": len(results),
+                "n_failures": len(failures),
+                "restored_groups": restored_groups,
+                "computed_groups": computed_groups,
+            },
+            groups=manifest_groups,
+            metrics=metrics.snapshot(),
+            timings=dict(timings),
+            trace=tracer.stats(),
+        )
+        metadata["manifest"] = manifest.as_dict()
+        if checkpoint_store is not None:
+            manifest.write(RunManifest.path_for(checkpoint_store.path))
+
     return CampaignResult(
         name=campaign.name,
         scenarios=[results[index] for index in sorted(results)],
@@ -294,7 +400,8 @@ def _run_structure_group(
     soil_eff,
     pool,
     cluster_cache: ClusterPlanCache,
-    timings: dict[str, float],
+    phases: PhaseTimer,
+    tracer,
 ) -> list[ScenarioResult]:
     """Assemble + solve the group base, derive the rest by scalar algebra.
 
@@ -319,28 +426,48 @@ def _run_structure_group(
         hierarchical=hierarchical,
     )
 
-    start = wall_clock()
-    system = assemble_system(
-        mesh,
-        soil_eff,
-        gpr=base_spec.gpr,
-        options=options,
-        kernel=kernel,
-        pool=pool,
-        cluster_cache=cluster_cache,
-    )
-    assemble_seconds = wall_clock() - start
-    timings["assemble"] += assemble_seconds
+    assemble_timer = Timer()
+    with assemble_timer:
+        system = assemble_system(
+            mesh,
+            soil_eff,
+            gpr=base_spec.gpr,
+            options=options,
+            kernel=kernel,
+            pool=pool,
+            cluster_cache=cluster_cache,
+            tracer=tracer,
+        )
+    assemble_seconds = assemble_timer.elapsed
+    phases.add("assemble", assemble_seconds)
 
-    start = wall_clock()
-    solved = solve_system(
-        system.matrix,
-        system.rhs,
-        method=campaign.solver,
-        tolerance=campaign.solver_tolerance,
-    )
-    solve_seconds = wall_clock() - start
-    timings["solve"] += solve_seconds
+    solve_timer = Timer()
+    with solve_timer, tracer.span(
+        "solve", method=campaign.solver, n_unknowns=int(system.n_dofs)
+    ):
+        on_iteration = None
+        if tracer.enabled:
+            metrics = tracer.metrics
+
+            def on_iteration(iteration: int, residual: float) -> None:
+                metrics.observe("campaign.solve.residual", residual)
+
+        solved = solve_system(
+            system.matrix,
+            system.rhs,
+            method=campaign.solver,
+            tolerance=campaign.solver_tolerance,
+            on_iteration=on_iteration,
+        )
+        # Bit-identical across worker counts (the sharded backend's
+        # deterministic-reduction contract), hence deterministic attrs.
+        tracer.annotate(
+            iterations=int(solved.iterations),
+            converged=bool(solved.converged),
+            residual=float(solved.residual),
+        )
+    solve_seconds = solve_timer.elapsed
+    phases.add("solve", solve_seconds)
 
     weights = system.dof_manager.assemble_basis_integrals()
     base_current = float(weights @ solved.solution)
@@ -359,42 +486,58 @@ def _run_structure_group(
     base_touch = base_step = None
     evaluate_seconds = 0.0
     if campaign.assess_safety:
-        start = wall_clock()
-        evaluator = PotentialEvaluator(
-            mesh,
-            soil_eff,
-            kernel,
-            system.dof_manager,
-            solved.solution,
-            gpr=base_spec.gpr,
-            adaptive=options.adaptive if options.adaptive is not None else "default",
-        )
-        base_touch, base_step = surface_safety_metrics(
-            evaluator, campaign.safety_margin, campaign.safety_raster
-        )
-        evaluate_seconds = wall_clock() - start
-        timings["evaluate"] += evaluate_seconds
+        evaluate_timer = Timer()
+        with evaluate_timer, tracer.span(
+            "campaign.evaluate", raster=int(campaign.safety_raster)
+        ):
+            evaluator = PotentialEvaluator(
+                mesh,
+                soil_eff,
+                kernel,
+                system.dof_manager,
+                solved.solution,
+                gpr=base_spec.gpr,
+                adaptive=options.adaptive if options.adaptive is not None else "default",
+            )
+            base_touch, base_step = surface_safety_metrics(
+                evaluator, campaign.safety_margin, campaign.safety_raster
+            )
+        evaluate_seconds = evaluate_timer.elapsed
+        phases.add("evaluate", evaluate_seconds)
 
     group_results: list[ScenarioResult] = []
     for scenario_plan in structure.plans:
         spec = scenario_plan.spec
-        start = wall_clock()
-        # Exact scaling algebra: the matrix is ``1/scale`` of the base matrix
-        # and the rhs ``gpr`` times the basis integrals, so the solution (and
-        # every linear functional of it) follows by scalar multiplication.
-        ratio = scenario_plan.scale_ratio * scenario_plan.gpr_ratio
-        dof_values = solved.solution if scenario_plan.is_base else solved.solution * ratio
-        current = base_current * ratio
-        touch = step = tolerable_touch = tolerable_step = None
-        if campaign.assess_safety:
-            touch = base_touch * scenario_plan.gpr_ratio
-            step = base_step * scenario_plan.gpr_ratio
-            tolerable_touch, tolerable_step = _tolerable_limits(
-                campaign, spec.soil, spec.soil_scale
+        derive_timer = Timer()
+        with derive_timer:
+            # Exact scaling algebra: the matrix is ``1/scale`` of the base
+            # matrix and the rhs ``gpr`` times the basis integrals, so the
+            # solution (and every linear functional of it) follows by scalar
+            # multiplication.
+            ratio = scenario_plan.scale_ratio * scenario_plan.gpr_ratio
+            dof_values = (
+                solved.solution if scenario_plan.is_base else solved.solution * ratio
             )
-        derive_seconds = wall_clock() - start
+            current = base_current * ratio
+            touch = step = tolerable_touch = tolerable_step = None
+            if campaign.assess_safety:
+                touch = base_touch * scenario_plan.gpr_ratio
+                step = base_step * scenario_plan.gpr_ratio
+                tolerable_touch, tolerable_step = _tolerable_limits(
+                    campaign, spec.soil, spec.soil_scale
+                )
+        derive_seconds = derive_timer.elapsed
         if not scenario_plan.is_base:
-            timings["derive"] += derive_seconds
+            phases.add("derive", derive_seconds)
+        if tracer.enabled:
+            tracer.record_span(
+                "campaign.scenario",
+                duration_seconds=derive_seconds,
+                name=spec.name,
+                index=int(scenario_plan.index),
+                kind=str(scenario_plan.kind),
+                derived=not scenario_plan.is_base,
+            )
         group_results.append(ScenarioResult(
             name=spec.name,
             index=scenario_plan.index,

@@ -82,6 +82,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="measure the sharded hierarchical block backend instead of the column loop",
     )
+    scaling.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.JSONL",
+        help="record the study under a repro.observe span tree and write it "
+        "as JSONL (a RunManifest lands next to it)",
+    )
 
     campaign = subparsers.add_parser(
         "campaign", help="run the demo batch grounding study (scenario campaign engine)"
@@ -127,6 +134,33 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-chunk retry budget before the pool degrades to serial "
         "execution (default 3); requires --workers",
+    )
+    campaign.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.JSONL",
+        help="record the run under a repro.observe span tree and write it as "
+        "JSONL (a RunManifest lands next to it); render with "
+        "'python -m repro trace OUT.JSONL'",
+    )
+
+    trace = subparsers.add_parser(
+        "trace", help="render a recorded JSONL trace as a span tree"
+    )
+    trace.add_argument("path", help="a trace JSONL file written by --trace")
+    trace.add_argument(
+        "--no-durations",
+        action="store_true",
+        help="hide wall-clock durations (the deterministic projection)",
+    )
+    trace.add_argument(
+        "--no-events", action="store_true", help="hide scheduling events"
+    )
+    trace.add_argument(
+        "--canonical",
+        action="store_true",
+        help="print the canonical span projection (the byte-comparable JSONL "
+        "lines) instead of the tree",
     )
     return parser
 
@@ -201,7 +235,52 @@ def _cmd_balaidos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _finish_trace(tracer, path: str, manifest_dict=None, run_info=None) -> None:
+    """Write a finished tracer as JSONL plus its RunManifest sibling."""
+    import json
+    from pathlib import Path
+
+    from repro.observe import RunManifest, write_trace_jsonl
+
+    roots = tracer.finalize()
+    write_trace_jsonl(path, roots)
+    manifest_path = RunManifest.path_for(path)
+    if manifest_dict is None:
+        manifest_dict = RunManifest(
+            run=dict(run_info or {}),
+            groups=[],
+            metrics=tracer.metrics.snapshot(),
+            timings={},
+            trace=tracer.stats(),
+        ).as_dict()
+    Path(manifest_path).write_text(
+        json.dumps(manifest_dict, sort_keys=True, indent=2, default=repr) + "\n",
+        encoding="utf-8",
+    )
+    print(f"trace: {path}")
+    print(f"manifest: {manifest_path}")
+
+
 def _cmd_scaling(args: argparse.Namespace) -> int:
+    if args.trace:
+        from repro.observe import Tracer
+
+        tracer = Tracer()
+        with tracer.span(
+            "scaling",
+            case=args.case,
+            mode="sharded" if args.hierarchical else "columns",
+            workers=",".join(str(w) for w in args.workers),
+        ):
+            code = _scaling_body(args)
+        _finish_trace(
+            tracer, args.trace, run_info={"command": "scaling", "case": args.case}
+        )
+        return code
+    return _scaling_body(args)
+
+
+def _scaling_body(args: argparse.Namespace) -> int:
     from repro.cad.report import format_table
     from repro.experiments.scaling import (
         figure_6_1_curves,
@@ -285,8 +364,17 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         if args.max_retries is not None:
             overrides["max_retries"] = args.max_retries
         retry = RetryPolicy(**overrides)
+    tracer = None
+    if args.trace:
+        from repro.observe import Tracer
+
+        tracer = Tracer()
     result = run_campaign(
-        campaign, workers=args.workers, checkpoint=args.checkpoint, retry=retry
+        campaign,
+        workers=args.workers,
+        checkpoint=args.checkpoint,
+        retry=retry,
+        tracer=tracer,
     )
 
     columns = ["scenario", "kind", "n_elements", "gpr_v", "Req_ohm", "seconds"]
@@ -301,6 +389,27 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         f"(reuse: {summary['reuse_counts']}), total {result.total_seconds:.2f} s"
     )
     print(f"cache stats: {result.cache_stats}")
+    if tracer is not None:
+        _finish_trace(
+            tracer, args.trace, manifest_dict=result.metadata.get("manifest")
+        )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.observe import canonical_trace_text, format_trace_tree, read_trace_jsonl
+
+    roots = read_trace_jsonl(args.path)
+    if args.canonical:
+        sys.stdout.write(canonical_trace_text(roots))
+    else:
+        print(
+            format_trace_tree(
+                roots,
+                durations=not args.no_durations,
+                events=not args.no_events,
+            )
+        )
     return 0
 
 
@@ -310,6 +419,7 @@ _COMMANDS = {
     "balaidos": _cmd_balaidos,
     "scaling": _cmd_scaling,
     "campaign": _cmd_campaign,
+    "trace": _cmd_trace,
 }
 
 

@@ -44,6 +44,8 @@ __all__ = [
     "ClusterPlanCache",
     "build_block_profile",
     "compress_far_block",
+    "emit_block_plan_span",
+    "emit_far_block_spans",
     "far_factor_entries",
     "near_block_pair_columns",
     "near_block_triplets",
@@ -168,6 +170,79 @@ def build_block_profile(
         nb=assembler.basis_per_element,
         costs=costs,
     )
+
+
+def emit_block_plan_span(tracer, profile: "BlockAssemblyProfile", control, seconds: float) -> None:
+    """Record the ``blocks.plan`` span of one hierarchical assembly.
+
+    Shared by the serial :meth:`~repro.cluster.operator.HierarchicalOperator.build`
+    and the sharded backend so both engines report the identical deterministic
+    plan attributes (the plan is a pure function of geometry and partition
+    knobs — never of scheduling).
+    """
+    summary = profile.partition.summary()
+    tracer.record_span(
+        "blocks.plan",
+        duration_seconds=seconds,
+        n_blocks=int(summary["n_blocks"]),
+        n_near_blocks=int(summary["n_near_blocks"]),
+        n_far_blocks=int(summary["n_far_blocks"]),
+        tree_depth=int(profile.tree.depth()),
+        leaf_size=int(control.leaf_size),
+    )
+
+
+def emit_far_block_spans(
+    tracer,
+    entries: list[tuple[int, int, int, int, float]],
+    far_seconds: float,
+    total_rank: int,
+) -> None:
+    """Record the ``blocks.far`` span with one child span per admissible block.
+
+    ``entries`` are ``(block_index, rows, cols, rank, seconds)`` tuples with
+    ``rank < 0`` marking an ACA fallback; they may arrive in any order (the
+    serial builder works in cost order, the sharded backend in collection
+    order) — emission sorts by block index, so the trace tree is a canonical
+    function of the block partition, not of scheduling.  Per-block attributes
+    are deterministic: stopping iterations and sampled entries derive from
+    the accepted rank (one rank-1 term, one sampled row+column, per
+    iteration); only the durations are run-dependent, and durations are
+    excluded from the canonical trace projection.
+    """
+    ordered = sorted(entries)
+    n_fallback = sum(1 for entry in ordered if entry[3] < 0)
+    with tracer.span(
+        "blocks.far",
+        n_blocks=len(ordered),
+        n_fallback=n_fallback,
+        total_rank=int(total_rank),
+    ) as far_span:
+        for index, rows, cols, rank, seconds in ordered:
+            if rank < 0:
+                tracer.record_span(
+                    "block",
+                    duration_seconds=seconds,
+                    index=index,
+                    rows=rows,
+                    cols=cols,
+                    kind="fallback",
+                )
+            else:
+                tracer.record_span(
+                    "block",
+                    duration_seconds=seconds,
+                    index=index,
+                    rows=rows,
+                    cols=cols,
+                    kind="far",
+                    rank=rank,
+                    iterations=rank,
+                    sampled_entries=rank * (rows + cols),
+                )
+    # The span context measured only the emission; the real wall belongs to
+    # the far-field work that produced the entries.
+    far_span.duration_seconds = far_seconds
 
 
 def far_factor_entries(

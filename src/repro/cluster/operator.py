@@ -47,6 +47,8 @@ from repro.bem.system import LinearSystem
 from repro.cluster.block_assembly import (
     build_block_profile,
     compress_far_block,
+    emit_block_plan_span,
+    emit_far_block_spans,
     far_factor_entries,
     near_block_triplets,
 )
@@ -54,8 +56,11 @@ from repro.constants import DEFAULT_GPR
 from repro.exceptions import ClusterError
 from repro.geometry.discretize import Mesh
 from repro.kernels.base import LayeredKernel, kernel_for_soil
+from repro.observe import ensure_tracer
 from repro.soil.base import SoilModel
 from repro.timing import wall_clock
+
+# contracts: disable-file=OBS001 -- the operator's stats dict is a public diagnostics payload (tests and BENCH tables index its *_seconds keys); the tracer emits the span-tree view alongside
 
 __all__ = ["HierarchicalControl", "HierarchicalOperator", "assemble_hierarchical_system"]
 
@@ -172,6 +177,7 @@ class HierarchicalOperator:
         assembler: ColumnAssembler,
         control: HierarchicalControl | None = None,
         cluster_cache=None,
+        tracer=None,
     ) -> "HierarchicalOperator":
         """Build the operator for a mesh through its column assembler.
 
@@ -182,9 +188,15 @@ class HierarchicalOperator:
         profile a parallel runner would partition.  ``cluster_cache`` (a
         :class:`~repro.cluster.block_assembly.ClusterPlanCache`) optionally
         reuses the geometry-determined cluster tree/partition across repeated
-        assemblies of the same mesh.
+        assemblies of the same mesh.  ``tracer`` (a
+        :class:`repro.observe.Tracer`) records per-block far-field spans and
+        the plan/near aggregates; per-block spans are emitted in ascending
+        block-index order — the same canonical order the sharded backend
+        re-emits collected worker results in — so the trace tree is
+        engine-independent.
         """
         control = control or HierarchicalControl()
+        tracer = ensure_tracer(tracer)
         start = wall_clock()
         profile = build_block_profile(assembler, control, cluster_cache=cluster_cache)
         tree, partition = profile.tree, profile.partition
@@ -192,6 +204,8 @@ class HierarchicalOperator:
         dof_matrix, n_dofs, nb = profile.dof_matrix, profile.n_dofs, profile.nb
         costs = profile.costs
         block_order = np.lexsort((np.arange(costs.size), -costs))
+        if tracer.enabled:
+            emit_block_plan_span(tracer, profile, control, wall_clock() - start)
 
         near_rows: list[np.ndarray] = []
         near_cols: list[np.ndarray] = []
@@ -211,13 +225,25 @@ class HierarchicalOperator:
         # :func:`repro.cluster.block_assembly.compress_far_block`, shared with
         # the sharded block backend so shard factors equal the serial ones.
         far_start = wall_clock()
+        far_trace: list[tuple[int, int, int, int, float]] = []
         for block_index in block_order:
             block = partition.blocks[int(block_index)]
             if not block.admissible:
                 continue
             rows_e = tree.elements_of(block.row)
             cols_e = tree.elements_of(block.col)
+            block_start = wall_clock() if tracer.enabled else 0.0
             factors = compress_far_block(assembler, tree, block, control, stopping)
+            if tracer.enabled:
+                far_trace.append(
+                    (
+                        int(block_index),
+                        rows_e.size * nb,
+                        cols_e.size * nb,
+                        -1 if factors is None else factors.rank,
+                        wall_clock() - block_start,
+                    )
+                )
             if factors is None:
                 fallback_blocks.append((rows_e, cols_e))
                 continue
@@ -241,6 +267,8 @@ class HierarchicalOperator:
             total_rank += rank
 
         far_seconds = wall_clock() - far_start
+        if tracer.enabled:
+            emit_far_block_spans(tracer, far_trace, far_seconds, int(total_rank))
 
         # --- near field: dense-engine columns, one block at a time ---
         # Each inadmissible (or fallback) block runs through
@@ -272,6 +300,13 @@ class HierarchicalOperator:
             near_vals.append(vv)
             near_pairs += rows_e.size * cols_e.size
         near_seconds = wall_clock() - near_start
+        if tracer.enabled:
+            tracer.record_span(
+                "blocks.near",
+                duration_seconds=near_seconds,
+                n_blocks=len(partition.near) + len(fallback_blocks),
+                near_pairs=int(near_pairs),
+            )
 
         def _csr(rows, cols, vals, shape) -> sparse.csr_matrix:
             if not rows:
@@ -379,6 +414,7 @@ def assemble_hierarchical_system(
     kernel: LayeredKernel | None = None,
     pool=None,
     cluster_cache=None,
+    tracer=None,
 ) -> LinearSystem:
     """Assemble the Galerkin system as a matrix-free hierarchical operator.
 
@@ -392,7 +428,8 @@ def assemble_hierarchical_system(
     are reused across assemblies (campaigns, sweeps), instead of forking a
     fresh worker set per call.  ``cluster_cache`` reuses the
     geometry-determined cluster tree/partition across assemblies of the same
-    mesh.
+    mesh.  ``tracer`` records the assembly span tree (plan, per-block far
+    field, near aggregate) — identical across engines and worker counts.
     """
     options = options or AssemblyOptions(hierarchical=HierarchicalControl())
     control = options.hierarchical
@@ -407,20 +444,31 @@ def assemble_hierarchical_system(
         mesh, kernel, dof_manager, options.n_gauss, adaptive=options.adaptive
     )
 
+    tracer = ensure_tracer(tracer)
     start = wall_clock()
-    if pool is not None or control.workers:
-        # Sharded block backend: the block partition of
-        # repro.parallel.costs.partition_block_work is executed in parallel —
-        # on the shared persistent pool when one is passed, on per-call
-        # workers otherwise.
-        # Local import: repro.parallel imports repro.bem at package load time.
-        from repro.parallel.block_backend import build_sharded_operator
+    with tracer.span(
+        "assemble.hierarchical",
+        n_elements=mesh.n_elements,
+        n_dofs=dof_manager.n_dofs,
+        element_type=options.element_type.value,
+        n_gauss=options.n_gauss,
+        soil_layers=soil.n_layers,
+    ):
+        if pool is not None or control.workers:
+            # Sharded block backend: the block partition of
+            # repro.parallel.costs.partition_block_work is executed in parallel —
+            # on the shared persistent pool when one is passed, on per-call
+            # workers otherwise.
+            # Local import: repro.parallel imports repro.bem at package load time.
+            from repro.parallel.block_backend import build_sharded_operator
 
-        operator = build_sharded_operator(
-            assembler, control, pool=pool, cluster_cache=cluster_cache
-        )
-    else:
-        operator = HierarchicalOperator.build(assembler, control, cluster_cache=cluster_cache)
+            operator = build_sharded_operator(
+                assembler, control, pool=pool, cluster_cache=cluster_cache, tracer=tracer
+            )
+        else:
+            operator = HierarchicalOperator.build(
+                assembler, control, cluster_cache=cluster_cache, tracer=tracer
+            )
     generation_seconds = wall_clock() - start
     rhs = assemble_rhs(dof_manager, gpr)
 

@@ -14,7 +14,9 @@ grouped by the invariant family they encode:
 * :mod:`repro.contracts.rules.api` — API001 (exact floating-point
   ``==`` / ``!=``);
 * :mod:`repro.contracts.rules.resilience` — RES001 (unbounded channel reads
-  and except-and-ignore handlers in the parallel package).
+  and except-and-ignore handlers in the parallel package);
+* :mod:`repro.contracts.rules.observability` — OBS001 (ad-hoc phase-timing
+  dicts instead of the ``repro.observe`` / ``repro.timing`` runtime).
 """
 
 from __future__ import annotations
@@ -62,6 +64,7 @@ def default_rules() -> Sequence[Rule]:
         UnseededRandomRule,
         WallClockRule,
     )
+    from repro.contracts.rules.observability import PhaseBookkeepingRule
     from repro.contracts.rules.resilience import ResilientChannelRule
 
     return (
@@ -72,6 +75,7 @@ def default_rules() -> Sequence[Rule]:
         WorkerTaskPurityRule(),
         ExactFloatComparisonRule(),
         ResilientChannelRule(),
+        PhaseBookkeepingRule(),
     )
 
 

@@ -1,0 +1,74 @@
+"""repro.observe — unified tracing + metrics for the whole pipeline.
+
+The zero-dependency observability layer every subsystem reports through:
+
+* :class:`Tracer` / :class:`Span` — a nested span tree (phase → structure
+  group → block shard → chunk) with wall-clock durations, deterministic
+  attributes, scheduling *events* and content-derived span ids
+  (:mod:`repro.observe.trace`);
+* :class:`MetricsRegistry` — counters/gauges/histograms absorbing the
+  historical ``timings`` / pool ``stats`` / ``cache_stats`` / ``PoolHealth``
+  dicts behind one snapshot-exportable API (:mod:`repro.observe.metrics`);
+* sinks — JSONL trace export/import, the byte-comparable canonical
+  projection, a human tree renderer and the pool worker timeline
+  (:mod:`repro.observe.export`);
+* :class:`RunManifest` — the per-run provenance record (code version,
+  mesh/cluster fingerprints, knobs, metric snapshot) written next to
+  campaign checkpoints (:mod:`repro.observe.manifest`).
+
+The default is the shared :data:`NULL_TRACER`: instrumented hot paths guard
+on ``tracer.enabled`` (one attribute check), so a run without tracing pays
+nothing measurable.  Phase bookkeeping helpers (:class:`Timer`,
+:class:`PhaseTimer`) are re-exported from :mod:`repro.timing` — together
+with this package they are the sanctioned alternative the OBS001 contract
+rule steers ad-hoc timing dicts toward.
+
+Determinism contract: span attributes hold only worker-count-independent
+facts, events are excluded from the canonical projection, and span ids are
+content fingerprints — so ``canonical_trace_lines`` of a campaign run is
+byte-identical across pool worker counts and across fault-recovered runs.
+"""
+
+from repro.observe.export import (
+    canonical_trace_lines,
+    canonical_trace_text,
+    format_trace_tree,
+    read_trace_jsonl,
+    trace_records,
+    worker_timeline,
+    write_trace_jsonl,
+)
+from repro.observe.manifest import MANIFEST_FORMAT_VERSION, RunManifest
+from repro.observe.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.observe.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    ensure_tracer,
+)
+from repro.timing import PhaseTimer, Timer, wall_clock
+
+__all__ = [
+    "MANIFEST_FORMAT_VERSION",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "PhaseTimer",
+    "RunManifest",
+    "Span",
+    "Timer",
+    "Tracer",
+    "canonical_trace_lines",
+    "canonical_trace_text",
+    "ensure_tracer",
+    "format_trace_tree",
+    "read_trace_jsonl",
+    "trace_records",
+    "wall_clock",
+    "worker_timeline",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,251 @@
+"""Trace sinks: JSONL export/import, canonical projection, tree renderer.
+
+Three views of one recorded span tree:
+
+* :func:`write_trace_jsonl` / :func:`read_trace_jsonl` — the full lossless
+  record (attributes, volatile data, durations, events), one JSON object per
+  line in depth-first pre-order with parent pointers;
+* :func:`canonical_trace_lines` — the deterministic projection: ``"span"``
+  nodes only, deterministic attributes only, no durations, no volatile data,
+  sorted JSON keys.  Two runs of the same campaign on different pool worker
+  counts (or one recovered from injected faults) must produce byte-identical
+  canonical lines — the golden determinism suite asserts exactly this;
+* :func:`format_trace_tree` — the human renderer behind
+  ``python -m repro trace run.jsonl``.
+
+:func:`worker_timeline` folds the pool's dispatch/result events into a
+per-slot busy/utilization report.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.observe.trace import Span, assign_span_ids
+
+__all__ = [
+    "canonical_trace_lines",
+    "canonical_trace_text",
+    "format_trace_tree",
+    "read_trace_jsonl",
+    "trace_records",
+    "worker_timeline",
+    "write_trace_jsonl",
+]
+
+
+def _ensure_ids(roots: Sequence[Span]) -> None:
+    if any(root.span_id == "" for root in roots):
+        assign_span_ids(list(roots))
+
+
+def trace_records(roots: Sequence[Span]) -> list[dict[str, Any]]:
+    """Flat depth-first records of the full tree, parent-linked by id."""
+    _ensure_ids(roots)
+    records: list[dict[str, Any]] = []
+
+    def _emit(node: Span, parent_id: str | None) -> None:
+        record: dict[str, Any] = {
+            "id": node.span_id,
+            "parent": parent_id,
+            "kind": node.kind,
+            "name": node.name,
+            "attrs": node.attributes,
+            "volatile": node.volatile,
+            "duration_seconds": node.duration_seconds,
+        }
+        records.append(record)
+        for child in node.children:
+            _emit(child, node.span_id)
+
+    for root in roots:
+        _emit(root, None)
+    return records
+
+
+def write_trace_jsonl(path: Path | str, roots: Sequence[Span]) -> Path:
+    """Write the full trace as JSONL (one node per line, sorted keys)."""
+    path = Path(path)
+    lines = [json.dumps(record, sort_keys=True, default=repr) for record in trace_records(roots)]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def read_trace_jsonl(path: Path | str) -> list[Span]:
+    """Rebuild the span tree from a :func:`write_trace_jsonl` file."""
+    roots: list[Span] = []
+    by_id: dict[str, Span] = {}
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        node = Span(
+            name=record["name"],
+            kind=record.get("kind", "span"),
+            attributes=dict(record.get("attrs", {})),
+            volatile=dict(record.get("volatile", {})),
+            duration_seconds=record.get("duration_seconds"),
+            span_id=record["id"],
+        )
+        by_id[node.span_id] = node
+        parent_id = record.get("parent")
+        if parent_id is None:
+            roots.append(node)
+        else:
+            parent = by_id.get(parent_id)
+            if parent is None:  # orphan (truncated file): promote to root
+                roots.append(node)
+            else:
+                parent.children.append(node)
+    return roots
+
+
+def canonical_trace_lines(roots: Sequence[Span]) -> list[str]:
+    """The deterministic projection: span nodes, attributes, ids — nothing else.
+
+    Everything scheduling- or host-dependent is stripped: events, volatile
+    payloads and durations.  What remains is a pure function of the run's
+    inputs, so these lines are byte-identical across pool worker counts and
+    across fault-injected runs that recovered to the same result.
+    """
+    _ensure_ids(roots)
+    lines: list[str] = []
+
+    def _emit(node: Span, parent_id: str | None) -> None:
+        if node.kind != "span":
+            return
+        lines.append(
+            json.dumps(
+                {
+                    "attrs": node.attributes,
+                    "id": node.span_id,
+                    "name": node.name,
+                    "parent": parent_id,
+                },
+                sort_keys=True,
+                default=repr,
+            )
+        )
+        for child in node.children:
+            _emit(child, node.span_id)
+
+    for root in roots:
+        _emit(root, None)
+    return lines
+
+
+def canonical_trace_text(roots: Sequence[Span]) -> str:
+    """:func:`canonical_trace_lines` joined into one comparable blob."""
+    return "\n".join(canonical_trace_lines(roots)) + "\n"
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _format_payload(payload: dict[str, Any], limit: int = 6) -> str:
+    parts = [f"{key}={_format_value(payload[key])}" for key in list(payload)[:limit]]
+    if len(payload) > limit:
+        parts.append(f"+{len(payload) - limit} more")
+    return " ".join(parts)
+
+
+def format_trace_tree(
+    roots: Sequence[Span],
+    durations: bool = True,
+    events: bool = True,
+    max_children: int = 40,
+) -> str:
+    """Human-readable tree rendering of a trace.
+
+    ``max_children`` elides the middle of very wide sibling runs (per-block
+    spans of a big assembly) so the rendering stays terminal-sized; set it
+    ``<= 0`` to disable eliding.
+    """
+    out: list[str] = []
+
+    def _label(node: Span) -> str:
+        parts = [node.name]
+        if durations and node.duration_seconds is not None and node.kind == "span":
+            parts.append(f"({node.duration_seconds:.3f}s)")
+        payload = node.attributes if node.kind == "span" else node.volatile
+        if payload:
+            parts.append(_format_payload(payload))
+        if node.kind == "event":
+            parts.insert(0, "!")
+        return "  ".join(parts)
+
+    def _children(node: Span) -> list[Span | None]:
+        kept = [c for c in node.children if events or c.kind == "span"]
+        if max_children > 0 and len(kept) > max_children:
+            head = kept[: max_children // 2]
+            tail = kept[-(max_children - max_children // 2) :]
+            return [*head, None, *tail]  # None marks the elision
+        return list(kept)
+
+    def _emit(node: Span | None, prefix: str, is_last: bool) -> None:
+        connector = "└─ " if is_last else "├─ "
+        if node is None:
+            out.append(f"{prefix}{connector}…")
+            return
+        out.append(f"{prefix}{connector}{_label(node)}")
+        child_prefix = prefix + ("   " if is_last else "│  ")
+        kids = _children(node)
+        for index, child in enumerate(kids):
+            _emit(child, child_prefix, index == len(kids) - 1)
+
+    for root in roots:
+        out.append(_label(root))
+        kids = _children(root)
+        for index, child in enumerate(kids):
+            _emit(child, "", index == len(kids) - 1)
+    return "\n".join(out)
+
+
+def worker_timeline(roots: Sequence[Span]) -> dict[str, Any]:
+    """Per-slot busy time and utilization from the pool's chunk events.
+
+    Pairs ``pool.dispatch`` with ``pool.result`` events on ``(slot, job)``
+    volatile coordinates; the busy fraction is measured against the span of
+    first dispatch → last result.  Everything here is volatile by nature —
+    it describes scheduling, not results — and is meant for human perf
+    reading, not for determinism assertions.
+    """
+    dispatches: dict[tuple[int, int], float] = {}
+    busy: dict[int, float] = {}
+    chunks: dict[int, int] = {}
+    first: float | None = None
+    last: float | None = None
+    for root in roots:
+        for node in root.walk():
+            if node.kind != "event":
+                continue
+            data = node.volatile
+            if node.name == "pool.dispatch" and "slot" in data and "t" in data:
+                key = (int(data["slot"]), int(data.get("job", -1)))
+                t = float(data["t"])
+                dispatches[key] = t
+                first = t if first is None else min(first, t)
+            elif node.name == "pool.result" and "slot" in data and "t" in data:
+                key = (int(data["slot"]), int(data.get("job", -1)))
+                t = float(data["t"])
+                start = dispatches.pop(key, None)
+                if start is not None:
+                    slot = key[0]
+                    busy[slot] = busy.get(slot, 0.0) + (t - start)
+                    chunks[slot] = chunks.get(slot, 0) + 1
+                    last = t if last is None else max(last, t)
+    span = 0.0 if first is None or last is None else max(last - first, 0.0)
+    slots = {
+        str(slot): {
+            "busy_seconds": busy[slot],
+            "chunks": chunks.get(slot, 0),
+            "utilization": (busy[slot] / span) if span > 0.0 else 0.0,
+        }
+        for slot in sorted(busy)
+    }
+    return {"span_seconds": span, "slots": slots}

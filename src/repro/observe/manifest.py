@@ -1,0 +1,88 @@
+"""Per-run provenance manifest written next to checkpoints and traces.
+
+A :class:`RunManifest` records everything needed to say *what produced this
+result*: the code version, the campaign's solver/tolerance/discretisation
+knobs, the content fingerprints of every structure group (mesh digest, soil
+model, the same blake2b fingerprints the campaign checkpoint keys on), the
+final metric snapshot and the phase timings.  Fingerprint-keyed result
+stores and trend-tracked BENCH comparisons both hang off this record: two
+manifests with equal fingerprints describe the same numeric problem, so
+their results are interchangeable and their timings comparable.
+
+The manifest is plain sorted-key JSON — no clocks, no entropy — written by
+:func:`repro.campaign.run_campaign` as ``<checkpoint>.manifest.json`` when
+tracing is enabled, and by the ``--trace`` CLI path next to the trace file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro._version import __version__
+
+__all__ = ["MANIFEST_FORMAT_VERSION", "RunManifest"]
+
+#: Bump when the manifest schema changes shape.
+MANIFEST_FORMAT_VERSION = 1
+
+
+@dataclass
+class RunManifest:
+    """Provenance record of one campaign (or analysis) run."""
+
+    #: What ran: campaign name, solver, tolerances, element/series knobs.
+    run: dict[str, Any] = field(default_factory=dict)
+    #: One entry per structure group: fingerprint, geometry, mesh digest, soil.
+    groups: list[dict[str, Any]] = field(default_factory=list)
+    #: Final :meth:`~repro.observe.metrics.MetricsRegistry.snapshot`.
+    metrics: dict[str, Any] = field(default_factory=dict)
+    #: Phase timings (seconds) of the run.
+    timings: dict[str, float] = field(default_factory=dict)
+    #: Trace shape: recorded span/event counts.
+    trace: dict[str, int] = field(default_factory=dict)
+    code_version: str = __version__
+    format_version: int = MANIFEST_FORMAT_VERSION
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready dict of the manifest."""
+        return {
+            "format_version": self.format_version,
+            "code_version": self.code_version,
+            "run": self.run,
+            "groups": self.groups,
+            "metrics": self.metrics,
+            "timings": self.timings,
+            "trace": self.trace,
+        }
+
+    def write(self, path: Path | str) -> Path:
+        """Write the manifest as sorted-key, indented JSON."""
+        path = Path(path)
+        path.write_text(
+            json.dumps(self.as_dict(), sort_keys=True, indent=2, default=repr) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: Path | str) -> "RunManifest":
+        """Read a manifest written by :meth:`write`."""
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls(
+            run=dict(data.get("run", {})),
+            groups=list(data.get("groups", [])),
+            metrics=dict(data.get("metrics", {})),
+            timings=dict(data.get("timings", {})),
+            trace=dict(data.get("trace", {})),
+            code_version=str(data.get("code_version", "")),
+            format_version=int(data.get("format_version", MANIFEST_FORMAT_VERSION)),
+        )
+
+    @staticmethod
+    def path_for(anchor: Path | str) -> Path:
+        """The conventional manifest path next to ``anchor`` (checkpoint/trace)."""
+        anchor = Path(anchor)
+        return anchor.with_name(anchor.name + ".manifest.json")

@@ -1,0 +1,191 @@
+"""Counters, gauges and histograms behind one deterministic registry.
+
+The tree used to scatter its runtime numbers across ad-hoc dicts: the
+campaign runner's ``timings``, the worker pool's ``_stats`` counters, the
+``PoolHealth`` incident counters, the geometry/cluster-plan ``cache_stats``.
+:class:`MetricsRegistry` unifies them behind one get-or-create API with a
+sorted :meth:`~MetricsRegistry.snapshot` export, so every subsystem reports
+through the same vocabulary and a run's metric state can be written into its
+:class:`~repro.observe.manifest.RunManifest` verbatim.
+
+Design constraints, shared with the tracer:
+
+* **zero dependencies** — plain Python, no numpy, importable everywhere;
+* **deterministic export** — :meth:`~MetricsRegistry.snapshot` sorts by
+  metric name, so two runs that record the same values serialise to the
+  same bytes regardless of registration order;
+* **bounded state** — histograms keep count/total/min/max only (no sample
+  reservoirs), so a registry never grows with the number of observations.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping
+
+from repro.timing import wall_clock
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count (events, retries, cache hits)."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> float:
+        """Increase the counter and return the new value."""
+        self.value += float(amount)
+        return self.value
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value that may go up or down (sizes, occupancy)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> float:
+        """Replace the gauge value."""
+        self.value = float(value)
+        return self.value
+
+
+@dataclass
+class Histogram:
+    """Bounded summary of a value stream: count, total, min, max.
+
+    Deliberately reservoir-free — the registry must stay O(metrics), not
+    O(observations) — which is enough for the mean/extremes reporting the
+    BENCH tables and manifests need.
+    """
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    minimum: float | None = None
+    maximum: float | None = None
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observed values (0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def summary(self) -> dict[str, float]:
+        """The exportable count/total/min/max summary."""
+        return {
+            "count": float(self.count),
+            "total": self.total,
+            "min": 0.0 if self.minimum is None else self.minimum,
+            "max": 0.0 if self.maximum is None else self.maximum,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- get-or-create accessors ------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name``, created at zero on first use."""
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name``, created at zero on first use."""
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram named ``name``, created empty on first use."""
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    # -- convenience recording --------------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0) -> float:
+        """Increment counter ``name`` (created on first use)."""
+        return self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> float:
+        """Set gauge ``name`` (created on first use)."""
+        return self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold one observation into histogram ``name``."""
+        self.histogram(name).observe(value)
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block into histogram ``name`` (seconds)."""
+        start = wall_clock()
+        try:
+            yield
+        finally:
+            self.observe(name, wall_clock() - start)
+
+    def absorb(self, values: Mapping[str, Any], prefix: str = "") -> None:
+        """Fold a legacy stats mapping into gauges, one per numeric leaf.
+
+        Nested mappings flatten with dotted names
+        (``pool.health.retries``); booleans coerce to 0/1; non-numeric
+        leaves are skipped.  This is the migration path for the historical
+        ``cache_stats`` / ``PoolHealth.counters()`` dicts: their values land
+        in the registry under stable dotted names without every producer
+        rewriting at once.
+        """
+        for key in sorted(values):
+            value = values[key]
+            name = f"{prefix}{key}"
+            if isinstance(value, Mapping):
+                self.absorb(value, prefix=f"{name}.")
+            elif isinstance(value, bool):
+                self.set_gauge(name, 1.0 if value else 0.0)
+            elif isinstance(value, (int, float)):
+                self.set_gauge(name, float(value))
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Sorted, JSON-ready export of every metric in the registry."""
+        return {
+            "counters": {
+                name: self._counters[name].value for name in sorted(self._counters)
+            },
+            "gauges": {name: self._gauges[name].value for name in sorted(self._gauges)},
+            "histograms": {
+                name: self._histograms[name].summary()
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def counters_dict(self) -> dict[str, float]:
+        """Just the counters, sorted by name (legacy ``stats`` shape)."""
+        return {name: self._counters[name].value for name in sorted(self._counters)}

@@ -35,7 +35,7 @@ from repro.parallel.costs import (
     smooth_costs,
 )
 from repro.parallel.schedule import Schedule, ScheduleKind
-from repro.parallel.timing import Timer, PhaseTimer
+from repro.timing import PhaseTimer, Timer
 from repro.parallel.machine import MachineModel
 from repro.parallel.simulator import ScheduleSimulator, SimulationResult
 from repro.parallel.executor import run_scheduled_tasks, TaskRunResult

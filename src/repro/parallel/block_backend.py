@@ -50,13 +50,18 @@ from scipy import sparse
 from repro.cluster.block_assembly import (
     build_block_profile,
     compress_far_block,
+    emit_block_plan_span,
+    emit_far_block_spans,
     far_factor_entries,
     near_block_triplets,
 )
 from repro.exceptions import ClusterError, ParallelExecutionError
+from repro.observe import ensure_tracer
 from repro.parallel.costs import partition_block_work
-from repro.parallel.executor import ScheduledExecutor
+from repro.parallel.executor import ScheduledExecutor, normalize_partition
 from repro.timing import wall_clock
+
+# contracts: disable-file=OBS001 -- the sharded operator's stats dict mirrors the serial engine's public diagnostics payload (*_seconds keys indexed by tests/benchmarks); the tracer emits the span-tree view alongside
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.bem.influence import ColumnAssembler
@@ -326,6 +331,7 @@ def build_sharded_operator(
     control: "HierarchicalControl",
     pool: "WorkerPool | None" = None,
     cluster_cache: "ClusterPlanCache | None" = None,
+    tracer=None,
 ) -> ShardedHierarchicalOperator:
     """Assemble the hierarchical operator with the sharded block backend.
 
@@ -341,19 +347,26 @@ def build_sharded_operator(
     ``control.matvec_segments`` canonical segments — see the module docstring
     for the determinism contract, which holds for any worker count *and* for
     either execution path.  ``cluster_cache`` optionally reuses the
-    geometry-determined cluster tree/partition across assemblies.
+    geometry-determined cluster tree/partition across assemblies.  ``tracer``
+    records the plan/far/near span tree; per-block spans are re-emitted from
+    the collected worker outcomes in ascending block-index order (with the
+    worker-measured task seconds as durations), so the deterministic trace
+    content is identical for every worker count.
     """
     if pool is None and control.workers < 1:
         raise ParallelExecutionError(
             "build_sharded_operator needs HierarchicalControl.workers >= 1 "
             "or a WorkerPool (use HierarchicalOperator.build for the serial engine)"
         )
+    tracer = ensure_tracer(tracer)
     start = wall_clock()
     profile = build_block_profile(assembler, control, cluster_cache=cluster_cache)
     tree, partition = profile.tree, profile.partition
     scale, stopping = profile.scale, profile.stopping
     dof_matrix, n_dofs = profile.dof_matrix, profile.n_dofs
     costs = profile.costs
+    if tracer.enabled:
+        emit_block_plan_span(tracer, profile, control, wall_clock() - start)
 
     n_workers = int(pool.n_workers if pool is not None else control.workers)
     shards = partition_block_work(costs, n_workers)
@@ -449,6 +462,57 @@ def build_sharded_operator(
         near_nnz += int(near.nnz)
         total_rank += segment_rank
         segments.append(_OperatorSegment(near=near, u=u_far, v=v_far))
+
+    if tracer.enabled:
+        # Re-emit the per-block work as trace spans in canonical (ascending
+        # block index) order with the worker-measured task seconds as
+        # durations — the same tree the serial engine records inline.
+        _, flat_order = normalize_partition(shards)
+        seconds_of = {
+            int(task): float(outcome.task_seconds[k])
+            for k, task in enumerate(flat_order)
+        }
+        nb = profile.nb
+        far_entries: list[tuple[int, int, int, int, float]] = []
+        near_pairs_trace = 0
+        n_near_trace = 0
+        near_trace_seconds = 0.0
+        for block_index in sorted(outcomes):
+            result = outcomes[block_index]
+            block = partition.blocks[int(block_index)]
+            rows_n = tree.elements_of(block.row).size
+            cols_n = tree.elements_of(block.col).size
+            seconds = seconds_of.get(int(block_index), 0.0)
+            if result.kind == "far":
+                far_entries.append(
+                    (int(block_index), rows_n * nb, cols_n * nb, result.rank, seconds)
+                )
+                continue
+            if result.kind == "fallback":
+                far_entries.append(
+                    (int(block_index), rows_n * nb, cols_n * nb, -1, seconds)
+                )
+                near_pairs_trace += rows_n * cols_n
+            else:
+                near_pairs_trace += (
+                    rows_n * (rows_n + 1) // 2
+                    if block.is_diagonal
+                    else rows_n * cols_n
+                )
+            n_near_trace += 1
+            near_trace_seconds += seconds
+        emit_far_block_spans(
+            tracer,
+            far_entries,
+            far_seconds=float(sum(entry[4] for entry in far_entries)),
+            total_rank=int(total_rank),
+        )
+        tracer.record_span(
+            "blocks.near",
+            duration_seconds=near_trace_seconds,
+            n_blocks=n_near_trace,
+            near_pairs=int(near_pairs_trace),
+        )
 
     shard_loads = [float(costs[shard].sum()) if shard else 0.0 for shard in shards]
     rank_array = np.asarray(ranks, dtype=int)

@@ -58,6 +58,7 @@ import traceback
 from typing import Any, Callable, Sequence
 
 from repro.exceptions import ParallelExecutionError
+from repro.observe import MetricsRegistry, ensure_tracer
 from repro.parallel.executor import (
     TaskRunResult,
     _execute_chunk,
@@ -219,6 +220,13 @@ class WorkerPool:
     fault_plan:
         Optional :class:`~repro.resilience.FaultPlan` armed in the workers
         (chaos testing); ``None`` injects nothing.
+    tracer:
+        Optional :class:`~repro.observe.Tracer`.  An enabled tracer receives
+        one *event* per dispatch/result/retry/respawn/timeout/fallback with
+        volatile ``slot``/``job``/``t`` coordinates (scheduling facts, never
+        part of the deterministic span projection), and the pool's counters
+        are kept in the tracer's shared :class:`~repro.observe.MetricsRegistry`
+        under ``pool.*`` names.  Defaults to the no-op tracer.
     """
 
     def __init__(
@@ -228,6 +236,7 @@ class WorkerPool:
         max_respawns: int = DEFAULT_MAX_RESPAWNS,
         retry: RetryPolicy | None = None,
         fault_plan: FaultPlan | None = None,
+        tracer=None,
     ) -> None:
         if n_workers < 1:
             raise ParallelExecutionError(f"n_workers must be >= 1, got {n_workers}")
@@ -249,12 +258,16 @@ class WorkerPool:
         self._context: tuple[Any, Any, Any] | None = None
         self._job_counter = 0
         self._closed = False
-        self._stats: dict[str, int] = {
-            "runs": 0,
-            "chunks_dispatched": 0,
-            "tasks_executed": 0,
-            "contexts_shipped": 0,
-        }
+        self.tracer = ensure_tracer(tracer)
+        # An enabled tracer shares its registry so pool counters land in the
+        # same snapshot as the campaign's; the NullTracer singleton's registry
+        # is shared process-wide, so a silent pool gets a private one.
+        self.metrics: MetricsRegistry = (
+            self.tracer.metrics if self.tracer.enabled else MetricsRegistry()
+        )
+        self._run_start = 0.0
+        for key in ("runs", "chunks_dispatched", "tasks_executed", "contexts_shipped"):
+            self.metrics.counter(f"pool.{key}")  # pre-create: stats keys exist at zero
         if self.backend == "process":
             self._mp_context = mp.get_context("fork")
             for slot in range(self.n_workers):
@@ -262,8 +275,24 @@ class WorkerPool:
 
     @property
     def stats(self) -> dict[str, int]:
-        """Lifetime execution counters merged with the health counters."""
-        return {**self._stats, **self.health.counters()}
+        """Lifetime execution counters merged with the health counters.
+
+        The counters live in :attr:`metrics` under dotted ``pool.*`` names;
+        this property strips the prefix to preserve the historical flat keys
+        (``runs``, ``chunks_dispatched``, ...).
+        """
+        counters = {
+            name[len("pool."):]: int(value)
+            for name, value in self.metrics.counters_dict().items()
+            if name.startswith("pool.")
+        }
+        return {**counters, **self.health.counters()}
+
+    def _trace_event(self, name: str, /, **data: Any) -> None:
+        """Emit one scheduling event (volatile coordinates + relative time)."""
+        if self.tracer.enabled:
+            data["t"] = round(wall_clock() - self._run_start, 6)
+            self.tracer.event(name, **data)
 
     # ------------------------------------------------------------------ lifecycle
 
@@ -322,6 +351,7 @@ class WorkerPool:
             self._disable_slot(slot)
             return None
         self.health.bump("respawns", slot=slot)
+        self._trace_event("pool.respawn", slot=slot)
         self._retire_handle(slot)
         return self._spawn(slot)
 
@@ -423,10 +453,11 @@ class WorkerPool:
         if self._closed:
             raise ParallelExecutionError("the worker pool is closed")
         chunks, indices = normalize_partition(partition)
-        self._stats["runs"] += 1
-        self._stats["chunks_dispatched"] += len(chunks)
-        self._stats["tasks_executed"] += len(indices)
+        self.metrics.inc("pool.runs")
+        self.metrics.inc("pool.chunks_dispatched", len(chunks))
+        self.metrics.inc("pool.tasks_executed", len(indices))
         start = wall_clock()
+        self._run_start = start
 
         if self.backend == "serial":
             raw = [_execute_chunk(task, batch_fn, cost_hint, chunk) for chunk in chunks]
@@ -463,7 +494,7 @@ class WorkerPool:
             )
         )
         handle.context_seq = self._context_seq
-        self._stats["contexts_shipped"] += 1
+        self.metrics.inc("pool.contexts_shipped")
 
     def _serial_chunk(self, chunk: list[int]) -> list[tuple[int, Any, float]]:
         """Execute one shard in the master (bottom of the degradation ladder).
@@ -492,6 +523,7 @@ class WorkerPool:
             try:
                 self._install_context(handle)
                 handle.connection.send(("run", job_id, self._context_seq, chunk))
+                self._trace_event("pool.dispatch", slot=slot, job=job_id, tasks=len(chunk))
                 return True
             except (BrokenPipeError, OSError):
                 if handle.process.is_alive():  # pragma: no cover - defensive
@@ -542,6 +574,7 @@ class WorkerPool:
         if self.retry.degrade == "raise":  # pragma: no cover - raise mode aborts earlier
             raise ParallelExecutionError("no active pool workers left")
         self.health.bump("serial_fallback_chunks", job=job_id, reason="no_active_workers")
+        self._trace_event("pool.serial_fallback", job=job_id, reason="no_active_workers")
         raw[job_id] = self._serial_chunk(chunk)
 
     def _fail_job(
@@ -574,11 +607,15 @@ class WorkerPool:
             del pending[job_id]
             deadlines.pop(job_id, None)
             self.health.bump("serial_fallback_chunks", job=job_id, reason=reason)
+            self._trace_event("pool.serial_fallback", job=job_id, reason=reason)
             raw[job_id] = self._serial_chunk(chunk)
             return
         del pending[job_id]
         deadlines.pop(job_id, None)
         self.health.bump("retries", job=job_id, slot=slot, reason=reason, attempt=failures)
+        self._trace_event(
+            "pool.retry", job=job_id, slot=slot, reason=reason, attempt=failures
+        )
         pause(self.retry.backoff_delay(failures - 1))
         self._assign_or_serial(job_id, chunk, pending, deadlines, raw, preferred=slot)
 
@@ -676,6 +713,7 @@ class WorkerPool:
                     output, digest = message[2], message[3]
                     if digest is not None and payload_checksum(output) != digest:
                         self.health.bump("corrupt_rejections", job=job_id, slot=slot)
+                        self._trace_event("pool.corrupt", job=job_id, slot=slot)
                         self._fail_job(
                             job_id, pending, deadlines, attempts, raw, "corrupt_payload"
                         )
@@ -683,6 +721,7 @@ class WorkerPool:
                     raw[job_id] = output
                     del pending[job_id]
                     deadlines.pop(job_id, None)
+                    self._trace_event("pool.result", job=job_id, slot=slot)
         except BaseException:
             # Whatever aborted the run (a task error, an exhausted budget,
             # an interrupt), workers still owning shards must be replaced
@@ -714,6 +753,7 @@ class WorkerPool:
                 continue  # re-dispatched meanwhile: a fresh deadline applies
             slot, _ = pending[job_id]
             self.health.bump("chunk_timeouts", job=job_id, slot=slot)
+            self._trace_event("pool.timeout", job=job_id, slot=slot)
             self._kill_hung_worker(slot)
             self._fail_slot_jobs(
                 slot, pending, deadlines, attempts, raw, "chunk_timeout"

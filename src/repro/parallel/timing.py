@@ -1,92 +1,15 @@
-"""Small timing utilities used across the pipeline and the benchmarks."""
+"""Re-export shim: the timing helpers moved to :mod:`repro.timing`.
+
+``Timer`` and ``PhaseTimer`` historically lived here, next to the parallel
+machinery they measured, while the DET002 wall-clock facade lived in
+``repro.timing`` — two sanctioned timing modules where one suffices.  The
+helpers now live in :mod:`repro.timing` (the single module on the DET002
+allowlist that actually reads the clock); this shim keeps the old import
+path working and contains no clock access of its own.
+"""
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Iterator
+from repro.timing import PhaseTimer, Timer, wall_clock
 
-__all__ = ["Timer", "PhaseTimer"]
-
-
-@dataclass
-class Timer:
-    """A simple start/stop wall-clock timer.
-
-    Can be used manually (:meth:`start` / :meth:`stop`) or as a context
-    manager; the elapsed time accumulates across repeated uses.
-    """
-
-    elapsed: float = 0.0
-    _started_at: float | None = field(default=None, repr=False)
-
-    def start(self) -> "Timer":
-        """Start (or restart) the timer."""
-        self._started_at = time.perf_counter()
-        return self
-
-    def stop(self) -> float:
-        """Stop the timer and return the total elapsed time."""
-        if self._started_at is None:
-            raise RuntimeError("Timer.stop() called before start()")
-        self.elapsed += time.perf_counter() - self._started_at
-        self._started_at = None
-        return self.elapsed
-
-    @property
-    def running(self) -> bool:
-        """Whether the timer is currently running."""
-        return self._started_at is not None
-
-    def __enter__(self) -> "Timer":
-        return self.start()
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.stop()
-
-
-class PhaseTimer:
-    """Accumulates wall-clock time per named phase (the paper's Table 6.1 rows)."""
-
-    def __init__(self) -> None:
-        self._phases: dict[str, float] = {}
-
-    @contextmanager
-    def phase(self, name: str) -> Iterator[None]:
-        """Time a ``with`` block under the given phase name."""
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.add(name, time.perf_counter() - start)
-
-    def add(self, name: str, seconds: float) -> None:
-        """Add seconds to a phase (creating it if needed)."""
-        self._phases[name] = self._phases.get(name, 0.0) + float(seconds)
-
-    def as_dict(self) -> dict[str, float]:
-        """Phase timings in insertion order."""
-        return dict(self._phases)
-
-    @property
-    def total(self) -> float:
-        """Total time across all phases."""
-        return float(sum(self._phases.values()))
-
-    def fraction(self, name: str) -> float:
-        """Fraction of the total spent in one phase (0 when nothing recorded)."""
-        total = self.total
-        if total <= 0.0:
-            return 0.0
-        return self._phases.get(name, 0.0) / total
-
-    def __getitem__(self, name: str) -> float:
-        return self._phases[name]
-
-    def __contains__(self, name: str) -> bool:
-        return name in self._phases
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        inner = ", ".join(f"{k}={v:.3f}s" for k, v in self._phases.items())
-        return f"PhaseTimer({inner})"
+__all__ = ["PhaseTimer", "Timer", "wall_clock"]

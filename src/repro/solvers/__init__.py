@@ -43,6 +43,7 @@ def solve_system(
     method: str = "pcg",
     tolerance: float = 1.0e-10,
     max_iterations: int | None = None,
+    on_iteration=None,
 ) -> SolveResult:
     """Solve ``matrix @ x = rhs`` with the requested method.
 
@@ -61,6 +62,10 @@ def solve_system(
         Relative residual tolerance for the iterative solvers.
     max_iterations:
         Iteration cap for the iterative solvers (defaults to ``10 n``).
+    on_iteration:
+        Optional per-iteration observer ``(iteration, relative_residual)``
+        forwarded to the iterative solvers (the tracing layer's convergence
+        telemetry); ignored by the direct methods, which have no iterations.
     """
     method = str(method).lower()
     if method not in SOLVER_NAMES:
@@ -80,4 +85,5 @@ def solve_system(
         preconditioner=preconditioner,
         tolerance=tolerance,
         max_iterations=max_iterations,
+        on_iteration=on_iteration,
     )

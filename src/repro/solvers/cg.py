@@ -84,6 +84,7 @@ def conjugate_gradient(
     tolerance: float = 1.0e-10,
     max_iterations: int | None = None,
     raise_on_failure: bool = False,
+    on_iteration: Callable[[int, float], None] | None = None,
 ) -> SolveResult:
     """Solve ``matrix @ x = rhs`` with (preconditioned) conjugate gradients.
 
@@ -107,6 +108,12 @@ def conjugate_gradient(
     raise_on_failure:
         When ``True`` raise :class:`~repro.exceptions.ConvergenceError` instead
         of returning a result flagged ``converged=False``.
+    on_iteration:
+        Optional observer called after every iteration with
+        ``(iteration, relative_residual)`` — the telemetry hook the tracing
+        layer uses to stream convergence without touching the result.  The
+        observer must not mutate solver state; residuals it sees are exactly
+        the entries of ``residual_history``.
     """
     apply_matrix, n, flops_per_apply = as_matvec_operator(matrix)
     rhs = np.asarray(rhs, dtype=float)
@@ -178,6 +185,8 @@ def conjugate_gradient(
         r -= alpha * ap
         residual = float(np.linalg.norm(r)) / rhs_norm
         history.append(residual)
+        if on_iteration is not None:
+            on_iteration(iteration, residual)
         if residual < tolerance:
             converged = True
             break

@@ -225,11 +225,11 @@ class TestPartialFailures:
         original = runner_module._run_structure_group
 
         def failing_group(campaign, structure, grid, mesh, soil_eff, pool,
-                          cluster_cache, timings):
+                          cluster_cache, phases, tracer):
             if structure.base.spec.name == "uni":
                 raise ReproError("injected assembly failure")
             return original(campaign, structure, grid, mesh, soil_eff, pool,
-                            cluster_cache, timings)
+                            cluster_cache, phases, tracer)
 
         monkeypatch.setattr(runner_module, "_run_structure_group", failing_group)
         path = tmp_path / "campaign.ckpt"

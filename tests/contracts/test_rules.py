@@ -10,7 +10,9 @@ from pathlib import Path
 from repro.contracts import analyze_source, default_rules
 from repro.contracts.rules import rule_catalog
 
-ALL_RULE_IDS = {"DET001", "DET002", "DET003", "FORK001", "MSG001", "API001", "RES001"}
+ALL_RULE_IDS = {
+    "DET001", "DET002", "DET003", "FORK001", "MSG001", "API001", "RES001", "OBS001",
+}  # fmt: skip
 
 
 def run(source: str, virtual_path: str):
@@ -107,7 +109,6 @@ class TestDET002WallClock:
         for clean in (
             "src/repro/campaign/probe.py",      # package not in DET002 scope
             "src/repro/parallel/speedup.py",    # allowlisted measurement module
-            "src/repro/parallel/timing.py",     # allowlisted measurement module
             "src/repro/timing.py",              # the sanctioned facade itself
         ):
             active, _ = run(source, clean)
@@ -337,3 +338,83 @@ class TestAPI001ExactFloatComparison:
             "src/repro/geometry/classify.py",
         )
         assert rule_ids(active) == set()
+
+
+class TestOBS001PhaseBookkeeping:
+    def test_flags_timing_dict_literal_and_raw_delta(self):
+        active, _ = run(
+            """
+            from repro.timing import wall_clock
+
+            def run_pipeline(work):
+                timings = {"assemble_seconds": 0.0, "solve_seconds": 0.0}
+                start = wall_clock()
+                work()
+                timings["assemble_seconds"] = wall_clock() - start
+                start = wall_clock()
+                work()
+                timings["solve_seconds"] += wall_clock() - start
+                return timings
+            """,
+            "src/repro/campaign/pipeline.py",
+        )
+        obs = [f for f in active if f.rule_id == "OBS001"]
+        assert len(obs) == 3  # the literal plus both subscript deltas
+
+    def test_flags_seconds_key_on_any_dict_name(self):
+        active, _ = run(
+            """
+            from repro.timing import wall_clock
+
+            def run(work, metadata):
+                start = wall_clock()
+                work()
+                metadata["generation_seconds"] = wall_clock() - start
+            """,
+            "src/repro/bem/helpers.py",
+        )
+        obs = [f for f in active if f.rule_id == "OBS001"]
+        assert len(obs) == 1
+
+    def test_sanctioned_helpers_and_unrelated_stores_are_clean(self):
+        active, _ = run(
+            """
+            from repro.timing import PhaseTimer, Timer, wall_clock
+
+            def run_pipeline(work):
+                phases = PhaseTimer()
+                with phases.phase("assemble"):
+                    work()
+                storage = Timer()
+                with storage:
+                    work()
+                phases.add("results_storage", storage.elapsed)
+                timings = phases.as_dict()
+                timings["results_storage"] = phases["results_storage"]
+                deadlines = {}
+                deadlines[3] = wall_clock() + 5.0  # scheduling deadline, not timing
+                cache_stats = {"hits": 0, "misses": 0}  # counters, no *_seconds
+                return timings, deadlines, cache_stats
+            """,
+            "src/repro/campaign/pipeline.py",
+        )
+        assert rule_ids(active) == set()
+
+    def test_out_of_scope_and_allowlisted_modules_are_clean(self):
+        source = """
+            from repro.timing import wall_clock
+
+            def measure(work):
+                timings = {"wall_seconds": 0.0}
+                start = wall_clock()
+                work()
+                timings["wall_seconds"] = wall_clock() - start
+                return timings
+            """
+        for clean in (
+            "src/repro/experiments/probe.py",   # package not in OBS001 scope
+            "src/repro/parallel/speedup.py",    # allowlisted measurement module
+            "benchmarks/bench_probe.py",        # measurement code is exempt
+        ):
+            active, _ = run(source, clean)
+            assert rule_ids(active) == set(), clean

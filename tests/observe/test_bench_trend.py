@@ -1,0 +1,95 @@
+"""Unit tests of the wall-time trend gate (scripts/bench_trend.py)."""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+from pathlib import Path
+
+_SCRIPTS = Path(__file__).resolve().parents[2] / "scripts"
+if str(_SCRIPTS) not in sys.path:
+    sys.path.insert(0, str(_SCRIPTS))
+
+from bench_trend import compare_snapshots, compare_trees, main, walltime_leaves
+
+
+class TestWalltimeLeaves:
+    def test_extracts_seconds_leaves_recursively(self):
+        payload = {
+            "quick": False,
+            "wall_seconds": 2.0,
+            "timings": {"assemble": 1.5, "solve": 0.25},
+            "runs": [{"wall_seconds": 1.0}, {"wall_seconds": 0.9}],
+            "speedup": 3.1,           # not a wall time
+            "n_scenarios": 12,        # not a wall time
+        }
+        leaves = walltime_leaves(payload)
+        assert leaves == {
+            "wall_seconds": 2.0,
+            "timings.assemble": 1.5,
+            "timings.solve": 0.25,
+            "runs.0.wall_seconds": 1.0,
+            "runs.1.wall_seconds": 0.9,
+        }
+
+    def test_booleans_are_not_numeric_leaves(self):
+        assert walltime_leaves({"flagged_seconds": True}) == {}
+
+
+class TestCompareSnapshots:
+    def test_flags_only_regressions_above_threshold_and_floor(self):
+        committed = {"a_seconds": 1.0, "b_seconds": 1.0, "tiny_seconds": 0.001}
+        fresh = {"a_seconds": 1.1, "b_seconds": 1.5, "tiny_seconds": 0.1}
+        rows = compare_snapshots(committed, fresh,
+                                 threshold=1.25, min_seconds=0.05)
+        regressed = {path for path, *_, flag in rows if flag}
+        # b regressed (1.5x > 1.25x); a is within threshold; tiny is under
+        # the noise floor even though it blew up 100x.
+        assert regressed == {"b_seconds"}
+
+    def test_only_common_paths_compare(self):
+        rows = compare_snapshots({"gone_seconds": 1.0}, {"new_seconds": 1.0})
+        assert rows == []
+
+
+class TestCompareTrees:
+    def _write(self, directory: Path, name: str, payload: dict) -> None:
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / name).write_text(json.dumps(payload))
+
+    def test_counts_regressions_across_snapshots(self, tmp_path):
+        baseline, fresh = tmp_path / "base", tmp_path / "fresh"
+        self._write(baseline, "BENCH_a.json", {"wall_seconds": 1.0})
+        self._write(fresh, "BENCH_a.json", {"wall_seconds": 2.0})
+        self._write(baseline, "BENCH_b.json", {"wall_seconds": 1.0})
+        self._write(fresh, "BENCH_b.json", {"wall_seconds": 1.0})
+        out = io.StringIO()
+        assert compare_trees(baseline, fresh, out=out) == 1
+        assert "REGRESSED" in out.getvalue()
+
+    def test_quick_full_mode_mismatch_is_skipped(self, tmp_path):
+        baseline, fresh = tmp_path / "base", tmp_path / "fresh"
+        self._write(baseline, "BENCH_a.json",
+                    {"quick": False, "wall_seconds": 1.0})
+        self._write(fresh, "BENCH_a.json",
+                    {"quick": True, "wall_seconds": 99.0})
+        out = io.StringIO()
+        assert compare_trees(baseline, fresh, out=out) == 0
+        assert "mode mismatch" in out.getvalue()
+
+    def test_main_exit_status_reflects_regressions(self, tmp_path, capsys):
+        baseline, fresh = tmp_path / "base", tmp_path / "fresh"
+        self._write(baseline, "BENCH_a.json", {"wall_seconds": 1.0})
+        self._write(fresh, "BENCH_a.json", {"wall_seconds": 1.0})
+        assert main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 0
+        self._write(fresh, "BENCH_a.json", {"wall_seconds": 5.0})
+        assert main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 1
+        capsys.readouterr()
+
+    def test_no_common_snapshots_is_a_clean_pass(self, tmp_path):
+        out = io.StringIO()
+        (tmp_path / "base").mkdir()
+        (tmp_path / "fresh").mkdir()
+        assert compare_trees(tmp_path / "base", tmp_path / "fresh", out=out) == 0
+        assert "nothing to compare" in out.getvalue()

@@ -1,0 +1,167 @@
+"""Trace sinks: JSONL round-trip (property-based), renderer, timeline."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.observe import (
+    Tracer,
+    canonical_trace_lines,
+    canonical_trace_text,
+    format_trace_tree,
+    read_trace_jsonl,
+    trace_records,
+    worker_timeline,
+    write_trace_jsonl,
+)
+from repro.observe.trace import Span, assign_span_ids
+
+# --------------------------------------------------------------------------- strategies
+
+_names = st.sampled_from(
+    ["analysis", "assemble", "solve", "campaign.group", "block", "phase.derive"]
+)
+_values = st.one_of(
+    st.integers(min_value=-(10**6), max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.booleans(),
+    st.text(st.characters(codec="ascii", exclude_categories=("Cc",)), max_size=8),
+)
+_payloads = st.dictionaries(
+    st.text(st.characters(codec="ascii", min_codepoint=97, max_codepoint=122),
+            min_size=1, max_size=6),
+    _values,
+    max_size=4,
+)
+_durations = st.one_of(
+    st.none(), st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+)
+
+
+def _span_trees() -> st.SearchStrategy[Span]:
+    return st.recursive(
+        st.builds(
+            Span,
+            name=_names,
+            kind=st.sampled_from(["span", "span", "span", "event"]),
+            attributes=_payloads,
+            volatile=_payloads,
+            duration_seconds=_durations,
+        ),
+        lambda children: st.builds(
+            Span,
+            name=_names,
+            kind=st.just("span"),  # parents of subtrees are work spans
+            attributes=_payloads,
+            volatile=_payloads,
+            duration_seconds=_durations,
+            children=st.lists(children, min_size=1, max_size=3),
+        ),
+        max_leaves=12,
+    )
+
+
+# --------------------------------------------------------------------------- round-trip
+
+
+class TestJsonlRoundTrip:
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(roots=st.lists(_span_trees(), min_size=1, max_size=3))
+    def test_round_trip_preserves_tree_and_canonical_lines(self, roots, tmp_path):
+        assign_span_ids(roots)
+        path = write_trace_jsonl(tmp_path / "trace.jsonl", roots)
+        rebuilt = read_trace_jsonl(path)
+        # Lossless structure: same flat records in the same depth-first order
+        # (payload values survive exactly; floats are JSON round-trippable).
+        assert trace_records(rebuilt) == trace_records(roots)
+        # And therefore the byte-comparable projection is preserved.
+        assert canonical_trace_lines(rebuilt) == canonical_trace_lines(roots)
+
+    def test_orphan_lines_promote_to_roots(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("analysis"):
+            with tracer.span("solve"):
+                pass
+        path = write_trace_jsonl(tmp_path / "trace.jsonl", tracer.finalize())
+        # Drop the first line (the root): the solve child becomes an orphan.
+        lines = path.read_text().splitlines()
+        truncated = tmp_path / "truncated.jsonl"
+        truncated.write_text("\n".join(lines[1:]) + "\n")
+        rebuilt = read_trace_jsonl(truncated)
+        assert [root.name for root in rebuilt] == ["solve"]
+
+
+# --------------------------------------------------------------------------- renderer
+
+
+def _demo_trace() -> list[Span]:
+    tracer = Tracer()
+    with tracer.span("campaign", name="demo", engine="hierarchical"):
+        tracer.event("pool.dispatch", slot=0, job=0, t=0.01)
+        with tracer.span("campaign.group", geometry="grid", n_elements=24):
+            tracer.record_span("solve", duration_seconds=0.125,
+                               method="pcg", iterations=9)
+        tracer.event("pool.result", slot=0, job=0, t=0.36)
+    return tracer.finalize()
+
+
+class TestFormatTraceTree:
+    def test_renders_spans_events_and_durations(self):
+        text = format_trace_tree(_demo_trace())
+        assert "campaign" in text and "campaign.group" in text
+        assert "(0.125s)" in text and "iterations=9" in text
+        assert "!  pool.dispatch" in text  # events are marked
+
+    def test_duration_and_event_toggles(self):
+        quiet = format_trace_tree(_demo_trace(), durations=False, events=False)
+        assert "(0.125s)" not in quiet and "pool.dispatch" not in quiet
+
+    def test_wide_sibling_runs_are_elided(self):
+        tracer = Tracer()
+        with tracer.span("assemble"):
+            for index in range(50):
+                tracer.record_span("block", index=index)
+        text = format_trace_tree(tracer.finalize(), max_children=10)
+        assert "…" in text and text.count("block") == 10
+        full = format_trace_tree(tracer.roots, max_children=0)
+        assert full.count("block") == 50
+
+
+# --------------------------------------------------------------------------- projection
+
+
+class TestCanonicalProjection:
+    def test_strips_events_volatile_and_durations(self):
+        lines = canonical_trace_lines(_demo_trace())
+        text = canonical_trace_text(_demo_trace())
+        assert len(lines) == 3  # campaign, campaign.group, solve — no events
+        assert "pool.dispatch" not in text
+        assert "duration" not in text and "volatile" not in text
+        assert text == "\n".join(lines) + "\n"
+
+
+# --------------------------------------------------------------------------- timeline
+
+
+class TestWorkerTimeline:
+    def test_pairs_dispatch_with_result_per_slot(self):
+        tracer = Tracer()
+        with tracer.span("campaign"):
+            tracer.event("pool.dispatch", slot=0, job=0, t=0.0)
+            tracer.event("pool.dispatch", slot=1, job=1, t=0.0)
+            tracer.event("pool.result", slot=0, job=0, t=0.4)
+            tracer.event("pool.result", slot=1, job=1, t=1.0)
+            tracer.event("pool.dispatch", slot=0, job=2, t=0.5)
+            tracer.event("pool.result", slot=0, job=2, t=1.0)
+        timeline = worker_timeline(tracer.finalize())
+        assert timeline["span_seconds"] == 1.0
+        slot0 = timeline["slots"]["0"]
+        assert slot0["chunks"] == 2
+        assert abs(slot0["busy_seconds"] - 0.9) < 1e-12
+        assert abs(slot0["utilization"] - 0.9) < 1e-12
+        assert timeline["slots"]["1"]["chunks"] == 1
+
+    def test_empty_trace_yields_zero_span(self):
+        assert worker_timeline([]) == {"span_seconds": 0.0, "slots": {}}

@@ -1,0 +1,171 @@
+"""Golden trace determinism: byte-identical canonical traces across worker
+counts and across fault-recovered runs, plus the RunManifest/CLI round trip.
+
+The canonical projection (span nodes, deterministic attributes, content
+ids — no durations, no events, no volatile data) is a pure function of the
+campaign inputs.  These tests pin that promise exactly where it matters:
+the same campaign traced on 1 and on 2 pool workers, and on a 2-worker pool
+with an injected worker crash recovered by retry, must produce the same
+canonical bytes — while the full traces legitimately differ in their
+scheduling events."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import demo_campaign, run_campaign
+from repro.cli import main
+from repro.cluster import HierarchicalControl
+from repro.observe import (
+    RunManifest,
+    Tracer,
+    canonical_trace_text,
+    read_trace_jsonl,
+)
+from repro.resilience import FaultPlan, RetryPolicy
+
+#: Small leaf size so even the quick grid shards into several blocks (near
+#: and far), i.e. the 2-worker pool genuinely distributes traced work.
+LEAF = 8
+
+
+def _campaign():
+    return demo_campaign(
+        n_scenarios=4, nx=4, ny=4,
+        hierarchical=HierarchicalControl(leaf_size=LEAF),
+    )
+
+
+def _traced_run(workers: int, fault_plan=None, retry=None):
+    tracer = Tracer()
+    result = run_campaign(
+        _campaign(),
+        workers=workers,
+        retry=retry,
+        fault_plan=fault_plan,
+        tracer=tracer,
+    )
+    tracer.finalize()
+    return result, tracer
+
+
+class TestWorkerCountInvariance:
+    @pytest.fixture(scope="class")
+    def single(self):
+        return _traced_run(workers=1)
+
+    @pytest.fixture(scope="class")
+    def double(self):
+        return _traced_run(workers=2)
+
+    def test_canonical_trace_is_byte_identical(self, single, double):
+        _, tracer1 = single
+        _, tracer2 = double
+        assert canonical_trace_text(tracer1.roots) == canonical_trace_text(
+            tracer2.roots
+        )
+
+    def test_solver_attributes_are_in_the_trace(self, single):
+        _, tracer = single
+        solve = tracer.roots[0].find("solve")
+        assert solve is not None
+        assert solve.attributes["iterations"] >= 1
+        assert solve.attributes["converged"] is True
+
+    def test_volatile_payload_differs_but_never_leaks(self, single, double):
+        _, tracer1 = single
+        _, tracer2 = double
+        root1, root2 = tracer1.roots[0], tracer2.roots[0]
+        assert root1.volatile["pool_workers"] == 1
+        assert root2.volatile["pool_workers"] == 2
+        assert "pool_workers" not in root1.attributes
+
+    def test_results_agree_bitwise(self, single, double):
+        import numpy as np
+
+        result1, _ = single
+        result2, _ = double
+        for scenario1, scenario2 in zip(result1.scenarios, result2.scenarios):
+            np.testing.assert_array_equal(
+                scenario1.dof_values, scenario2.dof_values
+            )
+
+
+class TestFaultRecoveryInvariance:
+    def test_crash_recovered_trace_matches_undisturbed_run(self):
+        _, reference = _traced_run(workers=2)
+        plan = FaultPlan.single(0, 0, "crash")
+        retry = RetryPolicy(backoff_base=0.01)
+        result, faulted = _traced_run(workers=2, fault_plan=plan, retry=retry)
+        # The fault demonstrably fired and was retried...
+        events = [n.name for root in faulted.roots for n in root.walk()
+                  if n.kind == "event"]
+        assert "pool.retry" in events and "pool.respawn" in events
+        assert "pool.retry" not in [
+            n.name for root in reference.roots for n in root.walk()
+        ]
+        # ...yet the canonical projection is unchanged, byte for byte.
+        assert canonical_trace_text(faulted.roots) == canonical_trace_text(
+            reference.roots
+        )
+        assert result.metadata["manifest"]["run"]["n_failures"] == 0
+
+
+class TestRunManifest:
+    def test_manifest_carries_fingerprints_metrics_and_trace_stats(self, tmp_path):
+        checkpoint = tmp_path / "campaign.ckpt"
+        tracer = Tracer()
+        run_campaign(
+            _campaign(), workers=2, checkpoint=checkpoint, tracer=tracer
+        )
+        manifest_path = RunManifest.path_for(checkpoint)
+        assert manifest_path.name == "campaign.ckpt.manifest.json"
+        manifest = RunManifest.load(manifest_path)
+        assert manifest.format_version == 1
+        assert manifest.run["n_scenarios"] == 4
+        assert manifest.run["pool_workers"] == 2
+        for group in manifest.groups:
+            assert len(group["fingerprint"]) > 0 and group["n_elements"] > 0
+        assert manifest.metrics["counters"]["pool.runs"] >= 1
+        assert manifest.trace["spans"] >= 1
+        assert set(manifest.timings) >= {"plan", "assemble", "solve", "total"}
+
+    def test_restored_groups_are_recorded_on_resume(self, tmp_path):
+        checkpoint = tmp_path / "campaign.ckpt"
+        run_campaign(_campaign(), checkpoint=checkpoint)
+        tracer = Tracer()
+        run_campaign(_campaign(), checkpoint=checkpoint, tracer=tracer)
+        manifest = RunManifest.load(RunManifest.path_for(checkpoint))
+        assert manifest.run["restored_groups"] == len(manifest.groups)
+        assert manifest.run["computed_groups"] == 0
+        restored = tracer.roots[0].find("campaign.group")
+        assert restored is not None and restored.attributes["restored"] is True
+
+
+class TestCliRoundTrip:
+    def test_campaign_trace_flag_then_trace_render(self, tmp_path, capsys):
+        out = tmp_path / "run.jsonl"
+        exit_code = main([
+            "campaign", "--scenarios", "4", "--nx", "4",
+            "--workers", "2", "--trace", str(out),
+        ])
+        assert exit_code == 0
+        assert out.is_file()
+        manifest_path = RunManifest.path_for(out)
+        assert manifest_path.is_file()
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["run"]["n_scenarios"] == 4
+        capsys.readouterr()
+
+        assert main(["trace", str(out), "--no-durations"]) == 0
+        rendered = capsys.readouterr().out
+        assert "campaign" in rendered and "solve" in rendered
+
+        # The canonical flag prints the byte-comparable projection.
+        assert main(["trace", str(out), "--canonical"]) == 0
+        canonical = capsys.readouterr().out
+        roots = read_trace_jsonl(out)
+        assert canonical.strip() == canonical_trace_text(roots).strip()
+        assert "pool.dispatch" not in canonical

@@ -1,0 +1,164 @@
+"""Unit tests of the span tracer: id stability, payload split, no-op path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observe import (
+    NULL_TRACER,
+    MetricsRegistry,
+    NullTracer,
+    Tracer,
+    ensure_tracer,
+)
+
+
+def _record_pipeline(tracer: Tracer, with_events: bool) -> None:
+    """A fixed little trace, optionally with scheduling events interleaved."""
+    with tracer.span("analysis", solver="pcg"):
+        if with_events:
+            tracer.event("pool.dispatch", slot=0, job=0, t=0.001)
+        with tracer.span("assemble", n_elements=24):
+            tracer.annotate(n_dofs=24)
+        if with_events:
+            tracer.event("pool.retry", slot=1, job=0, reason="crash", t=0.2)
+            tracer.event("pool.result", slot=0, job=0, t=0.5)
+        with tracer.span("solve", method="pcg"):
+            tracer.annotate(iterations=11, converged=True)
+            tracer.annotate_volatile(host="ci")
+    tracer.finalize()
+
+
+class TestSpanTree:
+    def test_nesting_and_payload_split(self):
+        tracer = Tracer()
+        _record_pipeline(tracer, with_events=False)
+        (root,) = tracer.roots
+        assert root.name == "analysis" and root.attributes == {"solver": "pcg"}
+        assemble, solve = root.child_spans()
+        assert assemble.attributes == {"n_elements": 24, "n_dofs": 24}
+        assert solve.attributes == {"iterations": 11, "converged": True,
+                                    "method": "pcg"}
+        assert solve.volatile == {"host": "ci"}  # volatile never mixes in
+        assert root.duration_seconds is not None and root.duration_seconds >= 0
+
+    def test_record_span_appends_premeasured_work(self):
+        tracer = Tracer()
+        with tracer.span("assemble"):
+            node = tracer.record_span(
+                "assemble.columns", duration_seconds=1.25,
+                volatile={"batch_size": 64}, n_elements=24,
+            )
+        assert node.duration_seconds == 1.25
+        assert node.attributes == {"n_elements": 24}
+        assert node.volatile == {"batch_size": 64}
+        assert tracer.roots[0].child_spans() == [node]
+
+    def test_current_and_stats(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        with tracer.span("outer"):
+            assert tracer.current().name == "outer"
+            tracer.event("tick")
+        _record_pipeline(tracer, with_events=True)
+        assert tracer.stats() == {"spans": 4, "events": 4}
+
+
+class TestSpanIds:
+    def test_ids_are_content_derived_and_reproducible(self):
+        first, second = Tracer(), Tracer()
+        _record_pipeline(first, with_events=False)
+        _record_pipeline(second, with_events=False)
+        ids = lambda t: [n.span_id for n in t.roots[0].walk()]
+        assert ids(first) == ids(second)
+        assert all(len(i) == 16 for i in ids(first))  # blake2b-8 hex
+
+    def test_events_never_shift_span_ids(self):
+        quiet, noisy = Tracer(), Tracer()
+        _record_pipeline(quiet, with_events=False)
+        _record_pipeline(noisy, with_events=True)
+        span_ids = lambda t: [
+            n.span_id for n in t.roots[0].walk() if n.kind == "span"
+        ]
+        assert span_ids(quiet) == span_ids(noisy)
+
+    def test_attribute_changes_change_the_id(self):
+        a, b = Tracer(), Tracer()
+        with a.span("solve", method="pcg"):
+            pass
+        with b.span("solve", method="direct"):
+            pass
+        assert a.finalize()[0].span_id != b.finalize()[0].span_id
+
+    def test_find_walks_depth_first(self):
+        tracer = Tracer()
+        _record_pipeline(tracer, with_events=False)
+        assert tracer.roots[0].find("solve").attributes["iterations"] == 11
+        assert tracer.roots[0].find("missing") is None
+
+
+class TestNullTracer:
+    def test_every_recording_call_is_a_noop(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        with tracer.span("analysis", solver="pcg") as node:
+            assert node is None
+            assert tracer.record_span("assemble", duration_seconds=1.0) is None
+            assert tracer.event("pool.dispatch", slot=0) is None
+            tracer.annotate(n=1)
+            tracer.annotate_volatile(host="ci")
+        assert tracer.roots == [] and tracer.stats() == {"spans": 0, "events": 0}
+
+    def test_ensure_tracer(self):
+        assert ensure_tracer(None) is NULL_TRACER
+        real = Tracer()
+        assert ensure_tracer(real) is real
+        assert NULL_TRACER.enabled is False
+
+
+class TestMetricsRegistry:
+    def test_counters_gauges_histograms(self):
+        metrics = MetricsRegistry()
+        metrics.inc("pool.runs")
+        metrics.inc("pool.runs", 2)
+        metrics.set_gauge("campaign.failures", 0)
+        for value in (1.0, 4.0, 2.0):
+            metrics.observe("solve.residual", value)
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["pool.runs"] == 3
+        assert snapshot["gauges"]["campaign.failures"] == 0
+        residual = snapshot["histograms"]["solve.residual"]
+        assert residual["count"] == 3 and residual["min"] == 1.0
+        assert residual["max"] == 4.0 and residual["total"] == 7.0
+        assert metrics.histogram("solve.residual").mean == pytest.approx(7 / 3)
+        assert metrics.counters_dict() == {"pool.runs": 3}
+
+    def test_absorb_flattens_nested_legacy_dicts(self):
+        metrics = MetricsRegistry()
+        metrics.absorb({"hits": 3, "misses": 1}, prefix="cache.geometry.")
+        metrics.absorb({"health": {"retries": 2, "degraded": True}},
+                       prefix="pool.")
+        gauges = metrics.snapshot()["gauges"]
+        assert gauges["cache.geometry.hits"] == 3
+        assert gauges["cache.geometry.misses"] == 1
+        assert gauges["pool.health.retries"] == 2
+        assert gauges["pool.health.degraded"] == 1.0  # bool coerces to 0/1
+
+    def test_timer_context_observes_elapsed(self):
+        metrics = MetricsRegistry()
+        with metrics.timer("phase.assemble"):
+            pass
+        summary = metrics.snapshot()["histograms"]["phase.assemble"]
+        assert summary["count"] == 1 and summary["min"] >= 0.0
+
+    def test_snapshot_names_are_sorted(self):
+        metrics = MetricsRegistry()
+        for name in ("zeta", "alpha", "mid"):
+            metrics.inc(name)
+        counters = metrics.snapshot()["counters"]
+        assert list(counters) == sorted(counters)
+
+    def test_enabled_tracer_shares_its_registry(self):
+        metrics = MetricsRegistry()
+        tracer = Tracer(metrics=metrics)
+        assert tracer.metrics is metrics
