@@ -27,11 +27,16 @@ Acceptance (asserted in the full run, recorded in ``BENCH_campaign.json``):
   than as independent cold runs;
 * every scenario's solution matches its standalone run to ``1e-10``
   (relative to the solution scale);
-* solutions are bit-identical across pool worker counts {1, 2}.
+* solutions are bit-identical across pool worker counts {1, 2};
+* solutions are bit-identical across ``group_concurrency`` {1, 2} on the same
+  2-worker pool, and on a multi-core host (``os.cpu_count() >= 2``) the
+  concurrent-group run is >= 1.3x faster than sequential groups.  Single-core
+  hosts record the ratio without gating it — multiplexing groups cannot beat
+  sequential groups without a second core.
 
 ``BENCH_QUICK=1`` runs the CI mini-campaign instead: >= 6 scenarios on a
-2-worker pool, asserting the standalone 1e-10 agreement and the worker-count
-bitwise identity (the 2x throughput gate needs the full-size run).
+2-worker pool, asserting the standalone 1e-10 agreement and both bitwise
+identities (the throughput gates need the full-size run).
 """
 
 from __future__ import annotations
@@ -139,6 +144,42 @@ def test_campaign_batch(record_table, record_snapshot):
             )
     record["cross_worker_abs_max_diff"] = cross_worker_max
 
+    # ---- concurrent structure groups on the same pool ----
+    gc_workers = worker_counts[-1]
+    group_runs: dict[int, dict] = {}
+    gc_solutions: dict[int, dict[str, np.ndarray]] = {}
+    for concurrency in (1, 2):
+        _reset_cache()
+        start = time.perf_counter()
+        with WorkerPool(gc_workers) as pool:
+            gc_result = run_campaign(
+                campaign, pool=pool, group_concurrency=concurrency
+            )
+            gc_wall = time.perf_counter() - start
+        gc_solutions[concurrency] = gc_result.solutions()
+        group_runs[concurrency] = {
+            "group_concurrency": concurrency,
+            "pool_workers": gc_workers,
+            "wall_seconds": gc_wall,
+            "timings": {k: float(v) for k, v in gc_result.timings.items()},
+            "pool": gc_result.cache_stats["pool"],
+        }
+    record["group_concurrency_runs"] = [group_runs[c] for c in (1, 2)]
+
+    cross_concurrency_max = 0.0
+    for name, reference in gc_solutions[1].items():
+        cross_concurrency_max = max(
+            cross_concurrency_max,
+            float(np.abs(gc_solutions[2][name] - reference).max()),
+        )
+    record["cross_concurrency_abs_max_diff"] = cross_concurrency_max
+    group_wall = group_runs[2]["wall_seconds"]
+    group_speedup = (
+        group_runs[1]["wall_seconds"] / group_wall if group_wall > 0 else float("inf")
+    )
+    record["group_concurrency_speedup"] = group_speedup
+    multicore = available >= 2
+
     # ---- cold baseline: independent per-scenario analyses ----
     _reset_cache()
     baseline_rows = []
@@ -168,6 +209,9 @@ def test_campaign_batch(record_table, record_snapshot):
         "speedup_ge_2": speedup >= 2.0,
         "solutions_match_standalone_1e-10": worst_rel <= 1.0e-10,
         "bitwise_identical_across_pool_workers": cross_worker_max == 0.0,
+        "bitwise_identical_across_group_concurrency": cross_concurrency_max == 0.0,
+        "group_speedup_asserted": assert_throughput and multicore,
+        "group_speedup_ge_1.3": group_speedup >= 1.3,
     }
 
     # Record first: a tripped assertion must not discard the measured run.
@@ -180,6 +224,14 @@ def test_campaign_batch(record_table, record_snapshot):
             "yes" if campaign_runs[w]["oversubscribed"] else "no",
         ]
         for w in worker_counts
+    ] + [
+        [
+            f"campaign (pool w={gc_workers}, groups x{c})",
+            group_runs[c]["wall_seconds"],
+            result.plan_summary["n_assemblies"],
+            "yes" if gc_workers > available else "no",
+        ]
+        for c in (1, 2)
     ] + [["cold standalone", baseline_wall, n_scenarios, "-"]]
     record_table(
         "campaign",
@@ -193,9 +245,17 @@ def test_campaign_batch(record_table, record_snapshot):
     # Accuracy and determinism contracts hold at every size.
     assert worst_rel <= 1.0e-10, record["worst_standalone_rel_error"]
     assert cross_worker_max == 0.0, record["cross_worker_abs_max_diff"]
+    assert cross_concurrency_max == 0.0, record["cross_concurrency_abs_max_diff"]
     if assert_throughput:
         assert n_scenarios >= 12
         assert speedup >= 2.0, (campaign_wall, baseline_wall)
+        # Concurrent groups can only beat sequential groups when a second
+        # core exists to overlap them; single-core hosts record the ratio.
+        if multicore:
+            assert group_speedup >= 1.3, (
+                group_runs[1]["wall_seconds"],
+                group_runs[2]["wall_seconds"],
+            )
 
 
 if __name__ == "__main__":

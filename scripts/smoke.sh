@@ -53,7 +53,9 @@ BENCH_QUICK=1 python -m pytest -q -p no:randomly \
 
 echo "== campaign mini-benchmark (quick mode, 6 scenarios, 2 pool workers) =="
 # Asserts every campaign scenario matches its standalone GroundingAnalysis to
-# 1e-10 and that solutions are bit-identical across pool worker counts {1,2}.
+# 1e-10 and that solutions are bit-identical across pool worker counts {1,2}
+# AND across group_concurrency {1,2} (concurrent structure groups multiplexed
+# over the same 2-worker pool).
 BENCH_QUICK=1 python -m pytest -q -p no:randomly \
   benchmarks/bench_campaign.py::test_campaign_batch
 
@@ -71,8 +73,10 @@ echo "== chaos matrix ({crash,hang,corrupt} x {assembly,matvec,campaign}) =="
 # Deterministic fault injection on a 2-worker pool: every recovered run must
 # be bit-identical to the fault-free run (equal PCG iterate counts) and the
 # PoolHealth counters must prove the fault fired.  The checkpoint/resume
-# suite SIGKILLs a campaign mid-run and resumes it from its checkpoint.
+# suite SIGKILLs a campaign mid-run and resumes it from its checkpoint; the
+# group-concurrency suite repeats both under concurrent structure groups.
 BENCH_QUICK=1 python -m pytest -q -p no:randomly \
-  tests/resilience tests/campaign/test_checkpoint_resume.py
+  tests/resilience tests/campaign/test_checkpoint_resume.py \
+  tests/campaign/test_group_concurrency.py
 
 echo "smoke: OK (zero flaky reruns)"

@@ -47,6 +47,7 @@ __all__ = [
     "AssemblyOptions",
     "assemble_rhs",
     "assemble_system",
+    "assemble_system_steps",
     "scatter_column",
     "scatter_columns",
     "ColumnResult",
@@ -328,6 +329,51 @@ def assemble_system(
     -------
     LinearSystem
         The assembled system with assembly metadata.
+
+    This is the blocking driver over :func:`assemble_system_steps`.
+    """
+    # Imported lazily: repro.parallel imports repro.bem at package load time.
+    from repro.parallel.executor import drive_pool_steps
+
+    return drive_pool_steps(
+        assemble_system_steps(
+            mesh,
+            soil,
+            gpr=gpr,
+            options=options,
+            kernel=kernel,
+            column_order=column_order,
+            collect_column_times=collect_column_times,
+            batch_size=batch_size,
+            pool=pool,
+            cluster_cache=cluster_cache,
+            tracer=tracer,
+        ),
+        pool,
+    )
+
+
+def assemble_system_steps(
+    mesh: Mesh,
+    soil: SoilModel,
+    gpr: float = DEFAULT_GPR,
+    options: AssemblyOptions | None = None,
+    kernel: LayeredKernel | None = None,
+    column_order: Sequence[int] | None = None,
+    collect_column_times: bool = False,
+    batch_size: int | None = None,
+    pool=None,
+    cluster_cache=None,
+    tracer=None,
+):
+    """Generator form of :func:`assemble_system`.
+
+    The hierarchical engine's pool dispatches surface as yielded
+    :class:`~repro.parallel.executor.PoolJob` requests; the dense column
+    engine runs inline without yielding.  Returns the assembled
+    :class:`~repro.bem.system.LinearSystem`; drive with
+    :func:`~repro.parallel.executor.drive_pool_steps` or a multiplexing
+    scheduler (the campaign runner).
     """
     options = options or AssemblyOptions()
     if options.hierarchical is None and pool is not None:
@@ -343,9 +389,9 @@ def assemble_system(
                 "columns; column_order / collect_column_times do not apply"
             )
         # Imported lazily: repro.cluster depends on repro.bem.
-        from repro.cluster.operator import assemble_hierarchical_system
+        from repro.cluster.operator import assemble_hierarchical_steps
 
-        return assemble_hierarchical_system(
+        system = yield from assemble_hierarchical_steps(
             mesh,
             soil,
             gpr=gpr,
@@ -355,6 +401,7 @@ def assemble_system(
             cluster_cache=cluster_cache,
             tracer=tracer,
         )
+        return system
     if kernel is None:
         kernel = kernel_for_soil(soil, options.series_control)
     dof_manager = DofManager(mesh, options.element_type)

@@ -140,7 +140,11 @@ class CampaignCheckpoint:
 
     def _flush(self) -> None:
         payload = {"format": _FORMAT_VERSION, "groups": self._groups}
-        tmp_path = self.path.with_name(self.path.name + ".tmp")
+        # The temp name is unique per process: concurrent stores against one
+        # checkpoint path (two campaigns, or a resumed run racing a stale
+        # sibling) each stage their own file, and the atomic os.replace makes
+        # the last full write win — never a torn mix of the two.
+        tmp_path = self.path.with_name(f"{self.path.name}.{os.getpid()}.tmp")
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             with open(tmp_path, "wb") as stream:

@@ -17,7 +17,10 @@ Execution order is deterministic and cost-aware: geometry groups (and the
 structure groups inside them) run in the descending-cost order produced by
 :func:`repro.parallel.costs.partition_block_work` — the same LPT machinery
 that shards the hierarchical block work — applied to the planner's
-deterministic per-group cost estimate (``elements²`` work units).
+deterministic per-group cost estimate (``elements²`` assemble+solve work
+units plus ``elements`` per derived scenario row).  The flattened
+:meth:`CampaignPlan.iter_structures` sequence doubles as the canonical group
+order that concurrent runners commit in.
 """
 
 from __future__ import annotations
@@ -103,6 +106,21 @@ class CampaignPlan:
             for structure in geometry_group.structures:
                 yield from structure.plans
 
+    def iter_structures(self):
+        """Every ``(geometry_group, structure_group)`` pair in execution order.
+
+        This flattened sequence is the campaign's **canonical group order**:
+        the runner starts groups in it and — regardless of
+        ``group_concurrency`` or completion timing — commits results,
+        checkpoint stores, manifest rows and trace subtrees in it, which is
+        what keeps concurrent campaigns bit-identical to sequential ones.
+        Geometry-major on purpose: consecutive groups share the discretised
+        grid and mesh caches.
+        """
+        for geometry_group in self.geometry_groups:
+            for structure in geometry_group.structures:
+                yield geometry_group, structure
+
     def summary(self) -> dict[str, Any]:
         """Compact description used by results and reports."""
         return {
@@ -158,7 +176,11 @@ def plan_campaign(campaign: Campaign) -> CampaignPlan:
                 )
             )
         geometry = base_spec.geometry
-        cost = float(geometry.estimated_elements()) ** 2
+        # Deterministic per-group cost: the assemble+solve work scales with
+        # elements² (dense-equivalent block work), each derived scenario adds
+        # one elements-sized pass (scalar rescale + safety evaluation rows).
+        elements = float(geometry.estimated_elements())
+        cost = elements**2 + elements * (len(plans) - 1)
         structures_by_geometry.setdefault(geometry, []).append(
             StructureGroup(
                 geometry=geometry,

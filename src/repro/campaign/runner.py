@@ -8,29 +8,50 @@ The runner walks the cost-ordered groups of a
   on them);
 * one full assemble + solve + safety raster per *structure group* (the
   group's base scenario), executed through the ordinary
-  :func:`~repro.bem.assembly.assemble_system` path — on the shared persistent
-  :class:`~repro.parallel.pool.WorkerPool` when one is given, so repeated
-  sharded assemblies reuse spawn-once workers instead of forking per call;
+  :func:`~repro.bem.assembly.assemble_system_steps` path — on the shared
+  persistent :class:`~repro.parallel.pool.WorkerPool` when one is given, so
+  repeated sharded assemblies reuse spawn-once workers instead of forking per
+  call;
 * derived scenarios obtained by exact scalar algebra: the solution is linear
   in the injection GPR and in the common soil conductivity scale
   (``x' = (s'/s_b)(g'/g_b) x_b``; resistance scales by ``s_b/s'``, touch and
   step voltages by the GPR ratio alone).
 
+Independent structure groups can execute **concurrently** on the pool
+(``Campaign.group_concurrency`` / the ``group_concurrency`` argument): each
+group runs as a coroutine that yields its assembly's
+:class:`~repro.parallel.executor.PoolJob` requests, and a single-threaded
+scheduler multiplexes up to N groups over the pool's event loop
+(:meth:`~repro.parallel.pool.WorkerPool.submit` /
+:meth:`~repro.parallel.pool.WorkerPool.service`) — no helper threads, in the
+spirit of the non-threaded concurrent interpreters the paper's group builds
+on.  While one group's shards occupy the workers, the master advances another
+group's solve/safety phases, hiding the master-side serial fraction.
+Determinism is preserved by construction: groups *start* and *commit*
+(results, checkpoint stores, manifest rows, trace subtrees) strictly in the
+plan's canonical order (:meth:`~repro.campaign.planner.CampaignPlan.iter_structures`)
+regardless of completion timing, and the pool pins every run's shards to
+preferred workers so fault coordinates and health counters are functions of
+submit order alone.  Results are therefore bit-identical for any
+``group_concurrency``.
+
 Everything reused is reported: the
 :class:`~repro.campaign.result.CampaignResult` carries the planner's reuse
 counts, the process-wide geometry-cache hit/miss delta of the run, the
-cluster-plan cache counters and the pool statistics.
+cluster-plan cache counters and the pool statistics **as deltas over this
+campaign** (a borrowed pool's lifetime counters span every campaign it
+served; see ``cache_stats["pool"]``).
 """
 
 from __future__ import annotations
 
 import copy
 import dataclasses
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
-from repro.bem.assembly import AssemblyOptions, assemble_system
+from repro.bem.assembly import AssemblyOptions, assemble_system_steps
 from repro.bem.geometry_cache import default_geometry_cache
 from repro.bem.potential import PotentialEvaluator
 from repro.bem.safety import ieee80_tolerable_step, ieee80_tolerable_touch
@@ -43,7 +64,7 @@ from repro.exceptions import ReproError
 from repro.geometry.discretize import discretize_grid
 from repro.kernels.base import kernel_for_soil
 from repro.kernels.truncation import AdaptiveControl
-from repro.observe import RunManifest, ensure_tracer
+from repro.observe import NULL_TRACER, RunManifest, Tracer, ensure_tracer
 from repro.solvers import solve_system
 from repro.timing import PhaseTimer, Timer
 
@@ -101,6 +122,227 @@ def _tolerable_limits(campaign: Campaign, soil, soil_scale: float) -> tuple[floa
     return float(touch), float(step)
 
 
+@dataclasses.dataclass
+class _GroupOutcome:
+    """What one structure-group coroutine produced.
+
+    Outcomes are buffered by the scheduler and *committed* — results folded,
+    checkpoint stored, manifest row appended, branch trace grafted — strictly
+    in the plan's canonical group order, whatever order the coroutines
+    actually finished in.
+    """
+
+    kind: str  # "computed" | "restored" | "failed"
+    results: "list[ScenarioResult] | None" = None
+    failure: CampaignFailure | None = None
+    manifest_row: "dict[str, Any] | None" = None
+    group_key: str | None = None
+    branch: Any = None  # the group's branch Tracer (grafted at commit)
+
+
+def _group_steps(
+    campaign: Campaign,
+    geometry_group,
+    structure,
+    grid,
+    meshes: dict,
+    pool,
+    cluster_cache: ClusterPlanCache,
+    checkpoint_store,
+    phases: PhaseTimer,
+    tracer,
+):
+    """Coroutine of one structure group: discretize, then restore or compute.
+
+    Yields the group's :class:`~repro.parallel.executor.PoolJob` requests
+    (bubbled up from the assembly generators) and returns a
+    :class:`_GroupOutcome` via ``StopIteration``.  Everything the group
+    records lands on a *branch* tracer with its own span stack, so
+    interleaved groups never corrupt each other's span nesting; the branch
+    roots are grafted under the main tracer at commit time, in canonical
+    order, and get identical content-derived ids either way.
+
+    A :class:`~repro.exceptions.ReproError` — raised here, or thrown in by
+    the scheduler when a pool run failed — becomes a ``"failed"`` outcome:
+    one failed group must not abort the whole batch study (the pool replaces
+    any workers the failing run still owned, so it stays usable).
+    """
+    geometry = geometry_group.geometry
+    base_spec = structure.base.spec
+    soil_eff = base_spec.effective_soil()
+    branch = Tracer(metrics=tracer.metrics) if tracer.enabled else NULL_TRACER
+    stage = "discretize"
+    group_key = None
+    manifest_row = None
+    try:
+        with phases.phase("discretize"):
+            mesh_key = (geometry, soil_eff.thicknesses)
+            mesh = meshes.get(mesh_key)
+            if mesh is None:
+                mesh = meshes[mesh_key] = discretize_grid(grid, soil=soil_eff)
+        if checkpoint_store is not None or tracer.enabled:
+            group_key = structure_fingerprint(mesh, soil_eff, structure, campaign)
+        if tracer.enabled:
+            manifest_row = {
+                "fingerprint": group_key,
+                "geometry": geometry.name,
+                "base_scenario": base_spec.name,
+                "n_elements": int(mesh.n_elements),
+                "n_scenarios": len(structure.plans),
+                "soil_layers": int(soil_eff.n_layers),
+                "restored": False,
+            }
+        if checkpoint_store is not None:
+            # A CheckpointError out of the store is a checkpoint problem,
+            # not a discretisation one.
+            stage = "restore"
+            if checkpoint_store.has(group_key):
+                if manifest_row is not None:
+                    manifest_row["restored"] = True
+                    branch.record_span(
+                        "campaign.group",
+                        geometry=geometry.name,
+                        base=base_spec.name,
+                        fingerprint=group_key,
+                        n_scenarios=len(structure.plans),
+                        restored=True,
+                    )
+                return _GroupOutcome(
+                    kind="restored",
+                    results=list(checkpoint_store.restore(group_key)),
+                    manifest_row=manifest_row,
+                    group_key=group_key,
+                    branch=branch,
+                )
+        stage = "assemble+solve"
+        with branch.span(
+            "campaign.group",
+            geometry=geometry.name,
+            base=base_spec.name,
+            fingerprint=group_key or "",
+            n_elements=mesh.n_elements,
+            n_scenarios=len(structure.plans),
+            restored=False,
+        ):
+            group_results = yield from _run_structure_group(
+                campaign, structure, grid, mesh, soil_eff, pool,
+                cluster_cache, phases, branch,
+            )
+        return _GroupOutcome(
+            kind="computed",
+            results=group_results,
+            manifest_row=manifest_row,
+            group_key=group_key,
+            branch=branch,
+        )
+    except ReproError as error:
+        return _GroupOutcome(
+            kind="failed",
+            failure=CampaignFailure(
+                scenario_names=tuple(p.spec.name for p in structure.plans),
+                scenario_indices=tuple(p.index for p in structure.plans),
+                geometry_name=geometry.name,
+                stage=stage,
+                error=repr(error),
+            ),
+            manifest_row=manifest_row,
+            group_key=group_key,
+            branch=branch,
+        )
+
+
+def _drive_group_steps(
+    makers: "list[Callable[[], Any]]",
+    concurrency: int,
+    pool,
+    commit: "Callable[[_GroupOutcome], None]",
+) -> None:
+    """Run the group coroutines, up to ``concurrency`` in flight, on ``pool``.
+
+    ``makers[i]()`` creates the coroutine of canonical group ``i``.  Groups
+    are *started* in canonical order (so shared grid/mesh/cluster caches warm
+    in a deterministic sequence and the pool sees a deterministic submit
+    order) and their outcomes are *committed* in canonical order — an
+    early-finishing later group buffers until every earlier group committed.
+    Between coroutine steps the scheduler drives the pool's event loop with
+    :meth:`~repro.parallel.pool.WorkerPool.service`; a run that failed is
+    thrown back into its coroutine as the error
+    :meth:`~repro.parallel.pool.WorkerPool.result` would raise, where the
+    group's ``except ReproError`` turns it into a failed outcome.
+    """
+    total = len(makers)
+    active: "dict[int, list[Any]]" = {}  # position -> [coroutine, pool run]
+    outcomes: "dict[int, _GroupOutcome]" = {}
+    next_start = 0
+    next_commit = 0
+
+    def advance(position, steps, *, value=None, error=None, first=False):
+        """Step one coroutine until it blocks on a pool run or returns."""
+        while True:
+            try:
+                if error is not None:
+                    request = steps.throw(error)
+                elif first:
+                    request = next(steps)
+                else:
+                    request = steps.send(value)
+            except StopIteration as stop:
+                active.pop(position, None)
+                outcomes[position] = stop.value
+                return
+            error = None
+            first = False
+            try:
+                run = pool.submit(
+                    request.task,
+                    request.partition,
+                    batch_fn=request.batch_fn,
+                    cost_hint=request.cost_hint,
+                    label=request.label,
+                )
+            except ReproError as submit_error:
+                # The serial backend executes inline, so task errors can
+                # surface at submit time; route them into the coroutine.
+                error = submit_error
+                continue
+            if run.done:  # inline completion (serial backend / degraded pool)
+                try:
+                    value = pool.result(run)
+                except ReproError as run_error:
+                    error = run_error
+                continue
+            active[position] = [steps, run]
+            return
+
+    while next_commit < total:
+        while len(active) < concurrency and next_start < total:
+            position = next_start
+            next_start += 1
+            advance(position, makers[position](), first=True)
+        while next_commit in outcomes:
+            commit(outcomes.pop(next_commit))
+            next_commit += 1
+        if next_commit >= total:
+            return
+        if len(active) < concurrency and next_start < total:
+            continue  # a start slot freed up: keep the window full first
+        resumed = False
+        for position in sorted(active):  # canonical order among the ready
+            steps, run = active[position]
+            if not run.done:
+                continue
+            try:
+                value = pool.result(run)
+            except ReproError as run_error:
+                advance(position, steps, error=run_error)
+            else:
+                advance(position, steps, value=value)
+            resumed = True
+            break
+        if not resumed:
+            pool.service()
+
+
 def run_campaign(
     campaign: Campaign,
     pool=None,
@@ -111,6 +353,7 @@ def run_campaign(
     retry=None,
     fault_plan=None,
     tracer=None,
+    group_concurrency: int | None = None,
 ) -> CampaignResult:
     """Execute a campaign and aggregate the per-scenario results.
 
@@ -151,6 +394,12 @@ def run_campaign(
         under ``"manifest"`` and — when ``checkpoint`` is given — writes it
         next to the checkpoint file.  A runner-owned pool inherits the
         tracer, so its dispatch/retry events land in the same trace.
+    group_concurrency:
+        Number of structure groups kept in flight concurrently on the pool;
+        overrides ``campaign.group_concurrency`` when given.  Values above 1
+        require a pool (``pool`` or ``workers``).  Purely a throughput knob:
+        results, checkpoint contents and the canonical trace projection are
+        bit-identical for any value.
 
     Returns
     -------
@@ -174,6 +423,19 @@ def run_campaign(
         raise ReproError(
             "retry/fault_plan configure the runner-owned pool and require "
             "workers >= 1; a borrowed pool carries its own policy"
+        )
+    if group_concurrency is None:
+        group_concurrency = campaign.group_concurrency
+    group_concurrency = int(group_concurrency)
+    if group_concurrency < 1:
+        raise ReproError(
+            f"group_concurrency must be >= 1, got {group_concurrency}"
+        )
+    if group_concurrency > 1 and pool is None and not workers:
+        raise ReproError(
+            "group_concurrency > 1 multiplexes structure groups over a "
+            "worker pool; pass pool= or workers= (sequential groups need "
+            "neither)"
         )
     tracer = ensure_tracer(tracer)
     phases = PhaseTimer()
@@ -211,108 +473,76 @@ def run_campaign(
                 fault_plan=fault_plan,
                 tracer=tracer,
             )
-        tracer.annotate_volatile(
-            pool_workers=pool.n_workers if pool is not None else 0,
-            pool_backend=pool.backend if pool is not None else None,
-        )
-
-        checkpoint_store = (
-            CampaignCheckpoint(checkpoint) if checkpoint is not None else None
-        )
         restored_groups = 0
         computed_groups = 0
         failures: list[CampaignFailure] = []
         manifest_groups: list[dict[str, Any]] = []
         cluster_cache = ClusterPlanCache()
-        geometry_cache_before = default_geometry_cache().stats()
         results: dict[int, ScenarioResult] = {}
+        # Everything below — including the checkpoint construction, which
+        # raises CheckpointError on a corrupt file — runs under the finally
+        # that closes a runner-owned pool: no code path may leak its worker
+        # processes.
         try:
-            for geometry_group in plan.geometry_groups:
-                grid = geometry_group.geometry.build_grid()
-                meshes: dict[tuple, Any] = {}  # keyed by layer interface depths
-                for structure in geometry_group.structures:
-                    base_spec = structure.base.spec
-                    soil_eff = base_spec.effective_soil()
-                    stage = "discretize"
-                    group_key = None
-                    try:
-                        with phases.phase("discretize"):
-                            mesh_key = soil_eff.thicknesses
-                            mesh = meshes.get(mesh_key)
-                            if mesh is None:
-                                mesh = meshes[mesh_key] = discretize_grid(
-                                    grid, soil=soil_eff
-                                )
-                        if checkpoint_store is not None or tracer.enabled:
-                            group_key = structure_fingerprint(
-                                mesh, soil_eff, structure, campaign
-                            )
-                        if tracer.enabled:
-                            manifest_groups.append(
-                                {
-                                    "fingerprint": group_key,
-                                    "geometry": geometry_group.geometry.name,
-                                    "base_scenario": base_spec.name,
-                                    "n_elements": int(mesh.n_elements),
-                                    "n_scenarios": len(structure.plans),
-                                    "soil_layers": int(soil_eff.n_layers),
-                                    "restored": False,
-                                }
-                            )
-                        if checkpoint_store is not None and checkpoint_store.has(
-                            group_key
-                        ):
-                            restored_groups += 1
-                            if tracer.enabled:
-                                manifest_groups[-1]["restored"] = True
-                                tracer.record_span(
-                                    "campaign.group",
-                                    geometry=geometry_group.geometry.name,
-                                    base=base_spec.name,
-                                    fingerprint=group_key,
-                                    n_scenarios=len(structure.plans),
-                                    restored=True,
-                                )
-                            for result in checkpoint_store.restore(group_key):
-                                results[result.index] = result
-                            continue
-                        stage = "assemble+solve"
-                        with tracer.span(
-                            "campaign.group",
-                            geometry=geometry_group.geometry.name,
-                            base=base_spec.name,
-                            fingerprint=group_key or "",
-                            n_elements=mesh.n_elements,
-                            n_scenarios=len(structure.plans),
-                            restored=False,
-                        ):
-                            group_results = _run_structure_group(
-                                campaign, structure, grid, mesh, soil_eff, pool,
-                                cluster_cache, phases, tracer,
-                            )
-                    except ReproError as error:
-                        # One failed group must not abort the whole batch study:
-                        # record it and keep going (the pool replaces any workers
-                        # the failing run still owned, so it stays usable).
-                        failures.append(
-                            CampaignFailure(
-                                scenario_names=tuple(
-                                    p.spec.name for p in structure.plans
-                                ),
-                                scenario_indices=tuple(
-                                    p.index for p in structure.plans
-                                ),
-                                geometry_name=geometry_group.geometry.name,
-                                stage=stage,
-                                error=repr(error),
-                            )
-                        )
-                        continue
+            tracer.annotate_volatile(
+                pool_workers=pool.n_workers if pool is not None else 0,
+                pool_backend=pool.backend if pool is not None else None,
+                group_concurrency=group_concurrency,
+            )
+            checkpoint_store = (
+                CampaignCheckpoint(checkpoint) if checkpoint is not None else None
+            )
+            geometry_cache_before = default_geometry_cache().stats()
+            # Snapshot the pool's lifetime counters so the result reports
+            # this campaign's delta — a borrowed pool's cumulative stats
+            # would otherwise double-count earlier campaigns.
+            pool_stats_before = dict(pool.stats) if pool is not None else {}
+            pool_health_before = (
+                dict(pool.health.counters()) if pool is not None else {}
+            )
+
+            ordered = list(plan.iter_structures())
+            grids: dict[Any, Any] = {}  # geometry variant -> built grid
+            meshes: dict[tuple, Any] = {}  # (geometry, interface depths) -> mesh
+
+            def _make_group(geometry_group, structure):
+                def make():
+                    geometry = geometry_group.geometry
+                    grid = grids.get(geometry)
+                    if grid is None:
+                        grid = grids[geometry] = geometry.build_grid()
+                    return _group_steps(
+                        campaign, geometry_group, structure, grid, meshes,
+                        pool, cluster_cache, checkpoint_store, phases, tracer,
+                    )
+
+                return make
+
+            def _commit(outcome: _GroupOutcome) -> None:
+                nonlocal restored_groups, computed_groups
+                if outcome.manifest_row is not None:
+                    manifest_groups.append(outcome.manifest_row)
+                if outcome.branch is not None:
+                    tracer.graft(outcome.branch.roots)
+                if outcome.kind == "failed":
+                    failures.append(outcome.failure)
+                    return
+                if outcome.kind == "restored":
+                    restored_groups += 1
+                else:
                     computed_groups += 1
-                    for result in group_results:
-                        results[result.index] = result
-                    if checkpoint_store is not None and group_key is not None:
-                        checkpoint_store.store(group_key, group_results)
+                for result in outcome.results:
+                    results[result.index] = result
+                if (
+                    outcome.kind == "computed"
+                    and checkpoint_store is not None
+                    and outcome.group_key is not None
+                ):
+                    checkpoint_store.store(outcome.group_key, outcome.results)
+
+            makers = [_make_group(gg, s) for gg, s in ordered]
+            concurrency = min(group_concurrency, len(makers)) if makers else 1
+            _drive_group_steps(makers, concurrency, pool, _commit)
         finally:
             if own_pool is not None:
                 own_pool.close()
@@ -340,7 +570,10 @@ def run_campaign(
                 "computed_groups": computed_groups,
             }
         if pool is not None:
-            cache_stats["pool"] = dict(pool.stats)
+            cache_stats["pool"] = {
+                key: int(value) - int(pool_stats_before.get(key, 0))
+                for key, value in pool.stats.items()
+            }
         tracer.annotate(
             n_scenarios=len(results),
             n_failures=len(failures),
@@ -353,7 +586,13 @@ def run_campaign(
         metrics.absorb(cache_stats["geometry_cache"], prefix="cache.geometry.")
         metrics.absorb(cache_stats["cluster_plan_cache"], prefix="cache.cluster_plan.")
         if pool is not None:
-            metrics.absorb(pool.health.counters(), prefix="pool.health.")
+            metrics.absorb(
+                {
+                    key: int(value) - int(pool_health_before.get(key, 0))
+                    for key, value in pool.health.counters().items()
+                },
+                prefix="pool.health.",
+            )
         metrics.set_gauge("campaign.groups.computed", computed_groups)
         metrics.set_gauge("campaign.groups.restored", restored_groups)
         metrics.set_gauge("campaign.failures", len(failures))
@@ -402,11 +641,14 @@ def _run_structure_group(
     cluster_cache: ClusterPlanCache,
     phases: PhaseTimer,
     tracer,
-) -> list[ScenarioResult]:
+):
     """Assemble + solve the group base, derive the rest by scalar algebra.
 
-    Returns the group's scenario results (campaign order) so the caller can
-    fold them into the campaign — and persist them as one checkpoint unit.
+    A coroutine: the assembly's pool dispatches surface as yielded
+    :class:`~repro.parallel.executor.PoolJob` requests (none for the dense or
+    in-process engines), and the group's scenario results (campaign order)
+    come back via ``StopIteration`` so the caller can fold them into the
+    campaign — and persist them as one checkpoint unit.
     """
     base_plan = structure.base
     base_spec = base_plan.spec
@@ -428,7 +670,7 @@ def _run_structure_group(
 
     assemble_timer = Timer()
     with assemble_timer:
-        system = assemble_system(
+        system = yield from assemble_system_steps(
             mesh,
             soil_eff,
             gpr=base_spec.gpr,

@@ -244,6 +244,13 @@ class Campaign:
         safety assessment.
     fault_duration_s, body_weight_kg, surface_resistivity, surface_thickness:
         IEEE Std 80 tolerable-voltage parameters of the verdicts.
+    group_concurrency:
+        Number of structure groups the runner keeps in flight concurrently
+        on the shared :class:`~repro.parallel.pool.WorkerPool` (default 1:
+        sequential groups).  Results are bit-identical for any value — the
+        runner commits groups in the plan's canonical order regardless of
+        completion timing — so this is purely a throughput knob.  Values
+        above 1 require the hierarchical engine with a worker pool.
     """
 
     name: str
@@ -262,6 +269,7 @@ class Campaign:
     body_weight_kg: float = 70.0
     surface_resistivity: float | None = None
     surface_thickness: float = 0.1
+    group_concurrency: int = 1
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -313,6 +321,12 @@ class Campaign:
             )
         if self.assess_safety and self.safety_raster < 3:
             raise ReproError("safety_raster must be at least 3 samples per axis")
+        if int(self.group_concurrency) != self.group_concurrency or self.group_concurrency < 1:
+            raise ReproError(
+                f"group_concurrency must be a positive integer, "
+                f"got {self.group_concurrency!r}"
+            )
+        object.__setattr__(self, "group_concurrency", int(self.group_concurrency))
 
     @property
     def n_scenarios(self) -> int:

@@ -7,7 +7,7 @@ Five sub-commands cover the common workflows::
     python -m repro balaidos --model C
     python -m repro scaling  --case barbera/two_layer --workers 1 2 4 8
     python -m repro scaling  --case barbera/two_layer --workers 1 2 --hierarchical
-    python -m repro campaign --scenarios 12 --workers 2
+    python -m repro campaign --scenarios 12 --workers 2 --group-concurrency 2
 
 ``analyze`` reads a grid saved with :func:`repro.geometry.io.save_grid`,
 builds a uniform or two-layer soil from the resistivity options, runs the BEM
@@ -104,6 +104,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument(
         "--nx", type=int, default=8, help="meshes per side of the shared grid"
+    )
+    campaign.add_argument(
+        "--group-concurrency",
+        type=int,
+        default=1,
+        help="structure groups kept in flight concurrently on the worker pool "
+        "(results are bit-identical for any value; >1 requires --workers)",
     )
     campaign.add_argument(
         "--dense",
@@ -352,6 +359,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     )
     if args.workers and args.dense:
         raise SystemExit("--workers requires the hierarchical engine (drop --dense)")
+    if args.group_concurrency < 1:
+        raise SystemExit("--group-concurrency must be >= 1")
+    if args.group_concurrency > 1 and not args.workers:
+        raise SystemExit("--group-concurrency > 1 requires --workers")
     retry = None
     if args.chunk_timeout is not None or args.max_retries is not None:
         if not args.workers:
@@ -375,6 +386,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         checkpoint=args.checkpoint,
         retry=retry,
         tracer=tracer,
+        group_concurrency=args.group_concurrency,
     )
 
     columns = ["scenario", "kind", "n_elements", "gpr_v", "Req_ohm", "seconds"]

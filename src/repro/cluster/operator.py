@@ -62,7 +62,12 @@ from repro.timing import wall_clock
 
 # contracts: disable-file=OBS001 -- the operator's stats dict is a public diagnostics payload (tests and BENCH tables index its *_seconds keys); the tracer emits the span-tree view alongside
 
-__all__ = ["HierarchicalControl", "HierarchicalOperator", "assemble_hierarchical_system"]
+__all__ = [
+    "HierarchicalControl",
+    "HierarchicalOperator",
+    "assemble_hierarchical_steps",
+    "assemble_hierarchical_system",
+]
 
 
 @dataclass(frozen=True)
@@ -430,6 +435,44 @@ def assemble_hierarchical_system(
     geometry-determined cluster tree/partition across assemblies of the same
     mesh.  ``tracer`` records the assembly span tree (plan, per-block far
     field, near aggregate) — identical across engines and worker counts.
+
+    This is the blocking driver over :func:`assemble_hierarchical_steps`.
+    """
+    # Local import: repro.parallel imports repro.bem at package load time.
+    from repro.parallel.executor import drive_pool_steps
+
+    return drive_pool_steps(
+        assemble_hierarchical_steps(
+            mesh,
+            soil,
+            gpr=gpr,
+            options=options,
+            kernel=kernel,
+            pool=pool,
+            cluster_cache=cluster_cache,
+            tracer=tracer,
+        ),
+        pool,
+    )
+
+
+def assemble_hierarchical_steps(
+    mesh: Mesh,
+    soil: SoilModel,
+    gpr: float = DEFAULT_GPR,
+    options: AssemblyOptions | None = None,
+    kernel: LayeredKernel | None = None,
+    pool=None,
+    cluster_cache=None,
+    tracer=None,
+):
+    """Generator form of :func:`assemble_hierarchical_system`.
+
+    Yields the sharded backend's :class:`~repro.parallel.executor.PoolJob`
+    requests (none when ``pool`` is ``None``) and returns the finished
+    :class:`~repro.bem.system.LinearSystem`; drive it with
+    :func:`~repro.parallel.executor.drive_pool_steps` or a multiplexing
+    scheduler (the campaign runner).
     """
     options = options or AssemblyOptions(hierarchical=HierarchicalControl())
     control = options.hierarchical
@@ -460,9 +503,9 @@ def assemble_hierarchical_system(
             # on the shared persistent pool when one is passed, on per-call
             # workers otherwise.
             # Local import: repro.parallel imports repro.bem at package load time.
-            from repro.parallel.block_backend import build_sharded_operator
+            from repro.parallel.block_backend import sharded_operator_steps
 
-            operator = build_sharded_operator(
+            operator = yield from sharded_operator_steps(
                 assembler, control, pool=pool, cluster_cache=cluster_cache, tracer=tracer
             )
         else:

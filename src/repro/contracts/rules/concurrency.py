@@ -66,8 +66,8 @@ class ForkSafeLockRule(ContractRule):
 
 
 #: Callees whose call sites dispatch task callables to worker processes.
-_DISPATCH_ATTRIBUTES = {"run_partition"}
-_DISPATCH_CONSTRUCTORS = {"ScheduledExecutor", "run_scheduled_tasks"}
+_DISPATCH_ATTRIBUTES = {"run_partition", "submit"}
+_DISPATCH_CONSTRUCTORS = {"ScheduledExecutor", "run_scheduled_tasks", "PoolJob"}
 #: Keyword arguments that carry task callables at those sites.
 _TASK_KEYWORDS = {"task", "task_fn", "batch_fn", "fn"}
 
@@ -76,7 +76,8 @@ class WorkerTaskPurityRule(ContractRule):
     """MSG001 — worker tasks must be module-level callables, not closures.
 
     At every dispatch site (``ScheduledExecutor(...)``,
-    ``*.run_partition(...)``, ``run_scheduled_tasks(...)``) the task/batch
+    ``*.run_partition(...)``, ``*.submit(...)``, ``run_scheduled_tasks(...)``
+    and every ``PoolJob(...)`` request yielded to a pool driver) the task/batch
     callables must not be lambdas or functions defined inside the enclosing
     function: such closures capture their defining frame — live operators,
     locks, open files — which the fork inherits invisibly and pickling

@@ -193,6 +193,19 @@ class Tracer:
         """The innermost open span, if any."""
         return self._stack[-1] if self._stack else None
 
+    def graft(self, roots: list[Span]) -> None:
+        """Attach finished subtrees recorded by a branch tracer.
+
+        Concurrent pipelines record each in-flight branch on its own
+        ``Tracer`` (isolated span stack), then graft the branch roots under
+        the main tracer's open span **in canonical order** once the branch
+        completes.  Ids are assigned only at :meth:`finalize`, so grafted
+        nodes get exactly the ids they would have had if recorded inline —
+        the canonical projection is independent of completion order.
+        """
+        for node in roots:
+            self._attach(node)
+
     # -- finishing ---------------------------------------------------------
 
     def finalize(self) -> list[Span]:
@@ -260,6 +273,9 @@ class NullTracer(Tracer):
         return None
 
     def annotate_volatile(self, **data: Any) -> None:
+        return None
+
+    def graft(self, roots: list[Span]) -> None:
         return None
 
 

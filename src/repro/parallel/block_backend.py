@@ -58,7 +58,12 @@ from repro.cluster.block_assembly import (
 from repro.exceptions import ClusterError, ParallelExecutionError
 from repro.observe import ensure_tracer
 from repro.parallel.costs import partition_block_work
-from repro.parallel.executor import ScheduledExecutor, normalize_partition
+from repro.parallel.executor import (
+    PoolJob,
+    ScheduledExecutor,
+    drive_pool_steps,
+    normalize_partition,
+)
 from repro.timing import wall_clock
 
 # contracts: disable-file=OBS001 -- the sharded operator's stats dict mirrors the serial engine's public diagnostics payload (*_seconds keys indexed by tests/benchmarks); the tracer emits the span-tree view alongside
@@ -74,6 +79,7 @@ __all__ = [
     "ShardedHierarchicalOperator",
     "build_sharded_operator",
     "pairwise_tree_sum",
+    "sharded_operator_steps",
 ]
 
 
@@ -352,6 +358,35 @@ def build_sharded_operator(
     the collected worker outcomes in ascending block-index order (with the
     worker-measured task seconds as durations), so the deterministic trace
     content is identical for every worker count.
+
+    This is the blocking driver over :func:`sharded_operator_steps`; callers
+    multiplexing several assemblies over one pool (the campaign runner) drive
+    the generator themselves.
+    """
+    return drive_pool_steps(
+        sharded_operator_steps(
+            assembler, control, pool=pool, cluster_cache=cluster_cache, tracer=tracer
+        ),
+        pool,
+    )
+
+
+def sharded_operator_steps(
+    assembler: "ColumnAssembler",
+    control: "HierarchicalControl",
+    pool: "WorkerPool | None" = None,
+    cluster_cache: "ClusterPlanCache | None" = None,
+    tracer=None,
+):
+    """Generator form of :func:`build_sharded_operator`.
+
+    All master-side work (block planning, result regrouping, trace
+    re-emission) runs inline; when ``pool`` is given the single shard
+    dispatch is a yielded :class:`~repro.parallel.executor.PoolJob` request
+    whose :class:`~repro.parallel.executor.TaskRunResult` comes back at the
+    ``yield`` — the generator itself never touches the pool's pipes, so a
+    scheduler can interleave many assemblies over one pool.  Returns the
+    finished :class:`ShardedHierarchicalOperator`.
     """
     if pool is None and control.workers < 1:
         raise ParallelExecutionError(
@@ -381,7 +416,7 @@ def build_sharded_operator(
     task = _BlockShardTask(assembler, tree, partition.blocks, control, stopping, dof_matrix)
     executor_start = wall_clock()
     if pool is not None:
-        outcome = pool.run_partition(
+        outcome = yield PoolJob(
             task,
             shards,
             batch_fn=_BlockShardBatchTask(task),

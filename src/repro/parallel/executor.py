@@ -51,9 +51,11 @@ from repro.parallel.schedule import Schedule, ScheduleKind
 from repro.timing import wall_clock
 
 __all__ = [
+    "PoolJob",
     "TaskRunResult",
     "ScheduledExecutor",
     "collect_chunk_results",
+    "drive_pool_steps",
     "normalize_partition",
     "run_scheduled_tasks",
 ]
@@ -119,6 +121,64 @@ def _execute_chunk(
 def _run_chunk(indices: Sequence[int]) -> list[tuple[int, Any, float]]:
     """Execute a chunk inside a forked worker (state read from the globals)."""
     return _execute_chunk(_WORKER_TASK_FN, _WORKER_BATCH_FN, _WORKER_COST_HINT, indices)
+
+
+# --------------------------------------------------------------------------- pool steps
+#
+# Assembly pipelines that *may* run on a persistent WorkerPool are written as
+# generators: master-side work (planning, regrouping, tracing) runs inline,
+# and each pool dispatch is a yielded PoolJob request.  A plain driver
+# (drive_pool_steps) turns a generator back into the blocking call the
+# single-run API exposes, while a multiplexing scheduler (the campaign
+# runner) can interleave the requests of several generators over one pool —
+# cooperative coroutines over an event loop instead of threads, in the
+# non-threaded concurrent style the pool's own loop already follows.
+
+
+@dataclass
+class PoolJob:
+    """One pool-run request yielded by a generator-based assembly pipeline.
+
+    Mirrors the :meth:`~repro.parallel.pool.WorkerPool.run_partition`
+    signature; the generator receives the
+    :class:`TaskRunResult` back at the ``yield``.  The task/batch callables
+    obey the same purity contract as direct dispatch (module-level,
+    closure-free — MSG001).
+    """
+
+    task: Callable[[int], Any]
+    partition: Sequence[Sequence[int]]
+    batch_fn: Callable[[Sequence[int]], list[tuple[int, Any]]] | None = None
+    cost_hint: Any = None
+    label: str = "Pool"
+
+
+def drive_pool_steps(steps, pool) -> Any:
+    """Run a :class:`PoolJob`-yielding generator to completion, blocking.
+
+    Every yielded request executes as one
+    :meth:`~repro.parallel.pool.WorkerPool.run_partition` call on ``pool``
+    and its :class:`TaskRunResult` is sent back into the generator; the
+    generator's return value is returned.  A pipeline that never dispatches
+    (``pool is None`` branches handled inside the generator) simply runs to
+    its ``return``.
+    """
+    try:
+        request = next(steps)
+    except StopIteration as stop:
+        return stop.value
+    while True:
+        outcome = pool.run_partition(
+            request.task,
+            request.partition,
+            batch_fn=request.batch_fn,
+            cost_hint=request.cost_hint,
+            label=request.label,
+        )
+        try:
+            request = steps.send(outcome)
+        except StopIteration as stop:
+            return stop.value
 
 
 # --------------------------------------------------------------------------- results

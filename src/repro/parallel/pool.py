@@ -14,11 +14,23 @@ would amortise the fork+IPC cost of repeated sweeps".
 
 * **spawn-once** — worker processes are forked when the pool is created and
   survive until :meth:`WorkerPool.close` (or the ``with`` block) ends;
-* **task-queue protocol** — each assembly ships its task context (the block
-  task capturing assembler, cluster tree and partition) to the workers once,
-  then dispatches explicit LPT shards exactly like
+* **task-queue protocol** — each run ships its task context (the block task
+  capturing assembler, cluster tree and partition) to the workers once, then
+  dispatches explicit LPT shards exactly like
   :meth:`~repro.parallel.executor.ScheduledExecutor.run_partition`; results
   are folded through the same :func:`~repro.parallel.executor.collect_chunk_results`;
+* **multi-run multiplexing** — :meth:`submit` registers a run and returns a
+  handle without blocking; :meth:`service` advances one step of the event
+  loop (dispatch queued shards, collect replies for *any* in-flight run);
+  :meth:`result` folds a finished run.  Job ids are unique over the pool's
+  lifetime and every reply names its job, so shards of interleaved runs
+  (concurrent campaign structure groups) route to the right run.  Workers
+  hold one task context *per live run* (installed lazily, dropped when the
+  run finishes), and each worker owns **at most one in-flight shard at a
+  time** — dispatch order, per-worker chunk counters and hence the fault
+  coordinates of :class:`~repro.resilience.FaultPlan` stay deterministic for
+  any number of concurrent runs.  :meth:`run_partition` is ``submit`` +
+  drain + ``result``, so single-run callers are unchanged;
 * **resilience policy** (:class:`~repro.resilience.RetryPolicy`) — a worker
   that dies is detected through its broken pipe and respawned (bounded); a
   worker that holds a chunk past ``chunk_timeout`` is SIGKILLed as hung;
@@ -39,7 +51,7 @@ would amortise the fork+IPC cost of repeated sweeps".
   with the identical protocol semantics (used on platforms without ``fork``
   and as the deterministic reference in tests).
 
-All fault handling flows through the single dispatch loop below — no helper
+All fault handling flows through the single event loop below — no helper
 threads, no signal-handler side channels — mirroring the event-driven
 single-loop handling of asynchronous process events in non-threaded CCP
 interpreters: one deterministic place observes deaths, deadlines and
@@ -55,6 +67,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import traceback
+from collections import deque
 from typing import Any, Callable, Sequence
 
 from repro.exceptions import ParallelExecutionError
@@ -107,15 +120,20 @@ def _pool_worker_main(
     Messages from the master (tuples, first element is the kind):
 
     ``("context", seq, task_fn, batch_fn, cost_hint, fault_plan, verify)``
-        Install task context ``seq``; replaces any previous context.  A
-        non-empty ``fault_plan`` arms the deterministic fault injector (once
-        per process — the injector's chunk counter spans every later run).
-        ``verify`` asks for a content checksum on every result payload.
+        Install task context ``seq`` (one per live run; a worker can hold
+        several at once while runs are multiplexed).  ``seq == 0`` clears
+        every held context.  A non-empty ``fault_plan`` arms the
+        deterministic fault injector (once per process — the injector's
+        chunk counter spans every later run).  ``verify`` asks for a content
+        checksum on every result payload of that context.
+    ``("drop", seq)``
+        Forget context ``seq`` (its run finished; other contexts survive).
     ``("run", job_id, seq, indices)``
         Execute one shard chunk under context ``seq`` through the shared
         :func:`~repro.parallel.executor._execute_chunk` and reply
         ``("result", job_id, output, digest)`` — or ``("error", job_id,
-        text)`` when the task raises or the context is stale (a master bug).
+        text)`` when the task raises or the context is unknown (a master
+        bug).
     ``("stop",)``
         Exit the loop.
 
@@ -133,11 +151,7 @@ def _pool_worker_main(
             stale.close()
         except OSError:  # pragma: no cover - already closed
             pass
-    context_seq = -1
-    task_fn: Callable[[int], Any] | None = None
-    batch_fn = None
-    cost_hint = None
-    verify = False
+    contexts: dict[int, tuple[Any, Any, Any, bool]] = {}
     injector: FaultInjector | None = None
     while True:
         try:
@@ -148,20 +162,28 @@ def _pool_worker_main(
         if kind == "stop":
             break
         if kind == "context":
-            _, context_seq, task_fn, batch_fn, cost_hint, fault_plan, verify = message
+            _, seq, task_fn, batch_fn, cost_hint, fault_plan, verify = message
+            if seq == 0:
+                contexts.clear()
+                continue
+            contexts[seq] = (task_fn, batch_fn, cost_hint, verify)
             if injector is None and fault_plan is not None and not fault_plan.is_empty:
                 injector = FaultInjector(fault_plan, worker_id, generation)
+            continue
+        if kind == "drop":
+            contexts.pop(message[1], None)
             continue
         if kind != "run":  # pragma: no cover - defensive
             connection.send(("error", -1, f"unknown message kind {kind!r}"))
             continue
         _, job_id, seq, indices = message
-        if seq != context_seq:
+        context = contexts.get(seq)
+        if context is None:
             connection.send(
-                ("error", job_id, f"worker {worker_id} holds context {context_seq}, "
-                 f"job expects {seq}")
+                ("error", job_id, f"worker {worker_id} does not hold context {seq}")
             )
             continue
+        task_fn, batch_fn, cost_hint, verify = context
         firing = injector.next_chunk() if injector is not None else None
         if firing is not None:
             execute_pre_fault(firing)  # crash/hang faults never return
@@ -180,14 +202,56 @@ def _pool_worker_main(
 
 
 class _WorkerHandle:
-    """One pool worker: its process, pipe and currently installed context."""
+    """One pool worker: its process, pipe and currently installed contexts."""
 
-    __slots__ = ("process", "connection", "context_seq")
+    __slots__ = ("process", "connection", "context_seqs")
 
     def __init__(self, process, connection) -> None:
         self.process = process
         self.connection = connection
-        self.context_seq = -1
+        self.context_seqs: set[int] = set()
+
+
+class _PoolRun:
+    """One in-flight :meth:`WorkerPool.submit` run.
+
+    Callers treat it as an opaque handle: poll :attr:`done` between
+    :meth:`WorkerPool.service` steps, then fold with
+    :meth:`WorkerPool.result`.
+    """
+
+    __slots__ = (
+        "seq",
+        "task",
+        "batch_fn",
+        "cost_hint",
+        "label",
+        "chunks",
+        "indices",
+        "job_ids",
+        "chunk_of",
+        "raw",
+        "error",
+        "done",
+        "started",
+        "wall",
+    )
+
+    def __init__(self, seq, task, batch_fn, cost_hint, label, chunks, indices):
+        self.seq = seq
+        self.task = task
+        self.batch_fn = batch_fn
+        self.cost_hint = cost_hint
+        self.label = label
+        self.chunks = chunks
+        self.indices = indices
+        self.job_ids: list[int] = []
+        self.chunk_of: dict[int, list[int]] = {}
+        self.raw: dict[int, list[tuple[int, Any, float]]] = {}
+        self.error: BaseException | None = None
+        self.done = False
+        self.started = 0.0
+        self.wall = 0.0
 
 
 class WorkerPool:
@@ -255,9 +319,16 @@ class WorkerPool:
         self._spawn_counts = [0] * self.n_workers
         self._disabled: set[int] = set()
         self._context_seq = 0
-        self._context: tuple[Any, Any, Any] | None = None
         self._job_counter = 0
         self._closed = False
+        # Event-loop state shared by every in-flight run.
+        self._runs: dict[int, _PoolRun] = {}
+        self._job_run: dict[int, _PoolRun] = {}
+        self._pending: dict[int, tuple[int, list[int]]] = {}
+        self._slot_job: dict[int, int] = {}
+        self._deadlines: dict[int, float] = {}
+        self._attempts: dict[int, int] = {}
+        self._ready: deque[tuple[int, int | None]] = deque()
         self.tracer = ensure_tracer(tracer)
         # An enabled tracer shares its registry so pool counters land in the
         # same snapshot as the campaign's; the NullTracer singleton's registry
@@ -396,7 +467,6 @@ class WorkerPool:
             except OSError:  # pragma: no cover - already closed
                 pass
         self._workers = [None] * self.n_workers
-        self._context = None
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -444,11 +514,44 @@ class WorkerPool:
         into a :class:`~repro.parallel.executor.TaskRunResult` — but ships the
         task context over the persistent workers' pipes instead of relying on
         fork-time inheritance, so one pool serves any number of assemblies.
-        Shards beyond the active worker count are dispatched round-robin.
-        Worker deaths, hangs and corrupted payloads are recovered per the
-        pool's :class:`~repro.resilience.RetryPolicy`; recoveries are
-        bit-identical to the undisturbed execution because block tasks are
-        pure.
+        Shards beyond the active worker count are queued and dispatched as
+        workers free up.  Worker deaths, hangs and corrupted payloads are
+        recovered per the pool's :class:`~repro.resilience.RetryPolicy`;
+        recoveries are bit-identical to the undisturbed execution because
+        block tasks are pure.
+
+        Equivalent to :meth:`submit` + :meth:`service` until done +
+        :meth:`result`; use those directly to multiplex several runs over
+        one pool.
+        """
+        run = self.submit(
+            task, partition, batch_fn=batch_fn, cost_hint=cost_hint, label=label
+        )
+        while not run.done:
+            self.service()
+        return self.result(run)
+
+    def submit(
+        self,
+        task: Callable[[int], Any],
+        partition: Sequence[Sequence[int]],
+        batch_fn: Callable[[Sequence[int]], list[tuple[int, Any]]] | None = None,
+        cost_hint: Any = None,
+        label: str = "Pool",
+    ) -> _PoolRun:
+        """Register a run and queue its shards; returns without blocking.
+
+        The returned handle's ``done`` flag flips once every shard has been
+        collected (drive the loop with :meth:`service`); fold it with
+        :meth:`result`.  The serial backend executes inline, so the handle
+        comes back already done.
+
+        Shard ``position`` of every run prefers worker slot ``position %
+        len(active)`` and **waits for that slot** rather than stealing an
+        idle one: per-worker chunk order (and with it the fault-injection
+        coordinates and :class:`~repro.resilience.PoolHealth` counters) is a
+        function of submit order alone, never of completion timing — the
+        determinism contract for multiplexed runs.
         """
         if self._closed:
             raise ParallelExecutionError("the worker pool is closed")
@@ -456,62 +559,218 @@ class WorkerPool:
         self.metrics.inc("pool.runs")
         self.metrics.inc("pool.chunks_dispatched", len(chunks))
         self.metrics.inc("pool.tasks_executed", len(indices))
-        start = wall_clock()
-        self._run_start = start
+        self._context_seq += 1
+        run = _PoolRun(self._context_seq, task, batch_fn, cost_hint, label, chunks, indices)
+        run.started = wall_clock()
+        self._run_start = run.started
+        for chunk in chunks:
+            job_id = self._job_counter
+            self._job_counter += 1
+            run.job_ids.append(job_id)
+            run.chunk_of[job_id] = chunk
 
         if self.backend == "serial":
-            raw = [_execute_chunk(task, batch_fn, cost_hint, chunk) for chunk in chunks]
-        else:
-            raw = self._run_process_chunks(task, batch_fn, cost_hint, chunks)
+            for job_id, chunk in zip(run.job_ids, run.chunks):
+                run.raw[job_id] = _execute_chunk(task, batch_fn, cost_hint, chunk)
+            run.done = True
+            run.wall = wall_clock() - run.started
+            return run
 
-        wall = wall_clock() - start
+        self._runs[run.seq] = run
+        active = self.active_slots()
+        for position, job_id in enumerate(run.job_ids):
+            self._job_run[job_id] = run
+            preferred = active[position % len(active)] if active else None
+            self._ready.append((job_id, preferred))
+        try:
+            self._pump()
+        except BaseException:
+            self._abort_all()
+            raise
+        return run
+
+    def service(self, timeout: float = _POLL_SECONDS) -> None:
+        """Advance the event loop once: dispatch queued shards, collect replies.
+
+        Waits up to ``timeout`` seconds for any in-flight worker to become
+        readable, then drains ready replies, expires chunk deadlines and
+        recovers dead workers.  Safe to call with nothing in flight (returns
+        immediately).  All recovery (retry, respawn, degradation) happens
+        here and in the dispatch path it triggers — callers multiplexing
+        several runs just loop ``service()`` until their handles are done.
+        """
+        if self._closed or self.backend == "serial":
+            return
+        try:
+            self._pump()
+            if not self._pending:
+                return
+            connections: dict[Any, int] = {}
+            for slot in self._slot_job:
+                handle = self._workers[slot]
+                if handle is not None:
+                    connections[handle.connection] = slot
+            ready = (
+                wait_readable(list(connections), timeout=timeout)
+                if connections
+                else []
+            )
+            self._expire_deadlines()
+            if not ready:
+                self._recover_dead_workers()
+            for connection in ready:
+                slot = connections[connection]
+                handle = self._workers[slot]
+                if handle is None or handle.connection is not connection:
+                    continue  # the slot was recycled while draining `ready`
+                try:
+                    message = recv_ready(connection)
+                except (EOFError, OSError):
+                    self._fail_slot_job(slot, "worker_died")
+                    continue
+                self._handle_message(slot, message)
+            self._pump()
+        except BaseException:
+            # Whatever aborted the loop (a task error re-raised by a caller,
+            # an exhausted budget, an interrupt), workers still owning shards
+            # must be replaced before the error propagates — see _fail_run.
+            self._abort_all()
+            raise
+
+    def result(self, run: _PoolRun) -> TaskRunResult:
+        """Fold a finished run into a :class:`~repro.parallel.executor.TaskRunResult`.
+
+        Raises the run's stored error when it failed (same exceptions
+        :meth:`run_partition` would raise), or
+        :class:`~repro.exceptions.ParallelExecutionError` when the run is
+        still in flight.
+        """
+        if not run.done:
+            raise ParallelExecutionError("pool run is still in flight")
+        if run.error is not None:
+            raise run.error
+        raw = [run.raw[job_id] for job_id in run.job_ids]
         return collect_chunk_results(
             raw,
-            indices,
-            wall,
-            len(chunks),
+            run.indices,
+            run.wall,
+            len(run.chunks),
             self.n_workers,
-            f"{label},{len(chunks)}",
+            f"{run.label},{len(run.chunks)}",
             f"pool-{self.backend}",
         )
 
     # ------------------------------------------------------------------ process internals
 
-    def _install_context(self, handle: _WorkerHandle) -> None:
-        """Ship the current task context to one worker (if not already held)."""
-        if handle.context_seq == self._context_seq:
+    def _install_context(self, handle: _WorkerHandle, run: _PoolRun) -> None:
+        """Ship one run's task context to one worker (if not already held)."""
+        if run.seq in handle.context_seqs:
             return
-        task, batch_fn, cost_hint = self._context  # type: ignore[misc]
         handle.connection.send(
             (
                 "context",
-                self._context_seq,
-                task,
-                batch_fn,
-                cost_hint,
+                run.seq,
+                run.task,
+                run.batch_fn,
+                run.cost_hint,
                 self.fault_plan,
                 self.retry.verify_payloads,
             )
         )
-        handle.context_seq = self._context_seq
+        handle.context_seqs.add(run.seq)
         self.metrics.inc("pool.contexts_shipped")
 
-    def _serial_chunk(self, chunk: list[int]) -> list[tuple[int, Any, float]]:
+    def _serial_chunk(self, run: _PoolRun, chunk: list[int]) -> list[tuple[int, Any, float]]:
         """Execute one shard in the master (bottom of the degradation ladder).
 
         Runs the exact :func:`~repro.parallel.executor._execute_chunk` path a
         worker would, so a degraded chunk is bit-identical to the parallel
         one.
         """
-        task, batch_fn, cost_hint = self._context  # type: ignore[misc]
-        return _execute_chunk(task, batch_fn, cost_hint, chunk)
+        return _execute_chunk(run.task, run.batch_fn, run.cost_hint, chunk)
 
-    def _dispatch(self, slot: int, job_id: int, chunk: list[int]) -> bool:
+    def _pick_slot(self, preferred: int | None, active: list[int]) -> int | None:
+        """Choose the worker for a queued shard, or ``None`` to keep waiting.
+
+        An enabled ``preferred`` slot is honoured even while busy (wait, do
+        not steal) — see :meth:`submit` for why; a disabled or absent
+        preference takes the first idle active slot.
+        """
+        idle = [slot for slot in active if slot not in self._slot_job]
+        if not idle:
+            return None
+        if preferred is not None and preferred not in self._disabled:
+            return preferred if preferred in idle else None
+        return idle[0]
+
+    def _pump(self) -> None:
+        """Dispatch every queued shard whose worker is free (FIFO scan).
+
+        Shards blocked on a busy preferred slot stay queued; shards with no
+        active slot left fall to the degradation ladder (serial in the
+        master, or fail the run under ``degrade="raise"``).
+        """
+        if not self._ready:
+            return
+        remaining: deque[tuple[int, int | None]] = deque()
+        while self._ready:
+            job_id, preferred = self._ready.popleft()
+            run = self._job_run.get(job_id)
+            if run is None:
+                continue  # its run already failed; the entry is stale
+            active = self.active_slots()
+            if not active:
+                if self.retry.degrade == "raise":
+                    self._fail_run(
+                        run, ParallelExecutionError("no active pool workers left")
+                    )
+                    continue
+                chunk = run.chunk_of[job_id]
+                self.health.bump(
+                    "serial_fallback_chunks", job=job_id, reason="no_active_workers"
+                )
+                self._trace_event(
+                    "pool.serial_fallback", job=job_id, reason="no_active_workers"
+                )
+                try:
+                    output = self._serial_chunk(run, chunk)
+                except Exception as error:
+                    self._fail_run(run, error)
+                    continue
+                self._record_result(run, job_id, output)
+                continue
+            slot = self._pick_slot(preferred, active)
+            if slot is None:
+                remaining.append((job_id, preferred))
+                continue
+            # Bookkeeping lands before the dispatch: a budget-exhaustion
+            # raise inside must leave the job pending so _fail_run replaces
+            # the slot that owned it, keeping the pool reusable.
+            self._pending[job_id] = (slot, run.chunk_of[job_id])
+            self._slot_job[slot] = job_id
+            try:
+                dispatched = self._dispatch(slot, job_id, run)
+            except ParallelExecutionError as error:
+                self._fail_run(run, error)
+                continue
+            if not dispatched:
+                # The dispatch disabled the slot; requeue with no preference.
+                self._pending.pop(job_id, None)
+                if self._slot_job.get(slot) == job_id:
+                    del self._slot_job[slot]
+                self._ready.append((job_id, None))
+                continue
+            if self.retry.chunk_timeout is not None:
+                self._deadlines[job_id] = wall_clock() + self.retry.chunk_timeout
+        self._ready = remaining
+
+    def _dispatch(self, slot: int, job_id: int, run: _PoolRun) -> bool:
         """Send one shard to one worker, respawning through send failures.
 
         Returns ``False`` when the slot got disabled instead (the caller must
         route the shard elsewhere).
         """
+        chunk = run.chunk_of[job_id]
         while True:
             if slot in self._disabled:
                 return False
@@ -521,8 +780,8 @@ class WorkerPool:
                 if handle is None:
                     return False
             try:
-                self._install_context(handle)
-                handle.connection.send(("run", job_id, self._context_seq, chunk))
+                self._install_context(handle, run)
+                handle.connection.send(("run", job_id, run.seq, chunk))
                 self._trace_event("pool.dispatch", slot=slot, job=job_id, tasks=len(chunk))
                 return True
             except (BrokenPipeError, OSError):
@@ -531,110 +790,140 @@ class WorkerPool:
                 handle.process.join(timeout=self.shutdown_grace)
                 continue  # _respawn_or_disable picks it up on the next pass
 
-    def _assign(
-        self,
-        job_id: int,
-        chunk: list[int],
-        pending: dict[int, tuple[int, list[int]]],
-        deadlines: dict[int, float],
-        preferred: int | None = None,
-    ) -> bool:
-        """Dispatch a shard to an active slot (preferring ``preferred``).
+    def _release_job(self, job_id: int) -> None:
+        """Drop one job's in-flight bookkeeping (its slot becomes idle)."""
+        entry = self._pending.pop(job_id, None)
+        if entry is not None and self._slot_job.get(entry[0]) == job_id:
+            del self._slot_job[entry[0]]
+        self._deadlines.pop(job_id, None)
 
-        Returns ``False`` when no active slot is left — the caller falls back
-        to serial execution.
-        """
-        slot = preferred
-        while True:
-            active = self.active_slots()
-            if not active:
-                pending.pop(job_id, None)
-                deadlines.pop(job_id, None)
-                return False
-            if slot is None or slot in self._disabled:
-                slot = active[job_id % len(active)]
-            pending[job_id] = (slot, chunk)
-            if self._dispatch(slot, job_id, chunk):
-                if self.retry.chunk_timeout is not None:
-                    deadlines[job_id] = wall_clock() + self.retry.chunk_timeout
-                return True
-            slot = None  # the dispatch disabled the slot; pick another
+    def _record_result(self, run: _PoolRun, job_id: int, output) -> None:
+        """Fold one shard's payload; finish the run when it was the last."""
+        run.raw[job_id] = output
+        if len(run.raw) == len(run.job_ids):
+            run.done = True
+            run.wall = wall_clock() - run.started
+            self._runs.pop(run.seq, None)
+            for finished in run.job_ids:
+                self._job_run.pop(finished, None)
+                self._attempts.pop(finished, None)
+            self._drop_context(run.seq)
 
-    def _assign_or_serial(
-        self,
-        job_id: int,
-        chunk: list[int],
-        pending: dict[int, tuple[int, list[int]]],
-        deadlines: dict[int, float],
-        raw: dict[int, list[tuple[int, Any, float]]],
-        preferred: int | None = None,
-    ) -> None:
-        if self._assign(job_id, chunk, pending, deadlines, preferred=preferred):
+    def _handle_message(self, slot: int, message: tuple) -> None:
+        """Route one worker reply: result, corrupt rejection or task error."""
+        kind = message[0]
+        job_id = message[1]
+        entry = self._pending.get(job_id)
+        if entry is None or entry[0] != slot:
+            return  # stale payload from an aborted earlier run
+        run = self._job_run[job_id]
+        if kind == "error":
+            # The reporting worker is healthy and idle again; only workers
+            # still *holding* shards of the failed run get replaced.
+            self._release_job(job_id)
+            self._fail_run(
+                run,
+                ParallelExecutionError(f"pool worker {slot} failed:\n{message[2]}"),
+            )
             return
-        if self.retry.degrade == "raise":  # pragma: no cover - raise mode aborts earlier
-            raise ParallelExecutionError("no active pool workers left")
-        self.health.bump("serial_fallback_chunks", job=job_id, reason="no_active_workers")
-        self._trace_event("pool.serial_fallback", job=job_id, reason="no_active_workers")
-        raw[job_id] = self._serial_chunk(chunk)
+        output, digest = message[2], message[3]
+        if digest is not None and payload_checksum(output) != digest:
+            self.health.bump("corrupt_rejections", job=job_id, slot=slot)
+            self._trace_event("pool.corrupt", job=job_id, slot=slot)
+            self._fail_job(job_id, "corrupt_payload")
+            return
+        self._trace_event("pool.result", job=job_id, slot=slot)
+        self._release_job(job_id)
+        self._record_result(run, job_id, output)
 
-    def _fail_job(
-        self,
-        job_id: int,
-        pending: dict[int, tuple[int, list[int]]],
-        deadlines: dict[int, float],
-        attempts: dict[int, int],
-        raw: dict[int, list[tuple[int, Any, float]]],
-        reason: str,
-    ) -> None:
+    def _fail_job(self, job_id: int, reason: str) -> None:
         """One chunk failed (death, hang, corruption): retry or degrade.
 
-        Retries are re-dispatched to the failed slot after the policy's
+        Retries are requeued toward the failed slot after the policy's
         deterministic backoff; a chunk out of retries is executed serially in
-        the master (``degrade="serial"``) or aborts the run (``"raise"``).
+        the master (``degrade="serial"``) or fails its run (``"raise"``).
         """
-        slot, chunk = pending[job_id]
-        attempts[job_id] = attempts.get(job_id, 0) + 1
-        failures = attempts[job_id]
+        entry = self._pending.get(job_id)
+        if entry is None:
+            return
+        slot, chunk = entry
+        run = self._job_run[job_id]
+        self._attempts[job_id] = self._attempts.get(job_id, 0) + 1
+        failures = self._attempts[job_id]
         if failures > self.retry.max_retries:
             if self.retry.degrade == "raise":
-                # The job stays pending so _abort_outstanding replaces the
-                # worker that owned it, keeping the pool reusable.
-                raise ParallelExecutionError(
-                    f"pool shard (job {job_id}) failed {failures} times "
-                    f"(last reason: {reason}); retry budget "
-                    f"({self.retry.max_retries}) exhausted"
+                # The job stays pending so _fail_run replaces the worker
+                # that owned it, keeping the pool reusable.
+                self._fail_run(
+                    run,
+                    ParallelExecutionError(
+                        f"pool shard (job {job_id}) failed {failures} times "
+                        f"(last reason: {reason}); retry budget "
+                        f"({self.retry.max_retries}) exhausted"
+                    ),
                 )
-            del pending[job_id]
-            deadlines.pop(job_id, None)
+                return
+            self._release_job(job_id)
             self.health.bump("serial_fallback_chunks", job=job_id, reason=reason)
             self._trace_event("pool.serial_fallback", job=job_id, reason=reason)
-            raw[job_id] = self._serial_chunk(chunk)
+            try:
+                output = self._serial_chunk(run, chunk)
+            except Exception as error:
+                self._fail_run(run, error)
+                return
+            self._record_result(run, job_id, output)
             return
-        del pending[job_id]
-        deadlines.pop(job_id, None)
+        self._release_job(job_id)
         self.health.bump("retries", job=job_id, slot=slot, reason=reason, attempt=failures)
         self._trace_event(
             "pool.retry", job=job_id, slot=slot, reason=reason, attempt=failures
         )
         pause(self.retry.backoff_delay(failures - 1))
-        self._assign_or_serial(job_id, chunk, pending, deadlines, raw, preferred=slot)
+        self._ready.appendleft((job_id, slot))
 
-    def _fail_slot_jobs(
-        self,
-        slot: int,
-        pending: dict[int, tuple[int, list[int]]],
-        deadlines: dict[int, float],
-        attempts: dict[int, int],
-        raw: dict[int, list[tuple[int, Any, float]]],
-        reason: str,
-    ) -> None:
-        """Fail every outstanding shard owned by one lost worker (job order)."""
-        owned = sorted(
-            job_id for job_id, (owner, _) in pending.items() if owner == slot
-        )
-        for job_id in owned:
-            if job_id in pending:
-                self._fail_job(job_id, pending, deadlines, attempts, raw, reason)
+    def _fail_run(self, run: _PoolRun, error: BaseException) -> None:
+        """Fail one run: purge its jobs and replace workers still holding them.
+
+        A failed run abandons its outstanding shards; their workers would
+        eventually block sending large results nobody reads, and a later
+        run's blocking context send to such a worker would deadlock.  Fresh
+        workers keep the pool serving its *other* in-flight runs and later
+        submissions.  These are deliberate replacements, not crash
+        recoveries, so they bypass the respawn budget (disabled slots stay
+        disabled).
+        """
+        if run.done:
+            return
+        run.error = error
+        run.done = True
+        run.wall = wall_clock() - run.started
+        self._runs.pop(run.seq, None)
+        owner_slots: set[int] = set()
+        for job_id in run.job_ids:
+            entry = self._pending.pop(job_id, None)
+            if entry is not None:
+                owner_slots.add(entry[0])
+                if self._slot_job.get(entry[0]) == job_id:
+                    del self._slot_job[entry[0]]
+            self._deadlines.pop(job_id, None)
+            self._attempts.pop(job_id, None)
+            self._job_run.pop(job_id, None)
+        if self._ready:
+            self._ready = deque(
+                item for item in self._ready if item[0] in self._job_run
+            )
+        for slot in sorted(owner_slots):
+            if slot in self._disabled:
+                continue
+            self._retire_handle(slot)
+            self._spawn(slot)
+        self._drop_context(run.seq)
+
+    def _fail_slot_job(self, slot: int, reason: str) -> None:
+        """Fail the shard owned by one lost worker (at most one per slot)."""
+        job_id = self._slot_job.get(slot)
+        if job_id is not None and job_id in self._pending:
+            self._fail_job(job_id, reason)
 
     def _kill_hung_worker(self, slot: int) -> None:
         """SIGKILL a worker that held a chunk past its deadline."""
@@ -646,173 +935,70 @@ class WorkerPool:
             handle.process.kill()
         handle.process.join(timeout=self.shutdown_grace)
 
-    def _run_process_chunks(
-        self, task, batch_fn, cost_hint, chunks: list[list[int]]
-    ) -> list[list[tuple[int, Any, float]]]:
-        # A new run means a new context: the task captures the assembly state
-        # of *this* call, so workers must never reuse a previous one.
-        self._context_seq += 1
-        self._context = (task, batch_fn, cost_hint)
-
-        # Job ids are unique over the pool's lifetime: a run aborted by an
-        # error may leave results of old jobs in the pipes, and those must
-        # never be mistaken for this run's shards.
-        job_order: list[int] = []
-        pending: dict[int, tuple[int, list[int]]] = {}
-        deadlines: dict[int, float] = {}
-        attempts: dict[int, int] = {}
-        raw: dict[int, list[tuple[int, Any, float]]] = {}
-        try:
-            active = self.active_slots()
-            for position, chunk in enumerate(chunks):
-                job_id = self._job_counter
-                self._job_counter += 1
-                job_order.append(job_id)
-                preferred = active[position % len(active)] if active else None
-                self._assign_or_serial(
-                    job_id, chunk, pending, deadlines, raw, preferred=preferred
-                )
-
-            while pending:
-                connections: dict[Any, int] = {}
-                for slot in {owner for owner, _ in pending.values()}:
-                    handle = self._workers[slot]
-                    if handle is not None:
-                        connections[handle.connection] = slot
-                ready = (
-                    wait_readable(list(connections), timeout=_POLL_SECONDS)
-                    if connections
-                    else []
-                )
-                self._expire_deadlines(pending, deadlines, attempts, raw)
-                if not ready:
-                    self._recover_dead_workers(pending, deadlines, attempts, raw)
-                    continue
-                for connection in ready:
-                    slot = connections[connection]
-                    handle = self._workers[slot]
-                    if handle is None or handle.connection is not connection:
-                        continue  # the slot was recycled while draining `ready`
-                    try:
-                        message = recv_ready(connection)
-                    except (EOFError, OSError):
-                        self._fail_slot_jobs(
-                            slot, pending, deadlines, attempts, raw, "worker_died"
-                        )
-                        continue
-                    kind = message[0]
-                    job_id = message[1]
-                    if job_id not in pending:
-                        continue  # stale payload from an aborted earlier run
-                    if kind == "error":
-                        del pending[job_id]
-                        deadlines.pop(job_id, None)
-                        raise ParallelExecutionError(
-                            f"pool worker {slot} failed:\n{message[2]}"
-                        )
-                    output, digest = message[2], message[3]
-                    if digest is not None and payload_checksum(output) != digest:
-                        self.health.bump("corrupt_rejections", job=job_id, slot=slot)
-                        self._trace_event("pool.corrupt", job=job_id, slot=slot)
-                        self._fail_job(
-                            job_id, pending, deadlines, attempts, raw, "corrupt_payload"
-                        )
-                        continue
-                    raw[job_id] = output
-                    del pending[job_id]
-                    deadlines.pop(job_id, None)
-                    self._trace_event("pool.result", job=job_id, slot=slot)
-        except BaseException:
-            # Whatever aborted the run (a task error, an exhausted budget,
-            # an interrupt), workers still owning shards must be replaced
-            # before the error propagates — see _abort_outstanding.
-            self._abort_outstanding(pending)
-            raise
-        self._context = None
-        self._clear_worker_contexts()
-        return [raw[job_id] for job_id in job_order]
-
-    def _expire_deadlines(
-        self,
-        pending: dict[int, tuple[int, list[int]]],
-        deadlines: dict[int, float],
-        attempts: dict[int, int],
-        raw: dict[int, list[tuple[int, Any, float]]],
-    ) -> None:
+    def _expire_deadlines(self) -> None:
         """Kill workers holding chunks past their deadline; retry the chunks."""
         now = wall_clock()
         expired = sorted(
             job_id
-            for job_id, deadline in deadlines.items()
-            if deadline <= now and job_id in pending
+            for job_id, deadline in self._deadlines.items()
+            if deadline <= now and job_id in self._pending
         )
         for job_id in expired:
-            if job_id not in pending:
-                continue  # failed alongside an earlier expiry on the same slot
-            if deadlines.get(job_id, now + 1.0) > now:
+            if job_id not in self._pending:
+                continue  # failed alongside an earlier expiry
+            if self._deadlines.get(job_id, now + 1.0) > now:
                 continue  # re-dispatched meanwhile: a fresh deadline applies
-            slot, _ = pending[job_id]
+            slot, _ = self._pending[job_id]
             self.health.bump("chunk_timeouts", job=job_id, slot=slot)
             self._trace_event("pool.timeout", job=job_id, slot=slot)
             self._kill_hung_worker(slot)
-            self._fail_slot_jobs(
-                slot, pending, deadlines, attempts, raw, "chunk_timeout"
-            )
+            self._fail_slot_job(slot, "chunk_timeout")
 
-    def _clear_worker_contexts(self) -> None:
-        """Tell workers to drop the finished run's task context.
+    def _recover_dead_workers(self) -> None:
+        """Fail the shards of workers that died while owning them."""
+        for slot in sorted(self._slot_job):
+            handle = self._workers[slot]
+            if handle is None or not handle.process.is_alive():
+                self._fail_slot_job(slot, "worker_died")
+
+    def _drop_context(self, seq: int) -> None:
+        """Tell workers to forget a finished run's task context.
 
         The context captures a whole assembly (assembler arrays, cluster
-        tree); without the clear message every idle worker would pin that
-        footprint until the next run ships a replacement.  Sequence 0 is
-        never a real context id (``_context_seq`` pre-increments from 0), so
-        a stale ``run`` message can never match a cleared slot.
+        tree); without the drop every idle worker would pin that footprint
+        until the pool closes.  With no other run in flight the cheaper
+        clear-all message resets every worker instead.  Sequence 0 is never
+        a real context id (``_context_seq`` pre-increments from 0), so a
+        stale ``run`` message can never match a cleared slot.
         """
+        if not self._runs:
+            self._clear_worker_contexts()
+            return
         for handle in self._workers:
-            if handle is None or handle.context_seq <= 0:
+            if handle is None or seq not in handle.context_seqs:
+                continue
+            try:
+                handle.connection.send(("drop", seq))
+            except (BrokenPipeError, OSError):
+                pass  # dead worker: lazily respawned at the next dispatch
+            handle.context_seqs.discard(seq)
+
+    def _clear_worker_contexts(self) -> None:
+        """Clear every held context on every worker (no run in flight)."""
+        for handle in self._workers:
+            if handle is None or not handle.context_seqs:
                 continue
             try:
                 handle.connection.send(("context", 0, None, None, None, None, False))
-                handle.context_seq = 0
             except (BrokenPipeError, OSError):
                 pass  # dead worker: lazily respawned at the next dispatch
+            handle.context_seqs.clear()
 
-    def _abort_outstanding(self, pending: dict[int, tuple[int, list[int]]]) -> None:
-        """Replace every worker still owning shards of a failed run.
-
-        A raising run abandons its outstanding shards; their workers would
-        eventually block sending large results nobody reads, and the next
-        run's blocking context send to such a worker would deadlock.  Fresh
-        workers keep the pool reusable after the error propagates.  These are
-        deliberate replacements, not crash recoveries, so they bypass the
-        respawn budget (disabled slots stay disabled).
-        """
-        for slot in {slot for slot, _ in pending.values()}:
-            if slot in self._disabled:
-                continue
-            self._retire_handle(slot)
-            self._spawn(slot)
-        pending.clear()
-        self._context = None
-        # Workers that survived the abort (error reporters, finished shards)
-        # still hold the shipped context; drop it so an idle pool does not
-        # pin an assembly's footprint per worker between campaigns.
-        self._clear_worker_contexts()
-
-    def _recover_dead_workers(
-        self,
-        pending: dict[int, tuple[int, list[int]]],
-        deadlines: dict[int, float],
-        attempts: dict[int, int],
-        raw: dict[int, list[tuple[int, Any, float]]],
-    ) -> None:
-        """Fail the shards of workers that died while owning them."""
-        for slot in sorted({owner for owner, _ in pending.values()}):
-            handle = self._workers[slot]
-            if handle is None or not handle.process.is_alive():
-                self._fail_slot_jobs(
-                    slot, pending, deadlines, attempts, raw, "worker_died"
-                )
+    def _abort_all(self) -> None:
+        """Fail every in-flight run (an exception is propagating past the loop)."""
+        for run in list(self._runs.values()):
+            self._fail_run(run, ParallelExecutionError("pool run aborted"))
+        self._ready.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -104,12 +104,14 @@ class TestCampaignOnPool:
             clean = run_campaign(campaign, pool=pool)
 
         flag = tmp_path / "killed.flag"
-        original = WorkerPool.run_partition
+        original = WorkerPool.submit
 
-        def killing_run_partition(self, task, partition, batch_fn=None, cost_hint=None,
-                                  label="Pool"):
+        def killing_submit(self, task, partition, batch_fn=None, cost_hint=None,
+                           label="Pool"):
             # Route every block through the task function (no batch fn) so the
             # kill wrapper sees each index; results are identical either way.
+            # submit is the single dispatch entry (run_partition wraps it), so
+            # both the blocking and the multiplexing runner paths are covered.
             return original(
                 self,
                 KillOnce(task, str(flag)),
@@ -119,7 +121,7 @@ class TestCampaignOnPool:
                 label=label,
             )
 
-        monkeypatch.setattr(WorkerPool, "run_partition", killing_run_partition)
+        monkeypatch.setattr(WorkerPool, "submit", killing_submit)
         with WorkerPool(2) as pool:
             disturbed = run_campaign(campaign, pool=pool)
             respawns = pool.stats["respawns"]

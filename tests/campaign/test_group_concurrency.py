@@ -1,0 +1,319 @@
+"""Concurrent structure-group execution: bit-identity for any concurrency.
+
+The tentpole contract of the multiplexed campaign runner: for any
+``group_concurrency`` the results, the checkpoint store contents, the pool
+counters and the canonical trace projection are identical to the sequential
+run — groups commit in the plan's canonical order regardless of completion
+timing — and the contract survives injected worker crashes and a SIGKILL'd
+master resumed from its checkpoint.  Alongside ride the runner lifecycle
+fixes: no pool leak on checkpoint errors, checkpoint failures labelled with
+the ``"restore"`` stage, and borrowed-pool statistics reported as
+per-campaign deltas.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    Campaign,
+    CampaignCheckpoint,
+    GeometryVariant,
+    ScenarioSpec,
+    run_campaign,
+)
+from repro.cluster import HierarchicalControl
+from repro.exceptions import CheckpointError, ReproError
+from repro.observe import Tracer, canonical_trace_text
+from repro.parallel.pool import WorkerPool
+from repro.resilience import FaultPlan, RetryPolicy
+from repro.soil.two_layer import TwoLayerSoil
+from repro.soil.uniform import UniformSoil
+
+G1 = GeometryVariant(name="g1", width=24.0, height=24.0, nx=4, ny=4)
+G2 = GeometryVariant(name="g2", width=30.0, height=18.0, nx=5, ny=3)
+SOIL = TwoLayerSoil(0.005, 0.016, 1.0)
+
+#: The test campaign's structure groups: {base, hot, wet} share one assembly
+#: (same geometry, base soil and tolerance), {uni}, {b2} and {u2} are their
+#: own — four groups over two geometry variants.
+N_GROUPS = 4
+
+
+def _campaign(**overrides) -> Campaign:
+    settings = dict(
+        name="gc",
+        scenarios=(
+            ScenarioSpec(name="base", geometry=G1, soil=SOIL),
+            ScenarioSpec(name="hot", geometry=G1, soil=SOIL, gpr=15_000.0),
+            ScenarioSpec(name="wet", geometry=G1, soil=SOIL, soil_scale=1.25),
+            ScenarioSpec(name="uni", geometry=G1, soil=UniformSoil(0.01)),
+            ScenarioSpec(name="b2", geometry=G2, soil=SOIL),
+            ScenarioSpec(name="u2", geometry=G2, soil=UniformSoil(0.02)),
+        ),
+        hierarchical=HierarchicalControl(leaf_size=8),
+        solver_tolerance=1.0e-12,
+        assess_safety=False,
+    )
+    settings.update(overrides)
+    return Campaign(**settings)
+
+
+def _assert_deterministic_fields_equal(one, two) -> None:
+    """The scenario payload minus wall-clock timings, byte for byte."""
+    assert [r.name for r in one.scenarios] == [r.name for r in two.scenarios]
+    for a, b in zip(one.scenarios, two.scenarios):
+        assert a.dof_values.tobytes() == b.dof_values.tobytes()
+        assert a.equivalent_resistance == b.equivalent_resistance
+        assert a.total_current == b.total_current
+        assert a.solver_iterations == b.solver_iterations
+        assert a.n_dofs == b.n_dofs
+        assert a.kind == b.kind and a.base_name == b.base_name
+
+
+class TestGroupConcurrencyDeterminism:
+    @pytest.fixture(scope="class")
+    def runs(self, tmp_path_factory):
+        """The same campaign at group_concurrency 1, 2 and 4 on 2 workers."""
+        out = {}
+        for concurrency in (1, 2, 4):
+            path = tmp_path_factory.mktemp(f"gc{concurrency}") / "campaign.ckpt"
+            tracer = Tracer()
+            with WorkerPool(2) as pool:
+                result = run_campaign(
+                    _campaign(),
+                    pool=pool,
+                    checkpoint=path,
+                    tracer=tracer,
+                    group_concurrency=concurrency,
+                )
+            tracer.finalize()
+            out[concurrency] = (result, tracer, CampaignCheckpoint(path))
+        return out
+
+    def test_results_bit_identical(self, runs):
+        reference = runs[1][0]
+        for concurrency in (2, 4):
+            _assert_deterministic_fields_equal(runs[concurrency][0], reference)
+
+    def test_canonical_trace_byte_identical(self, runs):
+        reference = canonical_trace_text(runs[1][1].roots)
+        for concurrency in (2, 4):
+            assert canonical_trace_text(runs[concurrency][1].roots) == reference
+
+    def test_checkpoint_stores_identical(self, runs):
+        reference = runs[1][2]
+        assert reference.n_groups == N_GROUPS
+        for concurrency in (2, 4):
+            store = runs[concurrency][2]
+            assert set(store._groups) == set(reference._groups)
+            for key, expected in reference._groups.items():
+                stored = store._groups[key]
+                assert [r.name for r in stored] == [r.name for r in expected]
+                for a, b in zip(stored, expected):
+                    assert a.dof_values.tobytes() == b.dof_values.tobytes()
+                    assert a.equivalent_resistance == b.equivalent_resistance
+
+    def test_pool_counters_identical(self, runs):
+        reference = runs[1][0].cache_stats["pool"]
+        assert reference["runs"] == N_GROUPS  # one sharded assembly per group
+        for concurrency in (2, 4):
+            assert runs[concurrency][0].cache_stats["pool"] == reference
+
+    def test_group_accounting_identical(self, runs):
+        for concurrency in (1, 2, 4):
+            result = runs[concurrency][0]
+            assert result.metadata["checkpoint"]["computed_groups"] == N_GROUPS
+            assert result.metadata["checkpoint"]["restored_groups"] == 0
+            assert not result.is_partial
+
+
+class TestGroupConcurrencyUnderFaults:
+    def test_crash_recovery_bit_identical_across_concurrency(self):
+        clean = run_campaign(_campaign(), workers=2)
+        counters = {}
+        for concurrency in (1, 2):
+            result = run_campaign(
+                _campaign(),
+                workers=2,
+                fault_plan=FaultPlan.single(0, 0, "crash"),
+                retry=RetryPolicy(backoff_base=0.01),
+                group_concurrency=concurrency,
+            )
+            assert not result.is_partial
+            stats = result.cache_stats["pool"]
+            assert stats["respawns"] >= 1
+            assert stats["retries"] >= 1
+            counters[concurrency] = stats
+            _assert_deterministic_fields_equal(result, clean)
+        # The fault fires at the same (worker, chunk) coordinate whatever the
+        # concurrency (shards are pinned by submit order), so the recovery
+        # counters agree too.
+        assert counters[1] == counters[2]
+
+    def test_sigkill_resume_with_concurrent_groups(self, tmp_path):
+        """SIGKILL the master mid-campaign at group_concurrency=2; the resumed
+        concurrent run restores the committed canonical prefix and recomputes
+        only the rest, bit-identical to a clean run."""
+        path = tmp_path / "campaign.ckpt"
+        script = tmp_path / "killed_campaign.py"
+        script.write_text(textwrap.dedent(
+            """
+            import os
+            import signal
+
+            from repro.campaign import checkpoint as checkpoint_module
+            from repro.campaign import (
+                Campaign, GeometryVariant, ScenarioSpec, run_campaign
+            )
+            from repro.cluster import HierarchicalControl
+            from repro.soil.two_layer import TwoLayerSoil
+            from repro.soil.uniform import UniformSoil
+
+            G1 = GeometryVariant(name="g1", width=24.0, height=24.0, nx=4, ny=4)
+            G2 = GeometryVariant(name="g2", width=30.0, height=18.0, nx=5, ny=3)
+            SOIL = TwoLayerSoil(0.005, 0.016, 1.0)
+            campaign = Campaign(
+                name="gc",
+                scenarios=(
+                    ScenarioSpec(name="base", geometry=G1, soil=SOIL),
+                    ScenarioSpec(name="hot", geometry=G1, soil=SOIL, gpr=15_000.0),
+                    ScenarioSpec(name="wet", geometry=G1, soil=SOIL, soil_scale=1.25),
+                    ScenarioSpec(name="uni", geometry=G1, soil=UniformSoil(0.01)),
+                    ScenarioSpec(name="b2", geometry=G2, soil=SOIL),
+                    ScenarioSpec(name="u2", geometry=G2, soil=UniformSoil(0.02)),
+                ),
+                hierarchical=HierarchicalControl(leaf_size=8),
+                solver_tolerance=1.0e-12,
+                assess_safety=False,
+            )
+
+            original_store = checkpoint_module.CampaignCheckpoint.store
+
+            def store_then_die(self, key, results):
+                original_store(self, key, results)
+                os.kill(os.getpid(), signal.SIGKILL)  # power loss, mid-campaign
+
+            checkpoint_module.CampaignCheckpoint.store = store_then_die
+            run_campaign(
+                campaign, workers=2, group_concurrency=2,
+                checkpoint=CHECKPOINT_PATH,
+            )
+            raise SystemExit("the campaign survived the injected kill")
+            """
+        ).replace("CHECKPOINT_PATH", repr(str(path))))
+
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.run(
+            [sys.executable, str(script)],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert process.returncode == -signal.SIGKILL, process.stderr
+
+        # Groups commit in canonical order, so the kill after the first store
+        # left exactly the canonical prefix (one group) on disk.
+        assert CampaignCheckpoint(path).n_groups == 1
+
+        clean = run_campaign(_campaign(), workers=2)
+        with WorkerPool(2) as pool:
+            resumed = run_campaign(
+                _campaign(), pool=pool, checkpoint=path, group_concurrency=2
+            )
+        assert resumed.metadata["checkpoint"]["restored_groups"] == 1
+        assert resumed.metadata["checkpoint"]["computed_groups"] == N_GROUPS - 1
+        assert not resumed.is_partial
+        _assert_deterministic_fields_equal(resumed, clean)
+
+
+class TestRunnerLifecycleFixes:
+    def test_runner_owned_pool_closed_on_corrupt_checkpoint(self, tmp_path, monkeypatch):
+        """A corrupt checkpoint file aborts the run loudly — but must not
+        leak the pool the runner had already created for itself."""
+        created = []
+        original_init = WorkerPool.__init__
+
+        def recording_init(self, *args, **kwargs):
+            original_init(self, *args, **kwargs)
+            created.append(self)
+
+        monkeypatch.setattr(WorkerPool, "__init__", recording_init)
+        path = tmp_path / "bad.ckpt"
+        path.write_bytes(b"not a pickle")
+        with pytest.raises(CheckpointError, match="cannot read"):
+            run_campaign(
+                _campaign(), workers=2, pool_backend="serial", checkpoint=path
+            )
+        assert len(created) == 1
+        assert created[0].closed
+
+    def test_checkpoint_store_errors_carry_the_restore_stage(self, tmp_path, monkeypatch):
+        """A CheckpointError out of the store mid-run is a checkpoint
+        problem; the failure record must say "restore", not "discretize"."""
+
+        def broken_has(self, key):
+            raise CheckpointError("storage backend went away")
+
+        monkeypatch.setattr(CampaignCheckpoint, "has", broken_has)
+        result = run_campaign(_campaign(), checkpoint=tmp_path / "campaign.ckpt")
+        assert result.is_partial
+        assert len(result.failures) == N_GROUPS
+        assert {failure.stage for failure in result.failures} == {"restore"}
+        assert all(
+            "storage backend went away" in failure.error
+            for failure in result.failures
+        )
+
+    def test_borrowed_pool_stats_are_per_campaign_deltas(self):
+        campaign = _campaign()
+        with WorkerPool(2) as pool:
+            first = run_campaign(campaign, pool=pool)
+            second = run_campaign(campaign, pool=pool)
+            # The pool's own lifetime counters stay cumulative...
+            assert pool.stats["runs"] == 2 * N_GROUPS
+        # ...while each campaign reports only its own share.
+        assert first.cache_stats["pool"]["runs"] == N_GROUPS
+        assert second.cache_stats["pool"]["runs"] == N_GROUPS
+        assert first.cache_stats["pool"] == second.cache_stats["pool"]
+
+
+class TestSpecAndValidation:
+    def test_campaign_field_drives_the_runner(self):
+        with WorkerPool(2) as pool:
+            reference = run_campaign(_campaign(), pool=pool)
+            concurrent = run_campaign(_campaign(group_concurrency=2), pool=pool)
+        _assert_deterministic_fields_equal(concurrent, reference)
+
+    def test_group_concurrency_is_not_part_of_the_fingerprint(self, tmp_path):
+        """Checkpoints written by a concurrent run restore in a sequential
+        one (and vice versa): the knob never invalidates stored groups."""
+        path = tmp_path / "campaign.ckpt"
+        with WorkerPool(2) as pool:
+            run_campaign(
+                _campaign(group_concurrency=2), pool=pool, checkpoint=path
+            )
+        resumed = run_campaign(_campaign(), checkpoint=path)
+        assert resumed.metadata["checkpoint"]["restored_groups"] == N_GROUPS
+        assert resumed.metadata["checkpoint"]["computed_groups"] == 0
+
+    def test_concurrency_above_one_requires_a_pool(self):
+        with pytest.raises(ReproError, match="group_concurrency > 1"):
+            run_campaign(_campaign(), group_concurrency=2)
+
+    def test_invalid_group_concurrency_rejected(self):
+        with pytest.raises(ReproError, match="group_concurrency"):
+            _campaign(group_concurrency=0)
+        with pytest.raises(ReproError, match="group_concurrency"):
+            run_campaign(_campaign(), group_concurrency=0)
