@@ -24,7 +24,7 @@ import os
 
 from repro.bem.formulation import GroundingAnalysis
 from repro.geometry.builder import GridBuilder
-from repro.observe import NULL_TRACER, Tracer
+from repro.observe import NULL_TRACER, ResourceProfiler, Tracer
 from repro.soil.uniform import UniformSoil
 from repro.timing import wall_clock
 
@@ -98,6 +98,16 @@ def test_null_tracer_overhead_under_two_percent(record_snapshot):
     per_check = measure_guard_cost()
     disabled_seconds = measure_analysis_seconds(tracer=None)
     enabled_seconds = measure_analysis_seconds(tracer=Tracer())
+    # Informational only: a fully profiled run (per-span CPU + tracemalloc)
+    # is expected to cost real time — profiling is opt-in precisely because
+    # tracemalloc slows allocation-heavy code.  Not gated.
+    profiler = ResourceProfiler()
+    try:
+        profiled_seconds = measure_analysis_seconds(
+            tracer=Tracer(profile=profiler), repeats=1
+        )
+    finally:
+        profiler.close()
 
     bounded_overhead = per_check * GUARDS_PER_ASSEMBLY_BOUND
     overhead_fraction = bounded_overhead / disabled_seconds
@@ -110,7 +120,9 @@ def test_null_tracer_overhead_under_two_percent(record_snapshot):
             "guards_per_assembly_bound": GUARDS_PER_ASSEMBLY_BOUND,
             "analysis_disabled_seconds": disabled_seconds,
             "analysis_enabled_seconds": enabled_seconds,
+            "analysis_profiled_seconds": profiled_seconds,
             "enabled_ratio": enabled_seconds / disabled_seconds,
+            "profiled_ratio": profiled_seconds / disabled_seconds,
             "noop_overhead_fraction": overhead_fraction,
             "ceiling": OVERHEAD_CEILING,
         },
@@ -121,7 +133,9 @@ def test_null_tracer_overhead_under_two_percent(record_snapshot):
         f"analysis (disabled tracer): {disabled_seconds:.3f}s; "
         f"bounded no-op overhead: {overhead_fraction:.4%} "
         f"(ceiling {OVERHEAD_CEILING:.0%}); "
-        f"enabled/disabled ratio: {enabled_seconds / disabled_seconds:.3f}"
+        f"enabled/disabled ratio: {enabled_seconds / disabled_seconds:.3f}; "
+        f"profiled/disabled ratio (informational): "
+        f"{profiled_seconds / disabled_seconds:.3f}"
     )
     assert overhead_fraction < OVERHEAD_CEILING, (
         f"no-op tracer guard overhead {overhead_fraction:.4%} exceeds "

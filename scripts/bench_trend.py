@@ -15,6 +15,13 @@ Usage:
     python scripts/bench_trend.py                 # compare all common pairs
     python scripts/bench_trend.py --threshold 1.5 --min-seconds 0.1
     python scripts/bench_trend.py --fresh benchmarks/results --baseline .
+    python scripts/bench_trend.py --attribute     # name the phase that regressed
+
+``--attribute`` augments every REGRESSED line with the sibling wall-time
+leaves under the same dotted parent (the per-phase ``timings.*`` entries of
+the same run), ranked by how much of the delta each phase accounts for —
+so a failed gate names *which phase* regressed, via
+``repro.observe.analyze.attribute_snapshot_regression``.
 
 Quick-mode snapshots (``{"quick": true}``) time reduced problem sizes, so a
 fresh quick snapshot is never compared against a committed full-size
@@ -82,11 +89,27 @@ def _is_quick(payload: object) -> bool:
     return isinstance(payload, dict) and bool(payload.get("quick", False))
 
 
+def _attribution_rows(committed, fresh, path):
+    """Phase attribution of one regressed leaf (lazy observe import).
+
+    The script must stay runnable as ``python scripts/bench_trend.py`` with
+    or without PYTHONPATH=src, so the repo's ``src`` directory is appended
+    as a fallback.
+    """
+    try:
+        from repro.observe.analyze import attribute_snapshot_regression
+    except ImportError:
+        sys.path.append(str(Path(__file__).resolve().parent.parent / "src"))
+        from repro.observe.analyze import attribute_snapshot_regression
+    return attribute_snapshot_regression(committed, fresh, path)
+
+
 def compare_trees(
     baseline_dir: Path,
     fresh_dir: Path,
     threshold: float = DEFAULT_THRESHOLD,
     min_seconds: float = DEFAULT_MIN_SECONDS,
+    attribute: bool = False,
     out=sys.stdout,
 ) -> int:
     """Compare every common ``BENCH_*.json`` pair; return regression count."""
@@ -107,9 +130,11 @@ def compare_trees(
         if _is_quick(committed_payload) != _is_quick(fresh_payload):
             print(f"-- {name}: quick/full mode mismatch, skipped", file=out)
             continue
+        committed_leaves = walltime_leaves(committed_payload)
+        fresh_leaves = walltime_leaves(fresh_payload)
         rows = compare_snapshots(
-            walltime_leaves(committed_payload),
-            walltime_leaves(fresh_payload),
+            committed_leaves,
+            fresh_leaves,
             threshold=threshold,
             min_seconds=min_seconds,
         )
@@ -122,6 +147,18 @@ def compare_trees(
             print(f"   {path:<58s} {base:>10.4f}s -> {now:>10.4f}s"
                   f"  x{ratio:5.2f}{flag}", file=out)
             regressions += regressed
+            if regressed and attribute:
+                for row in _attribution_rows(committed_leaves, fresh_leaves, path):
+                    if row["delta_seconds"] <= 0:
+                        continue
+                    print(
+                        f"      attribution: {row['path']} "
+                        f"{row['committed_seconds']:.4f}s -> "
+                        f"{row['fresh_seconds']:.4f}s "
+                        f"(+{row['delta_seconds']:.4f}s, "
+                        f"{row['share']:.0%} of the regression)",
+                        file=out,
+                    )
     verdict = (f"bench_trend: {regressions} regression(s) "
                f"(>{threshold:.2f}x, baseline >= {min_seconds:g}s) "
                f"across {compared} metric(s) in {len(pairs)} snapshot(s)")
@@ -139,10 +176,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="ratio above which a wall time regresses")
     parser.add_argument("--min-seconds", type=float, default=DEFAULT_MIN_SECONDS,
                         help="ignore metrics whose baseline is below this")
+    parser.add_argument("--attribute", action="store_true",
+                        help="attribute each regression to the sibling phase "
+                             "leaves that account for the delta")
     args = parser.parse_args(argv)
     regressions = compare_trees(
         args.baseline, args.fresh,
         threshold=args.threshold, min_seconds=args.min_seconds,
+        attribute=args.attribute,
     )
     return 1 if regressions else 0
 

@@ -61,10 +61,35 @@ BENCH_QUICK=1 python -m pytest -q -p no:randomly \
 
 echo "== bench trend (fresh snapshots vs committed baselines; non-fatal) =="
 # Quick-mode snapshots from the runs above land in benchmarks/results/; any
-# wall time >1.25x its committed baseline is reported. Advisory here (shared
-# hosts jitter) — the committed baselines gate only via review.
-python scripts/bench_trend.py \
+# wall time >1.25x its committed baseline is reported with its per-phase
+# attribution. Advisory here (shared hosts jitter) — the committed baselines
+# gate only via review.
+python scripts/bench_trend.py --attribute \
   || echo "bench_trend: wall-time regression reported (advisory, not fatal)"
+
+echo "== bench trend attribution exercise (perturbed snapshot must fail) =="
+# End-to-end check of the --attribute gate itself: clone the committed
+# BENCH_campaign.json, inflate one run's assemble phase and wall time, and
+# require bench_trend to exit 1 *and* name the assemble phase.  Same-mode by
+# construction (the perturbed copy keeps the committed snapshot's quick flag).
+attribution_demo="benchmarks/results/attribution-demo"
+python - "$attribution_demo" <<'PY'
+import json, pathlib, sys
+demo = pathlib.Path(sys.argv[1]); demo.mkdir(parents=True, exist_ok=True)
+snapshot = json.loads(pathlib.Path("BENCH_campaign.json").read_text())
+run = snapshot["campaign_runs"][0]
+run["timings"]["assemble"] *= 2.0
+run["wall_seconds"] *= 1.6
+(demo / "BENCH_campaign.json").write_text(json.dumps(snapshot, indent=2))
+PY
+if python scripts/bench_trend.py --attribute \
+     --fresh "$attribution_demo" > /tmp/attribution-demo.out 2>&1; then
+  echo "bench_trend failed to flag the perturbed snapshot:"; cat /tmp/attribution-demo.out; exit 1
+fi
+grep -q "attribution: .*timings\.assemble" /tmp/attribution-demo.out \
+  || { echo "bench_trend did not attribute the regression to assemble:"; cat /tmp/attribution-demo.out; exit 1; }
+rm -rf "$attribution_demo"
+echo "bench_trend --attribute correctly flagged and attributed the perturbation"
 
 echo "== parallel + cluster + campaign suites (2-worker process pools) =="
 python -m pytest -q -p no:randomly tests/parallel tests/cluster tests/campaign

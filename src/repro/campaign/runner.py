@@ -64,7 +64,13 @@ from repro.exceptions import ReproError
 from repro.geometry.discretize import discretize_grid
 from repro.kernels.base import kernel_for_soil
 from repro.kernels.truncation import AdaptiveControl
-from repro.observe import NULL_TRACER, RunManifest, Tracer, ensure_tracer
+from repro.observe import (
+    NULL_TRACER,
+    RunManifest,
+    Tracer,
+    aggregate_trace,
+    ensure_tracer,
+)
 from repro.solvers import solve_system
 from repro.timing import PhaseTimer, Timer
 
@@ -170,7 +176,11 @@ def _group_steps(
     geometry = geometry_group.geometry
     base_spec = structure.base.spec
     soil_eff = base_spec.effective_soil()
-    branch = Tracer(metrics=tracer.metrics) if tracer.enabled else NULL_TRACER
+    branch = (
+        Tracer(metrics=tracer.metrics, profile=tracer.profile)
+        if tracer.enabled
+        else NULL_TRACER
+    )
     stage = "discretize"
     group_key = None
     manifest_row = None
@@ -615,6 +625,7 @@ def run_campaign(
             metrics=metrics.snapshot(),
             timings=dict(timings),
             trace=tracer.stats(),
+            aggregate=aggregate_trace(tracer.roots),
         )
         metadata["manifest"] = manifest.as_dict()
         if checkpoint_store is not None:

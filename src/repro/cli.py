@@ -8,6 +8,8 @@ Five sub-commands cover the common workflows::
     python -m repro scaling  --case barbera/two_layer --workers 1 2 4 8
     python -m repro scaling  --case barbera/two_layer --workers 1 2 --hierarchical
     python -m repro campaign --scenarios 12 --workers 2 --group-concurrency 2
+    python -m repro campaign --scenarios 6 --workers 2 --trace run.jsonl --profile
+    python -m repro report   run.jsonl --baseline other.jsonl --markdown
 
 ``analyze`` reads a grid saved with :func:`repro.geometry.io.save_grid`,
 builds a uniform or two-layer soil from the resistivity options, runs the BEM
@@ -89,6 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="record the study under a repro.observe span tree and write it "
         "as JSONL (a RunManifest lands next to it)",
     )
+    scaling.add_argument(
+        "--profile",
+        action="store_true",
+        help="opt-in per-span CPU + tracemalloc profiling (volatile stamps "
+        "in the trace; requires --trace)",
+    )
 
     campaign = subparsers.add_parser(
         "campaign", help="run the demo batch grounding study (scenario campaign engine)"
@@ -149,6 +157,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="record the run under a repro.observe span tree and write it as "
         "JSONL (a RunManifest lands next to it); render with "
         "'python -m repro trace OUT.JSONL'",
+    )
+
+    campaign.add_argument(
+        "--profile",
+        action="store_true",
+        help="opt-in per-span CPU + tracemalloc profiling (volatile stamps "
+        "in the trace; requires --trace)",
+    )
+
+    report = subparsers.add_parser(
+        "report",
+        help="render an aggregated performance report from a recorded trace",
+    )
+    report.add_argument("path", help="a trace JSONL file written by --trace")
+    report.add_argument(
+        "--baseline",
+        default=None,
+        metavar="OTHER.JSONL",
+        help="second trace to diff against (structural + wall-time "
+        "attribution sections)",
+    )
+    report.add_argument(
+        "--manifest",
+        default=None,
+        help="manifest JSON path (default: <trace>.manifest.json when present)",
+    )
+    report.add_argument(
+        "--markdown", action="store_true", help="render Markdown instead of plain text"
+    )
+    report.add_argument(
+        "--top", type=int, default=10, help="rows in the top-self-time table"
+    )
+    report.add_argument(
+        "--noise-floor",
+        type=float,
+        default=None,
+        help="seconds below which a diff subtree is noise (default 0.005)",
+    )
+    report.add_argument(
+        "--deterministic-only",
+        action="store_true",
+        help="print only the byte-comparable deterministic section",
+    )
+    report.add_argument(
+        "--output", default=None, help="write the report to a file instead of stdout"
     )
 
     trace = subparsers.add_parser(
@@ -247,8 +300,10 @@ def _finish_trace(tracer, path: str, manifest_dict=None, run_info=None) -> None:
     import json
     from pathlib import Path
 
-    from repro.observe import RunManifest, write_trace_jsonl
+    from repro.observe import RunManifest, aggregate_trace, write_trace_jsonl
 
+    if tracer.profile is not None:
+        tracer.profile.close()
     roots = tracer.finalize()
     write_trace_jsonl(path, roots)
     manifest_path = RunManifest.path_for(path)
@@ -259,6 +314,7 @@ def _finish_trace(tracer, path: str, manifest_dict=None, run_info=None) -> None:
             metrics=tracer.metrics.snapshot(),
             timings={},
             trace=tracer.stats(),
+            aggregate=aggregate_trace(roots),
         ).as_dict()
     Path(manifest_path).write_text(
         json.dumps(manifest_dict, sort_keys=True, indent=2, default=repr) + "\n",
@@ -268,11 +324,19 @@ def _finish_trace(tracer, path: str, manifest_dict=None, run_info=None) -> None:
     print(f"manifest: {manifest_path}")
 
 
-def _cmd_scaling(args: argparse.Namespace) -> int:
-    if args.trace:
-        from repro.observe import Tracer
+def _make_tracer(args: argparse.Namespace):
+    """An optionally profiling Tracer for a ``--trace [--profile]`` command."""
+    from repro.observe import ResourceProfiler, Tracer
 
-        tracer = Tracer()
+    if getattr(args, "profile", False) and not args.trace:
+        raise SystemExit("--profile records into the trace; add --trace OUT.JSONL")
+    profile = ResourceProfiler() if getattr(args, "profile", False) else None
+    return Tracer(profile=profile)
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    if args.trace or args.profile:
+        tracer = _make_tracer(args)
         with tracer.span(
             "scaling",
             case=args.case,
@@ -376,10 +440,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             overrides["max_retries"] = args.max_retries
         retry = RetryPolicy(**overrides)
     tracer = None
-    if args.trace:
-        from repro.observe import Tracer
-
-        tracer = Tracer()
+    if args.trace or args.profile:
+        tracer = _make_tracer(args)
     result = run_campaign(
         campaign,
         workers=args.workers,
@@ -408,6 +470,46 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.observe import RunManifest, read_trace_jsonl
+    from repro.observe.analyze import DEFAULT_NOISE_FLOOR
+    from repro.observe.report import deterministic_report_text, render_report
+
+    roots = read_trace_jsonl(args.path)
+    manifest = None
+    manifest_path = (
+        Path(args.manifest) if args.manifest else RunManifest.path_for(args.path)
+    )
+    if manifest_path.is_file():
+        manifest = RunManifest.load(manifest_path)
+    baseline = read_trace_jsonl(args.baseline) if args.baseline else None
+    noise_floor = (
+        DEFAULT_NOISE_FLOOR if args.noise_floor is None else args.noise_floor
+    )
+    if args.deterministic_only:
+        text = deterministic_report_text(
+            roots, baseline=baseline, markdown=args.markdown
+        )
+    else:
+        text = render_report(
+            roots,
+            manifest=manifest,
+            baseline=baseline,
+            top=args.top,
+            markdown=args.markdown,
+            noise_floor=noise_floor,
+            title=f"Run report: {args.path}",
+        )
+    if args.output:
+        Path(args.output).write_text(text.rstrip() + "\n", encoding="utf-8")
+        print(f"report: {args.output}")
+    else:
+        print(text.rstrip())
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.observe import canonical_trace_text, format_trace_tree, read_trace_jsonl
 
@@ -431,6 +533,7 @@ _COMMANDS = {
     "balaidos": _cmd_balaidos,
     "scaling": _cmd_scaling,
     "campaign": _cmd_campaign,
+    "report": _cmd_report,
     "trace": _cmd_trace,
 }
 

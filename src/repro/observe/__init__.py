@@ -13,8 +13,13 @@ The zero-dependency observability layer every subsystem reports through:
   projection, a human tree renderer and the pool worker timeline
   (:mod:`repro.observe.export`);
 * :class:`RunManifest` — the per-run provenance record (code version,
-  mesh/cluster fingerprints, knobs, metric snapshot) written next to
-  campaign checkpoints (:mod:`repro.observe.manifest`).
+  mesh/cluster fingerprints, knobs, metric snapshot, trace aggregate)
+  written next to campaign checkpoints (:mod:`repro.observe.manifest`);
+* the attribution layer — per-span-name rollups, attribute-keyed
+  breakdowns and canonical-order trace diffs (:mod:`repro.observe.analyze`),
+  opt-in per-span CPU/memory profiling plus pool utilization analytics
+  (:mod:`repro.observe.profile`), and the two-half run report behind
+  ``python -m repro report`` (:mod:`repro.observe.report`).
 
 The default is the shared :data:`NULL_TRACER`: instrumented hot paths guard
 on ``tracer.enabled`` (one attribute check), so a run without tracing pays
@@ -29,6 +34,14 @@ content fingerprints — so ``canonical_trace_lines`` of a campaign run is
 byte-identical across pool worker counts and across fault-recovered runs.
 """
 
+from repro.observe.analyze import (
+    TraceDiff,
+    aggregate_trace,
+    attribute_breakdown,
+    attribute_snapshot_regression,
+    canonical_aggregate_text,
+    diff_traces,
+)
 from repro.observe.export import (
     canonical_trace_lines,
     canonical_trace_text,
@@ -39,7 +52,16 @@ from repro.observe.export import (
     write_trace_jsonl,
 )
 from repro.observe.manifest import MANIFEST_FORMAT_VERSION, RunManifest
-from repro.observe.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.observe.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    escape_metric_key,
+    split_metric_name,
+)
+from repro.observe.profile import ResourceProfiler, pool_utilization
+from repro.observe.report import deterministic_report_text, render_report
 from repro.observe.trace import (
     NULL_TRACER,
     NullTracer,
@@ -47,7 +69,7 @@ from repro.observe.trace import (
     Tracer,
     ensure_tracer,
 )
-from repro.timing import PhaseTimer, Timer, wall_clock
+from repro.timing import PhaseTimer, Timer, cpu_clock, wall_clock
 
 __all__ = [
     "MANIFEST_FORMAT_VERSION",
@@ -58,15 +80,28 @@ __all__ = [
     "MetricsRegistry",
     "NullTracer",
     "PhaseTimer",
+    "ResourceProfiler",
     "RunManifest",
     "Span",
     "Timer",
+    "TraceDiff",
     "Tracer",
+    "aggregate_trace",
+    "attribute_breakdown",
+    "attribute_snapshot_regression",
+    "canonical_aggregate_text",
     "canonical_trace_lines",
     "canonical_trace_text",
+    "cpu_clock",
+    "deterministic_report_text",
+    "diff_traces",
     "ensure_tracer",
+    "escape_metric_key",
     "format_trace_tree",
+    "pool_utilization",
     "read_trace_jsonl",
+    "render_report",
+    "split_metric_name",
     "trace_records",
     "wall_clock",
     "worker_timeline",

@@ -1,0 +1,460 @@
+"""Performance attribution over recorded traces: aggregation and diff.
+
+The analysis layer answers "where did the time go, and what changed?"
+from a trace's span tree alone — it never re-runs anything, so it works
+identically on a live :class:`~repro.observe.trace.Tracer`'s roots and on
+a :func:`~repro.observe.export.read_trace_jsonl` re-import.
+
+Every output honours the PR-8 payload contract by splitting into two
+sections:
+
+* ``"deterministic"`` — derived purely from the canonical projection
+  (span names, tree structure, deterministic attributes).  Byte-identical
+  for any pool worker count, any ``group_concurrency`` and any
+  fault-recovered run — the golden suite asserts this on the rendered
+  report.
+* ``"volatile"`` — durations, self times, p50/p95, event counts, resource
+  stamps, worker analytics.  Legitimately run-dependent.
+
+:func:`diff_traces` walks two trees in canonical order (children paired by
+name and occurrence — the same ordinal space the content-derived span ids
+hash), attributes wall-time deltas to the deepest responsible subtrees via
+*self deltas* (a node's delta minus its children's), and reports the nodes
+above a noise floor — so a >1.25x ``bench_trend`` failure names the phase
+that regressed.  :func:`attribute_snapshot_regression` does the same for
+the flat ``BENCH_*.json`` wall-time leaves.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.observe.metrics import Histogram
+from repro.observe.trace import Span
+
+__all__ = [
+    "DEFAULT_BREAKDOWNS",
+    "DEFAULT_NOISE_FLOOR",
+    "TraceDiff",
+    "aggregate_trace",
+    "attribute_breakdown",
+    "attribute_snapshot_regression",
+    "canonical_aggregate_text",
+    "diff_traces",
+]
+
+#: Wall-time deltas below this many seconds are noise, not attribution.
+DEFAULT_NOISE_FLOOR = 0.005
+
+#: Attribute-keyed breakdowns computed by default: per-block far-field
+#: rank and kind (``"far"`` vs ``"fallback"``) versus count and seconds.
+DEFAULT_BREAKDOWNS: tuple[tuple[str, str], ...] = (
+    ("block", "rank"),
+    ("block", "kind"),
+)
+
+#: A label attribute with more distinct values than this is summarised as
+#: its distinct-value count (fingerprints, per-scenario names) instead of
+#: an unbounded value->count table.
+_LABEL_LIMIT = 12
+
+
+def _as_roots(roots: "Span | Sequence[Span]") -> list[Span]:
+    return [roots] if isinstance(roots, Span) else list(roots)
+
+
+def _span_nodes(roots: Sequence[Span]):
+    for root in roots:
+        for node in root.walk():
+            if node.kind == "span":
+                yield node
+
+
+def _self_seconds(node: Span) -> float | None:
+    """Wall time of ``node`` minus its timed child spans, clamped at 0.
+
+    Children re-emitted from worker processes (``record_span``) carry
+    worker-side walls that can overlap, so their sum may exceed the parent
+    wall on a multi-worker pool — hence the clamp.
+    """
+    if node.duration_seconds is None:
+        return None
+    children = sum(
+        child.duration_seconds
+        for child in node.child_spans()
+        if child.duration_seconds is not None
+    )
+    return max(node.duration_seconds - children, 0.0)
+
+
+def aggregate_trace(
+    roots: "Span | Sequence[Span]",
+    breakdowns: Sequence[tuple[str, str]] = DEFAULT_BREAKDOWNS,
+) -> dict[str, Any]:
+    """Per-span-name rollups of a trace, split deterministic vs volatile.
+
+    ``deterministic`` holds, per span name: occurrence count, child-span
+    count, numeric-attribute rollups (count/total/min/max) and bounded
+    label tables — all functions of the canonical projection only.
+    ``volatile`` holds the duration rollups (total/self/mean and
+    bucket-estimated p50/p95 via the bounded
+    :class:`~repro.observe.metrics.Histogram`), event counts, resource
+    stamps (when a profiler ran) and the attribute-keyed seconds of the
+    requested ``breakdowns``.
+    """
+    roots = _as_roots(roots)
+    det_spans: dict[str, dict[str, Any]] = {}
+    durations: dict[str, dict[str, Any]] = {}
+    histograms: dict[str, Histogram] = {}
+    events: dict[str, int] = {}
+    resources: dict[str, dict[str, float]] = {}
+    n_spans = 0
+
+    for root in roots:
+        for node in root.walk():
+            if node.kind == "event":
+                events[node.name] = events.get(node.name, 0) + 1
+                continue
+            n_spans += 1
+            entry = det_spans.setdefault(
+                node.name,
+                {"count": 0, "children": 0, "attributes": {}, "labels": {}},
+            )
+            entry["count"] += 1
+            entry["children"] += len(node.child_spans())
+            for key in sorted(node.attributes):
+                value = node.attributes[key]
+                if isinstance(value, bool) or isinstance(value, str):
+                    table = entry["labels"].setdefault(key, {})
+                    label = str(value)
+                    table[label] = table.get(label, 0) + 1
+                elif isinstance(value, (int, float)):
+                    value = float(value)
+                    rollup = entry["attributes"].get(key)
+                    if rollup is None:
+                        rollup = entry["attributes"][key] = {
+                            "count": 0,
+                            "total": 0.0,
+                            "min": value,
+                            "max": value,
+                        }
+                    rollup["count"] += 1
+                    rollup["total"] += value
+                    rollup["min"] = min(rollup["min"], value)
+                    rollup["max"] = max(rollup["max"], value)
+
+            if node.duration_seconds is not None:
+                row = durations.setdefault(
+                    node.name,
+                    {"count": 0, "total_seconds": 0.0, "self_seconds": 0.0},
+                )
+                row["count"] += 1
+                row["total_seconds"] += node.duration_seconds
+                row["self_seconds"] += _self_seconds(node) or 0.0
+                histogram = histograms.get(node.name)
+                if histogram is None:
+                    histogram = histograms[node.name] = Histogram(node.name)
+                histogram.observe(node.duration_seconds)
+            for stamp in ("cpu_seconds", "mem_peak_kb"):
+                value = node.volatile.get(stamp)
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    usage = resources.setdefault(
+                        node.name, {"cpu_seconds": 0.0, "mem_peak_kb": 0.0}
+                    )
+                    if stamp == "cpu_seconds":
+                        usage[stamp] += float(value)
+                    else:  # high-water marks aggregate by max, not sum
+                        usage[stamp] = max(usage[stamp], float(value))
+
+    for name, entry in det_spans.items():
+        entry["labels"] = {
+            key: (
+                table
+                if len(table) <= _LABEL_LIMIT
+                else {"(distinct values)": len(table)}
+            )
+            for key, table in entry["labels"].items()
+        }
+    for name, row in durations.items():
+        histogram = histograms[name]
+        row["mean_seconds"] = row["total_seconds"] / row["count"]
+        row["p50_seconds"] = histogram.quantile(0.5)
+        row["p95_seconds"] = histogram.quantile(0.95)
+        row["max_seconds"] = histogram.maximum or 0.0
+
+    det_breakdowns: dict[str, dict[str, int]] = {}
+    vol_breakdowns: dict[str, dict[str, float]] = {}
+    for span_name, attribute in breakdowns:
+        rows = attribute_breakdown(roots, span_name, attribute)
+        if not rows:
+            continue
+        key = f"{span_name}.{attribute}"
+        det_breakdowns[key] = {value: row["count"] for value, row in rows.items()}
+        vol_breakdowns[key] = {value: row["seconds"] for value, row in rows.items()}
+
+    return {
+        "deterministic": {
+            "n_spans": n_spans,
+            "spans": {name: det_spans[name] for name in sorted(det_spans)},
+            "breakdowns": det_breakdowns,
+        },
+        "volatile": {
+            "durations": {name: durations[name] for name in sorted(durations)},
+            "events": {name: events[name] for name in sorted(events)},
+            "resources": {name: resources[name] for name in sorted(resources)},
+            "breakdowns": vol_breakdowns,
+        },
+    }
+
+
+def attribute_breakdown(
+    roots: "Span | Sequence[Span]", span_name: str, attribute: str
+) -> dict[str, dict[str, Any]]:
+    """``attribute`` value -> {count, seconds} over spans named ``span_name``.
+
+    The per-block far-field table of the paper's assembly, generalised:
+    ``attribute_breakdown(roots, "block", "rank")`` answers "how many far
+    blocks compressed to rank r, and how long did each rank class take".
+    Counts are deterministic, seconds volatile.  Values sort numerically
+    when possible, lexically otherwise.
+    """
+    rows: dict[Any, dict[str, Any]] = {}
+    for node in _span_nodes(_as_roots(roots)):
+        if node.name != span_name or attribute not in node.attributes:
+            continue
+        value = node.attributes[attribute]
+        row = rows.setdefault(value, {"count": 0, "seconds": 0.0})
+        row["count"] += 1
+        if node.duration_seconds is not None:
+            row["seconds"] += node.duration_seconds
+
+    def _order(value: Any):
+        if isinstance(value, bool):
+            return (1, str(value))
+        if isinstance(value, (int, float)):
+            return (0, value)
+        return (1, str(value))
+
+    return {str(value): rows[value] for value in sorted(rows, key=_order)}
+
+
+# --------------------------------------------------------------------------- diff
+
+
+@dataclass
+class DiffEntry:
+    """One node pairing of a trace diff (matched, added or removed)."""
+
+    path: str
+    name: str
+    status: str  # "matched" | "added" | "removed"
+    base_seconds: float | None = None
+    other_seconds: float | None = None
+    delta_seconds: float = 0.0
+    #: ``delta`` minus the children's deltas: the part of the regression
+    #: this node is itself responsible for (deepest-subtree attribution).
+    self_delta_seconds: float = 0.0
+    attrs_equal: bool = True
+
+
+@dataclass
+class TraceDiff:
+    """Structured comparison of two recorded traces."""
+
+    entries: list[DiffEntry] = field(default_factory=list)
+    noise_floor: float = DEFAULT_NOISE_FLOOR
+
+    @property
+    def total_delta_seconds(self) -> float:
+        return sum(e.delta_seconds for e in self.entries if e.path.count("/") == 0)
+
+    def structural(self) -> dict[str, Any]:
+        """The deterministic half: tree/attribute changes, no durations."""
+        added = [e.path for e in self.entries if e.status == "added"]
+        removed = [e.path for e in self.entries if e.status == "removed"]
+        changed = [
+            e.path
+            for e in self.entries
+            if e.status == "matched" and not e.attrs_equal
+        ]
+        return {
+            "added": added,
+            "removed": removed,
+            "changed_attributes": changed,
+            "matched": sum(e.status == "matched" for e in self.entries),
+            "identical": not (added or removed or changed),
+        }
+
+    def attribution(self) -> list[dict[str, Any]]:
+        """Volatile: nodes above the noise floor, largest self delta first.
+
+        The deepest responsible subtrees — a slow child claims its own
+        delta, leaving the parent only the part it cannot delegate.
+        """
+        rows = [
+            {
+                "path": e.path,
+                "status": e.status,
+                "base_seconds": e.base_seconds,
+                "other_seconds": e.other_seconds,
+                "delta_seconds": e.delta_seconds,
+                "self_delta_seconds": e.self_delta_seconds,
+            }
+            for e in self.entries
+            if abs(e.self_delta_seconds) >= self.noise_floor
+        ]
+        rows.sort(key=lambda r: (-r["self_delta_seconds"], r["path"]))
+        return rows
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-ready split view (deterministic structure, volatile times)."""
+        return {
+            "deterministic": self.structural(),
+            "volatile": {
+                "total_delta_seconds": self.total_delta_seconds,
+                "attribution": self.attribution(),
+            },
+        }
+
+
+def _pair_children(
+    base: Sequence[Span], other: Sequence[Span]
+) -> list[tuple[Span | None, Span | None, str]]:
+    """Pair two sibling lists by (name, occurrence) in canonical order.
+
+    Occurrence counting mirrors the span-ordinal space of
+    :func:`~repro.observe.trace.assign_span_ids` per name, so two runs of
+    the same campaign pair node-for-node regardless of durations.
+    """
+    pairs: list[tuple[Span | None, Span | None, str]] = []
+    base_by_name: dict[str, list[Span]] = {}
+    other_by_name: dict[str, list[Span]] = {}
+    for node in base:
+        base_by_name.setdefault(node.name, []).append(node)
+    for node in other:
+        other_by_name.setdefault(node.name, []).append(node)
+    seen: set[str] = set()
+    for node in list(base) + list(other):
+        if node.name in seen:
+            continue
+        seen.add(node.name)
+        base_run = base_by_name.get(node.name, [])
+        other_run = other_by_name.get(node.name, [])
+        for occurrence in range(max(len(base_run), len(other_run))):
+            b = base_run[occurrence] if occurrence < len(base_run) else None
+            o = other_run[occurrence] if occurrence < len(other_run) else None
+            suffix = f"#{occurrence}" if occurrence else ""
+            pairs.append((b, o, f"{node.name}{suffix}"))
+    return pairs
+
+
+def diff_traces(
+    base: "Span | Sequence[Span]",
+    other: "Span | Sequence[Span]",
+    noise_floor: float = DEFAULT_NOISE_FLOOR,
+) -> TraceDiff:
+    """Compare two traces node-by-node in canonical order.
+
+    Matched spans contribute a wall-time ``delta`` (other minus base) and a
+    ``self_delta`` (delta minus the children's deltas); spans present in
+    only one trace count their whole subtree wall as added/removed.  The
+    structural half of the result is a pure function of the two canonical
+    projections; the attribution half carries the volatile durations.
+    """
+    diff = TraceDiff(noise_floor=noise_floor)
+
+    def _wall(node: Span | None) -> float:
+        if node is None or node.duration_seconds is None:
+            return 0.0
+        return node.duration_seconds
+
+    def _walk(b: Span | None, o: Span | None, label: str, prefix: str) -> float:
+        path = f"{prefix}{label}"
+        status = "matched" if b is not None and o is not None else (
+            "added" if b is None else "removed"
+        )
+        child_delta = 0.0
+        for cb, co, clabel in _pair_children(
+            b.child_spans() if b is not None else [],
+            o.child_spans() if o is not None else [],
+        ):
+            child_delta += _walk(cb, co, clabel, f"{path}/")
+        delta = _wall(o) - _wall(b)
+        entry = DiffEntry(
+            path=path,
+            name=(o or b).name,
+            status=status,
+            base_seconds=None if b is None else b.duration_seconds,
+            other_seconds=None if o is None else o.duration_seconds,
+            delta_seconds=delta,
+            self_delta_seconds=delta - child_delta,
+            attrs_equal=(
+                b is not None
+                and o is not None
+                and b.canonical_attributes() == o.canonical_attributes()
+            ),
+        )
+        if status != "matched":
+            entry.attrs_equal = False
+        diff.entries.append(entry)
+        return delta
+
+    for b, o, label in _pair_children(_as_roots(base), _as_roots(other)):
+        _walk(b, o, label, "")
+    diff.entries.sort(key=lambda e: e.path)
+    return diff
+
+
+def canonical_aggregate_text(roots: "Span | Sequence[Span]") -> str:
+    """The deterministic aggregation section as sorted-key JSON.
+
+    The byte-comparable companion of
+    :func:`~repro.observe.export.canonical_trace_text`: identical for any
+    worker count / ``group_concurrency`` / fault-recovery history of the
+    same campaign.
+    """
+    deterministic = aggregate_trace(roots)["deterministic"]
+    return json.dumps(deterministic, sort_keys=True, indent=2, default=repr) + "\n"
+
+
+# --------------------------------------------------------------------------- BENCH snapshots
+
+
+def attribute_snapshot_regression(
+    committed: dict[str, float],
+    fresh: dict[str, float],
+    path: str,
+    limit: int = 5,
+) -> list[dict[str, Any]]:
+    """Explain a regressed wall-time leaf by its sibling/descendant leaves.
+
+    ``committed`` / ``fresh`` are the flat dotted-path -> seconds maps of
+    :func:`bench_trend.walltime_leaves`.  For a regressed ``path`` (e.g.
+    ``campaign_runs.0.wall_seconds``) the candidate contributors are the
+    other leaves under the same parent prefix (the per-phase ``timings.*``
+    entries of the same run), ranked by their absolute delta — the phases
+    whose growth accounts for the regression come first.
+    """
+    if path not in committed or path not in fresh:
+        return []
+    parent = path.rsplit(".", 1)[0] if "." in path else ""
+    prefix = f"{parent}." if parent else ""
+    delta = fresh[path] - committed[path]
+    rows: list[dict[str, Any]] = []
+    for other in sorted(set(committed) & set(fresh)):
+        if other == path or not other.startswith(prefix):
+            continue
+        contribution = fresh[other] - committed[other]
+        rows.append(
+            {
+                "path": other,
+                "committed_seconds": committed[other],
+                "fresh_seconds": fresh[other],
+                "delta_seconds": contribution,
+                "share": (contribution / delta) if delta > 0 else 0.0,
+            }
+        )
+    rows.sort(key=lambda r: (-r["delta_seconds"], r["path"]))
+    return rows[:limit]

@@ -206,7 +206,7 @@ def format_trace_tree(
     return "\n".join(out)
 
 
-def worker_timeline(roots: Sequence[Span]) -> dict[str, Any]:
+def worker_timeline(roots: "Span | Sequence[Span]") -> dict[str, Any]:
     """Per-slot busy time and utilization from the pool's chunk events.
 
     Pairs ``pool.dispatch`` with ``pool.result`` events on ``(slot, job)``
@@ -214,7 +214,15 @@ def worker_timeline(roots: Sequence[Span]) -> dict[str, Any]:
     first dispatch → last result.  Everything here is volatile by nature —
     it describes scheduling, not results — and is meant for human perf
     reading, not for determinism assertions.
+
+    Tolerant by design: accepts a single root :class:`Span` or a sequence,
+    works on traces whose pool events have no enclosing group span (a
+    standalone ``GroundingAnalysis`` run records them as roots), and skips
+    malformed events (missing or non-numeric ``slot``/``t``) instead of
+    raising — a truncated trace still yields a timeline.
     """
+    if isinstance(roots, Span):
+        roots = [roots]
     dispatches: dict[tuple[int, int], float] = {}
     busy: dict[int, float] = {}
     chunks: dict[int, int] = {}
@@ -225,14 +233,15 @@ def worker_timeline(roots: Sequence[Span]) -> dict[str, Any]:
             if node.kind != "event":
                 continue
             data = node.volatile
-            if node.name == "pool.dispatch" and "slot" in data and "t" in data:
+            try:
                 key = (int(data["slot"]), int(data.get("job", -1)))
                 t = float(data["t"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            if node.name == "pool.dispatch":
                 dispatches[key] = t
                 first = t if first is None else min(first, t)
-            elif node.name == "pool.result" and "slot" in data and "t" in data:
-                key = (int(data["slot"]), int(data.get("job", -1)))
-                t = float(data["t"])
+            elif node.name == "pool.result":
                 start = dispatches.pop(key, None)
                 if start is not None:
                     slot = key[0]

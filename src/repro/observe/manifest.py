@@ -26,7 +26,10 @@ from repro._version import __version__
 __all__ = ["MANIFEST_FORMAT_VERSION", "RunManifest"]
 
 #: Bump when the manifest schema changes shape.
-MANIFEST_FORMAT_VERSION = 1
+#: v2 added the ``aggregate`` field: the per-span-name rollups of
+#: :func:`repro.observe.analyze.aggregate_trace`, split deterministic vs
+#: volatile.  Loading stays tolerant of v1 files (``aggregate`` -> {}).
+MANIFEST_FORMAT_VERSION = 2
 
 
 @dataclass
@@ -43,6 +46,9 @@ class RunManifest:
     timings: dict[str, float] = field(default_factory=dict)
     #: Trace shape: recorded span/event counts.
     trace: dict[str, int] = field(default_factory=dict)
+    #: :func:`repro.observe.analyze.aggregate_trace` of the recorded trace
+    #: ({"deterministic": ..., "volatile": ...}); empty for v1 manifests.
+    aggregate: dict[str, Any] = field(default_factory=dict)
     code_version: str = __version__
     format_version: int = MANIFEST_FORMAT_VERSION
 
@@ -56,6 +62,7 @@ class RunManifest:
             "metrics": self.metrics,
             "timings": self.timings,
             "trace": self.trace,
+            "aggregate": self.aggregate,
         }
 
     def write(self, path: Path | str) -> Path:
@@ -77,6 +84,7 @@ class RunManifest:
             metrics=dict(data.get("metrics", {})),
             timings=dict(data.get("timings", {})),
             trace=dict(data.get("trace", {})),
+            aggregate=dict(data.get("aggregate", {})),
             code_version=str(data.get("code_version", "")),
             format_version=int(data.get("format_version", MANIFEST_FORMAT_VERSION)),
         )

@@ -14,19 +14,70 @@ Design constraints, shared with the tracer:
 * **deterministic export** — :meth:`~MetricsRegistry.snapshot` sorts by
   metric name, so two runs that record the same values serialise to the
   same bytes regardless of registration order;
-* **bounded state** — histograms keep count/total/min/max only (no sample
-  reservoirs), so a registry never grows with the number of observations.
+* **bounded state** — histograms keep count/total/min/max plus a fixed set
+  of log-spaced bucket counts (no sample reservoirs), so a registry never
+  grows with the number of observations while still supporting the
+  p50/p95 estimates of the attribution layer.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping
 
 from repro.timing import wall_clock
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "escape_metric_key",
+    "split_metric_name",
+]
+
+
+def escape_metric_key(key: str) -> str:
+    """One mapping key as a metric-name component: ``.`` and ``\\`` escaped.
+
+    :meth:`MetricsRegistry.absorb` joins nested mapping keys with ``.``; a
+    key that itself contains a dot (legacy dicts keyed by dotted paths or
+    by metric names) would otherwise be indistinguishable from nesting.
+    """
+    return key.replace("\\", "\\\\").replace(".", "\\.")
+
+
+def split_metric_name(name: str) -> list[str]:
+    """Invert the dotted flattening of :meth:`MetricsRegistry.absorb`.
+
+    Splits on unescaped dots and unescapes each component, so
+    ``split_metric_name("pool.a\\.b") == ["pool", "a.b"]``.
+    """
+    components: list[str] = []
+    current: list[str] = []
+    index = 0
+    while index < len(name):
+        char = name[index]
+        if char == "\\" and index + 1 < len(name):
+            current.append(name[index + 1])
+            index += 2
+        elif char == ".":
+            components.append("".join(current))
+            current = []
+            index += 1
+        else:
+            current.append(char)
+            index += 1
+    components.append("".join(current))
+    return components
+
+#: Upper bounds of the fixed log-spaced quantile buckets: four per decade
+#: from 1e-12 to 1e6 (covers PCG residuals through campaign walls).  The
+#: bucket list is a constant, so histogram state stays bounded at
+#: ``len(_BUCKET_BOUNDS) + 1`` integers regardless of observation count.
+_BUCKET_BOUNDS = tuple(10.0 ** (exponent / 4.0) for exponent in range(-48, 25))
 
 
 @dataclass
@@ -57,11 +108,13 @@ class Gauge:
 
 @dataclass
 class Histogram:
-    """Bounded summary of a value stream: count, total, min, max.
+    """Bounded summary of a value stream: count, total, min, max, buckets.
 
     Deliberately reservoir-free — the registry must stay O(metrics), not
-    O(observations) — which is enough for the mean/extremes reporting the
-    BENCH tables and manifests need.
+    O(observations).  Besides the mean/extremes the BENCH tables need, a
+    fixed set of log-spaced bucket counts supports :meth:`quantile`
+    estimates (p50/p95 of span durations in the attribution layer) without
+    ever retaining samples.
     """
 
     name: str
@@ -69,6 +122,10 @@ class Histogram:
     total: float = 0.0
     minimum: float | None = None
     maximum: float | None = None
+    #: Lazily allocated bucket counts (``len(_BUCKET_BOUNDS) + 1`` slots;
+    #: the last is the overflow bucket).  ``None`` until the first observe,
+    #: so empty histograms stay tiny.
+    _buckets: list[int] | None = field(default=None, repr=False)
 
     def observe(self, value: float) -> None:
         """Fold one observation into the summary."""
@@ -79,6 +136,9 @@ class Histogram:
             self.minimum = value
         if self.maximum is None or value > self.maximum:
             self.maximum = value
+        if self._buckets is None:
+            self._buckets = [0] * (len(_BUCKET_BOUNDS) + 1)
+        self._buckets[bisect_right(_BUCKET_BOUNDS, value)] += 1
 
     @property
     def mean(self) -> float:
@@ -86,6 +146,33 @@ class Histogram:
         if self.count == 0:
             return 0.0
         return self.total / self.count
+
+    def quantile(self, q: float) -> float:
+        """Bucket-estimated ``q``-quantile (0 <= q <= 1) of the stream.
+
+        Resolution is the bucket width (a quarter decade); the estimate is
+        the geometric bucket midpoint clamped into ``[min, max]``, so
+        single-bucket streams return exact values.  Deterministic for a
+        given observation multiset — bucket counts don't depend on order.
+        """
+        if self.count == 0 or self._buckets is None:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self._buckets):
+            cumulative += bucket_count
+            if cumulative >= target and bucket_count:
+                if index == 0:
+                    estimate = _BUCKET_BOUNDS[0]
+                elif index == len(_BUCKET_BOUNDS):
+                    estimate = _BUCKET_BOUNDS[-1]
+                else:
+                    low, high = _BUCKET_BOUNDS[index - 1], _BUCKET_BOUNDS[index]
+                    estimate = (low * high) ** 0.5
+                low_clamp = self.minimum if self.minimum is not None else estimate
+                high_clamp = self.maximum if self.maximum is not None else estimate
+                return min(max(estimate, low_clamp), high_clamp)
+        return self.maximum if self.maximum is not None else 0.0
 
     def summary(self) -> dict[str, float]:
         """The exportable count/total/min/max summary."""
@@ -160,10 +247,16 @@ class MetricsRegistry:
         ``cache_stats`` / ``PoolHealth.counters()`` dicts: their values land
         in the registry under stable dotted names without every producer
         rewriting at once.
+
+        Keys that themselves contain ``.`` (or ``\\``) are escaped via
+        :func:`escape_metric_key`, so ``{"a": {"b": 1}}`` and
+        ``{"a.b": 2}`` land under distinct names (``a.b`` vs ``a\\.b``)
+        instead of silently colliding — snapshot consumers can invert the
+        flattening with :func:`split_metric_name`.
         """
-        for key in sorted(values):
+        for key in sorted(values, key=str):
             value = values[key]
-            name = f"{prefix}{key}"
+            name = f"{prefix}{escape_metric_key(str(key))}"
             if isinstance(value, Mapping):
                 self.absorb(value, prefix=f"{name}.")
             elif isinstance(value, bool):

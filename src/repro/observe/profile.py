@@ -1,0 +1,179 @@
+"""Opt-in per-span resource profiling and pool utilization analytics.
+
+Two consumers of one principle — resource numbers are **volatile**:
+
+* :class:`ResourceProfiler` hooks a :class:`~repro.observe.trace.Tracer`
+  (``Tracer(profile=...)``) and stamps every closed span with its process
+  CPU seconds (:func:`repro.timing.cpu_clock`, the sanctioned facade) and
+  its ``tracemalloc`` high-water mark.  Both land in the span's *volatile*
+  payload, so the canonical projection — and every deterministic aggregate
+  built on it — is byte-identical with or without profiling.  The default
+  stays ``profile=None``: an unprofiled tracer pays one ``is not None``
+  check per span, and the :data:`~repro.observe.trace.NULL_TRACER` path is
+  untouched (the <2% ``bench_observe_overhead`` gate still holds).
+* :func:`pool_utilization` derives per-worker busy/idle fractions, pool
+  saturation and master-side dispatch gaps from the volatile
+  ``pool.dispatch`` / ``pool.result`` events the :class:`WorkerPool`
+  already records — no new instrumentation in the pool's hot loop.
+
+Interleaved spans (concurrent structure groups record on branch tracers
+that share one profiler) are handled without a strict stack: frames are
+keyed by span identity, and a measured memory peak folds into *every*
+currently open frame — any allocation observed during a span happened
+while all open spans were open, so each enclosing phase's high-water mark
+is correct.  CPU seconds of interleaved spans overlap by construction;
+they are advisory wait-vs-compute indicators, never determinism inputs.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from typing import Any, Sequence
+
+from repro.observe.trace import Span
+from repro.timing import cpu_clock
+
+__all__ = ["ResourceProfiler", "pool_utilization"]
+
+
+class ResourceProfiler:
+    """Per-span CPU/memory accounting attached via ``Tracer(profile=...)``.
+
+    ``cpu`` stamps ``cpu_seconds`` (process CPU time including children,
+    like the wall duration); ``memory`` stamps ``mem_peak_kb`` (the
+    ``tracemalloc`` high-water mark while the span was open).  The profiler
+    starts ``tracemalloc`` on first use if nobody else did, and
+    :meth:`close` stops it again only in that case.
+    """
+
+    def __init__(self, cpu: bool = True, memory: bool = True) -> None:
+        self.cpu = bool(cpu)
+        self.memory = bool(memory)
+        self._frames: dict[int, list[float]] = {}  # id(span) -> [cpu0, peak]
+        self._started_tracemalloc = False
+
+    def _fold_peak(self, peak: float) -> None:
+        for frame in self._frames.values():
+            if peak > frame[1]:
+                frame[1] = peak
+
+    def enter(self, node: Span) -> None:
+        """Open a frame for ``node`` (called by ``Tracer.span`` on entry)."""
+        if self.memory:
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._started_tracemalloc = True
+            _, peak = tracemalloc.get_traced_memory()
+            self._fold_peak(float(peak))
+            tracemalloc.reset_peak()
+        self._frames[id(node)] = [cpu_clock() if self.cpu else 0.0, 0.0]
+
+    def exit(self, node: Span) -> None:
+        """Close ``node``'s frame and stamp its volatile resource numbers."""
+        frame = self._frames.pop(id(node), None)
+        if frame is None:
+            return
+        if self.cpu:
+            node.volatile["cpu_seconds"] = round(cpu_clock() - frame[0], 6)
+        if self.memory and tracemalloc.is_tracing():
+            _, peak = tracemalloc.get_traced_memory()
+            peak = max(float(peak), frame[1])
+            node.volatile["mem_peak_kb"] = round(peak / 1024.0, 3)
+            self._fold_peak(peak)
+            tracemalloc.reset_peak()
+
+    def close(self) -> None:
+        """Stop ``tracemalloc`` iff this profiler started it."""
+        self._frames.clear()
+        if self._started_tracemalloc and tracemalloc.is_tracing():
+            tracemalloc.stop()
+        self._started_tracemalloc = False
+
+
+def _chunk_intervals(
+    roots: "Span | Sequence[Span]",
+) -> list[tuple[int, float, float]]:
+    """``(slot, dispatch_t, result_t)`` per completed chunk, dispatch order.
+
+    Pairs the pool's volatile ``pool.dispatch`` / ``pool.result`` events on
+    ``(slot, job)`` exactly like ``worker_timeline``; malformed events
+    (missing or non-numeric coordinates) are skipped, never raised on.
+    """
+    if isinstance(roots, Span):
+        roots = [roots]
+    open_chunks: dict[tuple[int, int], float] = {}
+    intervals: list[tuple[int, float, float]] = []
+    for root in roots:
+        for node in root.walk():
+            if node.kind != "event":
+                continue
+            data = node.volatile
+            try:
+                key = (int(data["slot"]), int(data.get("job", -1)))
+                t = float(data["t"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            if node.name == "pool.dispatch":
+                open_chunks[key] = t
+            elif node.name == "pool.result":
+                start = open_chunks.pop(key, None)
+                if start is not None:
+                    intervals.append((key[0], start, t))
+    return intervals
+
+
+def pool_utilization(roots: "Span | Sequence[Span]") -> dict[str, Any]:
+    """Busy/idle fractions, saturation and dispatch gaps per worker slot.
+
+    Everything here is volatile — it describes this run's scheduling.  Per
+    slot: busy seconds, idle seconds, utilization and the master-side
+    *dispatch gap* (time from one chunk's result to the slot's next
+    dispatch — how long the worker starved waiting for the master).
+    ``saturation`` is the mean number of busy slots over the first-dispatch
+    → last-result window divided by the slot count (1.0 = perfectly full
+    pool).  Returns a zeroed shape for traces without pool events.
+    """
+    intervals = _chunk_intervals(roots)
+    if not intervals:
+        return {
+            "span_seconds": 0.0,
+            "n_slots": 0,
+            "chunks": 0,
+            "mean_concurrency": 0.0,
+            "saturation": 0.0,
+            "slots": {},
+        }
+    first = min(start for _, start, _ in intervals)
+    last = max(end for _, _, end in intervals)
+    span = max(last - first, 0.0)
+    by_slot: dict[int, list[tuple[float, float]]] = {}
+    for slot, start, end in intervals:
+        by_slot.setdefault(slot, []).append((start, end))
+    slots: dict[str, dict[str, float]] = {}
+    total_busy = 0.0
+    for slot in sorted(by_slot):
+        windows = sorted(by_slot[slot])
+        busy = sum(end - start for start, end in windows)
+        total_busy += busy
+        gaps = [
+            max(windows[i + 1][0] - windows[i][1], 0.0)
+            for i in range(len(windows) - 1)
+        ]
+        slots[str(slot)] = {
+            "chunks": len(windows),
+            "busy_seconds": busy,
+            "idle_seconds": max(span - busy, 0.0),
+            "utilization": (busy / span) if span > 0.0 else 0.0,
+            "dispatch_gap_mean_seconds": (sum(gaps) / len(gaps)) if gaps else 0.0,
+            "dispatch_gap_max_seconds": max(gaps) if gaps else 0.0,
+        }
+    n_slots = len(by_slot)
+    mean_concurrency = (total_busy / span) if span > 0.0 else 0.0
+    return {
+        "span_seconds": span,
+        "n_slots": n_slots,
+        "chunks": len(intervals),
+        "mean_concurrency": mean_concurrency,
+        "saturation": (mean_concurrency / n_slots) if n_slots else 0.0,
+        "slots": slots,
+    }

@@ -1,0 +1,288 @@
+"""Run reports: aggregated trace + manifest rendered for terminals or CI.
+
+``python -m repro report run.jsonl`` renders the attribution layer's view
+of one recorded run — and, with ``--baseline``, of what changed since
+another.  The report is laid out in two halves that mirror the payload
+contract of the whole observe package:
+
+* the **deterministic section** (:func:`deterministic_report_text`) —
+  span rollups, attribute breakdown counts and, when a baseline is given,
+  the structural diff.  Rendered purely from the canonical projection, so
+  its bytes are identical for any pool worker count, any
+  ``group_concurrency`` and any fault-recovered run of the same campaign
+  (asserted by the golden suite);
+* the **volatile section** — wall/self/p50/p95 duration rollups, worker
+  utilization, event counts, resource stamps and the diff's wall-time
+  attribution.  Honest run-dependent numbers, clearly labelled as such.
+
+Both plain-text and Markdown renderings share the same row content; only
+the table syntax differs, so the CI artifact and the terminal agree.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.observe.analyze import (
+    DEFAULT_NOISE_FLOOR,
+    aggregate_trace,
+    diff_traces,
+)
+from repro.observe.profile import pool_utilization
+from repro.observe.trace import Span
+
+__all__ = ["deterministic_report_text", "render_report"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, ".6g")
+    return str(value)
+
+
+def _table(header: list[str], rows: list[list[Any]], markdown: bool) -> list[str]:
+    cells = [[_fmt(cell) for cell in row] for row in rows]
+    if markdown:
+        lines = ["| " + " | ".join(header) + " |"]
+        lines.append("|" + "|".join("---" for _ in header) + "|")
+        for row in cells:
+            lines.append("| " + " | ".join(row) + " |")
+        return lines
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in cells)) if cells else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = ["  ".join(header[i].ljust(widths[i]) for i in range(len(header)))]
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(header))))
+    return lines
+
+
+def _heading(title: str, markdown: bool, level: int = 2) -> list[str]:
+    if markdown:
+        return ["#" * level + " " + title, ""]
+    underline = "=" if level == 1 else "-"
+    return [title, underline * len(title)]
+
+
+def _attr_summary(entry: dict[str, Any]) -> str:
+    """One-cell summary of a span name's deterministic attribute rollups."""
+    parts: list[str] = []
+    for key, rollup in entry["attributes"].items():
+        if rollup["min"] == rollup["max"]:
+            parts.append(f"{key}={_fmt(rollup['min'])}")
+        else:
+            parts.append(
+                f"{key}={_fmt(rollup['min'])}..{_fmt(rollup['max'])}"
+                f" (total {_fmt(rollup['total'])})"
+            )
+    for key, table in entry["labels"].items():
+        inner = ",".join(f"{label}:{count}" for label, count in table.items())
+        parts.append(f"{key}[{inner}]")
+    return " ".join(parts) if parts else "-"
+
+
+def deterministic_report_text(
+    roots: "Span | Sequence[Span]",
+    baseline: "Span | Sequence[Span] | None" = None,
+    markdown: bool = False,
+) -> str:
+    """The byte-comparable half of the report.
+
+    Everything here is a function of the canonical projection(s) only: the
+    per-span-name rollup table, the attribute-keyed breakdown counts and —
+    when ``baseline`` is given — the structural diff.  The golden suite
+    asserts these bytes are identical across worker counts,
+    ``group_concurrency`` values and fault-recovered runs.
+    """
+    aggregate = aggregate_trace(roots)["deterministic"]
+    lines = _heading(
+        "Span rollups (deterministic: byte-identical across worker counts)",
+        markdown,
+    )
+    rows = [
+        [name, entry["count"], entry["children"], _attr_summary(entry)]
+        for name, entry in aggregate["spans"].items()
+    ]
+    lines += _table(["span", "count", "children", "attributes"], rows, markdown)
+    lines.append("")
+    if aggregate["breakdowns"]:
+        lines += _heading("Attribute breakdowns (deterministic counts)", markdown)
+        for key, table in aggregate["breakdowns"].items():
+            inner = "  ".join(f"{value}: {count}" for value, count in table.items())
+            bullet = "- " if markdown else "  "
+            lines.append(f"{bullet}{key}: {inner}")
+        lines.append("")
+    if baseline is not None:
+        structural = diff_traces(baseline, roots).structural()
+        lines += _heading("Structural diff vs baseline (deterministic)", markdown)
+        bullet = "- " if markdown else "  "
+        lines.append(
+            f"{bullet}matched spans: {structural['matched']}; identical: "
+            f"{structural['identical']}"
+        )
+        for kind in ("added", "removed", "changed_attributes"):
+            paths = structural[kind]
+            if paths:
+                shown = ", ".join(paths[:8]) + (" …" if len(paths) > 8 else "")
+                lines.append(f"{bullet}{kind} ({len(paths)}): {shown}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _volatile_report_text(
+    roots: "Span | Sequence[Span]",
+    manifest: Any = None,
+    baseline: "Span | Sequence[Span] | None" = None,
+    top: int = 10,
+    markdown: bool = False,
+    noise_floor: float = DEFAULT_NOISE_FLOOR,
+) -> str:
+    volatile = aggregate_trace(roots)["volatile"]
+    lines: list[str] = []
+
+    lines += _heading(f"Top self-time spans (volatile, top {top})", markdown)
+    by_self = sorted(
+        volatile["durations"].items(),
+        key=lambda item: (-item[1]["self_seconds"], item[0]),
+    )[:top]
+    rows = [
+        [
+            name,
+            row["count"],
+            row["total_seconds"],
+            row["self_seconds"],
+            row["p50_seconds"],
+            row["p95_seconds"],
+        ]
+        for name, row in by_self
+    ]
+    lines += _table(
+        ["span", "count", "total s", "self s", "p50 s", "p95 s"], rows, markdown
+    )
+    lines.append("")
+
+    utilization = pool_utilization(roots)
+    if utilization["slots"]:
+        lines += _heading("Worker utilization (volatile)", markdown)
+        bullet = "- " if markdown else "  "
+        lines.append(
+            f"{bullet}window {_fmt(utilization['span_seconds'])}s, "
+            f"{utilization['n_slots']} slot(s), {utilization['chunks']} chunk(s), "
+            f"mean concurrency {_fmt(utilization['mean_concurrency'])}, "
+            f"saturation {_fmt(utilization['saturation'])}"
+        )
+        rows = [
+            [
+                slot,
+                stats["chunks"],
+                stats["busy_seconds"],
+                stats["idle_seconds"],
+                stats["utilization"],
+                stats["dispatch_gap_mean_seconds"],
+            ]
+            for slot, stats in utilization["slots"].items()
+        ]
+        lines += _table(
+            ["slot", "chunks", "busy s", "idle s", "util", "gap mean s"],
+            rows,
+            markdown,
+        )
+        lines.append("")
+
+    if volatile["resources"]:
+        lines += _heading("Resources (volatile, profiled run)", markdown)
+        rows = [
+            [name, usage["cpu_seconds"], usage["mem_peak_kb"]]
+            for name, usage in volatile["resources"].items()
+        ]
+        lines += _table(["span", "cpu s", "mem peak KB"], rows, markdown)
+        lines.append("")
+
+    if volatile["events"]:
+        lines += _heading("Scheduling events (volatile counts)", markdown)
+        rows = [[name, count] for name, count in volatile["events"].items()]
+        lines += _table(["event", "count"], rows, markdown)
+        lines.append("")
+
+    if baseline is not None:
+        diff = diff_traces(baseline, roots, noise_floor=noise_floor)
+        lines += _heading("Wall-time diff vs baseline (volatile)", markdown)
+        bullet = "- " if markdown else "  "
+        lines.append(
+            f"{bullet}total delta {_fmt(diff.total_delta_seconds)}s "
+            f"(noise floor {_fmt(noise_floor)}s)"
+        )
+        attribution = diff.attribution()[:top]
+        if attribution:
+            rows = [
+                [
+                    row["path"],
+                    row["status"],
+                    "-" if row["base_seconds"] is None else row["base_seconds"],
+                    "-" if row["other_seconds"] is None else row["other_seconds"],
+                    row["self_delta_seconds"],
+                ]
+                for row in attribution
+            ]
+            lines += _table(
+                ["path", "status", "base s", "now s", "self delta s"],
+                rows,
+                markdown,
+            )
+        else:
+            lines.append(f"{bullet}no subtree above the noise floor")
+        lines.append("")
+
+    if manifest is not None:
+        run = getattr(manifest, "run", None) or {}
+        timings = getattr(manifest, "timings", None) or {}
+        if run or timings:
+            lines += _heading("Manifest", markdown)
+            bullet = "- " if markdown else "  "
+            if run:
+                summary = ", ".join(
+                    f"{key}={_fmt(run[key])}" for key in sorted(run)
+                )
+                lines.append(f"{bullet}run: {summary}")
+            if timings:
+                summary = ", ".join(
+                    f"{key}={_fmt(timings[key])}s" for key in sorted(timings)
+                )
+                lines.append(f"{bullet}timings (volatile): {summary}")
+            lines.append("")
+    return "\n".join(lines)
+
+
+def render_report(
+    roots: "Span | Sequence[Span]",
+    manifest: Any = None,
+    baseline: "Span | Sequence[Span] | None" = None,
+    top: int = 10,
+    markdown: bool = False,
+    noise_floor: float = DEFAULT_NOISE_FLOOR,
+    title: str = "Run report",
+) -> str:
+    """The full report: deterministic section first, volatile sections after.
+
+    ``manifest`` is an optional :class:`~repro.observe.manifest.RunManifest`
+    (its run configuration and phase timings are echoed at the end);
+    ``baseline`` adds the structural + wall-time diff sections.
+    """
+    parts = _heading(title, markdown, level=1)
+    parts.append("")
+    parts.append(deterministic_report_text(roots, baseline=baseline, markdown=markdown))
+    parts.append(
+        _volatile_report_text(
+            roots,
+            manifest=manifest,
+            baseline=baseline,
+            top=top,
+            markdown=markdown,
+            noise_floor=noise_floor,
+        )
+    )
+    return "\n".join(parts).rstrip() + "\n"

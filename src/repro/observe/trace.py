@@ -115,12 +115,23 @@ def assign_span_ids(roots: list[Span], parent_id: str = "") -> None:
 
 
 class Tracer:
-    """Records a span tree plus a :class:`MetricsRegistry` for one run."""
+    """Records a span tree plus a :class:`MetricsRegistry` for one run.
+
+    ``profile`` optionally attaches a
+    :class:`~repro.observe.profile.ResourceProfiler`: every ``span()``
+    block additionally gets volatile ``cpu_seconds`` / ``mem_peak_kb``
+    stamps.  The default stays ``None`` — one ``is not None`` check per
+    span, nothing on the :data:`NULL_TRACER` path — so profiling is
+    strictly opt-in and the canonical projection never changes either way.
+    """
 
     enabled: bool = True
 
-    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+    def __init__(
+        self, metrics: MetricsRegistry | None = None, profile: Any = None
+    ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.profile = profile
         self.roots: list[Span] = []
         self._stack: list[Span] = []
 
@@ -138,11 +149,16 @@ class Tracer:
         node = Span(name=name, attributes=dict(attributes))
         self._attach(node)
         self._stack.append(node)
+        profile = self.profile
+        if profile is not None:
+            profile.enter(node)
         start = wall_clock()
         try:
             yield node
         finally:
             node.duration_seconds = wall_clock() - start
+            if profile is not None:
+                profile.exit(node)
             self._stack.pop()
 
     def record_span(

@@ -32,7 +32,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
-__all__ = ["PhaseTimer", "Timer", "wall_clock"]
+__all__ = ["PhaseTimer", "Timer", "cpu_clock", "wall_clock"]
 
 
 def wall_clock() -> float:
@@ -42,6 +42,18 @@ def wall_clock() -> float:
     benchmark tables.  Never let the returned value feed a numeric result.
     """
     return time.perf_counter()
+
+
+def cpu_clock() -> float:
+    """Process CPU seconds (``time.process_time``).
+
+    The CPU-side companion of :func:`wall_clock`, used by the opt-in
+    resource profiler (:class:`repro.observe.profile.ResourceProfiler`) to
+    split a span's wall time into compute vs wait.  Same rule as
+    ``wall_clock``: observability only — the returned value must never feed
+    a numeric result, a seed or a scheduling decision.
+    """
+    return time.process_time()
 
 
 @dataclass

@@ -1,0 +1,196 @@
+"""Unit tests of the attribution layer (repro.observe.analyze).
+
+Aggregation rollups, attribute breakdowns, canonical-order trace diffs with
+deepest-subtree wall-time attribution, and the flat-snapshot regression
+attribution behind ``bench_trend.py --attribute`` — all on hand-built traces
+where the expected numbers are exact.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.observe import (
+    Tracer,
+    aggregate_trace,
+    attribute_breakdown,
+    attribute_snapshot_regression,
+    canonical_aggregate_text,
+    diff_traces,
+)
+from repro.observe.analyze import DEFAULT_NOISE_FLOOR, _self_seconds
+
+
+def _trace(block_seconds=0.1, solve_seconds=0.05, extra_block=False):
+    tracer = Tracer()
+    with tracer.span("campaign", name="demo"):
+        tracer.event("pool.dispatch", slot=0, job=0, t=0.0)
+        with tracer.span("campaign.group", geometry="grid", n_elements=24):
+            tracer.record_span("block", duration_seconds=block_seconds,
+                               index=0, kind="far", rank=3)
+            tracer.record_span("block", duration_seconds=0.02,
+                               index=1, kind="near", rank=0)
+            if extra_block:
+                tracer.record_span("block", duration_seconds=0.02,
+                                   index=2, kind="near", rank=0)
+            tracer.record_span("solve", duration_seconds=solve_seconds,
+                               method="pcg", iterations=9, converged=True)
+        tracer.event("pool.result", slot=0, job=0, t=0.5)
+    return tracer.finalize()
+
+
+class TestAggregateTrace:
+    def test_deterministic_rollups_count_structure_and_attributes(self):
+        agg = aggregate_trace(_trace())
+        det = agg["deterministic"]
+        assert det["n_spans"] == 5
+        block = det["spans"]["block"]
+        assert block["count"] == 2 and block["children"] == 0
+        assert block["attributes"]["rank"] == {
+            "count": 2, "total": 3.0, "min": 0.0, "max": 3.0
+        }
+        assert block["labels"]["kind"] == {"far": 1, "near": 1}
+        solve = det["spans"]["solve"]
+        assert solve["attributes"]["iterations"]["total"] == 9.0
+        assert solve["labels"]["converged"] == {"True": 1}
+
+    def test_volatile_half_holds_durations_and_event_counts(self):
+        agg = aggregate_trace(_trace())
+        durations = agg["volatile"]["durations"]
+        assert durations["block"]["count"] == 2
+        assert durations["block"]["total_seconds"] == pytest.approx(0.12)
+        assert durations["block"]["max_seconds"] == pytest.approx(0.1)
+        assert agg["volatile"]["events"] == {
+            "pool.dispatch": 1, "pool.result": 1
+        }
+        # Quantile estimates come from bounded buckets: bracketed, not exact.
+        assert 0.01 <= durations["block"]["p50_seconds"] <= 0.1
+
+    def test_breakdowns_split_counts_and_seconds_by_attribute(self):
+        agg = aggregate_trace(_trace())
+        assert agg["deterministic"]["breakdowns"]["block.rank"] == {
+            "0": 1, "3": 1
+        }
+        seconds = agg["volatile"]["breakdowns"]["block.kind"]
+        assert seconds["far"] == pytest.approx(0.1)
+
+    def test_label_cardinality_is_bounded(self):
+        tracer = Tracer()
+        with tracer.span("assemble"):
+            for index in range(20):
+                tracer.record_span("block", kind=f"variant-{index:02d}")
+        agg = aggregate_trace(tracer.finalize())
+        labels = agg["deterministic"]["spans"]["block"]["labels"]["kind"]
+        assert labels == {"(distinct values)": 20}
+
+    def test_self_seconds_subtracts_timed_children_and_clamps(self):
+        roots = _trace()
+        group = roots[0].find("campaign.group")
+        group.duration_seconds = 0.2
+        assert _self_seconds(group) == pytest.approx(0.2 - 0.12 - 0.05)
+        # Worker-side walls can overlap the parent: clamp at zero.
+        group.duration_seconds = 0.01
+        assert _self_seconds(group) == 0.0
+
+    def test_canonical_aggregate_text_is_sorted_json(self):
+        text = canonical_aggregate_text(_trace())
+        assert text.endswith("\n")
+        payload = json.loads(text)
+        assert "durations" not in json.dumps(payload)
+        assert payload["n_spans"] == 5
+        assert text == canonical_aggregate_text(_trace())
+
+
+class TestAttributeBreakdown:
+    def test_values_sorted_numerically_then_lexically(self):
+        rollup = attribute_breakdown(_trace(), "block", "rank")
+        assert list(rollup) == ["0", "3"]
+        assert rollup["3"]["count"] == 1
+        assert rollup["3"]["seconds"] == pytest.approx(0.1)
+
+    def test_missing_span_or_attribute_is_empty(self):
+        assert attribute_breakdown(_trace(), "nope", "rank") == {}
+        assert attribute_breakdown(_trace(), "block", "nope") == {}
+
+
+class TestDiffTraces:
+    def test_identical_traces_diff_clean(self):
+        diff = diff_traces(_trace(), _trace())
+        structural = diff.structural()
+        assert structural["identical"] is True
+        assert structural["added"] == [] and structural["removed"] == []
+        assert diff.attribution() == []
+
+    def test_regression_attributed_to_deepest_subtree(self):
+        base = _trace(block_seconds=0.1)
+        slow = _trace(block_seconds=0.6)
+        diff = diff_traces(base, slow, noise_floor=0.01)
+        assert diff.structural()["identical"] is True
+        top = diff.attribution()[0]
+        # The far block slowed down; its parents only inherit the delta, so
+        # their *self* deltas stay under the floor and the leaf wins.
+        assert top["path"] == "campaign/campaign.group/block"
+        assert top["self_delta_seconds"] == pytest.approx(0.5)
+        assert diff.total_delta_seconds == pytest.approx(
+            slow[0].duration_seconds - base[0].duration_seconds
+        )
+
+    def test_added_and_removed_spans_are_reported(self):
+        base, grown = _trace(), _trace(extra_block=True)
+        diff = diff_traces(base, grown)
+        structural = diff.structural()
+        assert structural["added"] == ["campaign/campaign.group/block#2"]
+        assert structural["identical"] is False
+        reverse = diff_traces(grown, base)
+        assert reverse.structural()["removed"] == [
+            "campaign/campaign.group/block#2"
+        ]
+
+    def test_changed_attributes_are_structural_not_silent(self):
+        base, other = _trace(), _trace()
+        other[0].find("solve").attributes["iterations"] = 11
+        structural = diff_traces(base, other).structural()
+        assert structural["changed_attributes"] == [
+            "campaign/campaign.group/solve"
+        ]
+        assert structural["identical"] is False
+
+    def test_noise_floor_suppresses_small_deltas(self):
+        base = _trace(solve_seconds=0.05)
+        other = _trace(solve_seconds=0.052)
+        assert diff_traces(base, other, noise_floor=0.01).attribution() == []
+        loud = diff_traces(base, other, noise_floor=0.0001).attribution()
+        assert any("solve" in row["path"] for row in loud)
+        assert DEFAULT_NOISE_FLOOR > 0
+
+
+class TestAttributeSnapshotRegression:
+    COMMITTED = {
+        "runs.0.wall_seconds": 1.0,
+        "runs.0.timings.assemble": 0.6,
+        "runs.0.timings.solve": 0.3,
+        "runs.1.wall_seconds": 2.0,
+    }
+
+    def test_sibling_phases_ranked_by_delta_share(self):
+        fresh = dict(self.COMMITTED)
+        fresh["runs.0.wall_seconds"] = 1.6
+        fresh["runs.0.timings.assemble"] = 1.15
+        fresh["runs.0.timings.solve"] = 0.32
+        rows = attribute_snapshot_regression(
+            self.COMMITTED, fresh, "runs.0.wall_seconds"
+        )
+        assert [row["path"] for row in rows] == [
+            "runs.0.timings.assemble", "runs.0.timings.solve"
+        ]
+        assert rows[0]["delta_seconds"] == pytest.approx(0.55)
+        assert rows[0]["share"] == pytest.approx(0.55 / 0.6)
+
+    def test_only_leaves_under_the_same_parent_contribute(self):
+        fresh = dict(self.COMMITTED, **{"runs.1.wall_seconds": 9.0})
+        rows = attribute_snapshot_regression(
+            self.COMMITTED, fresh, "runs.0.wall_seconds"
+        )
+        assert all(row["path"].startswith("runs.0.") for row in rows)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import io
 import json
+import subprocess
 import sys
 from pathlib import Path
 
@@ -86,6 +87,57 @@ class TestCompareTrees:
         self._write(fresh, "BENCH_a.json", {"wall_seconds": 5.0})
         assert main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 1
         capsys.readouterr()
+
+    def test_attribute_names_the_regressed_phase(self, tmp_path):
+        baseline, fresh = tmp_path / "base", tmp_path / "fresh"
+        payload = {
+            "campaign_runs": [{
+                "wall_seconds": 1.0,
+                "timings": {"assemble": 0.6, "solve": 0.3, "plan": 0.1},
+            }],
+        }
+        self._write(baseline, "BENCH_campaign.json", payload)
+        regressed = {
+            "campaign_runs": [{
+                "wall_seconds": 1.6,
+                "timings": {"assemble": 1.15, "solve": 0.32, "plan": 0.1},
+            }],
+        }
+        self._write(fresh, "BENCH_campaign.json", regressed)
+        out = io.StringIO()
+        assert compare_trees(baseline, fresh, attribute=True, out=out) >= 1
+        text = out.getvalue()
+        assert "REGRESSED" in text
+        lines = [l for l in text.splitlines() if "attribution:" in l]
+        # The assemble phase accounts for the bulk of the wall regression
+        # and is named; the unchanged plan phase never prints.
+        assert any(
+            "timings.assemble" in l and "0.6000s -> 1.1500s" in l for l in lines
+        )
+        assert not any("timings.plan" in l for l in lines)
+
+    def test_attribute_flag_via_script(self, tmp_path):
+        baseline, fresh = tmp_path / "base", tmp_path / "fresh"
+        payload = {"runs": [{"wall_seconds": 1.0, "timings": {"solve": 0.9}}]}
+        self._write(baseline, "BENCH_a.json", payload)
+        slow = {"runs": [{"wall_seconds": 3.0, "timings": {"solve": 2.9}}]}
+        self._write(fresh, "BENCH_a.json", slow)
+        proc = subprocess.run(
+            [sys.executable, str(_SCRIPTS / "bench_trend.py"),
+             "--baseline", str(baseline), "--fresh", str(fresh),
+             "--attribute"],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 1
+        assert "attribution: runs.0.timings.solve" in proc.stdout
+        # Without the flag the same regression prints no attribution lines.
+        bare = subprocess.run(
+            [sys.executable, str(_SCRIPTS / "bench_trend.py"),
+             "--baseline", str(baseline), "--fresh", str(fresh)],
+            capture_output=True, text=True,
+        )
+        assert bare.returncode == 1
+        assert "REGRESSED" in bare.stdout and "attribution:" not in bare.stdout
 
     def test_no_common_snapshots_is_a_clean_pass(self, tmp_path):
         out = io.StringIO()

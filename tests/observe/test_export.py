@@ -165,3 +165,39 @@ class TestWorkerTimeline:
 
     def test_empty_trace_yields_zero_span(self):
         assert worker_timeline([]) == {"span_seconds": 0.0, "slots": {}}
+
+    def test_events_without_enclosing_group_span_still_build_a_timeline(self):
+        # A standalone GroundingAnalysis run on a pool records pool events
+        # under the analysis span with no campaign.group wrapper — and a
+        # truncated trace can even promote events to roots.  Neither shape
+        # may raise.
+        from repro.observe.trace import Span
+
+        events = [
+            Span(name="pool.dispatch", kind="event",
+                 volatile={"slot": 0, "job": 0, "t": 0.0}),
+            Span(name="pool.result", kind="event",
+                 volatile={"slot": 0, "job": 0, "t": 0.25}),
+        ]
+        timeline = worker_timeline(events)
+        assert timeline["span_seconds"] == 0.25
+        assert timeline["slots"]["0"]["chunks"] == 1
+
+    def test_single_span_argument_is_wrapped(self):
+        tracer = Tracer()
+        with tracer.span("analysis"):
+            tracer.event("pool.dispatch", slot=0, job=0, t=0.0)
+            tracer.event("pool.result", slot=0, job=0, t=0.5)
+        root = tracer.finalize()[0]
+        assert worker_timeline(root) == worker_timeline([root])
+
+    def test_malformed_pool_events_are_skipped_not_raised(self):
+        tracer = Tracer()
+        with tracer.span("analysis"):
+            tracer.event("pool.dispatch", t=0.0)            # missing slot
+            tracer.event("pool.dispatch", slot="x", t="y")  # non-numeric
+            tracer.event("pool.dispatch", slot=1, job=7, t=0.1)
+            tracer.event("pool.result", slot=1, job=7, t=0.3)
+        timeline = worker_timeline(tracer.finalize())
+        assert list(timeline["slots"]) == ["1"]
+        assert timeline["slots"]["1"]["chunks"] == 1

@@ -1,0 +1,193 @@
+"""Golden attribution determinism: the report's deterministic section is
+byte-identical for any worker count, any ``group_concurrency`` and any
+fault-recovery history — and the CLI ``report`` command round-trips it.
+
+This extends the PR-8 canonical-projection guarantee one level up: the
+aggregation (:func:`canonical_aggregate_text`), the structural trace diff
+and the rendered deterministic report section are all pure functions of the
+canonical projection, so they inherit its byte-identity.  Event counts and
+durations are volatile — the pool shards block work per worker count — but
+at a *fixed* worker count the scheduling event counts are invariant under
+``group_concurrency``, which is asserted separately.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import Campaign, GeometryVariant, ScenarioSpec, run_campaign
+from repro.cli import main
+from repro.cluster import HierarchicalControl
+from repro.observe import (
+    Tracer,
+    aggregate_trace,
+    canonical_aggregate_text,
+    deterministic_report_text,
+    diff_traces,
+    read_trace_jsonl,
+    render_report,
+)
+from repro.resilience import FaultPlan, RetryPolicy
+from repro.soil.two_layer import TwoLayerSoil
+from repro.soil.uniform import UniformSoil
+
+G1 = GeometryVariant(name="g1", width=24.0, height=24.0, nx=4, ny=4)
+G2 = GeometryVariant(name="g2", width=30.0, height=18.0, nx=5, ny=3)
+SOIL = TwoLayerSoil(0.005, 0.016, 1.0)
+
+
+def _campaign() -> Campaign:
+    """Two geometry variants, three structure groups — so group-concurrent
+    runs genuinely multiplex and the 2-worker pool genuinely shards."""
+    return Campaign(
+        name="attribution",
+        scenarios=(
+            ScenarioSpec(name="base", geometry=G1, soil=SOIL),
+            ScenarioSpec(name="hot", geometry=G1, soil=SOIL, gpr=15_000.0),
+            ScenarioSpec(name="uni", geometry=G1, soil=UniformSoil(0.01)),
+            ScenarioSpec(name="b2", geometry=G2, soil=SOIL),
+        ),
+        hierarchical=HierarchicalControl(leaf_size=8),
+        solver_tolerance=1.0e-12,
+        assess_safety=False,
+    )
+
+
+def _traced_run(workers, group_concurrency=1, fault_plan=None, retry=None):
+    tracer = Tracer()
+    run_campaign(
+        _campaign(),
+        workers=workers,
+        group_concurrency=group_concurrency,
+        fault_plan=fault_plan,
+        retry=retry,
+        tracer=tracer,
+    )
+    tracer.finalize()
+    return tracer
+
+
+class TestDeterministicSectionInvariance:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        """workers x group_concurrency x fault-injection runs of one campaign."""
+        return {
+            "w1": _traced_run(workers=1),
+            "w2": _traced_run(workers=2),
+            "w2gc2": _traced_run(workers=2, group_concurrency=2),
+            "w2gc2crash": _traced_run(
+                workers=2,
+                group_concurrency=2,
+                fault_plan=FaultPlan.single(0, 0, "crash"),
+                retry=RetryPolicy(backoff_base=0.01),
+            ),
+        }
+
+    def test_canonical_aggregate_is_byte_identical(self, matrix):
+        reference = canonical_aggregate_text(matrix["w1"].roots)
+        for key in ("w2", "w2gc2", "w2gc2crash"):
+            assert canonical_aggregate_text(matrix[key].roots) == reference, key
+
+    def test_deterministic_report_section_is_byte_identical(self, matrix):
+        reference = deterministic_report_text(matrix["w1"].roots)
+        for key in ("w2", "w2gc2", "w2gc2crash"):
+            assert deterministic_report_text(matrix[key].roots) == reference, key
+        # The section carries real content, not a degenerate empty page.
+        assert "Span rollups" in reference and "campaign.group" in reference
+
+    def test_structural_diff_between_any_two_runs_is_clean(self, matrix):
+        runs = list(matrix.values())
+        reference = runs[0]
+        for other in runs[1:]:
+            structural = diff_traces(reference.roots, other.roots).structural()
+            assert structural["identical"] is True
+            assert structural["added"] == [] and structural["removed"] == []
+
+    def test_event_counts_are_gc_invariant_at_fixed_workers(self, matrix):
+        # Scheduling events are volatile across *worker counts* (the pool
+        # shards block work per worker), but at fixed workers the same
+        # chunks are dispatched whatever the group concurrency.
+        one = aggregate_trace(matrix["w2"].roots)["volatile"]["events"]
+        two = aggregate_trace(matrix["w2gc2"].roots)["volatile"]["events"]
+        assert one == two and one.get("pool.dispatch", 0) > 0
+
+    def test_fault_run_adds_only_volatile_retry_events(self, matrix):
+        events = aggregate_trace(matrix["w2gc2crash"].roots)["volatile"]["events"]
+        assert events.get("pool.retry", 0) >= 1
+        clean = aggregate_trace(matrix["w2gc2"].roots)["volatile"]["events"]
+        assert "pool.retry" not in clean
+
+    def test_volatile_durations_exist_for_key_phases(self, matrix):
+        durations = aggregate_trace(matrix["w2"].roots)["volatile"]["durations"]
+        assert durations["campaign"]["count"] == 1
+        assert durations["campaign.group"]["count"] >= 3
+        for row in durations.values():
+            assert row["p50_seconds"] <= row["p95_seconds"] * (1 + 1e-9)
+            assert row["p95_seconds"] <= row["max_seconds"] * (1 + 1e-9)
+
+
+class TestReportCli:
+    @pytest.fixture(scope="class")
+    def traced(self, tmp_path_factory):
+        base = tmp_path_factory.mktemp("report-cli")
+        path = base / "run.jsonl"
+        exit_code = main([
+            "campaign", "--scenarios", "4", "--nx", "4",
+            "--workers", "2", "--trace", str(path), "--profile",
+        ])
+        assert exit_code == 0
+        return path
+
+    def test_profiled_trace_carries_resource_stamps(self, traced):
+        roots = read_trace_jsonl(traced)
+        assert roots[0].volatile["cpu_seconds"] >= 0.0
+        assert roots[0].volatile["mem_peak_kb"] > 0.0
+
+    def test_report_renders_all_sections(self, traced, capsys):
+        assert main(["report", str(traced)]) == 0
+        out = capsys.readouterr().out
+        assert f"Run report: {traced}" in out
+        assert "Span rollups" in out
+        assert "Top self-time spans" in out
+        assert "Worker utilization" in out
+        assert "Resources (volatile, profiled run)" in out
+        assert "Manifest" in out  # auto-discovered next to the trace
+
+    def test_markdown_report_written_to_file(self, traced, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        code = main([
+            "report", str(traced), "--markdown", "--output", str(out_file),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        text = out_file.read_text()
+        assert text.startswith("# Run report")
+        assert "| span | count |" in text
+
+    def test_deterministic_only_matches_library_rendering(self, traced, capsys):
+        assert main(["report", str(traced), "--deterministic-only"]) == 0
+        out = capsys.readouterr().out
+        roots = read_trace_jsonl(traced)
+        assert out.strip() == deterministic_report_text(roots).strip()
+        assert "Top self-time spans" not in out
+
+    def test_baseline_diff_section(self, traced, tmp_path, capsys):
+        other = tmp_path / "other.jsonl"
+        code = main([
+            "campaign", "--scenarios", "4", "--nx", "4", "--trace", str(other),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        assert main(["report", str(traced), "--baseline", str(other)]) == 0
+        out = capsys.readouterr().out
+        assert "Structural diff vs baseline (deterministic)" in out
+        assert "Wall-time diff vs baseline (volatile)" in out
+
+    def test_profile_without_trace_is_rejected(self):
+        with pytest.raises(SystemExit, match="--profile"):
+            main(["campaign", "--scenarios", "2", "--nx", "4", "--profile"])
+
+    def test_render_report_accepts_manifestless_trace(self, traced):
+        roots = read_trace_jsonl(traced)
+        text = render_report(roots)
+        assert "Manifest" not in text and "Span rollups" in text

@@ -19,6 +19,7 @@ from repro.campaign import demo_campaign, run_campaign
 from repro.cli import main
 from repro.cluster import HierarchicalControl
 from repro.observe import (
+    MANIFEST_FORMAT_VERSION,
     RunManifest,
     Tracer,
     canonical_trace_text,
@@ -123,7 +124,8 @@ class TestRunManifest:
         manifest_path = RunManifest.path_for(checkpoint)
         assert manifest_path.name == "campaign.ckpt.manifest.json"
         manifest = RunManifest.load(manifest_path)
-        assert manifest.format_version == 1
+        assert manifest.format_version == MANIFEST_FORMAT_VERSION
+        assert manifest.aggregate["deterministic"]["n_spans"] >= 1
         assert manifest.run["n_scenarios"] == 4
         assert manifest.run["pool_workers"] == 2
         for group in manifest.groups:

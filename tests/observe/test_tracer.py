@@ -10,6 +10,8 @@ from repro.observe import (
     NullTracer,
     Tracer,
     ensure_tracer,
+    escape_metric_key,
+    split_metric_name,
 )
 
 
@@ -143,6 +145,56 @@ class TestMetricsRegistry:
         assert gauges["cache.geometry.misses"] == 1
         assert gauges["pool.health.retries"] == 2
         assert gauges["pool.health.degraded"] == 1.0  # bool coerces to 0/1
+
+    def test_absorb_escapes_dotted_keys(self):
+        # A producer key that itself contains a dot must not collide with a
+        # genuinely nested key: {"a": {"b": 1}} and {"a.b": 2} are distinct.
+        metrics = MetricsRegistry()
+        metrics.absorb({"a": {"b": 1}}, prefix="x.")
+        metrics.absorb({"a.b": 2}, prefix="x.")
+        gauges = metrics.snapshot()["gauges"]
+        assert gauges["x.a.b"] == 1.0
+        assert gauges["x.a\\.b"] == 2.0
+
+    def test_escaped_names_split_back_losslessly(self):
+        dotted = escape_metric_key("a.b")
+        slashed = escape_metric_key("c\\d")
+        assert split_metric_name(f"x.{dotted}.{slashed}") == ["x", "a.b", "c\\d"]
+        plain = escape_metric_key("health")
+        assert split_metric_name(f"pool.{plain}.retries") == [
+            "pool", "health", "retries"
+        ]
+
+    def test_absorb_round_trip_restores_producer_keys(self):
+        metrics = MetricsRegistry()
+        payload = {"plain": 1, "dotted.key": 2, "nested": {"inner": 3}}
+        metrics.absorb(payload, prefix="cache.")
+        restored = {}
+        for name, value in metrics.snapshot()["gauges"].items():
+            parts = split_metric_name(name)
+            assert parts[0] == "cache"
+            restored[".".join(parts[1:])] = value
+        assert restored == {"plain": 1.0, "dotted.key": 2.0, "nested.inner": 3.0}
+
+    def test_histogram_quantiles_from_bounded_buckets(self):
+        metrics = MetricsRegistry()
+        for value in (0.001, 0.01, 0.1, 1.0, 10.0):
+            metrics.observe("phase.wall", value)
+        histogram = metrics.histogram("phase.wall")
+        # Log-bucketed estimates: bracketed by the observed extrema and
+        # monotone in q.
+        p50, p95 = histogram.quantile(0.5), histogram.quantile(0.95)
+        assert 0.001 <= p50 <= 10.0 and 0.001 <= p95 <= 10.0
+        assert p50 <= p95
+        # A single-valued stream returns that value exactly (clamping).
+        metrics.observe("solo", 0.25)
+        assert metrics.histogram("solo").quantile(0.5) == 0.25
+        assert metrics.histogram("solo").quantile(0.99) == 0.25
+
+    def test_empty_histogram_quantile_is_zero(self):
+        from repro.observe.metrics import Histogram
+
+        assert Histogram("empty").quantile(0.5) == 0.0
 
     def test_timer_context_observes_elapsed(self):
         metrics = MetricsRegistry()
